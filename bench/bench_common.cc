@@ -1,0 +1,106 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+
+namespace prim::bench {
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return fallback;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= s.size() && !s.empty()) {
+    const size_t comma = s.find(',', begin);
+    out.push_back(s.substr(begin, comma - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchFlags BenchFlags::Parse(int argc, char** argv) {
+  BenchFlags flags;
+  flags.scale = data::ParseScale(FlagValue(argc, argv, "scale", "tiny"));
+  const std::string models = FlagValue(argc, argv, "models", "");
+  if (!models.empty()) flags.models = SplitCommas(models);
+  const std::string train = FlagValue(argc, argv, "train", "");
+  if (!train.empty())
+    for (const std::string& f : SplitCommas(train))
+      flags.train_fractions.push_back(std::atof(f.c_str()));
+  flags.epochs = std::atoi(FlagValue(argc, argv, "epochs", "-1").c_str());
+  flags.seed = std::atoll(FlagValue(argc, argv, "seed", "1").c_str());
+  return flags;
+}
+
+train::ExperimentConfig ConfigForScale(data::DatasetScale scale) {
+  train::ExperimentConfig config;
+  switch (scale) {
+    case data::DatasetScale::kTiny:
+      config.model.dim = 16;
+      config.model.tax_dim = 8;
+      config.model.layers = 2;
+      config.model.heads = 2;
+      config.model.walks_per_node = 6;
+      config.trainer.epochs = 120;
+      config.trainer.eval_every = 10;
+      config.trainer.patience = 5;
+      config.trainer.max_positives_per_epoch = 1500;
+      config.trainer.lr = 0.02f;
+      config.trainer.negatives_per_positive = 2;
+      config.validation_non_edges = 300;
+      config.test_non_edges = 800;
+      break;
+    case data::DatasetScale::kSmall:
+      config.model.dim = 32;
+      config.model.tax_dim = 16;
+      config.model.layers = 2;
+      config.model.heads = 4;
+      config.trainer.epochs = 200;
+      config.trainer.eval_every = 10;
+      config.trainer.patience = 6;
+      config.trainer.max_positives_per_epoch = 4000;
+      config.trainer.lr = 0.015f;
+      config.trainer.negatives_per_positive = 2;
+      config.validation_non_edges = 800;
+      config.test_non_edges = 2000;
+      break;
+    case data::DatasetScale::kPaper:
+      config.model.dim = 128;
+      config.model.tax_dim = 128;
+      config.model.layers = 3;
+      config.model.heads = 4;
+      config.model.walks_per_node = 20;
+      config.trainer.epochs = 300;
+      config.trainer.eval_every = 10;
+      config.trainer.patience = 8;
+      config.trainer.max_positives_per_epoch = 20000;
+      config.validation_non_edges = 4000;
+      config.test_non_edges = 16000;  // §5.1.3
+      break;
+  }
+  config.SyncDims();
+  return config;
+}
+
+void ApplyFlags(const BenchFlags& flags, train::ExperimentConfig* config) {
+  if (flags.epochs > 0) config->trainer.epochs = flags.epochs;
+  config->seed = flags.seed;
+}
+
+std::string PercentLabel(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace prim::bench

@@ -1,0 +1,46 @@
+#ifndef PRIM_BENCH_BENCH_COMMON_H_
+#define PRIM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/presets.h"
+#include "train/experiment.h"
+
+namespace prim::bench {
+
+/// Command-line flags shared by the result-table benches:
+///   --scale=tiny|small|paper   dataset + model size (default tiny: the
+///                              whole suite stays laptop-runnable; `paper`
+///                              matches the paper's sizes)
+///   --models=A,B,C             subset of models to run
+///   --train=0.4,0.7            training fractions
+///   --epochs=N                 override epoch budget
+///   --seed=N                   experiment seed
+struct BenchFlags {
+  data::DatasetScale scale = data::DatasetScale::kTiny;
+  std::vector<std::string> models;        // empty = bench default
+  std::vector<double> train_fractions;    // empty = bench default
+  int epochs = -1;
+  uint64_t seed = 1;
+
+  static BenchFlags Parse(int argc, char** argv);
+};
+
+/// Experiment configuration matched to a dataset scale. Paper scale uses
+/// the paper's hyper-parameters (§5.1.3: dim 128, 3 layers, 4 heads);
+/// smaller scales shrink dims and epochs so the full bench suite finishes
+/// on a single core.
+train::ExperimentConfig ConfigForScale(data::DatasetScale scale);
+
+/// Applies flag overrides (epochs, seed) to a config.
+void ApplyFlags(const BenchFlags& flags, train::ExperimentConfig* config);
+
+/// Formats "40%" from 0.4.
+std::string PercentLabel(double fraction);
+
+}  // namespace prim::bench
+
+#endif  // PRIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,124 @@
+// Reproduces Figure 4: training scalability (§5.3). The paper measures
+// training time on a Singapore POI dump (50k–250k POIs) with 8 random
+// relationships per POI, because no ground truth exists at that scale; we
+// generate exactly that workload. Reported number: milliseconds per
+// training epoch (full-graph forward + loss + backward + Adam step).
+//
+// Expected shape: homogeneous models (GCN, GAT) fastest; all multi-
+// relation models comparable except R-GCN (per-relation weight matrices);
+// every curve grows linearly in the edge count, PRIM included.
+//
+//   --scale=tiny  -> 3k/6k/12k POIs (default; laptop-friendly)
+//   --scale=small -> 10k/20k/40k
+//   --scale=paper -> 50k/100k/150k/200k/250k (the paper's range)
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "data/synthetic.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "train/experiment.h"
+
+namespace {
+
+using namespace prim;
+
+struct Workload {
+  data::PoiDataset dataset;
+  models::ModelContext ctx;
+  models::PairBatch batch;
+  std::vector<int> classes;
+  std::vector<float> targets;
+};
+
+// One workload per POI count, shared across the per-model benchmarks.
+Workload& GetWorkload(int num_pois) {
+  static std::map<int, std::unique_ptr<Workload>>* cache =
+      new std::map<int, std::unique_ptr<Workload>>();
+  auto it = cache->find(num_pois);
+  if (it != cache->end()) return *it->second;
+  auto w = std::make_unique<Workload>();
+  w->dataset = data::GenerateScalabilityDataset(num_pois,
+                                                /*relations_per_poi=*/8,
+                                                /*num_relations=*/2,
+                                                /*seed=*/9);
+  w->ctx = models::BuildModelContext(w->dataset, w->dataset.edges);
+  Rng rng(3);
+  for (int i = 0; i < 2048; ++i) {
+    const auto& t =
+        w->dataset.edges[rng.UniformInt(w->dataset.edges.size())];
+    w->batch.Add(t.src, t.dst,
+                 static_cast<float>(w->dataset.DistanceKm(t.src, t.dst)));
+    w->classes.push_back(t.rel);
+    w->targets.push_back(1.0f);
+  }
+  Workload& ref = *w;
+  (*cache)[num_pois] = std::move(w);
+  return ref;
+}
+
+void TrainingEpoch(benchmark::State& state, const std::string& model_name,
+                   int num_pois, const train::ExperimentConfig& config) {
+  Workload& w = GetWorkload(num_pois);
+  Rng rng(11);
+  auto model = train::MakeModel(model_name, w.ctx, config, rng, nullptr);
+  nn::Adam optimizer(model->Parameters(), 0.001f);
+  for (auto _ : state) {
+    optimizer.ZeroGrad();
+    nn::Tensor h = model->EncodeNodes(true);
+    nn::Tensor logits = model->ScorePairs(h, w.batch);
+    nn::Tensor loss =
+        nn::BceWithLogits(nn::TakePerRow(logits, w.classes), w.targets);
+    loss.Backward();
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.counters["POIs"] = num_pois;
+  state.counters["directed_edges"] =
+      static_cast<double>(w.ctx.train_graph->num_directed_edges());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prim;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  bench::ApplyFlags(flags, &config);
+  std::vector<int> sizes;
+  switch (flags.scale) {
+    case data::DatasetScale::kTiny:
+      sizes = {3000, 6000, 12000};
+      break;
+    case data::DatasetScale::kSmall:
+      sizes = {10000, 20000, 40000};
+      break;
+    case data::DatasetScale::kPaper:
+      sizes = {50000, 100000, 150000, 200000, 250000};
+      break;
+  }
+  const std::vector<std::string> models =
+      flags.models.empty()
+          ? std::vector<std::string>{"GCN", "GAT", "HAN", "HGT", "R-GCN",
+                                     "CompGCN", "DeepR", "PRIM"}
+          : flags.models;
+  for (const std::string& name : models) {
+    for (int n : sizes) {
+      benchmark::RegisterBenchmark(
+          ("fig4/" + name + "/pois:" + std::to_string(n)).c_str(),
+          [name, n, config](benchmark::State& state) {
+            TrainingEpoch(state, name, n, config);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Figure 5: ablation study. PRIM variants remove the taxonomy
+// constraint (-T), the spatial context extractor (-S), the distance-
+// specific hyperplane projection (-D), and their combinations; "Base" is
+// the strongest baseline (HGT). -DST equals plain WRGNN.
+//
+// Expected shape: PRIM >= every single-removal variant >= double-removal
+// variants >= -DST, with -DST (WRGNN alone) still competitive with Base;
+// gaps widen for smaller training fractions.
+//
+// Additional design-choice ablations from DESIGN.md §6 run with --extra:
+// gamma = subtraction instead of ⊙, and the attention distance term off.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "train/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace prim;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  bench::ApplyFlags(flags, &config);
+  bool extra = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--extra") == 0) extra = true;
+
+  std::vector<std::string> variants = {"PRIM",    "PRIM-T",  "PRIM-S",
+                                       "PRIM-D",  "PRIM-DS", "PRIM-DT",
+                                       "PRIM-ST", "PRIM-DST"};
+  if (extra) {
+    variants.push_back("PRIM:gamma=sub");
+    variants.push_back("PRIM:noattdist");
+  }
+  variants.push_back("HGT");  // "Base" in the figure.
+  std::vector<double> fractions = flags.train_fractions.empty()
+                                      ? std::vector<double>{0.4, 0.5, 0.6, 0.7}
+                                      : flags.train_fractions;
+
+  std::printf("Figure 5 — ablation study (Base = HGT; scale=%s)\n\n",
+              data::ScaleName(flags.scale));
+  for (const bool beijing : {true, false}) {
+    data::PoiDataset city = beijing ? data::MakeBeijing(flags.scale)
+                                    : data::MakeShanghai(flags.scale);
+    // variant x fraction results, computed once.
+    std::vector<std::vector<train::ExperimentResult>> results(
+        variants.size(),
+        std::vector<train::ExperimentResult>(fractions.size()));
+    for (size_t fi = 0; fi < fractions.size(); ++fi) {
+      const train::ExperimentData data =
+          train::PrepareExperiment(city, fractions[fi], config);
+      for (size_t vi = 0; vi < variants.size(); ++vi) {
+        results[vi][fi] = train::RunModel(variants[vi], data, config);
+        std::fprintf(stderr, "[%s %s] %s done\n", city.name.c_str(),
+                     bench::PercentLabel(fractions[fi]).c_str(),
+                     variants[vi].c_str());
+      }
+    }
+    for (const bool macro : {true, false}) {
+      std::vector<std::string> header = {"Dataset", "Metric", "Train%"};
+      for (auto& v : variants) header.push_back(v == "HGT" ? "Base" : v);
+      train::TablePrinter table(header);
+      for (size_t fi = 0; fi < fractions.size(); ++fi) {
+        std::vector<std::string> row = {city.name,
+                                        macro ? "Macro-F1" : "Micro-F1",
+                                        bench::PercentLabel(fractions[fi])};
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+          const auto& f1 = results[vi][fi].test;
+          row.push_back(
+              train::TablePrinter::Num(macro ? f1.macro_f1 : f1.micro_f1));
+        }
+        table.AddRow(std::move(row));
+      }
+      table.Print(stdout);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

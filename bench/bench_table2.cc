@@ -1,0 +1,69 @@
+// Reproduces Table 2: Macro-F1 / Micro-F1 of all 13 methods on the BJ and
+// SH datasets (competitive + complementary relations) for training
+// fractions 40–70 %.
+//
+// Expected shape (paper): rules < random walks < vanilla GNN < hetero GNN
+// (HGT / CompGCN best among baselines) < PRIM, monotone in Train%.
+//
+//   ./bench_table2 [--scale=tiny|small|paper] [--models=...] [--train=...]
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "train/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace prim;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  bench::ApplyFlags(flags, &config);
+
+  std::vector<std::string> models =
+      flags.models.empty() ? train::AllModelNames(2) : flags.models;
+  std::vector<double> fractions = flags.train_fractions.empty()
+                                      ? std::vector<double>{0.4, 0.5, 0.6, 0.7}
+                                      : flags.train_fractions;
+
+  std::printf(
+      "Table 2 — results on the two datasets in terms of Macro-F1 and "
+      "Micro-F1 (scale=%s)\n\n",
+      data::ScaleName(flags.scale));
+
+  for (const bool beijing : {true, false}) {
+    data::PoiDataset city = beijing ? data::MakeBeijing(flags.scale)
+                                    : data::MakeShanghai(flags.scale);
+    // model -> fraction -> result
+    std::vector<std::vector<train::ExperimentResult>> results(
+        models.size(), std::vector<train::ExperimentResult>(fractions.size()));
+    for (size_t fi = 0; fi < fractions.size(); ++fi) {
+      const train::ExperimentData data =
+          train::PrepareExperiment(city, fractions[fi], config);
+      for (size_t mi = 0; mi < models.size(); ++mi) {
+        results[mi][fi] = train::RunModel(models[mi], data, config);
+        std::fprintf(stderr, "[%s train%s] %s done (%.1fs)\n",
+                     city.name.c_str(),
+                     bench::PercentLabel(fractions[fi]).c_str(),
+                     models[mi].c_str(), results[mi][fi].train_seconds);
+      }
+    }
+    for (const bool macro : {true, false}) {
+      std::vector<std::string> header = {"Dataset", "Metric", "Train%"};
+      for (const auto& m : models) header.push_back(m);
+      train::TablePrinter table(header);
+      for (size_t fi = 0; fi < fractions.size(); ++fi) {
+        std::vector<std::string> row = {city.name,
+                                        macro ? "Macro-F1" : "Micro-F1",
+                                        bench::PercentLabel(fractions[fi])};
+        for (size_t mi = 0; mi < models.size(); ++mi) {
+          const auto& f1 = results[mi][fi].test;
+          row.push_back(
+              train::TablePrinter::Num(macro ? f1.macro_f1 : f1.micro_f1));
+        }
+        table.AddRow(std::move(row));
+      }
+      table.Print(stdout);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Spatial knowledge-graph completion with finer-grained relations — the
+// paper's production scenario at Meituan ("an automatic and accurate way
+// of enriching internal spatial knowledge graph", §1), using the 6-level
+// relationship setting of Table 3.
+//
+// Trains PRIM on a 6-relation city where 30 % of the relationship edges
+// were deleted, then scans candidate pairs and emits the most confident
+// completions, reporting how many deleted edges are recovered.
+//
+//   ./build/examples/kg_completion [--scale=tiny|small] [--epochs=N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "data/presets.h"
+#include "geo/grid_index.h"
+#include "graph/hetero_graph.h"
+#include "train/experiment.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prim;
+  const auto scale = data::ParseScale(FlagValue(argc, argv, "scale", "tiny"));
+  data::PoiDataset city = data::MakeFineGrained(scale, /*beijing=*/true);
+  std::printf("Spatial KG: %d POIs, %zu edges across %d relation types\n",
+              city.num_pois(), city.edges.size(), city.num_relations);
+
+  train::ExperimentConfig config;
+  config.trainer.epochs = std::stoi(FlagValue(argc, argv, "epochs", "120"));
+  config.trainer.negatives_per_positive = 2;
+  config.trainer.lr = 0.02f;
+  config.SyncDims();
+  // 60 % of edges are "known"; the held-out test edges play the role of
+  // the missing knowledge to be completed.
+  train::ExperimentData data = train::PrepareExperiment(city, 0.6, config);
+  Rng rng(1);
+  core::PrimModel prim(data.ctx, config.prim, rng);
+  train::Trainer(prim, data.split.train, *data.full_graph, config.trainer)
+      .Fit(&data.validation);
+  core::PrimIndex index = core::PrimIndex::Build(prim);
+
+  // Candidate scan: spatial neighbourhoods (the overwhelming majority of
+  // relationships are local) excluding already-known edges.
+  graph::HeteroGraph known(city.num_pois(), city.num_relations,
+                           data.split.train);
+  graph::HeteroGraph truth(city.num_pois(), city.num_relations, city.edges);
+  std::vector<geo::GeoPoint> locations;
+  for (const data::Poi& p : city.pois) locations.push_back(p.location);
+  geo::GridIndex grid(locations, 1.0);
+
+  struct Completion {
+    float score;
+    int src, dst, rel;
+  };
+  std::vector<Completion> proposals;
+  std::vector<float> scores(index.num_classes());
+  for (int i = 0; i < city.num_pois(); ++i) {
+    for (int j : grid.NeighborsOf(i, 2.5)) {
+      if (j <= i) continue;
+      if (known.HasAnyEdge(i, j)) continue;
+      const float km = static_cast<float>(city.DistanceKm(i, j));
+      index.Query(i, j, km, /*project=*/true, scores.data());
+      int best = 0;
+      for (int c = 1; c < index.num_classes(); ++c)
+        if (scores[c] > scores[best]) best = c;
+      if (best == city.num_relations) continue;  // Predicted no-relation.
+      proposals.push_back({scores[best] - scores[city.num_relations], i, j,
+                           best});
+    }
+  }
+  std::sort(proposals.begin(), proposals.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.score > b.score;
+            });
+
+  const size_t top_k = std::min<size_t>(proposals.size(), 200);
+  int recovered = 0, correct_type = 0;
+  for (size_t k = 0; k < top_k; ++k) {
+    const Completion& c = proposals[k];
+    if (truth.HasAnyEdge(c.src, c.dst)) {
+      ++recovered;
+      if (truth.HasEdge(c.src, c.dst, c.rel)) ++correct_type;
+    }
+  }
+  std::printf(
+      "\nTop-%zu completions: %d are true held-out relationships "
+      "(precision %.2f), %d with the exact relation level\n",
+      top_k, recovered, static_cast<double>(recovered) / top_k,
+      correct_type);
+  std::printf("\nHighest-confidence proposals:\n");
+  for (size_t k = 0; k < proposals.size() && k < 8; ++k) {
+    const Completion& c = proposals[k];
+    std::printf("  POI %4d -- %-22s --> POI %4d  (margin %.2f, %.2f km)%s\n",
+                c.src, city.relation_names[c.rel].c_str(), c.dst, c.score,
+                city.DistanceKm(c.src, c.dst),
+                truth.HasAnyEdge(c.src, c.dst) ? "  [confirmed]" : "");
+  }
+  return 0;
+}

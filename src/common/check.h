@@ -1,0 +1,38 @@
+#ifndef PRIM_COMMON_CHECK_H_
+#define PRIM_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace prim {
+
+/// Prints a fatal-check failure message and aborts the process.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace prim
+
+/// Fatal invariant check. Unlike assert(), PRIM_CHECK is active in all build
+/// modes: the library is used for numerical experiments where silently
+/// continuing past a shape mismatch would corrupt results.
+#define PRIM_CHECK(cond)                                      \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::prim::CheckFailed(__FILE__, __LINE__, #cond, "");     \
+    }                                                         \
+  } while (0)
+
+/// PRIM_CHECK with a streamed message, e.g.
+///   PRIM_CHECK_MSG(a.cols() == b.rows(), "matmul shape " << a.cols());
+#define PRIM_CHECK_MSG(cond, msg)                             \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      std::ostringstream prim_check_oss_;                     \
+      prim_check_oss_ << msg;                                 \
+      ::prim::CheckFailed(__FILE__, __LINE__, #cond,          \
+                          prim_check_oss_.str());             \
+    }                                                         \
+  } while (0)
+
+#endif  // PRIM_COMMON_CHECK_H_

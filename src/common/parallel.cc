@@ -1,0 +1,50 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace prim {
+namespace {
+
+int g_num_threads = 0;  // 0 = hardware default.
+
+int ResolveThreads() {
+  if (g_num_threads > 0) return g_num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Work below this many items per thread is not worth spawning threads for.
+constexpr int64_t kMinItemsPerThread = 2048;
+
+}  // namespace
+
+int NumWorkerThreads() { return ResolveThreads(); }
+
+void SetNumWorkerThreads(int n) { g_num_threads = n < 0 ? 0 : n; }
+
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  int threads = ResolveThreads();
+  int64_t max_useful = (n + kMinItemsPerThread - 1) / kMinItemsPerThread;
+  threads = static_cast<int>(
+      std::min<int64_t>(threads, std::max<int64_t>(1, max_useful)));
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  int64_t chunk = (n + threads - 1) / threads;
+  for (int t = 1; t < threads; ++t) {
+    int64_t begin = t * chunk;
+    int64_t end = std::min<int64_t>(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(0, std::min<int64_t>(n, chunk));
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace prim

@@ -1,0 +1,25 @@
+#ifndef PRIM_COMMON_PARALLEL_H_
+#define PRIM_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace prim {
+
+/// Returns the number of worker threads the process-wide pool uses.
+int NumWorkerThreads();
+
+/// Overrides the worker-thread count (0 restores the hardware default).
+/// Intended for tests and benchmarks that need single-threaded determinism
+/// checks; the library itself is deterministic at any thread count because
+/// every parallel region writes disjoint output ranges.
+void SetNumWorkerThreads(int n);
+
+/// Runs fn(begin, end) over disjoint chunks of [0, n) on the worker pool and
+/// blocks until all chunks finish. Falls back to a direct call when n is
+/// small or only one worker is configured.
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace prim
+
+#endif  // PRIM_COMMON_PARALLEL_H_

@@ -1,0 +1,38 @@
+#include "core/distance_scorer.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::core {
+
+DistanceScorer::DistanceScorer(const PrimConfig& config, int rel_dim,
+                               int num_classes, Rng& rng)
+    : config_(config) {
+  hyperplanes_ =
+      RegisterParameter(nn::XavierUniform(config.num_bins(), config.dim, rng));
+  w_rel_proj_ = RegisterParameter(nn::XavierUniform(rel_dim, config.dim, rng));
+  (void)num_classes;
+}
+
+nn::Tensor DistanceScorer::Score(const nn::Tensor& h,
+                                 const nn::Tensor& relations,
+                                 const models::PairBatch& batch) const {
+  nn::Tensor hi = nn::Gather(h, batch.src);
+  nn::Tensor hj = nn::Gather(h, batch.dst);
+  if (config_.use_distance_projection) {
+    std::vector<int> bins(batch.size());
+    for (int i = 0; i < batch.size(); ++i)
+      bins[i] = config_.BinOf(batch.dist_km[i]);
+    nn::Tensor unit = nn::RowL2Normalize(hyperplanes_);
+    nn::Tensor w = nn::Gather(unit, bins);  // B x dim, per-pair normal.
+    // h^d = h − (h·w) w  (Eq. 11).
+    nn::Tensor si = nn::RowSum(nn::Mul(hi, w));
+    hi = nn::Sub(hi, nn::Mul(w, si));
+    nn::Tensor sj = nn::RowSum(nn::Mul(hj, w));
+    hj = nn::Sub(hj, nn::Mul(w, sj));
+  }
+  nn::Tensor classes = nn::MatMul(relations, w_rel_proj_);  // C x dim
+  return nn::MatMul(nn::Mul(hi, hj), nn::Transpose(classes));
+}
+
+}  // namespace prim::core

@@ -1,0 +1,42 @@
+#ifndef PRIM_CORE_DISTANCE_SCORER_H_
+#define PRIM_CORE_DISTANCE_SCORER_H_
+
+#include "core/prim_config.h"
+#include "models/relation_model.h"
+#include "nn/module.h"
+
+namespace prim::core {
+
+/// Distance-specific scoring function (§4.5). Pairwise distance selects a
+/// bin b = g(d_ij); both endpoint representations are projected onto the
+/// bin's hyperplane (unit normal w_b, Eq. 11):
+///   h^d = h − (h·ŵ_b) ŵ_b
+/// and scored with the symmetric DistMult form (Eq. 12) against relation
+/// representations from the last WRGNN layer (projected from d_aug to dim):
+///   s^r_ij = h_i^d · diag(h_r) · h_j^d.
+/// With use_distance_projection = false (the -D ablation) the projection
+/// step is skipped and this reduces to plain DistMult.
+class DistanceScorer : public nn::Module {
+ public:
+  DistanceScorer(const PrimConfig& config, int rel_dim, int num_classes,
+                 Rng& rng);
+
+  /// h: N x dim node embeddings; relations: num_classes x rel_dim (from
+  /// WRGNN); returns batch x num_classes logits.
+  nn::Tensor Score(const nn::Tensor& h, const nn::Tensor& relations,
+                   const models::PairBatch& batch) const;
+
+  /// Raw hyperplane parameters (num_bins x dim, unnormalised).
+  const nn::Tensor& hyperplanes() const { return hyperplanes_; }
+  /// Relation-to-scoring-space projection (rel_dim x dim).
+  const nn::Tensor& relation_projection() const { return w_rel_proj_; }
+
+ private:
+  const PrimConfig& config_;
+  nn::Tensor hyperplanes_;  // num_bins x dim (normalised on use)
+  nn::Tensor w_rel_proj_;   // rel_dim x dim
+};
+
+}  // namespace prim::core
+
+#endif  // PRIM_CORE_DISTANCE_SCORER_H_

@@ -1,0 +1,55 @@
+#ifndef PRIM_CORE_PRIM_CONFIG_H_
+#define PRIM_CORE_PRIM_CONFIG_H_
+
+#include <vector>
+
+namespace prim::core {
+
+/// Relation-specific operator gamma(h_j, h_r) in Eq. 1/5. The paper uses
+/// element-wise multiplication; subtraction (CompGCN-style) is provided
+/// for the extra ablation in DESIGN.md §6.
+enum class GammaOp { kMultiply, kSubtract };
+
+/// Every hyper-parameter of PRIM (§5.1.3 defaults noted). The four
+/// `use_*` switches implement the paper's ablations:
+///   use_taxonomy_path=false  -> the -T variant,
+///   use_spatial_context=false-> the -S variant,
+///   use_distance_projection=false -> the -D variant,
+/// and all three off together is plain WRGNN (-DST).
+struct PrimConfig {
+  int dim = 32;        // POI embedding size (paper: 128).
+  int tax_dim = 16;    // Category embedding size (paper: 128).
+  int layers = 2;      // WRGNN layers (paper: 3).
+  int heads = 4;       // Attention heads (paper: 4).
+  int att_dim = 16;    // W_a output size in Eq. 3.
+  int dist_feat_dim = 8;  // W_d output size in Eq. 3.
+  float leaky_alpha = 0.2f;
+  GammaOp gamma = GammaOp::kMultiply;
+
+  bool use_taxonomy_path = true;
+  bool use_spatial_context = true;
+  bool use_distance_projection = true;
+  /// Spatial distance term inside WRGNN attention (Eq. 3). Separate from
+  /// -S / -D so the attention contribution can be ablated on its own.
+  bool use_attention_distance = true;
+
+  /// Distance-bin upper edges in km for the scoring hyperplanes (Eq. 11);
+  /// the last bin is open-ended.
+  std::vector<float> bin_edges_km = {0.5f, 1.0f, 2.0f, 3.0f,
+                                     5.0f, 8.0f, 12.0f, 20.0f};
+
+  int num_bins() const { return static_cast<int>(bin_edges_km.size()) + 1; }
+  /// g(d_ij): maps a pairwise distance to its bin id.
+  int BinOf(float dist_km) const {
+    int b = 0;
+    while (b < static_cast<int>(bin_edges_km.size()) &&
+           dist_km > bin_edges_km[b]) {
+      ++b;
+    }
+    return b;
+  }
+};
+
+}  // namespace prim::core
+
+#endif  // PRIM_CORE_PRIM_CONFIG_H_

@@ -1,0 +1,77 @@
+#include "core/prim_index.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "core/prim_model.h"
+#include "nn/ops.h"
+
+namespace prim::core {
+
+PrimIndex PrimIndex::Build(PrimModel& model) {
+  PrimIndex index;
+  index.config_ = model.config();
+  index.dim_ = index.config_.dim;
+  index.num_classes_ = model.num_classes();
+  index.num_nodes_ = model.context().num_nodes;
+
+  nn::NoGradGuard guard;
+  nn::Tensor h = model.EncodeNodes(/*training=*/false);
+  index.embeddings_.assign(h.data(), h.data() + h.size());
+
+  // Relation representations projected into scoring space:
+  // relations_proj = rel_out * W_rel_proj (C x dim).
+  const nn::Tensor& rel_out = model.relation_output();
+  const nn::Tensor& hyperplanes = model.scorer().hyperplanes();
+  const nn::Tensor& w_rel_proj = model.scorer().relation_projection();
+
+  nn::Tensor classes = nn::MatMul(rel_out, w_rel_proj);  // C x dim
+  index.relations_.assign(classes.data(), classes.data() + classes.size());
+
+  nn::Tensor unit = nn::RowL2Normalize(hyperplanes);
+  index.hyperplanes_.assign(unit.data(), unit.data() + unit.size());
+  return index;
+}
+
+void PrimIndex::Query(int i, int j, float dist_km, bool project,
+                      float* out_scores) const {
+  PRIM_CHECK(0 <= i && i < num_nodes_ && 0 <= j && j < num_nodes_);
+  const float* hi = embeddings_.data() + static_cast<int64_t>(i) * dim_;
+  const float* hj = embeddings_.data() + static_cast<int64_t>(j) * dim_;
+  float buf_i[512], buf_j[512];
+  PRIM_CHECK_MSG(dim_ <= 512, "PrimIndex supports dim <= 512");
+  if (project) {
+    const int bin = config_.BinOf(dist_km);
+    const float* w = hyperplanes_.data() + static_cast<int64_t>(bin) * dim_;
+    float si = 0.0f, sj = 0.0f;
+    for (int d = 0; d < dim_; ++d) {
+      si += hi[d] * w[d];
+      sj += hj[d] * w[d];
+    }
+    for (int d = 0; d < dim_; ++d) {
+      buf_i[d] = hi[d] - si * w[d];
+      buf_j[d] = hj[d] - sj * w[d];
+    }
+    hi = buf_i;
+    hj = buf_j;
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    const float* rel = relations_.data() + static_cast<int64_t>(c) * dim_;
+    float acc = 0.0f;
+    for (int d = 0; d < dim_; ++d) acc += hi[d] * hj[d] * rel[d];
+    out_scores[c] = acc;
+  }
+}
+
+int PrimIndex::PredictRelation(int i, int j, float dist_km,
+                               bool project) const {
+  std::vector<float> scores(num_classes_);
+  Query(i, j, dist_km, project, scores.data());
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c)
+    if (scores[c] > scores[best]) best = c;
+  return best;
+}
+
+}  // namespace prim::core

@@ -1,0 +1,50 @@
+#ifndef PRIM_CORE_PRIM_INDEX_H_
+#define PRIM_CORE_PRIM_INDEX_H_
+
+#include <vector>
+
+#include "core/prim_config.h"
+#include "models/relation_model.h"
+
+namespace prim::core {
+
+class PrimModel;
+
+/// Serving-side index for PRIM (§5.3): node embeddings are computed once
+/// (EncodeNodes) and materialised; each query then needs only two row
+/// lookups, the distance-bin hyperplane projection (Eq. 11) and the
+/// DistMult products (Eq. 12) — no graph traversal, so prediction latency
+/// is independent of the POI count, as the paper reports. The projection
+/// can be disabled to reproduce the paper's 1.57 ms vs 0.61 ms comparison.
+class PrimIndex {
+ public:
+  /// Snapshots a trained model. Runs one inference EncodeNodes internally.
+  static PrimIndex Build(PrimModel& model);
+
+  /// Scores pair (i, j) at distance dist_km against all classes.
+  /// `out_scores` must have room for num_classes() floats.
+  void Query(int i, int j, float dist_km, bool project,
+             float* out_scores) const;
+
+  /// Argmax class for pair (i, j); the last class is the non-relation phi.
+  int PredictRelation(int i, int j, float dist_km, bool project = true) const;
+
+  int num_nodes() const { return num_nodes_; }
+  int num_classes() const { return num_classes_; }
+  int dim() const { return dim_; }
+
+ private:
+  PrimIndex() = default;
+
+  int num_nodes_ = 0;
+  int num_classes_ = 0;
+  int dim_ = 0;
+  PrimConfig config_;
+  std::vector<float> embeddings_;   // num_nodes x dim
+  std::vector<float> relations_;    // num_classes x dim (projected)
+  std::vector<float> hyperplanes_;  // num_bins x dim (unit normals)
+};
+
+}  // namespace prim::core
+
+#endif  // PRIM_CORE_PRIM_INDEX_H_

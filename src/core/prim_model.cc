@@ -1,0 +1,63 @@
+#include "core/prim_model.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::core {
+
+PrimModel::PrimModel(const models::ModelContext& ctx,
+                     const PrimConfig& config, Rng& rng)
+    : models::RelationModel(ctx),
+      config_(config),
+      taxonomy_(ctx, config.tax_dim, config.use_taxonomy_path, rng),
+      spatial_(ctx, config.dim, rng),
+      scorer_(config_, config.dim + config.tax_dim, num_classes(), rng) {
+  RegisterModule(&taxonomy_);
+  RegisterModule(&spatial_);
+  RegisterModule(&scorer_);
+  w_input_ =
+      RegisterParameter(nn::XavierUniform(ctx.attrs.cols(), config.dim, rng));
+  rel_embeddings_ = RegisterParameter(
+      nn::XavierUniform(num_classes(), config.dim + config.tax_dim, rng));
+  for (int l = 0; l < config.layers; ++l) {
+    layers_.push_back(std::make_unique<WrgnnLayer>(ctx, config_, rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+nn::Tensor PrimModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor q = taxonomy_.Forward();                      // N x tax_dim
+  nn::Tensor h = nn::Tanh(nn::MatMul(ctx_.attrs, w_input_));  // N x dim
+  nn::Tensor rel = rel_embeddings_;
+  for (const auto& layer : layers_) {
+    nn::Tensor h_aug = nn::ConcatCols({h, q});  // h* = [h || q] (§4.3)
+    WrgnnLayer::Output out = layer->Forward(h_aug, rel);
+    h = out.h;
+    rel = out.relations;
+  }
+  rel_out_ = rel;
+  if (config_.use_spatial_context) {
+    h = nn::Add(h, spatial_.Forward(h));  // Eq. 10
+  }
+  return h;
+}
+
+nn::Tensor PrimModel::ScorePairs(const nn::Tensor& h,
+                                 const models::PairBatch& batch) {
+  PRIM_CHECK_MSG(rel_out_.defined(),
+                 "ScorePairs requires a prior EncodeNodes call");
+  return scorer_.Score(h, rel_out_, batch);
+}
+
+std::string PrimModel::name() const {
+  std::string n = "PRIM";
+  std::string removed;
+  if (!config_.use_distance_projection) removed += "D";
+  if (!config_.use_spatial_context) removed += "S";
+  if (!config_.use_taxonomy_path) removed += "T";
+  if (!removed.empty()) n += "-" + removed;
+  return n;
+}
+
+}  // namespace prim::core

@@ -1,0 +1,60 @@
+#ifndef PRIM_CORE_PRIM_MODEL_H_
+#define PRIM_CORE_PRIM_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/distance_scorer.h"
+#include "core/prim_config.h"
+#include "core/spatial_context.h"
+#include "core/taxonomy_encoder.h"
+#include "core/wrgnn.h"
+#include "models/relation_model.h"
+#include "nn/module.h"
+
+namespace prim::core {
+
+/// PRIM (§4): the paper's POI Relationship Inference Model.
+///
+/// Pipeline per EncodeNodes call:
+///   1. base features  H0 = tanh(attrs W0), category path embedding Q;
+///   2. L x WrgnnLayer over H* = [H || Q] with jointly updated relation
+///      representations (§4.2–4.3);
+///   3. spatial context h^s from the self-attentive extractor, fused by
+///      residual addition h = h^(L) + h^s (§4.4, Eq. 10);
+///   4. ScorePairs applies the distance-specific scoring function (§4.5)
+///      with the relation representations produced by step 2.
+///
+/// The PrimConfig switches reproduce the ablation variants of Figure 5
+/// (-T, -S, -D and their combinations; all off = plain WRGNN).
+class PrimModel : public models::RelationModel {
+ public:
+  PrimModel(const models::ModelContext& ctx, const PrimConfig& config,
+            Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h,
+                        const models::PairBatch& batch) override;
+  std::string name() const override;
+
+  const PrimConfig& config() const { return config_; }
+  /// Relation representations after the last EncodeNodes (for export into
+  /// a PrimIndex); (R+1) x (dim + tax_dim).
+  const nn::Tensor& relation_output() const { return rel_out_; }
+  /// The distance-specific scorer (for PrimIndex snapshotting).
+  const DistanceScorer& scorer() const { return scorer_; }
+
+ private:
+  PrimConfig config_;
+  TaxonomyEncoder taxonomy_;
+  nn::Tensor w_input_;          // attr_dim x dim
+  nn::Tensor rel_embeddings_;   // (R+1) x (dim + tax_dim)
+  std::vector<std::unique_ptr<WrgnnLayer>> layers_;
+  SpatialContextExtractor spatial_;
+  DistanceScorer scorer_;
+  nn::Tensor rel_out_;          // set by EncodeNodes, read by ScorePairs
+};
+
+}  // namespace prim::core
+
+#endif  // PRIM_CORE_PRIM_MODEL_H_

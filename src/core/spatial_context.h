@@ -1,0 +1,33 @@
+#ifndef PRIM_CORE_SPATIAL_CONTEXT_H_
+#define PRIM_CORE_SPATIAL_CONTEXT_H_
+
+#include "models/model_context.h"
+#include "nn/module.h"
+
+namespace prim::core {
+
+/// Self-attentive spatial context extractor (§4.4): the target POI is the
+/// query, its spatial neighbours (Definition 3.1, dist < d) are keys and
+/// values:
+///   e'_ij = (W_Q h_i)·(W_K h_j) / sqrt(d_p)                    (Eq. 7)
+///   e_ij  = e'_ij * exp(-theta ||l_i - l_j||^2)                (Eq. 8–9)
+///   beta  = softmax over S_p_i,  h^s_i = sum beta_ij W_V h_j   (Eq. 6)
+/// POIs with no spatial neighbour get a zero context vector, which the
+/// residual fusion h = h^(L) + h^s (Eq. 10) handles gracefully.
+class SpatialContextExtractor : public nn::Module {
+ public:
+  SpatialContextExtractor(const models::ModelContext& ctx, int dim, Rng& rng);
+
+  /// h: N x dim output of the last WRGNN layer; returns N x dim context.
+  nn::Tensor Forward(const nn::Tensor& h) const;
+
+ private:
+  const models::ModelContext& ctx_;
+  int dim_;
+  nn::Tensor w_q_, w_k_, w_v_;  // dim x dim
+  nn::Tensor rbf_;              // E x 1 constant RBF kernel weights
+};
+
+}  // namespace prim::core
+
+#endif  // PRIM_CORE_SPATIAL_CONTEXT_H_

@@ -1,0 +1,24 @@
+#include "core/taxonomy_encoder.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::core {
+
+TaxonomyEncoder::TaxonomyEncoder(const models::ModelContext& ctx, int tax_dim,
+                                 bool use_path, Rng& rng)
+    : ctx_(ctx), tax_dim_(tax_dim), use_path_(use_path) {
+  const int rows =
+      use_path ? ctx.num_taxonomy_nodes : std::max(1, ctx.num_categories);
+  table_ = RegisterParameter(nn::XavierUniform(rows, tax_dim, rng));
+}
+
+nn::Tensor TaxonomyEncoder::Forward() const {
+  if (use_path_) {
+    nn::Tensor rows = nn::Gather(table_, ctx_.path_nodes);
+    return nn::SegmentSum(rows, ctx_.path_segments, ctx_.num_nodes);
+  }
+  return nn::Gather(table_, ctx_.poi_category);
+}
+
+}  // namespace prim::core

@@ -1,0 +1,33 @@
+#ifndef PRIM_CORE_TAXONOMY_ENCODER_H_
+#define PRIM_CORE_TAXONOMY_ENCODER_H_
+
+#include "models/model_context.h"
+#include "nn/module.h"
+
+namespace prim::core {
+
+/// Taxonomy integration (§4.3): every taxonomy node t gets an embedding
+/// e_t and a POI's category representation is the sum over its leaf-to-
+/// root path, q_p = sum_{t in Q_p} e_t — close categories share path
+/// prefixes and therefore representations. With use_path=false (the -T
+/// ablation) each leaf category is embedded independently instead.
+class TaxonomyEncoder : public nn::Module {
+ public:
+  TaxonomyEncoder(const models::ModelContext& ctx, int tax_dim, bool use_path,
+                  Rng& rng);
+
+  /// N x tax_dim category representations q.
+  nn::Tensor Forward() const;
+
+  int dim() const { return tax_dim_; }
+
+ private:
+  const models::ModelContext& ctx_;
+  int tax_dim_;
+  bool use_path_;
+  nn::Tensor table_;  // taxonomy nodes (path mode) or categories x tax_dim
+};
+
+}  // namespace prim::core
+
+#endif  // PRIM_CORE_TAXONOMY_ENCODER_H_

@@ -1,0 +1,92 @@
+#include "core/wrgnn.h"
+
+#include "common/check.h"
+#include "models/gnn_common.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::core {
+
+WrgnnLayer::WrgnnLayer(const models::ModelContext& ctx,
+                       const PrimConfig& config, Rng& rng)
+    : ctx_(ctx), config_(config) {
+  d_aug_ = config.dim + config.tax_dim;
+  PRIM_CHECK_MSG(config.dim % config.heads == 0,
+                 "dim must be divisible by heads");
+  head_dim_ = config.dim / config.heads;
+  w_att_ = RegisterParameter(nn::XavierUniform(d_aug_, config.att_dim, rng));
+  w_dist_ =
+      RegisterParameter(nn::XavierUniform(3, config.dist_feat_dim, rng));
+  const int att_in = 2 * config.att_dim +
+                     (config.use_attention_distance ? config.dist_feat_dim : 0);
+  for (int k = 0; k < config.heads; ++k) {
+    w_msg_.push_back(
+        RegisterParameter(nn::XavierUniform(d_aug_, head_dim_, rng)));
+    w_self_.push_back(
+        RegisterParameter(nn::XavierUniform(d_aug_, head_dim_, rng)));
+  }
+  attn_.resize(ctx.num_relations);
+  for (int r = 0; r < ctx.num_relations; ++r)
+    for (int k = 0; k < config.heads; ++k)
+      attn_[r].push_back(RegisterParameter(nn::XavierUniform(att_in, 1, rng)));
+  w_rel_ = RegisterParameter(nn::XavierUniform(d_aug_, d_aug_, rng));
+  for (int r = 0; r < ctx.num_relations; ++r)
+    dist_features_.push_back(
+        models::DistanceFeatures(ctx.rel_edges[r].dist_km));
+}
+
+WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
+                                       const nn::Tensor& relations) const {
+  PRIM_CHECK_MSG(h_aug.cols() == d_aug_, "WRGNN input dim mismatch");
+  // Shared attention projection W_a h* (Eq. 3) computed once per layer.
+  nn::Tensor att_proj = nn::MatMul(h_aug, w_att_);  // N x att_dim
+
+  // Per-relation reusable pieces.
+  struct RelCache {
+    nn::Tensor att_i, att_j;  // E x att_dim
+    nn::Tensor dist_proj;     // E x dist_feat_dim
+    nn::Tensor gamma;         // E x d_aug  (gamma(h*_j, h_r))
+  };
+  std::vector<RelCache> cache(ctx_.num_relations);
+  for (int r = 0; r < ctx_.num_relations; ++r) {
+    const models::FlatEdges& edges = ctx_.rel_edges[r];
+    if (edges.size() == 0) continue;
+    RelCache& c = cache[r];
+    c.att_i = nn::Gather(att_proj, edges.dst);
+    c.att_j = nn::Gather(att_proj, edges.src);
+    if (config_.use_attention_distance)
+      c.dist_proj = nn::MatMul(dist_features_[r], w_dist_);
+    const std::vector<int> rel_row(edges.size(), r);
+    nn::Tensor h_src = nn::Gather(h_aug, edges.src);
+    nn::Tensor h_rel = nn::Gather(relations, rel_row);
+    c.gamma = config_.gamma == GammaOp::kMultiply ? nn::Mul(h_src, h_rel)
+                                                  : nn::Sub(h_src, h_rel);
+  }
+
+  std::vector<nn::Tensor> heads;
+  heads.reserve(config_.heads);
+  for (int k = 0; k < config_.heads; ++k) {
+    nn::Tensor acc = nn::MatMul(h_aug, w_self_[k]);  // N x head_dim
+    for (int r = 0; r < ctx_.num_relations; ++r) {
+      const models::FlatEdges& edges = ctx_.rel_edges[r];
+      if (edges.size() == 0) continue;
+      const RelCache& c = cache[r];
+      std::vector<nn::Tensor> att_parts = {c.att_i, c.att_j};
+      if (config_.use_attention_distance) att_parts.push_back(c.dist_proj);
+      nn::Tensor e = nn::LeakyRelu(
+          nn::MatMul(nn::ConcatCols(att_parts), attn_[r][k]),
+          config_.leaky_alpha);
+      nn::Tensor alpha = nn::SegmentSoftmax(e, edges.dst, ctx_.num_nodes);
+      nn::Tensor msg = nn::MatMul(c.gamma, w_msg_[k]);  // E x head_dim
+      acc = nn::Add(acc, nn::SegmentSum(nn::Mul(msg, alpha), edges.dst,
+                                        ctx_.num_nodes));
+    }
+    heads.push_back(nn::Tanh(acc));
+  }
+  Output out;
+  out.h = heads.size() == 1 ? heads[0] : nn::ConcatCols(heads);
+  out.relations = nn::MatMul(relations, w_rel_);  // Eq. 2
+  return out;
+}
+
+}  // namespace prim::core

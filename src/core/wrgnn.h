@@ -1,0 +1,59 @@
+#ifndef PRIM_CORE_WRGNN_H_
+#define PRIM_CORE_WRGNN_H_
+
+#include <vector>
+
+#include "core/prim_config.h"
+#include "models/model_context.h"
+#include "nn/module.h"
+
+namespace prim::core {
+
+/// One layer of the Weighted Relational Graph Neural Network (§4.2).
+///
+/// Inputs per layer: taxonomy-augmented POI representations
+/// H* = [H || Q] (N x d_aug with d_aug = dim + tax_dim) and relation
+/// representations (R x d_aug). The layer performs, per attention head k
+/// and relation r (Eq. 3–5):
+///
+///   e_ij^r     = LeakyReLU( a_{r,k}^T [W_a h*_i || W_a h*_j || W_d d_ij] )
+///   alpha_ij^r = softmax over j in N_r(i)
+///   msg        = alpha * W_k gamma(h*_j, h_r),  gamma = ⊙ (Eq. 1)
+///   head_k     = tanh( sum_r sum_j msg + W_self,k h*_i )
+///   h_i'       = ||_k head_k                                  (N x dim)
+///
+/// and updates relation representations h_r' = W_rel h_r (Eq. 2). The
+/// self term (not spelled out in the paper, standard in R-GCN/CompGCN)
+/// keeps representations defined for POIs without any relationship —
+/// exactly the sparse and unseen cases §5.5 evaluates.
+class WrgnnLayer : public nn::Module {
+ public:
+  WrgnnLayer(const models::ModelContext& ctx, const PrimConfig& config,
+             Rng& rng);
+
+  struct Output {
+    nn::Tensor h;          // N x dim
+    nn::Tensor relations;  // R x d_aug (updated)
+  };
+
+  /// h_aug: N x d_aug; relations: (R+phi) x d_aug (phi row is carried
+  /// along and updated but never aggregated over, since phi has no edges).
+  Output Forward(const nn::Tensor& h_aug, const nn::Tensor& relations) const;
+
+ private:
+  const models::ModelContext& ctx_;
+  const PrimConfig& config_;
+  int d_aug_;
+  int head_dim_;
+  nn::Tensor w_att_;                        // d_aug x att_dim (W_a)
+  nn::Tensor w_dist_;                       // 3 x dist_feat_dim (W_d)
+  std::vector<nn::Tensor> w_msg_;           // per head: d_aug x head_dim
+  std::vector<nn::Tensor> w_self_;          // per head: d_aug x head_dim
+  std::vector<std::vector<nn::Tensor>> attn_;  // [rel][head]: concat x 1
+  nn::Tensor w_rel_;                        // d_aug x d_aug
+  std::vector<nn::Tensor> dist_features_;   // per relation: E x 3 constant
+};
+
+}  // namespace prim::core
+
+#endif  // PRIM_CORE_WRGNN_H_

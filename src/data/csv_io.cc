@@ -1,0 +1,149 @@
+#include "data/csv_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace prim::data {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream iss(line);
+  while (std::getline(iss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return false;
+  const std::filesystem::path dir(directory);
+  {
+    std::ofstream out(dir / "meta.csv");
+    if (!out) return false;
+    out << "name," << dataset.name << "\n";
+    out << "generator_seed," << dataset.generator_seed << "\n";
+    out << "num_relations," << dataset.num_relations << "\n";
+    out << "spatial_threshold_km," << dataset.spatial_threshold_km << "\n";
+    out << "attr_dim," << dataset.attr_dim() << "\n";
+    for (const std::string& r : dataset.relation_names)
+      out << "relation," << r << "\n";
+  }
+  {
+    std::ofstream out(dir / "taxonomy.csv");
+    if (!out) return false;
+    out << "id,parent,name\n";
+    // Node 0 (root) is implicit in CategoryTaxonomy's constructor.
+    for (int i = 1; i < dataset.taxonomy.num_nodes(); ++i)
+      out << i << "," << dataset.taxonomy.parent(i) << ","
+          << dataset.taxonomy.name(i) << "\n";
+  }
+  {
+    std::ofstream out(dir / "pois.csv");
+    if (!out) return false;
+    out << "id,lon,lat,category,brand,region,in_core,in_commercial,attrs\n";
+    out.precision(17);  // Round-trip exact doubles.
+    for (const Poi& p : dataset.pois) {
+      out << p.id << "," << p.location.lon << "," << p.location.lat << ","
+          << p.category << "," << p.brand << "," << p.region << ","
+          << (p.in_core ? 1 : 0) << "," << (p.in_commercial ? 1 : 0);
+      for (float a : p.attrs) out << "," << a;
+      out << "\n";
+    }
+  }
+  {
+    std::ofstream out(dir / "edges.csv");
+    if (!out) return false;
+    out << "src,dst,rel\n";
+    for (const graph::Triple& t : dataset.edges)
+      out << t.src << "," << t.dst << "," << t.rel << "\n";
+  }
+  return true;
+}
+
+bool LoadDatasetCsv(const std::string& directory, PoiDataset* dataset) {
+  const std::filesystem::path dir(directory);
+  *dataset = PoiDataset();
+  int attr_dim = 0;
+  {
+    std::ifstream in(dir / "meta.csv");
+    if (!in) return false;
+    std::string line;
+    while (std::getline(in, line)) {
+      auto fields = SplitCsvLine(line);
+      if (fields.size() < 2) continue;
+      if (fields[0] == "name") {
+        dataset->name = fields[1];
+      } else if (fields[0] == "generator_seed") {
+        dataset->generator_seed = std::stoull(fields[1]);
+      } else if (fields[0] == "num_relations") {
+        dataset->num_relations = std::stoi(fields[1]);
+      } else if (fields[0] == "spatial_threshold_km") {
+        dataset->spatial_threshold_km = std::stod(fields[1]);
+      } else if (fields[0] == "attr_dim") {
+        attr_dim = std::stoi(fields[1]);
+      } else if (fields[0] == "relation") {
+        dataset->relation_names.push_back(fields[1]);
+      }
+    }
+    if (static_cast<int>(dataset->relation_names.size()) !=
+        dataset->num_relations) {
+      return false;
+    }
+  }
+  {
+    std::ifstream in(dir / "taxonomy.csv");
+    if (!in) return false;
+    std::string line;
+    std::getline(in, line);  // Header.
+    while (std::getline(in, line)) {
+      auto fields = SplitCsvLine(line);
+      if (fields.size() != 3) return false;
+      const int id = std::stoi(fields[0]);
+      const int parent = std::stoi(fields[1]);
+      if (dataset->taxonomy.AddNode(parent, fields[2]) != id) return false;
+    }
+  }
+  {
+    std::ifstream in(dir / "pois.csv");
+    if (!in) return false;
+    std::string line;
+    std::getline(in, line);  // Header.
+    while (std::getline(in, line)) {
+      auto fields = SplitCsvLine(line);
+      if (static_cast<int>(fields.size()) != 8 + attr_dim) return false;
+      Poi p;
+      p.id = std::stoi(fields[0]);
+      p.location.lon = std::stod(fields[1]);
+      p.location.lat = std::stod(fields[2]);
+      p.category = std::stoi(fields[3]);
+      p.brand = std::stoi(fields[4]);
+      p.region = std::stoi(fields[5]);
+      p.in_core = fields[6] == "1";
+      p.in_commercial = fields[7] == "1";
+      for (int d = 0; d < attr_dim; ++d)
+        p.attrs.push_back(std::stof(fields[8 + d]));
+      if (p.id != static_cast<int>(dataset->pois.size())) return false;
+      dataset->pois.push_back(std::move(p));
+    }
+  }
+  {
+    std::ifstream in(dir / "edges.csv");
+    if (!in) return false;
+    std::string line;
+    std::getline(in, line);  // Header.
+    while (std::getline(in, line)) {
+      auto fields = SplitCsvLine(line);
+      if (fields.size() != 3) return false;
+      dataset->edges.push_back({std::stoi(fields[0]), std::stoi(fields[1]),
+                                std::stoi(fields[2])});
+    }
+  }
+  return true;
+}
+
+}  // namespace prim::data

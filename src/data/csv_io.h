@@ -1,0 +1,23 @@
+#ifndef PRIM_DATA_CSV_IO_H_
+#define PRIM_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace prim::data {
+
+/// Persists a dataset as four CSV files under `directory` (created if
+/// needed): meta.csv, taxonomy.csv, pois.csv, edges.csv. The format is the
+/// drop-in point for real data: exporting a production POI snapshot into
+/// these files makes every model and bench in this repository run on it.
+/// Returns false on I/O failure.
+bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory);
+
+/// Loads a dataset previously written by SaveDatasetCsv. Returns false on
+/// missing files or malformed content; `dataset` is unspecified on failure.
+bool LoadDatasetCsv(const std::string& directory, PoiDataset* dataset);
+
+}  // namespace prim::data
+
+#endif  // PRIM_DATA_CSV_IO_H_

@@ -1,0 +1,54 @@
+#include "data/dataset.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace prim::data {
+
+DatasetStats ComputeStats(const PoiDataset& dataset) {
+  DatasetStats stats;
+  stats.num_pois = dataset.num_pois();
+  stats.num_edges = static_cast<int>(dataset.edges.size());
+  stats.num_categories = dataset.taxonomy.NumLeaves();
+  stats.num_non_leaf = dataset.taxonomy.NumNonLeaves();
+  const int r = dataset.num_relations;
+  stats.mean_taxonomy_distance.assign(r, 0.0);
+  stats.within_2km_fraction.assign(r, 0.0);
+  stats.mean_edge_km.assign(r, 0.0);
+  std::vector<int64_t> counts(r, 0);
+  for (const graph::Triple& t : dataset.edges) {
+    PRIM_CHECK(0 <= t.rel && t.rel < r);
+    const double tax = dataset.taxonomy.PathDistance(
+        dataset.pois[t.src].category, dataset.pois[t.dst].category);
+    const double km = dataset.DistanceKm(t.src, t.dst);
+    stats.mean_taxonomy_distance[t.rel] += tax;
+    stats.mean_edge_km[t.rel] += km;
+    if (km < 2.0) stats.within_2km_fraction[t.rel] += 1.0;
+    ++counts[t.rel];
+  }
+  for (int i = 0; i < r; ++i) {
+    if (counts[i] == 0) continue;
+    stats.mean_taxonomy_distance[i] /= static_cast<double>(counts[i]);
+    stats.within_2km_fraction[i] /= static_cast<double>(counts[i]);
+    stats.mean_edge_km[i] /= static_cast<double>(counts[i]);
+  }
+  return stats;
+}
+
+std::string FormatStats(const PoiDataset& dataset, const DatasetStats& stats) {
+  std::ostringstream oss;
+  oss << "Dataset " << dataset.name << ": " << stats.num_pois << " POIs, "
+      << stats.num_edges << " relational edges, " << stats.num_categories
+      << " categories (" << stats.num_non_leaf << " non-leaf nodes)\n";
+  for (int i = 0; i < dataset.num_relations; ++i) {
+    oss << "  relation '" << dataset.relation_names[i]
+        << "': mean taxonomy path distance "
+        << stats.mean_taxonomy_distance[i] << ", within-2km fraction "
+        << stats.within_2km_fraction[i] << ", mean edge length "
+        << stats.mean_edge_km[i] << " km\n";
+  }
+  return oss.str();
+}
+
+}  // namespace prim::data

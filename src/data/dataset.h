@@ -1,0 +1,80 @@
+#ifndef PRIM_DATA_DATASET_H_
+#define PRIM_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "graph/hetero_graph.h"
+#include "graph/taxonomy.h"
+
+namespace prim::data {
+
+/// A point of interest. `category` is a leaf node id in the dataset's
+/// taxonomy; `brand` groups POIs belonging to the same chain; `region` is
+/// the generator's latent region id (kept for region-based analyses,
+/// §5.5.3); `attrs` is the opaque attribute vector x_p from Definition 3.3.
+struct Poi {
+  int id = 0;
+  geo::GeoPoint location;
+  int category = 0;
+  int brand = 0;
+  int region = 0;
+  bool in_core = false;
+  /// Latent region type from the generator (commercial vs residential);
+  /// carried for analyses, never exposed to models as a feature.
+  bool in_commercial = false;
+  std::vector<float> attrs;
+};
+
+/// A complete POI relationship-inference dataset: POIs, category taxonomy,
+/// and ground-truth relationship triples. Matches the paper's inputs
+/// (heterogeneous POI relationship graph G, taxonomy T, threshold d).
+struct PoiDataset {
+  std::string name;
+  std::vector<Poi> pois;
+  graph::CategoryTaxonomy taxonomy;
+  std::vector<graph::Triple> edges;
+  int num_relations = 0;
+  std::vector<std::string> relation_names;
+  /// Spatial-neighbour threshold d (paper default 1.15 km).
+  double spatial_threshold_km = 1.15;
+  /// Seed of the generator that produced this dataset (0 for real data);
+  /// lets oracle diagnostics recompute generative pair scores.
+  uint64_t generator_seed = 0;
+
+  int num_pois() const { return static_cast<int>(pois.size()); }
+  int attr_dim() const {
+    return pois.empty() ? 0 : static_cast<int>(pois[0].attrs.size());
+  }
+
+  /// Haversine distance between two POIs, km.
+  double DistanceKm(int i, int j) const {
+    return geo::HaversineKm(pois[i].location, pois[j].location);
+  }
+};
+
+/// Summary statistics used to verify that generated data reproduces the
+/// signatures the paper reports (§4.1): taxonomy path distances and the
+/// within-2 km edge fractions per relation.
+struct DatasetStats {
+  int num_pois = 0;
+  int num_edges = 0;
+  int num_categories = 0;
+  int num_non_leaf = 0;
+  /// Mean taxonomy path distance between endpoints, indexed by relation.
+  std::vector<double> mean_taxonomy_distance;
+  /// Fraction of edges whose endpoints are within 2 km, per relation.
+  std::vector<double> within_2km_fraction;
+  /// Mean geographic edge length, km, per relation.
+  std::vector<double> mean_edge_km;
+};
+
+DatasetStats ComputeStats(const PoiDataset& dataset);
+
+/// Human-readable one-dataset report (used by examples and benches).
+std::string FormatStats(const PoiDataset& dataset, const DatasetStats& stats);
+
+}  // namespace prim::data
+
+#endif  // PRIM_DATA_DATASET_H_

@@ -1,0 +1,94 @@
+#include "data/presets.h"
+
+namespace prim::data {
+namespace {
+
+void ApplyScale(SyntheticCityConfig& config, DatasetScale scale,
+                int paper_pois) {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      config.num_pois = 400;
+      config.num_regions = 12;
+      config.city_radius_km = 8.0;
+      config.top_level_categories = 6;
+      config.subcategories_per_top = 3;
+      config.leaves_per_subcategory = 4;
+      break;
+    case DatasetScale::kSmall:
+      config.num_pois = 2200;
+      config.num_regions = 30;
+      config.city_radius_km = 12.0;
+      config.top_level_categories = 10;
+      config.subcategories_per_top = 5;
+      config.leaves_per_subcategory = 6;
+      break;
+    case DatasetScale::kPaper:
+      config.num_pois = paper_pois;
+      config.num_regions = 70;
+      config.city_radius_km = 18.0;
+      config.top_level_categories = 12;   // 12 tops + 84 subs = 96 non-leaf.
+      config.subcategories_per_top = 7;
+      config.leaves_per_subcategory = 10;  // 840 leaves ≈ paper's 805.
+      break;
+  }
+}
+
+}  // namespace
+
+DatasetScale ParseScale(const std::string& s) {
+  if (s == "tiny") return DatasetScale::kTiny;
+  if (s == "paper") return DatasetScale::kPaper;
+  return DatasetScale::kSmall;
+}
+
+const char* ScaleName(DatasetScale scale) {
+  switch (scale) {
+    case DatasetScale::kTiny:
+      return "tiny";
+    case DatasetScale::kSmall:
+      return "small";
+    case DatasetScale::kPaper:
+      return "paper";
+  }
+  return "small";
+}
+
+SyntheticCityConfig BeijingConfig(DatasetScale scale) {
+  SyntheticCityConfig config;
+  config.name = "BJ";
+  config.seed = 20211;
+  config.city_center = {116.40, 39.90};
+  ApplyScale(config, scale, /*paper_pois=*/13334);
+  return config;
+}
+
+SyntheticCityConfig ShanghaiConfig(DatasetScale scale) {
+  SyntheticCityConfig config;
+  config.name = "SH";
+  config.seed = 20212;
+  config.city_center = {121.47, 31.23};
+  config.commercial_fraction = 0.45;
+  config.core_radius_fraction = 0.33;
+  ApplyScale(config, scale, /*paper_pois=*/10090);
+  if (scale == DatasetScale::kSmall) config.num_pois = 1800;
+  if (scale == DatasetScale::kTiny) config.num_pois = 360;
+  return config;
+}
+
+PoiDataset MakeBeijing(DatasetScale scale) {
+  return GenerateSyntheticCity(BeijingConfig(scale));
+}
+
+PoiDataset MakeShanghai(DatasetScale scale) {
+  return GenerateSyntheticCity(ShanghaiConfig(scale));
+}
+
+PoiDataset MakeFineGrained(DatasetScale scale, bool beijing) {
+  SyntheticCityConfig config =
+      beijing ? BeijingConfig(scale) : ShanghaiConfig(scale);
+  config.name += "-fine";
+  config.num_relations = 6;
+  return GenerateSyntheticCity(config);
+}
+
+}  // namespace prim::data

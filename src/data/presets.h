@@ -1,0 +1,33 @@
+#ifndef PRIM_DATA_PRESETS_H_
+#define PRIM_DATA_PRESETS_H_
+
+#include <string>
+
+#include "data/synthetic.h"
+
+namespace prim::data {
+
+/// Dataset size presets shared by tests and benches.
+///  * kTiny  — unit/integration tests (seconds).
+///  * kSmall — default bench scale; full suite finishes in minutes on a
+///             laptop while preserving the paper's result shapes.
+///  * kPaper — Table 1 sizes (13.3k / 10.1k POIs, ~120k edges).
+enum class DatasetScale { kTiny, kSmall, kPaper };
+
+/// Parses "tiny" / "small" / "paper"; defaults to kSmall on other input.
+DatasetScale ParseScale(const std::string& s);
+const char* ScaleName(DatasetScale scale);
+
+/// Beijing-like preset (denser, larger, 12 top-level themes).
+SyntheticCityConfig BeijingConfig(DatasetScale scale);
+/// Shanghai-like preset (different seed, geometry, slightly fewer POIs).
+SyntheticCityConfig ShanghaiConfig(DatasetScale scale);
+
+PoiDataset MakeBeijing(DatasetScale scale);
+PoiDataset MakeShanghai(DatasetScale scale);
+/// Six-relation finer-grained variant of a city (paper Table 3).
+PoiDataset MakeFineGrained(DatasetScale scale, bool beijing);
+
+}  // namespace prim::data
+
+#endif  // PRIM_DATA_PRESETS_H_

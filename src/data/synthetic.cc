@@ -1,0 +1,557 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "geo/grid_index.h"
+
+namespace prim::data {
+namespace {
+
+struct Region {
+  double x_km = 0.0;  // Planar offsets from city centre.
+  double y_km = 0.0;
+  bool commercial = false;
+  bool core = false;
+  double sigma_km = 1.0;  // POI scatter around the centre.
+  double weight = 1.0;    // Share of POIs.
+};
+
+// Top-level taxonomy branch themes. Indices matter: region category
+// preferences below refer to them.
+constexpr const char* kTopNames[] = {
+    "food",      "shopping",  "entertainment", "nightlife",
+    "services",  "health",    "education",     "hotel",
+    "transport", "beauty",    "sports",        "culture"};
+constexpr int kNumTopThemes = 12;
+
+// Relative preference of commercial regions for each top-level theme.
+constexpr double kCommercialThemeWeight[kNumTopThemes] = {
+    3.0, 3.5, 2.5, 2.0, 1.0, 0.6, 0.4, 1.5, 1.0, 1.5, 0.7, 1.0};
+// Relative preference of residential regions.
+constexpr double kResidentialThemeWeight[kNumTopThemes] = {
+    2.5, 1.2, 0.8, 0.4, 2.0, 1.5, 1.8, 0.3, 0.8, 1.2, 1.0, 0.5};
+
+// Distance decay of competitiveness: strong, with a tiny floor so chain
+// brands across town keep a tail (paper: 50.1 % of competitive pairs are
+// within 2 km — a majority local, but a tail exists).
+double CompetitiveDistanceFactor(double km) {
+  return std::exp(-km / 1.4) + 0.006;
+}
+
+// Complementary pairs peak at mid range (users chain a cinema with a
+// restaurant a few km away) and decay slowly — paper: only 21.2 % of
+// complementary pairs fall within 2 km.
+double ComplementaryDistanceFactor(double km) {
+  return (1.0 - std::exp(-km / 1.5)) * std::exp(-km / 8.0) + 0.01;
+}
+
+// Taxonomy affinity for competitiveness by tree path distance between the
+// two leaf categories (0 = identical, 2 = siblings, 4 = same top branch,
+// 6 = different branches). The competitive and complementary profiles
+// deliberately OVERLAP (as the paper's real means of 1.72 vs 3.53 imply
+// overlapping distributions) — taxonomy distance alone cannot separate
+// the relation types; the latent compatibility below carries the rest.
+double CompetitiveTaxonomyFactor(int path_distance) {
+  switch (path_distance) {
+    case 0:
+      return 1.0;
+    case 2:
+      return 0.50;
+    case 4:
+      return 0.10;
+    default:
+      return 0.02;
+  }
+}
+
+// Complementary pairs live at moderate taxonomy distance (cinema +
+// restaurant, hotel + transport, ...).
+double ComplementaryTaxonomyFactor(int path_distance) {
+  switch (path_distance) {
+    case 0:
+      return 0.10;
+    case 2:
+      return 0.70;
+    case 4:
+      return 1.0;
+    default:
+      return 0.35;
+  }
+}
+
+struct CandidatePair {
+  int a = 0;
+  int b = 0;
+  double competitive_score = 0.0;
+  double complementary_score = 0.0;
+};
+
+uint64_t PairKey(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+// Deterministic pseudo-random uniform in [0, 1) for an unordered pair —
+// the latent "compatibility table" of the simulated market. Crucially,
+// this structure is NOT a function of taxonomy path distance or geography,
+// so threshold rules (CAT / CAT-D) cannot express it, while embedding
+// models can learn it — mirroring the gap the paper reports between rule
+// baselines and learned models.
+double PairHashUniform(uint64_t seed, int a, int b) {
+  if (a > b) std::swap(a, b);
+  uint64_t x = seed ^ (static_cast<uint64_t>(a) << 32) ^
+               static_cast<uint64_t>(static_cast<uint32_t>(b));
+  // SplitMix64 finaliser.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// Low-rank latent category types: each leaf category gets a deterministic
+// ±1 vector of kLatentDim bits; pair compatibility is a function of the
+// dot product. Low rank makes the structure learnable by embedding models
+// from few observations per category pair (DistMult recovers exactly this
+// kind of bilinear structure), while remaining orthogonal to taxonomy
+// path distance — so rule baselines cannot express it.
+constexpr int kLatentDim = 4;
+
+double LatentTypeDot(uint64_t seed, int leaf_a, int leaf_b) {
+  int dot = 0;
+  for (int i = 0; i < kLatentDim; ++i) {
+    const int bit_a =
+        PairHashUniform(seed * 131 + i, leaf_a, leaf_a) < 0.5 ? -1 : 1;
+    const int bit_b =
+        PairHashUniform(seed * 131 + i, leaf_b, leaf_b) < 0.5 ? -1 : 1;
+    dot += bit_a * bit_b;
+  }
+  return static_cast<double>(dot) / kLatentDim;
+}
+
+// Per-brand popularity factor, learnable from the brand-derived attribute
+// vectors every POI carries.
+double BrandPopularity(uint64_t seed, int brand) {
+  return 0.6 + 0.9 * PairHashUniform(seed * 31 + 4, brand, brand);
+}
+
+// Which categories actually compete: aligned latent types do, opposed
+// ones don't.
+double CompetitiveCompatibility(uint64_t seed, int leaf_a, int leaf_b,
+                                int brand_a, int brand_b) {
+  double m;
+  if (leaf_a == leaf_b) {
+    m = 1.6;
+  } else {
+    const double s = LatentTypeDot(seed * 31 + 1, leaf_a, leaf_b);
+    m = s >= 0.5 ? 2.2 : (s <= -0.5 ? 0.05 : 0.45);
+  }
+  if (brand_a == brand_b) m *= 1.8;  // Same chain: strong substitutes.
+  m *= BrandPopularity(seed, brand_a) * BrandPopularity(seed, brand_b);
+  return m;
+}
+
+// Which category pairs actually complement (cinema+restaurant yes,
+// cinema+pharmacy no): a different latent rotation than competition.
+double ComplementaryCompatibility(uint64_t seed, int leaf_a, int leaf_b) {
+  const double s = LatentTypeDot(seed * 31 + 3, leaf_a, leaf_b);
+  return s >= 0.5 ? 2.6 : (s <= -0.5 ? 0.04 : 0.35);
+}
+
+}  // namespace
+
+PairScores GenerativePairScores(uint64_t seed, const Poi& a, const Poi& b,
+                                const graph::CategoryTaxonomy& taxonomy) {
+  const double km = geo::HaversineKm(a.location, b.location);
+  const int tax = taxonomy.PathDistance(a.category, b.category);
+  // Spatial-context modulation: competitiveness is *suppressed* in
+  // commercial regions (large flow of people, paper §4.1 KFC/McDonald
+  // example) and boosted in residential ones; complementarity behaves
+  // the other way around.
+  const bool commercial_context = a.in_commercial || b.in_commercial;
+  const double comp_context = commercial_context ? 0.62 : 1.35;
+  const double compl_context = commercial_context ? 1.30 : 0.72;
+  PairScores scores;
+  scores.competitive =
+      CompetitiveTaxonomyFactor(tax) * CompetitiveDistanceFactor(km) *
+      comp_context *
+      CompetitiveCompatibility(seed, a.category, b.category, a.brand,
+                               b.brand);
+  scores.complementary =
+      ComplementaryTaxonomyFactor(tax) * ComplementaryDistanceFactor(km) *
+      compl_context * ComplementaryCompatibility(seed, a.category,
+                                                 b.category);
+  return scores;
+}
+
+PoiDataset GenerateSyntheticCity(const SyntheticCityConfig& config) {
+  PRIM_CHECK(config.num_pois >= 10);
+  PRIM_CHECK(config.num_relations == 2 || config.num_relations == 6);
+  Rng rng(config.seed);
+
+  PoiDataset ds;
+  ds.name = config.name;
+  ds.generator_seed = config.latent_seed;
+  ds.num_relations = config.num_relations;
+  if (config.num_relations == 2) {
+    ds.relation_names = {"competitive", "complementary"};
+  } else {
+    ds.relation_names = {"competitive_weak", "competitive_mid",
+                         "competitive_strong", "complementary_weak",
+                         "complementary_mid", "complementary_strong"};
+  }
+
+  // ---- Taxonomy -----------------------------------------------------------
+  std::vector<int> top_nodes;
+  std::vector<int> leaf_nodes;           // All leaf ids.
+  std::vector<int> leaf_top_theme;       // Leaf index -> top theme index.
+  for (int t = 0; t < config.top_level_categories; ++t) {
+    const char* theme = kTopNames[t % kNumTopThemes];
+    int top = ds.taxonomy.AddNode(0, theme);
+    top_nodes.push_back(top);
+    for (int s = 0; s < config.subcategories_per_top; ++s) {
+      int sub = ds.taxonomy.AddNode(
+          top, std::string(theme) + "_sub" + std::to_string(s));
+      for (int l = 0; l < config.leaves_per_subcategory; ++l) {
+        int leaf = ds.taxonomy.AddNode(
+            sub, std::string(theme) + "_s" + std::to_string(s) + "_c" +
+                     std::to_string(l));
+        leaf_nodes.push_back(leaf);
+        leaf_top_theme.push_back(t % kNumTopThemes);
+      }
+    }
+  }
+  const int num_leaves = static_cast<int>(leaf_nodes.size());
+
+  // Per-leaf popularity (Zipf-ish so a few categories dominate, like real
+  // category distributions).
+  std::vector<double> leaf_popularity(num_leaves);
+  for (int i = 0; i < num_leaves; ++i)
+    leaf_popularity[i] = 1.0 / std::pow(1.0 + rng.UniformInt(num_leaves),
+                                        0.35);
+
+  // ---- Regions ------------------------------------------------------------
+  std::vector<Region> regions(config.num_regions);
+  for (int i = 0; i < config.num_regions; ++i) {
+    Region& region = regions[i];
+    const double radius = config.city_radius_km * std::sqrt(rng.Uniform());
+    const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    region.x_km = radius * std::cos(angle);
+    region.y_km = radius * std::sin(angle);
+    region.core = radius < config.core_radius_fraction * config.city_radius_km;
+    // Commercial regions are more common in the core (downtowns).
+    const double p_commercial =
+        region.core ? config.commercial_fraction * 1.7
+                    : config.commercial_fraction * 0.7;
+    region.commercial = rng.Bernoulli(std::min(0.95, p_commercial));
+    region.sigma_km = region.commercial ? rng.Uniform(0.35, 0.8)
+                                        : rng.Uniform(0.8, 1.8);
+    // Core regions hold more POIs (paper: 53 % of POIs in <15 % of area).
+    region.weight = (region.core ? 2.6 : 1.0) *
+                    (region.commercial ? 1.5 : 1.0) *
+                    std::exp(rng.Normal(0.0, 0.35));
+  }
+  std::vector<double> region_weights(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i)
+    region_weights[i] = regions[i].weight;
+
+  // Per-region-type leaf sampling weights.
+  auto sample_leaf = [&](bool commercial) {
+    const double* theme_w =
+        commercial ? kCommercialThemeWeight : kResidentialThemeWeight;
+    // Two-stage: theme by region preference, then leaf within theme by
+    // popularity.
+    std::vector<double> theme_weights(kNumTopThemes);
+    for (int t = 0; t < kNumTopThemes; ++t) theme_weights[t] = theme_w[t];
+    const int theme = static_cast<int>(rng.Categorical(theme_weights));
+    // Rejection-sample a leaf from that theme.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const int li = static_cast<int>(rng.UniformInt(num_leaves));
+      if (leaf_top_theme[li] != theme) continue;
+      if (rng.Uniform() <
+          leaf_popularity[li] / (leaf_popularity[li] + 0.15)) {
+        return li;
+      }
+    }
+    return static_cast<int>(rng.UniformInt(num_leaves));
+  };
+
+  // ---- POIs ---------------------------------------------------------------
+  geo::LocalProjector projector(config.city_center);
+  ds.pois.resize(config.num_pois);
+  std::vector<int> poi_leaf_index(config.num_pois);
+  // Deterministic brand attribute vectors, one per brand id, lazily built.
+  std::unordered_map<int, std::vector<float>> brand_vectors;
+  auto brand_vector = [&](int brand) -> const std::vector<float>& {
+    auto it = brand_vectors.find(brand);
+    if (it != brand_vectors.end()) return it->second;
+    Rng brand_rng(config.latent_seed * 7919 + static_cast<uint64_t>(brand) * 131);
+    std::vector<float> v(config.attr_dim);
+    for (float& x : v) x = static_cast<float>(brand_rng.Normal(0.0, 1.0));
+    return brand_vectors.emplace(brand, std::move(v)).first->second;
+  };
+
+  for (int i = 0; i < config.num_pois; ++i) {
+    Poi& poi = ds.pois[i];
+    poi.id = i;
+    const int region_id = static_cast<int>(rng.Categorical(region_weights));
+    const Region& region = regions[region_id];
+    poi.region = region_id;
+    poi.in_core = region.core;
+    poi.in_commercial = region.commercial;
+    const double x = region.x_km + rng.Normal(0.0, region.sigma_km);
+    const double y = region.y_km + rng.Normal(0.0, region.sigma_km);
+    poi.location = projector.ToGeo(x, y);
+    const int leaf_index = sample_leaf(region.commercial);
+    poi_leaf_index[i] = leaf_index;
+    poi.category = leaf_nodes[leaf_index];
+    poi.brand = leaf_index * config.brands_per_category +
+                static_cast<int>(rng.UniformInt(config.brands_per_category));
+    poi.attrs.resize(config.attr_dim);
+    const std::vector<float>& bv = brand_vector(poi.brand);
+    for (int d = 0; d < config.attr_dim; ++d)
+      poi.attrs[d] = bv[d] + static_cast<float>(rng.Normal(0.0, 0.3));
+  }
+
+  // ---- Candidate pairs ----------------------------------------------------
+  std::vector<geo::GeoPoint> locations(config.num_pois);
+  for (int i = 0; i < config.num_pois; ++i)
+    locations[i] = ds.pois[i].location;
+  geo::GridIndex index(locations, /*cell_km=*/1.0);
+
+  // Per-category POI lists for long-range same-category candidates.
+  std::unordered_map<int, std::vector<int>> by_leaf;
+  for (int i = 0; i < config.num_pois; ++i)
+    by_leaf[poi_leaf_index[i]].push_back(i);
+
+  std::unordered_set<uint64_t> candidate_seen;
+  std::vector<CandidatePair> candidates;
+  auto add_candidate = [&](int a, int b) {
+    if (a == b) return;
+    const uint64_t key = PairKey(a, b);
+    if (!candidate_seen.insert(key).second) return;
+    const PairScores scores =
+        GenerativePairScores(config.latent_seed, ds.pois[a], ds.pois[b],
+                             ds.taxonomy);
+    CandidatePair cp;
+    cp.a = a;
+    cp.b = b;
+    cp.competitive_score = scores.competitive;
+    cp.complementary_score = scores.complementary;
+    candidates.push_back(cp);
+  };
+
+  for (int i = 0; i < config.num_pois; ++i) {
+    std::vector<int> local =
+        index.NeighborsOf(i, config.candidate_radius_km);
+    if (static_cast<int>(local.size()) > config.max_local_candidates) {
+      rng.Shuffle(local);
+      local.resize(config.max_local_candidates);
+    }
+    for (int j : local) add_candidate(i, j);
+    // Long-range same-category candidates (chain-brand competition and
+    // cross-town complements).
+    const auto& peers = by_leaf[poi_leaf_index[i]];
+    for (int k = 0; k < config.distant_same_category_candidates; ++k) {
+      if (peers.size() < 2) break;
+      add_candidate(i, peers[rng.UniformInt(peers.size())]);
+    }
+    // A few fully random candidates to let complementary edges span themes.
+    for (int k = 0; k < 4; ++k)
+      add_candidate(i, static_cast<int>(rng.UniformInt(config.num_pois)));
+  }
+
+  // ---- Edge sampling ------------------------------------------------------
+  // Two-stage process mirroring how user logs arise: (1) a pair becomes
+  // related at all with probability proportional to its total affinity
+  // (calibrated to the target edge count); (2) the relation type follows a
+  // sharpened posterior over the two affinities. The sharpening exponent
+  // keeps label noise low (the oracle ceiling stays high) while the type
+  // still depends on latent compatibility that rules cannot see.
+  const double target_edges = config.edges_per_poi * config.num_pois *
+                              (1.0 - config.closure_fraction);
+  const double kTypeSharpness = 2.5;
+  // Balance the two relations to the configured mix before calibration.
+  double sum_comp = 0.0, sum_compl = 0.0;
+  for (const CandidatePair& c : candidates) {
+    sum_comp += c.competitive_score;
+    sum_compl += c.complementary_score;
+  }
+  PRIM_CHECK_MSG(sum_comp > 0.0 && sum_compl > 0.0,
+                 "degenerate candidate scores");
+  const double comp_balance =
+      config.competitive_share * (sum_comp + sum_compl) / sum_comp;
+  const double compl_balance = (1.0 - config.competitive_share) *
+                               (sum_comp + sum_compl) / sum_compl;
+  // Edge existence is sharpened too (p ∝ total^kEdgeSharpness): strong
+  // pairs saturate near 1, weak pairs vanish. Without this, acceptance is
+  // nearly uniform across candidates and edge existence becomes
+  // unpredictable noise no model could recall.
+  const double kEdgeSharpness = 2.0;
+  std::vector<double> powered(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i)
+    powered[i] = std::pow(comp_balance * candidates[i].competitive_score +
+                              compl_balance *
+                                  candidates[i].complementary_score,
+                          kEdgeSharpness);
+  // The 0.97 cap truncates probability mass on strong pairs; a few fixed-
+  // point rounds re-scale the factor so the expected edge count matches
+  // the target.
+  double sum_total = 0.0;
+  for (double p : powered) sum_total += p;
+  double edge_factor = target_edges / sum_total;
+  for (int round = 0; round < 8; ++round) {
+    double expected = 0.0;
+    for (double p : powered) expected += std::min(0.97, p * edge_factor);
+    if (expected >= target_edges * 0.98) break;
+    edge_factor *= target_edges / expected;
+  }
+
+  struct AcceptedEdge {
+    int a, b;
+    bool competitive;
+    double score;
+  };
+  std::vector<AcceptedEdge> accepted;
+  for (const CandidatePair& c : candidates) {
+    const double s_comp = comp_balance * c.competitive_score;
+    const double s_compl = compl_balance * c.complementary_score;
+    const double p_edge = std::min(
+        0.97, powered[&c - candidates.data()] * edge_factor);
+    if (!rng.Bernoulli(p_edge)) continue;
+    const double w_comp = std::pow(s_comp, kTypeSharpness);
+    const double w_compl = std::pow(s_compl, kTypeSharpness);
+    const bool is_comp = rng.Uniform() < w_comp / (w_comp + w_compl);
+    accepted.push_back(
+        {c.a, c.b, is_comp, is_comp ? c.competitive_score
+                                    : c.complementary_score});
+  }
+
+  // ---- Structural amplification (triadic closure) -------------------------
+  // Competitor-of-competitor competes; complement-of-a-competitor
+  // complements. Closing wedges plants genuine multi-hop structure in the
+  // relationship graph — the signal GNN aggregation (the paper's premise)
+  // exploits and that pairwise rules cannot see.
+  if (config.closure_fraction > 0.0 && !accepted.empty()) {
+    std::unordered_set<uint64_t> edge_seen;
+    struct Incident {
+      int other;
+      bool competitive;
+      double score;
+    };
+    std::vector<std::vector<Incident>> adjacency(config.num_pois);
+    for (const AcceptedEdge& e : accepted) {
+      edge_seen.insert(PairKey(e.a, e.b));
+      adjacency[e.a].push_back({e.b, e.competitive, e.score});
+      adjacency[e.b].push_back({e.a, e.competitive, e.score});
+    }
+    const int64_t target_closed = static_cast<int64_t>(
+        accepted.size() * config.closure_fraction /
+        (1.0 - config.closure_fraction));
+    int64_t closed = 0;
+    const int64_t max_attempts = target_closed * 30 + 1000;
+    const size_t num_seed_edges = accepted.size();
+    for (int64_t attempt = 0; attempt < max_attempts && closed < target_closed;
+         ++attempt) {
+      // Pick a random seed edge's endpoint as the wedge centre.
+      const AcceptedEdge& seed =
+          accepted[rng.UniformInt(static_cast<int64_t>(num_seed_edges))];
+      const int centre = rng.Bernoulli(0.5) ? seed.a : seed.b;
+      const auto& incident = adjacency[centre];
+      if (incident.size() < 2) continue;
+      const Incident& x = incident[rng.UniformInt(incident.size())];
+      const Incident& y = incident[rng.UniformInt(incident.size())];
+      if (x.other == y.other) continue;
+      if (!edge_seen.insert(PairKey(x.other, y.other)).second) continue;
+      bool is_comp;
+      if (x.competitive && y.competitive) {
+        is_comp = true;  // Substitutability is transitive.
+      } else if (x.competitive != y.competitive) {
+        is_comp = false;  // A complement of a competitor complements.
+      } else {
+        continue;  // compl ∘ compl is ambiguous; leave unclosed.
+      }
+      accepted.push_back(
+          {x.other, y.other, is_comp, 0.5 * (x.score + y.score)});
+      ++closed;
+    }
+  }
+
+  if (config.num_relations == 2) {
+    for (const AcceptedEdge& e : accepted)
+      ds.edges.push_back({e.a, e.b, e.competitive ? 0 : 1});
+  } else {
+    // Finer-grained levels by score terciles within each relation family
+    // (paper: levels derived from how often pairs co-occur in user logs;
+    // our generative score plays the role of the co-occurrence count).
+    std::vector<double> comp_scores, compl_scores;
+    for (const AcceptedEdge& e : accepted)
+      (e.competitive ? comp_scores : compl_scores).push_back(e.score);
+    auto terciles = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      const size_t n = v.size();
+      double t1 = n ? v[n / 3] : 0.0;
+      double t2 = n ? v[2 * n / 3] : 0.0;
+      return std::pair<double, double>(t1, t2);
+    };
+    auto [c1, c2] = terciles(comp_scores);
+    auto [m1, m2] = terciles(compl_scores);
+    for (const AcceptedEdge& e : accepted) {
+      int level;
+      if (e.competitive) {
+        level = e.score < c1 ? 0 : (e.score < c2 ? 1 : 2);
+      } else {
+        level = e.score < m1 ? 3 : (e.score < m2 ? 4 : 5);
+      }
+      ds.edges.push_back({e.a, e.b, level});
+    }
+  }
+  return ds;
+}
+
+PoiDataset GenerateScalabilityDataset(int num_pois, int relations_per_poi,
+                                      int num_relations, uint64_t seed) {
+  PRIM_CHECK(num_pois >= 2 && relations_per_poi >= 1 && num_relations >= 1);
+  Rng rng(seed);
+  PoiDataset ds;
+  ds.name = "scalability_" + std::to_string(num_pois);
+  ds.num_relations = num_relations;
+  for (int r = 0; r < num_relations; ++r)
+    ds.relation_names.push_back("rel" + std::to_string(r));
+  // Minimal 2-level taxonomy; scalability runs do not stress the taxonomy.
+  std::vector<int> leaves;
+  for (int t = 0; t < 10; ++t) {
+    int top = ds.taxonomy.AddNode(0, "t" + std::to_string(t));
+    for (int l = 0; l < 10; ++l)
+      leaves.push_back(ds.taxonomy.AddNode(top, "c" + std::to_string(l)));
+  }
+  geo::LocalProjector projector(geo::GeoPoint{103.85, 1.29});  // Singapore.
+  ds.pois.resize(num_pois);
+  for (int i = 0; i < num_pois; ++i) {
+    Poi& poi = ds.pois[i];
+    poi.id = i;
+    poi.location = projector.ToGeo(rng.Uniform(-22.0, 22.0),
+                                   rng.Uniform(-13.0, 13.0));
+    poi.category = leaves[rng.UniformInt(leaves.size())];
+    poi.brand = static_cast<int>(rng.UniformInt(1000));
+    poi.attrs.assign(8, 0.0f);
+    for (float& a : poi.attrs) a = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < num_pois; ++i) {
+    for (int k = 0; k < relations_per_poi; ++k) {
+      const int j = static_cast<int>(rng.UniformInt(num_pois));
+      if (j == i) continue;
+      if (!seen.insert(PairKey(i, j)).second) continue;
+      ds.edges.push_back({i, j, static_cast<int>(rng.UniformInt(num_relations))});
+    }
+  }
+  return ds;
+}
+
+}  // namespace prim::data

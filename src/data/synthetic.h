@@ -1,0 +1,92 @@
+#ifndef PRIM_DATA_SYNTHETIC_H_
+#define PRIM_DATA_SYNTHETIC_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace prim::data {
+
+/// Configuration of the synthetic-city generator that substitutes for the
+/// paper's proprietary Meituan datasets (see DESIGN.md §2). The generator
+/// plants the statistical regularities the paper measures on real data:
+///   * competitive edges concentrate at small taxonomy path distance
+///     (paper: mean 1.72) and short geographic distance (50.1 % < 2 km);
+///   * complementary edges sit at larger taxonomy distance (mean 3.53)
+///     and decay slower with distance (21.2 % < 2 km);
+///   * pair relationships are modulated by latent region context
+///     (commercial vs residential), the signal PRIM's spatial context
+///     extractor targets;
+///   * chain brands produce long-range competitive pairs.
+struct SyntheticCityConfig {
+  std::string name = "synthetic";
+  uint64_t seed = 42;
+  /// Seed of the latent compatibility structure (category/brand
+  /// affinities). Shared across the city presets: two cities of the same
+  /// market share most relationship semantics (chains, category pairings),
+  /// which is what makes the paper's BJ->SH transfer (Table 5) possible.
+  uint64_t latent_seed = 777;
+
+  int num_pois = 2000;
+  /// Total relationship edges to draw, expressed per POI
+  /// (paper: ~122k edges over 13.3k POIs ≈ 9.2).
+  double edges_per_poi = 9.0;
+  /// 2 = {competitive, complementary}; 6 = finer-grained strength levels
+  /// (paper Table 3).
+  int num_relations = 2;
+
+  // --- City geometry ---
+  geo::GeoPoint city_center{116.40, 39.90};  // Beijing-like by default.
+  double city_radius_km = 18.0;
+  int num_regions = 60;
+  /// Regions whose centre is within this fraction of the radius are "core".
+  double core_radius_fraction = 0.38;
+  /// Fraction of regions that are commercial (denser, shopping-heavy).
+  double commercial_fraction = 0.4;
+
+  // --- Taxonomy shape (paper: ~95 non-leaf, ~805 leaves, 3 levels) ---
+  int top_level_categories = 12;
+  int subcategories_per_top = 7;
+  int leaves_per_subcategory = 10;
+
+  // --- POI attributes ---
+  int attr_dim = 8;
+  int brands_per_category = 4;
+
+  // --- Pair-generation knobs (rarely need changing) ---
+  double candidate_radius_km = 4.0;
+  int max_local_candidates = 24;
+  int distant_same_category_candidates = 6;
+  /// Competitive/complementary mix of generated edges.
+  double competitive_share = 0.5;
+  /// Share of edges produced by triadic closure over feature-seeded edges
+  /// (competitor-of-competitor competes; complement-of-competitor
+  /// complements). Real relationship graphs are strongly closed, which is
+  /// what makes multi-hop GNN aggregation informative; 0 disables.
+  double closure_fraction = 0.4;
+};
+
+/// Generates a dataset. Deterministic in config (including seed).
+PoiDataset GenerateSyntheticCity(const SyntheticCityConfig& config);
+
+/// The generator's latent pair affinities (before calibration to target
+/// edge counts). Exposed so diagnostics can compute the Bayes-style
+/// ceiling of any relationship-inference model on synthetic data: an
+/// oracle that predicts argmax(competitive, complementary) from these
+/// scores achieves the best possible relation-type separation.
+struct PairScores {
+  double competitive = 0.0;
+  double complementary = 0.0;
+};
+PairScores GenerativePairScores(uint64_t seed, const Poi& a, const Poi& b,
+                                const graph::CategoryTaxonomy& taxonomy);
+
+/// Scalability data per §5.3: POIs uniform over a large city, and for each
+/// POI `relations_per_poi` relationships to uniformly random others (the
+/// paper assigns 8 random relationships because ground truth is absent).
+PoiDataset GenerateScalabilityDataset(int num_pois, int relations_per_poi,
+                                      int num_relations, uint64_t seed);
+
+}  // namespace prim::data
+
+#endif  // PRIM_DATA_SYNTHETIC_H_

@@ -1,0 +1,104 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prim::geo {
+namespace {
+
+GeoPoint Centroid(const std::vector<GeoPoint>& points) {
+  GeoPoint c;
+  if (points.empty()) return c;
+  for (const GeoPoint& p : points) {
+    c.lon += p.lon;
+    c.lat += p.lat;
+  }
+  c.lon /= static_cast<double>(points.size());
+  c.lat /= static_cast<double>(points.size());
+  return c;
+}
+
+}  // namespace
+
+GridIndex::GridIndex(const std::vector<GeoPoint>& points, double cell_km)
+    : points_(points), projector_(Centroid(points)), cell_km_(cell_km) {
+  PRIM_CHECK_MSG(cell_km > 0.0, "cell_km must be positive");
+  const int n = static_cast<int>(points_.size());
+  if (n == 0) {
+    grid_w_ = grid_h_ = 1;
+    cell_offsets_.assign(2, 0);
+    return;
+  }
+  double max_x = -1e18, max_y = -1e18;
+  min_x_ = 1e18;
+  min_y_ = 1e18;
+  std::vector<double> xs(n), ys(n);
+  for (int i = 0; i < n; ++i) {
+    projector_.ToPlane(points_[i], &xs[i], &ys[i]);
+    min_x_ = std::min(min_x_, xs[i]);
+    min_y_ = std::min(min_y_, ys[i]);
+    max_x = std::max(max_x, xs[i]);
+    max_y = std::max(max_y, ys[i]);
+  }
+  grid_w_ = std::max(1, static_cast<int>((max_x - min_x_) / cell_km_) + 1);
+  grid_h_ = std::max(1, static_cast<int>((max_y - min_y_) / cell_km_) + 1);
+  const int64_t num_cells = static_cast<int64_t>(grid_w_) * grid_h_;
+  PRIM_CHECK_MSG(num_cells < (1LL << 28), "grid too large; increase cell_km");
+  // Counting sort of points into cells (CSR).
+  std::vector<int> counts(num_cells + 1, 0);
+  std::vector<int64_t> cell_of(n);
+  for (int i = 0; i < n; ++i) {
+    cell_of[i] = CellOf(xs[i], ys[i]);
+    ++counts[cell_of[i] + 1];
+  }
+  for (int64_t c = 0; c < num_cells; ++c) counts[c + 1] += counts[c];
+  cell_offsets_ = counts;
+  cell_ids_.resize(n);
+  std::vector<int> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (int i = 0; i < n; ++i) cell_ids_[cursor[cell_of[i]]++] = i;
+}
+
+int64_t GridIndex::CellOf(double x_km, double y_km) const {
+  int cx = static_cast<int>((x_km - min_x_) / cell_km_);
+  int cy = static_cast<int>((y_km - min_y_) / cell_km_);
+  cx = std::clamp(cx, 0, grid_w_ - 1);
+  cy = std::clamp(cy, 0, grid_h_ - 1);
+  return static_cast<int64_t>(cy) * grid_w_ + cx;
+}
+
+std::vector<int> GridIndex::RadiusQuery(const GeoPoint& center,
+                                        double radius_km,
+                                        int exclude_id) const {
+  std::vector<int> out;
+  if (points_.empty()) return out;
+  double cx, cy;
+  projector_.ToPlane(center, &cx, &cy);
+  const int reach = static_cast<int>(std::ceil(radius_km / cell_km_));
+  const int cell_x = std::clamp(
+      static_cast<int>((cx - min_x_) / cell_km_), 0, grid_w_ - 1);
+  const int cell_y = std::clamp(
+      static_cast<int>((cy - min_y_) / cell_km_), 0, grid_h_ - 1);
+  for (int gy = std::max(0, cell_y - reach);
+       gy <= std::min(grid_h_ - 1, cell_y + reach); ++gy) {
+    for (int gx = std::max(0, cell_x - reach);
+         gx <= std::min(grid_w_ - 1, cell_x + reach); ++gx) {
+      const int64_t c = static_cast<int64_t>(gy) * grid_w_ + gx;
+      for (int k = cell_offsets_[c]; k < cell_offsets_[c + 1]; ++k) {
+        const int id = cell_ids_[k];
+        if (id == exclude_id) continue;
+        if (HaversineKm(points_[id], center) < radius_km) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> GridIndex::NeighborsOf(int id, double radius_km) const {
+  PRIM_CHECK(0 <= id && id < num_points());
+  return RadiusQuery(points_[id], radius_km, id);
+}
+
+}  // namespace prim::geo

@@ -1,0 +1,51 @@
+#ifndef PRIM_GEO_GRID_INDEX_H_
+#define PRIM_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace prim::geo {
+
+/// Uniform-grid spatial index over a fixed point set, supporting radius
+/// queries in expected O(points-in-range). This is the substrate behind
+/// Definition 3.1 (spatial neighbours S_p = {p' : dist(p, p') < d}) — the
+/// paper's production system would use an internal spatial store; a grid is
+/// the standard city-scale equivalent.
+///
+/// Points are bucketed on a planar local projection; queries use exact
+/// haversine distance for the final filter, so results are exact.
+class GridIndex {
+ public:
+  /// Builds the index. cell_km should be on the order of the typical query
+  /// radius (e.g. the paper's d = 1.15 km).
+  GridIndex(const std::vector<GeoPoint>& points, double cell_km);
+
+  /// Ids of points with dist(points[id], center) < radius_km, excluding
+  /// `exclude_id` (pass -1 to keep everything). Ascending id order.
+  std::vector<int> RadiusQuery(const GeoPoint& center, double radius_km,
+                               int exclude_id = -1) const;
+
+  /// Convenience: neighbours of an indexed point (excludes itself).
+  std::vector<int> NeighborsOf(int id, double radius_km) const;
+
+  int num_points() const { return static_cast<int>(points_.size()); }
+  const GeoPoint& point(int id) const { return points_[id]; }
+
+ private:
+  int64_t CellOf(double x_km, double y_km) const;
+
+  std::vector<GeoPoint> points_;
+  LocalProjector projector_;
+  double cell_km_;
+  int grid_w_ = 0, grid_h_ = 0;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  // CSR layout: cell_offsets_[c]..cell_offsets_[c+1] indexes into cell_ids_.
+  std::vector<int> cell_offsets_;
+  std::vector<int> cell_ids_;
+};
+
+}  // namespace prim::geo
+
+#endif  // PRIM_GEO_GRID_INDEX_H_

@@ -1,0 +1,65 @@
+#include "geo/point.h"
+
+#include "common/check.h"
+
+namespace prim::geo {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0088;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double EquirectangularKm(const GeoPoint& a, const GeoPoint& b) {
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double dx = (b.lon - a.lon) * kKmPerDegLonEquator * std::cos(mean_lat);
+  const double dy = (b.lat - a.lat) * kKmPerDegLat;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+LocalProjector::LocalProjector(const GeoPoint& origin) : origin_(origin) {
+  km_per_deg_lon_ =
+      kKmPerDegLonEquator * std::cos(origin.lat * kDegToRad);
+  PRIM_CHECK_MSG(km_per_deg_lon_ > 1.0,
+                 "projector too close to a pole, lat=" << origin.lat);
+}
+
+void LocalProjector::ToPlane(const GeoPoint& p, double* x_km,
+                             double* y_km) const {
+  *x_km = (p.lon - origin_.lon) * km_per_deg_lon_;
+  *y_km = (p.lat - origin_.lat) * kKmPerDegLat;
+}
+
+GeoPoint LocalProjector::ToGeo(double x_km, double y_km) const {
+  GeoPoint p;
+  p.lon = origin_.lon + x_km / km_per_deg_lon_;
+  p.lat = origin_.lat + y_km / kKmPerDegLat;
+  return p;
+}
+
+int SectorOf(const GeoPoint& center, const GeoPoint& other, int num_sectors) {
+  PRIM_CHECK(num_sectors > 0);
+  const double mean_lat = 0.5 * (center.lat + other.lat) * kDegToRad;
+  const double dx =
+      (other.lon - center.lon) * kKmPerDegLonEquator * std::cos(mean_lat);
+  const double dy = (other.lat - center.lat) * kKmPerDegLat;
+  if (dx == 0.0 && dy == 0.0) return 0;
+  double angle = std::atan2(dy, dx);  // (-pi, pi]
+  if (angle < 0.0) angle += 2.0 * M_PI;
+  int sector = static_cast<int>(angle / (2.0 * M_PI) * num_sectors);
+  if (sector >= num_sectors) sector = num_sectors - 1;
+  return sector;
+}
+
+}  // namespace prim::geo

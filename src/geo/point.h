@@ -1,0 +1,57 @@
+#ifndef PRIM_GEO_POINT_H_
+#define PRIM_GEO_POINT_H_
+
+#include <cmath>
+
+namespace prim::geo {
+
+/// WGS-84 coordinate. POI locations in the paper are (longitude, latitude)
+/// pairs; all distances in this library are kilometres.
+struct GeoPoint {
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+/// Kilometres per degree of arc on the reference sphere (R = 6371.0088 km,
+/// matching HaversineKm) — used for both latitude and equatorial longitude
+/// so planar approximations stay consistent with the haversine distance.
+inline constexpr double kKmPerDegLat = 111.19492664455873;
+inline constexpr double kKmPerDegLonEquator = 111.19492664455873;
+
+/// Great-circle distance (haversine) in kilometres.
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Fast equirectangular approximation, accurate to <0.1 % at city scale
+/// (tens of km). Used in hot loops (index queries, edge featurisation).
+double EquirectangularKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Radial basis function kernel over geographic distance (paper Eq. 8):
+/// exp(-theta * dist_km^2). The paper sets theta = 2.
+inline double RbfKernel(double dist_km, double theta) {
+  return std::exp(-theta * dist_km * dist_km);
+}
+
+/// Projects lat/lon into a local planar (x, y) frame in kilometres around a
+/// reference latitude. Exact enough for city-scale synthetic data.
+class LocalProjector {
+ public:
+  explicit LocalProjector(const GeoPoint& origin);
+
+  /// (lon, lat) -> planar km offsets from the origin.
+  void ToPlane(const GeoPoint& p, double* x_km, double* y_km) const;
+  /// Planar km offsets -> (lon, lat).
+  GeoPoint ToGeo(double x_km, double y_km) const;
+
+ private:
+  GeoPoint origin_;
+  double km_per_deg_lon_;
+};
+
+/// Index of the geographic sector (0..num_sectors-1) that `other` falls in
+/// when viewed from `center`, splitting the compass uniformly. Used by the
+/// DeepR baseline's sector-wise aggregation. Coincident points map to 0.
+int SectorOf(const GeoPoint& center, const GeoPoint& other, int num_sectors);
+
+}  // namespace prim::geo
+
+#endif  // PRIM_GEO_POINT_H_

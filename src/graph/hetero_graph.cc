@@ -1,0 +1,72 @@
+#include "graph/hetero_graph.h"
+
+#include "common/check.h"
+
+namespace prim::graph {
+
+HeteroGraph::HeteroGraph(int num_nodes, int num_relations,
+                         const std::vector<Triple>& triples)
+    : num_nodes_(num_nodes), num_relations_(num_relations) {
+  PRIM_CHECK(num_nodes >= 0 && num_relations >= 0);
+  adjacency_.assign(num_relations,
+                    std::vector<std::vector<int>>(num_nodes));
+  edge_src_.assign(num_relations, {});
+  edge_dst_.assign(num_relations, {});
+  edge_set_.assign(num_relations, {});
+  for (const Triple& t : triples) {
+    PRIM_CHECK_MSG(0 <= t.src && t.src < num_nodes && 0 <= t.dst &&
+                       t.dst < num_nodes && 0 <= t.rel &&
+                       t.rel < num_relations,
+                   "bad triple (" << t.src << "," << t.rel << "," << t.dst
+                                  << ")");
+    if (t.src == t.dst) continue;  // Self-relationships are meaningless.
+    const uint64_t key = PairKey(t.src, t.dst);
+    if (!edge_set_[t.rel].insert(key).second) continue;  // Deduplicate.
+    any_edge_set_.insert(key);
+    adjacency_[t.rel][t.src].push_back(t.dst);
+    adjacency_[t.rel][t.dst].push_back(t.src);
+    edge_src_[t.rel].push_back(t.src);
+    edge_dst_[t.rel].push_back(t.dst);
+    edge_src_[t.rel].push_back(t.dst);
+    edge_dst_[t.rel].push_back(t.src);
+  }
+}
+
+int64_t HeteroGraph::num_directed_edges() const {
+  int64_t total = 0;
+  for (const auto& e : edge_src_) total += static_cast<int64_t>(e.size());
+  return total;
+}
+
+const std::vector<int>& HeteroGraph::Neighbors(int node, int rel) const {
+  PRIM_CHECK(0 <= node && node < num_nodes_ && 0 <= rel &&
+             rel < num_relations_);
+  return adjacency_[rel][node];
+}
+
+int HeteroGraph::Degree(int node, int rel) const {
+  return static_cast<int>(Neighbors(node, rel).size());
+}
+
+int HeteroGraph::TotalDegree(int node) const {
+  int total = 0;
+  for (int r = 0; r < num_relations_; ++r) total += Degree(node, r);
+  return total;
+}
+
+bool HeteroGraph::HasEdge(int src, int dst, int rel) const {
+  PRIM_CHECK(0 <= rel && rel < num_relations_);
+  return edge_set_[rel].count(PairKey(src, dst)) > 0;
+}
+
+bool HeteroGraph::HasAnyEdge(int src, int dst) const {
+  return any_edge_set_.count(PairKey(src, dst)) > 0;
+}
+
+uint64_t HeteroGraph::PairKey(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace prim::graph

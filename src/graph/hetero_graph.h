@@ -1,0 +1,67 @@
+#ifndef PRIM_GRAPH_HETERO_GRAPH_H_
+#define PRIM_GRAPH_HETERO_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace prim::graph {
+
+/// One relationship instance (p_src, r, p_dst). Relationships in the paper
+/// are symmetric; triples are stored in canonical (src <= dst) order and
+/// expanded to both directions when building adjacency.
+struct Triple {
+  int src = 0;
+  int dst = 0;
+  int rel = 0;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// Heterogeneous POI relationship graph (Definition 3.3): N nodes, R edge
+/// types, per-relation CSR adjacency over the symmetric closure of the
+/// triple set. Also exposes a flattened per-relation edge list (the layout
+/// GNN message passing consumes) and O(1) membership tests.
+class HeteroGraph {
+ public:
+  HeteroGraph(int num_nodes, int num_relations,
+              const std::vector<Triple>& triples);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_relations() const { return num_relations_; }
+  /// Directed edge count (2x the triple count, minus self-pair dedup).
+  int64_t num_directed_edges() const;
+
+  /// Neighbours of `node` under relation `rel`.
+  const std::vector<int>& Neighbors(int node, int rel) const;
+
+  /// Flattened directed edges of one relation: parallel arrays.
+  const std::vector<int>& EdgeSrc(int rel) const { return edge_src_[rel]; }
+  const std::vector<int>& EdgeDst(int rel) const { return edge_dst_[rel]; }
+
+  /// Degree of `node` under `rel`.
+  int Degree(int node, int rel) const;
+  /// Total degree across all relations.
+  int TotalDegree(int node) const;
+
+  /// True when a (src, dst) pair is connected by `rel` (order-insensitive).
+  bool HasEdge(int src, int dst, int rel) const;
+  /// True when the pair is connected by any relation.
+  bool HasAnyEdge(int src, int dst) const;
+
+ private:
+  static uint64_t PairKey(int a, int b);
+
+  int num_nodes_;
+  int num_relations_;
+  // adjacency_[rel][node] -> neighbour list.
+  std::vector<std::vector<std::vector<int>>> adjacency_;
+  std::vector<std::vector<int>> edge_src_;
+  std::vector<std::vector<int>> edge_dst_;
+  std::vector<std::unordered_set<uint64_t>> edge_set_;  // per relation
+  std::unordered_set<uint64_t> any_edge_set_;
+};
+
+}  // namespace prim::graph
+
+#endif  // PRIM_GRAPH_HETERO_GRAPH_H_

@@ -1,0 +1,63 @@
+#include "graph/sampling.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace prim::graph {
+
+NegativeSampler::NegativeSampler(const HeteroGraph& full_graph)
+    : graph_(full_graph) {
+  PRIM_CHECK(graph_.num_nodes() >= 2);
+}
+
+Triple NegativeSampler::CorruptTriple(const Triple& positive, Rng& rng) const {
+  const int n = graph_.num_nodes();
+  Triple t = positive;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int candidate = static_cast<int>(rng.UniformInt(n));
+    const bool corrupt_dst = rng.Bernoulli(0.5);
+    int src = positive.src, dst = positive.dst;
+    if (corrupt_dst) {
+      dst = candidate;
+    } else {
+      src = candidate;
+    }
+    if (src == dst) continue;
+    if (graph_.HasEdge(src, dst, positive.rel)) continue;
+    t.src = src;
+    t.dst = dst;
+    return t;
+  }
+  // Pathologically dense graphs: fall back to any non-identical pair; the
+  // chance of a false negative is acceptable for training noise.
+  t.dst = static_cast<int>((positive.dst + 1 + rng.UniformInt(n - 1)) % n);
+  if (t.dst == t.src) t.dst = (t.dst + 1) % n;
+  return t;
+}
+
+std::vector<std::pair<int, int>> NegativeSampler::SampleNonEdges(
+    int count, Rng& rng) const {
+  const int n = graph_.num_nodes();
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<int, int>> out;
+  out.reserve(count);
+  int attempts = 0;
+  const int max_attempts = count * 200 + 1000;
+  while (static_cast<int>(out.size()) < count && attempts < max_attempts) {
+    ++attempts;
+    int a = static_cast<int>(rng.UniformInt(n));
+    int b = static_cast<int>(rng.UniformInt(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    const uint64_t key = (static_cast<uint64_t>(a) << 32) |
+                         static_cast<uint32_t>(b);
+    if (seen.count(key)) continue;
+    if (graph_.HasAnyEdge(a, b)) continue;
+    seen.insert(key);
+    out.emplace_back(a, b);
+  }
+  return out;
+}
+
+}  // namespace prim::graph

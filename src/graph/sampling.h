@@ -1,0 +1,35 @@
+#ifndef PRIM_GRAPH_SAMPLING_H_
+#define PRIM_GRAPH_SAMPLING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace prim::graph {
+
+/// Negative sampling for Eq. 13's loss and for building the non-relation
+/// (phi) class: corrupted triples and uniformly sampled non-edge pairs,
+/// both rejection-checked against the full ground-truth graph so labels
+/// are clean.
+class NegativeSampler {
+ public:
+  /// `full_graph` must contain every ground-truth edge (train+val+test) so
+  /// sampled negatives are true negatives.
+  explicit NegativeSampler(const HeteroGraph& full_graph);
+
+  /// Corrupts one endpoint of `positive` (uniform choice of which) with a
+  /// uniformly random node such that the corrupted pair is NOT connected by
+  /// positive.rel. Keeps the relation id.
+  Triple CorruptTriple(const Triple& positive, Rng& rng) const;
+
+  /// Samples `count` distinct unordered pairs with no edge of any type.
+  std::vector<std::pair<int, int>> SampleNonEdges(int count, Rng& rng) const;
+
+ private:
+  const HeteroGraph& graph_;
+};
+
+}  // namespace prim::graph
+
+#endif  // PRIM_GRAPH_SAMPLING_H_

@@ -1,0 +1,77 @@
+#include "graph/split.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prim::graph {
+
+EdgeSplit SplitEdges(const std::vector<Triple>& triples,
+                     double train_fraction, Rng& rng,
+                     double validation_fraction, double test_fraction) {
+  PRIM_CHECK(train_fraction > 0.0 && validation_fraction >= 0.0 &&
+             test_fraction >= 0.0);
+  PRIM_CHECK_MSG(validation_fraction + test_fraction < 1.0,
+                 "val + test must leave room for training data");
+  std::vector<Triple> shuffled = triples;
+  rng.Shuffle(shuffled);
+  const int64_t n = static_cast<int64_t>(shuffled.size());
+  const int64_t n_val = static_cast<int64_t>(n * validation_fraction);
+  const int64_t n_test = static_cast<int64_t>(n * test_fraction);
+  const int64_t n_train = std::min<int64_t>(
+      static_cast<int64_t>(n * train_fraction), n - n_val - n_test);
+  EdgeSplit split;
+  split.validation.assign(shuffled.begin(), shuffled.begin() + n_val);
+  split.test.assign(shuffled.begin() + n_val,
+                    shuffled.begin() + n_val + n_test);
+  split.train.assign(shuffled.begin() + n_val + n_test,
+                     shuffled.begin() + n_val + n_test + n_train);
+  return split;
+}
+
+InductiveSplit SplitInductive(const std::vector<Triple>& triples,
+                              int num_nodes, double hidden_fraction,
+                              Rng& rng) {
+  PRIM_CHECK(hidden_fraction > 0.0 && hidden_fraction < 1.0);
+  std::vector<int> nodes(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) nodes[i] = i;
+  rng.Shuffle(nodes);
+  const int n_hidden = static_cast<int>(num_nodes * hidden_fraction);
+  InductiveSplit split;
+  split.hidden.assign(num_nodes, false);
+  for (int i = 0; i < n_hidden; ++i) split.hidden[nodes[i]] = true;
+  for (const Triple& t : triples) {
+    if (split.hidden[t.src] || split.hidden[t.dst]) {
+      split.test.push_back(t);
+    } else {
+      split.train.push_back(t);
+    }
+  }
+  return split;
+}
+
+std::vector<bool> SparseNodeMask(const std::vector<Triple>& train,
+                                 int num_nodes, int max_relations) {
+  std::vector<int> degree(num_nodes, 0);
+  for (const Triple& t : train) {
+    ++degree[t.src];
+    ++degree[t.dst];
+  }
+  std::vector<bool> mask(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) mask[i] = degree[i] < max_relations;
+  return mask;
+}
+
+std::vector<Triple> FilterTriples(const std::vector<Triple>& triples,
+                                  const std::vector<bool>& mask,
+                                  bool keep_if_either) {
+  std::vector<Triple> out;
+  for (const Triple& t : triples) {
+    const bool keep = keep_if_either ? (mask[t.src] || mask[t.dst])
+                                     : (mask[t.src] && mask[t.dst]);
+    if (keep) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace prim::graph

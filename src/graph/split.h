@@ -1,0 +1,53 @@
+#ifndef PRIM_GRAPH_SPLIT_H_
+#define PRIM_GRAPH_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace prim::graph {
+
+/// Train/validation/test partition of a relationship edge set.
+struct EdgeSplit {
+  std::vector<Triple> train;
+  std::vector<Triple> validation;
+  std::vector<Triple> test;
+};
+
+/// Shuffles triples and splits them. Following §5.1.3: 10 % validation,
+/// 20 % test, and `train_fraction` (of the full edge set, e.g. 0.4–0.7)
+/// taken from the remaining 70 %. train_fraction is capped at the
+/// remainder.
+EdgeSplit SplitEdges(const std::vector<Triple>& triples,
+                     double train_fraction, Rng& rng,
+                     double validation_fraction = 0.1,
+                     double test_fraction = 0.2);
+
+/// Inductive split (§5.5.2): hides `hidden_fraction` of the nodes. Returns
+/// the hidden node mask; train keeps only edges between visible nodes, test
+/// keeps edges with at least one hidden endpoint.
+struct InductiveSplit {
+  std::vector<bool> hidden;
+  std::vector<Triple> train;
+  std::vector<Triple> test;
+};
+InductiveSplit SplitInductive(const std::vector<Triple>& triples,
+                              int num_nodes, double hidden_fraction,
+                              Rng& rng);
+
+/// Ids of nodes with fewer than `max_relations` training edges (§5.5.1's
+/// sparse-case analysis uses < 3).
+std::vector<bool> SparseNodeMask(const std::vector<Triple>& train,
+                                 int num_nodes, int max_relations = 3);
+
+/// Keeps only the test triples whose both endpoints satisfy `mask`
+/// (keep_if_either = false) or where at least one endpoint does
+/// (keep_if_either = true).
+std::vector<Triple> FilterTriples(const std::vector<Triple>& triples,
+                                  const std::vector<bool>& mask,
+                                  bool keep_if_either);
+
+}  // namespace prim::graph
+
+#endif  // PRIM_GRAPH_SPLIT_H_

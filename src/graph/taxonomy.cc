@@ -1,0 +1,80 @@
+#include "graph/taxonomy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prim::graph {
+
+CategoryTaxonomy::CategoryTaxonomy() {
+  parent_.push_back(-1);
+  depth_.push_back(0);
+  children_count_.push_back(0);
+  names_.push_back("root");
+}
+
+int CategoryTaxonomy::AddNode(int parent, std::string name) {
+  PRIM_CHECK_MSG(0 <= parent && parent < num_nodes(),
+                 "bad parent " << parent);
+  const int id = num_nodes();
+  parent_.push_back(parent);
+  depth_.push_back(depth_[parent] + 1);
+  children_count_.push_back(0);
+  names_.push_back(std::move(name));
+  ++children_count_[parent];
+  return id;
+}
+
+std::vector<int> CategoryTaxonomy::Leaves() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i)
+    if (IsLeaf(i)) out.push_back(i);
+  return out;
+}
+
+int CategoryTaxonomy::NumLeaves() const {
+  int n = 0;
+  for (int i = 0; i < num_nodes(); ++i) n += IsLeaf(i) ? 1 : 0;
+  return n;
+}
+
+int CategoryTaxonomy::NumNonLeaves() const {
+  return num_nodes() - NumLeaves();
+}
+
+std::vector<int> CategoryTaxonomy::PathToRoot(int node) const {
+  PRIM_CHECK(0 <= node && node < num_nodes());
+  std::vector<int> path;
+  for (int cur = node; cur != -1; cur = parent_[cur]) path.push_back(cur);
+  return path;
+}
+
+int CategoryTaxonomy::PathDistance(int a, int b) const {
+  PRIM_CHECK(0 <= a && a < num_nodes() && 0 <= b && b < num_nodes());
+  int da = depth_[a], db = depth_[b];
+  int dist = 0;
+  while (da > db) {
+    a = parent_[a];
+    --da;
+    ++dist;
+  }
+  while (db > da) {
+    b = parent_[b];
+    --db;
+    ++dist;
+  }
+  while (a != b) {
+    a = parent_[a];
+    b = parent_[b];
+    dist += 2;
+  }
+  return dist;
+}
+
+int CategoryTaxonomy::MaxPathDistance() const {
+  int max_depth = 0;
+  for (int d : depth_) max_depth = std::max(max_depth, d);
+  return 2 * max_depth;
+}
+
+}  // namespace prim::graph

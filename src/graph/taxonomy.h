@@ -1,0 +1,50 @@
+#ifndef PRIM_GRAPH_TAXONOMY_H_
+#define PRIM_GRAPH_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+namespace prim::graph {
+
+/// Category taxonomy (Definition 3.2): a rooted tree whose leaves are POI
+/// categories and whose internal nodes are hypernyms. Node 0 is always the
+/// root. Supports the two queries PRIM needs: the root path of a leaf
+/// (taxonomy integration, §4.3) and the tree path distance between two
+/// leaves (CAT baselines and the generator's calibration).
+class CategoryTaxonomy {
+ public:
+  CategoryTaxonomy();
+
+  /// Adds a node under `parent` and returns its id.
+  int AddNode(int parent, std::string name);
+
+  int num_nodes() const { return static_cast<int>(parent_.size()); }
+  int parent(int node) const { return parent_[node]; }
+  int depth(int node) const { return depth_[node]; }
+  const std::string& name(int node) const { return names_[node]; }
+  bool IsLeaf(int node) const { return children_count_[node] == 0; }
+
+  /// All leaf node ids (these are the POI categories C).
+  std::vector<int> Leaves() const;
+  int NumLeaves() const;
+  int NumNonLeaves() const;
+
+  /// Node ids from `node` up to and including the root (leaf first).
+  std::vector<int> PathToRoot(int node) const;
+
+  /// Number of edges on the tree path between two nodes (0 when equal).
+  int PathDistance(int a, int b) const;
+
+  /// Maximum possible PathDistance over the tree (2 * max depth bound).
+  int MaxPathDistance() const;
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> depth_;
+  std::vector<int> children_count_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace prim::graph
+
+#endif  // PRIM_GRAPH_TAXONOMY_H_

@@ -1,0 +1,56 @@
+#include "models/compgcn.h"
+
+#include "models/distmult_scorer.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+CompGcnModel::CompGcnModel(const ModelContext& ctx, const ModelConfig& config,
+                           Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng) {
+  RegisterModule(&features_);
+  rel_embeddings_ =
+      RegisterParameter(nn::XavierUniform(num_classes(), config.dim, rng));
+  for (int l = 0; l < config.layers; ++l) {
+    w_msg_.push_back(
+        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+    w_self_.push_back(
+        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+    w_rel_.push_back(
+        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+  }
+  for (int r = 0; r < ctx.num_relations; ++r)
+    rel_norm_.push_back(MeanEdgeNorm(ctx.rel_edges[r], ctx.num_nodes));
+}
+
+nn::Tensor CompGcnModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h = features_.Forward();
+  nn::Tensor rel = rel_embeddings_;
+  for (size_t l = 0; l < w_msg_.size(); ++l) {
+    nn::Tensor out = nn::MatMul(h, w_self_[l]);
+    for (int r = 0; r < ctx_.num_relations; ++r) {
+      const FlatEdges& edges = ctx_.rel_edges[r];
+      if (edges.size() == 0) continue;
+      // phi(h_u, h_r) = h_u ⊙ h_r (relation row broadcast per edge).
+      const std::vector<int> rel_ids(edges.size(), r);
+      nn::Tensor composed =
+          nn::Mul(nn::Gather(h, edges.src), nn::Gather(rel, rel_ids));
+      nn::Tensor msg = nn::Mul(composed, rel_norm_[r]);
+      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, ctx_.num_nodes);
+      out = nn::Add(out, nn::MatMul(agg, w_msg_[l]));
+    }
+    h = nn::Tanh(out);
+    rel = nn::MatMul(rel, w_rel_[l]);
+  }
+  rel_out_ = rel;
+  return h;
+}
+
+nn::Tensor CompGcnModel::ScorePairs(const nn::Tensor& h,
+                                    const PairBatch& batch) {
+  return DistMultScorer::ScoreWith(h, rel_out_, batch);
+}
+
+}  // namespace prim::models

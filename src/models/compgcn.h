@@ -1,0 +1,39 @@
+#ifndef PRIM_MODELS_COMPGCN_H_
+#define PRIM_MODELS_COMPGCN_H_
+
+#include <vector>
+
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// CompGCN baseline (Vashishth et al.): node and relation embeddings are
+/// learned jointly; messages compose neighbour and relation embeddings
+/// (element-wise product here, the strongest composition in the original
+/// paper) through a shared weight, and relation embeddings are re-projected
+/// each layer. Scoring is DistMult with the learned relation embeddings —
+/// the phi class has its own embedding, updated like the others.
+class CompGcnModel : public RelationModel {
+ public:
+  CompGcnModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "CompGCN"; }
+
+ private:
+  NodeFeatureEncoder features_;
+  nn::Tensor rel_embeddings_;          // (R+1) x dim
+  std::vector<nn::Tensor> w_msg_;      // per layer: dim x dim
+  std::vector<nn::Tensor> w_self_;     // per layer: dim x dim
+  std::vector<nn::Tensor> w_rel_;      // per layer: dim x dim
+  std::vector<nn::Tensor> rel_norm_;   // per relation mean norm
+  nn::Tensor rel_out_;                 // relation embeddings after L layers
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_COMPGCN_H_

@@ -1,0 +1,79 @@
+#include "models/decgcn.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+DecGcnModel::DecGcnModel(const ModelContext& ctx, const ModelConfig& config,
+                         Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
+      dim_(config.dim) {
+  RegisterModule(&features_);
+  towers_.resize(ctx.num_relations);
+  for (int r = 0; r < ctx.num_relations; ++r) {
+    rel_edges_self_.push_back(WithSelfLoops(ctx.rel_edges[r], ctx.num_nodes));
+    rel_norm_.push_back(GcnEdgeNorm(rel_edges_self_[r], ctx.num_nodes));
+    for (int l = 0; l < config.layers; ++l) {
+      towers_[r].push_back(
+          std::make_unique<GcnLayer>(config.dim, config.dim, rng));
+      RegisterModule(towers_[r].back().get());
+    }
+  }
+  w_co_ = RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng));
+  for (int c = 0; c < num_classes(); ++c)
+    rel_score_.push_back(
+        RegisterParameter(nn::XavierUniform(config.dim, 1, rng)));
+}
+
+nn::Tensor DecGcnModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h0 = features_.Forward();
+  std::vector<nn::Tensor> z(ctx_.num_relations);
+  for (int r = 0; r < ctx_.num_relations; ++r) {
+    z[r] = h0;
+    for (const auto& layer : towers_[r])
+      z[r] = layer->Forward(z[r], rel_edges_self_[r], rel_norm_[r],
+                            ctx_.num_nodes);
+  }
+  // Gated co-attention between towers.
+  std::vector<nn::Tensor> fused(ctx_.num_relations);
+  const float cross_scale =
+      ctx_.num_relations > 1 ? 1.0f / (ctx_.num_relations - 1) : 0.0f;
+  for (int r = 0; r < ctx_.num_relations; ++r) {
+    fused[r] = z[r];
+    if (cross_scale == 0.0f) continue;
+    nn::Tensor zr_proj = nn::MatMul(z[r], w_co_);
+    for (int o = 0; o < ctx_.num_relations; ++o) {
+      if (o == r) continue;
+      nn::Tensor gate = nn::Sigmoid(nn::RowSum(nn::Mul(zr_proj, z[o])));
+      fused[r] = nn::Add(fused[r],
+                         nn::Scale(nn::Mul(z[o], gate), cross_scale));
+    }
+  }
+  return nn::ConcatCols(fused);
+}
+
+nn::Tensor DecGcnModel::ScorePairs(const nn::Tensor& h,
+                                   const PairBatch& batch) {
+  // Column block r of h holds z'_r. Relation r is scored from its own
+  // tower; phi from the average tower embedding.
+  std::vector<nn::Tensor> class_scores;
+  nn::Tensor avg_i, avg_j;
+  for (int r = 0; r < ctx_.num_relations; ++r) {
+    nn::Tensor zr = nn::SliceCols(h, r * dim_, (r + 1) * dim_);
+    nn::Tensor zi = nn::Gather(zr, batch.src);
+    nn::Tensor zj = nn::Gather(zr, batch.dst);
+    class_scores.push_back(nn::MatMul(nn::Mul(zi, zj), rel_score_[r]));
+    avg_i = avg_i.defined() ? nn::Add(avg_i, zi) : zi;
+    avg_j = avg_j.defined() ? nn::Add(avg_j, zj) : zj;
+  }
+  const float inv_r = 1.0f / ctx_.num_relations;
+  nn::Tensor phi = nn::MatMul(
+      nn::Mul(nn::Scale(avg_i, inv_r), nn::Scale(avg_j, inv_r)),
+      rel_score_[ctx_.num_relations]);
+  class_scores.push_back(phi);
+  return nn::ConcatCols(class_scores);
+}
+
+}  // namespace prim::models

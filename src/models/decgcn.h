@@ -1,0 +1,42 @@
+#ifndef PRIM_MODELS_DECGCN_H_
+#define PRIM_MODELS_DECGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// DecGCN baseline (Liu et al.): decomposes the heterogeneous graph into
+/// one sub-graph per relation, runs a GCN tower on each, then exchanges
+/// information between towers with a gated co-attention:
+///   g_{r<-r'} = sigmoid(<z_r W_co, z_r'>),  z'_r = z_r + mean_{r'} g z_r'.
+/// Scoring relation r uses the relation-specific embeddings z'_r; the phi
+/// class is scored from the tower average.
+class DecGcnModel : public RelationModel {
+ public:
+  DecGcnModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  /// Returns the horizontal concatenation [z'_0 || z'_1 || ... ] of
+  /// relation-specific embeddings (N x R*dim); ScorePairs slices it.
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "DecGCN"; }
+
+ private:
+  NodeFeatureEncoder features_;
+  std::vector<std::vector<std::unique_ptr<GcnLayer>>> towers_;
+  std::vector<FlatEdges> rel_edges_self_;
+  std::vector<nn::Tensor> rel_norm_;
+  nn::Tensor w_co_;                    // dim x dim co-attention bilinear
+  std::vector<nn::Tensor> rel_score_;  // per class: dim x 1 DistMult diag
+  int dim_;
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_DECGCN_H_

@@ -1,0 +1,71 @@
+#include "models/deepr.h"
+
+#include "geo/point.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+DeepRModel::DeepRModel(const ModelContext& ctx, const ModelConfig& config,
+                       Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
+      sectors_(config.deepr_sectors),
+      scorer_(num_classes(), config.dim, rng) {
+  RegisterModule(&features_);
+  RegisterModule(&scorer_);
+  sector_edges_.resize(ctx.num_relations,
+                       std::vector<FlatEdges>(sectors_));
+  sector_norm_.resize(ctx.num_relations);
+  for (int r = 0; r < ctx.num_relations; ++r) {
+    const FlatEdges& edges = ctx.rel_edges[r];
+    for (int e = 0; e < edges.size(); ++e) {
+      // The *destination* is the centre node; the sector is the bearing of
+      // the source neighbour from it.
+      const int g = geo::SectorOf(ctx.dataset->pois[edges.dst[e]].location,
+                                  ctx.dataset->pois[edges.src[e]].location,
+                                  sectors_);
+      sector_edges_[r][g].src.push_back(edges.src[e]);
+      sector_edges_[r][g].dst.push_back(edges.dst[e]);
+      sector_edges_[r][g].dist_km.push_back(edges.dist_km[e]);
+    }
+    for (int g = 0; g < sectors_; ++g)
+      sector_norm_[r].push_back(
+          MeanEdgeNorm(sector_edges_[r][g], ctx.num_nodes));
+  }
+  for (int l = 0; l < config.layers; ++l) {
+    std::vector<nn::Tensor> layer_w;
+    for (int g = 0; g < sectors_; ++g)
+      layer_w.push_back(
+          RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+    w_sector_.push_back(std::move(layer_w));
+    w_self_.push_back(
+        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+  }
+}
+
+nn::Tensor DeepRModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h = features_.Forward();
+  for (size_t l = 0; l < w_sector_.size(); ++l) {
+    nn::Tensor out = nn::MatMul(h, w_self_[l]);
+    for (int r = 0; r < ctx_.num_relations; ++r) {
+      for (int g = 0; g < sectors_; ++g) {
+        const FlatEdges& edges = sector_edges_[r][g];
+        if (edges.size() == 0) continue;
+        nn::Tensor msg =
+            nn::Mul(nn::Gather(h, edges.src), sector_norm_[r][g]);
+        nn::Tensor agg = nn::SegmentSum(msg, edges.dst, ctx_.num_nodes);
+        out = nn::Add(out, nn::MatMul(agg, w_sector_[l][g]));
+      }
+    }
+    h = nn::Tanh(out);
+  }
+  return h;
+}
+
+nn::Tensor DeepRModel::ScorePairs(const nn::Tensor& h,
+                                  const PairBatch& batch) {
+  return scorer_.Score(h, batch);
+}
+
+}  // namespace prim::models

@@ -1,0 +1,40 @@
+#ifndef PRIM_MODELS_DEEPR_H_
+#define PRIM_MODELS_DEEPR_H_
+
+#include <vector>
+
+#include "models/distmult_scorer.h"
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// DeepR baseline (Li et al.): spatially-aware aggregation that splits a
+/// node's neighbours into geographic sectors by compass bearing and
+/// aggregates each sector with its own weight matrix. Following the paper's
+/// adaptation, one sub-graph per relation type is processed (sector weights
+/// shared across relations, relation mixing left to the scorer).
+class DeepRModel : public RelationModel {
+ public:
+  DeepRModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "DeepR"; }
+
+ private:
+  NodeFeatureEncoder features_;
+  int sectors_;
+  // Edges of relation r falling in sector g, with mean normalisation.
+  std::vector<std::vector<FlatEdges>> sector_edges_;   // [r][g]
+  std::vector<std::vector<nn::Tensor>> sector_norm_;   // [r][g]
+  std::vector<std::vector<nn::Tensor>> w_sector_;      // [layer][g]
+  std::vector<nn::Tensor> w_self_;                     // [layer]
+  DistMultScorer scorer_;
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_DEEPR_H_

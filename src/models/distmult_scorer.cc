@@ -1,0 +1,27 @@
+#include "models/distmult_scorer.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+DistMultScorer::DistMultScorer(int num_classes, int dim, Rng& rng) {
+  class_embeddings_ =
+      RegisterParameter(nn::XavierUniform(num_classes, dim, rng));
+}
+
+nn::Tensor DistMultScorer::Score(const nn::Tensor& node_embeddings,
+                                 const PairBatch& batch) const {
+  return ScoreWith(node_embeddings, class_embeddings_, batch);
+}
+
+nn::Tensor DistMultScorer::ScoreWith(const nn::Tensor& node_embeddings,
+                                     const nn::Tensor& class_embeddings,
+                                     const PairBatch& batch) {
+  nn::Tensor hi = nn::Gather(node_embeddings, batch.src);
+  nn::Tensor hj = nn::Gather(node_embeddings, batch.dst);
+  nn::Tensor prod = nn::Mul(hi, hj);                       // B x d
+  return nn::MatMul(prod, nn::Transpose(class_embeddings));  // B x C
+}
+
+}  // namespace prim::models

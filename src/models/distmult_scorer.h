@@ -1,0 +1,36 @@
+#ifndef PRIM_MODELS_DISTMULT_SCORER_H_
+#define PRIM_MODELS_DISTMULT_SCORER_H_
+
+#include "models/relation_model.h"
+#include "nn/module.h"
+
+namespace prim::models {
+
+/// DistMult-style symmetric bilinear scorer shared by all baselines:
+/// s_ij^r = h_i^T diag(w_r) h_j for every class r in R* (phi included as
+/// the last class). Symmetry matches the paper's observation that POI
+/// relationships are symmetric (§4.5 adopts the same form, Eq. 12).
+class DistMultScorer : public nn::Module {
+ public:
+  DistMultScorer(int num_classes, int dim, Rng& rng);
+
+  /// node_embeddings: N x dim; returns batch x num_classes logits.
+  nn::Tensor Score(const nn::Tensor& node_embeddings,
+                   const PairBatch& batch) const;
+
+  /// Scores pairs against an externally supplied class-embedding matrix
+  /// (num_classes x dim) instead of the internal one (used by CompGCN,
+  /// whose relation embeddings come out of the encoder).
+  static nn::Tensor ScoreWith(const nn::Tensor& node_embeddings,
+                              const nn::Tensor& class_embeddings,
+                              const PairBatch& batch);
+
+  const nn::Tensor& class_embeddings() const { return class_embeddings_; }
+
+ private:
+  nn::Tensor class_embeddings_;  // num_classes x dim
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_DISTMULT_SCORER_H_

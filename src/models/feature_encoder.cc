@@ -1,0 +1,36 @@
+#include "models/feature_encoder.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+NodeFeatureEncoder::NodeFeatureEncoder(const ModelContext& ctx, int dim,
+                                       bool use_taxonomy_path, Rng& rng)
+    : ctx_(ctx), dim_(dim), use_taxonomy_path_(use_taxonomy_path) {
+  if (use_taxonomy_path_) {
+    taxonomy_table_ = RegisterParameter(
+        nn::XavierUniform(ctx.num_taxonomy_nodes, dim, rng));
+  } else {
+    category_table_ = RegisterParameter(
+        nn::XavierUniform(std::max(1, ctx.num_categories), dim, rng));
+  }
+  attr_weight_ =
+      RegisterParameter(nn::XavierUniform(ctx.attrs.cols(), dim, rng));
+}
+
+nn::Tensor NodeFeatureEncoder::Forward() const {
+  nn::Tensor category_part;
+  if (use_taxonomy_path_) {
+    // q_p = sum of taxonomy-node embeddings along the leaf-to-root path.
+    nn::Tensor path_rows = nn::Gather(taxonomy_table_, ctx_.path_nodes);
+    category_part =
+        nn::SegmentSum(path_rows, ctx_.path_segments, ctx_.num_nodes);
+  } else {
+    category_part = nn::Gather(category_table_, ctx_.poi_category);
+  }
+  nn::Tensor attr_part = nn::MatMul(ctx_.attrs, attr_weight_);
+  return nn::Add(category_part, attr_part);
+}
+
+}  // namespace prim::models

@@ -1,0 +1,40 @@
+#ifndef PRIM_MODELS_FEATURE_ENCODER_H_
+#define PRIM_MODELS_FEATURE_ENCODER_H_
+
+#include "models/model_context.h"
+#include "nn/module.h"
+
+namespace prim::models {
+
+/// Produces the input node features H0 (N x dim) every encoder starts
+/// from. Features are derived from category and attributes only — never
+/// from free per-node embeddings — which is what makes every model here
+/// inductive (§5.5.2: representations of unseen POIs are computable).
+///
+/// Two category modes:
+///  * taxonomy path sum (PRIM §4.3): q_p = sum of embeddings of all
+///    taxonomy nodes on the leaf-to-root path — close categories share
+///    most of their path and thus their representation;
+///  * independent leaf embeddings (baselines, and PRIM's -T ablation).
+class NodeFeatureEncoder : public nn::Module {
+ public:
+  NodeFeatureEncoder(const ModelContext& ctx, int dim, bool use_taxonomy_path,
+                     Rng& rng);
+
+  /// N x dim feature matrix (recomputed per call; participates in autograd).
+  nn::Tensor Forward() const;
+
+  int dim() const { return dim_; }
+
+ private:
+  const ModelContext& ctx_;
+  int dim_;
+  bool use_taxonomy_path_;
+  nn::Tensor taxonomy_table_;  // taxonomy nodes x dim (path mode)
+  nn::Tensor category_table_;  // categories x dim (independent mode)
+  nn::Tensor attr_weight_;     // attr_dim x dim
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_FEATURE_ENCODER_H_

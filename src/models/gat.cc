@@ -1,0 +1,31 @@
+#include "models/gat.h"
+
+namespace prim::models {
+
+GatModel::GatModel(const ModelContext& ctx, const ModelConfig& config,
+                   Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
+      scorer_(num_classes(), config.dim, rng),
+      edges_(WithSelfLoops(ctx.union_edges, ctx.num_nodes)) {
+  RegisterModule(&features_);
+  RegisterModule(&scorer_);
+  for (int l = 0; l < config.layers; ++l) {
+    layers_.push_back(std::make_unique<GatLayer>(
+        config.dim, config.dim, config.heads, config.leaky_alpha, rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+nn::Tensor GatModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h = features_.Forward();
+  for (const auto& layer : layers_)
+    h = layer->Forward(h, edges_, ctx_.num_nodes);
+  return h;
+}
+
+nn::Tensor GatModel::ScorePairs(const nn::Tensor& h, const PairBatch& batch) {
+  return scorer_.Score(h, batch);
+}
+
+}  // namespace prim::models

@@ -1,0 +1,34 @@
+#ifndef PRIM_MODELS_GAT_H_
+#define PRIM_MODELS_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/distmult_scorer.h"
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// GAT baseline (Velickovic et al.): attention-weighted aggregation over
+/// the homogeneous union graph; relation types are ignored.
+class GatModel : public RelationModel {
+ public:
+  GatModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "GAT"; }
+
+ private:
+  NodeFeatureEncoder features_;
+  std::vector<std::unique_ptr<GatLayer>> layers_;
+  DistMultScorer scorer_;
+  FlatEdges edges_;
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_GAT_H_

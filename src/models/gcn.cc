@@ -1,0 +1,31 @@
+#include "models/gcn.h"
+
+namespace prim::models {
+
+GcnModel::GcnModel(const ModelContext& ctx, const ModelConfig& config,
+                   Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
+      scorer_(num_classes(), config.dim, rng),
+      edges_(WithSelfLoops(ctx.union_edges, ctx.num_nodes)),
+      norm_(GcnEdgeNorm(edges_, ctx.num_nodes)) {
+  RegisterModule(&features_);
+  RegisterModule(&scorer_);
+  for (int l = 0; l < config.layers; ++l) {
+    layers_.push_back(std::make_unique<GcnLayer>(config.dim, config.dim, rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+nn::Tensor GcnModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h = features_.Forward();
+  for (const auto& layer : layers_)
+    h = layer->Forward(h, edges_, norm_, ctx_.num_nodes);
+  return h;
+}
+
+nn::Tensor GcnModel::ScorePairs(const nn::Tensor& h, const PairBatch& batch) {
+  return scorer_.Score(h, batch);
+}
+
+}  // namespace prim::models

@@ -1,0 +1,36 @@
+#ifndef PRIM_MODELS_GCN_H_
+#define PRIM_MODELS_GCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/distmult_scorer.h"
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// GCN baseline (Kipf & Welling): vanilla graph convolution over the
+/// homogeneous union of all relation types — relation heterogeneity is
+/// deliberately ignored, as in the paper's comparison.
+class GcnModel : public RelationModel {
+ public:
+  GcnModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "GCN"; }
+
+ private:
+  NodeFeatureEncoder features_;
+  std::vector<std::unique_ptr<GcnLayer>> layers_;
+  DistMultScorer scorer_;
+  FlatEdges edges_;   // union + self loops
+  nn::Tensor norm_;   // GCN symmetric norm
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_GCN_H_

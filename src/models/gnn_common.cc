@@ -1,0 +1,104 @@
+#include "models/gnn_common.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace prim::models {
+
+FlatEdges WithSelfLoops(const FlatEdges& edges, int num_nodes) {
+  FlatEdges out = edges;
+  out.src.reserve(out.src.size() + num_nodes);
+  out.dst.reserve(out.dst.size() + num_nodes);
+  out.dist_km.reserve(out.dist_km.size() + num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    out.src.push_back(i);
+    out.dst.push_back(i);
+    out.dist_km.push_back(0.0f);
+  }
+  return out;
+}
+
+nn::Tensor GcnEdgeNorm(const FlatEdges& edges, int num_nodes) {
+  // Edge lists are symmetric (both directions present), so counting dst
+  // occurrences yields the full degree.
+  std::vector<float> deg(num_nodes, 0.0f);
+  for (int d : edges.dst) deg[d] += 1.0f;
+  nn::Tensor norm = nn::Tensor::Zeros(edges.size(), 1);
+  float* nd = norm.data();
+  for (int e = 0; e < edges.size(); ++e) {
+    const float ds = std::max(deg[edges.src[e]], 1.0f);
+    const float dd = std::max(deg[edges.dst[e]], 1.0f);
+    nd[e] = 1.0f / std::sqrt(ds * dd);
+  }
+  return norm;
+}
+
+nn::Tensor MeanEdgeNorm(const FlatEdges& edges, int num_nodes) {
+  std::vector<float> deg(num_nodes, 0.0f);
+  for (int d : edges.dst) deg[d] += 1.0f;
+  nn::Tensor norm = nn::Tensor::Zeros(edges.size(), 1);
+  float* nd = norm.data();
+  for (int e = 0; e < edges.size(); ++e)
+    nd[e] = 1.0f / std::max(deg[edges.dst[e]], 1.0f);
+  return norm;
+}
+
+nn::Tensor DistanceFeatures(const std::vector<float>& dist_km) {
+  nn::Tensor feat = nn::Tensor::Zeros(static_cast<int>(dist_km.size()), 3);
+  float* fd = feat.data();
+  for (size_t e = 0; e < dist_km.size(); ++e) {
+    const float d = dist_km[e];
+    fd[e * 3 + 0] = d;
+    fd[e * 3 + 1] = std::log1p(d);
+    fd[e * 3 + 2] = std::exp(-d);
+  }
+  return feat;
+}
+
+GatLayer::GatLayer(int in_dim, int out_dim, int heads, float leaky_alpha,
+                   Rng& rng)
+    : heads_(heads), leaky_alpha_(leaky_alpha) {
+  PRIM_CHECK_MSG(out_dim % heads == 0, "out_dim " << out_dim
+                                                  << " not divisible by "
+                                                  << heads << " heads");
+  head_dim_ = out_dim / heads;
+  for (int k = 0; k < heads; ++k) {
+    w_.push_back(RegisterParameter(nn::XavierUniform(in_dim, head_dim_, rng)));
+    attn_.push_back(
+        RegisterParameter(nn::XavierUniform(2 * head_dim_, 1, rng)));
+  }
+}
+
+nn::Tensor GatLayer::Forward(const nn::Tensor& h, const FlatEdges& edges,
+                             int num_nodes) const {
+  std::vector<nn::Tensor> heads_out;
+  heads_out.reserve(heads_);
+  for (int k = 0; k < heads_; ++k) {
+    nn::Tensor wh = nn::MatMul(h, w_[k]);                 // N x dh
+    nn::Tensor wh_dst = nn::Gather(wh, edges.dst);        // E x dh
+    nn::Tensor wh_src = nn::Gather(wh, edges.src);        // E x dh
+    nn::Tensor e = nn::LeakyRelu(
+        nn::MatMul(nn::ConcatCols({wh_dst, wh_src}), attn_[k]),
+        leaky_alpha_);                                    // E x 1
+    nn::Tensor alpha = nn::SegmentSoftmax(e, edges.dst, num_nodes);
+    nn::Tensor agg =
+        nn::SegmentSum(nn::Mul(wh_src, alpha), edges.dst, num_nodes);
+    heads_out.push_back(nn::Tanh(agg));
+  }
+  return heads_out.size() == 1 ? heads_out[0] : nn::ConcatCols(heads_out);
+}
+
+GcnLayer::GcnLayer(int in_dim, int out_dim, Rng& rng) {
+  weight_ = RegisterParameter(nn::XavierUniform(in_dim, out_dim, rng));
+}
+
+nn::Tensor GcnLayer::Forward(const nn::Tensor& h, const FlatEdges& edges,
+                             const nn::Tensor& norm, int num_nodes) const {
+  nn::Tensor msg = nn::Mul(nn::Gather(h, edges.src), norm);
+  nn::Tensor agg = nn::SegmentSum(msg, edges.dst, num_nodes);
+  return nn::Tanh(nn::MatMul(agg, weight_));
+}
+
+}  // namespace prim::models

@@ -1,0 +1,62 @@
+#ifndef PRIM_MODELS_GNN_COMMON_H_
+#define PRIM_MODELS_GNN_COMMON_H_
+
+#include <vector>
+
+#include "models/model_context.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+/// Returns `edges` plus one self-loop per node (dist 0). GCN/GAT-style
+/// layers need self-loops so every node receives its own features.
+FlatEdges WithSelfLoops(const FlatEdges& edges, int num_nodes);
+
+/// Symmetric GCN normalisation per edge: 1 / sqrt(deg(src) * deg(dst)),
+/// degrees counted over `edges` itself (call after WithSelfLoops).
+/// Returned as an (E x 1) constant tensor.
+nn::Tensor GcnEdgeNorm(const FlatEdges& edges, int num_nodes);
+
+/// Row (mean) normalisation per edge: 1 / deg(dst). (E x 1) constant.
+nn::Tensor MeanEdgeNorm(const FlatEdges& edges, int num_nodes);
+
+/// Per-edge geographic feature triple [d, log1p(d), exp(-d)] as an (E x 3)
+/// constant tensor — the featurisation behind W_d * d_ij in Eq. 3.
+nn::Tensor DistanceFeatures(const std::vector<float>& dist_km);
+
+/// Single graph-attention layer (GAT, Velickovic et al.), reused by the
+/// GAT baseline and HAN's node-level attention. Multi-head with concat.
+class GatLayer : public nn::Module {
+ public:
+  GatLayer(int in_dim, int out_dim, int heads, float leaky_alpha, Rng& rng);
+
+  /// edges must include self-loops; returns N x out_dim.
+  nn::Tensor Forward(const nn::Tensor& h, const FlatEdges& edges,
+                     int num_nodes) const;
+
+ private:
+  int heads_;
+  int head_dim_;
+  float leaky_alpha_;
+  std::vector<nn::Tensor> w_;       // per head: in x head_dim
+  std::vector<nn::Tensor> attn_;    // per head: (2*head_dim) x 1
+};
+
+/// Single GCN layer: H' = tanh( (D^-1/2 (A+I) D^-1/2) H W ). Reused by the
+/// GCN baseline and DecGCN's per-relation towers.
+class GcnLayer : public nn::Module {
+ public:
+  GcnLayer(int in_dim, int out_dim, Rng& rng);
+
+  /// `norm` must be the (E x 1) output of GcnEdgeNorm for `edges`.
+  nn::Tensor Forward(const nn::Tensor& h, const FlatEdges& edges,
+                     const nn::Tensor& norm, int num_nodes) const;
+
+ private:
+  nn::Tensor weight_;  // in x out
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_GNN_COMMON_H_

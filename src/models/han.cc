@@ -1,0 +1,57 @@
+#include "models/han.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+HanModel::HanModel(const ModelContext& ctx, const ModelConfig& config,
+                   Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
+      scorer_(num_classes(), config.dim, rng) {
+  RegisterModule(&features_);
+  RegisterModule(&scorer_);
+  towers_.resize(ctx.num_relations);
+  for (int r = 0; r < ctx.num_relations; ++r) {
+    rel_edges_self_.push_back(
+        WithSelfLoops(ctx.rel_edges[r], ctx.num_nodes));
+    for (int l = 0; l < config.layers; ++l) {
+      towers_[r].push_back(std::make_unique<GatLayer>(
+          config.dim, config.dim, config.heads, config.leaky_alpha, rng));
+      RegisterModule(towers_[r].back().get());
+    }
+  }
+  sem_w_ = RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng));
+  sem_b_ = RegisterParameter(nn::Tensor::Zeros(1, config.dim, true));
+  sem_q_ = RegisterParameter(nn::XavierUniform(config.dim, 1, rng));
+}
+
+nn::Tensor HanModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h0 = features_.Forward();
+  std::vector<nn::Tensor> towers_out;
+  std::vector<nn::Tensor> sem_scores;
+  for (int r = 0; r < ctx_.num_relations; ++r) {
+    nn::Tensor z = h0;
+    for (const auto& layer : towers_[r])
+      z = layer->Forward(z, rel_edges_self_[r], ctx_.num_nodes);
+    towers_out.push_back(z);
+    // Semantic score: mean over nodes of q^T tanh(W z + b), a 1x1 scalar.
+    nn::Tensor proj = nn::Tanh(nn::Add(nn::MatMul(z, sem_w_), sem_b_));
+    sem_scores.push_back(nn::MeanAll(nn::MatMul(proj, sem_q_)));
+  }
+  nn::Tensor beta = nn::RowSoftmax(nn::ConcatCols(sem_scores));  // 1 x R
+  nn::Tensor out;
+  for (int r = 0; r < ctx_.num_relations; ++r) {
+    nn::Tensor weighted =
+        nn::Mul(towers_out[r], nn::SliceCols(beta, r, r + 1));
+    out = out.defined() ? nn::Add(out, weighted) : weighted;
+  }
+  return out;
+}
+
+nn::Tensor HanModel::ScorePairs(const nn::Tensor& h, const PairBatch& batch) {
+  return scorer_.Score(h, batch);
+}
+
+}  // namespace prim::models

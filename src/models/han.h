@@ -1,0 +1,41 @@
+#ifndef PRIM_MODELS_HAN_H_
+#define PRIM_MODELS_HAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/distmult_scorer.h"
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// HAN baseline (Wang et al.): each relation type acts as a meta-path.
+/// Node-level attention (a GAT stack) runs per relation; a semantic-level
+/// attention then mixes the per-relation embeddings:
+///   w_r = mean_i q^T tanh(W z_r[i] + b),  beta = softmax(w),
+///   Z = sum_r beta_r z_r.
+class HanModel : public RelationModel {
+ public:
+  HanModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "HAN"; }
+
+ private:
+  NodeFeatureEncoder features_;
+  // towers_[r][l]: GAT stack for relation r.
+  std::vector<std::vector<std::unique_ptr<GatLayer>>> towers_;
+  std::vector<FlatEdges> rel_edges_self_;  // per relation, with self loops
+  nn::Tensor sem_w_;   // dim x dim
+  nn::Tensor sem_b_;   // 1 x dim
+  nn::Tensor sem_q_;   // dim x 1
+  DistMultScorer scorer_;
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_HAN_H_

@@ -1,0 +1,84 @@
+#include "models/hgt.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+HgtModel::HgtModel(const ModelContext& ctx, const ModelConfig& config,
+                   Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
+      scorer_(num_classes(), config.dim, rng),
+      dim_(config.dim) {
+  RegisterModule(&features_);
+  RegisterModule(&scorer_);
+  for (int l = 0; l < config.layers; ++l) {
+    Layer layer;
+    layer.w_q = RegisterParameter(nn::XavierUniform(dim_, dim_, rng));
+    for (int r = 0; r < ctx.num_relations; ++r) {
+      layer.w_k.push_back(RegisterParameter(nn::XavierUniform(dim_, dim_, rng)));
+      layer.w_v.push_back(RegisterParameter(nn::XavierUniform(dim_, dim_, rng)));
+    }
+    layer.w_out = RegisterParameter(nn::XavierUniform(dim_, dim_, rng));
+    layer.mu = RegisterParameter(
+        nn::Tensor::Full(ctx.num_relations, 1, 1.0f, /*requires_grad=*/true));
+    layers_.push_back(std::move(layer));
+  }
+  for (int r = 0; r < ctx.num_relations; ++r) {
+    const FlatEdges& edges = ctx.rel_edges[r];
+    const int begin = static_cast<int>(all_src_.size());
+    all_src_.insert(all_src_.end(), edges.src.begin(), edges.src.end());
+    all_dst_.insert(all_dst_.end(), edges.dst.begin(), edges.dst.end());
+    rel_ranges_.emplace_back(begin, static_cast<int>(all_src_.size()));
+  }
+}
+
+nn::Tensor HgtModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h = features_.Forward();
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(dim_));
+  for (const Layer& layer : layers_) {
+    if (all_src_.empty()) {
+      h = nn::Tanh(nn::MatMul(h, layer.w_out));
+      continue;
+    }
+    nn::Tensor q = nn::MatMul(h, layer.w_q);
+    // Per-relation attention logits and value messages, concatenated so the
+    // softmax normalises over the full multi-relation neighbourhood.
+    std::vector<nn::Tensor> scores, values;
+    for (int r = 0; r < ctx_.num_relations; ++r) {
+      const auto [begin, end] = rel_ranges_[r];
+      if (begin == end) continue;
+      const std::vector<int> src(all_src_.begin() + begin,
+                                 all_src_.begin() + end);
+      const std::vector<int> dst(all_dst_.begin() + begin,
+                                 all_dst_.begin() + end);
+      nn::Tensor k = nn::MatMul(h, layer.w_k[r]);
+      nn::Tensor v = nn::MatMul(h, layer.w_v[r]);
+      nn::Tensor att = nn::Scale(
+          nn::RowSum(nn::Mul(nn::Gather(k, src), nn::Gather(q, dst))),
+          inv_sqrt_d);
+      // Relation prior mu_r scales the logit (HGT's meta-relation prior).
+      const std::vector<int> rel_row(src.size(), r);
+      att = nn::Mul(att, nn::Gather(layer.mu, rel_row));
+      scores.push_back(att);
+      values.push_back(nn::Gather(v, src));
+    }
+    nn::Tensor all_scores = nn::ConcatRows(scores);
+    nn::Tensor all_values = nn::ConcatRows(values);
+    nn::Tensor alpha = nn::SegmentSoftmax(all_scores, all_dst_, ctx_.num_nodes);
+    nn::Tensor agg =
+        nn::SegmentSum(nn::Mul(all_values, alpha), all_dst_, ctx_.num_nodes);
+    // Residual update: h' = tanh(W_out agg + h).
+    h = nn::Tanh(nn::Add(nn::MatMul(agg, layer.w_out), h));
+  }
+  return h;
+}
+
+nn::Tensor HgtModel::ScorePairs(const nn::Tensor& h, const PairBatch& batch) {
+  return scorer_.Score(h, batch);
+}
+
+}  // namespace prim::models

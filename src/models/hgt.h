@@ -1,0 +1,46 @@
+#ifndef PRIM_MODELS_HGT_H_
+#define PRIM_MODELS_HGT_H_
+
+#include <vector>
+
+#include "models/distmult_scorer.h"
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// HGT baseline (Hu et al.), specialised to a single node type: per-layer,
+/// relation-specific key/value projections feed scaled-dot mutual
+/// attention whose softmax spans a node's whole neighbourhood across all
+/// relation types, followed by a residual output projection.
+class HgtModel : public RelationModel {
+ public:
+  HgtModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "HGT"; }
+
+ private:
+  struct Layer {
+    nn::Tensor w_q;                 // dim x dim
+    std::vector<nn::Tensor> w_k;    // per relation: dim x dim
+    std::vector<nn::Tensor> w_v;    // per relation: dim x dim
+    nn::Tensor w_out;               // dim x dim
+    nn::Tensor mu;                  // R x 1 per-relation attention prior
+  };
+
+  NodeFeatureEncoder features_;
+  std::vector<Layer> layers_;
+  DistMultScorer scorer_;
+  int dim_;
+  // Concatenated cross-relation edge arrays (per-relation blocks).
+  std::vector<int> all_src_, all_dst_;
+  std::vector<std::pair<int, int>> rel_ranges_;  // [begin, end) per relation
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_HGT_H_

@@ -1,0 +1,34 @@
+#ifndef PRIM_MODELS_MODEL_CONFIG_H_
+#define PRIM_MODELS_MODEL_CONFIG_H_
+
+namespace prim::models {
+
+/// Hyper-parameters shared by all GNN methods so comparisons isolate the
+/// architecture (the paper fixes embedding size and layer count across
+/// methods, §5.1.3). Paper-scale values: dim 128, 3 layers, 4 heads; the
+/// small-scale defaults below keep single-core bench runs tractable while
+/// preserving relative behaviour.
+struct ModelConfig {
+  int dim = 32;       // POI embedding size.
+  int layers = 2;     // GNN layers (paper: 3).
+  int heads = 4;      // Attention heads (GAT, WRGNN).
+  int tax_dim = 16;   // Category representation size (paper: 128).
+  float dropout = 0.0f;
+  float leaky_alpha = 0.2f;
+
+  // DeepR
+  int deepr_sectors = 4;
+
+  // Random-walk baselines (paper: window 5, walk length 30, 20 walks).
+  int walk_length = 30;
+  int walks_per_node = 10;
+  int walk_window = 5;
+  int sgns_negatives = 5;
+  int sgns_epochs = 2;
+  float node2vec_p = 1.0f;
+  float node2vec_q = 0.5f;
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_MODEL_CONFIG_H_

@@ -1,0 +1,103 @@
+#include "models/model_context.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geo/grid_index.h"
+
+namespace prim::models {
+
+ModelContext BuildModelContext(const data::PoiDataset& dataset,
+                               const std::vector<graph::Triple>& train_edges,
+                               const ModelContextOptions& options) {
+  ModelContext ctx;
+  ctx.dataset = &dataset;
+  ctx.num_nodes = dataset.num_pois();
+  ctx.num_relations = dataset.num_relations;
+  ctx.rbf_theta = options.rbf_theta;
+  ctx.spatial_threshold_km = options.spatial_threshold_km > 0.0
+                                 ? options.spatial_threshold_km
+                                 : dataset.spatial_threshold_km;
+
+  ctx.train_graph = std::make_unique<graph::HeteroGraph>(
+      ctx.num_nodes, ctx.num_relations, train_edges);
+
+  // Per-relation and union flattened edges with distances.
+  ctx.rel_edges.resize(ctx.num_relations);
+  for (int r = 0; r < ctx.num_relations; ++r) {
+    const auto& src = ctx.train_graph->EdgeSrc(r);
+    const auto& dst = ctx.train_graph->EdgeDst(r);
+    FlatEdges& edges = ctx.rel_edges[r];
+    edges.src = src;
+    edges.dst = dst;
+    edges.dist_km.resize(src.size());
+    for (size_t e = 0; e < src.size(); ++e)
+      edges.dist_km[e] = ctx.PairDistanceKm(src[e], dst[e]);
+    ctx.union_edges.src.insert(ctx.union_edges.src.end(), src.begin(),
+                               src.end());
+    ctx.union_edges.dst.insert(ctx.union_edges.dst.end(), dst.begin(),
+                               dst.end());
+    ctx.union_edges.dist_km.insert(ctx.union_edges.dist_km.end(),
+                                   edges.dist_km.begin(),
+                                   edges.dist_km.end());
+  }
+
+  // Spatial neighbours (Definition 3.1) via the grid index.
+  std::vector<geo::GeoPoint> locations(ctx.num_nodes);
+  for (int i = 0; i < ctx.num_nodes; ++i)
+    locations[i] = dataset.pois[i].location;
+  geo::GridIndex index(locations,
+                       std::max(0.25, ctx.spatial_threshold_km));
+  for (int i = 0; i < ctx.num_nodes; ++i) {
+    std::vector<int> neigh = index.NeighborsOf(i, ctx.spatial_threshold_km);
+    if (options.max_spatial_neighbors > 0 &&
+        static_cast<int>(neigh.size()) > options.max_spatial_neighbors) {
+      // Keep the nearest ones (First Law of Geography: they carry the most
+      // context anyway).
+      std::vector<std::pair<float, int>> ranked;
+      ranked.reserve(neigh.size());
+      for (int j : neigh) ranked.emplace_back(ctx.PairDistanceKm(i, j), j);
+      std::nth_element(
+          ranked.begin(), ranked.begin() + options.max_spatial_neighbors,
+          ranked.end());
+      ranked.resize(options.max_spatial_neighbors);
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      neigh.clear();
+      for (const auto& [d, j] : ranked) neigh.push_back(j);
+    }
+    for (int j : neigh) {
+      const float km = ctx.PairDistanceKm(i, j);
+      // Direction convention: messages flow src -> dst; dst is the query.
+      ctx.spatial.src.push_back(j);
+      ctx.spatial.dst.push_back(i);
+      ctx.spatial.dist_km.push_back(km);
+      ctx.spatial_rbf.push_back(static_cast<float>(
+          geo::RbfKernel(km, ctx.rbf_theta)));
+    }
+  }
+
+  // Taxonomy paths and dense category ids.
+  ctx.num_taxonomy_nodes = dataset.taxonomy.num_nodes();
+  ctx.poi_category.resize(ctx.num_nodes);
+  std::vector<int> leaf_to_dense(ctx.num_taxonomy_nodes, -1);
+  for (int i = 0; i < ctx.num_nodes; ++i) {
+    const int leaf = dataset.pois[i].category;
+    if (leaf_to_dense[leaf] == -1) leaf_to_dense[leaf] = ctx.num_categories++;
+    ctx.poi_category[i] = leaf_to_dense[leaf];
+    for (int node : dataset.taxonomy.PathToRoot(leaf)) {
+      ctx.path_nodes.push_back(node);
+      ctx.path_segments.push_back(i);
+    }
+  }
+
+  // Attribute matrix.
+  const int attr_dim = dataset.attr_dim();
+  ctx.attrs = nn::Tensor::Zeros(ctx.num_nodes, std::max(1, attr_dim));
+  for (int i = 0; i < ctx.num_nodes; ++i)
+    for (int d = 0; d < attr_dim; ++d)
+      ctx.attrs.at(i, d) = dataset.pois[i].attrs[d];
+  return ctx;
+}
+
+}  // namespace prim::models

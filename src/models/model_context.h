@@ -1,0 +1,77 @@
+#ifndef PRIM_MODELS_MODEL_CONTEXT_H_
+#define PRIM_MODELS_MODEL_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/hetero_graph.h"
+#include "nn/tensor.h"
+
+namespace prim::models {
+
+/// A flat directed edge list with per-edge geographic distances — the
+/// layout message-passing ops consume (Gather by src, SegmentSum by dst).
+struct FlatEdges {
+  std::vector<int> src;
+  std::vector<int> dst;
+  std::vector<float> dist_km;
+
+  int size() const { return static_cast<int>(src.size()); }
+};
+
+/// Everything a model needs about one dataset + training split, built once
+/// and shared (read-only) by all models in an experiment:
+///  * per-relation directed training edges (message-passing graph),
+///  * the homogeneous union view (for GCN/GAT/DeepWalk),
+///  * spatial neighbours within the threshold d with RBF weights (§4.4),
+///  * taxonomy paths flattened for segment-sum embedding (§4.3),
+///  * the constant POI attribute matrix.
+struct ModelContext {
+  const data::PoiDataset* dataset = nullptr;
+  int num_nodes = 0;
+  int num_relations = 0;  // |R|, excluding the non-relation type phi.
+
+  std::unique_ptr<graph::HeteroGraph> train_graph;
+  std::vector<FlatEdges> rel_edges;  // size num_relations
+  FlatEdges union_edges;             // all relations merged
+
+  FlatEdges spatial;                  // spatial-neighbour edges (directed)
+  std::vector<float> spatial_rbf;     // exp(-theta * d^2) per spatial edge
+  double rbf_theta = 2.0;
+  double spatial_threshold_km = 1.15;
+
+  /// Flattened taxonomy paths: for poi i, the taxonomy node ids on its
+  /// category's root path appear in path_nodes with path_segments == i.
+  std::vector<int> path_nodes;
+  std::vector<int> path_segments;
+  /// Leaf category index per POI, remapped to a dense [0, num_categories).
+  std::vector<int> poi_category;
+  int num_categories = 0;
+  int num_taxonomy_nodes = 0;
+
+  nn::Tensor attrs;  // num_nodes x attr_dim, constant.
+
+  /// Distance between two POIs in km (haversine).
+  float PairDistanceKm(int i, int j) const {
+    return static_cast<float>(dataset->DistanceKm(i, j));
+  }
+};
+
+struct ModelContextOptions {
+  /// Override of the dataset's spatial threshold d; <= 0 keeps it.
+  double spatial_threshold_km = -1.0;
+  double rbf_theta = 2.0;
+  /// Caps spatial neighbours per POI (nearest kept) to bound cost in
+  /// dense cores; <= 0 means unlimited.
+  int max_spatial_neighbors = 30;
+};
+
+/// Builds the context from a dataset and its *training* triples.
+ModelContext BuildModelContext(const data::PoiDataset& dataset,
+                               const std::vector<graph::Triple>& train_edges,
+                               const ModelContextOptions& options = {});
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_MODEL_CONTEXT_H_

@@ -1,0 +1,167 @@
+#include "models/random_walk.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+SgnsEmbedder::SgnsEmbedder(const ModelContext& ctx, const Options& options,
+                           Rng& rng)
+    : ctx_(ctx), options_(options), rng_(rng.Fork()) {
+  adjacency_.resize(ctx.num_nodes);
+  for (int e = 0; e < ctx.union_edges.size(); ++e)
+    adjacency_[ctx.union_edges.dst[e]].push_back(ctx.union_edges.src[e]);
+}
+
+std::vector<int> SgnsEmbedder::Walk(int start, Rng& rng) const {
+  std::vector<int> walk{start};
+  int prev = -1;
+  while (static_cast<int>(walk.size()) < options_.walk_length) {
+    const int cur = walk.back();
+    const auto& neighbors = adjacency_[cur];
+    if (neighbors.empty()) break;
+    int next;
+    if (prev < 0 || (options_.p == 1.0f && options_.q == 1.0f)) {
+      next = neighbors[rng.UniformInt(neighbors.size())];
+    } else {
+      // node2vec second-order bias via rejection sampling: weight 1/p for
+      // returning to prev, 1 for nodes adjacent to prev, 1/q otherwise.
+      const float w_max =
+          std::max({1.0f, 1.0f / options_.p, 1.0f / options_.q});
+      next = -1;
+      for (int attempt = 0; attempt < 32 && next < 0; ++attempt) {
+        const int cand = neighbors[rng.UniformInt(neighbors.size())];
+        float w;
+        if (cand == prev) {
+          w = 1.0f / options_.p;
+        } else if (ctx_.train_graph->HasAnyEdge(cand, prev)) {
+          w = 1.0f;
+        } else {
+          w = 1.0f / options_.q;
+        }
+        if (rng.Uniform() < w / w_max) next = cand;
+      }
+      if (next < 0) next = neighbors[rng.UniformInt(neighbors.size())];
+    }
+    prev = cur;
+    walk.push_back(next);
+  }
+  return walk;
+}
+
+nn::Tensor SgnsEmbedder::Fit() {
+  const int n = ctx_.num_nodes;
+  const int d = options_.dim;
+  std::vector<float> in(static_cast<size_t>(n) * d);
+  std::vector<float> out(static_cast<size_t>(n) * d, 0.0f);
+  for (auto& x : in)
+    x = static_cast<float>(rng_.Uniform(-0.5, 0.5)) / d;
+
+  // Degree^0.75 negative-sampling table (word2vec style).
+  std::vector<double> neg_weights(n);
+  for (int i = 0; i < n; ++i)
+    neg_weights[i] = std::pow(static_cast<double>(adjacency_[i].size()) + 1.0,
+                              0.75);
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  float lr = options_.lr;
+  const float min_lr = options_.lr * 0.05f;
+  const int64_t total_walks = static_cast<int64_t>(options_.epochs) *
+                              options_.walks_per_node * n;
+  int64_t done_walks = 0;
+  std::vector<float> grad_in(d);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (int w = 0; w < options_.walks_per_node; ++w) {
+      rng_.Shuffle(order);
+      for (int start : order) {
+        const std::vector<int> walk = Walk(start, rng_);
+        for (size_t center = 0; center < walk.size(); ++center) {
+          const int window = 1 + static_cast<int>(
+                                     rng_.UniformInt(options_.window));
+          const size_t lo = center >= static_cast<size_t>(window)
+                                ? center - window
+                                : 0;
+          const size_t hi =
+              std::min(walk.size() - 1, center + static_cast<size_t>(window));
+          for (size_t pos = lo; pos <= hi; ++pos) {
+            if (pos == center) continue;
+            const int u = walk[center];
+            float* vu = in.data() + static_cast<int64_t>(u) * d;
+            std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+            for (int k = 0; k <= options_.negatives; ++k) {
+              const int v = k == 0
+                                ? walk[pos]
+                                : static_cast<int>(
+                                      rng_.Categorical(neg_weights));
+              const float label = k == 0 ? 1.0f : 0.0f;
+              float* vv = out.data() + static_cast<int64_t>(v) * d;
+              float dot = 0.0f;
+              for (int j = 0; j < d; ++j) dot += vu[j] * vv[j];
+              const float sig = 1.0f / (1.0f + std::exp(-dot));
+              const float g = (label - sig) * lr;
+              for (int j = 0; j < d; ++j) {
+                grad_in[j] += g * vv[j];
+                vv[j] += g * vu[j];
+              }
+            }
+            for (int j = 0; j < d; ++j) vu[j] += grad_in[j];
+          }
+        }
+        ++done_walks;
+        lr = std::max(min_lr,
+                      options_.lr * (1.0f - static_cast<float>(done_walks) /
+                                                total_walks));
+      }
+    }
+  }
+  return nn::Tensor::FromData(n, d, std::move(in));
+}
+
+RandomWalkModel::RandomWalkModel(const ModelContext& ctx,
+                                 const ModelConfig& config, bool biased,
+                                 Rng& rng)
+    : RelationModel(ctx), biased_(biased) {
+  SgnsEmbedder::Options options;
+  options.dim = config.dim;
+  options.walk_length = config.walk_length;
+  options.walks_per_node = config.walks_per_node;
+  options.window = config.walk_window;
+  options.negatives = config.sgns_negatives;
+  options.epochs = config.sgns_epochs;
+  if (biased) {
+    options.p = config.node2vec_p;
+    options.q = config.node2vec_q;
+  }
+  SgnsEmbedder embedder(ctx, options, rng);
+  embeddings_ = embedder.Fit();
+  const int d = config.dim;
+  w1_ = RegisterParameter(nn::XavierUniform(2 * d, d, rng));
+  b1_ = RegisterParameter(nn::Tensor::Zeros(1, d, true));
+  w2_ = RegisterParameter(nn::XavierUniform(d, num_classes(), rng));
+  b2_ = RegisterParameter(nn::Tensor::Zeros(1, num_classes(), true));
+}
+
+nn::Tensor RandomWalkModel::EncodeNodes(bool /*training*/) {
+  return embeddings_;
+}
+
+nn::Tensor RandomWalkModel::ScorePairs(const nn::Tensor& h,
+                                       const PairBatch& batch) {
+  nn::Tensor hi = nn::Gather(h, batch.src);
+  nn::Tensor hj = nn::Gather(h, batch.dst);
+  nn::Tensor had = nn::Mul(hi, hj);
+  // |h_i - h_j| built from two ReLUs (no Abs op needed).
+  nn::Tensor diff = nn::Sub(hi, hj);
+  nn::Tensor absdiff =
+      nn::Add(nn::Relu(diff), nn::Relu(nn::Scale(diff, -1.0f)));
+  nn::Tensor feat = nn::ConcatCols({had, absdiff});
+  nn::Tensor hidden = nn::Tanh(nn::Add(nn::MatMul(feat, w1_), b1_));
+  return nn::Add(nn::MatMul(hidden, w2_), b2_);
+}
+
+}  // namespace prim::models

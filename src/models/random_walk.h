@@ -1,0 +1,70 @@
+#ifndef PRIM_MODELS_RANDOM_WALK_H_
+#define PRIM_MODELS_RANDOM_WALK_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model_config.h"
+#include "models/relation_model.h"
+#include "nn/module.h"
+
+namespace prim::models {
+
+/// Skip-gram-with-negative-sampling embeddings over random walks on the
+/// homogeneous union graph — the engine behind the DeepWalk and node2vec
+/// baselines. Trained with the classic SGD updates (no autograd; this is
+/// how the original implementations work and it is much faster).
+class SgnsEmbedder {
+ public:
+  struct Options {
+    int dim = 32;
+    int walk_length = 30;
+    int walks_per_node = 10;
+    int window = 5;
+    int negatives = 5;
+    int epochs = 2;
+    float lr = 0.025f;
+    /// node2vec bias parameters; p = q = 1 reduces to DeepWalk.
+    float p = 1.0f;
+    float q = 1.0f;
+  };
+
+  SgnsEmbedder(const ModelContext& ctx, const Options& options, Rng& rng);
+
+  /// Trains and returns the N x dim embedding matrix (no grad).
+  nn::Tensor Fit();
+
+ private:
+  std::vector<int> Walk(int start, Rng& rng) const;
+
+  const ModelContext& ctx_;
+  Options options_;
+  Rng rng_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+/// DeepWalk / node2vec baseline: frozen SGNS node embeddings feed a small
+/// trainable pair classifier over [h_i ⊙ h_j || |h_i − h_j|] (the standard
+/// edge-feature construction for link classification with random-walk
+/// embeddings).
+class RandomWalkModel : public RelationModel {
+ public:
+  RandomWalkModel(const ModelContext& ctx, const ModelConfig& config,
+                  bool biased /* true = node2vec */, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override {
+    return biased_ ? "node2vec" : "Deepwalk";
+  }
+
+ private:
+  bool biased_;
+  nn::Tensor embeddings_;  // frozen N x dim
+  nn::Tensor w1_, b1_;     // 2*dim -> dim classifier hidden layer
+  nn::Tensor w2_, b2_;     // dim -> num_classes
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_RANDOM_WALK_H_

@@ -1,0 +1,66 @@
+#ifndef PRIM_MODELS_RELATION_MODEL_H_
+#define PRIM_MODELS_RELATION_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "models/model_context.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace prim::models {
+
+/// A batch of POI pairs to score. `labels` (when present) holds target
+/// classes in [0, num_relations]; class num_relations is the non-relation
+/// type phi.
+struct PairBatch {
+  std::vector<int> src;
+  std::vector<int> dst;
+  std::vector<float> dist_km;
+  std::vector<int> labels;
+
+  int size() const { return static_cast<int>(src.size()); }
+  void Add(int s, int d, float km, int label = -1) {
+    src.push_back(s);
+    dst.push_back(d);
+    dist_km.push_back(km);
+    labels.push_back(label);
+  }
+};
+
+/// Common interface of every method compared in the paper. A model encodes
+/// all nodes against the (shared, read-only) ModelContext and scores pairs
+/// against every candidate class in R* = R ∪ {phi}:
+///
+///   Tensor h = model.EncodeNodes(true);          // N x d (or model-defined)
+///   Tensor s = model.ScorePairs(h, batch);       // batch x (R+1) logits
+///
+/// Rule-based baselines (CAT, CAT-D) implement the same interface with no
+/// parameters; the trainer skips training when trainable() is false.
+class RelationModel : public nn::Module {
+ public:
+  explicit RelationModel(const ModelContext& ctx) : ctx_(ctx) {}
+
+  /// Full-graph node representations. `training` toggles dropout-style
+  /// stochasticity. The returned tensor's layout is model-defined, but it
+  /// must be consumable by the same model's ScorePairs.
+  virtual nn::Tensor EncodeNodes(bool training) = 0;
+
+  /// Logits (batch x (num_relations + 1)) for each pair and candidate
+  /// class; column r scores relationship r, the last column scores phi.
+  virtual nn::Tensor ScorePairs(const nn::Tensor& node_embeddings,
+                                const PairBatch& batch) = 0;
+
+  virtual std::string name() const = 0;
+  virtual bool trainable() const { return true; }
+
+  const ModelContext& context() const { return ctx_; }
+  int num_classes() const { return ctx_.num_relations + 1; }
+
+ protected:
+  const ModelContext& ctx_;
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_RELATION_MODEL_H_

@@ -1,0 +1,48 @@
+#include "models/rgcn.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::models {
+
+RgcnModel::RgcnModel(const ModelContext& ctx, const ModelConfig& config,
+                     Rng& rng)
+    : RelationModel(ctx),
+      features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
+      scorer_(num_classes(), config.dim, rng) {
+  RegisterModule(&features_);
+  RegisterModule(&scorer_);
+  for (int l = 0; l < config.layers; ++l) {
+    std::vector<nn::Tensor> layer_weights;
+    for (int r = 0; r < ctx.num_relations; ++r)
+      layer_weights.push_back(
+          RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+    weights_.push_back(std::move(layer_weights));
+    self_.push_back(
+        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+  }
+  for (int r = 0; r < ctx.num_relations; ++r)
+    rel_norm_.push_back(MeanEdgeNorm(ctx.rel_edges[r], ctx.num_nodes));
+}
+
+nn::Tensor RgcnModel::EncodeNodes(bool /*training*/) {
+  nn::Tensor h = features_.Forward();
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    nn::Tensor out = nn::MatMul(h, self_[l]);
+    for (int r = 0; r < ctx_.num_relations; ++r) {
+      const FlatEdges& edges = ctx_.rel_edges[r];
+      if (edges.size() == 0) continue;
+      nn::Tensor msg = nn::Mul(nn::Gather(h, edges.src), rel_norm_[r]);
+      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, ctx_.num_nodes);
+      out = nn::Add(out, nn::MatMul(agg, weights_[l][r]));
+    }
+    h = nn::Tanh(out);
+  }
+  return h;
+}
+
+nn::Tensor RgcnModel::ScorePairs(const nn::Tensor& h, const PairBatch& batch) {
+  return scorer_.Score(h, batch);
+}
+
+}  // namespace prim::models

@@ -1,0 +1,37 @@
+#ifndef PRIM_MODELS_RGCN_H_
+#define PRIM_MODELS_RGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/distmult_scorer.h"
+#include "models/feature_encoder.h"
+#include "models/gnn_common.h"
+#include "models/model_config.h"
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// R-GCN baseline (Schlichtkrull et al.): relation-specific weight
+/// matrices with mean aggregation plus a self-transform:
+///   h_i' = tanh( sum_r sum_{j in N_r(i)} (1/|N_r(i)|) W_r h_j + W_0 h_i ).
+class RgcnModel : public RelationModel {
+ public:
+  RgcnModel(const ModelContext& ctx, const ModelConfig& config, Rng& rng);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return "R-GCN"; }
+
+ private:
+  NodeFeatureEncoder features_;
+  // weights_[l][r] for relations, self_[l] for the self-transform.
+  std::vector<std::vector<nn::Tensor>> weights_;
+  std::vector<nn::Tensor> self_;
+  DistMultScorer scorer_;
+  std::vector<nn::Tensor> rel_norm_;  // per relation: mean norm per edge
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_RGCN_H_

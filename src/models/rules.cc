@@ -1,0 +1,96 @@
+#include "models/rules.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace prim::models {
+namespace {
+
+// Micro-F1 of single-label multiclass == accuracy; good enough to rank
+// threshold combinations.
+double Accuracy(const std::vector<int>& pred, const std::vector<int>& label) {
+  if (pred.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    correct += pred[i] == label[i] ? 1 : 0;
+  return static_cast<double>(correct) / pred.size();
+}
+
+}  // namespace
+
+RuleModel::RuleModel(const ModelContext& ctx, bool use_distance,
+                     const PairBatch& validation)
+    : RelationModel(ctx), use_distance_(use_distance) {
+  PRIM_CHECK_MSG(ctx.num_relations == 2,
+                 "rule baselines are defined for the 2-relation setting");
+  PRIM_CHECK_MSG(!validation.labels.empty() && validation.labels[0] >= 0,
+                 "RuleModel needs labelled validation pairs");
+  // Precompute taxonomy distances once.
+  std::vector<int> tax(validation.size());
+  for (int i = 0; i < validation.size(); ++i)
+    tax[i] = ctx.dataset->taxonomy.PathDistance(
+        ctx.dataset->pois[validation.src[i]].category,
+        ctx.dataset->pois[validation.dst[i]].category);
+
+  const int tax_options[] = {0, 2, 4, 6, 8};
+  const float dist_options[] = {0.5f, 1.0f, 2.0f, 3.0f, 5.0f, 10.0f,
+                                std::numeric_limits<float>::max()};
+  double best = -1.0;
+  std::vector<int> pred(validation.size());
+  for (int t1 : tax_options) {
+    for (int t2 : tax_options) {
+      if (t2 < t1) continue;
+      for (float d1 : dist_options) {
+        for (float d2 : dist_options) {
+          for (int i = 0; i < validation.size(); ++i) {
+            if (tax[i] <= t1 && validation.dist_km[i] <= d1) {
+              pred[i] = 0;
+            } else if (tax[i] <= t2 && validation.dist_km[i] <= d2) {
+              pred[i] = 1;
+            } else {
+              pred[i] = 2;
+            }
+          }
+          const double acc = Accuracy(pred, validation.labels);
+          if (acc > best) {
+            best = acc;
+            tax_comp_ = t1;
+            tax_compl_ = t2;
+            dist_comp_ = d1;
+            dist_compl_ = d2;
+          }
+          if (!use_distance_) break;  // CAT ignores d2.
+        }
+        if (!use_distance_) break;  // CAT ignores d1.
+      }
+    }
+  }
+  if (!use_distance_) {
+    dist_comp_ = dist_compl_ = std::numeric_limits<float>::max();
+  }
+}
+
+int RuleModel::Predict(int src, int dst, float dist_km) const {
+  const int tax = ctx_.dataset->taxonomy.PathDistance(
+      ctx_.dataset->pois[src].category, ctx_.dataset->pois[dst].category);
+  if (tax <= tax_comp_ && dist_km <= dist_comp_) return 0;
+  if (tax <= tax_compl_ && dist_km <= dist_compl_) return 1;
+  return 2;
+}
+
+nn::Tensor RuleModel::EncodeNodes(bool /*training*/) {
+  return nn::Tensor::Scalar(0.0f);
+}
+
+nn::Tensor RuleModel::ScorePairs(const nn::Tensor& /*h*/,
+                                 const PairBatch& batch) {
+  nn::Tensor scores = nn::Tensor::Zeros(batch.size(), num_classes());
+  for (int i = 0; i < batch.size(); ++i) {
+    const int pred = Predict(batch.src[i], batch.dst[i], batch.dist_km[i]);
+    scores.at(i, pred) = 1.0f;  // One-hot logits.
+  }
+  return scores;
+}
+
+}  // namespace prim::models

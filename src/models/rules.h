@@ -1,0 +1,40 @@
+#ifndef PRIM_MODELS_RULES_H_
+#define PRIM_MODELS_RULES_H_
+
+#include "models/relation_model.h"
+
+namespace prim::models {
+
+/// Rule baselines (paper §5.1.2). CAT thresholds the taxonomy path
+/// distance between the two POIs' categories; CAT-D additionally
+/// thresholds geographic distance. Thresholds are grid-searched on the
+/// validation pairs, exactly as the paper tunes them ("we search the
+/// thresholds that achieve the best results"). Only defined for the
+/// 2-relation (competitive/complementary) setting, like the paper.
+class RuleModel : public RelationModel {
+ public:
+  /// `validation` must carry labels; it drives the threshold search.
+  RuleModel(const ModelContext& ctx, bool use_distance,
+            const PairBatch& validation);
+
+  nn::Tensor EncodeNodes(bool training) override;
+  nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
+  std::string name() const override { return use_distance_ ? "CAT-D" : "CAT"; }
+  bool trainable() const override { return false; }
+
+  int competitive_tax_threshold() const { return tax_comp_; }
+  int complementary_tax_threshold() const { return tax_compl_; }
+
+ private:
+  int Predict(int src, int dst, float dist_km) const;
+
+  bool use_distance_;
+  int tax_comp_ = 0;      // taxonomy distance <= this -> competitive
+  int tax_compl_ = 2;     // else taxonomy distance <= this -> complementary
+  float dist_comp_ = 1e9f;   // CAT-D: competitive also requires dist <= this
+  float dist_compl_ = 1e9f;  // CAT-D: complementary requires dist <= this
+};
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_RULES_H_

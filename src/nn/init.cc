@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace prim::nn {
+
+Tensor XavierUniform(int rows, int cols, Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return UniformInit(rows, cols, -a, a, rng, /*requires_grad=*/true);
+}
+
+Tensor UniformInit(int rows, int cols, float lo, float hi, Rng& rng,
+                   bool requires_grad) {
+  Tensor t = Tensor::Zeros(rows, cols, requires_grad);
+  float* d = t.data();
+  const int64_t total = t.size();
+  for (int64_t i = 0; i < total; ++i)
+    d[i] = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor NormalInit(int rows, int cols, float stddev, Rng& rng,
+                  bool requires_grad) {
+  Tensor t = Tensor::Zeros(rows, cols, requires_grad);
+  float* d = t.data();
+  const int64_t total = t.size();
+  for (int64_t i = 0; i < total; ++i)
+    d[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  return t;
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,24 @@
+#ifndef PRIM_NN_INIT_H_
+#define PRIM_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace prim::nn {
+
+/// Glorot/Xavier uniform initialisation: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)). Returns a parameter tensor
+/// (requires_grad = true).
+Tensor XavierUniform(int rows, int cols, Rng& rng);
+
+/// Uniform initialisation in [lo, hi].
+Tensor UniformInit(int rows, int cols, float lo, float hi, Rng& rng,
+                   bool requires_grad = true);
+
+/// Gaussian initialisation N(0, stddev^2).
+Tensor NormalInit(int rows, int cols, float stddev, Rng& rng,
+                  bool requires_grad = true);
+
+}  // namespace prim::nn
+
+#endif  // PRIM_NN_INIT_H_

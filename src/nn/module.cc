@@ -1,0 +1,56 @@
+#include "nn/module.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out = params_;
+  for (const Module* child : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Tensor& p : Parameters()) total += p.size();
+  return total;
+}
+
+Tensor Module::RegisterParameter(Tensor t) {
+  PRIM_CHECK_MSG(t.requires_grad(), "parameters must require grad");
+  params_.push_back(t);
+  return t;
+}
+
+void Module::RegisterModule(Module* child) {
+  PRIM_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+Linear::Linear(int in_features, int out_features, Rng& rng, bool bias) {
+  weight_ = RegisterParameter(XavierUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(Tensor::Zeros(1, out_features, true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int num_embeddings, int dim, Rng& rng) {
+  table_ = RegisterParameter(XavierUniform(num_embeddings, dim, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) const {
+  return Gather(table_, ids);
+}
+
+}  // namespace prim::nn

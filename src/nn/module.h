@@ -1,0 +1,73 @@
+#ifndef PRIM_NN_MODULE_H_
+#define PRIM_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace prim::nn {
+
+/// Base class for anything that owns trainable parameters. Subclasses
+/// register parameters (and nested modules) in their constructor;
+/// Parameters() then yields a stable, flattened view for the optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and registered submodules, in
+  /// registration order.
+  std::vector<Tensor> Parameters() const;
+
+  /// Total scalar parameter count (for reporting).
+  int64_t NumParameters() const;
+
+ protected:
+  /// Registers and returns a trainable parameter.
+  Tensor RegisterParameter(Tensor t);
+  /// Registers a child module whose parameters are included in Parameters().
+  void RegisterModule(Module* child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+};
+
+/// Fully-connected layer: Y = X W (+ b).
+class Linear : public Module {
+ public:
+  /// Creates a layer with Xavier-initialised weights.
+  Linear(int in_features, int out_features, Rng& rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
+
+ private:
+  Tensor weight_;  // in x out
+  Tensor bias_;    // 1 x out, undefined when bias = false
+};
+
+/// Learned lookup table: Forward(ids) gathers rows.
+class Embedding : public Module {
+ public:
+  Embedding(int num_embeddings, int dim, Rng& rng);
+
+  Tensor Forward(const std::vector<int>& ids) const;
+  /// The full table as a tensor (used for full-graph forward passes).
+  const Tensor& table() const { return table_; }
+  int dim() const { return table_.cols(); }
+
+ private:
+  Tensor table_;
+};
+
+}  // namespace prim::nn
+
+#endif  // PRIM_NN_MODULE_H_

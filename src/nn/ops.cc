@@ -1,0 +1,942 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace prim::nn {
+namespace {
+
+// Creates the output node for an op. Records autograd history only when
+// grad mode is on and at least one parent requires gradients.
+Tensor MakeResult(int rows, int cols, std::vector<Tensor> parents,
+                  bool& record_out) {
+  Tensor out = Tensor::Zeros(rows, cols);
+  bool any_grad = false;
+  for (const Tensor& p : parents) any_grad = any_grad || p.requires_grad();
+  record_out = GradModeEnabled() && any_grad;
+  if (record_out) {
+    out.set_requires_grad(true);
+    auto& impl = *out.impl();
+    impl.parents.reserve(parents.size());
+    for (Tensor& p : parents) impl.parents.push_back(p.impl());
+  }
+  return out;
+}
+
+// Accumulation helper: ensures the target grad buffer exists.
+float* GradBuf(TensorImpl* t) {
+  t->EnsureGrad();
+  return t->grad.data();
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PRIM_CHECK_MSG(a.cols() == b.rows(), "MatMul shapes " << a.ShapeString()
+                                                        << " * "
+                                                        << b.ShapeString());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  bool record = false;
+  Tensor out = MakeResult(n, m, {a, b}, record);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  ParallelFor(n, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float* orow = od + i * m;
+      const float* arow = ad + i * k;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = bd + static_cast<int64_t>(kk) * m;
+        for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, bi, oi, n, k, m]() {
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        const float* bd = bi->data.data();
+        // dA = dC * B^T, rows of dA are disjoint across threads.
+        ParallelFor(n, [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float* grow = g + i * m;
+            float* garow = ga + i * k;
+            for (int kk = 0; kk < k; ++kk) {
+              const float* brow = bd + static_cast<int64_t>(kk) * m;
+              float acc = 0.0f;
+              for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
+              garow[kk] += acc;
+            }
+          }
+        });
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        const float* ad = ai->data.data();
+        // dB = A^T * dC; partition over rows of dB (i.e. k) for disjoint
+        // writes.
+        ParallelFor(k, [&](int64_t k0, int64_t k1) {
+          for (int i = 0; i < n; ++i) {
+            const float* arow = ad + static_cast<int64_t>(i) * k;
+            const float* grow = g + static_cast<int64_t>(i) * m;
+            for (int64_t kk = k0; kk < k1; ++kk) {
+              const float av = arow[kk];
+              if (av == 0.0f) continue;
+              float* gbrow = gb + kk * m;
+              for (int j = 0; j < m; ++j) gbrow[j] += av * grow[j];
+            }
+          }
+        });
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  bool record = false;
+  Tensor out = MakeResult(m, n, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j) od[static_cast<int64_t>(j) * n + i] = ad[static_cast<int64_t>(i) * m + j];
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < m; ++j)
+          ga[static_cast<int64_t>(i) * m + j] += g[static_cast<int64_t>(j) * n + i];
+    };
+  }
+  return out;
+}
+
+namespace {
+
+enum class BroadcastKind { kNone, kRow, kCol, kScalar };
+
+BroadcastKind ClassifyAddBroadcast(const Tensor& a, const Tensor& b) {
+  if (b.rows() == a.rows() && b.cols() == a.cols()) return BroadcastKind::kNone;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
+  PRIM_CHECK_MSG(false, "Add/Sub broadcast mismatch " << a.ShapeString()
+                                                      << " vs "
+                                                      << b.ShapeString());
+}
+
+BroadcastKind ClassifyMulBroadcast(const Tensor& a, const Tensor& b) {
+  if (b.rows() == a.rows() && b.cols() == a.cols()) return BroadcastKind::kNone;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  if (b.cols() == 1 && b.rows() == a.rows()) return BroadcastKind::kCol;
+  PRIM_CHECK_MSG(false, "Mul broadcast mismatch " << a.ShapeString() << " vs "
+                                                  << b.ShapeString());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyAddBroadcast(a, b);
+  const int n = a.rows(), m = a.cols();
+  bool record = false;
+  Tensor out = MakeResult(n, m, {a, b}, record);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  switch (kind) {
+    case BroadcastKind::kNone:
+      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] + bd[i];
+      break;
+    case BroadcastKind::kScalar:
+      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] + bd[0];
+      break;
+    case BroadcastKind::kRow:
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < m; ++j)
+          od[static_cast<int64_t>(i) * m + j] = ad[static_cast<int64_t>(i) * m + j] + bd[j];
+      break;
+    case BroadcastKind::kCol:
+      break;  // Unreachable for Add.
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, bi, oi, kind, n, m, total]() {
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        for (int64_t i = 0; i < total; ++i) ga[i] += g[i];
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        switch (kind) {
+          case BroadcastKind::kNone:
+            for (int64_t i = 0; i < total; ++i) gb[i] += g[i];
+            break;
+          case BroadcastKind::kScalar: {
+            float acc = 0.0f;
+            for (int64_t i = 0; i < total; ++i) acc += g[i];
+            gb[0] += acc;
+            break;
+          }
+          case BroadcastKind::kRow:
+            for (int i = 0; i < n; ++i)
+              for (int j = 0; j < m; ++j) gb[j] += g[static_cast<int64_t>(i) * m + j];
+            break;
+          case BroadcastKind::kCol:
+            break;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyAddBroadcast(a, b);
+  PRIM_CHECK_MSG(kind == BroadcastKind::kNone || kind == BroadcastKind::kScalar,
+                 "Sub supports equal shapes or scalar b");
+  const int n = a.rows(), m = a.cols();
+  bool record = false;
+  Tensor out = MakeResult(n, m, {a, b}, record);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  if (kind == BroadcastKind::kNone) {
+    for (int64_t i = 0; i < total; ++i) od[i] = ad[i] - bd[i];
+  } else {
+    for (int64_t i = 0; i < total; ++i) od[i] = ad[i] - bd[0];
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, bi, oi, kind, total]() {
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        for (int64_t i = 0; i < total; ++i) ga[i] += g[i];
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        if (kind == BroadcastKind::kNone) {
+          for (int64_t i = 0; i < total; ++i) gb[i] -= g[i];
+        } else {
+          float acc = 0.0f;
+          for (int64_t i = 0; i < total; ++i) acc += g[i];
+          gb[0] -= acc;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyMulBroadcast(a, b);
+  const int n = a.rows(), m = a.cols();
+  bool record = false;
+  Tensor out = MakeResult(n, m, {a, b}, record);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  switch (kind) {
+    case BroadcastKind::kNone:
+      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] * bd[i];
+      break;
+    case BroadcastKind::kScalar:
+      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] * bd[0];
+      break;
+    case BroadcastKind::kCol:
+      for (int i = 0; i < n; ++i) {
+        const float s = bd[i];
+        for (int j = 0; j < m; ++j)
+          od[static_cast<int64_t>(i) * m + j] = ad[static_cast<int64_t>(i) * m + j] * s;
+      }
+      break;
+    case BroadcastKind::kRow:
+      break;  // Unreachable for Mul.
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, bi, oi, kind, n, m, total]() {
+      const float* g = oi->grad.data();
+      const float* ad = ai->data.data();
+      const float* bd = bi->data.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        switch (kind) {
+          case BroadcastKind::kNone:
+            for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * bd[i];
+            break;
+          case BroadcastKind::kScalar:
+            for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * bd[0];
+            break;
+          case BroadcastKind::kCol:
+            for (int i = 0; i < n; ++i)
+              for (int j = 0; j < m; ++j)
+                ga[static_cast<int64_t>(i) * m + j] += g[static_cast<int64_t>(i) * m + j] * bd[i];
+            break;
+          case BroadcastKind::kRow:
+            break;
+        }
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        switch (kind) {
+          case BroadcastKind::kNone:
+            for (int64_t i = 0; i < total; ++i) gb[i] += g[i] * ad[i];
+            break;
+          case BroadcastKind::kScalar: {
+            float acc = 0.0f;
+            for (int64_t i = 0; i < total; ++i) acc += g[i] * ad[i];
+            gb[0] += acc;
+            break;
+          }
+          case BroadcastKind::kCol:
+            for (int i = 0; i < n; ++i) {
+              float acc = 0.0f;
+              for (int j = 0; j < m; ++j)
+                acc += g[static_cast<int64_t>(i) * m + j] * ad[static_cast<int64_t>(i) * m + j];
+              gb[i] += acc;
+            }
+            break;
+          case BroadcastKind::kRow:
+            break;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  bool record = false;
+  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  for (int64_t i = 0; i < total; ++i) od[i] = ad[i] * s;
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, s, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * s;
+    };
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  bool record = false;
+  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  for (int64_t i = 0; i < total; ++i) od[i] = ad[i] + s;
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int64_t i = 0; i < total; ++i) ga[i] += g[i];
+    };
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  PRIM_CHECK(!parts.empty());
+  const int n = parts[0].rows();
+  int total_cols = 0;
+  for (const Tensor& p : parts) {
+    PRIM_CHECK_MSG(p.rows() == n, "ConcatCols row mismatch");
+    total_cols += p.cols();
+  }
+  bool record = false;
+  Tensor out = MakeResult(n, total_cols, parts, record);
+  float* od = out.data();
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    const int pc = p.cols();
+    const float* pd = p.data();
+    for (int i = 0; i < n; ++i)
+      std::memcpy(od + static_cast<int64_t>(i) * total_cols + offset,
+                  pd + static_cast<int64_t>(i) * pc, sizeof(float) * pc);
+    offset += pc;
+  }
+  if (record) {
+    std::vector<TensorImpl*> raw;
+    raw.reserve(parts.size());
+    for (const Tensor& p : parts) raw.push_back(p.raw());
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [raw, oi, n, total_cols]() {
+      const float* g = oi->grad.data();
+      int offset = 0;
+      for (TensorImpl* p : raw) {
+        const int pc = p->cols;
+        if (p->requires_grad) {
+          float* gp = GradBuf(p);
+          for (int i = 0; i < n; ++i) {
+            const float* grow = g + static_cast<int64_t>(i) * total_cols + offset;
+            float* prow = gp + static_cast<int64_t>(i) * pc;
+            for (int j = 0; j < pc; ++j) prow[j] += grow[j];
+          }
+        }
+        offset += pc;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  PRIM_CHECK(!parts.empty());
+  const int m = parts[0].cols();
+  int total_rows = 0;
+  for (const Tensor& p : parts) {
+    PRIM_CHECK_MSG(p.cols() == m, "ConcatRows col mismatch");
+    total_rows += p.rows();
+  }
+  bool record = false;
+  Tensor out = MakeResult(total_rows, m, parts, record);
+  float* od = out.data();
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::memcpy(od + offset * m, p.data(),
+                sizeof(float) * static_cast<size_t>(p.size()));
+    offset += p.rows();
+  }
+  if (record) {
+    std::vector<TensorImpl*> raw;
+    raw.reserve(parts.size());
+    for (const Tensor& p : parts) raw.push_back(p.raw());
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [raw, oi, m]() {
+      const float* g = oi->grad.data();
+      int64_t offset = 0;
+      for (TensorImpl* p : raw) {
+        if (p->requires_grad) {
+          float* gp = GradBuf(p);
+          const int64_t total = p->size();
+          const float* src = g + offset * m;
+          for (int64_t i = 0; i < total; ++i) gp[i] += src[i];
+        }
+        offset += p->rows;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor TakePerRow(const Tensor& a, const std::vector<int>& col) {
+  const int n = a.rows(), m = a.cols();
+  PRIM_CHECK(static_cast<int>(col.size()) == n);
+  for (int c : col) PRIM_CHECK_MSG(0 <= c && c < m, "TakePerRow col " << c);
+  bool record = false;
+  Tensor out = MakeResult(n, 1, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i) od[i] = ad[static_cast<int64_t>(i) * m + col[i]];
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    auto c = col;
+    out.impl()->backward_fn = [ai, oi, c = std::move(c), n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i) ga[static_cast<int64_t>(i) * m + c[i]] += g[i];
+    };
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int begin, int end) {
+  PRIM_CHECK_MSG(0 <= begin && begin < end && end <= a.cols(),
+                 "SliceCols [" << begin << "," << end << ") of "
+                               << a.ShapeString());
+  const int n = a.rows(), m = a.cols(), w = end - begin;
+  bool record = false;
+  Tensor out = MakeResult(n, w, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i)
+    std::memcpy(od + static_cast<int64_t>(i) * w,
+                ad + static_cast<int64_t>(i) * m + begin, sizeof(float) * w);
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, begin, n, m, w]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i) {
+        const float* grow = g + static_cast<int64_t>(i) * w;
+        float* garow = ga + static_cast<int64_t>(i) * m + begin;
+        for (int j = 0; j < w; ++j) garow[j] += grow[j];
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+
+// Shared implementation for pointwise ops whose gradient depends only on
+// the output value.
+template <typename Fwd, typename BwdFromOut>
+Tensor PointwiseFromOut(const Tensor& a, Fwd fwd, BwdFromOut bwd) {
+  bool record = false;
+  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  for (int64_t i = 0; i < total; ++i) od[i] = fwd(ad[i]);
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, bwd, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      const float* od = oi->data.data();
+      const float* ad = ai->data.data();
+      for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * bwd(ad[i], od[i]);
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& a) {
+  return PointwiseFromOut(
+      a,
+      [](float x) {
+        // Stable sigmoid.
+        if (x >= 0.0f) {
+          float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return PointwiseFromOut(a, [](float x) { return std::tanh(x); },
+                          [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return PointwiseFromOut(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+                          [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return PointwiseFromOut(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      [alpha](float x, float) { return x > 0.0f ? 1.0f : alpha; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return PointwiseFromOut(a, [](float x) { return std::exp(x); },
+                          [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return PointwiseFromOut(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor SumAll(const Tensor& a) {
+  bool record = false;
+  Tensor out = MakeResult(1, 1, {a}, record);
+  const float* ad = a.data();
+  double acc = 0.0;
+  const int64_t total = a.size();
+  for (int64_t i = 0; i < total; ++i) acc += ad[i];
+  out.data()[0] = static_cast<float>(acc);
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float g = oi->grad[0];
+      for (int64_t i = 0; i < total; ++i) ga[i] += g;
+    };
+  }
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  PRIM_CHECK(a.size() > 0);
+  return Scale(SumAll(a), 1.0f / static_cast<float>(a.size()));
+}
+
+Tensor RowSum(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  bool record = false;
+  Tensor out = MakeResult(n, 1, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    const float* row = ad + static_cast<int64_t>(i) * m;
+    for (int j = 0; j < m; ++j) acc += row[j];
+    od[i] = acc;
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i) {
+        float* row = ga + static_cast<int64_t>(i) * m;
+        for (int j = 0; j < m; ++j) row[j] += g[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor RowMean(const Tensor& a) {
+  PRIM_CHECK(a.cols() > 0);
+  return Scale(RowSum(a), 1.0f / static_cast<float>(a.cols()));
+}
+
+Tensor Gather(const Tensor& x, const std::vector<int>& index) {
+  const int n = static_cast<int>(index.size());
+  const int m = x.cols();
+  for (int idx : index)
+    PRIM_CHECK_MSG(0 <= idx && idx < x.rows(), "Gather index " << idx
+                                                               << " out of "
+                                                               << x.rows());
+  bool record = false;
+  Tensor out = MakeResult(n, m, {x}, record);
+  const float* xd = x.data();
+  float* od = out.data();
+  ParallelFor(n, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i)
+      std::memcpy(od + i * m, xd + static_cast<int64_t>(index[i]) * m,
+                  sizeof(float) * m);
+  });
+  if (record) {
+    TensorImpl* xi = x.raw();
+    TensorImpl* oi = out.raw();
+    auto idx = index;  // Copy for the closure.
+    out.impl()->backward_fn = [xi, oi, idx = std::move(idx), n, m]() {
+      if (!xi->requires_grad) return;
+      float* gx = GradBuf(xi);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i) {
+        float* dst = gx + static_cast<int64_t>(idx[i]) * m;
+        const float* src = g + static_cast<int64_t>(i) * m;
+        for (int j = 0; j < m; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SegmentSum(const Tensor& x, const std::vector<int>& segment,
+                  int num_segments) {
+  const int n = x.rows(), m = x.cols();
+  PRIM_CHECK_MSG(static_cast<int>(segment.size()) == n,
+                 "SegmentSum segment size " << segment.size() << " vs rows "
+                                            << n);
+  for (int s : segment)
+    PRIM_CHECK_MSG(0 <= s && s < num_segments, "segment id " << s);
+  bool record = false;
+  Tensor out = MakeResult(num_segments, m, {x}, record);
+  const float* xd = x.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i) {
+    float* dst = od + static_cast<int64_t>(segment[i]) * m;
+    const float* src = xd + static_cast<int64_t>(i) * m;
+    for (int j = 0; j < m; ++j) dst[j] += src[j];
+  }
+  if (record) {
+    TensorImpl* xi = x.raw();
+    TensorImpl* oi = out.raw();
+    auto seg = segment;
+    out.impl()->backward_fn = [xi, oi, seg = std::move(seg), n, m]() {
+      if (!xi->requires_grad) return;
+      float* gx = GradBuf(xi);
+      const float* g = oi->grad.data();
+      ParallelFor(n, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* src = g + static_cast<int64_t>(seg[i]) * m;
+          float* dst = gx + i * m;
+          for (int j = 0; j < m; ++j) dst[j] += src[j];
+        }
+      });
+    };
+  }
+  return out;
+}
+
+Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment,
+                      int num_segments) {
+  const int n = scores.rows();
+  PRIM_CHECK_MSG(scores.cols() == 1, "SegmentSoftmax expects a column vector");
+  PRIM_CHECK(static_cast<int>(segment.size()) == n);
+  bool record = false;
+  Tensor out = MakeResult(n, 1, {scores}, record);
+  const float* sd = scores.data();
+  float* od = out.data();
+  std::vector<float> seg_max(num_segments,
+                             -std::numeric_limits<float>::infinity());
+  for (int i = 0; i < n; ++i)
+    seg_max[segment[i]] = std::max(seg_max[segment[i]], sd[i]);
+  std::vector<double> seg_sum(num_segments, 0.0);
+  for (int i = 0; i < n; ++i) {
+    od[i] = std::exp(sd[i] - seg_max[segment[i]]);
+    seg_sum[segment[i]] += od[i];
+  }
+  for (int i = 0; i < n; ++i)
+    od[i] = static_cast<float>(od[i] / seg_sum[segment[i]]);
+  if (record) {
+    TensorImpl* si = scores.raw();
+    TensorImpl* oi = out.raw();
+    auto seg = segment;
+    out.impl()->backward_fn = [si, oi, seg = std::move(seg), n,
+                               num_segments]() {
+      if (!si->requires_grad) return;
+      float* gs = GradBuf(si);
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      // ds_i = y_i * (g_i - sum_{j in seg} g_j y_j)
+      std::vector<double> seg_dot(num_segments, 0.0);
+      for (int i = 0; i < n; ++i) seg_dot[seg[i]] += static_cast<double>(g[i]) * y[i];
+      for (int i = 0; i < n; ++i)
+        gs[i] += y[i] * (g[i] - static_cast<float>(seg_dot[seg[i]]));
+    };
+  }
+  return out;
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  bool record = false;
+  Tensor out = MakeResult(n, m, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = ad + static_cast<int64_t>(i) * m;
+    float* orow = od + static_cast<int64_t>(i) * m;
+    float mx = row[0];
+    for (int j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+    double z = 0.0;
+    for (int j = 0; j < m; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      z += orow[j];
+    }
+    for (int j = 0; j < m; ++j) orow[j] = static_cast<float>(orow[j] / z);
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      for (int i = 0; i < n; ++i) {
+        const float* grow = g + static_cast<int64_t>(i) * m;
+        const float* yrow = y + static_cast<int64_t>(i) * m;
+        float* garow = ga + static_cast<int64_t>(i) * m;
+        double dot = 0.0;
+        for (int j = 0; j < m; ++j) dot += static_cast<double>(grow[j]) * yrow[j];
+        for (int j = 0; j < m; ++j)
+          garow[j] += yrow[j] * (grow[j] - static_cast<float>(dot));
+      }
+    };
+  }
+  return out;
+}
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  const int n = a.rows(), m = a.cols();
+  bool record = false;
+  Tensor out = MakeResult(n, m, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  std::vector<float> norms(n);
+  for (int i = 0; i < n; ++i) {
+    const float* row = ad + static_cast<int64_t>(i) * m;
+    double s = 0.0;
+    for (int j = 0; j < m; ++j) s += static_cast<double>(row[j]) * row[j];
+    norms[i] = std::max(static_cast<float>(std::sqrt(s)), eps);
+    float* orow = od + static_cast<int64_t>(i) * m;
+    for (int j = 0; j < m; ++j) orow[j] = row[j] / norms[i];
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, norms = std::move(norms), n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      // dx = (g - y (y·g)) / ||x||
+      for (int i = 0; i < n; ++i) {
+        const float* grow = g + static_cast<int64_t>(i) * m;
+        const float* yrow = y + static_cast<int64_t>(i) * m;
+        float* garow = ga + static_cast<int64_t>(i) * m;
+        double dot = 0.0;
+        for (int j = 0; j < m; ++j) dot += static_cast<double>(grow[j]) * yrow[j];
+        for (int j = 0; j < m; ++j)
+          garow[j] += (grow[j] - yrow[j] * static_cast<float>(dot)) / norms[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  PRIM_CHECK_MSG(p < 1.0f, "Dropout p must be < 1");
+  const int64_t total = a.size();
+  bool record = false;
+  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  const float inv_keep = 1.0f / (1.0f - p);
+  std::vector<float> mask(total);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int64_t i = 0; i < total; ++i) {
+    mask[i] = rng.Bernoulli(p) ? 0.0f : inv_keep;
+    od[i] = ad[i] * mask[i];
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, mask = std::move(mask), total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * mask[i];
+    };
+  }
+  return out;
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
+  const int n = logits.rows();
+  PRIM_CHECK_MSG(logits.cols() == 1, "BceWithLogits expects n x 1 logits");
+  PRIM_CHECK(static_cast<int>(labels.size()) == n);
+  bool record = false;
+  Tensor out = MakeResult(1, 1, {logits}, record);
+  const float* sd = logits.data();
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float s = sd[i];
+    acc += std::max(s, 0.0f) - s * labels[i] + std::log1p(std::exp(-std::abs(s)));
+  }
+  out.data()[0] = static_cast<float>(acc / n);
+  if (record) {
+    TensorImpl* li = logits.raw();
+    TensorImpl* oi = out.raw();
+    auto y = labels;
+    out.impl()->backward_fn = [li, oi, y = std::move(y), n]() {
+      if (!li->requires_grad) return;
+      float* gl = GradBuf(li);
+      const float g = oi->grad[0] / static_cast<float>(n);
+      const float* s = li->data.data();
+      for (int i = 0; i < n; ++i) {
+        // d/ds BCE = sigmoid(s) - y, computed stably.
+        float sig;
+        if (s[i] >= 0.0f) {
+          float z = std::exp(-s[i]);
+          sig = 1.0f / (1.0f + z);
+        } else {
+          float z = std::exp(s[i]);
+          sig = z / (1.0f + z);
+        }
+        gl[i] += g * (sig - y[i]);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels) {
+  const int n = logits.rows(), c = logits.cols();
+  PRIM_CHECK(static_cast<int>(labels.size()) == n);
+  for (int l : labels) PRIM_CHECK_MSG(0 <= l && l < c, "label " << l);
+  bool record = false;
+  Tensor out = MakeResult(1, 1, {logits}, record);
+  const float* ld = logits.data();
+  // Cache softmax probabilities for the backward pass.
+  std::vector<float> probs(static_cast<size_t>(n) * c);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = ld + static_cast<int64_t>(i) * c;
+    float* prow = probs.data() + static_cast<int64_t>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double z = 0.0;
+    for (int j = 0; j < c; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      z += prow[j];
+    }
+    for (int j = 0; j < c; ++j) prow[j] = static_cast<float>(prow[j] / z);
+    acc -= std::log(std::max(prow[labels[i]], 1e-12f));
+  }
+  out.data()[0] = static_cast<float>(acc / n);
+  if (record) {
+    TensorImpl* li = logits.raw();
+    TensorImpl* oi = out.raw();
+    auto lab = labels;
+    out.impl()->backward_fn = [li, oi, lab = std::move(lab),
+                               probs = std::move(probs), n, c]() {
+      if (!li->requires_grad) return;
+      float* gl = GradBuf(li);
+      const float g = oi->grad[0] / static_cast<float>(n);
+      for (int i = 0; i < n; ++i) {
+        const float* prow = probs.data() + static_cast<int64_t>(i) * c;
+        float* grow = gl + static_cast<int64_t>(i) * c;
+        for (int j = 0; j < c; ++j) {
+          float delta = (j == lab[i]) ? 1.0f : 0.0f;
+          grow[j] += g * (prow[j] - delta);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,119 @@
+#ifndef PRIM_NN_OPS_H_
+#define PRIM_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+/// Differentiable operations over 2-D tensors. Every op returns a fresh
+/// tensor; when autograd recording is enabled (see NoGradGuard) and any
+/// input requires gradients, the result carries a backward function that
+/// accumulates into the inputs' gradient buffers.
+///
+/// Broadcasting rules are deliberately minimal and explicit:
+///  * Add/Sub accept equal shapes, a 1 x cols row vector, or a 1x1 scalar
+///    as the right operand.
+///  * Mul accepts equal shapes, a rows x 1 column (broadcast across
+///    columns), or a 1x1 scalar as the right operand.
+/// Everything else requires exact shapes and fails a PRIM_CHECK otherwise.
+namespace prim::nn {
+
+/// C = A (n x k) * B (k x m).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose (n x m) -> (m x n).
+Tensor Transpose(const Tensor& a);
+
+/// Elementwise a + b with row/scalar broadcast on b.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b (equal shapes or scalar b).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise a * b with column/scalar broadcast on b.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// a * s for a compile-time-known scalar s.
+Tensor Scale(const Tensor& a, float s);
+
+/// a + s elementwise.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// Horizontal concatenation of tensors with equal row counts.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Vertical concatenation of tensors with equal column counts.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// out[i, 0] = a[i, col[i]] — selects one entry per row (e.g. the scored
+/// relation's logit out of a pair x relation score matrix).
+Tensor TakePerRow(const Tensor& a, const std::vector<int>& col);
+
+/// Keeps columns [begin, end) of a.
+Tensor SliceCols(const Tensor& a, int begin, int end);
+
+// --- Pointwise nonlinearities -------------------------------------------
+
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// LeakyReLU with negative slope alpha (GAT uses 0.2).
+Tensor LeakyRelu(const Tensor& a, float alpha = 0.2f);
+Tensor Exp(const Tensor& a);
+/// Natural log with inputs clamped to >= eps for stability.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+
+// --- Reductions ----------------------------------------------------------
+
+/// Sum of all elements -> 1x1.
+Tensor SumAll(const Tensor& a);
+/// Mean of all elements -> 1x1.
+Tensor MeanAll(const Tensor& a);
+/// Per-row sum across columns -> rows x 1.
+Tensor RowSum(const Tensor& a);
+/// Per-row mean across columns -> rows x 1.
+Tensor RowMean(const Tensor& a);
+
+// --- Indexed / segment ops (GNN message passing) ------------------------
+
+/// out[i, :] = x[index[i], :]. Backward scatter-adds into x.
+Tensor Gather(const Tensor& x, const std::vector<int>& index);
+
+/// out[s, :] = sum over rows i with segment[i] == s of x[i, :].
+/// `segment` values must lie in [0, num_segments); rows need not be sorted.
+Tensor SegmentSum(const Tensor& x, const std::vector<int>& segment,
+                  int num_segments);
+
+/// Softmax over groups of rows of a column vector: for each segment s,
+/// out[i] = exp(x[i] - max_s) / sum_{j in s} exp(x[j] - max_s).
+/// Empty segments are allowed (they simply have no rows).
+Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment,
+                      int num_segments);
+
+/// Per-row softmax of an n x c matrix.
+Tensor RowSoftmax(const Tensor& a);
+
+/// Normalises each row to unit L2 norm (rows with tiny norm pass through
+/// scaled by 1/eps-guarded norm).
+Tensor RowL2Normalize(const Tensor& a, float eps = 1e-12f);
+
+/// Inverted dropout: zeroes entries with probability p and scales the rest
+/// by 1/(1-p). Identity when !training or p == 0.
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training);
+
+// --- Losses --------------------------------------------------------------
+
+/// Numerically-stable mean binary cross-entropy with logits:
+///   mean_i [ max(s,0) - s*y + log(1 + exp(-|s|)) ].
+/// `logits` is n x 1, labels has n entries in [0, 1].
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels);
+
+/// Mean softmax cross-entropy. `logits` is n x c; labels holds class ids.
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels);
+
+}  // namespace prim::nn
+
+#endif  // PRIM_NN_OPS_H_

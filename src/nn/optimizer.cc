@@ -1,0 +1,94 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace prim::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const Tensor& p : params_)
+    PRIM_CHECK_MSG(p.requires_grad(), "optimizer param lacks requires_grad");
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad();
+    const int64_t total = p.size();
+    for (int64_t i = 0; i < total; ++i) sq += static_cast<double>(g[i]) * g[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      if (!p.has_grad()) continue;
+      float* g = p.grad();
+      const int64_t total = p.size();
+      for (int64_t i = 0; i < total; ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    if (!p.has_grad()) continue;
+    float* d = p.data();
+    const float* g = p.grad();
+    const int64_t total = p.size();
+    for (int64_t i = 0; i < total; ++i) {
+      float grad = g[i] + weight_decay_ * d[i];
+      d[i] -= lr_ * grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].size()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    if (!p.has_grad()) continue;
+    float* d = p.data();
+    const float* g = p.grad();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const int64_t total = p.size();
+    for (int64_t i = 0; i < total; ++i) {
+      float grad = g[i] + weight_decay_ * d[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      d[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,125 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace prim::nn {
+namespace {
+
+thread_local bool t_grad_mode = true;
+
+}  // namespace
+
+bool GradModeEnabled() { return t_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_mode) { t_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { t_grad_mode = previous_; }
+
+void TensorImpl::EnsureGrad() {
+  if (grad.empty()) grad.assign(static_cast<size_t>(size()), 0.0f);
+}
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  PRIM_CHECK_MSG(rows >= 0 && cols >= 0, "bad shape " << rows << "x" << cols);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
+  Tensor t = Zeros(rows, cols, requires_grad);
+  std::fill(t.impl()->data.begin(), t.impl()->data.end(), value);
+  return t;
+}
+
+Tensor Tensor::FromData(int rows, int cols, std::vector<float> values,
+                        bool requires_grad) {
+  PRIM_CHECK_MSG(static_cast<int64_t>(values.size()) ==
+                     static_cast<int64_t>(rows) * cols,
+                 "FromData size mismatch: " << values.size() << " vs "
+                                            << rows << "x" << cols);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData(1, 1, {value}, requires_grad);
+}
+
+void Tensor::set_requires_grad(bool v) { impl_->requires_grad = v; }
+
+float Tensor::item() const {
+  PRIM_CHECK_MSG(impl_->rows == 1 && impl_->cols == 1,
+                 "item() on non-scalar " << ShapeString());
+  return impl_->data[0];
+}
+
+void Tensor::ZeroGrad() {
+  impl_->EnsureGrad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = impl_->rows;
+  impl->cols = impl_->cols;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream oss;
+  if (!impl_) {
+    oss << "<null>";
+  } else {
+    oss << impl_->rows << "x" << impl_->cols;
+  }
+  return oss.str();
+}
+
+void Tensor::Backward() {
+  PRIM_CHECK_MSG(defined() && rows() == 1 && cols() == 1,
+                 "Backward() requires a scalar loss, got " << ShapeString());
+  // Iterative post-order DFS to get a reverse-topological order.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) {
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Seed d(loss)/d(loss) = 1 and sweep in reverse topological order.
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) node->backward_fn();
+  }
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,116 @@
+#ifndef PRIM_NN_TENSOR_H_
+#define PRIM_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prim::nn {
+
+/// Internal node of the autograd graph. Users interact with Tensor, a cheap
+/// shared handle; TensorImpl is exposed only because op implementations in
+/// ops.cc need direct access.
+struct TensorImpl {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // Sized lazily; empty unless requires_grad.
+  bool requires_grad = false;
+  /// Parents in the autograd graph; keeps upstream nodes alive.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Accumulates this node's grad into its parents' grads. Captures raw
+  /// TensorImpl pointers only (parents are kept alive via `parents`),
+  /// so no shared_ptr cycles are formed.
+  std::function<void()> backward_fn;
+
+  int64_t size() const { return static_cast<int64_t>(rows) * cols; }
+  void EnsureGrad();
+};
+
+/// A dense 2-D float tensor with reverse-mode automatic differentiation.
+///
+/// Tensor is a value-semantics handle over a shared node: copying a Tensor
+/// aliases the same storage. Scalars are represented as 1x1 tensors and
+/// vectors as nx1 or 1xn. Calling Backward() on a scalar loss runs a
+/// topologically-ordered reverse sweep and accumulates gradients into every
+/// reachable tensor with requires_grad set.
+class Tensor {
+ public:
+  /// Null tensor; all accessors except defined() require a non-null handle.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  /// Allocates a rows x cols tensor filled with zeros.
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+  /// Allocates a rows x cols tensor filled with `value`.
+  static Tensor Full(int rows, int cols, float value,
+                     bool requires_grad = false);
+  /// Wraps an existing row-major buffer (copied).
+  static Tensor FromData(int rows, int cols, std::vector<float> values,
+                         bool requires_grad = false);
+  /// 1x1 scalar.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  int rows() const { return impl_->rows; }
+  int cols() const { return impl_->cols; }
+  int64_t size() const { return impl_->size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+  void set_requires_grad(bool v);
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  /// Gradient buffer; valid only when requires_grad and after EnsureGrad()
+  /// (Backward() ensures it for every reachable grad-requiring node).
+  float* grad() { return impl_->grad.data(); }
+  const float* grad() const { return impl_->grad.data(); }
+  bool has_grad() const { return !impl_->grad.empty(); }
+
+  float at(int r, int c) const { return impl_->data[r * impl_->cols + c]; }
+  float& at(int r, int c) { return impl_->data[r * impl_->cols + c]; }
+  /// Scalar value of a 1x1 tensor.
+  float item() const;
+  float grad_at(int r, int c) const { return impl_->grad[r * impl_->cols + c]; }
+
+  /// Zeroes this tensor's gradient buffer (allocating it if needed).
+  void ZeroGrad();
+
+  /// Reverse-mode sweep from this scalar (1x1) tensor. Seeds d(this)=1 and
+  /// accumulates into grads of all reachable requires_grad tensors.
+  void Backward();
+
+  /// Detaches from the autograd graph: returns a tensor sharing no history
+  /// (data copied) so graph memory can be reclaimed between steps.
+  Tensor Detach() const;
+
+  std::shared_ptr<TensorImpl>& impl() { return impl_; }
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+  TensorImpl* raw() const { return impl_.get(); }
+
+  std::string ShapeString() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// While a NoGradGuard is alive on a thread, ops built on that thread do not
+/// record autograd history (inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True when autograd recording is enabled on this thread.
+bool GradModeEnabled();
+
+}  // namespace prim::nn
+
+#endif  // PRIM_NN_TENSOR_H_

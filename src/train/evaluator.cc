@@ -1,0 +1,59 @@
+#include "train/evaluator.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace prim::train {
+
+models::PairBatch MakeEvalBatch(
+    const data::PoiDataset& dataset,
+    const std::vector<graph::Triple>& positives,
+    const std::vector<std::pair<int, int>>& non_edges) {
+  models::PairBatch batch;
+  for (const graph::Triple& t : positives) {
+    batch.Add(t.src, t.dst, static_cast<float>(dataset.DistanceKm(t.src, t.dst)),
+              t.rel);
+  }
+  for (const auto& [a, b] : non_edges) {
+    batch.Add(a, b, static_cast<float>(dataset.DistanceKm(a, b)),
+              dataset.num_relations);
+  }
+  return batch;
+}
+
+std::vector<int> PredictClasses(models::RelationModel& model,
+                                const models::PairBatch& batch,
+                                int chunk_size) {
+  nn::NoGradGuard guard;
+  nn::Tensor h = model.EncodeNodes(/*training=*/false);
+  std::vector<int> predictions;
+  predictions.reserve(batch.size());
+  for (int begin = 0; begin < batch.size(); begin += chunk_size) {
+    const int end = std::min(batch.size(), begin + chunk_size);
+    models::PairBatch chunk;
+    chunk.src.assign(batch.src.begin() + begin, batch.src.begin() + end);
+    chunk.dst.assign(batch.dst.begin() + begin, batch.dst.begin() + end);
+    chunk.dist_km.assign(batch.dist_km.begin() + begin,
+                         batch.dist_km.begin() + end);
+    chunk.labels.assign(chunk.src.size(), -1);
+    nn::Tensor scores = model.ScorePairs(h, chunk);
+    PRIM_CHECK(scores.rows() == chunk.size());
+    for (int i = 0; i < chunk.size(); ++i) {
+      int best = 0;
+      for (int c = 1; c < scores.cols(); ++c)
+        if (scores.at(i, c) > scores.at(i, best)) best = c;
+      predictions.push_back(best);
+    }
+  }
+  return predictions;
+}
+
+F1Result EvaluateModel(models::RelationModel& model,
+                       const models::PairBatch& batch) {
+  PRIM_CHECK_MSG(!batch.labels.empty() && batch.labels[0] >= 0,
+                 "EvaluateModel needs labelled pairs");
+  const std::vector<int> predictions = PredictClasses(model, batch);
+  return MulticlassF1(predictions, batch.labels, model.num_classes());
+}
+
+}  // namespace prim::train

@@ -1,0 +1,33 @@
+#ifndef PRIM_TRAIN_EVALUATOR_H_
+#define PRIM_TRAIN_EVALUATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/relation_model.h"
+#include "train/metrics.h"
+
+namespace prim::train {
+
+/// Builds a labelled evaluation batch from positive triples (label = their
+/// relation id) and non-edge pairs (label = phi = num_relations), with
+/// pairwise distances filled in.
+models::PairBatch MakeEvalBatch(
+    const data::PoiDataset& dataset,
+    const std::vector<graph::Triple>& positives,
+    const std::vector<std::pair<int, int>>& non_edges);
+
+/// Runs inference (no autograd) and returns argmax class per pair,
+/// chunking ScorePairs calls to bound peak memory.
+std::vector<int> PredictClasses(models::RelationModel& model,
+                                const models::PairBatch& batch,
+                                int chunk_size = 8192);
+
+/// PredictClasses + MulticlassF1 against batch.labels.
+F1Result EvaluateModel(models::RelationModel& model,
+                       const models::PairBatch& batch);
+
+}  // namespace prim::train
+
+#endif  // PRIM_TRAIN_EVALUATOR_H_

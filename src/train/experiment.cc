@@ -1,0 +1,134 @@
+#include "train/experiment.h"
+
+#include "common/check.h"
+#include "core/prim_model.h"
+#include "graph/sampling.h"
+#include "models/compgcn.h"
+#include "models/decgcn.h"
+#include "models/deepr.h"
+#include "models/gat.h"
+#include "models/gcn.h"
+#include "models/han.h"
+#include "models/hgt.h"
+#include "models/random_walk.h"
+#include "models/rgcn.h"
+#include "models/rules.h"
+#include "train/evaluator.h"
+
+namespace prim::train {
+
+std::vector<std::string> AllModelNames(int num_relations) {
+  std::vector<std::string> names;
+  if (num_relations == 2) {
+    names.push_back("CAT");
+    names.push_back("CAT-D");
+  }
+  for (const char* n : {"Deepwalk", "node2vec", "GCN", "GAT", "HAN", "HGT",
+                        "R-GCN", "CompGCN", "DecGCN", "DeepR", "PRIM"})
+    names.push_back(n);
+  return names;
+}
+
+std::unique_ptr<models::RelationModel> MakeModel(
+    const std::string& name, const models::ModelContext& ctx,
+    const ExperimentConfig& config, Rng& rng,
+    const models::PairBatch* validation) {
+  const models::ModelConfig& mc = config.model;
+  if (name == "CAT" || name == "CAT-D") {
+    PRIM_CHECK_MSG(validation != nullptr,
+                   "rule baselines need validation pairs");
+    return std::make_unique<models::RuleModel>(ctx, name == "CAT-D",
+                                               *validation);
+  }
+  if (name == "Deepwalk")
+    return std::make_unique<models::RandomWalkModel>(ctx, mc, false, rng);
+  if (name == "node2vec")
+    return std::make_unique<models::RandomWalkModel>(ctx, mc, true, rng);
+  if (name == "GCN") return std::make_unique<models::GcnModel>(ctx, mc, rng);
+  if (name == "GAT") return std::make_unique<models::GatModel>(ctx, mc, rng);
+  if (name == "HAN") return std::make_unique<models::HanModel>(ctx, mc, rng);
+  if (name == "HGT") return std::make_unique<models::HgtModel>(ctx, mc, rng);
+  if (name == "R-GCN")
+    return std::make_unique<models::RgcnModel>(ctx, mc, rng);
+  if (name == "CompGCN")
+    return std::make_unique<models::CompGcnModel>(ctx, mc, rng);
+  if (name == "DecGCN")
+    return std::make_unique<models::DecGcnModel>(ctx, mc, rng);
+  if (name == "DeepR")
+    return std::make_unique<models::DeepRModel>(ctx, mc, rng);
+
+  // PRIM and its ablations: "PRIM", "PRIM-<subset of D,S,T>", plus the
+  // extra design-choice variants "PRIM:gamma=sub" and "PRIM:noattdist".
+  if (name.rfind("PRIM", 0) == 0) {
+    core::PrimConfig pc = config.prim;
+    const std::string suffix = name.substr(4);
+    if (suffix.rfind("-", 0) == 0) {
+      for (char c : suffix.substr(1)) {
+        if (c == 'D') pc.use_distance_projection = false;
+        if (c == 'S') pc.use_spatial_context = false;
+        if (c == 'T') pc.use_taxonomy_path = false;
+      }
+    } else if (suffix == ":gamma=sub") {
+      pc.gamma = core::GammaOp::kSubtract;
+    } else if (suffix == ":noattdist") {
+      pc.use_attention_distance = false;
+    } else {
+      PRIM_CHECK_MSG(suffix.empty(), "unknown PRIM variant " << name);
+    }
+    return std::make_unique<core::PrimModel>(ctx, pc, rng);
+  }
+  PRIM_CHECK_MSG(false, "unknown model name " << name);
+}
+
+ExperimentData PrepareExperiment(const data::PoiDataset& dataset,
+                                 double train_fraction,
+                                 const ExperimentConfig& config) {
+  Rng rng(config.seed);
+  ExperimentData data;
+  data.split = graph::SplitEdges(dataset.edges, train_fraction, rng);
+  std::vector<graph::Triple> message_edges = data.split.train;
+  if (config.message_graph_fraction < 1.0) {
+    rng.Shuffle(message_edges);
+    message_edges.resize(static_cast<size_t>(
+        message_edges.size() * config.message_graph_fraction));
+  }
+  data.ctx =
+      models::BuildModelContext(dataset, message_edges, config.context);
+  data.full_graph = std::make_unique<graph::HeteroGraph>(
+      dataset.num_pois(), dataset.num_relations, dataset.edges);
+  graph::NegativeSampler sampler(*data.full_graph);
+  data.validation = MakeEvalBatch(
+      dataset, data.split.validation,
+      sampler.SampleNonEdges(config.validation_non_edges, rng));
+  data.test =
+      MakeEvalBatch(dataset, data.split.test,
+                    sampler.SampleNonEdges(config.test_non_edges, rng));
+  return data;
+}
+
+ExperimentResult RunModel(const std::string& model_name,
+                          const ExperimentData& data,
+                          const ExperimentConfig& config) {
+  Rng rng(config.seed * 7919 + 13);
+  std::unique_ptr<models::RelationModel> model =
+      MakeModel(model_name, data.ctx, config, rng, &data.validation);
+  Trainer trainer(*model, data.split.train, *data.full_graph,
+                  config.trainer);
+  const TrainResult train_result = trainer.Fit(&data.validation);
+  ExperimentResult result;
+  result.test = EvaluateModel(*model, data.test);
+  result.train_seconds = train_result.seconds;
+  result.epochs = train_result.epochs_run;
+  return result;
+}
+
+ExperimentResult RunSingleExperiment(const data::PoiDataset& dataset,
+                                     double train_fraction,
+                                     const std::string& model_name,
+                                     const ExperimentConfig& config) {
+  const ExperimentData data =
+      PrepareExperiment(dataset, train_fraction, config);
+  return RunModel(model_name, data, config);
+}
+
+}  // namespace prim::train

@@ -1,0 +1,98 @@
+#ifndef PRIM_TRAIN_EXPERIMENT_H_
+#define PRIM_TRAIN_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prim_config.h"
+#include "data/dataset.h"
+#include "graph/split.h"
+#include "models/model_config.h"
+#include "models/model_context.h"
+#include "models/relation_model.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace prim::train {
+
+/// End-to-end configuration of one experiment run (dataset split already
+/// chosen): shared model hyper-parameters, PRIM-specific config, trainer
+/// config and evaluation sizes.
+struct ExperimentConfig {
+  models::ModelConfig model;
+  core::PrimConfig prim;
+  TrainConfig trainer;
+  models::ModelContextOptions context;
+  /// Fraction of training edges placed in the message-passing graph; the
+  /// remainder is supervision-only. Scoring a positive that is absent from
+  /// the adjacency forces the model to rely on transferable structure
+  /// instead of reading the edge's existence off its own input graph
+  /// (standard link-prediction leakage control), which calibrates the phi
+  /// boundary for held-out pairs. 1.0 disables.
+  double message_graph_fraction = 0.8;
+  /// Non-edge pairs added to validation / test batches as phi examples
+  /// (paper: 16,000 at full scale).
+  int validation_non_edges = 500;
+  int test_non_edges = 2000;
+  uint64_t seed = 1;
+
+  /// Keeps the PRIM config's shared dims in sync with `model`.
+  void SyncDims() {
+    prim.dim = model.dim;
+    prim.layers = model.layers;
+    prim.heads = model.heads;
+    prim.tax_dim = model.tax_dim;
+    prim.leaky_alpha = model.leaky_alpha;
+  }
+};
+
+/// All comparison methods of Table 2 in paper column order. Rule baselines
+/// are only defined for 2 relation types (as in the paper, Table 3 drops
+/// them).
+std::vector<std::string> AllModelNames(int num_relations);
+
+/// Instantiates a model by its paper name ("PRIM", "HGT", "CAT-D",
+/// "PRIM-DS", "PRIM:gamma=sub", "PRIM:noattdist", ...). `validation` is
+/// required by the rule baselines (threshold search) and ignored by
+/// others.
+std::unique_ptr<models::RelationModel> MakeModel(
+    const std::string& name, const models::ModelContext& ctx,
+    const ExperimentConfig& config, Rng& rng,
+    const models::PairBatch* validation);
+
+/// Everything derived from one (dataset, train fraction, seed): the edge
+/// split, training context, full graph for clean negative sampling, and
+/// labelled validation/test batches.
+struct ExperimentData {
+  graph::EdgeSplit split;
+  models::ModelContext ctx;
+  std::unique_ptr<graph::HeteroGraph> full_graph;
+  models::PairBatch validation;
+  models::PairBatch test;
+};
+
+ExperimentData PrepareExperiment(const data::PoiDataset& dataset,
+                                 double train_fraction,
+                                 const ExperimentConfig& config);
+
+struct ExperimentResult {
+  F1Result test;
+  double train_seconds = 0.0;
+  int epochs = 0;
+};
+
+/// Train + evaluate one named model on prepared data.
+ExperimentResult RunModel(const std::string& model_name,
+                          const ExperimentData& data,
+                          const ExperimentConfig& config);
+
+/// Convenience: PrepareExperiment + RunModel.
+ExperimentResult RunSingleExperiment(const data::PoiDataset& dataset,
+                                     double train_fraction,
+                                     const std::string& model_name,
+                                     const ExperimentConfig& config);
+
+}  // namespace prim::train
+
+#endif  // PRIM_TRAIN_EXPERIMENT_H_

@@ -1,0 +1,55 @@
+#include "train/metrics.h"
+
+#include "common/check.h"
+
+namespace prim::train {
+
+F1Result MulticlassF1(const std::vector<int>& predictions,
+                      const std::vector<int>& labels, int num_classes) {
+  PRIM_CHECK_MSG(predictions.size() == labels.size(),
+                 "prediction/label size mismatch");
+  F1Result result;
+  result.per_class_f1.assign(num_classes, 0.0);
+  result.support.assign(num_classes, 0);
+  std::vector<int64_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int y = labels[i];
+    const int p = predictions[i];
+    PRIM_CHECK(0 <= y && y < num_classes && 0 <= p && p < num_classes);
+    ++result.support[y];
+    if (p == y) {
+      ++tp[y];
+      ++correct;
+    } else {
+      ++fp[p];
+      ++fn[y];
+    }
+  }
+  int active_classes = 0;
+  double macro_sum = 0.0;
+  for (int c = 0; c < num_classes; ++c) {
+    const int64_t denom_p = tp[c] + fp[c];
+    const int64_t denom_r = tp[c] + fn[c];
+    if (denom_p == 0 && denom_r == 0) continue;  // Class absent entirely.
+    const double precision =
+        denom_p > 0 ? static_cast<double>(tp[c]) / denom_p : 0.0;
+    const double recall =
+        denom_r > 0 ? static_cast<double>(tp[c]) / denom_r : 0.0;
+    const double f1 = (precision + recall) > 0.0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
+    result.per_class_f1[c] = f1;
+    macro_sum += f1;
+    ++active_classes;
+  }
+  result.macro_f1 = active_classes > 0 ? macro_sum / active_classes : 0.0;
+  result.accuracy = labels.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) / labels.size();
+  result.micro_f1 = result.accuracy;  // Single-label multiclass identity.
+  return result;
+}
+
+}  // namespace prim::train

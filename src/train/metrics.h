@@ -1,0 +1,24 @@
+#ifndef PRIM_TRAIN_METRICS_H_
+#define PRIM_TRAIN_METRICS_H_
+
+#include <vector>
+
+namespace prim::train {
+
+/// Multiclass F1 metrics (paper §5.1.2). For single-label multiclass
+/// prediction, Micro-F1 equals accuracy; Macro-F1 is the unweighted mean
+/// of per-class F1 over classes that occur in labels or predictions.
+struct F1Result {
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  double accuracy = 0.0;
+  std::vector<double> per_class_f1;
+  std::vector<int> support;  // label count per class
+};
+
+F1Result MulticlassF1(const std::vector<int>& predictions,
+                      const std::vector<int>& labels, int num_classes);
+
+}  // namespace prim::train
+
+#endif  // PRIM_TRAIN_METRICS_H_

@@ -1,0 +1,31 @@
+#ifndef PRIM_TRAIN_TABLE_PRINTER_H_
+#define PRIM_TRAIN_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace prim::train {
+
+/// Minimal fixed-width table printer for bench outputs that mirror the
+/// paper's tables. Usage:
+///   TablePrinter t({"Dataset", "Metric", "Train%", "PRIM"});
+///   t.AddRow({"BJ", "Macro-F1", "40%", "0.845"});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::FILE* out) const;
+
+  /// Formats a double with fixed precision (default 3, like the paper).
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prim::train
+
+#endif  // PRIM_TRAIN_TABLE_PRINTER_H_

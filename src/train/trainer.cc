@@ -1,0 +1,157 @@
+#include "train/trainer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+#include "nn/ops.h"
+#include "train/evaluator.h"
+
+namespace prim::train {
+
+Trainer::Trainer(models::RelationModel& model,
+                 const std::vector<graph::Triple>& train_triples,
+                 const graph::HeteroGraph& full_graph,
+                 const TrainConfig& config)
+    : model_(model),
+      train_triples_(train_triples),
+      sampler_(full_graph),
+      config_(config),
+      rng_(config.seed) {
+  auto params = model_.Parameters();
+  if (!params.empty()) {
+    optimizer_ = std::make_unique<nn::Adam>(
+        std::move(params), config_.lr, 0.9f, 0.999f, 1e-8f,
+        config_.weight_decay);
+  }
+}
+
+void Trainer::SnapshotParameters() {
+  best_params_.clear();
+  for (const nn::Tensor& p : model_.Parameters())
+    best_params_.emplace_back(p.data(), p.data() + p.size());
+}
+
+void Trainer::RestoreParameters() {
+  if (best_params_.empty()) return;
+  auto params = model_.Parameters();
+  PRIM_CHECK(params.size() == best_params_.size());
+  for (size_t i = 0; i < params.size(); ++i)
+    std::copy(best_params_[i].begin(), best_params_[i].end(),
+              params[i].data());
+}
+
+TrainResult Trainer::Fit(const models::PairBatch* validation) {
+  TrainResult result;
+  if (!model_.trainable() || !optimizer_) return result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto& dataset = *model_.context().dataset;
+  const int num_relations = model_.context().num_relations;
+
+  std::vector<int> order(train_triples_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  double best_val = -1.0;
+  int bad_rounds = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // --- Assemble this epoch's triple batch -----------------------------
+    rng_.Shuffle(order);
+    const int num_pos =
+        config_.max_positives_per_epoch > 0
+            ? std::min<int>(config_.max_positives_per_epoch,
+                            static_cast<int>(order.size()))
+            : static_cast<int>(order.size());
+    const bool softmax = config_.objective == TrainObjective::kSoftmax;
+    models::PairBatch batch;
+    std::vector<int> classes;   // BCE: scored class. Softmax: target label.
+    std::vector<float> targets;  // BCE only.
+    auto add = [&](int s, int d, int cls, float y) {
+      batch.Add(s, d, static_cast<float>(dataset.DistanceKm(s, d)));
+      classes.push_back(cls);
+      targets.push_back(y);
+    };
+    for (int i = 0; i < num_pos; ++i) {
+      const graph::Triple& pos = train_triples_[order[i]];
+      add(pos.src, pos.dst, pos.rel, 1.0f);
+      for (int k = 0; k < config_.negatives_per_positive; ++k) {
+        const graph::Triple neg = sampler_.CorruptTriple(pos, rng_);
+        // Under softmax a corrupted pair is simply a phi example (the
+        // sampler guarantees it is a true non-edge for neg.rel; pairs that
+        // carry another relation are rare enough to be training noise).
+        add(neg.src, neg.dst, softmax ? num_relations : neg.rel, 0.0f);
+      }
+      if (!softmax) {
+        for (int k = 0; k < config_.relation_corruptions_per_positive &&
+                        num_relations > 1;
+             ++k) {
+          int wrong_rel =
+              static_cast<int>(rng_.UniformInt(num_relations - 1));
+          if (wrong_rel >= pos.rel) ++wrong_rel;
+          if (!model_.context().train_graph->HasEdge(pos.src, pos.dst,
+                                                     wrong_rel)) {
+            add(pos.src, pos.dst, wrong_rel, 0.0f);
+          }
+        }
+      }
+    }
+    // phi class: non-edges are positives, true edges negatives.
+    const int num_phi = config_.phi_positives_per_epoch > 0
+                            ? config_.phi_positives_per_epoch
+                            : std::max(64, num_pos / 4);
+    for (const auto& [a, b] : sampler_.SampleNonEdges(num_phi, rng_))
+      add(a, b, num_relations, 1.0f);
+    if (!softmax) {
+      for (int k = 0; k < num_phi && !train_triples_.empty(); ++k) {
+        const graph::Triple& t =
+            train_triples_[rng_.UniformInt(train_triples_.size())];
+        add(t.src, t.dst, num_relations, 0.0f);
+      }
+    }
+
+    // --- One full-batch step --------------------------------------------
+    optimizer_->ZeroGrad();
+    nn::Tensor h = model_.EncodeNodes(/*training=*/true);
+    nn::Tensor logits = model_.ScorePairs(h, batch);
+    nn::Tensor loss;
+    if (softmax) {
+      loss = nn::SoftmaxCrossEntropy(logits, classes);
+    } else {
+      nn::Tensor selected = nn::TakePerRow(logits, classes);
+      loss = nn::BceWithLogits(selected, targets);
+    }
+    loss.Backward();
+    optimizer_->ClipGradNorm(config_.grad_clip);
+    optimizer_->Step();
+    result.loss_curve.push_back(loss.item());
+    ++result.epochs_run;
+
+    // --- Validation / early stopping ------------------------------------
+    const bool last_epoch = epoch + 1 == config_.epochs;
+    if (validation != nullptr &&
+        ((epoch + 1) % config_.eval_every == 0 || last_epoch)) {
+      const F1Result val = EvaluateModel(model_, *validation);
+      if (config_.verbose) {
+        std::printf("[%s] epoch %3d loss %.4f val micro-F1 %.4f\n",
+                    model_.name().c_str(), epoch + 1, loss.item(),
+                    val.micro_f1);
+      }
+      if (val.micro_f1 > best_val) {
+        best_val = val.micro_f1;
+        bad_rounds = 0;
+        SnapshotParameters();
+      } else if (++bad_rounds >= config_.patience) {
+        break;
+      }
+    }
+  }
+  if (validation != nullptr) {
+    RestoreParameters();
+    result.best_val_micro_f1 = best_val;
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+}  // namespace prim::train

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace prim {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int64_t n : {0LL, 1LL, 7LL, 1000LL, 100000LL}) {
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(n, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, DeterministicResultAcrossThreadCounts) {
+  const int64_t n = 50000;
+  auto run = [&] {
+    std::vector<double> out(n);
+    ParallelFor(n, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) out[i] = i * 0.5;
+    });
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  SetNumWorkerThreads(1);
+  const double single = run();
+  SetNumWorkerThreads(4);
+  const double multi = run();
+  SetNumWorkerThreads(0);  // Restore default.
+  EXPECT_EQ(single, multi);
+}
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(9), b(9), c(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(1000), b.UniformInt(1000));
+  }
+  bool any_diff = false;
+  Rng a2(9);
+  for (int i = 0; i < 100; ++i)
+    any_diff = any_diff || (a2.UniformInt(1000) != c.UniformInt(1000));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    EXPECT_GE(rng.UniformIntRange(-5, 5), -5);
+    EXPECT_LE(rng.UniformIntRange(-5, 5), 5);
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(4);
+  std::vector<double> weights{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1] * 2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // Child stream differs from a continued parent stream.
+  bool differ = false;
+  for (int i = 0; i < 50 && !differ; ++i)
+    differ = child.UniformInt(1 << 30) != parent.UniformInt(1 << 30);
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(v, shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(PRIM_CHECK(1 == 2), "1 == 2");
+  EXPECT_DEATH(PRIM_CHECK_MSG(false, "ctx " << 42), "ctx 42");
+}
+
+}  // namespace
+}  // namespace prim

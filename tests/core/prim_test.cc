@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distance_scorer.h"
+#include "core/prim_config.h"
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "core/spatial_context.h"
+#include "core/taxonomy_encoder.h"
+#include "core/wrgnn.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "tests/test_fixtures.h"
+#include "train/experiment.h"
+
+namespace prim::core {
+namespace {
+
+using prim::testing::TinyCity;
+using prim::testing::TinyExperimentConfig;
+
+struct PrimFixture {
+  data::PoiDataset dataset;
+  train::ExperimentConfig config;
+  train::ExperimentData data;
+  PrimFixture() : dataset(TinyCity()), config(TinyExperimentConfig()) {
+    data = train::PrepareExperiment(dataset, 0.6, config);
+  }
+};
+
+PrimFixture& Fixture() {
+  static PrimFixture* f = new PrimFixture();
+  return *f;
+}
+
+TEST(PrimConfigTest, BinOfMapsDistancesMonotonically) {
+  PrimConfig config;
+  EXPECT_EQ(config.BinOf(0.0f), 0);
+  EXPECT_EQ(config.BinOf(0.49f), 0);
+  EXPECT_EQ(config.BinOf(0.51f), 1);
+  EXPECT_EQ(config.BinOf(1000.0f), config.num_bins() - 1);
+  int prev = 0;
+  for (float d = 0.0f; d < 30.0f; d += 0.1f) {
+    const int b = config.BinOf(d);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, config.num_bins());
+    prev = b;
+  }
+}
+
+TEST(TaxonomyEncoderTest, SiblingCategoriesCloserThanDistantOnes) {
+  PrimFixture& f = Fixture();
+  Rng rng(3);
+  TaxonomyEncoder enc(f.data.ctx, 16, /*use_path=*/true, rng);
+  nn::Tensor q = enc.Forward();
+  // Find POIs i, j with sibling categories (path distance 2) and k with a
+  // cross-branch category (path distance 6); path-sum embeddings must put
+  // q_i closer to q_j than to q_k.
+  const auto& tax = f.dataset.taxonomy;
+  int i = -1, j = -1, k = -1;
+  for (int a = 0; a < f.dataset.num_pois() && k < 0; ++a) {
+    for (int b = 0; b < f.dataset.num_pois() && k < 0; ++b) {
+      if (a == b) continue;
+      const int d = tax.PathDistance(f.dataset.pois[a].category,
+                                     f.dataset.pois[b].category);
+      if (d == 2 && i < 0) {
+        i = a;
+        j = b;
+      }
+      if (i == a && d == 6) k = b;
+    }
+    if (k < 0) i = j = -1;
+  }
+  ASSERT_GE(k, 0) << "fixture lacks required category pattern";
+  auto dist2 = [&](int a, int b) {
+    double s = 0.0;
+    for (int c = 0; c < q.cols(); ++c) {
+      const double d = q.at(a, c) - q.at(b, c);
+      s += d * d;
+    }
+    return s;
+  };
+  EXPECT_LT(dist2(i, j), dist2(i, k));
+}
+
+TEST(WrgnnLayerTest, OutputShapesAndRelationUpdate) {
+  PrimFixture& f = Fixture();
+  Rng rng(4);
+  PrimConfig config = f.config.prim;
+  WrgnnLayer layer(f.data.ctx, config, rng);
+  const int n = f.data.ctx.num_nodes;
+  const int d_aug = config.dim + config.tax_dim;
+  nn::Tensor h = nn::NormalInit(n, d_aug, 0.5f, rng, false);
+  nn::Tensor rel = nn::NormalInit(3, d_aug, 0.5f, rng, false);
+  auto out = layer.Forward(h, rel);
+  EXPECT_EQ(out.h.rows(), n);
+  EXPECT_EQ(out.h.cols(), config.dim);
+  EXPECT_EQ(out.relations.rows(), 3);
+  EXPECT_EQ(out.relations.cols(), d_aug);
+  for (int64_t i = 0; i < out.h.size(); ++i)
+    EXPECT_TRUE(std::isfinite(out.h.data()[i]));
+}
+
+TEST(WrgnnLayerTest, IsolatedNodeStillGetsRepresentation) {
+  // A node with no relational edges must get a non-zero representation via
+  // the self-transform — this is what makes unseen-POI inference work.
+  PrimFixture& f = Fixture();
+  Rng rng(5);
+  // Find an isolated node in the training graph.
+  int isolated = -1;
+  for (int i = 0; i < f.data.ctx.num_nodes; ++i) {
+    if (f.data.ctx.train_graph->TotalDegree(i) == 0) {
+      isolated = i;
+      break;
+    }
+  }
+  if (isolated < 0) GTEST_SKIP() << "no isolated node in fixture";
+  PrimConfig config = f.config.prim;
+  WrgnnLayer layer(f.data.ctx, config, rng);
+  const int d_aug = config.dim + config.tax_dim;
+  nn::Tensor h = nn::NormalInit(f.data.ctx.num_nodes, d_aug, 0.5f, rng,
+                                false);
+  auto out = layer.Forward(h, nn::NormalInit(3, d_aug, 0.5f, rng, false));
+  double norm = 0.0;
+  for (int c = 0; c < out.h.cols(); ++c)
+    norm += std::abs(out.h.at(isolated, c));
+  EXPECT_GT(norm, 1e-4);
+}
+
+TEST(SpatialContextTest, AttentionWeightsRespectRbfDecay) {
+  PrimFixture& f = Fixture();
+  Rng rng(6);
+  SpatialContextExtractor extractor(f.data.ctx, f.config.prim.dim, rng);
+  nn::Tensor h =
+      nn::NormalInit(f.data.ctx.num_nodes, f.config.prim.dim, 0.5f, rng,
+                     false);
+  nn::Tensor ctx_vec = extractor.Forward(h);
+  EXPECT_EQ(ctx_vec.rows(), f.data.ctx.num_nodes);
+  EXPECT_EQ(ctx_vec.cols(), f.config.prim.dim);
+  // Nodes without spatial neighbours must get exactly zero context.
+  std::vector<bool> has_neighbor(f.data.ctx.num_nodes, false);
+  for (int e = 0; e < f.data.ctx.spatial.size(); ++e)
+    has_neighbor[f.data.ctx.spatial.dst[e]] = true;
+  for (int i = 0; i < f.data.ctx.num_nodes; ++i) {
+    if (has_neighbor[i]) continue;
+    for (int c = 0; c < ctx_vec.cols(); ++c)
+      EXPECT_EQ(ctx_vec.at(i, c), 0.0f);
+  }
+}
+
+TEST(DistanceScorerTest, ProjectionRemovesNormalComponent) {
+  // After Eq. 11, the projected representation must be orthogonal to the
+  // bin's unit normal: (h - (h.w)w) . w == 0.
+  PrimConfig config;
+  config.dim = 8;
+  Rng rng(7);
+  DistanceScorer scorer(config, /*rel_dim=*/12, /*num_classes=*/3, rng);
+  nn::Tensor w_unit = nn::RowL2Normalize(scorer.hyperplanes());
+  nn::Tensor h = nn::NormalInit(4, 8, 1.0f, rng, false);
+  // Manually project row 0 of h onto bin 2's hyperplane.
+  const int bin = 2;
+  double dot = 0.0;
+  for (int c = 0; c < 8; ++c) dot += h.at(0, c) * w_unit.at(bin, c);
+  double residual = 0.0;
+  for (int c = 0; c < 8; ++c) {
+    const double proj = h.at(0, c) - dot * w_unit.at(bin, c);
+    residual += proj * w_unit.at(bin, c);
+  }
+  EXPECT_NEAR(residual, 0.0, 1e-5);
+}
+
+TEST(DistanceScorerTest, DistanceChangesScoreOnlyWhenProjectionOn) {
+  PrimFixture& f = Fixture();
+  Rng rng(8);
+  PrimConfig on = f.config.prim;
+  on.use_distance_projection = true;
+  PrimModel model_on(f.data.ctx, on, rng);
+  nn::NoGradGuard guard;
+  nn::Tensor h = model_on.EncodeNodes(false);
+  models::PairBatch near, far;
+  near.Add(0, 1, 0.3f);
+  far.Add(0, 1, 15.0f);
+  const float s_near = model_on.ScorePairs(h, near).at(0, 0);
+  const float s_far = model_on.ScorePairs(h, far).at(0, 0);
+  EXPECT_NE(s_near, s_far);  // Different bins -> different hyperplanes.
+
+  Rng rng2(8);
+  PrimConfig off = f.config.prim;
+  off.use_distance_projection = false;
+  PrimModel model_off(f.data.ctx, off, rng2);
+  nn::Tensor h2 = model_off.EncodeNodes(false);
+  const float t_near = model_off.ScorePairs(h2, near).at(0, 0);
+  const float t_far = model_off.ScorePairs(h2, far).at(0, 0);
+  EXPECT_EQ(t_near, t_far);  // -D variant is distance-agnostic.
+}
+
+TEST(PrimModelTest, AblationNames) {
+  PrimFixture& f = Fixture();
+  Rng rng(9);
+  PrimConfig config = f.config.prim;
+  EXPECT_EQ(PrimModel(f.data.ctx, config, rng).name(), "PRIM");
+  config.use_spatial_context = false;
+  EXPECT_EQ(PrimModel(f.data.ctx, config, rng).name(), "PRIM-S");
+  config.use_distance_projection = false;
+  config.use_taxonomy_path = false;
+  EXPECT_EQ(PrimModel(f.data.ctx, config, rng).name(), "PRIM-DST");
+}
+
+TEST(PrimModelTest, SpatialContextChangesEncoding) {
+  PrimFixture& f = Fixture();
+  Rng rng1(10), rng2(10);
+  PrimConfig with = f.config.prim;
+  PrimConfig without = f.config.prim;
+  without.use_spatial_context = false;
+  PrimModel m1(f.data.ctx, with, rng1);
+  PrimModel m2(f.data.ctx, without, rng2);
+  nn::NoGradGuard guard;
+  nn::Tensor h1 = m1.EncodeNodes(false);
+  nn::Tensor h2 = m2.EncodeNodes(false);
+  double diff = 0.0;
+  for (int64_t i = 0; i < h1.size(); ++i)
+    diff += std::abs(h1.data()[i] - h2.data()[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(PrimIndexTest, QueryMatchesModelScores) {
+  PrimFixture& f = Fixture();
+  Rng rng(11);
+  PrimModel model(f.data.ctx, f.config.prim, rng);
+  PrimIndex index = PrimIndex::Build(model);
+  nn::NoGradGuard guard;
+  nn::Tensor h = model.EncodeNodes(false);
+  models::PairBatch batch;
+  batch.Add(3, 7, 0.8f);
+  batch.Add(10, 2, 4.2f);
+  batch.Add(5, 5, 0.0f);
+  nn::Tensor scores = model.ScorePairs(h, batch);
+  std::vector<float> got(index.num_classes());
+  for (int i = 0; i < batch.size(); ++i) {
+    index.Query(batch.src[i], batch.dst[i], batch.dist_km[i],
+                /*project=*/true, got.data());
+    for (int c = 0; c < index.num_classes(); ++c)
+      EXPECT_NEAR(got[c], scores.at(i, c), 1e-4)
+          << "pair " << i << " class " << c;
+  }
+}
+
+TEST(PrimIndexTest, PredictRelationIsArgmax) {
+  PrimFixture& f = Fixture();
+  Rng rng(12);
+  PrimModel model(f.data.ctx, f.config.prim, rng);
+  PrimIndex index = PrimIndex::Build(model);
+  std::vector<float> scores(index.num_classes());
+  for (int q = 0; q < 50; ++q) {
+    const int i = q % index.num_nodes();
+    const int j = (q * 13 + 1) % index.num_nodes();
+    index.Query(i, j, 1.0f, true, scores.data());
+    const int pred = index.PredictRelation(i, j, 1.0f);
+    for (int c = 0; c < index.num_classes(); ++c)
+      EXPECT_LE(scores[c], scores[pred] + 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace prim::core

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/grid_index.h"
+#include "geo/point.h"
+
+namespace prim::geo {
+namespace {
+
+TEST(GeoPointTest, HaversineKnownDistance) {
+  // Beijing Tiananmen to Beijing Capital Airport, roughly 25.5 km.
+  GeoPoint tiananmen{116.3913, 39.9075};
+  GeoPoint airport{116.5871, 40.0799};
+  const double km = HaversineKm(tiananmen, airport);
+  EXPECT_NEAR(km, 25.5, 1.5);
+}
+
+TEST(GeoPointTest, HaversineZeroAndSymmetry) {
+  GeoPoint a{116.4, 39.9}, b{116.5, 39.8};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(GeoPointTest, EquirectangularCloseToHaversineAtCityScale) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    GeoPoint a{116.4 + rng.Uniform(-0.15, 0.15),
+               39.9 + rng.Uniform(-0.15, 0.15)};
+    GeoPoint b{116.4 + rng.Uniform(-0.15, 0.15),
+               39.9 + rng.Uniform(-0.15, 0.15)};
+    const double h = HaversineKm(a, b);
+    const double e = EquirectangularKm(a, b);
+    EXPECT_NEAR(e, h, std::max(0.02, 0.005 * h));
+  }
+}
+
+TEST(GeoPointTest, RbfKernelProperties) {
+  EXPECT_DOUBLE_EQ(RbfKernel(0.0, 2.0), 1.0);
+  EXPECT_GT(RbfKernel(0.5, 2.0), RbfKernel(1.0, 2.0));  // Monotone decay.
+  EXPECT_NEAR(RbfKernel(1.0, 2.0), std::exp(-2.0), 1e-12);
+}
+
+TEST(LocalProjectorTest, RoundTrip) {
+  LocalProjector proj(GeoPoint{116.4, 39.9});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(-20, 20), y = rng.Uniform(-20, 20);
+    GeoPoint p = proj.ToGeo(x, y);
+    double rx, ry;
+    proj.ToPlane(p, &rx, &ry);
+    EXPECT_NEAR(rx, x, 1e-9);
+    EXPECT_NEAR(ry, y, 1e-9);
+  }
+}
+
+TEST(LocalProjectorTest, PlanarDistanceMatchesHaversine) {
+  LocalProjector proj(GeoPoint{121.47, 31.23});
+  GeoPoint p = proj.ToGeo(3.0, 4.0);
+  EXPECT_NEAR(HaversineKm(GeoPoint{121.47, 31.23}, p), 5.0, 0.05);
+}
+
+TEST(SectorTest, CardinalDirections) {
+  GeoPoint center{116.4, 39.9};
+  LocalProjector proj(center);
+  // With 4 sectors: [0,90) east-ish = 0, north = 1, west = 2, south = 3.
+  EXPECT_EQ(SectorOf(center, proj.ToGeo(1.0, 0.1), 4), 0);
+  EXPECT_EQ(SectorOf(center, proj.ToGeo(0.0, 1.0), 4), 1);
+  EXPECT_EQ(SectorOf(center, proj.ToGeo(-1.0, -0.1), 4), 2);
+  EXPECT_EQ(SectorOf(center, proj.ToGeo(0.0, -1.0), 4), 3);
+}
+
+TEST(SectorTest, AllSectorsInRange) {
+  Rng rng(3);
+  GeoPoint center{116.4, 39.9};
+  for (int sectors : {1, 4, 8, 12}) {
+    for (int i = 0; i < 200; ++i) {
+      GeoPoint other{center.lon + rng.Uniform(-0.1, 0.1),
+                     center.lat + rng.Uniform(-0.1, 0.1)};
+      const int s = SectorOf(center, other, sectors);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, sectors);
+    }
+  }
+}
+
+TEST(SectorTest, CoincidentPointsMapToZero) {
+  GeoPoint p{116.4, 39.9};
+  EXPECT_EQ(SectorOf(p, p, 8), 0);
+}
+
+class GridIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = 300;
+  std::vector<GeoPoint> points(n);
+  for (auto& p : points) {
+    p.lon = 116.4 + rng.Uniform(-0.12, 0.12);
+    p.lat = 39.9 + rng.Uniform(-0.12, 0.12);
+  }
+  GridIndex index(points, /*cell_km=*/1.0);
+  for (double radius : {0.3, 1.15, 3.0}) {
+    for (int q = 0; q < 20; ++q) {
+      const int id = static_cast<int>(rng.UniformInt(n));
+      std::vector<int> got = index.NeighborsOf(id, radius);
+      std::vector<int> expected;
+      for (int j = 0; j < n; ++j)
+        if (j != id && HaversineKm(points[id], points[j]) < radius)
+          expected.push_back(j);
+      EXPECT_EQ(got, expected) << "radius " << radius << " id " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GridIndexTest, EmptyAndSinglePoint) {
+  GridIndex empty({}, 1.0);
+  EXPECT_TRUE(empty.RadiusQuery(GeoPoint{116.4, 39.9}, 5.0).empty());
+  GridIndex one({GeoPoint{116.4, 39.9}}, 1.0);
+  EXPECT_TRUE(one.NeighborsOf(0, 5.0).empty());
+  EXPECT_EQ(one.RadiusQuery(GeoPoint{116.4001, 39.9001}, 5.0).size(), 1u);
+}
+
+TEST(GridIndexTest, RadiusIsExclusive) {
+  LocalProjector proj(GeoPoint{116.4, 39.9});
+  std::vector<GeoPoint> points{proj.ToGeo(0, 0), proj.ToGeo(1.0, 0.0)};
+  GridIndex index(points, 0.5);
+  const double d = HaversineKm(points[0], points[1]);
+  EXPECT_TRUE(index.NeighborsOf(0, d * 0.999).empty());
+  EXPECT_EQ(index.NeighborsOf(0, d * 1.001).size(), 1u);
+}
+
+}  // namespace
+}  // namespace prim::geo

@@ -1,0 +1,51 @@
+#ifndef PRIM_TESTS_GRAD_CHECK_H_
+#define PRIM_TESTS_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace prim::testing {
+
+/// Compares analytic gradients against central finite differences for a
+/// scalar-valued forward function of `params`. Returns the largest
+/// absolute-or-relative error across all parameter elements.
+///
+/// Works in float32, so use a generous epsilon and compare against a
+/// ~1e-2 relative tolerance.
+inline double MaxGradError(const std::function<nn::Tensor()>& forward,
+                           std::vector<nn::Tensor> params,
+                           float epsilon = 1e-2f) {
+  // Analytic pass.
+  for (auto& p : params) p.ZeroGrad();
+  nn::Tensor loss = forward();
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (auto& p : params)
+    analytic.emplace_back(p.grad(), p.grad() + p.size());
+
+  double worst = 0.0;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    nn::Tensor& p = params[pi];
+    for (int64_t i = 0; i < p.size(); ++i) {
+      const float saved = p.data()[i];
+      p.data()[i] = saved + epsilon;
+      const float f_plus = forward().item();
+      p.data()[i] = saved - epsilon;
+      const float f_minus = forward().item();
+      p.data()[i] = saved;
+      const double numeric = (static_cast<double>(f_plus) - f_minus) /
+                             (2.0 * epsilon);
+      const double a = analytic[pi][i];
+      const double scale = std::max({1.0, std::abs(a), std::abs(numeric)});
+      worst = std::max(worst, std::abs(a - numeric) / scale);
+    }
+  }
+  return worst;
+}
+
+}  // namespace prim::testing
+
+#endif  // PRIM_TESTS_GRAD_CHECK_H_

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/hetero_graph.h"
+#include "graph/sampling.h"
+#include "graph/split.h"
+
+namespace prim::graph {
+namespace {
+
+TEST(HeteroGraphTest, SymmetricAdjacencyAndEdgeLists) {
+  HeteroGraph g(4, 2, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_relations(), 2);
+  EXPECT_EQ(g.num_directed_edges(), 6);
+  EXPECT_EQ(g.Degree(1, 0), 1);
+  EXPECT_EQ(g.Degree(1, 1), 1);
+  EXPECT_EQ(g.TotalDegree(1), 2);
+  EXPECT_TRUE(g.HasEdge(1, 0, 0));  // Order-insensitive.
+  EXPECT_FALSE(g.HasEdge(0, 1, 1));
+  EXPECT_TRUE(g.HasAnyEdge(2, 1));
+  EXPECT_FALSE(g.HasAnyEdge(0, 3));
+}
+
+TEST(HeteroGraphTest, DeduplicatesAndDropsSelfLoops) {
+  HeteroGraph g(3, 1, {{0, 1, 0}, {1, 0, 0}, {0, 1, 0}, {2, 2, 0}});
+  EXPECT_EQ(g.num_directed_edges(), 2);  // One undirected edge kept.
+  EXPECT_EQ(g.Degree(2, 0), 0);
+}
+
+TEST(SplitTest, FractionsAndDisjointness) {
+  Rng rng(5);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 1000; ++i)
+    triples.push_back({i % 100, (i * 7 + 1) % 100, i % 2});
+  EdgeSplit split = SplitEdges(triples, 0.5, rng);
+  EXPECT_EQ(split.validation.size(), 100u);
+  EXPECT_EQ(split.test.size(), 200u);
+  EXPECT_EQ(split.train.size(), 500u);
+  // Train fraction capped at the remainder.
+  Rng rng2(5);
+  EdgeSplit full = SplitEdges(triples, 0.9, rng2);
+  EXPECT_EQ(full.train.size(), 700u);
+}
+
+TEST(SplitTest, DeterministicInSeed) {
+  std::vector<Triple> triples;
+  for (int i = 0; i < 100; ++i) triples.push_back({i, i + 1, 0});
+  Rng a(9), b(9), c(10), d(11);
+  EXPECT_EQ(SplitEdges(triples, 0.5, a).train,
+            SplitEdges(triples, 0.5, b).train);
+  EXPECT_NE(SplitEdges(triples, 0.5, c).train,
+            SplitEdges(triples, 0.5, d).train);
+}
+
+TEST(SplitTest, InductiveHidesNodesCleanly) {
+  Rng rng(7);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 99; ++i) triples.push_back({i, i + 1, 0});
+  InductiveSplit split = SplitInductive(triples, 100, 0.2, rng);
+  int hidden_count = 0;
+  for (bool h : split.hidden) hidden_count += h ? 1 : 0;
+  EXPECT_EQ(hidden_count, 20);
+  for (const Triple& t : split.train) {
+    EXPECT_FALSE(split.hidden[t.src]);
+    EXPECT_FALSE(split.hidden[t.dst]);
+  }
+  for (const Triple& t : split.test)
+    EXPECT_TRUE(split.hidden[t.src] || split.hidden[t.dst]);
+  EXPECT_EQ(split.train.size() + split.test.size(), triples.size());
+}
+
+TEST(SplitTest, SparseNodeMaskCountsTrainDegrees) {
+  std::vector<Triple> train{{0, 1, 0}, {0, 2, 0}, {0, 3, 1}};
+  const auto mask = SparseNodeMask(train, 5, 3);
+  EXPECT_FALSE(mask[0]);  // Degree 3.
+  EXPECT_TRUE(mask[1]);   // Degree 1.
+  EXPECT_TRUE(mask[4]);   // Degree 0.
+}
+
+TEST(SplitTest, FilterTriplesEitherVsBoth) {
+  std::vector<Triple> triples{{0, 1, 0}, {1, 2, 0}, {2, 3, 0}};
+  std::vector<bool> mask{true, false, true, false};
+  EXPECT_EQ(FilterTriples(triples, mask, /*keep_if_either=*/true).size(), 3u);
+  EXPECT_EQ(FilterTriples(triples, mask, /*keep_if_either=*/false).size(), 0u);
+}
+
+TEST(SamplingTest, CorruptedTriplesAreTrueNegatives) {
+  Rng rng(13);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 50; ++i) triples.push_back({i, (i + 1) % 50, i % 2});
+  HeteroGraph g(50, 2, triples);
+  NegativeSampler sampler(g);
+  for (int i = 0; i < 500; ++i) {
+    const Triple& pos = triples[rng.UniformInt(triples.size())];
+    const Triple neg = sampler.CorruptTriple(pos, rng);
+    EXPECT_EQ(neg.rel, pos.rel);
+    EXPECT_NE(neg.src, neg.dst);
+    EXPECT_FALSE(g.HasEdge(neg.src, neg.dst, neg.rel));
+    // Exactly one endpoint kept.
+    EXPECT_TRUE(neg.src == pos.src || neg.dst == pos.dst);
+  }
+}
+
+TEST(SamplingTest, NonEdgesAreDistinctAndUnconnected) {
+  Rng rng(17);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 30; ++i) triples.push_back({i, (i + 1) % 30, 0});
+  HeteroGraph g(30, 1, triples);
+  NegativeSampler sampler(g);
+  const auto pairs = sampler.SampleNonEdges(100, rng);
+  EXPECT_EQ(pairs.size(), 100u);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& [a, b] : pairs) {
+    EXPECT_LT(a, b);
+    EXPECT_FALSE(g.HasAnyEdge(a, b));
+    EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate pair";
+  }
+}
+
+}  // namespace
+}  // namespace prim::graph

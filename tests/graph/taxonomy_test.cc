@@ -1,0 +1,82 @@
+#include "graph/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace prim::graph {
+namespace {
+
+// Builds: root -> {food, fun}; food -> {asian, western}; leaves under each.
+struct SmallTaxonomy {
+  CategoryTaxonomy tax;
+  int food, fun, asian, western, sushi, ramen, burger, cinema;
+  SmallTaxonomy() {
+    food = tax.AddNode(0, "food");
+    fun = tax.AddNode(0, "fun");
+    asian = tax.AddNode(food, "asian");
+    western = tax.AddNode(food, "western");
+    sushi = tax.AddNode(asian, "sushi");
+    ramen = tax.AddNode(asian, "ramen");
+    burger = tax.AddNode(western, "burger");
+    cinema = tax.AddNode(fun, "cinema");
+  }
+};
+
+TEST(TaxonomyTest, StructureBasics) {
+  SmallTaxonomy t;
+  EXPECT_EQ(t.tax.num_nodes(), 9);
+  EXPECT_EQ(t.tax.NumLeaves(), 4);      // sushi, ramen, burger, cinema
+  EXPECT_EQ(t.tax.NumNonLeaves(), 5);   // root, food, fun, asian, western
+  EXPECT_EQ(t.tax.depth(t.sushi), 3);
+  EXPECT_TRUE(t.tax.IsLeaf(t.cinema));
+  EXPECT_FALSE(t.tax.IsLeaf(t.food));
+}
+
+TEST(TaxonomyTest, PathToRootLeafFirst) {
+  SmallTaxonomy t;
+  const auto path = t.tax.PathToRoot(t.sushi);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], t.sushi);
+  EXPECT_EQ(path[1], t.asian);
+  EXPECT_EQ(path[2], t.food);
+  EXPECT_EQ(path[3], 0);
+}
+
+TEST(TaxonomyTest, PathDistanceCases) {
+  SmallTaxonomy t;
+  EXPECT_EQ(t.tax.PathDistance(t.sushi, t.sushi), 0);
+  EXPECT_EQ(t.tax.PathDistance(t.sushi, t.ramen), 2);    // Siblings.
+  EXPECT_EQ(t.tax.PathDistance(t.sushi, t.burger), 4);   // Same top branch.
+  // Across branches: 3 edges up to root + 2 down to cinema (depth 2 leaf).
+  EXPECT_EQ(t.tax.PathDistance(t.sushi, t.cinema), 5);
+  EXPECT_EQ(t.tax.PathDistance(t.sushi, t.asian), 1);    // Parent link.
+  EXPECT_EQ(t.tax.PathDistance(t.asian, t.sushi), 1);    // Symmetry.
+}
+
+TEST(TaxonomyTest, PathDistanceMetricProperties) {
+  // Symmetry + triangle inequality on random node pairs of a random tree.
+  Rng rng(11);
+  CategoryTaxonomy tax;
+  std::vector<int> nodes{0};
+  for (int i = 0; i < 60; ++i)
+    nodes.push_back(
+        tax.AddNode(nodes[rng.UniformInt(nodes.size())], "n"));
+  for (int trial = 0; trial < 200; ++trial) {
+    const int a = nodes[rng.UniformInt(nodes.size())];
+    const int b = nodes[rng.UniformInt(nodes.size())];
+    const int c = nodes[rng.UniformInt(nodes.size())];
+    EXPECT_EQ(tax.PathDistance(a, b), tax.PathDistance(b, a));
+    EXPECT_LE(tax.PathDistance(a, c),
+              tax.PathDistance(a, b) + tax.PathDistance(b, c));
+    EXPECT_LE(tax.PathDistance(a, b), tax.MaxPathDistance());
+  }
+}
+
+TEST(TaxonomyDeathTest, BadParentAborts) {
+  CategoryTaxonomy tax;
+  EXPECT_DEATH(tax.AddNode(99, "x"), "bad parent");
+}
+
+}  // namespace
+}  // namespace prim::graph

@@ -1,0 +1,157 @@
+// Property-based sweeps: every structural op is checked against a naive
+// reference implementation on randomly shaped, randomly filled inputs
+// (TEST_P over seeds). Complements ops_test.cc (hand cases) and
+// grad_check_test.cc (derivatives).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace prim::nn {
+namespace {
+
+class OpsPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+
+  Tensor RandomTensor(int rows, int cols) {
+    return NormalInit(rows, cols, 1.0f, rng_, /*requires_grad=*/false);
+  }
+  int Dim(int lo, int hi) {
+    return static_cast<int>(rng_.UniformIntRange(lo, hi));
+  }
+};
+
+TEST_P(OpsPropertyTest, MatMulMatchesNaive) {
+  const int n = Dim(1, 12), k = Dim(1, 12), m = Dim(1, 12);
+  Tensor a = RandomTensor(n, k), b = RandomTensor(k, m);
+  Tensor c = MatMul(a, b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-4 * (1.0 + std::abs(acc)));
+    }
+  }
+}
+
+TEST_P(OpsPropertyTest, TransposeInvolution) {
+  Tensor a = RandomTensor(Dim(1, 10), Dim(1, 10));
+  Tensor t = Transpose(Transpose(a));
+  ASSERT_EQ(t.rows(), a.rows());
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(t.data()[i], a.data()[i]);
+}
+
+TEST_P(OpsPropertyTest, SegmentSumEqualsGroupedAddition) {
+  const int n = Dim(1, 60), m = Dim(1, 6), segs = Dim(1, 10);
+  Tensor x = RandomTensor(n, m);
+  std::vector<int> seg(n);
+  for (int i = 0; i < n; ++i) seg[i] = static_cast<int>(rng_.UniformInt(segs));
+  Tensor out = SegmentSum(x, seg, segs);
+  std::vector<double> expect(static_cast<size_t>(segs) * m, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j) expect[seg[i] * m + j] += x.at(i, j);
+  for (int s = 0; s < segs; ++s)
+    for (int j = 0; j < m; ++j)
+      EXPECT_NEAR(out.at(s, j), expect[s * m + j], 1e-4);
+}
+
+TEST_P(OpsPropertyTest, SegmentSoftmaxPartitionsUnity) {
+  const int n = Dim(2, 80), segs = Dim(1, 8);
+  Tensor x = RandomTensor(n, 1);
+  std::vector<int> seg(n);
+  std::vector<bool> used(segs, false);
+  for (int i = 0; i < n; ++i) {
+    seg[i] = static_cast<int>(rng_.UniformInt(segs));
+    used[seg[i]] = true;
+  }
+  Tensor out = SegmentSoftmax(x, seg, segs);
+  std::vector<double> sums(segs, 0.0);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(out.at(i, 0), 0.0f);
+    sums[seg[i]] += out.at(i, 0);
+  }
+  for (int s = 0; s < segs; ++s)
+    if (used[s]) EXPECT_NEAR(sums[s], 1.0, 1e-5);
+}
+
+TEST_P(OpsPropertyTest, GatherThenSegmentSumIsPermutationSafe) {
+  // sum over gathered rows grouped back to sources == original rows times
+  // occurrence count.
+  const int n = Dim(2, 12), m = Dim(1, 5), e = Dim(1, 64);
+  Tensor x = RandomTensor(n, m);
+  std::vector<int> idx(e);
+  std::vector<int> count(n, 0);
+  for (int i = 0; i < e; ++i) {
+    idx[i] = static_cast<int>(rng_.UniformInt(n));
+    ++count[idx[i]];
+  }
+  Tensor scattered = SegmentSum(Gather(x, idx), idx, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      EXPECT_NEAR(scattered.at(i, j), count[i] * x.at(i, j),
+                  1e-4 * (1 + count[i]));
+}
+
+TEST_P(OpsPropertyTest, ConcatSliceRoundTrip) {
+  const int n = Dim(1, 10), a_cols = Dim(1, 6), b_cols = Dim(1, 6);
+  Tensor a = RandomTensor(n, a_cols), b = RandomTensor(n, b_cols);
+  Tensor c = ConcatCols({a, b});
+  Tensor a2 = SliceCols(c, 0, a_cols);
+  Tensor b2 = SliceCols(c, a_cols, a_cols + b_cols);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a2.data()[i], a.data()[i]);
+  for (int64_t i = 0; i < b.size(); ++i) EXPECT_EQ(b2.data()[i], b.data()[i]);
+}
+
+TEST_P(OpsPropertyTest, RowSoftmaxMatchesSegmentSoftmaxPerRow) {
+  const int n = Dim(1, 8), m = Dim(2, 7);
+  Tensor x = RandomTensor(n, m);
+  Tensor row_wise = RowSoftmax(x);
+  // Flatten to column vector with one segment per original row.
+  std::vector<float> flat(x.data(), x.data() + x.size());
+  Tensor col = Tensor::FromData(n * m, 1, std::move(flat));
+  std::vector<int> seg(static_cast<size_t>(n) * m);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j) seg[i * m + j] = i;
+  Tensor seg_wise = SegmentSoftmax(col, seg, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      EXPECT_NEAR(row_wise.at(i, j), seg_wise.at(i * m + j, 0), 1e-6);
+}
+
+TEST_P(OpsPropertyTest, DistMultSymmetry) {
+  // The scoring form used across the library is symmetric in the pair:
+  // (h_i ⊙ h_j) R^T == (h_j ⊙ h_i) R^T.
+  const int d = Dim(2, 16), c = Dim(1, 4);
+  Tensor hi = RandomTensor(1, d), hj = RandomTensor(1, d);
+  Tensor rel = RandomTensor(c, d);
+  Tensor s_ij = MatMul(Mul(hi, hj), Transpose(rel));
+  Tensor s_ji = MatMul(Mul(hj, hi), Transpose(rel));
+  for (int k = 0; k < c; ++k) EXPECT_EQ(s_ij.at(0, k), s_ji.at(0, k));
+}
+
+TEST_P(OpsPropertyTest, HyperplaneProjectionIsIdempotent) {
+  // Eq. 11's projection P(h) = h - (h.w)w with unit w satisfies P(P(h)) = P(h).
+  const int d = Dim(2, 16);
+  Tensor w = RowL2Normalize(RandomTensor(1, d));
+  Tensor h = RandomTensor(1, d);
+  auto project = [&](const Tensor& v) {
+    Tensor s = RowSum(Mul(v, w));
+    return Sub(v, Mul(w, s));
+  };
+  Tensor once = project(h);
+  Tensor twice = project(once);
+  for (int j = 0; j < d; ++j) EXPECT_NEAR(twice.at(0, j), once.at(0, j), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace prim::nn

@@ -1,0 +1,191 @@
+#include "nn/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/tensor.h"
+
+namespace prim::nn {
+namespace {
+
+TEST(OpsTest, MatMulValues) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, TransposeValues) {
+  Tensor a = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor row = Tensor::FromData(1, 2, {10, 20});
+  Tensor c = Add(a, row);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 24.0f);
+}
+
+TEST(OpsTest, MulColBroadcast) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor col = Tensor::FromData(2, 1, {10, -1});
+  Tensor c = Mul(a, col);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 20.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), -3.0f);
+}
+
+TEST(OpsTest, ConcatColsAndSlice) {
+  Tensor a = Tensor::FromData(2, 1, {1, 2});
+  Tensor b = Tensor::FromData(2, 2, {3, 4, 5, 6});
+  Tensor c = ConcatCols({a, b});
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
+  Tensor s = SliceCols(c, 1, 3);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(OpsTest, ConcatRows) {
+  Tensor a = Tensor::FromData(1, 2, {1, 2});
+  Tensor b = Tensor::FromData(2, 2, {3, 4, 5, 6});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, GatherRows) {
+  Tensor x = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor g = Gather(x, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, SegmentSumGroups) {
+  Tensor x = Tensor::FromData(4, 1, {1, 2, 3, 4});
+  Tensor s = SegmentSum(x, {0, 1, 0, 1}, 3);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(s.at(2, 0), 0.0f);  // Empty segment.
+}
+
+TEST(OpsTest, SegmentSoftmaxNormalisesPerSegment) {
+  Tensor x = Tensor::FromData(4, 1, {1, 1, 2, 0});
+  Tensor s = SegmentSoftmax(x, {0, 0, 1, 1}, 2);
+  EXPECT_NEAR(s.at(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(s.at(1, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(s.at(2, 0) + s.at(3, 0), 1.0f, 1e-6);
+  EXPECT_GT(s.at(2, 0), s.at(3, 0));
+}
+
+TEST(OpsTest, SegmentSoftmaxStableForLargeScores) {
+  Tensor x = Tensor::FromData(2, 1, {1000.0f, 999.0f});
+  Tensor s = SegmentSoftmax(x, {0, 0}, 1);
+  EXPECT_TRUE(std::isfinite(s.at(0, 0)));
+  EXPECT_NEAR(s.at(0, 0) + s.at(1, 0), 1.0f, 1e-6);
+}
+
+TEST(OpsTest, RowSoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor x = NormalInit(5, 7, 2.0f, rng, false);
+  Tensor s = RowSoftmax(x);
+  for (int i = 0; i < 5; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < 7; ++j) sum += s.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(OpsTest, RowL2NormalizeUnitNorm) {
+  Tensor x = Tensor::FromData(2, 2, {3, 4, 0.6f, 0.8f});
+  Tensor n = RowL2Normalize(x);
+  EXPECT_NEAR(n.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(n.at(0, 1), 0.8f, 1e-6);
+  for (int i = 0; i < 2; ++i) {
+    const float norm = std::sqrt(n.at(i, 0) * n.at(i, 0) +
+                                 n.at(i, 1) * n.at(i, 1));
+    EXPECT_NEAR(norm, 1.0f, 1e-5);
+  }
+}
+
+TEST(OpsTest, TakePerRowSelects) {
+  Tensor x = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = TakePerRow(x, {2, 0});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 4.0f);
+}
+
+TEST(OpsTest, ReductionValues) {
+  Tensor x = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(SumAll(x).item(), 10.0f);
+  EXPECT_FLOAT_EQ(MeanAll(x).item(), 2.5f);
+  Tensor rs = RowSum(x);
+  EXPECT_FLOAT_EQ(rs.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(rs.at(1, 0), 7.0f);
+  Tensor rm = RowMean(x);
+  EXPECT_FLOAT_EQ(rm.at(1, 0), 3.5f);
+}
+
+TEST(OpsTest, SigmoidExtremeInputsStable) {
+  Tensor x = Tensor::FromData(1, 3, {-100.0f, 0.0f, 100.0f});
+  Tensor s = Sigmoid(x);
+  EXPECT_NEAR(s.at(0, 0), 0.0f, 1e-6);
+  EXPECT_NEAR(s.at(0, 1), 0.5f, 1e-6);
+  EXPECT_NEAR(s.at(0, 2), 1.0f, 1e-6);
+  EXPECT_TRUE(std::isfinite(s.at(0, 0)));
+}
+
+TEST(OpsTest, BceWithLogitsMatchesClosedForm) {
+  Tensor logits = Tensor::FromData(2, 1, {0.0f, 2.0f});
+  Tensor loss = BceWithLogits(logits, {1.0f, 0.0f});
+  const double expected =
+      0.5 * (-std::log(0.5) - std::log(1.0 - 1.0 / (1.0 + std::exp(-2.0))));
+  EXPECT_NEAR(loss.item(), expected, 1e-5);
+}
+
+TEST(OpsTest, SoftmaxCrossEntropyPerfectPrediction) {
+  Tensor logits = Tensor::FromData(1, 3, {100.0f, 0.0f, 0.0f});
+  EXPECT_NEAR(SoftmaxCrossEntropy(logits, {0}).item(), 0.0f, 1e-5);
+}
+
+TEST(OpsTest, DropoutIdentityWhenEval) {
+  Rng rng(1);
+  Tensor x = Tensor::Full(4, 4, 1.0f);
+  Tensor y = Dropout(x, 0.5f, rng, /*training=*/false);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(y.data()[i], 1.0f);
+}
+
+TEST(OpsTest, DropoutPreservesExpectation) {
+  Rng rng(1);
+  Tensor x = Tensor::Full(100, 100, 1.0f);
+  Tensor y = Dropout(x, 0.5f, rng, /*training=*/true);
+  double sum = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) sum += y.data()[i];
+  EXPECT_NEAR(sum / y.size(), 1.0, 0.05);
+}
+
+TEST(OpsDeathTest, MatMulShapeMismatchAborts) {
+  Tensor a = Tensor::Zeros(2, 3);
+  Tensor b = Tensor::Zeros(2, 3);
+  EXPECT_DEATH(MatMul(a, b), "MatMul");
+}
+
+TEST(OpsDeathTest, GatherOutOfRangeAborts) {
+  Tensor a = Tensor::Zeros(2, 2);
+  EXPECT_DEATH(Gather(a, {5}), "Gather");
+}
+
+}  // namespace
+}  // namespace prim::nn

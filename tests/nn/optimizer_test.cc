@@ -1,0 +1,140 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace prim::nn {
+namespace {
+
+TEST(OptimizerTest, SgdMinimizesQuadratic) {
+  Tensor x = Tensor::Full(1, 1, 5.0f, true);
+  Sgd opt({x}, /*lr=*/0.1f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Mul(x, x);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.item(), 0.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamMinimizesShiftedQuadratic) {
+  Tensor x = Tensor::Full(1, 3, 4.0f, true);
+  Tensor target = Tensor::FromData(1, 3, {1.0f, -2.0f, 0.5f});
+  Adam opt({x}, /*lr=*/0.05f);
+  for (int i = 0; i < 500; ++i) {
+    opt.ZeroGrad();
+    Tensor d = Sub(x, target);
+    Tensor loss = SumAll(Mul(d, d));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.at(0, 0), 1.0f, 1e-2);
+  EXPECT_NEAR(x.at(0, 1), -2.0f, 1e-2);
+  EXPECT_NEAR(x.at(0, 2), 0.5f, 1e-2);
+}
+
+TEST(OptimizerTest, AdamFitsLinearRegression) {
+  Rng rng(5);
+  const int n = 64, d = 4;
+  Tensor x = NormalInit(n, d, 1.0f, rng, false);
+  Tensor w_true = Tensor::FromData(d, 1, {2.0f, -1.0f, 0.5f, 3.0f});
+  Tensor y = MatMul(x, w_true);
+  Tensor w = Tensor::Zeros(d, 1, true);
+  Adam opt({w}, 0.05f);
+  float final_loss = 1e9f;
+  for (int i = 0; i < 600; ++i) {
+    opt.ZeroGrad();
+    Tensor err = Sub(MatMul(x, w), y);
+    Tensor loss = MeanAll(Mul(err, err));
+    loss.Backward();
+    opt.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 1e-4);
+  EXPECT_NEAR(w.at(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(w.at(3, 0), 3.0f, 0.05f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Tensor x = Tensor::Zeros(1, 2, true);
+  x.ZeroGrad();
+  x.grad()[0] = 3.0f;
+  x.grad()[1] = 4.0f;  // Norm 5.
+  Sgd opt({x}, 1.0f);
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(x.grad()[0], 0.6f, 1e-6);
+  EXPECT_NEAR(x.grad()[1], 0.8f, 1e-6);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
+  Tensor x = Tensor::Zeros(1, 1, true);
+  x.ZeroGrad();
+  x.grad()[0] = 0.5f;
+  Sgd opt({x}, 1.0f);
+  opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.5f);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::Full(1, 1, 1.0f, true);
+  Sgd opt({x}, /*lr=*/0.1f, /*weight_decay=*/0.5f);
+  opt.ZeroGrad();  // Zero gradient: only decay acts.
+  opt.Step();
+  EXPECT_NEAR(x.item(), 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(ModuleTest, ParameterRegistrationAndCounts) {
+  Rng rng(1);
+  Linear lin(4, 3, rng, /*bias=*/true);
+  EXPECT_EQ(lin.Parameters().size(), 2u);
+  EXPECT_EQ(lin.NumParameters(), 4 * 3 + 3);
+  Linear nobias(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(nobias.Parameters().size(), 1u);
+}
+
+TEST(ModuleTest, LinearForwardMatchesManual) {
+  Rng rng(2);
+  Linear lin(2, 2, rng);
+  Tensor x = Tensor::FromData(1, 2, {1.0f, 2.0f});
+  Tensor y = lin.Forward(x);
+  const Tensor& w = lin.weight();
+  const Tensor& b = lin.bias();
+  for (int j = 0; j < 2; ++j) {
+    const float expect = 1.0f * w.at(0, j) + 2.0f * w.at(1, j) + b.at(0, j);
+    EXPECT_NEAR(y.at(0, j), expect, 1e-5);
+  }
+}
+
+TEST(ModuleTest, EmbeddingGathersRows) {
+  Rng rng(3);
+  Embedding emb(5, 3, rng);
+  Tensor out = emb.Forward({4, 0});
+  EXPECT_EQ(out.rows(), 2);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(out.at(0, j), emb.table().at(4, j));
+    EXPECT_EQ(out.at(1, j), emb.table().at(0, j));
+  }
+}
+
+TEST(InitTest, XavierRangeAndDeterminism) {
+  Rng rng1(7), rng2(7);
+  Tensor a = XavierUniform(20, 30, rng1);
+  Tensor b = XavierUniform(20, 30, rng2);
+  const float bound = std::sqrt(6.0f / 50.0f);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(std::abs(a.data()[i]), bound);
+    EXPECT_EQ(a.data()[i], b.data()[i]);  // Same seed, same init.
+  }
+  EXPECT_TRUE(a.requires_grad());
+}
+
+}  // namespace
+}  // namespace prim::nn

@@ -1,0 +1,91 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace prim::nn {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndContents) {
+  Tensor t = Tensor::Zeros(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(t.at(i, j), 0.0f);
+  EXPECT_FALSE(t.requires_grad());
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full(2, 2, 3.5f);
+  EXPECT_EQ(t.at(1, 1), 3.5f);
+  Tensor s = Tensor::Scalar(-1.25f);
+  EXPECT_EQ(s.item(), -1.25f);
+}
+
+TEST(TensorTest, FromDataRowMajorLayout) {
+  Tensor t = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+}
+
+TEST(TensorTest, DetachSharesNoHistoryOrStorage) {
+  Tensor a = Tensor::Full(1, 1, 2.0f, /*requires_grad=*/true);
+  Tensor b = Scale(a, 3.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  d.at(0, 0) = 99.0f;
+  EXPECT_EQ(b.item(), 6.0f);  // Original unaffected.
+}
+
+TEST(TensorTest, BackwardSimpleChain) {
+  // loss = sum(3 * a), d loss / d a = 3 everywhere.
+  Tensor a = Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  Tensor loss = SumAll(Scale(a, 3.0f));
+  loss.Backward();
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a.grad()[i], 3.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesAcrossCalls) {
+  Tensor a = Tensor::Full(1, 1, 1.0f, true);
+  for (int rep = 0; rep < 2; ++rep) {
+    Tensor loss = Scale(a, 2.0f);
+    loss.Backward();
+  }
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0f);  // 2 + 2, no implicit zeroing.
+  a.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, BackwardDiamondDependency) {
+  // loss = sum(a*a + a) — a used twice; gradient must be 2a + 1.
+  Tensor a = Tensor::Full(1, 1, 3.0f, true);
+  Tensor loss = SumAll(Add(Mul(a, a), a));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 7.0f);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesHistory) {
+  Tensor a = Tensor::Full(1, 1, 1.0f, true);
+  {
+    NoGradGuard guard;
+    Tensor b = Scale(a, 2.0f);
+    EXPECT_FALSE(b.requires_grad());
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TensorDeathTest, ItemOnMatrixAborts) {
+  Tensor t = Tensor::Zeros(2, 2);
+  EXPECT_DEATH(t.item(), "item");
+}
+
+TEST(TensorDeathTest, BackwardOnNonScalarAborts) {
+  Tensor t = Tensor::Zeros(2, 2, true);
+  EXPECT_DEATH(t.Backward(), "scalar");
+}
+
+}  // namespace
+}  // namespace prim::nn

@@ -1,0 +1,38 @@
+#ifndef PRIM_TESTS_TEST_FIXTURES_H_
+#define PRIM_TESTS_TEST_FIXTURES_H_
+
+#include "data/presets.h"
+#include "train/experiment.h"
+
+namespace prim::testing {
+
+/// Tiny-but-realistic dataset for model tests (≈400 POIs, seconds to train).
+inline data::PoiDataset TinyCity() {
+  return data::MakeBeijing(data::DatasetScale::kTiny);
+}
+
+/// Experiment configuration sized for unit tests: small dims, few epochs.
+inline train::ExperimentConfig TinyExperimentConfig() {
+  train::ExperimentConfig config;
+  config.model.dim = 16;
+  config.model.layers = 2;
+  config.model.heads = 2;
+  config.model.tax_dim = 8;
+  config.model.walks_per_node = 4;
+  config.model.walk_length = 15;
+  config.trainer.epochs = 80;
+  config.trainer.eval_every = 10;
+  config.trainer.patience = 4;
+  config.trainer.max_positives_per_epoch = 1200;
+  config.trainer.negatives_per_positive = 2;
+  config.trainer.lr = 0.02f;
+  config.validation_non_edges = 200;
+  config.test_non_edges = 400;
+  config.seed = 3;
+  config.SyncDims();
+  return config;
+}
+
+}  // namespace prim::testing
+
+#endif  // PRIM_TESTS_TEST_FIXTURES_H_

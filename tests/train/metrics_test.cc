@@ -1,0 +1,59 @@
+#include "train/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace prim::train {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  F1Result r = MulticlassF1({0, 1, 2, 1}, {0, 1, 2, 1}, 3);
+  EXPECT_DOUBLE_EQ(r.micro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+}
+
+TEST(MetricsTest, HandComputedMixedCase) {
+  // labels:    0 0 1 1 1 2
+  // predicted: 0 1 1 1 2 2
+  // class 0: tp=1 fp=0 fn=1 -> P=1, R=0.5, F1=2/3
+  // class 1: tp=2 fp=1 fn=1 -> P=2/3, R=2/3, F1=2/3
+  // class 2: tp=1 fp=1 fn=0 -> P=0.5, R=1, F1=2/3
+  F1Result r = MulticlassF1({0, 1, 1, 1, 2, 2}, {0, 0, 1, 1, 1, 2}, 3);
+  EXPECT_NEAR(r.micro_f1, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(r.macro_f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.per_class_f1[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.per_class_f1[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.per_class_f1[2], 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.support[1], 3);
+}
+
+TEST(MetricsTest, AbsentClassExcludedFromMacro) {
+  // Class 2 never appears in labels or predictions -> macro over 2 classes.
+  F1Result r = MulticlassF1({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 1.0);
+}
+
+TEST(MetricsTest, PredictedButAbsentClassDragsMacro) {
+  // Class 2 predicted once but never labelled: F1(2) = 0, included.
+  F1Result r = MulticlassF1({0, 2}, {0, 1}, 3);
+  EXPECT_NEAR(r.macro_f1, (1.0 + 0.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, AllWrong) {
+  F1Result r = MulticlassF1({1, 0}, {0, 1}, 2);
+  EXPECT_DOUBLE_EQ(r.micro_f1, 0.0);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 0.0);
+}
+
+TEST(MetricsTest, EmptyInput) {
+  F1Result r = MulticlassF1({}, {}, 3);
+  EXPECT_DOUBLE_EQ(r.micro_f1, 0.0);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 0.0);
+}
+
+TEST(MetricsDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(MulticlassF1({0}, {0, 1}, 2), "mismatch");
+}
+
+}  // namespace
+}  // namespace prim::train
