@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_unseen.dir/bench_table4_unseen.cc.o"
+  "CMakeFiles/bench_table4_unseen.dir/bench_table4_unseen.cc.o.d"
+  "bench_table4_unseen"
+  "bench_table4_unseen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_unseen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

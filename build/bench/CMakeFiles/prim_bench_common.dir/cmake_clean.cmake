@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/prim_bench_common.dir/bench_common.cc.o.d"
+  "libprim_bench_common.a"
+  "libprim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

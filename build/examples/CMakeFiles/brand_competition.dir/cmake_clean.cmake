@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brand_competition.dir/brand_competition.cpp.o"
+  "CMakeFiles/brand_competition.dir/brand_competition.cpp.o.d"
+  "brand_competition"
+  "brand_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brand_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_common.dir/check.cc.o"
+  "CMakeFiles/prim_common.dir/check.cc.o.d"
+  "CMakeFiles/prim_common.dir/parallel.cc.o"
+  "CMakeFiles/prim_common.dir/parallel.cc.o.d"
+  "CMakeFiles/prim_common.dir/rng.cc.o"
+  "CMakeFiles/prim_common.dir/rng.cc.o.d"
+  "libprim_common.a"
+  "libprim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distance_scorer.cc" "src/core/CMakeFiles/prim_core.dir/distance_scorer.cc.o" "gcc" "src/core/CMakeFiles/prim_core.dir/distance_scorer.cc.o.d"
+  "/root/repo/src/core/prim_index.cc" "src/core/CMakeFiles/prim_core.dir/prim_index.cc.o" "gcc" "src/core/CMakeFiles/prim_core.dir/prim_index.cc.o.d"
+  "/root/repo/src/core/prim_model.cc" "src/core/CMakeFiles/prim_core.dir/prim_model.cc.o" "gcc" "src/core/CMakeFiles/prim_core.dir/prim_model.cc.o.d"
+  "/root/repo/src/core/spatial_context.cc" "src/core/CMakeFiles/prim_core.dir/spatial_context.cc.o" "gcc" "src/core/CMakeFiles/prim_core.dir/spatial_context.cc.o.d"
+  "/root/repo/src/core/taxonomy_encoder.cc" "src/core/CMakeFiles/prim_core.dir/taxonomy_encoder.cc.o" "gcc" "src/core/CMakeFiles/prim_core.dir/taxonomy_encoder.cc.o.d"
+  "/root/repo/src/core/wrgnn.cc" "src/core/CMakeFiles/prim_core.dir/wrgnn.cc.o" "gcc" "src/core/CMakeFiles/prim_core.dir/wrgnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/prim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/prim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/prim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/prim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/prim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_core.dir/distance_scorer.cc.o"
+  "CMakeFiles/prim_core.dir/distance_scorer.cc.o.d"
+  "CMakeFiles/prim_core.dir/prim_index.cc.o"
+  "CMakeFiles/prim_core.dir/prim_index.cc.o.d"
+  "CMakeFiles/prim_core.dir/prim_model.cc.o"
+  "CMakeFiles/prim_core.dir/prim_model.cc.o.d"
+  "CMakeFiles/prim_core.dir/spatial_context.cc.o"
+  "CMakeFiles/prim_core.dir/spatial_context.cc.o.d"
+  "CMakeFiles/prim_core.dir/taxonomy_encoder.cc.o"
+  "CMakeFiles/prim_core.dir/taxonomy_encoder.cc.o.d"
+  "CMakeFiles/prim_core.dir/wrgnn.cc.o"
+  "CMakeFiles/prim_core.dir/wrgnn.cc.o.d"
+  "libprim_core.a"
+  "libprim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

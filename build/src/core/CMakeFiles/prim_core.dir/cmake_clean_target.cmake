@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprim_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_data.dir/csv_io.cc.o"
+  "CMakeFiles/prim_data.dir/csv_io.cc.o.d"
+  "CMakeFiles/prim_data.dir/dataset.cc.o"
+  "CMakeFiles/prim_data.dir/dataset.cc.o.d"
+  "CMakeFiles/prim_data.dir/presets.cc.o"
+  "CMakeFiles/prim_data.dir/presets.cc.o.d"
+  "CMakeFiles/prim_data.dir/synthetic.cc.o"
+  "CMakeFiles/prim_data.dir/synthetic.cc.o.d"
+  "libprim_data.a"
+  "libprim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_geo.dir/grid_index.cc.o"
+  "CMakeFiles/prim_geo.dir/grid_index.cc.o.d"
+  "CMakeFiles/prim_geo.dir/point.cc.o"
+  "CMakeFiles/prim_geo.dir/point.cc.o.d"
+  "libprim_geo.a"
+  "libprim_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

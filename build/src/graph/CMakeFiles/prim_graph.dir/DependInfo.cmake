@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/hetero_graph.cc" "src/graph/CMakeFiles/prim_graph.dir/hetero_graph.cc.o" "gcc" "src/graph/CMakeFiles/prim_graph.dir/hetero_graph.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/graph/CMakeFiles/prim_graph.dir/sampling.cc.o" "gcc" "src/graph/CMakeFiles/prim_graph.dir/sampling.cc.o.d"
+  "/root/repo/src/graph/split.cc" "src/graph/CMakeFiles/prim_graph.dir/split.cc.o" "gcc" "src/graph/CMakeFiles/prim_graph.dir/split.cc.o.d"
+  "/root/repo/src/graph/taxonomy.cc" "src/graph/CMakeFiles/prim_graph.dir/taxonomy.cc.o" "gcc" "src/graph/CMakeFiles/prim_graph.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/prim_graph.dir/hetero_graph.cc.o.d"
+  "CMakeFiles/prim_graph.dir/sampling.cc.o"
+  "CMakeFiles/prim_graph.dir/sampling.cc.o.d"
+  "CMakeFiles/prim_graph.dir/split.cc.o"
+  "CMakeFiles/prim_graph.dir/split.cc.o.d"
+  "CMakeFiles/prim_graph.dir/taxonomy.cc.o"
+  "CMakeFiles/prim_graph.dir/taxonomy.cc.o.d"
+  "libprim_graph.a"
+  "libprim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/compgcn.cc" "src/models/CMakeFiles/prim_models.dir/compgcn.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/compgcn.cc.o.d"
+  "/root/repo/src/models/decgcn.cc" "src/models/CMakeFiles/prim_models.dir/decgcn.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/decgcn.cc.o.d"
+  "/root/repo/src/models/deepr.cc" "src/models/CMakeFiles/prim_models.dir/deepr.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/deepr.cc.o.d"
+  "/root/repo/src/models/distmult_scorer.cc" "src/models/CMakeFiles/prim_models.dir/distmult_scorer.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/distmult_scorer.cc.o.d"
+  "/root/repo/src/models/feature_encoder.cc" "src/models/CMakeFiles/prim_models.dir/feature_encoder.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/feature_encoder.cc.o.d"
+  "/root/repo/src/models/gat.cc" "src/models/CMakeFiles/prim_models.dir/gat.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/gat.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "src/models/CMakeFiles/prim_models.dir/gcn.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/gcn.cc.o.d"
+  "/root/repo/src/models/gnn_common.cc" "src/models/CMakeFiles/prim_models.dir/gnn_common.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/gnn_common.cc.o.d"
+  "/root/repo/src/models/han.cc" "src/models/CMakeFiles/prim_models.dir/han.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/han.cc.o.d"
+  "/root/repo/src/models/hgt.cc" "src/models/CMakeFiles/prim_models.dir/hgt.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/hgt.cc.o.d"
+  "/root/repo/src/models/model_context.cc" "src/models/CMakeFiles/prim_models.dir/model_context.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/model_context.cc.o.d"
+  "/root/repo/src/models/random_walk.cc" "src/models/CMakeFiles/prim_models.dir/random_walk.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/random_walk.cc.o.d"
+  "/root/repo/src/models/rgcn.cc" "src/models/CMakeFiles/prim_models.dir/rgcn.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/rgcn.cc.o.d"
+  "/root/repo/src/models/rules.cc" "src/models/CMakeFiles/prim_models.dir/rules.cc.o" "gcc" "src/models/CMakeFiles/prim_models.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/prim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/prim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/prim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/prim_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

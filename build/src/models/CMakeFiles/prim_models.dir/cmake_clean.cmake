@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_models.dir/compgcn.cc.o"
+  "CMakeFiles/prim_models.dir/compgcn.cc.o.d"
+  "CMakeFiles/prim_models.dir/decgcn.cc.o"
+  "CMakeFiles/prim_models.dir/decgcn.cc.o.d"
+  "CMakeFiles/prim_models.dir/deepr.cc.o"
+  "CMakeFiles/prim_models.dir/deepr.cc.o.d"
+  "CMakeFiles/prim_models.dir/distmult_scorer.cc.o"
+  "CMakeFiles/prim_models.dir/distmult_scorer.cc.o.d"
+  "CMakeFiles/prim_models.dir/feature_encoder.cc.o"
+  "CMakeFiles/prim_models.dir/feature_encoder.cc.o.d"
+  "CMakeFiles/prim_models.dir/gat.cc.o"
+  "CMakeFiles/prim_models.dir/gat.cc.o.d"
+  "CMakeFiles/prim_models.dir/gcn.cc.o"
+  "CMakeFiles/prim_models.dir/gcn.cc.o.d"
+  "CMakeFiles/prim_models.dir/gnn_common.cc.o"
+  "CMakeFiles/prim_models.dir/gnn_common.cc.o.d"
+  "CMakeFiles/prim_models.dir/han.cc.o"
+  "CMakeFiles/prim_models.dir/han.cc.o.d"
+  "CMakeFiles/prim_models.dir/hgt.cc.o"
+  "CMakeFiles/prim_models.dir/hgt.cc.o.d"
+  "CMakeFiles/prim_models.dir/model_context.cc.o"
+  "CMakeFiles/prim_models.dir/model_context.cc.o.d"
+  "CMakeFiles/prim_models.dir/random_walk.cc.o"
+  "CMakeFiles/prim_models.dir/random_walk.cc.o.d"
+  "CMakeFiles/prim_models.dir/rgcn.cc.o"
+  "CMakeFiles/prim_models.dir/rgcn.cc.o.d"
+  "CMakeFiles/prim_models.dir/rules.cc.o"
+  "CMakeFiles/prim_models.dir/rules.cc.o.d"
+  "libprim_models.a"
+  "libprim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_nn.dir/init.cc.o"
+  "CMakeFiles/prim_nn.dir/init.cc.o.d"
+  "CMakeFiles/prim_nn.dir/module.cc.o"
+  "CMakeFiles/prim_nn.dir/module.cc.o.d"
+  "CMakeFiles/prim_nn.dir/ops.cc.o"
+  "CMakeFiles/prim_nn.dir/ops.cc.o.d"
+  "CMakeFiles/prim_nn.dir/optimizer.cc.o"
+  "CMakeFiles/prim_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/prim_nn.dir/tensor.cc.o"
+  "CMakeFiles/prim_nn.dir/tensor.cc.o.d"
+  "libprim_nn.a"
+  "libprim_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prim_train.dir/evaluator.cc.o"
+  "CMakeFiles/prim_train.dir/evaluator.cc.o.d"
+  "CMakeFiles/prim_train.dir/experiment.cc.o"
+  "CMakeFiles/prim_train.dir/experiment.cc.o.d"
+  "CMakeFiles/prim_train.dir/metrics.cc.o"
+  "CMakeFiles/prim_train.dir/metrics.cc.o.d"
+  "CMakeFiles/prim_train.dir/table_printer.cc.o"
+  "CMakeFiles/prim_train.dir/table_printer.cc.o.d"
+  "CMakeFiles/prim_train.dir/trainer.cc.o"
+  "CMakeFiles/prim_train.dir/trainer.cc.o.d"
+  "libprim_train.a"
+  "libprim_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prim_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/common_test.cc" "tests/CMakeFiles/common_test.dir/common/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/prim_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/prim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/prim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/prim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/prim_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/prim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

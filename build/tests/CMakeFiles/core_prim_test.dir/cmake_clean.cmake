@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prim_test.dir/core/prim_test.cc.o"
+  "CMakeFiles/core_prim_test.dir/core/prim_test.cc.o.d"
+  "core_prim_test"
+  "core_prim_test.pdb"
+  "core_prim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_taxonomy_test.dir/graph/taxonomy_test.cc.o"
+  "CMakeFiles/graph_taxonomy_test.dir/graph/taxonomy_test.cc.o.d"
+  "graph_taxonomy_test"
+  "graph_taxonomy_test.pdb"
+  "graph_taxonomy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_taxonomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_metrics_test.dir/train/metrics_test.cc.o"
+  "CMakeFiles/train_metrics_test.dir/train/metrics_test.cc.o.d"
+  "train_metrics_test"
+  "train_metrics_test.pdb"
+  "train_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

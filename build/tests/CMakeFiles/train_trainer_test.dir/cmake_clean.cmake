@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_trainer_test.dir/train/trainer_test.cc.o"
+  "CMakeFiles/train_trainer_test.dir/train/trainer_test.cc.o.d"
+  "train_trainer_test"
+  "train_trainer_test.pdb"
+  "train_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

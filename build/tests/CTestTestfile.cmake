@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_grad_check_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/data_synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/core_prim_test[1]_include.cmake")
+include("/root/repo/build/tests/train_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/train_trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_ops_property_test[1]_include.cmake")
