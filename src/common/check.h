@@ -35,4 +35,22 @@ namespace prim {
     }                                                         \
   } while (0)
 
+/// Debug-mode invariant check: identical to PRIM_CHECK but compiled out when
+/// NDEBUG is defined. Used on hot accessors (e.g. Tensor::data()) where an
+/// unconditional check would be unwelcome in tuned builds. Note that this
+/// project's own presets never define NDEBUG — PRIM_CHECK is the documented
+/// always-on contract — so PRIM_DCHECK is active in Release, sanitizer, and
+/// Debug presets alike and only disappears under an explicit -DNDEBUG.
+#ifdef NDEBUG
+#define PRIM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#define PRIM_DCHECK_MSG(cond, msg) \
+  do {                             \
+  } while (0)
+#else
+#define PRIM_DCHECK(cond) PRIM_CHECK(cond)
+#define PRIM_DCHECK_MSG(cond, msg) PRIM_CHECK_MSG(cond, msg)
+#endif
+
 #endif  // PRIM_COMMON_CHECK_H_

@@ -1,8 +1,12 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/check.h"
 
 namespace prim {
 namespace {
@@ -18,22 +22,111 @@ int ResolveThreads() {
 // Work below this many items per thread is not worth spawning threads for.
 constexpr int64_t kMinItemsPerThread = 2048;
 
+// Number of live ParallelAuditScope instances. Process-wide (not
+// thread-local) because the chunk callbacks run on pool threads, not on the
+// thread that created the scope.
+std::atomic<int> g_audit_scopes{0};
+
+// One write-range claim from one chunk of the active region.
+struct AuditRecord {
+  const void* base;
+  int64_t lo, hi;
+  int chunk;
+};
+
+// Per-region collector shared by all chunks of one audited ParallelFor.
+struct AuditRegion {
+  std::mutex mu;
+  std::vector<AuditRecord> records;
+};
+
+// Set while a chunk callback runs so AuditWriteRange knows where to report.
+thread_local AuditRegion* t_region = nullptr;
+thread_local int t_chunk = -1;
+
+// Verifies that no two distinct chunks claimed overlapping element ranges
+// of the same buffer. Aborts with both ranges on violation.
+void VerifyDisjointWrites(AuditRegion& region) {
+  auto& recs = region.records;
+  std::sort(recs.begin(), recs.end(),
+            [](const AuditRecord& a, const AuditRecord& b) {
+              if (a.base != b.base) return a.base < b.base;
+              return a.lo < b.lo;
+            });
+  for (size_t i = 1; i < recs.size(); ++i) {
+    const AuditRecord& prev = recs[i - 1];
+    const AuditRecord& cur = recs[i];
+    if (cur.base == prev.base && cur.lo < prev.hi && cur.chunk != prev.chunk) {
+      PRIM_CHECK_MSG(false, "ParallelFor disjoint-write contract violated: "
+                                << "buffer " << cur.base << " range ["
+                                << prev.lo << "," << prev.hi << ") of chunk "
+                                << prev.chunk << " overlaps [" << cur.lo << ","
+                                << cur.hi << ") of chunk " << cur.chunk);
+    }
+  }
+}
+
+// Runs one chunk with the audit thread-locals bound (when auditing).
+void RunChunk(const std::function<void(int64_t, int64_t)>& fn, int64_t begin,
+              int64_t end, AuditRegion* region, int chunk) {
+  t_region = region;
+  t_chunk = chunk;
+  fn(begin, end);
+  t_region = nullptr;
+  t_chunk = -1;
+}
+
 }  // namespace
 
 int NumWorkerThreads() { return ResolveThreads(); }
 
 void SetNumWorkerThreads(int n) { g_num_threads = n < 0 ? 0 : n; }
 
+ParallelAuditScope::ParallelAuditScope() {
+  g_audit_scopes.fetch_add(1, std::memory_order_relaxed);
+}
+
+ParallelAuditScope::~ParallelAuditScope() {
+  g_audit_scopes.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ParallelAuditEnabled() {
+  return g_audit_scopes.load(std::memory_order_relaxed) > 0;
+}
+
+void AuditWriteRange(const void* base, int64_t begin, int64_t end) {
+  AuditRegion* region = t_region;
+  if (region == nullptr || begin >= end) return;
+  std::lock_guard<std::mutex> lock(region->mu);
+  region->records.push_back({base, begin, end, t_chunk});
+}
+
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
   if (n <= 0) return;
+  const bool audit = ParallelAuditEnabled();
   int threads = ResolveThreads();
-  int64_t max_useful = (n + kMinItemsPerThread - 1) / kMinItemsPerThread;
-  threads = static_cast<int>(
-      std::min<int64_t>(threads, std::max<int64_t>(1, max_useful)));
+  if (audit) {
+    // Force multiple chunks so the disjointness contract is exercised even
+    // on regions that would normally run inline.
+    threads = static_cast<int>(
+        std::min<int64_t>(n, std::max<int64_t>(2, threads)));
+  } else {
+    int64_t max_useful = (n + kMinItemsPerThread - 1) / kMinItemsPerThread;
+    threads = static_cast<int>(
+        std::min<int64_t>(threads, std::max<int64_t>(1, max_useful)));
+  }
   if (threads <= 1) {
-    fn(0, n);
+    if (audit) {
+      AuditRegion region;
+      RunChunk(fn, 0, n, &region, 0);
+      VerifyDisjointWrites(region);
+    } else {
+      fn(0, n);
+    }
     return;
   }
+  AuditRegion region;
+  AuditRegion* region_ptr = audit ? &region : nullptr;
   std::vector<std::thread> pool;
   pool.reserve(threads - 1);
   int64_t chunk = (n + threads - 1) / threads;
@@ -41,10 +134,13 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
     int64_t begin = t * chunk;
     int64_t end = std::min<int64_t>(n, begin + chunk);
     if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+    pool.emplace_back([&fn, begin, end, region_ptr, t] {
+      RunChunk(fn, begin, end, region_ptr, t);
+    });
   }
-  fn(0, std::min<int64_t>(n, chunk));
+  RunChunk(fn, 0, std::min<int64_t>(n, chunk), region_ptr, 0);
   for (auto& th : pool) th.join();
+  if (audit) VerifyDisjointWrites(region);
 }
 
 }  // namespace prim

@@ -20,6 +20,40 @@ void SetNumWorkerThreads(int n);
 /// small or only one worker is configured.
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 
+// --- Disjoint-write-range audit ------------------------------------------
+//
+// Debug-mode verifier for the contract above: every ParallelFor region must
+// write disjoint output ranges across chunks. Instrumented kernels declare
+// the element range they write via AuditWriteRange; while a
+// ParallelAuditScope is active, ParallelFor collects those declarations and
+// aborts (PRIM_CHECK) at the end of the region if two different chunks
+// claimed overlapping ranges of the same buffer. Outside a scope the calls
+// are branch-cheap no-ops, so instrumentation can stay in hot kernels.
+//
+// To make small regions meaningful, an audited ParallelFor always splits
+// the work into multiple chunks even when n is below the usual
+// per-thread threshold.
+
+/// RAII switch enabling the ParallelFor write-range audit process-wide for
+/// its lifetime. Scopes nest; typically created at the top of a test or a
+/// debugging session, not in production paths.
+class ParallelAuditScope {
+ public:
+  ParallelAuditScope();
+  ~ParallelAuditScope();
+  ParallelAuditScope(const ParallelAuditScope&) = delete;
+  ParallelAuditScope& operator=(const ParallelAuditScope&) = delete;
+};
+
+/// True while at least one ParallelAuditScope is alive.
+bool ParallelAuditEnabled();
+
+/// Declares that the currently executing ParallelFor chunk writes elements
+/// [begin, end) of the buffer starting at `base`. Must be called from inside
+/// the chunk callback; no-op when no audit scope is active or when called
+/// outside a ParallelFor region.
+void AuditWriteRange(const void* base, int64_t begin, int64_t end);
+
 }  // namespace prim
 
 #endif  // PRIM_COMMON_PARALLEL_H_

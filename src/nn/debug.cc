@@ -1,0 +1,119 @@
+#include "nn/debug.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace prim::nn::debug {
+namespace {
+
+thread_local int t_anomaly_depth = 0;
+
+// Returns the flat index of the first non-finite element, or -1.
+int64_t FirstNonFinite(const std::vector<float>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+std::string ShapeOf(const TensorImpl* t) {
+  std::ostringstream oss;
+  oss << t->rows << "x" << t->cols;
+  return oss.str();
+}
+
+}  // namespace
+
+AnomalyGuard::AnomalyGuard() { ++t_anomaly_depth; }
+AnomalyGuard::~AnomalyGuard() { --t_anomaly_depth; }
+
+bool AnomalyModeEnabled() { return t_anomaly_depth > 0; }
+
+const char* OpName(const TensorImpl* t) {
+  if (t == nullptr) return "<null>";
+  if (t->op != nullptr) return t->op;
+  if (!t->debug_name.empty()) return t->debug_name.c_str();
+  return "leaf";
+}
+
+void CheckForwardFinite(const Tensor& t) {
+  if (!AnomalyModeEnabled() || !t.defined()) return;
+  const TensorImpl* impl = t.raw();
+  const int64_t bad = FirstNonFinite(impl->data);
+  if (bad < 0) return;
+  PRIM_CHECK_MSG(false, "AnomalyGuard: op '"
+                            << OpName(impl) << "' produced a non-finite value "
+                            << impl->data[bad] << " at flat index " << bad
+                            << " of its " << ShapeOf(impl)
+                            << " forward output");
+}
+
+void CheckBackwardFinite(const TensorImpl* node) {
+  if (!AnomalyModeEnabled() || node == nullptr) return;
+  for (const auto& parent : node->parents) {
+    if (!parent->requires_grad || parent->grad.empty()) continue;
+    const int64_t bad = FirstNonFinite(parent->grad);
+    if (bad < 0) continue;
+    PRIM_CHECK_MSG(false, "AnomalyGuard: backward of op '"
+                              << OpName(node)
+                              << "' left a non-finite gradient "
+                              << parent->grad[bad] << " at flat index " << bad
+                              << " of input '" << OpName(parent.get())
+                              << "' shape " << ShapeOf(parent.get()));
+  }
+}
+
+std::vector<GradFlowIssue> LintGradFlow(const std::vector<Tensor>& params) {
+  std::vector<GradFlowIssue> issues;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor& p = params[i];
+    if (!p.defined()) continue;
+    const TensorImpl* impl = p.raw();
+    GradFlowIssue issue;
+    if (impl->grad.empty()) {
+      issue.kind = GradFlowIssue::Kind::kNoGradBuffer;
+    } else {
+      bool all_zero = true;
+      for (float g : impl->grad) {
+        if (g != 0.0f) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (!all_zero) continue;
+      issue.kind = GradFlowIssue::Kind::kAllZero;
+    }
+    issue.param_index = static_cast<int>(i);
+    if (!impl->debug_name.empty()) {
+      issue.name = impl->debug_name;
+    } else {
+      std::ostringstream oss;
+      oss << "param[" << i << "]";
+      issue.name = oss.str();
+    }
+    issue.shape = ShapeOf(impl);
+    issues.push_back(std::move(issue));
+  }
+  return issues;
+}
+
+std::string FormatGradFlowReport(const std::vector<GradFlowIssue>& issues) {
+  if (issues.empty()) return "";
+  std::ostringstream oss;
+  oss << "gradient-flow lint: " << issues.size()
+      << " parameter(s) received no gradient:\n";
+  for (const GradFlowIssue& issue : issues) {
+    oss << "  - " << issue.name << " (" << issue.shape << "): "
+        << (issue.kind == GradFlowIssue::Kind::kNoGradBuffer
+                ? "grad never allocated — parameter is not reachable from "
+                  "the loss (detached subgraph?)"
+                : "grad buffer exists but is all zeros — parameter likely "
+                  "excluded from the loss")
+        << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace prim::nn::debug

@@ -1,0 +1,78 @@
+#ifndef PRIM_NN_DEBUG_H_
+#define PRIM_NN_DEBUG_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+/// Opt-in correctness tooling for the autograd stack, modeled on
+/// torch.autograd.set_detect_anomaly:
+///
+///  * AnomalyGuard — while alive on a thread, every op checks its forward
+///    output for NaN/Inf before returning, and Backward() checks the
+///    gradients each node produced right after its backward function runs.
+///    A violation aborts via PRIM_CHECK with the offending op's name and
+///    shape, so the *producer* of the first non-finite value is named
+///    rather than whatever consumed it steps later.
+///
+///  * LintGradFlow — post-Backward() linter that reports registered
+///    parameters whose gradient was never touched, which catches
+///    detached-subgraph bugs (a module wired up but excluded from the loss).
+///
+/// Both are debug tools: AnomalyGuard costs a full scan of every op output
+/// and should not be enabled in timed runs.
+namespace prim::nn::debug {
+
+/// RAII switch for anomaly detection on the current thread. Scopes nest.
+class AnomalyGuard {
+ public:
+  AnomalyGuard();
+  ~AnomalyGuard();
+  AnomalyGuard(const AnomalyGuard&) = delete;
+  AnomalyGuard& operator=(const AnomalyGuard&) = delete;
+};
+
+/// True while at least one AnomalyGuard is alive on this thread.
+bool AnomalyModeEnabled();
+
+/// Name of the op that produced `t` ("leaf" for untagged nodes; the
+/// parameter's debug name when one was registered).
+const char* OpName(const TensorImpl* t);
+
+/// Forward-pass hook: scans t's data for NaN/Inf when anomaly mode is on
+/// and aborts naming the producing op and its shape. Called by every op in
+/// ops.cc on its freshly computed output; no-op otherwise.
+void CheckForwardFinite(const Tensor& t);
+
+/// Backward-pass hook: after `node`'s backward_fn has run, scans the
+/// gradient buffers of its grad-requiring parents for NaN/Inf and aborts
+/// naming `node`'s op and the parent's shape. Called by Tensor::Backward()
+/// when anomaly mode is on.
+void CheckBackwardFinite(const TensorImpl* node);
+
+/// One gradient-flow finding for a parameter.
+struct GradFlowIssue {
+  enum class Kind {
+    kNoGradBuffer,  // Grad never allocated: parameter unreachable from loss.
+    kAllZero,       // Buffer allocated (e.g. by ZeroGrad) but never written.
+  };
+  int param_index = 0;
+  std::string name;   // debug_name if registered, else "param[i]".
+  std::string shape;  // "RxC".
+  Kind kind = Kind::kNoGradBuffer;
+};
+
+/// Inspects `params` after a Backward() sweep and reports parameters whose
+/// gradient was never touched. An all-zero buffer is indistinguishable from
+/// a gradient that is exactly zero everywhere, so kAllZero findings are a
+/// strong hint rather than proof; kNoGradBuffer findings are definitive.
+std::vector<GradFlowIssue> LintGradFlow(const std::vector<Tensor>& params);
+
+/// Renders issues as a multi-line human-readable report; empty string when
+/// `issues` is empty.
+std::string FormatGradFlowReport(const std::vector<GradFlowIssue>& issues);
+
+}  // namespace prim::nn::debug
+
+#endif  // PRIM_NN_DEBUG_H_

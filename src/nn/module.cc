@@ -21,8 +21,10 @@ int64_t Module::NumParameters() const {
   return total;
 }
 
-Tensor Module::RegisterParameter(Tensor t) {
-  PRIM_CHECK_MSG(t.requires_grad(), "parameters must require grad");
+Tensor Module::RegisterParameter(Tensor t, std::string name) {
+  PRIM_CHECK_MSG(t.defined() && t.requires_grad(),
+                 "parameters must be defined and require grad");
+  if (!name.empty()) t.impl()->debug_name = std::move(name);
   params_.push_back(t);
   return t;
 }
@@ -33,9 +35,11 @@ void Module::RegisterModule(Module* child) {
 }
 
 Linear::Linear(int in_features, int out_features, Rng& rng, bool bias) {
-  weight_ = RegisterParameter(XavierUniform(in_features, out_features, rng));
+  weight_ = RegisterParameter(XavierUniform(in_features, out_features, rng),
+                              "Linear.weight");
   if (bias) {
-    bias_ = RegisterParameter(Tensor::Zeros(1, out_features, true));
+    bias_ = RegisterParameter(Tensor::Zeros(1, out_features, true),
+                              "Linear.bias");
   }
 }
 
@@ -46,7 +50,8 @@ Tensor Linear::Forward(const Tensor& x) const {
 }
 
 Embedding::Embedding(int num_embeddings, int dim, Rng& rng) {
-  table_ = RegisterParameter(XavierUniform(num_embeddings, dim, rng));
+  table_ = RegisterParameter(XavierUniform(num_embeddings, dim, rng),
+                             "Embedding.table");
 }
 
 Tensor Embedding::Forward(const std::vector<int>& ids) const {

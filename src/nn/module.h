@@ -27,8 +27,10 @@ class Module {
   int64_t NumParameters() const;
 
  protected:
-  /// Registers and returns a trainable parameter.
-  Tensor RegisterParameter(Tensor t);
+  /// Registers and returns a trainable parameter. A non-empty `name` is
+  /// stored on the tensor (TensorImpl::debug_name) and surfaces in
+  /// gradient-flow lint reports (see nn/debug.h).
+  Tensor RegisterParameter(Tensor t, std::string name = "");
   /// Registers a child module whose parameters are included in Parameters().
   void RegisterModule(Module* child);
 

@@ -7,15 +7,18 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "nn/debug.h"
 
 namespace prim::nn {
 namespace {
 
-// Creates the output node for an op. Records autograd history only when
-// grad mode is on and at least one parent requires gradients.
-Tensor MakeResult(int rows, int cols, std::vector<Tensor> parents,
-                  bool& record_out) {
+// Creates the output node for an op, tagged with the op's name for
+// AnomalyGuard diagnostics. Records autograd history only when grad mode is
+// on and at least one parent requires gradients.
+Tensor MakeResult(const char* op, int rows, int cols,
+                  std::vector<Tensor> parents, bool& record_out) {
   Tensor out = Tensor::Zeros(rows, cols);
+  out.impl()->op = op;
   bool any_grad = false;
   for (const Tensor& p : parents) any_grad = any_grad || p.requires_grad();
   record_out = GradModeEnabled() && any_grad;
@@ -42,11 +45,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                                         << b.ShapeString());
   const int n = a.rows(), k = a.cols(), m = b.cols();
   bool record = false;
-  Tensor out = MakeResult(n, m, {a, b}, record);
+  Tensor out = MakeResult("MatMul", n, m, {a, b}, record);
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
   ParallelFor(n, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(od, r0 * m, r1 * m);
     for (int64_t i = r0; i < r1; ++i) {
       float* orow = od + i * m;
       const float* arow = ad + i * k;
@@ -69,6 +73,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* bd = bi->data.data();
         // dA = dC * B^T, rows of dA are disjoint across threads.
         ParallelFor(n, [&](int64_t r0, int64_t r1) {
+          AuditWriteRange(ga, r0 * k, r1 * k);
           for (int64_t i = r0; i < r1; ++i) {
             const float* grow = g + i * m;
             float* garow = ga + i * k;
@@ -87,6 +92,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         // dB = A^T * dC; partition over rows of dB (i.e. k) for disjoint
         // writes.
         ParallelFor(k, [&](int64_t k0, int64_t k1) {
+          AuditWriteRange(gb, k0 * m, k1 * m);
           for (int i = 0; i < n; ++i) {
             const float* arow = ad + static_cast<int64_t>(i) * k;
             const float* grow = g + static_cast<int64_t>(i) * m;
@@ -101,13 +107,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor Transpose(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
   bool record = false;
-  Tensor out = MakeResult(m, n, {a}, record);
+  Tensor out = MakeResult("Transpose", m, n, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   for (int i = 0; i < n; ++i)
@@ -124,6 +131,7 @@ Tensor Transpose(const Tensor& a) {
           ga[static_cast<int64_t>(i) * m + j] += g[static_cast<int64_t>(j) * n + i];
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
@@ -131,30 +139,31 @@ namespace {
 
 enum class BroadcastKind { kNone, kRow, kCol, kScalar };
 
-BroadcastKind ClassifyAddBroadcast(const Tensor& a, const Tensor& b) {
+BroadcastKind ClassifyAddBroadcast(const char* op, const Tensor& a,
+                                   const Tensor& b) {
   if (b.rows() == a.rows() && b.cols() == a.cols()) return BroadcastKind::kNone;
   if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
   if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
-  PRIM_CHECK_MSG(false, "Add/Sub broadcast mismatch " << a.ShapeString()
-                                                      << " vs "
-                                                      << b.ShapeString());
+  PRIM_CHECK_MSG(false, op << " broadcast mismatch " << a.ShapeString()
+                           << " vs " << b.ShapeString());
 }
 
-BroadcastKind ClassifyMulBroadcast(const Tensor& a, const Tensor& b) {
+BroadcastKind ClassifyMulBroadcast(const char* op, const Tensor& a,
+                                   const Tensor& b) {
   if (b.rows() == a.rows() && b.cols() == a.cols()) return BroadcastKind::kNone;
   if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
   if (b.cols() == 1 && b.rows() == a.rows()) return BroadcastKind::kCol;
-  PRIM_CHECK_MSG(false, "Mul broadcast mismatch " << a.ShapeString() << " vs "
-                                                  << b.ShapeString());
+  PRIM_CHECK_MSG(false, op << " broadcast mismatch " << a.ShapeString()
+                           << " vs " << b.ShapeString());
 }
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  const BroadcastKind kind = ClassifyAddBroadcast(a, b);
+  const BroadcastKind kind = ClassifyAddBroadcast("Add", a, b);
   const int n = a.rows(), m = a.cols();
   bool record = false;
-  Tensor out = MakeResult(n, m, {a, b}, record);
+  Tensor out = MakeResult("Add", n, m, {a, b}, record);
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
@@ -206,16 +215,18 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  const BroadcastKind kind = ClassifyAddBroadcast(a, b);
+  const BroadcastKind kind = ClassifyAddBroadcast("Sub", a, b);
   PRIM_CHECK_MSG(kind == BroadcastKind::kNone || kind == BroadcastKind::kScalar,
-                 "Sub supports equal shapes or scalar b");
+                 "Sub supports equal shapes or scalar b, got "
+                     << a.ShapeString() << " vs " << b.ShapeString());
   const int n = a.rows(), m = a.cols();
   bool record = false;
-  Tensor out = MakeResult(n, m, {a, b}, record);
+  Tensor out = MakeResult("Sub", n, m, {a, b}, record);
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
@@ -247,14 +258,15 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  const BroadcastKind kind = ClassifyMulBroadcast(a, b);
+  const BroadcastKind kind = ClassifyMulBroadcast("Mul", a, b);
   const int n = a.rows(), m = a.cols();
   bool record = false;
-  Tensor out = MakeResult(n, m, {a, b}, record);
+  Tensor out = MakeResult("Mul", n, m, {a, b}, record);
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
@@ -328,12 +340,13 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
   bool record = false;
-  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  Tensor out = MakeResult("Scale", a.rows(), a.cols(), {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   const int64_t total = a.size();
@@ -348,12 +361,13 @@ Tensor Scale(const Tensor& a, float s) {
       for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * s;
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   bool record = false;
-  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  Tensor out = MakeResult("AddScalar", a.rows(), a.cols(), {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   const int64_t total = a.size();
@@ -368,19 +382,22 @@ Tensor AddScalar(const Tensor& a, float s) {
       for (int64_t i = 0; i < total; ++i) ga[i] += g[i];
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor ConcatCols(const std::vector<Tensor>& parts) {
-  PRIM_CHECK(!parts.empty());
+  PRIM_CHECK_MSG(!parts.empty(), "ConcatCols needs at least one part");
   const int n = parts[0].rows();
   int total_cols = 0;
   for (const Tensor& p : parts) {
-    PRIM_CHECK_MSG(p.rows() == n, "ConcatCols row mismatch");
+    PRIM_CHECK_MSG(p.rows() == n, "ConcatCols row mismatch: part "
+                                      << p.ShapeString() << " vs first part "
+                                      << parts[0].ShapeString());
     total_cols += p.cols();
   }
   bool record = false;
-  Tensor out = MakeResult(n, total_cols, parts, record);
+  Tensor out = MakeResult("ConcatCols", n, total_cols, parts, record);
   float* od = out.data();
   int offset = 0;
   for (const Tensor& p : parts) {
@@ -413,19 +430,22 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
-  PRIM_CHECK(!parts.empty());
+  PRIM_CHECK_MSG(!parts.empty(), "ConcatRows needs at least one part");
   const int m = parts[0].cols();
   int total_rows = 0;
   for (const Tensor& p : parts) {
-    PRIM_CHECK_MSG(p.cols() == m, "ConcatRows col mismatch");
+    PRIM_CHECK_MSG(p.cols() == m, "ConcatRows col mismatch: part "
+                                      << p.ShapeString() << " vs first part "
+                                      << parts[0].ShapeString());
     total_rows += p.rows();
   }
   bool record = false;
-  Tensor out = MakeResult(total_rows, m, parts, record);
+  Tensor out = MakeResult("ConcatRows", total_rows, m, parts, record);
   float* od = out.data();
   int64_t offset = 0;
   for (const Tensor& p : parts) {
@@ -452,15 +472,21 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor TakePerRow(const Tensor& a, const std::vector<int>& col) {
   const int n = a.rows(), m = a.cols();
-  PRIM_CHECK(static_cast<int>(col.size()) == n);
-  for (int c : col) PRIM_CHECK_MSG(0 <= c && c < m, "TakePerRow col " << c);
+  PRIM_CHECK_MSG(static_cast<int>(col.size()) == n,
+                 "TakePerRow needs one column index per row: " << col.size()
+                                                               << " vs "
+                                                               << a.ShapeString());
+  for (int c : col)
+    PRIM_CHECK_MSG(0 <= c && c < m,
+                   "TakePerRow col " << c << " out of " << a.ShapeString());
   bool record = false;
-  Tensor out = MakeResult(n, 1, {a}, record);
+  Tensor out = MakeResult("TakePerRow", n, 1, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   for (int i = 0; i < n; ++i) od[i] = ad[static_cast<int64_t>(i) * m + col[i]];
@@ -475,6 +501,7 @@ Tensor TakePerRow(const Tensor& a, const std::vector<int>& col) {
       for (int i = 0; i < n; ++i) ga[static_cast<int64_t>(i) * m + c[i]] += g[i];
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
@@ -484,7 +511,7 @@ Tensor SliceCols(const Tensor& a, int begin, int end) {
                                << a.ShapeString());
   const int n = a.rows(), m = a.cols(), w = end - begin;
   bool record = false;
-  Tensor out = MakeResult(n, w, {a}, record);
+  Tensor out = MakeResult("SliceCols", n, w, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   for (int i = 0; i < n; ++i)
@@ -504,6 +531,7 @@ Tensor SliceCols(const Tensor& a, int begin, int end) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
@@ -512,9 +540,10 @@ namespace {
 // Shared implementation for pointwise ops whose gradient depends only on
 // the output value.
 template <typename Fwd, typename BwdFromOut>
-Tensor PointwiseFromOut(const Tensor& a, Fwd fwd, BwdFromOut bwd) {
+Tensor PointwiseFromOut(const char* op, const Tensor& a, Fwd fwd,
+                        BwdFromOut bwd) {
   bool record = false;
-  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  Tensor out = MakeResult(op, a.rows(), a.cols(), {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   const int64_t total = a.size();
@@ -531,6 +560,7 @@ Tensor PointwiseFromOut(const Tensor& a, Fwd fwd, BwdFromOut bwd) {
       for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * bwd(ad[i], od[i]);
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
@@ -538,7 +568,7 @@ Tensor PointwiseFromOut(const Tensor& a, Fwd fwd, BwdFromOut bwd) {
 
 Tensor Sigmoid(const Tensor& a) {
   return PointwiseFromOut(
-      a,
+      "Sigmoid", a,
       [](float x) {
         // Stable sigmoid.
         if (x >= 0.0f) {
@@ -552,35 +582,35 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  return PointwiseFromOut(a, [](float x) { return std::tanh(x); },
+  return PointwiseFromOut("Tanh", a, [](float x) { return std::tanh(x); },
                           [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Relu(const Tensor& a) {
-  return PointwiseFromOut(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+  return PointwiseFromOut("Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
                           [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float alpha) {
   return PointwiseFromOut(
-      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      "LeakyRelu", a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
       [alpha](float x, float) { return x > 0.0f ? 1.0f : alpha; });
 }
 
 Tensor Exp(const Tensor& a) {
-  return PointwiseFromOut(a, [](float x) { return std::exp(x); },
+  return PointwiseFromOut("Exp", a, [](float x) { return std::exp(x); },
                           [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a, float eps) {
   return PointwiseFromOut(
-      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      "Log", a, [eps](float x) { return std::log(std::max(x, eps)); },
       [eps](float x, float) { return 1.0f / std::max(x, eps); });
 }
 
 Tensor SumAll(const Tensor& a) {
   bool record = false;
-  Tensor out = MakeResult(1, 1, {a}, record);
+  Tensor out = MakeResult("SumAll", 1, 1, {a}, record);
   const float* ad = a.data();
   double acc = 0.0;
   const int64_t total = a.size();
@@ -596,18 +626,19 @@ Tensor SumAll(const Tensor& a) {
       for (int64_t i = 0; i < total; ++i) ga[i] += g;
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor MeanAll(const Tensor& a) {
-  PRIM_CHECK(a.size() > 0);
+  PRIM_CHECK_MSG(a.size() > 0, "MeanAll of empty tensor " << a.ShapeString());
   return Scale(SumAll(a), 1.0f / static_cast<float>(a.size()));
 }
 
 Tensor RowSum(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
   bool record = false;
-  Tensor out = MakeResult(n, 1, {a}, record);
+  Tensor out = MakeResult("RowSum", n, 1, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   for (int i = 0; i < n; ++i) {
@@ -629,11 +660,12 @@ Tensor RowSum(const Tensor& a) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor RowMean(const Tensor& a) {
-  PRIM_CHECK(a.cols() > 0);
+  PRIM_CHECK_MSG(a.cols() > 0, "RowMean of " << a.ShapeString());
   return Scale(RowSum(a), 1.0f / static_cast<float>(a.cols()));
 }
 
@@ -645,10 +677,11 @@ Tensor Gather(const Tensor& x, const std::vector<int>& index) {
                                                                << " out of "
                                                                << x.rows());
   bool record = false;
-  Tensor out = MakeResult(n, m, {x}, record);
+  Tensor out = MakeResult("Gather", n, m, {x}, record);
   const float* xd = x.data();
   float* od = out.data();
   ParallelFor(n, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(od, r0 * m, r1 * m);
     for (int64_t i = r0; i < r1; ++i)
       std::memcpy(od + i * m, xd + static_cast<int64_t>(index[i]) * m,
                   sizeof(float) * m);
@@ -661,6 +694,8 @@ Tensor Gather(const Tensor& x, const std::vector<int>& index) {
       if (!xi->requires_grad) return;
       float* gx = GradBuf(xi);
       const float* g = oi->grad.data();
+      // Scatter-add: distinct rows of `idx` may repeat, so this stays
+      // sequential (parallelising it would race on shared rows of gx).
       for (int i = 0; i < n; ++i) {
         float* dst = gx + static_cast<int64_t>(idx[i]) * m;
         const float* src = g + static_cast<int64_t>(i) * m;
@@ -668,6 +703,7 @@ Tensor Gather(const Tensor& x, const std::vector<int>& index) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
@@ -678,9 +714,10 @@ Tensor SegmentSum(const Tensor& x, const std::vector<int>& segment,
                  "SegmentSum segment size " << segment.size() << " vs rows "
                                             << n);
   for (int s : segment)
-    PRIM_CHECK_MSG(0 <= s && s < num_segments, "segment id " << s);
+    PRIM_CHECK_MSG(0 <= s && s < num_segments,
+                   "SegmentSum segment id " << s << " out of " << num_segments);
   bool record = false;
-  Tensor out = MakeResult(num_segments, m, {x}, record);
+  Tensor out = MakeResult("SegmentSum", num_segments, m, {x}, record);
   const float* xd = x.data();
   float* od = out.data();
   for (int i = 0; i < n; ++i) {
@@ -697,6 +734,7 @@ Tensor SegmentSum(const Tensor& x, const std::vector<int>& segment,
       float* gx = GradBuf(xi);
       const float* g = oi->grad.data();
       ParallelFor(n, [&](int64_t r0, int64_t r1) {
+        AuditWriteRange(gx, r0 * m, r1 * m);
         for (int64_t i = r0; i < r1; ++i) {
           const float* src = g + static_cast<int64_t>(seg[i]) * m;
           float* dst = gx + i * m;
@@ -705,16 +743,24 @@ Tensor SegmentSum(const Tensor& x, const std::vector<int>& segment,
       });
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment,
                       int num_segments) {
   const int n = scores.rows();
-  PRIM_CHECK_MSG(scores.cols() == 1, "SegmentSoftmax expects a column vector");
-  PRIM_CHECK(static_cast<int>(segment.size()) == n);
+  PRIM_CHECK_MSG(scores.cols() == 1, "SegmentSoftmax expects a column vector, got "
+                                         << scores.ShapeString());
+  PRIM_CHECK_MSG(static_cast<int>(segment.size()) == n,
+                 "SegmentSoftmax segment size " << segment.size()
+                                                << " vs rows " << n);
+  for (int s : segment)
+    PRIM_CHECK_MSG(0 <= s && s < num_segments,
+                   "SegmentSoftmax segment id " << s << " out of "
+                                                << num_segments);
   bool record = false;
-  Tensor out = MakeResult(n, 1, {scores}, record);
+  Tensor out = MakeResult("SegmentSoftmax", n, 1, {scores}, record);
   const float* sd = scores.data();
   float* od = out.data();
   std::vector<float> seg_max(num_segments,
@@ -745,13 +791,15 @@ Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment,
         gs[i] += y[i] * (g[i] - static_cast<float>(seg_dot[seg[i]]));
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor RowSoftmax(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
+  PRIM_CHECK_MSG(m > 0, "RowSoftmax of " << a.ShapeString());
   bool record = false;
-  Tensor out = MakeResult(n, m, {a}, record);
+  Tensor out = MakeResult("RowSoftmax", n, m, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   for (int i = 0; i < n; ++i) {
@@ -785,13 +833,14 @@ Tensor RowSoftmax(const Tensor& a) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor RowL2Normalize(const Tensor& a, float eps) {
   const int n = a.rows(), m = a.cols();
   bool record = false;
-  Tensor out = MakeResult(n, m, {a}, record);
+  Tensor out = MakeResult("RowL2Normalize", n, m, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   std::vector<float> norms(n);
@@ -823,15 +872,16 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
   if (!training || p <= 0.0f) return a;
-  PRIM_CHECK_MSG(p < 1.0f, "Dropout p must be < 1");
+  PRIM_CHECK_MSG(p < 1.0f, "Dropout p must be < 1, got " << p);
   const int64_t total = a.size();
   bool record = false;
-  Tensor out = MakeResult(a.rows(), a.cols(), {a}, record);
+  Tensor out = MakeResult("Dropout", a.rows(), a.cols(), {a}, record);
   const float inv_keep = 1.0f / (1.0f - p);
   std::vector<float> mask(total);
   const float* ad = a.data();
@@ -850,15 +900,19 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
       for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * mask[i];
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
   const int n = logits.rows();
-  PRIM_CHECK_MSG(logits.cols() == 1, "BceWithLogits expects n x 1 logits");
-  PRIM_CHECK(static_cast<int>(labels.size()) == n);
+  PRIM_CHECK_MSG(logits.cols() == 1, "BceWithLogits expects n x 1 logits, got "
+                                         << logits.ShapeString());
+  PRIM_CHECK_MSG(static_cast<int>(labels.size()) == n,
+                 "BceWithLogits labels size " << labels.size() << " vs logits "
+                                              << logits.ShapeString());
   bool record = false;
-  Tensor out = MakeResult(1, 1, {logits}, record);
+  Tensor out = MakeResult("BceWithLogits", 1, 1, {logits}, record);
   const float* sd = logits.data();
   double acc = 0.0;
   for (int i = 0; i < n; ++i) {
@@ -889,16 +943,22 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 
 Tensor SoftmaxCrossEntropy(const Tensor& logits,
                            const std::vector<int>& labels) {
   const int n = logits.rows(), c = logits.cols();
-  PRIM_CHECK(static_cast<int>(labels.size()) == n);
-  for (int l : labels) PRIM_CHECK_MSG(0 <= l && l < c, "label " << l);
+  PRIM_CHECK_MSG(static_cast<int>(labels.size()) == n,
+                 "SoftmaxCrossEntropy labels size " << labels.size()
+                                                    << " vs logits "
+                                                    << logits.ShapeString());
+  for (int l : labels)
+    PRIM_CHECK_MSG(0 <= l && l < c,
+                   "SoftmaxCrossEntropy label " << l << " out of " << c);
   bool record = false;
-  Tensor out = MakeResult(1, 1, {logits}, record);
+  Tensor out = MakeResult("SoftmaxCrossEntropy", 1, 1, {logits}, record);
   const float* ld = logits.data();
   // Cache softmax probabilities for the backward pass.
   std::vector<float> probs(static_cast<size_t>(n) * c);
@@ -936,6 +996,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
       }
     };
   }
+  debug::CheckForwardFinite(out);
   return out;
 }
 

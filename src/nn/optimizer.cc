@@ -24,6 +24,14 @@ float Optimizer::ClipGradNorm(float max_norm) {
     for (int64_t i = 0; i < total; ++i) sq += static_cast<double>(g[i]) * g[i];
   }
   const float norm = static_cast<float>(std::sqrt(sq));
+  if (!std::isfinite(norm)) {
+    // Non-finite gradients cannot be rescued by scaling (inf * scale is
+    // still inf, nan stays nan): drop the step by zeroing all grads.
+    for (Tensor& p : params_) {
+      if (p.has_grad()) p.ZeroGrad();
+    }
+    return norm;
+  }
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (Tensor& p : params_) {

@@ -22,7 +22,12 @@ class Optimizer {
   void ZeroGrad();
 
   /// Rescales all gradients so their global L2 norm is at most max_norm.
-  /// Returns the pre-clip norm.
+  /// Returns the pre-clip norm. When the norm is non-finite (a NaN/Inf
+  /// slipped through the backward pass) every gradient is zeroed so the
+  /// following Step() is a no-op instead of corrupting the parameters, and
+  /// the non-finite norm is returned so callers can detect and log it
+  /// (AnomalyGuard catches the producing op earlier; this is the last-line
+  /// guard for runs without anomaly mode).
   float ClipGradNorm(float max_norm);
 
  protected:

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "nn/debug.h"
 
 namespace prim::nn {
 namespace {
@@ -59,7 +60,7 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 void Tensor::set_requires_grad(bool v) { impl_->requires_grad = v; }
 
 float Tensor::item() const {
-  PRIM_CHECK_MSG(impl_->rows == 1 && impl_->cols == 1,
+  PRIM_CHECK_MSG(defined() && impl_->rows == 1 && impl_->cols == 1,
                  "item() on non-scalar " << ShapeString());
   return impl_->data[0];
 }
@@ -116,9 +117,13 @@ void Tensor::Backward() {
   // Seed d(loss)/d(loss) = 1 and sweep in reverse topological order.
   impl_->EnsureGrad();
   impl_->grad[0] += 1.0f;
+  const bool anomaly = debug::AnomalyModeEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
-    if (node->backward_fn) node->backward_fn();
+    if (node->backward_fn) {
+      node->backward_fn();
+      if (anomaly) debug::CheckBackwardFinite(node);
+    }
   }
 }
 

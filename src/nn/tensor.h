@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+
 namespace prim::nn {
 
 /// Internal node of the autograd graph. Users interact with Tensor, a cheap
@@ -18,6 +20,12 @@ struct TensorImpl {
   std::vector<float> data;
   std::vector<float> grad;  // Sized lazily; empty unless requires_grad.
   bool requires_grad = false;
+  /// Name of the op that produced this node (static string set by ops.cc);
+  /// null for leaves. Used by AnomalyGuard diagnostics (see nn/debug.h).
+  const char* op = nullptr;
+  /// Optional human-readable name for leaves (e.g. "Linear.weight"), set by
+  /// Module::RegisterParameter. Used by the gradient-flow linter.
+  std::string debug_name;
   /// Parents in the autograd graph; keeps upstream nodes alive.
   std::vector<std::shared_ptr<TensorImpl>> parents;
   /// Accumulates this node's grad into its parents' grads. Captures raw
@@ -38,7 +46,9 @@ struct TensorImpl {
 /// reachable tensor with requires_grad set.
 class Tensor {
  public:
-  /// Null tensor; all accessors except defined() require a non-null handle.
+  /// Null tensor; all accessors except defined() require a non-null handle
+  /// (enforced by PRIM_DCHECK — dereferencing a default-constructed Tensor
+  /// is UB otherwise).
   Tensor() = default;
   explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
 
@@ -54,31 +64,39 @@ class Tensor {
   static Tensor Scalar(float value, bool requires_grad = false);
 
   bool defined() const { return impl_ != nullptr; }
-  int rows() const { return impl_->rows; }
-  int cols() const { return impl_->cols; }
-  int64_t size() const { return impl_->size(); }
-  bool requires_grad() const { return impl_->requires_grad; }
+  int rows() const { return checked_impl()->rows; }
+  int cols() const { return checked_impl()->cols; }
+  int64_t size() const { return checked_impl()->size(); }
+  bool requires_grad() const { return checked_impl()->requires_grad; }
   void set_requires_grad(bool v);
 
-  float* data() { return impl_->data.data(); }
-  const float* data() const { return impl_->data.data(); }
+  float* data() { return checked_impl()->data.data(); }
+  const float* data() const { return checked_impl()->data.data(); }
   /// Gradient buffer; valid only when requires_grad and after EnsureGrad()
   /// (Backward() ensures it for every reachable grad-requiring node).
-  float* grad() { return impl_->grad.data(); }
-  const float* grad() const { return impl_->grad.data(); }
-  bool has_grad() const { return !impl_->grad.empty(); }
+  float* grad() { return checked_impl()->grad.data(); }
+  const float* grad() const { return checked_impl()->grad.data(); }
+  bool has_grad() const { return !checked_impl()->grad.empty(); }
 
-  float at(int r, int c) const { return impl_->data[r * impl_->cols + c]; }
-  float& at(int r, int c) { return impl_->data[r * impl_->cols + c]; }
+  float at(int r, int c) const {
+    return checked_impl()->data[static_cast<int64_t>(r) * impl_->cols + c];
+  }
+  float& at(int r, int c) {
+    return checked_impl()->data[static_cast<int64_t>(r) * impl_->cols + c];
+  }
   /// Scalar value of a 1x1 tensor.
   float item() const;
-  float grad_at(int r, int c) const { return impl_->grad[r * impl_->cols + c]; }
+  float grad_at(int r, int c) const {
+    return checked_impl()->grad[static_cast<int64_t>(r) * impl_->cols + c];
+  }
 
   /// Zeroes this tensor's gradient buffer (allocating it if needed).
   void ZeroGrad();
 
   /// Reverse-mode sweep from this scalar (1x1) tensor. Seeds d(this)=1 and
-  /// accumulates into grads of all reachable requires_grad tensors.
+  /// accumulates into grads of all reachable requires_grad tensors. While an
+  /// AnomalyGuard (nn/debug.h) is active, each node's backward step is
+  /// followed by a NaN/Inf scan of the gradients it produced.
   void Backward();
 
   /// Detaches from the autograd graph: returns a tensor sharing no history
@@ -92,6 +110,15 @@ class Tensor {
   std::string ShapeString() const;
 
  private:
+  /// Guards against dereferencing a default-constructed (null) Tensor: a
+  /// debug-mode check turns silent UB into an actionable failure.
+  TensorImpl* checked_impl() const {
+    PRIM_DCHECK_MSG(impl_ != nullptr,
+                    "null Tensor handle (default-constructed); "
+                    "check defined() before use");
+    return impl_.get();
+  }
+
   std::shared_ptr<TensorImpl> impl_;
 };
 

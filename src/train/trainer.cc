@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "common/check.h"
+#include "nn/debug.h"
 #include "nn/ops.h"
 #include "train/evaluator.h"
 
@@ -44,6 +46,8 @@ void Trainer::RestoreParameters() {
 TrainResult Trainer::Fit(const models::PairBatch* validation) {
   TrainResult result;
   if (!model_.trainable() || !optimizer_) return result;
+  std::optional<nn::debug::AnomalyGuard> anomaly;
+  if (config_.detect_anomaly) anomaly.emplace();
   const auto t0 = std::chrono::steady_clock::now();
   const auto& dataset = *model_.context().dataset;
   const int num_relations = model_.context().num_relations;
@@ -120,6 +124,13 @@ TrainResult Trainer::Fit(const models::PairBatch* validation) {
       loss = nn::BceWithLogits(selected, targets);
     }
     loss.Backward();
+    if (config_.lint_grad_flow && epoch == 0) {
+      const auto issues = nn::debug::LintGradFlow(model_.Parameters());
+      if (!issues.empty()) {
+        std::fprintf(stderr, "[%s] %s", model_.name().c_str(),
+                     nn::debug::FormatGradFlowReport(issues).c_str());
+      }
+    }
     optimizer_->ClipGradNorm(config_.grad_clip);
     optimizer_->Step();
     result.loss_curve.push_back(loss.item());

@@ -49,6 +49,14 @@ struct TrainConfig {
   int patience = 4;      // Eval rounds without improvement before stopping.
   uint64_t seed = 7;
   bool verbose = false;
+  /// Debug: wraps training in nn::debug::AnomalyGuard so every op checks
+  /// its forward output and backward gradients for NaN/Inf and aborts
+  /// naming the producing op. Costly — not for timed runs.
+  bool detect_anomaly = false;
+  /// Debug: after the first Backward(), reports parameters that received
+  /// no gradient (detached subgraphs) to stderr via the gradient-flow
+  /// linter (nn::debug::LintGradFlow).
+  bool lint_grad_flow = false;
 };
 
 struct TrainResult {

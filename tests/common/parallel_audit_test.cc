@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace prim {
+namespace {
+
+// Restores the global worker-thread override on scope exit so tests cannot
+// leak a thread-count override into each other.
+struct ThreadCountOverride {
+  explicit ThreadCountOverride(int n) { SetNumWorkerThreads(n); }
+  ~ThreadCountOverride() { SetNumWorkerThreads(0); }
+};
+
+TEST(ParallelAuditTest, ScopeTogglesAuditing) {
+  EXPECT_FALSE(ParallelAuditEnabled());
+  {
+    ParallelAuditScope scope;
+    EXPECT_TRUE(ParallelAuditEnabled());
+    {
+      ParallelAuditScope nested;
+      EXPECT_TRUE(ParallelAuditEnabled());
+    }
+    EXPECT_TRUE(ParallelAuditEnabled());
+  }
+  EXPECT_FALSE(ParallelAuditEnabled());
+}
+
+TEST(ParallelAuditTest, DisjointRegionPassesAndStillCoversAllIndices) {
+  ThreadCountOverride threads(4);
+  ParallelAuditScope scope;
+  // Small n: the audit forces multiple chunks even below the usual
+  // per-thread work threshold, so the contract is actually exercised.
+  const int64_t n = 64;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    AuditWriteRange(hits.data(), begin, end);
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelAuditTest, ClaimsOutsideAuditedRegionAreIgnored) {
+  // Outside a ParallelFor chunk (or without a scope) the call is a no-op.
+  int buf[4] = {0, 0, 0, 0};
+  AuditWriteRange(buf, 0, 4);
+  ParallelAuditScope scope;
+  AuditWriteRange(buf, 0, 4);  // Still outside any region: ignored.
+  ParallelFor(2, [&](int64_t, int64_t) {});
+}
+
+TEST(ParallelAuditDeathTest, OverlapDetectorFiresOnOverlappingClaims) {
+  ThreadCountOverride threads(2);
+  ParallelAuditScope scope;
+  int buf[8];
+  EXPECT_DEATH(ParallelFor(8,
+                           [&](int64_t begin, int64_t end) {
+                             // Deliberately wrong: every chunk claims the
+                             // whole buffer.
+                             AuditWriteRange(buf, 0, 8);
+                             for (int64_t i = begin; i < end; ++i) buf[i] = 1;
+                           }),
+               "disjoint-write contract violated");
+}
+
+TEST(ParallelAuditDeathTest, PartialOverlapAcrossChunksIsCaught) {
+  ThreadCountOverride threads(2);
+  ParallelAuditScope scope;
+  int buf[16];
+  EXPECT_DEATH(ParallelFor(16,
+                           [&](int64_t begin, int64_t end) {
+                             // Off-by-one overlap: each chunk claims one
+                             // element past its range.
+                             AuditWriteRange(buf, begin,
+                                             std::min<int64_t>(16, end + 1));
+                           }),
+               "disjoint-write contract violated");
+}
+
+TEST(ParallelAuditTest, DistinctBuffersDoNotConflict) {
+  ThreadCountOverride threads(2);
+  ParallelAuditScope scope;
+  int a[8], b[8];
+  // Identical index ranges on different buffers are fine.
+  ParallelFor(8, [&](int64_t begin, int64_t end) {
+    AuditWriteRange(a, begin, end);
+    AuditWriteRange(b, begin, end);
+    for (int64_t i = begin; i < end; ++i) {
+      a[i] = 1;
+      b[i] = 2;
+    }
+  });
+}
+
+// The instrumented nn kernels (MatMul fwd/bwd, Gather fwd, SegmentSum bwd)
+// must honor the disjoint-write contract under audit. This doubles as the
+// TSan stress target: build with -DPRIM_SANITIZE=thread and any real data
+// race in these parallel regions is reported by the runtime.
+TEST(ParallelAuditTest, MessagePassingOpsHonorContract) {
+  ThreadCountOverride threads(4);
+  ParallelAuditScope scope;
+  Rng rng(13);
+  const int nodes = 300, edges = 900, dim = 16;
+  nn::Tensor x = nn::NormalInit(nodes, dim, 0.5f, rng, /*requires_grad=*/true);
+  nn::Tensor w = nn::NormalInit(dim, dim, 0.5f, rng, /*requires_grad=*/true);
+  std::vector<int> src(edges), seg(edges);
+  for (int e = 0; e < edges; ++e) {
+    src[e] = static_cast<int>(rng.UniformInt(nodes));
+    seg[e] = static_cast<int>(rng.UniformInt(nodes));
+  }
+  std::sort(seg.begin(), seg.end());
+  for (int iter = 0; iter < 5; ++iter) {
+    nn::Tensor msgs = nn::Gather(nn::MatMul(x, w), src);
+    nn::Tensor agg = nn::SegmentSum(msgs, seg, nodes);
+    nn::Tensor loss = nn::MeanAll(nn::Mul(agg, agg));
+    loss.Backward();
+    EXPECT_TRUE(x.has_grad());
+    EXPECT_TRUE(w.has_grad());
+    x.ZeroGrad();
+    w.ZeroGrad();
+  }
+}
+
+TEST(ParallelAuditTest, AuditedResultMatchesUnaudited) {
+  // Auditing changes the chunking (forces multiple chunks) but must not
+  // change results.
+  Rng rng(5);
+  nn::Tensor a = nn::NormalInit(40, 30, 1.0f, rng, false);
+  nn::Tensor b = nn::NormalInit(30, 20, 1.0f, rng, false);
+  nn::Tensor plain = nn::MatMul(a, b);
+  ThreadCountOverride threads(3);
+  ParallelAuditScope scope;
+  nn::Tensor audited = nn::MatMul(a, b);
+  for (int64_t i = 0; i < plain.size(); ++i)
+    EXPECT_FLOAT_EQ(plain.data()[i], audited.data()[i]) << i;
+}
+
+}  // namespace
+}  // namespace prim

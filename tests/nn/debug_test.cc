@@ -1,0 +1,138 @@
+#include "nn/debug.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace prim::nn {
+namespace {
+
+TEST(AnomalyGuardTest, ModeTogglesWithScope) {
+  EXPECT_FALSE(debug::AnomalyModeEnabled());
+  {
+    debug::AnomalyGuard guard;
+    EXPECT_TRUE(debug::AnomalyModeEnabled());
+    {
+      debug::AnomalyGuard nested;
+      EXPECT_TRUE(debug::AnomalyModeEnabled());
+    }
+    EXPECT_TRUE(debug::AnomalyModeEnabled());
+  }
+  EXPECT_FALSE(debug::AnomalyModeEnabled());
+}
+
+TEST(AnomalyGuardTest, OpsTagTheirOutputs) {
+  Tensor a = Tensor::Full(2, 3, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Full(3, 2, 1.0f);
+  Tensor c = MatMul(a, b);
+  EXPECT_STREQ(debug::OpName(c.raw()), "MatMul");
+  EXPECT_STREQ(debug::OpName(Relu(c).raw()), "Relu");
+  EXPECT_STREQ(debug::OpName(a.raw()), "leaf");
+  EXPECT_STREQ(debug::OpName(nullptr), "<null>");
+}
+
+TEST(AnomalyGuardTest, CleanGraphPassesForwardAndBackward) {
+  debug::AnomalyGuard guard;
+  Rng rng(3);
+  Linear lin(4, 2, rng);
+  Tensor x = Tensor::Full(5, 4, 0.5f);
+  Tensor loss = MeanAll(Mul(lin.Forward(x), lin.Forward(x)));
+  loss.Backward();  // Must not abort: everything is finite.
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(AnomalyGuardTest, NonFinitePassesSilentlyWithoutGuard) {
+  // Overflow to +inf: exp(1000). Without an AnomalyGuard this must remain
+  // the documented silent behavior (checks are strictly opt-in).
+  Tensor x = Tensor::Full(1, 2, 1000.0f);
+  Tensor y = Exp(x);
+  EXPECT_TRUE(std::isinf(y.at(0, 0)));
+}
+
+TEST(AnomalyGuardDeathTest, ForwardNamesProducingOpAndShape) {
+  // A NaN/Inf born mid-graph: the first op whose *output* is non-finite is
+  // named, not the downstream op that would consume it.
+  Tensor x = Tensor::Full(2, 3, 1000.0f, /*requires_grad=*/true);
+  debug::AnomalyGuard guard;
+  EXPECT_DEATH(
+      {
+        Tensor h = Exp(x);  // exp(1000) overflows to inf here.
+        Tensor y = Relu(h);
+        (void)y;
+      },
+      "AnomalyGuard: op 'Exp'.*2x3 forward output");
+}
+
+TEST(AnomalyGuardDeathTest, BackwardNamesOpThatProducedBadGradient) {
+  // Forward stays finite; the gradient is poisoned at the loss before the
+  // sweep, so the first backward step (the outermost op) is reported.
+  Tensor x = Tensor::FromData(1, 2, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Tensor loss = MeanAll(Mul(x, x));  // Outermost node is Scale (MeanAll).
+  loss.ZeroGrad();
+  loss.grad()[0] = std::numeric_limits<float>::infinity();
+  debug::AnomalyGuard guard;
+  EXPECT_DEATH(loss.Backward(), "AnomalyGuard: backward of op 'Scale'");
+}
+
+TEST(GradFlowLintTest, CleanWhenEveryParameterGetsGradient) {
+  Tensor w = Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  Tensor loss = MeanAll(Mul(w, w));
+  loss.Backward();
+  EXPECT_TRUE(debug::LintGradFlow({w}).empty());
+  EXPECT_EQ(debug::FormatGradFlowReport({}), "");
+}
+
+TEST(GradFlowLintTest, FlagsParameterExcludedFromLoss) {
+  Tensor used = Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  Tensor unused = Tensor::Full(3, 1, 1.0f, /*requires_grad=*/true);
+  unused.impl()->debug_name = "Detached.weight";
+  Tensor loss = MeanAll(Mul(used, used));
+  loss.Backward();
+
+  auto issues = debug::LintGradFlow({used, unused});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].param_index, 1);
+  EXPECT_EQ(issues[0].name, "Detached.weight");
+  EXPECT_EQ(issues[0].shape, "3x1");
+  EXPECT_EQ(issues[0].kind, debug::GradFlowIssue::Kind::kNoGradBuffer);
+
+  const std::string report = debug::FormatGradFlowReport(issues);
+  EXPECT_NE(report.find("Detached.weight"), std::string::npos);
+  EXPECT_NE(report.find("3x1"), std::string::npos);
+}
+
+TEST(GradFlowLintTest, ZeroedButUntouchedGradReportsAllZero) {
+  // Optimizer::ZeroGrad allocates every buffer before the backward pass,
+  // so a detached parameter shows up as an all-zero grad, not a missing one.
+  Tensor used = Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  Tensor unused = Tensor::Full(3, 1, 1.0f, /*requires_grad=*/true);
+  used.ZeroGrad();
+  unused.ZeroGrad();
+  Tensor loss = MeanAll(Mul(used, used));
+  loss.Backward();
+
+  auto issues = debug::LintGradFlow({used, unused});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, debug::GradFlowIssue::Kind::kAllZero);
+  EXPECT_EQ(issues[0].name, "param[1]");
+}
+
+TEST(GradFlowLintTest, RegisteredModuleParametersCarryNames) {
+  Rng rng(7);
+  Linear lin(3, 2, rng);
+  auto params = lin.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  auto issues = debug::LintGradFlow(params);  // No backward ran at all.
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].name, "Linear.weight");
+  EXPECT_EQ(issues[1].name, "Linear.bias");
+}
+
+}  // namespace
+}  // namespace prim::nn

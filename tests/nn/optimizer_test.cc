@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "nn/init.h"
@@ -81,6 +82,34 @@ TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
   Sgd opt({x}, 1.0f);
   opt.ClipGradNorm(1.0f);
   EXPECT_FLOAT_EQ(x.grad()[0], 0.5f);
+}
+
+TEST(OptimizerTest, ClipGradNormZeroesInfiniteGrads) {
+  Tensor x = Tensor::Full(1, 2, 1.0f, true);
+  x.ZeroGrad();
+  x.grad()[0] = std::numeric_limits<float>::infinity();
+  x.grad()[1] = 1.0f;
+  Sgd opt({x}, /*lr=*/0.1f);
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_FALSE(std::isfinite(pre));
+  // Grads are zeroed so the following step cannot corrupt the parameters.
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  EXPECT_EQ(x.grad()[1], 0.0f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(x.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(0, 1), 1.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormZeroesNaNGrads) {
+  Tensor x = Tensor::Full(1, 2, 1.0f, true);
+  x.ZeroGrad();
+  x.grad()[0] = std::numeric_limits<float>::quiet_NaN();
+  Sgd opt({x}, /*lr=*/0.1f);
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_TRUE(std::isnan(pre));
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(x.at(0, 0), 1.0f);
 }
 
 TEST(OptimizerTest, WeightDecayShrinksParameters) {

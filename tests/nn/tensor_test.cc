@@ -87,5 +87,23 @@ TEST(TensorDeathTest, BackwardOnNonScalarAborts) {
   EXPECT_DEATH(t.Backward(), "scalar");
 }
 
+TEST(TensorDeathTest, NullHandleAccessorsAbortInsteadOfUB) {
+  // A default-constructed Tensor has no impl; every accessor except
+  // defined()/ShapeString() must fail a PRIM_DCHECK rather than
+  // dereference null.
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.ShapeString(), "<null>");
+  EXPECT_DEATH(t.rows(), "null Tensor");
+  EXPECT_DEATH(t.cols(), "null Tensor");
+  EXPECT_DEATH(t.size(), "null Tensor");
+  EXPECT_DEATH(t.data(), "null Tensor");
+  EXPECT_DEATH(t.grad(), "null Tensor");
+  EXPECT_DEATH(t.has_grad(), "null Tensor");
+  EXPECT_DEATH(t.requires_grad(), "null Tensor");
+  EXPECT_DEATH(t.at(0, 0), "null Tensor");
+  EXPECT_DEATH(t.item(), "item");
+}
+
 }  // namespace
 }  // namespace prim::nn

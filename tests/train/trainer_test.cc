@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/prim_model.h"
 #include "tests/test_fixtures.h"
 #include "train/evaluator.h"
@@ -61,6 +63,22 @@ TEST(TrainerTest, EarlyStoppingRestoresBestParameters) {
   // The restored model must reproduce the best validation score.
   const F1Result val = EvaluateModel(model, f.data.validation);
   EXPECT_NEAR(val.micro_f1, tr.best_val_micro_f1, 1e-9);
+}
+
+TEST(TrainerTest, AnomalyAndGradFlowDebugModesTrainCleanly) {
+  // Healthy training under detect_anomaly + lint_grad_flow must behave
+  // exactly like a plain run: no aborts, loss still decreases.
+  Fixture& f = F();
+  Rng rng(24);
+  core::PrimModel model(f.data.ctx, f.config.prim, rng);
+  TrainConfig tc = f.config.trainer;
+  tc.epochs = 5;
+  tc.detect_anomaly = true;
+  tc.lint_grad_flow = true;
+  Trainer trainer(model, f.data.split.train, *f.data.full_graph, tc);
+  const TrainResult tr = trainer.Fit(nullptr);
+  EXPECT_EQ(tr.epochs_run, 5);
+  for (float loss : tr.loss_curve) EXPECT_TRUE(std::isfinite(loss));
 }
 
 TEST(TrainerTest, RuleModelFitIsNoOp) {
