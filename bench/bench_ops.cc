@@ -1,0 +1,206 @@
+// Op-level performance trajectory: times full training epochs (forward +
+// loss + backward + Adam step, the Figure 4 workload) at 1, 2, and N worker
+// threads, with the per-op profiler enabled, and writes BENCH_ops.json.
+// Every future kernel PR should beat this file's numbers.
+//
+// The JSON carries three things per thread count:
+//   * epoch_ms        — wall time of each measured epoch
+//   * loss_curve      — the per-epoch loss values; runs at different thread
+//                       counts must be BITWISE identical (checked here and
+//                       reported as "loss_bitwise_identical")
+//   * ops             — profiler rows (calls, total ms, GB touched), sorted
+//                       by total time, "<op>/bwd" rows are backward passes
+//
+//   --scale=tiny|small|paper   workload size (default tiny)
+//   --models=PRIM,...          model to time (first entry; default PRIM)
+//   --epochs=N                 measured epochs per thread count (default 5)
+//   --seed=N                   workload seed
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/parallel.h"
+#include "data/synthetic.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/profiler.h"
+#include "train/experiment.h"
+
+namespace {
+
+using namespace prim;
+
+struct Workload {
+  data::PoiDataset dataset;
+  models::ModelContext ctx;
+  models::PairBatch batch;
+  std::vector<int> classes;
+  std::vector<float> targets;
+};
+
+Workload BuildWorkload(int num_pois, uint64_t seed) {
+  Workload w;
+  w.dataset = data::GenerateScalabilityDataset(num_pois,
+                                               /*relations_per_poi=*/8,
+                                               /*num_relations=*/2, seed);
+  w.ctx = models::BuildModelContext(w.dataset, w.dataset.edges);
+  Rng rng(3);
+  for (int i = 0; i < 2048; ++i) {
+    const auto& t = w.dataset.edges[rng.UniformInt(w.dataset.edges.size())];
+    w.batch.Add(t.src, t.dst,
+                static_cast<float>(w.dataset.DistanceKm(t.src, t.dst)));
+    w.classes.push_back(t.rel);
+    w.targets.push_back(1.0f);
+  }
+  return w;
+}
+
+struct RunResult {
+  int threads = 0;
+  std::vector<double> epoch_ms;
+  std::vector<float> loss_curve;
+  std::vector<nn::OpProfile> ops;
+  double mean_epoch_ms() const {
+    double s = 0.0;
+    for (double m : epoch_ms) s += m;
+    return epoch_ms.empty() ? 0.0 : s / epoch_ms.size();
+  }
+};
+
+// One measured run: fresh model + optimizer from a fixed seed so every
+// thread count executes the identical float program.
+RunResult RunEpochs(const Workload& w, const std::string& model_name,
+                    const train::ExperimentConfig& config, int threads,
+                    int epochs) {
+  SetNumWorkerThreads(threads);
+  RunResult result;
+  result.threads = threads;
+  Rng rng(11);
+  auto model = train::MakeModel(model_name, w.ctx, config, rng, nullptr);
+  nn::Adam optimizer(model->Parameters(), 0.001f);
+  auto epoch = [&]() -> float {
+    optimizer.ZeroGrad();
+    nn::Tensor h = model->EncodeNodes(true);
+    nn::Tensor logits = model->ScorePairs(h, w.batch);
+    nn::Tensor loss =
+        nn::BceWithLogits(nn::TakePerRow(logits, w.classes), w.targets);
+    loss.Backward();
+    optimizer.ClipGradNorm(5.0f);
+    optimizer.Step();
+    return loss.item();
+  };
+  epoch();  // Warm-up: pool spawn, allocator, caches; not measured.
+  nn::ResetProfiler();
+  nn::SetProfilerEnabled(true);
+  for (int e = 0; e < epochs; ++e) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const float loss = epoch();
+    const auto t1 = std::chrono::steady_clock::now();
+    result.epoch_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    result.loss_curve.push_back(loss);
+  }
+  nn::SetProfilerEnabled(false);
+  result.ops = nn::ProfilerSnapshot();
+  SetNumWorkerThreads(0);
+  return result;
+}
+
+void WriteJson(FILE* f, const std::string& model_name, int num_pois,
+               int64_t directed_edges, const std::vector<RunResult>& runs) {
+  // Note: the warm-up epoch differs from the measured ones (Adam state is
+  // zero-initialised), so loss curves are compared across runs, not epochs.
+  bool bitwise = true;
+  for (const RunResult& r : runs)
+    if (r.loss_curve != runs.front().loss_curve) bitwise = false;
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_ops\",\n");
+  fprintf(f, "  \"model\": \"%s\",\n", model_name.c_str());
+  fprintf(f, "  \"pois\": %d,\n", num_pois);
+  fprintf(f, "  \"directed_edges\": %lld,\n",
+          static_cast<long long>(directed_edges));
+  fprintf(f, "  \"loss_bitwise_identical\": %s,\n",
+          bitwise ? "true" : "false");
+  if (runs.size() > 1) {
+    fprintf(f, "  \"speedup_vs_1_thread\": {");
+    for (size_t i = 1; i < runs.size(); ++i)
+      fprintf(f, "%s\"%d\": %.3f", i > 1 ? ", " : "", runs[i].threads,
+              runs.front().mean_epoch_ms() / runs[i].mean_epoch_ms());
+    fprintf(f, "},\n");
+  }
+  fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    fprintf(f, "    {\n      \"threads\": %d,\n", r.threads);
+    fprintf(f, "      \"mean_epoch_ms\": %.3f,\n", r.mean_epoch_ms());
+    fprintf(f, "      \"epoch_ms\": [");
+    for (size_t e = 0; e < r.epoch_ms.size(); ++e)
+      fprintf(f, "%s%.3f", e ? ", " : "", r.epoch_ms[e]);
+    fprintf(f, "],\n      \"loss_curve\": [");
+    for (size_t e = 0; e < r.loss_curve.size(); ++e)
+      fprintf(f, "%s%.9g", e ? ", " : "", r.loss_curve[e]);
+    fprintf(f, "],\n      \"ops\": [\n");
+    for (size_t o = 0; o < r.ops.size(); ++o) {
+      const nn::OpProfile& p = r.ops[o];
+      fprintf(f,
+              "        {\"name\": \"%s\", \"calls\": %lld, "
+              "\"total_ms\": %.3f, \"gb\": %.4f}%s\n",
+              p.name.c_str(), static_cast<long long>(p.calls),
+              p.seconds * 1e3, static_cast<double>(p.bytes) / 1e9,
+              o + 1 < r.ops.size() ? "," : "");
+    }
+    fprintf(f, "      ]\n    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  bench::ApplyFlags(flags, &config);
+  int num_pois = 6000;
+  if (flags.scale == data::DatasetScale::kSmall) num_pois = 20000;
+  if (flags.scale == data::DatasetScale::kPaper) num_pois = 50000;
+  const std::string model_name =
+      flags.models.empty() ? std::string("PRIM") : flags.models.front();
+  const int epochs = flags.epochs > 0 ? flags.epochs : 5;
+
+  fprintf(stderr, "bench_ops: building %d-POI workload...\n", num_pois);
+  Workload w = BuildWorkload(num_pois, flags.seed);
+  const int64_t edges = w.ctx.train_graph->num_directed_edges();
+
+  const int hw = std::max(4u, std::thread::hardware_concurrency());
+  std::vector<int> thread_counts{1, 2, hw};
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::vector<RunResult> runs;
+  for (int t : thread_counts) {
+    fprintf(stderr, "bench_ops: %s, %d threads, %d epochs...\n",
+            model_name.c_str(), t, epochs);
+    runs.push_back(RunEpochs(w, model_name, config, t, epochs));
+    fprintf(stderr, "bench_ops:   mean epoch %.1f ms\n",
+            runs.back().mean_epoch_ms());
+  }
+
+  const char* path = "BENCH_ops.json";
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench_ops: cannot open %s for writing\n", path);
+    return 1;
+  }
+  WriteJson(f, model_name, num_pois, edges, runs);
+  fclose(f);
+  fprintf(stderr, "bench_ops: wrote %s\n", path);
+  // Echo the summary to stdout for CI logs.
+  WriteJson(stdout, model_name, num_pois, edges, runs);
+  return 0;
+}

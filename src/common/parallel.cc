@@ -1,7 +1,11 @@
 #include "common/parallel.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -11,15 +15,35 @@
 namespace prim {
 namespace {
 
-int g_num_threads = 0;  // 0 = hardware default.
+// 0 = fall through to PRIM_NUM_THREADS / hardware default. Atomic because
+// the persistent pool reads it from dispatch while tests and benchmarks may
+// set it from another thread.
+std::atomic<int> g_num_threads{0};
+
+// PRIM_NUM_THREADS env override, parsed once. Applies only when no explicit
+// SetNumWorkerThreads override is active.
+int EnvThreads() {
+  static const int cached = [] {
+    const char* s = std::getenv("PRIM_NUM_THREADS");
+    if (s == nullptr || *s == '\0') return 0;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || v <= 0) return 0;
+    return static_cast<int>(std::min<long>(v, 1024));
+  }();
+  return cached;
+}
 
 int ResolveThreads() {
-  if (g_num_threads > 0) return g_num_threads;
-  unsigned hw = std::thread::hardware_concurrency();
+  const int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  const int env = EnvThreads();
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-// Work below this many items per thread is not worth spawning threads for.
+// Work below this many items per thread is not worth dispatching for.
 constexpr int64_t kMinItemsPerThread = 2048;
 
 // Number of live ParallelAuditScope instances. Process-wide (not
@@ -40,9 +64,12 @@ struct AuditRegion {
   std::vector<AuditRecord> records;
 };
 
-// Set while a chunk callback runs so AuditWriteRange knows where to report.
+// Set while a chunk callback runs so AuditWriteRange knows where to report
+// and so nested ParallelFor calls degrade to inline execution instead of
+// deadlocking on the (non-reentrant) pool.
 thread_local AuditRegion* t_region = nullptr;
 thread_local int t_chunk = -1;
+thread_local bool t_in_parallel_region = false;
 
 // Verifies that no two distinct chunks claimed overlapping element ranges
 // of the same buffer. Aborts with both ranges on violation.
@@ -71,16 +98,129 @@ void RunChunk(const std::function<void(int64_t, int64_t)>& fn, int64_t begin,
               int64_t end, AuditRegion* region, int chunk) {
   t_region = region;
   t_chunk = chunk;
+  t_in_parallel_region = true;
   fn(begin, end);
+  t_in_parallel_region = false;
   t_region = nullptr;
   t_chunk = -1;
 }
+
+// Set by the pool destructor during static teardown; ParallelFor falls back
+// to inline execution afterwards (e.g. a static destructor running a region
+// after the pool has been torn down at exit).
+std::atomic<bool> g_pool_destroyed{false};
+
+// Process-wide persistent worker pool. Workers are started lazily on the
+// first multi-chunk region and park on a condition variable between
+// regions; dispatch is one lock + notify_all instead of thread creation.
+//
+// Invariants:
+//  * Run() calls are serialized by run_mu_, so at most one region's job
+//    state is live at a time.
+//  * Worker i always executes chunk i + 1 of the active region (the caller
+//    runs chunk 0), which keeps chunk identity — and therefore the audit's
+//    chunk attribution and every kernel's deterministic chunking — stable.
+//  * After fork() the workers do not exist in the child; Run() is never
+//    used there (ParallelFor checks UsableFromThisProcess() and runs the
+//    chunks inline, preserving chunk boundaries).
+class WorkerPool {
+ public:
+  static WorkerPool& Get() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      cv_work_.notify_all();
+    }
+    for (std::thread& w : workers_) w.join();
+    g_pool_destroyed.store(true, std::memory_order_relaxed);
+  }
+
+  bool UsableFromThisProcess() const { return owner_pid_ == ::getpid(); }
+
+  // Runs `chunks` chunks of [0, n) (chunk c covers
+  // [c * chunk_size, min(n, (c+1) * chunk_size))) on the pool; the calling
+  // thread executes chunk 0 and blocks until every chunk has finished.
+  void Run(int chunks, int64_t chunk_size, int64_t n,
+           const std::function<void(int64_t, int64_t)>& fn,
+           AuditRegion* region) {
+    std::lock_guard<std::mutex> serialize(run_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    EnsureWorkersLocked(chunks - 1);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_chunk_size_ = chunk_size;
+    job_chunks_ = chunks;
+    job_region_ = region;
+    remaining_ = chunks - 1;
+    ++generation_;
+    cv_work_.notify_all();
+    lock.unlock();
+    RunChunk(fn, 0, std::min(n, chunk_size), region, 0);
+    lock.lock();
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    job_fn_ = nullptr;
+  }
+
+ private:
+  WorkerPool() : owner_pid_(::getpid()) {}
+
+  void EnsureWorkersLocked(int needed) {
+    while (static_cast<int>(workers_.size()) < needed) {
+      const int id = static_cast<int>(workers_.size());
+      workers_.emplace_back(&WorkerPool::WorkerMain, this, id, generation_);
+    }
+  }
+
+  void WorkerMain(int worker_id, uint64_t spawn_generation) {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t seen = spawn_generation;
+    for (;;) {
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const int chunk = worker_id + 1;
+      if (chunk >= job_chunks_) continue;  // Not needed for this region.
+      const auto* fn = job_fn_;
+      const int64_t n = job_n_;
+      const int64_t chunk_size = job_chunk_size_;
+      AuditRegion* region = job_region_;
+      lock.unlock();
+      RunChunk(*fn, chunk * chunk_size,
+               std::min(n, (chunk + 1) * chunk_size), region, chunk);
+      lock.lock();
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  const pid_t owner_pid_;
+  std::mutex run_mu_;  // Serializes whole Run() invocations.
+
+  std::mutex mu_;  // Guards everything below.
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  uint64_t generation_ = 0;
+  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  int64_t job_n_ = 0;
+  int64_t job_chunk_size_ = 0;
+  int job_chunks_ = 0;
+  AuditRegion* job_region_ = nullptr;
+  int remaining_ = 0;
+};
 
 }  // namespace
 
 int NumWorkerThreads() { return ResolveThreads(); }
 
-void SetNumWorkerThreads(int n) { g_num_threads = n < 0 ? 0 : n; }
+void SetNumWorkerThreads(int n) {
+  g_num_threads.store(n < 0 ? 0 : n, std::memory_order_relaxed);
+}
 
 ParallelAuditScope::ParallelAuditScope() {
   g_audit_scopes.fetch_add(1, std::memory_order_relaxed);
@@ -125,21 +265,26 @@ void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
     }
     return;
   }
+  const int64_t chunk_size = (n + threads - 1) / threads;
+  const int chunks =
+      static_cast<int>((n + chunk_size - 1) / chunk_size);  // Non-empty ones.
   AuditRegion region;
   AuditRegion* region_ptr = audit ? &region : nullptr;
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  int64_t chunk = (n + threads - 1) / threads;
-  for (int t = 1; t < threads; ++t) {
-    int64_t begin = t * chunk;
-    int64_t end = std::min<int64_t>(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&fn, begin, end, region_ptr, t] {
-      RunChunk(fn, begin, end, region_ptr, t);
-    });
+  WorkerPool& pool = WorkerPool::Get();
+  const bool pool_usable = !t_in_parallel_region &&
+                           !g_pool_destroyed.load(std::memory_order_relaxed) &&
+                           pool.UsableFromThisProcess();
+  if (chunks <= 1 || !pool_usable) {
+    // Nested region, forked child (death tests), or post-teardown: run the
+    // chunks inline with their identities intact so results and audit
+    // attribution match the pooled execution exactly.
+    for (int c = 0; c < chunks; ++c) {
+      RunChunk(fn, c * chunk_size, std::min<int64_t>(n, (c + 1) * chunk_size),
+               region_ptr, c);
+    }
+  } else {
+    pool.Run(chunks, chunk_size, n, fn, region_ptr);
   }
-  RunChunk(fn, 0, std::min<int64_t>(n, chunk), region_ptr, 0);
-  for (auto& th : pool) th.join();
   if (audit) VerifyDisjointWrites(region);
 }
 

@@ -7,17 +7,24 @@
 namespace prim {
 
 /// Returns the number of worker threads the process-wide pool uses.
+/// Precedence: SetNumWorkerThreads override > PRIM_NUM_THREADS env var >
+/// std::thread::hardware_concurrency().
 int NumWorkerThreads();
 
-/// Overrides the worker-thread count (0 restores the hardware default).
-/// Intended for tests and benchmarks that need single-threaded determinism
-/// checks; the library itself is deterministic at any thread count because
-/// every parallel region writes disjoint output ranges.
+/// Overrides the worker-thread count (0 restores the PRIM_NUM_THREADS /
+/// hardware default). Thread-safe. Intended for tests and benchmarks that
+/// need single-threaded determinism checks; the library itself is
+/// deterministic at any thread count because every parallel region writes
+/// disjoint output ranges and every cross-chunk reduction accumulates in a
+/// fixed, thread-count-independent order.
 void SetNumWorkerThreads(int n);
 
-/// Runs fn(begin, end) over disjoint chunks of [0, n) on the worker pool and
-/// blocks until all chunks finish. Falls back to a direct call when n is
-/// small or only one worker is configured.
+/// Runs fn(begin, end) over disjoint chunks of [0, n) and blocks until all
+/// chunks finish. Multi-chunk regions are dispatched to a persistent,
+/// lazily-started worker pool (condition-variable handoff; no thread spawn
+/// per region); the calling thread always executes chunk 0. Falls back to a
+/// direct call when n is small or only one worker is configured, and to
+/// inline chunked execution for nested regions and forked children.
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
 
 // --- Disjoint-write-range audit ------------------------------------------

@@ -88,7 +88,9 @@ std::vector<int> GridIndex::RadiusQuery(const GeoPoint& center,
       for (int k = cell_offsets_[c]; k < cell_offsets_[c + 1]; ++k) {
         const int id = cell_ids_[k];
         if (id == exclude_id) continue;
-        if (HaversineKm(points_[id], center) < radius_km) out.push_back(id);
+        // Inclusive boundary: a point exactly at radius_km is a neighbour.
+        // (Strict `<` silently dropped exact-boundary points; see header.)
+        if (HaversineKm(points_[id], center) <= radius_km) out.push_back(id);
       }
     }
   }

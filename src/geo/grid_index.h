@@ -10,9 +10,14 @@ namespace prim::geo {
 
 /// Uniform-grid spatial index over a fixed point set, supporting radius
 /// queries in expected O(points-in-range). This is the substrate behind
-/// Definition 3.1 (spatial neighbours S_p = {p' : dist(p, p') < d}) — the
+/// Definition 3.1 (spatial neighbours S_p = {p' : dist(p, p') <= d}) — the
 /// paper's production system would use an internal spatial store; a grid is
 /// the standard city-scale equivalent.
+///
+/// The radius boundary is INCLUSIVE: a point at exactly radius_km from the
+/// center is returned. Distances are continuous so ties are rare, but
+/// synthetic grids do place points at exact multiples of the threshold and
+/// a strict `<` silently dropped them.
 ///
 /// Points are bucketed on a planar local projection; queries use exact
 /// haversine distance for the final filter, so results are exact.
@@ -22,8 +27,9 @@ class GridIndex {
   /// radius (e.g. the paper's d = 1.15 km).
   GridIndex(const std::vector<GeoPoint>& points, double cell_km);
 
-  /// Ids of points with dist(points[id], center) < radius_km, excluding
-  /// `exclude_id` (pass -1 to keep everything). Ascending id order.
+  /// Ids of points with dist(points[id], center) <= radius_km (inclusive
+  /// boundary), excluding `exclude_id` (pass -1 to keep everything).
+  /// Ascending id order.
   std::vector<int> RadiusQuery(const GeoPoint& center, double radius_km,
                                int exclude_id = -1) const;
 

@@ -48,6 +48,10 @@ class HeteroGraph {
   bool HasEdge(int src, int dst, int rel) const;
   /// True when the pair is connected by any relation.
   bool HasAnyEdge(int src, int dst) const;
+  /// Number of distinct unordered node pairs connected by >= 1 relation.
+  int64_t num_connected_pairs() const {
+    return static_cast<int64_t>(any_edge_set_.size());
+  }
 
  private:
   static uint64_t PairKey(int a, int b);

@@ -1,5 +1,7 @@
 #include "graph/sampling.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -39,11 +41,24 @@ Triple NegativeSampler::CorruptTriple(const Triple& positive, Rng& rng) const {
 std::vector<std::pair<int, int>> NegativeSampler::SampleNonEdges(
     int count, Rng& rng) const {
   const int n = graph_.num_nodes();
+  // Graphs too dense to yield `count` distinct non-edges would spin until
+  // the attempt cap; clamp to what actually exists and say so once.
+  const int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  const int64_t available = total_pairs - graph_.num_connected_pairs();
+  if (count > available) {
+    std::fprintf(stderr,
+                 "SampleNonEdges: only %lld non-edges exist, clamping "
+                 "request of %d\n",
+                 static_cast<long long>(available), count);
+    count = static_cast<int>(std::max<int64_t>(available, 0));
+  }
   std::unordered_set<uint64_t> seen;
   std::vector<std::pair<int, int>> out;
   out.reserve(count);
-  int attempts = 0;
-  const int max_attempts = count * 200 + 1000;
+  // In int64: `count * 200` overflows int once count exceeds ~10.7M, which
+  // would make max_attempts negative and silently return no samples.
+  int64_t attempts = 0;
+  const int64_t max_attempts = static_cast<int64_t>(count) * 200 + 1000;
   while (static_cast<int>(out.size()) < count && attempts < max_attempts) {
     ++attempts;
     int a = static_cast<int>(rng.UniformInt(n));

@@ -17,6 +17,9 @@ FlatEdges WithSelfLoops(const FlatEdges& edges, int num_nodes) {
     out.dst.push_back(i);
     out.dist_km.push_back(0.0f);
   }
+  // Appending the loops breaks the dst-sorted layout the aggregation
+  // kernels rely on for parallel row ownership; restore it.
+  SortEdgesByDst(out);
   return out;
 }
 

@@ -7,6 +7,29 @@
 
 namespace prim::models {
 
+void SortEdgesByDst(FlatEdges& edges) {
+  const int n = edges.size();
+  if (n == 0 || std::is_sorted(edges.dst.begin(), edges.dst.end())) return;
+  int max_dst = 0;
+  for (int d : edges.dst) max_dst = std::max(max_dst, d);
+  // Stable counting sort: within a destination, edges keep their original
+  // order, so per-row accumulation order in the kernels is reproducible.
+  std::vector<int> cursor(static_cast<size_t>(max_dst) + 2, 0);
+  for (int d : edges.dst) ++cursor[d + 1];
+  for (int i = 0; i <= max_dst; ++i) cursor[i + 1] += cursor[i];
+  FlatEdges sorted;
+  sorted.src.resize(n);
+  sorted.dst.resize(n);
+  sorted.dist_km.resize(n);
+  for (int e = 0; e < n; ++e) {
+    const int pos = cursor[edges.dst[e]]++;
+    sorted.src[pos] = edges.src[e];
+    sorted.dst[pos] = edges.dst[e];
+    sorted.dist_km[pos] = edges.dist_km[e];
+  }
+  edges = std::move(sorted);
+}
+
 ModelContext BuildModelContext(const data::PoiDataset& dataset,
                                const std::vector<graph::Triple>& train_edges,
                                const ModelContextOptions& options) {
@@ -41,6 +64,11 @@ ModelContext BuildModelContext(const data::PoiDataset& dataset,
                                    edges.dist_km.begin(),
                                    edges.dist_km.end());
   }
+  // Dst-sorted layout: lets the aggregation kernels partition output rows
+  // across threads (see SortEdgesByDst). Done before any model derives
+  // per-edge tensors, so everything downstream stays index-aligned.
+  for (FlatEdges& edges : ctx.rel_edges) SortEdgesByDst(edges);
+  SortEdgesByDst(ctx.union_edges);
 
   // Spatial neighbours (Definition 3.1) via the grid index.
   std::vector<geo::GeoPoint> locations(ctx.num_nodes);

@@ -20,6 +20,14 @@ struct FlatEdges {
   int size() const { return static_cast<int>(src.size()); }
 };
 
+/// Stably sorts the edges by destination (counting sort). Message-passing
+/// kernels exploit this layout: SegmentSum by dst and SegmentSoftmax see
+/// contiguous segments, so each worker thread owns a disjoint range of
+/// output rows — parallel scatter-free aggregation with results bitwise
+/// identical at any thread count. BuildModelContext applies it to all edge
+/// lists it produces; call it yourself on hand-built FlatEdges.
+void SortEdgesByDst(FlatEdges& edges);
+
 /// Everything a model needs about one dataset + training split, built once
 /// and shared (read-only) by all models in an experiment:
 ///  * per-relation directed training edges (message-passing graph),

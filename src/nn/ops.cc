@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "nn/debug.h"
+#include "nn/profiler.h"
 
 namespace prim::nn {
 namespace {
@@ -37,6 +38,43 @@ float* GradBuf(TensorImpl* t) {
   return t->grad.data();
 }
 
+// Runs `body(i0, i1)` over disjoint chunks of [0, total), declaring the
+// matching element range of `out` to the write audit. For elementwise
+// kernels whose chunk [i0, i1) writes exactly out[i0..i1).
+template <typename Body>
+void ParallelElems(float* out, int64_t total, Body&& body) {
+  ParallelFor(total, [&](int64_t i0, int64_t i1) {
+    AuditWriteRange(out, i0, i1);
+    body(i0, i1);
+  });
+}
+
+// Same, for row-partitioned kernels: chunk [r0, r1) writes rows r0..r1 of
+// the `cols`-wide buffer `out`.
+template <typename Body>
+void ParallelRows(float* out, int64_t rows, int64_t cols, Body&& body) {
+  ParallelFor(rows, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(out, r0 * cols, r1 * cols);
+    body(r0, r1);
+  });
+}
+
+// Stable counting sort of [0, n) by key target[i] into `order`, with CSR
+// offsets in `start` (size num_targets + 1). Within each target, original
+// indices stay ascending — so per-target accumulation visits contributions
+// in exactly the order the sequential scatter loop would, keeping parallel
+// scatter-adds bitwise identical to the sequential ones.
+void BuildScatterCsr(const std::vector<int>& target, int num_targets,
+                     std::vector<int>& start, std::vector<int>& order) {
+  const int n = static_cast<int>(target.size());
+  start.assign(static_cast<size_t>(num_targets) + 1, 0);
+  for (int i = 0; i < n; ++i) ++start[target[i] + 1];
+  for (int t = 0; t < num_targets; ++t) start[t + 1] += start[t];
+  order.resize(n);
+  std::vector<int> cursor(start.begin(), start.end() - 1);
+  for (int i = 0; i < n; ++i) order[cursor[target[i]]++] = i;
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -44,6 +82,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                                         << " * "
                                                         << b.ShapeString());
   const int n = a.rows(), k = a.cols(), m = b.cols();
+  ScopedOpTimer timer("MatMul",
+                      4 * (static_cast<int64_t>(n) * k +
+                           static_cast<int64_t>(k) * m +
+                           static_cast<int64_t>(n) * m));
   bool record = false;
   Tensor out = MakeResult("MatMul", n, m, {a, b}, record);
   const float* ad = a.data();
@@ -113,6 +155,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Transpose(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Transpose", 4 * 2 * a.size());
   bool record = false;
   Tensor out = MakeResult("Transpose", m, n, {a}, record);
   const float* ad = a.data();
@@ -162,6 +205,7 @@ BroadcastKind ClassifyMulBroadcast(const char* op, const Tensor& a,
 Tensor Add(const Tensor& a, const Tensor& b) {
   const BroadcastKind kind = ClassifyAddBroadcast("Add", a, b);
   const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Add", 4 * (2 * a.size() + b.size()));
   bool record = false;
   Tensor out = MakeResult("Add", n, m, {a, b}, record);
   const float* ad = a.data();
@@ -170,15 +214,21 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const int64_t total = a.size();
   switch (kind) {
     case BroadcastKind::kNone:
-      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] + bd[i];
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] + bd[i];
+      });
       break;
     case BroadcastKind::kScalar:
-      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] + bd[0];
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] + bd[0];
+      });
       break;
     case BroadcastKind::kRow:
-      for (int i = 0; i < n; ++i)
-        for (int j = 0; j < m; ++j)
-          od[static_cast<int64_t>(i) * m + j] = ad[static_cast<int64_t>(i) * m + j] + bd[j];
+      ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i)
+          for (int j = 0; j < m; ++j)
+            od[i * m + j] = ad[i * m + j] + bd[j];
+      });
       break;
     case BroadcastKind::kCol:
       break;  // Unreachable for Add.
@@ -191,21 +241,30 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       const float* g = oi->grad.data();
       if (ai->requires_grad) {
         float* ga = GradBuf(ai);
-        for (int64_t i = 0; i < total; ++i) ga[i] += g[i];
+        ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+        });
       }
       if (bi->requires_grad) {
         float* gb = GradBuf(bi);
         switch (kind) {
           case BroadcastKind::kNone:
-            for (int64_t i = 0; i < total; ++i) gb[i] += g[i];
+            ParallelElems(gb, total, [&](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) gb[i] += g[i];
+            });
             break;
           case BroadcastKind::kScalar: {
+            // Cross-chunk reduction: stays sequential so the accumulation
+            // order (and therefore the float result) is thread-count
+            // independent.
             float acc = 0.0f;
             for (int64_t i = 0; i < total; ++i) acc += g[i];
             gb[0] += acc;
             break;
           }
           case BroadcastKind::kRow:
+            // Column-wise reduction over rows; sequential for the same
+            // determinism reason (gb is only m elements).
             for (int i = 0; i < n; ++i)
               for (int j = 0; j < m; ++j) gb[j] += g[static_cast<int64_t>(i) * m + j];
             break;
@@ -225,6 +284,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                  "Sub supports equal shapes or scalar b, got "
                      << a.ShapeString() << " vs " << b.ShapeString());
   const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Sub", 4 * (2 * a.size() + b.size()));
   bool record = false;
   Tensor out = MakeResult("Sub", n, m, {a, b}, record);
   const float* ad = a.data();
@@ -232,9 +292,13 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   float* od = out.data();
   const int64_t total = a.size();
   if (kind == BroadcastKind::kNone) {
-    for (int64_t i = 0; i < total; ++i) od[i] = ad[i] - bd[i];
+    ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] - bd[i];
+    });
   } else {
-    for (int64_t i = 0; i < total; ++i) od[i] = ad[i] - bd[0];
+    ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] - bd[0];
+    });
   }
   if (record) {
     TensorImpl* ai = a.raw();
@@ -244,13 +308,18 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       const float* g = oi->grad.data();
       if (ai->requires_grad) {
         float* ga = GradBuf(ai);
-        for (int64_t i = 0; i < total; ++i) ga[i] += g[i];
+        ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+        });
       }
       if (bi->requires_grad) {
         float* gb = GradBuf(bi);
         if (kind == BroadcastKind::kNone) {
-          for (int64_t i = 0; i < total; ++i) gb[i] -= g[i];
+          ParallelElems(gb, total, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) gb[i] -= g[i];
+          });
         } else {
+          // Sequential scalar reduction: thread-count-independent result.
           float acc = 0.0f;
           for (int64_t i = 0; i < total; ++i) acc += g[i];
           gb[0] -= acc;
@@ -265,6 +334,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   const BroadcastKind kind = ClassifyMulBroadcast("Mul", a, b);
   const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Mul", 4 * (2 * a.size() + b.size()));
   bool record = false;
   Tensor out = MakeResult("Mul", n, m, {a, b}, record);
   const float* ad = a.data();
@@ -273,17 +343,22 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const int64_t total = a.size();
   switch (kind) {
     case BroadcastKind::kNone:
-      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] * bd[i];
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] * bd[i];
+      });
       break;
     case BroadcastKind::kScalar:
-      for (int64_t i = 0; i < total; ++i) od[i] = ad[i] * bd[0];
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] * bd[0];
+      });
       break;
     case BroadcastKind::kCol:
-      for (int i = 0; i < n; ++i) {
-        const float s = bd[i];
-        for (int j = 0; j < m; ++j)
-          od[static_cast<int64_t>(i) * m + j] = ad[static_cast<int64_t>(i) * m + j] * s;
-      }
+      ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float s = bd[i];
+          for (int j = 0; j < m; ++j) od[i * m + j] = ad[i * m + j] * s;
+        }
+      });
       break;
     case BroadcastKind::kRow:
       break;  // Unreachable for Mul.
@@ -300,15 +375,21 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
         float* ga = GradBuf(ai);
         switch (kind) {
           case BroadcastKind::kNone:
-            for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * bd[i];
+            ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) ga[i] += g[i] * bd[i];
+            });
             break;
           case BroadcastKind::kScalar:
-            for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * bd[0];
+            ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) ga[i] += g[i] * bd[0];
+            });
             break;
           case BroadcastKind::kCol:
-            for (int i = 0; i < n; ++i)
-              for (int j = 0; j < m; ++j)
-                ga[static_cast<int64_t>(i) * m + j] += g[static_cast<int64_t>(i) * m + j] * bd[i];
+            ParallelRows(ga, n, m, [&](int64_t r0, int64_t r1) {
+              for (int64_t i = r0; i < r1; ++i)
+                for (int j = 0; j < m; ++j)
+                  ga[i * m + j] += g[i * m + j] * bd[i];
+            });
             break;
           case BroadcastKind::kRow:
             break;
@@ -318,21 +399,28 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
         float* gb = GradBuf(bi);
         switch (kind) {
           case BroadcastKind::kNone:
-            for (int64_t i = 0; i < total; ++i) gb[i] += g[i] * ad[i];
+            ParallelElems(gb, total, [&](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) gb[i] += g[i] * ad[i];
+            });
             break;
           case BroadcastKind::kScalar: {
+            // Sequential scalar reduction: thread-count-independent result.
             float acc = 0.0f;
             for (int64_t i = 0; i < total; ++i) acc += g[i] * ad[i];
             gb[0] += acc;
             break;
           }
           case BroadcastKind::kCol:
-            for (int i = 0; i < n; ++i) {
-              float acc = 0.0f;
-              for (int j = 0; j < m; ++j)
-                acc += g[static_cast<int64_t>(i) * m + j] * ad[static_cast<int64_t>(i) * m + j];
-              gb[i] += acc;
-            }
+            // Per-row dot products: each chunk owns disjoint gb rows, and
+            // each row's accumulation order is fixed regardless of chunking.
+            ParallelRows(gb, n, 1, [&](int64_t r0, int64_t r1) {
+              for (int64_t i = r0; i < r1; ++i) {
+                float acc = 0.0f;
+                for (int j = 0; j < m; ++j)
+                  acc += g[i * m + j] * ad[i * m + j];
+                gb[i] += acc;
+              }
+            });
             break;
           case BroadcastKind::kRow:
             break;
@@ -345,12 +433,15 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
+  ScopedOpTimer timer("Scale", 4 * 2 * a.size());
   bool record = false;
   Tensor out = MakeResult("Scale", a.rows(), a.cols(), {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   const int64_t total = a.size();
-  for (int64_t i = 0; i < total; ++i) od[i] = ad[i] * s;
+  ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] * s;
+  });
   if (record) {
     TensorImpl* ai = a.raw();
     TensorImpl* oi = out.raw();
@@ -358,7 +449,9 @@ Tensor Scale(const Tensor& a, float s) {
       if (!ai->requires_grad) return;
       float* ga = GradBuf(ai);
       const float* g = oi->grad.data();
-      for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * s;
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) ga[i] += g[i] * s;
+      });
     };
   }
   debug::CheckForwardFinite(out);
@@ -366,12 +459,15 @@ Tensor Scale(const Tensor& a, float s) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
+  ScopedOpTimer timer("AddScalar", 4 * 2 * a.size());
   bool record = false;
   Tensor out = MakeResult("AddScalar", a.rows(), a.cols(), {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   const int64_t total = a.size();
-  for (int64_t i = 0; i < total; ++i) od[i] = ad[i] + s;
+  ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) od[i] = ad[i] + s;
+  });
   if (record) {
     TensorImpl* ai = a.raw();
     TensorImpl* oi = out.raw();
@@ -379,7 +475,9 @@ Tensor AddScalar(const Tensor& a, float s) {
       if (!ai->requires_grad) return;
       float* ga = GradBuf(ai);
       const float* g = oi->grad.data();
-      for (int64_t i = 0; i < total; ++i) ga[i] += g[i];
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+      });
     };
   }
   debug::CheckForwardFinite(out);
@@ -396,6 +494,8 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
                                       << parts[0].ShapeString());
     total_cols += p.cols();
   }
+  ScopedOpTimer timer("ConcatCols",
+                      4 * 2 * static_cast<int64_t>(n) * total_cols);
   bool record = false;
   Tensor out = MakeResult("ConcatCols", n, total_cols, parts, record);
   float* od = out.data();
@@ -444,6 +544,8 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
                                       << parts[0].ShapeString());
     total_rows += p.rows();
   }
+  ScopedOpTimer timer("ConcatRows",
+                      4 * 2 * static_cast<int64_t>(total_rows) * m);
   bool record = false;
   Tensor out = MakeResult("ConcatRows", total_rows, m, parts, record);
   float* od = out.data();
@@ -542,12 +644,15 @@ namespace {
 template <typename Fwd, typename BwdFromOut>
 Tensor PointwiseFromOut(const char* op, const Tensor& a, Fwd fwd,
                         BwdFromOut bwd) {
+  ScopedOpTimer timer(op, 4 * 2 * a.size());
   bool record = false;
   Tensor out = MakeResult(op, a.rows(), a.cols(), {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   const int64_t total = a.size();
-  for (int64_t i = 0; i < total; ++i) od[i] = fwd(ad[i]);
+  ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) od[i] = fwd(ad[i]);
+  });
   if (record) {
     TensorImpl* ai = a.raw();
     TensorImpl* oi = out.raw();
@@ -557,7 +662,9 @@ Tensor PointwiseFromOut(const char* op, const Tensor& a, Fwd fwd,
       const float* g = oi->grad.data();
       const float* od = oi->data.data();
       const float* ad = ai->data.data();
-      for (int64_t i = 0; i < total; ++i) ga[i] += g[i] * bwd(ad[i], od[i]);
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) ga[i] += g[i] * bwd(ad[i], od[i]);
+      });
     };
   }
   debug::CheckForwardFinite(out);
@@ -609,6 +716,7 @@ Tensor Log(const Tensor& a, float eps) {
 }
 
 Tensor SumAll(const Tensor& a) {
+  ScopedOpTimer timer("SumAll", 4 * a.size());
   bool record = false;
   Tensor out = MakeResult("SumAll", 1, 1, {a}, record);
   const float* ad = a.data();
@@ -637,6 +745,7 @@ Tensor MeanAll(const Tensor& a) {
 
 Tensor RowSum(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("RowSum", 4 * a.size());
   bool record = false;
   Tensor out = MakeResult("RowSum", n, 1, {a}, record);
   const float* ad = a.data();
@@ -676,6 +785,7 @@ Tensor Gather(const Tensor& x, const std::vector<int>& index) {
     PRIM_CHECK_MSG(0 <= idx && idx < x.rows(), "Gather index " << idx
                                                                << " out of "
                                                                << x.rows());
+  ScopedOpTimer timer("Gather", 4 * 2 * static_cast<int64_t>(n) * m);
   bool record = false;
   Tensor out = MakeResult("Gather", n, m, {x}, record);
   const float* xd = x.data();
@@ -689,18 +799,38 @@ Tensor Gather(const Tensor& x, const std::vector<int>& index) {
   if (record) {
     TensorImpl* xi = x.raw();
     TensorImpl* oi = out.raw();
+    const int rows = x.rows();
     auto idx = index;  // Copy for the closure.
-    out.impl()->backward_fn = [xi, oi, idx = std::move(idx), n, m]() {
+    out.impl()->backward_fn = [xi, oi, idx = std::move(idx), n, m, rows]() {
       if (!xi->requires_grad) return;
       float* gx = GradBuf(xi);
       const float* g = oi->grad.data();
-      // Scatter-add: distinct rows of `idx` may repeat, so this stays
-      // sequential (parallelising it would race on shared rows of gx).
-      for (int i = 0; i < n; ++i) {
-        float* dst = gx + static_cast<int64_t>(idx[i]) * m;
-        const float* src = g + static_cast<int64_t>(i) * m;
-        for (int j = 0; j < m; ++j) dst[j] += src[j];
+      // Scatter-add with repeated target rows: group the gathered rows by
+      // target via a stable counting-sort CSR so each chunk owns a disjoint
+      // range of gx rows — no races, and each row accumulates in the same
+      // ascending order as the sequential loop (bitwise identical). With a
+      // single worker (and no audit forcing chunks) the CSR buys nothing,
+      // so skip its construction and scatter directly.
+      if (NumWorkerThreads() == 1 && !ParallelAuditEnabled()) {
+        for (int i = 0; i < n; ++i) {
+          float* dst = gx + static_cast<int64_t>(idx[i]) * m;
+          const float* src = g + static_cast<int64_t>(i) * m;
+          for (int j = 0; j < m; ++j) dst[j] += src[j];
+        }
+        return;
       }
+      std::vector<int> start, order;
+      BuildScatterCsr(idx, rows, start, order);
+      ParallelFor(rows, [&](int64_t r0, int64_t r1) {
+        AuditWriteRange(gx, r0 * m, r1 * m);
+        for (int64_t r = r0; r < r1; ++r) {
+          float* dst = gx + r * m;
+          for (int e = start[r]; e < start[r + 1]; ++e) {
+            const float* src = g + static_cast<int64_t>(order[e]) * m;
+            for (int j = 0; j < m; ++j) dst[j] += src[j];
+          }
+        }
+      });
     };
   }
   debug::CheckForwardFinite(out);
@@ -716,15 +846,39 @@ Tensor SegmentSum(const Tensor& x, const std::vector<int>& segment,
   for (int s : segment)
     PRIM_CHECK_MSG(0 <= s && s < num_segments,
                    "SegmentSum segment id " << s << " out of " << num_segments);
+  ScopedOpTimer timer("SegmentSum",
+                      4 * (static_cast<int64_t>(n) * m +
+                           static_cast<int64_t>(num_segments) * m));
   bool record = false;
   Tensor out = MakeResult("SegmentSum", num_segments, m, {x}, record);
   const float* xd = x.data();
   float* od = out.data();
-  for (int i = 0; i < n; ++i) {
-    float* dst = od + static_cast<int64_t>(segment[i]) * m;
-    const float* src = xd + static_cast<int64_t>(i) * m;
-    for (int j = 0; j < m; ++j) dst[j] += src[j];
+  // Scatter-add grouped by destination segment so each chunk owns a
+  // disjoint range of output rows. When the caller pre-sorted rows by
+  // segment (model edges are stored dst-sorted for exactly this reason) the
+  // CSR is the identity and reads stay fully sequential in memory; either
+  // way each segment accumulates its rows in ascending input order, bitwise
+  // identical to the sequential scatter loop.
+  const bool sorted = std::is_sorted(segment.begin(), segment.end());
+  std::vector<int> start, order;
+  if (sorted) {
+    start.assign(static_cast<size_t>(num_segments) + 1, 0);
+    for (int s : segment) ++start[s + 1];
+    for (int s = 0; s < num_segments; ++s) start[s + 1] += start[s];
+  } else {
+    BuildScatterCsr(segment, num_segments, start, order);
   }
+  ParallelFor(num_segments, [&](int64_t s0, int64_t s1) {
+    AuditWriteRange(od, s0 * m, s1 * m);
+    for (int64_t s = s0; s < s1; ++s) {
+      float* dst = od + s * m;
+      for (int e = start[s]; e < start[s + 1]; ++e) {
+        const int i = sorted ? e : order[e];
+        const float* src = xd + static_cast<int64_t>(i) * m;
+        for (int j = 0; j < m; ++j) dst[j] += src[j];
+      }
+    }
+  });
   if (record) {
     TensorImpl* xi = x.raw();
     TensorImpl* oi = out.raw();
@@ -759,36 +913,81 @@ Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment,
     PRIM_CHECK_MSG(0 <= s && s < num_segments,
                    "SegmentSoftmax segment id " << s << " out of "
                                                 << num_segments);
+  ScopedOpTimer timer("SegmentSoftmax", 4 * 2 * static_cast<int64_t>(n));
   bool record = false;
   Tensor out = MakeResult("SegmentSoftmax", n, 1, {scores}, record);
   const float* sd = scores.data();
   float* od = out.data();
-  std::vector<float> seg_max(num_segments,
-                             -std::numeric_limits<float>::infinity());
-  for (int i = 0; i < n; ++i)
-    seg_max[segment[i]] = std::max(seg_max[segment[i]], sd[i]);
-  std::vector<double> seg_sum(num_segments, 0.0);
-  for (int i = 0; i < n; ++i) {
-    od[i] = std::exp(sd[i] - seg_max[segment[i]]);
-    seg_sum[segment[i]] += od[i];
+  // With segment ids sorted (the model's dst-sorted edge layout) each
+  // segment is one contiguous range, so segments can be processed in
+  // parallel with disjoint writes; the per-segment max/exp-sum/normalize
+  // order matches the sequential pass exactly. Unsorted input keeps the
+  // sequential scatter path.
+  const bool sorted = std::is_sorted(segment.begin(), segment.end());
+  std::vector<int> start;
+  if (sorted) {
+    start.assign(static_cast<size_t>(num_segments) + 1, 0);
+    for (int s : segment) ++start[s + 1];
+    for (int s = 0; s < num_segments; ++s) start[s + 1] += start[s];
+    ParallelFor(num_segments, [&](int64_t s0, int64_t s1) {
+      AuditWriteRange(od, start[s0], start[s1]);
+      for (int64_t s = s0; s < s1; ++s) {
+        const int lo = start[s], hi = start[s + 1];
+        if (lo == hi) continue;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int i = lo; i < hi; ++i) mx = std::max(mx, sd[i]);
+        double z = 0.0;
+        for (int i = lo; i < hi; ++i) {
+          od[i] = std::exp(sd[i] - mx);
+          z += od[i];
+        }
+        for (int i = lo; i < hi; ++i) od[i] = static_cast<float>(od[i] / z);
+      }
+    });
+  } else {
+    std::vector<float> seg_max(num_segments,
+                               -std::numeric_limits<float>::infinity());
+    for (int i = 0; i < n; ++i)
+      seg_max[segment[i]] = std::max(seg_max[segment[i]], sd[i]);
+    std::vector<double> seg_sum(num_segments, 0.0);
+    for (int i = 0; i < n; ++i) {
+      od[i] = std::exp(sd[i] - seg_max[segment[i]]);
+      seg_sum[segment[i]] += od[i];
+    }
+    for (int i = 0; i < n; ++i)
+      od[i] = static_cast<float>(od[i] / seg_sum[segment[i]]);
   }
-  for (int i = 0; i < n; ++i)
-    od[i] = static_cast<float>(od[i] / seg_sum[segment[i]]);
   if (record) {
     TensorImpl* si = scores.raw();
     TensorImpl* oi = out.raw();
     auto seg = segment;
-    out.impl()->backward_fn = [si, oi, seg = std::move(seg), n,
+    out.impl()->backward_fn = [si, oi, seg = std::move(seg),
+                               start = std::move(start), sorted, n,
                                num_segments]() {
       if (!si->requires_grad) return;
       float* gs = GradBuf(si);
       const float* g = oi->grad.data();
       const float* y = oi->data.data();
       // ds_i = y_i * (g_i - sum_{j in seg} g_j y_j)
-      std::vector<double> seg_dot(num_segments, 0.0);
-      for (int i = 0; i < n; ++i) seg_dot[seg[i]] += static_cast<double>(g[i]) * y[i];
-      for (int i = 0; i < n; ++i)
-        gs[i] += y[i] * (g[i] - static_cast<float>(seg_dot[seg[i]]));
+      if (sorted) {
+        ParallelFor(num_segments, [&](int64_t s0, int64_t s1) {
+          AuditWriteRange(gs, start[s0], start[s1]);
+          for (int64_t s = s0; s < s1; ++s) {
+            const int lo = start[s], hi = start[s + 1];
+            double dot = 0.0;
+            for (int i = lo; i < hi; ++i)
+              dot += static_cast<double>(g[i]) * y[i];
+            for (int i = lo; i < hi; ++i)
+              gs[i] += y[i] * (g[i] - static_cast<float>(dot));
+          }
+        });
+      } else {
+        std::vector<double> seg_dot(num_segments, 0.0);
+        for (int i = 0; i < n; ++i)
+          seg_dot[seg[i]] += static_cast<double>(g[i]) * y[i];
+        for (int i = 0; i < n; ++i)
+          gs[i] += y[i] * (g[i] - static_cast<float>(seg_dot[seg[i]]));
+      }
     };
   }
   debug::CheckForwardFinite(out);
@@ -798,22 +997,25 @@ Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment,
 Tensor RowSoftmax(const Tensor& a) {
   const int n = a.rows(), m = a.cols();
   PRIM_CHECK_MSG(m > 0, "RowSoftmax of " << a.ShapeString());
+  ScopedOpTimer timer("RowSoftmax", 4 * 2 * a.size());
   bool record = false;
   Tensor out = MakeResult("RowSoftmax", n, m, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
-  for (int i = 0; i < n; ++i) {
-    const float* row = ad + static_cast<int64_t>(i) * m;
-    float* orow = od + static_cast<int64_t>(i) * m;
-    float mx = row[0];
-    for (int j = 1; j < m; ++j) mx = std::max(mx, row[j]);
-    double z = 0.0;
-    for (int j = 0; j < m; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      z += orow[j];
+  ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = ad + i * m;
+      float* orow = od + i * m;
+      float mx = row[0];
+      for (int j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (int j = 0; j < m; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        z += orow[j];
+      }
+      for (int j = 0; j < m; ++j) orow[j] = static_cast<float>(orow[j] / z);
     }
-    for (int j = 0; j < m; ++j) orow[j] = static_cast<float>(orow[j] / z);
-  }
+  });
   if (record) {
     TensorImpl* ai = a.raw();
     TensorImpl* oi = out.raw();
@@ -822,15 +1024,18 @@ Tensor RowSoftmax(const Tensor& a) {
       float* ga = GradBuf(ai);
       const float* g = oi->grad.data();
       const float* y = oi->data.data();
-      for (int i = 0; i < n; ++i) {
-        const float* grow = g + static_cast<int64_t>(i) * m;
-        const float* yrow = y + static_cast<int64_t>(i) * m;
-        float* garow = ga + static_cast<int64_t>(i) * m;
-        double dot = 0.0;
-        for (int j = 0; j < m; ++j) dot += static_cast<double>(grow[j]) * yrow[j];
-        for (int j = 0; j < m; ++j)
-          garow[j] += yrow[j] * (grow[j] - static_cast<float>(dot));
-      }
+      ParallelRows(ga, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* grow = g + i * m;
+          const float* yrow = y + i * m;
+          float* garow = ga + i * m;
+          double dot = 0.0;
+          for (int j = 0; j < m; ++j)
+            dot += static_cast<double>(grow[j]) * yrow[j];
+          for (int j = 0; j < m; ++j)
+            garow[j] += yrow[j] * (grow[j] - static_cast<float>(dot));
+        }
+      });
     };
   }
   debug::CheckForwardFinite(out);
@@ -839,19 +1044,24 @@ Tensor RowSoftmax(const Tensor& a) {
 
 Tensor RowL2Normalize(const Tensor& a, float eps) {
   const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("RowL2Normalize", 4 * 2 * a.size());
   bool record = false;
   Tensor out = MakeResult("RowL2Normalize", n, m, {a}, record);
   const float* ad = a.data();
   float* od = out.data();
   std::vector<float> norms(n);
-  for (int i = 0; i < n; ++i) {
-    const float* row = ad + static_cast<int64_t>(i) * m;
-    double s = 0.0;
-    for (int j = 0; j < m; ++j) s += static_cast<double>(row[j]) * row[j];
-    norms[i] = std::max(static_cast<float>(std::sqrt(s)), eps);
-    float* orow = od + static_cast<int64_t>(i) * m;
-    for (int j = 0; j < m; ++j) orow[j] = row[j] / norms[i];
-  }
+  float* nd = norms.data();
+  ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(nd, r0, r1);
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = ad + i * m;
+      double s = 0.0;
+      for (int j = 0; j < m; ++j) s += static_cast<double>(row[j]) * row[j];
+      nd[i] = std::max(static_cast<float>(std::sqrt(s)), eps);
+      float* orow = od + i * m;
+      for (int j = 0; j < m; ++j) orow[j] = row[j] / nd[i];
+    }
+  });
   if (record) {
     TensorImpl* ai = a.raw();
     TensorImpl* oi = out.raw();
@@ -861,15 +1071,19 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
       const float* g = oi->grad.data();
       const float* y = oi->data.data();
       // dx = (g - y (y·g)) / ||x||
-      for (int i = 0; i < n; ++i) {
-        const float* grow = g + static_cast<int64_t>(i) * m;
-        const float* yrow = y + static_cast<int64_t>(i) * m;
-        float* garow = ga + static_cast<int64_t>(i) * m;
-        double dot = 0.0;
-        for (int j = 0; j < m; ++j) dot += static_cast<double>(grow[j]) * yrow[j];
-        for (int j = 0; j < m; ++j)
-          garow[j] += (grow[j] - yrow[j] * static_cast<float>(dot)) / norms[i];
-      }
+      ParallelRows(ga, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* grow = g + i * m;
+          const float* yrow = y + i * m;
+          float* garow = ga + i * m;
+          double dot = 0.0;
+          for (int j = 0; j < m; ++j)
+            dot += static_cast<double>(grow[j]) * yrow[j];
+          for (int j = 0; j < m; ++j)
+            garow[j] +=
+                (grow[j] - yrow[j] * static_cast<float>(dot)) / norms[i];
+        }
+      });
     };
   }
   debug::CheckForwardFinite(out);
@@ -880,6 +1094,7 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
   if (!training || p <= 0.0f) return a;
   PRIM_CHECK_MSG(p < 1.0f, "Dropout p must be < 1, got " << p);
   const int64_t total = a.size();
+  ScopedOpTimer timer("Dropout", 4 * 2 * total);
   bool record = false;
   Tensor out = MakeResult("Dropout", a.rows(), a.cols(), {a}, record);
   const float inv_keep = 1.0f / (1.0f - p);
@@ -911,9 +1126,11 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
   PRIM_CHECK_MSG(static_cast<int>(labels.size()) == n,
                  "BceWithLogits labels size " << labels.size() << " vs logits "
                                               << logits.ShapeString());
+  ScopedOpTimer timer("BceWithLogits", 4 * 2 * static_cast<int64_t>(n));
   bool record = false;
   Tensor out = MakeResult("BceWithLogits", 1, 1, {logits}, record);
   const float* sd = logits.data();
+  // Scalar loss reduction stays sequential (deterministic sum order).
   double acc = 0.0;
   for (int i = 0; i < n; ++i) {
     const float s = sd[i];
@@ -929,18 +1146,20 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
       float* gl = GradBuf(li);
       const float g = oi->grad[0] / static_cast<float>(n);
       const float* s = li->data.data();
-      for (int i = 0; i < n; ++i) {
-        // d/ds BCE = sigmoid(s) - y, computed stably.
-        float sig;
-        if (s[i] >= 0.0f) {
-          float z = std::exp(-s[i]);
-          sig = 1.0f / (1.0f + z);
-        } else {
-          float z = std::exp(s[i]);
-          sig = z / (1.0f + z);
+      ParallelElems(gl, n, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          // d/ds BCE = sigmoid(s) - y, computed stably.
+          float sig;
+          if (s[i] >= 0.0f) {
+            float z = std::exp(-s[i]);
+            sig = 1.0f / (1.0f + z);
+          } else {
+            float z = std::exp(s[i]);
+            sig = z / (1.0f + z);
+          }
+          gl[i] += g * (sig - y[i]);
         }
-        gl[i] += g * (sig - y[i]);
-      }
+      });
     };
   }
   debug::CheckForwardFinite(out);
@@ -957,25 +1176,35 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   for (int l : labels)
     PRIM_CHECK_MSG(0 <= l && l < c,
                    "SoftmaxCrossEntropy label " << l << " out of " << c);
+  ScopedOpTimer timer("SoftmaxCrossEntropy",
+                      4 * 2 * static_cast<int64_t>(n) * c);
   bool record = false;
   Tensor out = MakeResult("SoftmaxCrossEntropy", 1, 1, {logits}, record);
   const float* ld = logits.data();
-  // Cache softmax probabilities for the backward pass.
+  // Cache softmax probabilities for the backward pass. The row-wise softmax
+  // is parallel (disjoint prob rows); the scalar loss reduction stays
+  // sequential so the summation order — and the loss bits — are identical
+  // at any thread count.
   std::vector<float> probs(static_cast<size_t>(n) * c);
-  double acc = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const float* row = ld + static_cast<int64_t>(i) * c;
-    float* prow = probs.data() + static_cast<int64_t>(i) * c;
-    float mx = row[0];
-    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    double z = 0.0;
-    for (int j = 0; j < c; ++j) {
-      prow[j] = std::exp(row[j] - mx);
-      z += prow[j];
+  float* pd = probs.data();
+  ParallelRows(pd, n, c, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = ld + i * c;
+      float* prow = pd + i * c;
+      float mx = row[0];
+      for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (int j = 0; j < c; ++j) {
+        prow[j] = std::exp(row[j] - mx);
+        z += prow[j];
+      }
+      for (int j = 0; j < c; ++j) prow[j] = static_cast<float>(prow[j] / z);
     }
-    for (int j = 0; j < c; ++j) prow[j] = static_cast<float>(prow[j] / z);
-    acc -= std::log(std::max(prow[labels[i]], 1e-12f));
-  }
+  });
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i)
+    acc -= std::log(std::max(pd[static_cast<int64_t>(i) * c + labels[i]],
+                             1e-12f));
   out.data()[0] = static_cast<float>(acc / n);
   if (record) {
     TensorImpl* li = logits.raw();
@@ -986,14 +1215,16 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
       if (!li->requires_grad) return;
       float* gl = GradBuf(li);
       const float g = oi->grad[0] / static_cast<float>(n);
-      for (int i = 0; i < n; ++i) {
-        const float* prow = probs.data() + static_cast<int64_t>(i) * c;
-        float* grow = gl + static_cast<int64_t>(i) * c;
-        for (int j = 0; j < c; ++j) {
-          float delta = (j == lab[i]) ? 1.0f : 0.0f;
-          grow[j] += g * (prow[j] - delta);
+      ParallelRows(gl, n, c, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* prow = probs.data() + i * c;
+          float* grow = gl + i * c;
+          for (int j = 0; j < c; ++j) {
+            float delta = (j == lab[i]) ? 1.0f : 0.0f;
+            grow[j] += g * (prow[j] - delta);
+          }
         }
-      }
+      });
     };
   }
   debug::CheckForwardFinite(out);

@@ -1,10 +1,23 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "nn/profiler.h"
 
 namespace prim::nn {
+namespace {
+
+// Fixed block width for parallel sum-of-squares partials. Partials are
+// indexed by block — not by thread — and reduced sequentially, so the
+// accumulation order (and the resulting float) is identical at any thread
+// count.
+constexpr int64_t kReduceBlock = 4096;
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
   for (const Tensor& p : params_)
@@ -16,12 +29,27 @@ void Optimizer::ZeroGrad() {
 }
 
 float Optimizer::ClipGradNorm(float max_norm) {
+  ScopedOpTimer timer("ClipGradNorm");
   double sq = 0.0;
   for (Tensor& p : params_) {
     if (!p.has_grad()) continue;
     const float* g = p.grad();
     const int64_t total = p.size();
-    for (int64_t i = 0; i < total; ++i) sq += static_cast<double>(g[i]) * g[i];
+    const int64_t blocks = (total + kReduceBlock - 1) / kReduceBlock;
+    std::vector<double> partial(static_cast<size_t>(blocks), 0.0);
+    double* pd = partial.data();
+    ParallelFor(blocks, [&](int64_t b0, int64_t b1) {
+      AuditWriteRange(pd, b0, b1);
+      for (int64_t b = b0; b < b1; ++b) {
+        const int64_t lo = b * kReduceBlock;
+        const int64_t hi = std::min(total, lo + kReduceBlock);
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i)
+          acc += static_cast<double>(g[i]) * g[i];
+        pd[b] = acc;
+      }
+    });
+    for (int64_t b = 0; b < blocks; ++b) sq += pd[b];
   }
   const float norm = static_cast<float>(std::sqrt(sq));
   if (!std::isfinite(norm)) {
@@ -38,7 +66,10 @@ float Optimizer::ClipGradNorm(float max_norm) {
       if (!p.has_grad()) continue;
       float* g = p.grad();
       const int64_t total = p.size();
-      for (int64_t i = 0; i < total; ++i) g[i] *= scale;
+      ParallelFor(total, [&](int64_t i0, int64_t i1) {
+        AuditWriteRange(g, i0, i1);
+        for (int64_t i = i0; i < i1; ++i) g[i] *= scale;
+      });
     }
   }
   return norm;
@@ -48,15 +79,19 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
     : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
 
 void Sgd::Step() {
+  ScopedOpTimer timer("Sgd::Step");
   for (Tensor& p : params_) {
     if (!p.has_grad()) continue;
     float* d = p.data();
     const float* g = p.grad();
     const int64_t total = p.size();
-    for (int64_t i = 0; i < total; ++i) {
-      float grad = g[i] + weight_decay_ * d[i];
-      d[i] -= lr_ * grad;
-    }
+    ParallelFor(total, [&](int64_t i0, int64_t i1) {
+      AuditWriteRange(d, i0, i1);
+      for (int64_t i = i0; i < i1; ++i) {
+        float grad = g[i] + weight_decay_ * d[i];
+        d[i] -= lr_ * grad;
+      }
+    });
   }
 }
 
@@ -77,6 +112,7 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  ScopedOpTimer timer("Adam::Step");
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -88,14 +124,19 @@ void Adam::Step() {
     float* m = m_[pi].data();
     float* v = v_[pi].data();
     const int64_t total = p.size();
-    for (int64_t i = 0; i < total; ++i) {
-      float grad = g[i] + weight_decay_ * d[i];
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
-      const float mhat = m[i] / bc1;
-      const float vhat = v[i] / bc2;
-      d[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    ParallelFor(total, [&](int64_t i0, int64_t i1) {
+      AuditWriteRange(d, i0, i1);
+      AuditWriteRange(m, i0, i1);
+      AuditWriteRange(v, i0, i1);
+      for (int64_t i = i0; i < i1; ++i) {
+        float grad = g[i] + weight_decay_ * d[i];
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+        const float mhat = m[i] / bc1;
+        const float vhat = v[i] / bc2;
+        d[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    });
   }
 }
 

@@ -1,0 +1,101 @@
+#include "nn/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace prim::nn {
+namespace {
+
+bool EnvProfile() {
+  static const bool cached = [] {
+    const char* s = std::getenv("PRIM_PROFILE");
+    return s != nullptr && *s != '\0' && std::strcmp(s, "0") != 0;
+  }();
+  return cached;
+}
+
+std::atomic<bool> g_enabled{false};
+
+struct Row {
+  int64_t calls = 0;
+  double seconds = 0.0;
+  int64_t bytes = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Row> rows;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // Leaked: ops may run at any time.
+  return *r;
+}
+
+}  // namespace
+
+void SetProfilerEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ProfilerEnabled() {
+  return g_enabled.load(std::memory_order_relaxed) || EnvProfile();
+}
+
+void ResetProfiler() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.rows.clear();
+}
+
+void RecordOpSample(const char* op, double seconds, int64_t bytes) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Row& row = r.rows[op];
+  ++row.calls;
+  row.seconds += seconds;
+  row.bytes += bytes;
+}
+
+std::vector<OpProfile> ProfilerSnapshot() {
+  Registry& r = GetRegistry();
+  std::vector<OpProfile> out;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    out.reserve(r.rows.size());
+    for (const auto& [name, row] : r.rows) {
+      out.push_back({name, row.calls, row.seconds, row.bytes});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const OpProfile& a, const OpProfile& b) {
+    return a.seconds > b.seconds;
+  });
+  return out;
+}
+
+std::string FormatProfilerReport() {
+  const std::vector<OpProfile> rows = ProfilerSnapshot();
+  double total = 0.0;
+  for (const OpProfile& p : rows) total += p.seconds;
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %10s %12s %9s %10s\n", "op",
+                "calls", "total_ms", "%time", "GB");
+  out += line;
+  for (const OpProfile& p : rows) {
+    std::snprintf(line, sizeof(line), "%-28s %10lld %12.3f %8.1f%% %10.3f\n",
+                  p.name.c_str(), static_cast<long long>(p.calls),
+                  p.seconds * 1e3,
+                  total > 0.0 ? 100.0 * p.seconds / total : 0.0,
+                  static_cast<double>(p.bytes) / 1e9);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,75 @@
+#ifndef PRIM_NN_PROFILER_H_
+#define PRIM_NN_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prim::nn {
+
+// Lightweight per-op profiler for the autograd hot path.
+//
+// When enabled (SetProfilerEnabled(true), TrainConfig::profile, or the
+// PRIM_PROFILE=1 environment variable), every op records its wall time,
+// call count, and an estimate of bytes touched into a process-wide
+// registry keyed by op name; backward passes are recorded under
+// "<op>/bwd". When disabled — the default — the per-op cost is a single
+// relaxed atomic load.
+//
+// The profiler measures the op bodies themselves, so numbers include any
+// ParallelFor dispatch overhead: exactly the cost a kernel PR wants to see.
+
+/// One aggregated row of the profile.
+struct OpProfile {
+  std::string name;
+  int64_t calls = 0;
+  double seconds = 0.0;
+  int64_t bytes = 0;  // Sum of per-call bytes-touched estimates.
+};
+
+/// Enables or disables profiling process-wide. Cheap to toggle; counters
+/// are not cleared (use ResetProfiler()).
+void SetProfilerEnabled(bool enabled);
+
+/// True when profiling is active (explicitly enabled or PRIM_PROFILE=1).
+bool ProfilerEnabled();
+
+/// Clears all accumulated counters.
+void ResetProfiler();
+
+/// Snapshot of all rows, sorted by total seconds descending.
+std::vector<OpProfile> ProfilerSnapshot();
+
+/// Human-readable table of the snapshot (one row per op).
+std::string FormatProfilerReport();
+
+/// Adds one sample to the row for `op`. Usually called via ScopedOpTimer.
+void RecordOpSample(const char* op, double seconds, int64_t bytes);
+
+/// RAII timer: times its scope and records one sample for `op` on
+/// destruction. No-op (beyond one atomic load) when profiling is off.
+class ScopedOpTimer {
+ public:
+  explicit ScopedOpTimer(const char* op, int64_t bytes = 0)
+      : op_(ProfilerEnabled() ? op : nullptr), bytes_(bytes) {
+    if (op_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedOpTimer() {
+    if (op_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    RecordOpSample(op_, std::chrono::duration<double>(end - start_).count(),
+                   bytes_);
+  }
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+ private:
+  const char* op_;
+  int64_t bytes_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace prim::nn
+
+#endif  // PRIM_NN_PROFILER_H_

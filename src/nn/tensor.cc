@@ -1,11 +1,14 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <string>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "nn/debug.h"
+#include "nn/profiler.h"
 
 namespace prim::nn {
 namespace {
@@ -118,10 +121,24 @@ void Tensor::Backward() {
   impl_->EnsureGrad();
   impl_->grad[0] += 1.0f;
   const bool anomaly = debug::AnomalyModeEnabled();
+  const bool profile = ProfilerEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->backward_fn) {
-      node->backward_fn();
+      if (profile) {
+        // Backward closures don't self-instrument; time them here under
+        // "<op>/bwd" so forward and backward costs line up per op.
+        const auto start = std::chrono::steady_clock::now();
+        node->backward_fn();
+        const auto end = std::chrono::steady_clock::now();
+        const std::string key =
+            std::string(node->op != nullptr ? node->op : "?") + "/bwd";
+        RecordOpSample(key.c_str(),
+                       std::chrono::duration<double>(end - start).count(),
+                       4 * node->size());
+      } else {
+        node->backward_fn();
+      }
       if (anomaly) debug::CheckBackwardFinite(node);
     }
   }

@@ -53,7 +53,11 @@ F1Result EvaluateModel(models::RelationModel& model,
   PRIM_CHECK_MSG(!batch.labels.empty() && batch.labels[0] >= 0,
                  "EvaluateModel needs labelled pairs");
   const std::vector<int> predictions = PredictClasses(model, batch);
-  return MulticlassF1(predictions, batch.labels, model.num_classes());
+  // Macro-F1 averages over the relationship classes only, as in the
+  // paper's Tables 2-3; phi (the last class) still counts toward
+  // micro/accuracy and still appears in per_class_f1.
+  return MulticlassF1(predictions, batch.labels, model.num_classes(),
+                      /*exclude_class=*/model.num_classes() - 1);
 }
 
 }  // namespace prim::train

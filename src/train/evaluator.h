@@ -24,7 +24,10 @@ std::vector<int> PredictClasses(models::RelationModel& model,
                                 const models::PairBatch& batch,
                                 int chunk_size = 8192);
 
-/// PredictClasses + MulticlassF1 against batch.labels.
+/// PredictClasses + MulticlassF1 against batch.labels. Macro-F1 averages
+/// over the relationship classes only (phi, the no-relation class, is
+/// excluded from the macro mean as in the paper's Tables 2-3); micro-F1
+/// and accuracy count every prediction including phi.
 F1Result EvaluateModel(models::RelationModel& model,
                        const models::PairBatch& batch);
 

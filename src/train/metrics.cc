@@ -5,7 +5,8 @@
 namespace prim::train {
 
 F1Result MulticlassF1(const std::vector<int>& predictions,
-                      const std::vector<int>& labels, int num_classes) {
+                      const std::vector<int>& labels, int num_classes,
+                      int exclude_class) {
   PRIM_CHECK_MSG(predictions.size() == labels.size(),
                  "prediction/label size mismatch");
   F1Result result;
@@ -41,6 +42,7 @@ F1Result MulticlassF1(const std::vector<int>& predictions,
                           ? 2.0 * precision * recall / (precision + recall)
                           : 0.0;
     result.per_class_f1[c] = f1;
+    if (c == exclude_class) continue;  // Reported, but not averaged.
     macro_sum += f1;
     ++active_classes;
   }

@@ -16,8 +16,17 @@ struct F1Result {
   std::vector<int> support;  // label count per class
 };
 
+/// Computes micro/macro F1 over `num_classes` classes.
+///
+/// `exclude_class` (when >= 0) names one class to leave out of the MACRO
+/// average only — its predictions still count toward accuracy/micro and
+/// its per_class_f1 entry is still filled in. The paper's Tables 2–3
+/// report F1 over the relationship classes, treating the no-relation class
+/// phi purely as a rejection option, so the evaluator passes the phi id
+/// here; pass -1 to average over every class.
 F1Result MulticlassF1(const std::vector<int>& predictions,
-                      const std::vector<int>& labels, int num_classes);
+                      const std::vector<int>& labels, int num_classes,
+                      int exclude_class = -1);
 
 }  // namespace prim::train
 

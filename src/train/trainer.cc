@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "nn/debug.h"
 #include "nn/ops.h"
+#include "nn/profiler.h"
 #include "train/evaluator.h"
 
 namespace prim::train {
@@ -48,6 +49,7 @@ TrainResult Trainer::Fit(const models::PairBatch* validation) {
   if (!model_.trainable() || !optimizer_) return result;
   std::optional<nn::debug::AnomalyGuard> anomaly;
   if (config_.detect_anomaly) anomaly.emplace();
+  if (config_.profile) nn::SetProfilerEnabled(true);
   const auto t0 = std::chrono::steady_clock::now();
   const auto& dataset = *model_.context().dataset;
   const int num_relations = model_.context().num_relations;
@@ -162,6 +164,12 @@ TrainResult Trainer::Fit(const models::PairBatch* validation) {
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+  if (config_.profile) {
+    nn::SetProfilerEnabled(false);
+    std::fprintf(stderr, "[%s] op profile over %d epochs:\n%s",
+                 model_.name().c_str(), result.epochs_run,
+                 nn::FormatProfilerReport().c_str());
+  }
   return result;
 }
 

@@ -57,6 +57,11 @@ struct TrainConfig {
   /// no gradient (detached subgraphs) to stderr via the gradient-flow
   /// linter (nn::debug::LintGradFlow).
   bool lint_grad_flow = false;
+  /// Enables the per-op profiler (nn::SetProfilerEnabled) for the duration
+  /// of Fit() and prints the report to stderr when training ends. The
+  /// PRIM_PROFILE=1 environment variable enables the same collection
+  /// process-wide without the end-of-fit report.
+  bool profile = false;
 };
 
 struct TrainResult {

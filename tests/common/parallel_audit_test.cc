@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -127,6 +128,34 @@ TEST(ParallelAuditTest, MessagePassingOpsHonorContract) {
     x.ZeroGrad();
     w.ZeroGrad();
   }
+}
+
+// TSan stress target for the thread-count override: SetNumWorkerThreads is
+// hammered from a second thread while ParallelFor regions run. The override
+// is an atomic, so under -DPRIM_SANITIZE=thread this must be race-free; the
+// functional assertion is only that every region still covers all indices
+// exactly once regardless of the count it happened to observe.
+TEST(ParallelAuditTest, ThreadCountOverrideIsRaceFreeUnderStress) {
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    int n = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      SetNumWorkerThreads(n);
+      n = n % 4 + 1;  // Cycle 1..4, including re-entry to single-threaded.
+    }
+  });
+  const int64_t n = 10000;
+  std::vector<int> hits(n);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::fill(hits.begin(), hits.end(), 0);
+    ParallelFor(n, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) ++hits[i];
+    });
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+  }
+  stop.store(true);
+  hammer.join();
+  SetNumWorkerThreads(0);  // Restore the default for later tests.
 }
 
 TEST(ParallelAuditTest, AuditedResultMatchesUnaudited) {

@@ -108,7 +108,7 @@ TEST_P(GridIndexPropertyTest, MatchesBruteForce) {
       std::vector<int> got = index.NeighborsOf(id, radius);
       std::vector<int> expected;
       for (int j = 0; j < n; ++j)
-        if (j != id && HaversineKm(points[id], points[j]) < radius)
+        if (j != id && HaversineKm(points[id], points[j]) <= radius)
           expected.push_back(j);
       EXPECT_EQ(got, expected) << "radius " << radius << " id " << id;
     }
@@ -126,12 +126,15 @@ TEST(GridIndexTest, EmptyAndSinglePoint) {
   EXPECT_EQ(one.RadiusQuery(GeoPoint{116.4001, 39.9001}, 5.0).size(), 1u);
 }
 
-TEST(GridIndexTest, RadiusIsExclusive) {
+TEST(GridIndexTest, RadiusBoundaryIsInclusive) {
+  // Regression: Definition 3.1 uses dist <= d. A point at exactly the query
+  // radius must be returned (a strict `<` used to drop it silently).
   LocalProjector proj(GeoPoint{116.4, 39.9});
   std::vector<GeoPoint> points{proj.ToGeo(0, 0), proj.ToGeo(1.0, 0.0)};
   GridIndex index(points, 0.5);
   const double d = HaversineKm(points[0], points[1]);
-  EXPECT_TRUE(index.NeighborsOf(0, d * 0.999).empty());
+  EXPECT_TRUE(index.NeighborsOf(0, std::nextafter(d, 0.0)).empty());
+  EXPECT_EQ(index.NeighborsOf(0, d).size(), 1u);  // Exactly at the boundary.
   EXPECT_EQ(index.NeighborsOf(0, d * 1.001).size(), 1u);
 }
 

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -250,6 +251,35 @@ TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllOps, GradCheckTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+// Same sweep under the disjoint-write audit with a forced multi-thread
+// override: every parallelized forward/backward kernel must both claim its
+// writes correctly (the audit aborts otherwise) and still produce gradients
+// that match finite differences.
+class AuditedGradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(AuditedGradCheckTest, AnalyticMatchesNumericUnderAudit) {
+  const GradCase& gc = GetParam();
+  SetNumWorkerThreads(4);
+  {
+    prim::ParallelAuditScope scope;
+    for (uint64_t seed : {11u, 22u}) {
+      Rng rng(seed);
+      std::vector<Tensor> params;
+      std::function<Tensor()> forward;
+      gc.build(rng, &params, &forward);
+      const double err = prim::testing::MaxGradError(forward, params);
+      EXPECT_LT(err, 2e-2) << gc.name << " seed " << seed;
+    }
+  }
+  SetNumWorkerThreads(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AuditedGradCheckTest, ::testing::ValuesIn(AllCases()),
     [](const ::testing::TestParamInfo<GradCase>& info) {
       return info.param.name;
     });

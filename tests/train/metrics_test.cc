@@ -39,6 +39,31 @@ TEST(MetricsTest, PredictedButAbsentClassDragsMacro) {
   EXPECT_NEAR(r.macro_f1, (1.0 + 0.0 + 0.0) / 3.0, 1e-12);
 }
 
+TEST(MetricsTest, ExcludeClassLeavesMicroAndPerClassIntact) {
+  // Same confusion as HandComputedMixedCase; excluding class 2 from the
+  // macro mean must not change micro/accuracy or per_class_f1.
+  F1Result r = MulticlassF1({0, 1, 1, 1, 2, 2}, {0, 0, 1, 1, 1, 2}, 3,
+                            /*exclude_class=*/2);
+  EXPECT_NEAR(r.micro_f1, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(r.macro_f1, 2.0 / 3.0, 1e-12);  // Mean over classes 0 and 1.
+  EXPECT_NEAR(r.per_class_f1[2], 2.0 / 3.0, 1e-12);  // Still reported.
+}
+
+TEST(MetricsTest, ExcludeClassChangesMacroWhenClassDiffers) {
+  // labels:    0 0 1  predicted: 0 0 0
+  // class 0: tp=2 fp=1 fn=0 -> F1 = 0.8; class 1: tp=0 -> F1 = 0.
+  F1Result all = MulticlassF1({0, 0, 0}, {0, 0, 1}, 2);
+  EXPECT_NEAR(all.macro_f1, (0.8 + 0.0) / 2.0, 1e-12);
+  F1Result ex = MulticlassF1({0, 0, 0}, {0, 0, 1}, 2, /*exclude_class=*/1);
+  EXPECT_NEAR(ex.macro_f1, 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(ex.micro_f1, all.micro_f1);
+}
+
+TEST(MetricsTest, ExcludedAbsentClassDoesNotCrash) {
+  F1Result r = MulticlassF1({0, 1}, {0, 1}, 3, /*exclude_class=*/2);
+  EXPECT_DOUBLE_EQ(r.macro_f1, 1.0);
+}
+
 TEST(MetricsTest, AllWrong) {
   F1Result r = MulticlassF1({1, 0}, {0, 1}, 2);
   EXPECT_DOUBLE_EQ(r.micro_f1, 0.0);
