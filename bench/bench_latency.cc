@@ -8,16 +8,25 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "core/prim_index.h"
 #include "core/prim_model.h"
+#include "io/model_io.h"
 #include "train/experiment.h"
 
 namespace {
 
 using namespace prim;
+
+// --checkpoint=<file>: reuse a trained snapshot across runs. A loadable
+// file skips the Fit() below entirely (parameters restored, index taken
+// from the file); a missing file is created after training so the next run
+// is instant.
+std::string g_checkpoint_path;  // NOLINT(runtime/string)
 
 struct Serving {
   data::PoiDataset dataset;
@@ -37,11 +46,25 @@ Serving& GetServing() {
     Rng rng(1);
     serving->model = std::make_unique<core::PrimModel>(
         serving->data.ctx, config.prim, rng);
+
+    io::ModelCheckpoint restored;
+    if (!g_checkpoint_path.empty() &&
+        io::LoadModelCheckpoint(g_checkpoint_path, &restored).ok &&
+        serving->model->LoadStateDict(restored.params).empty() &&
+        restored.index != nullptr) {
+      serving->index = std::move(restored.index);
+      return serving;
+    }
     train::Trainer trainer(*serving->model, serving->data.split.train,
                            *serving->data.full_graph, config.trainer);
     trainer.Fit(nullptr);
     serving->index = std::make_unique<core::PrimIndex>(
         core::PrimIndex::Build(*serving->model));
+    if (!g_checkpoint_path.empty()) {
+      io::SaveTrainedModel(g_checkpoint_path, *serving->model, "PRIM",
+                           &config.prim, serving->index.get(),
+                           serving->dataset);
+    }
     return serving;
   }();
   return *s;
@@ -98,4 +121,20 @@ BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --checkpoint=<file> before google-benchmark sees (and rejects) it.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kPrefix[] = "--checkpoint=";
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0)
+      g_checkpoint_path = argv[i] + sizeof(kPrefix) - 1;
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Serving-path benchmark: trains a tiny PRIM, snapshots it through a real
+// checkpoint file, loads a RelationshipServer from it, and measures
+//   * ClassifyBatch latency at batch sizes 1 / 16 / 256 (per-pair cost
+//     shrinks with batch size as the worker pool amortises), and
+//   * TopKRelated cold (grid query + full candidate scoring) vs cached
+//     (LRU hit) — the cached path should be well over 5x faster.
+// Results go to BENCH_serving.json and are echoed to stdout for CI logs.
+//
+//   --scale=tiny|small|paper   workload size (default tiny)
+//   --epochs=N                 training epochs (default 30)
+//   --seed=N                   workload seed
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "io/model_io.h"
+#include "serve/relationship_server.h"
+#include "train/experiment.h"
+
+namespace {
+
+using namespace prim;
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ClassifyRow {
+  int batch_size = 0;
+  int batches = 0;
+  double mean_batch_ms = 0.0;
+  double pairs_per_sec = 0.0;
+};
+
+ClassifyRow TimeClassify(serve::RelationshipServer& server, int batch_size,
+                         int batches) {
+  const int n = server.num_pois();
+  ClassifyRow row;
+  row.batch_size = batch_size;
+  row.batches = batches;
+  std::vector<serve::RelationshipServer::Classification> results;
+  double total_ms = 0.0;
+  uint64_t q = 1;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(batch_size);
+    for (int p = 0; p < batch_size; ++p, ++q) {
+      const int i = static_cast<int>(q * 2654435761u % n);
+      int j = static_cast<int>((q * 40503u + 7) % n);
+      if (j == i) j = (j + 1) % n;
+      pairs.emplace_back(i, j);
+    }
+    const auto t0 = Clock::now();
+    server.ClassifyBatch(pairs, &results);
+    total_ms += MsSince(t0);
+  }
+  row.mean_batch_ms = total_ms / batches;
+  row.pairs_per_sec = batches * batch_size / (total_ms / 1e3);
+  return row;
+}
+
+struct TopKResult {
+  int queries = 0;
+  double cold_ms = 0.0;    // Mean per query, empty cache.
+  double cached_ms = 0.0;  // Mean per query, second pass over same keys.
+  double speedup = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+TopKResult TimeTopK(serve::RelationshipServer& server, int queries,
+                    double radius_km, int k) {
+  const int n = server.num_pois();
+  TopKResult result;
+  result.queries = queries;
+  std::vector<serve::RelationshipServer::RelatedPoi> related;
+  server.ResetStats();  // Also clears the cache: first pass is all misses.
+  double cold_ms = 0.0;
+  for (int q = 0; q < queries; ++q) {
+    const int i = q * 131 % n;
+    const auto t0 = Clock::now();
+    server.TopKRelated(i, radius_km, k, &related);
+    cold_ms += MsSince(t0);
+  }
+  double cached_ms = 0.0;
+  for (int q = 0; q < queries; ++q) {
+    const int i = q * 131 % n;
+    const auto t0 = Clock::now();
+    server.TopKRelated(i, radius_km, k, &related);
+    cached_ms += MsSince(t0);
+  }
+  result.cold_ms = cold_ms / queries;
+  result.cached_ms = cached_ms / queries;
+  result.speedup = result.cached_ms > 0.0 ? result.cold_ms / result.cached_ms
+                                          : 0.0;
+  const serve::RelationshipServer::Stats stats = server.stats();
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  return result;
+}
+
+void WriteJson(FILE* f, int num_pois, const std::vector<ClassifyRow>& classify,
+               const TopKResult& topk) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_serving\",\n");
+  fprintf(f, "  \"pois\": %d,\n", num_pois);
+  fprintf(f, "  \"classify\": [\n");
+  for (size_t i = 0; i < classify.size(); ++i) {
+    const ClassifyRow& row = classify[i];
+    fprintf(f,
+            "    {\"batch_size\": %d, \"batches\": %d, "
+            "\"mean_batch_ms\": %.4f, \"pairs_per_sec\": %.0f}%s\n",
+            row.batch_size, row.batches, row.mean_batch_ms,
+            row.pairs_per_sec, i + 1 < classify.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n");
+  fprintf(f, "  \"topk\": {\n");
+  fprintf(f, "    \"queries\": %d,\n", topk.queries);
+  fprintf(f, "    \"cold_ms\": %.4f,\n", topk.cold_ms);
+  fprintf(f, "    \"cached_ms\": %.4f,\n", topk.cached_ms);
+  fprintf(f, "    \"cached_speedup\": %.1f,\n", topk.speedup);
+  fprintf(f, "    \"cache_hits\": %llu,\n",
+          static_cast<unsigned long long>(topk.cache_hits));
+  fprintf(f, "    \"cache_misses\": %llu\n",
+          static_cast<unsigned long long>(topk.cache_misses));
+  fprintf(f, "  }\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  config.trainer.epochs = flags.epochs > 0 ? flags.epochs : 30;
+  config.trainer.verbose = false;
+
+  fprintf(stderr, "bench_serving: training PRIM...\n");
+  data::PoiDataset dataset = data::MakeBeijing(flags.scale);
+  train::ExperimentData data =
+      train::PrepareExperiment(dataset, 0.6, config);
+  Rng rng(flags.seed ? flags.seed : 1);
+  core::PrimModel model(data.ctx, config.prim, rng);
+  train::Trainer trainer(model, data.split.train, *data.full_graph,
+                         config.trainer);
+  trainer.Fit(nullptr);
+  core::PrimIndex index = core::PrimIndex::Build(model);
+
+  // Serve from an actual checkpoint file so the measured path is the one
+  // production would run: save -> load -> answer.
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "bench_serving.ckpt")
+          .string();
+  if (io::Result r = io::SaveTrainedModel(ckpt, model, "PRIM", &config.prim,
+                                          &index, dataset);
+      !r) {
+    fprintf(stderr, "bench_serving: save failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  serve::RelationshipServer::Options options;
+  options.cache_capacity = 4096;
+  std::unique_ptr<serve::RelationshipServer> server;
+  if (io::Result r = serve::RelationshipServer::Load(ckpt, options, &server);
+      !r) {
+    fprintf(stderr, "bench_serving: load failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::error_code ec;
+  std::filesystem::remove(ckpt, ec);
+
+  std::vector<ClassifyRow> classify;
+  for (const auto& [batch_size, batches] :
+       {std::pair<int, int>{1, 512}, {16, 128}, {256, 32}}) {
+    fprintf(stderr, "bench_serving: classify batch=%d...\n", batch_size);
+    classify.push_back(TimeClassify(*server, batch_size, batches));
+  }
+  fprintf(stderr, "bench_serving: topk cold vs cached...\n");
+  const TopKResult topk =
+      TimeTopK(*server, /*queries=*/256, /*radius_km=*/2.0, /*k=*/10);
+
+  const char* path = "BENCH_serving.json";
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench_serving: cannot open %s for writing\n", path);
+    return 1;
+  }
+  WriteJson(f, server->num_pois(), classify, topk);
+  fclose(f);
+  fprintf(stderr, "bench_serving: wrote %s (cached topk %.1fx faster)\n",
+          path, topk.speedup);
+  WriteJson(stdout, server->num_pois(), classify, topk);
+  return 0;
+}

@@ -6,9 +6,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "core/prim_index.h"
+#include "core/prim_model.h"
 #include "data/presets.h"
+#include "io/model_io.h"
 #include "nn/ops.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
@@ -69,9 +73,50 @@ int main(int argc, char** argv) {
   Rng rng(config.seed * 7919 + 13);
   auto model =
       train::MakeModel(model_name, data.ctx, config, rng, &data.validation);
-  train::Trainer trainer(*model, data.split.train, *data.full_graph,
-                         config.trainer);
-  const train::TrainResult fit = trainer.Fit(&data.validation);
+
+  // --checkpoint=<file>: restore trained parameters and skip Fit();
+  // --save=<file>: snapshot the trained model (for PRIM, with its serving
+  // index, POI locations, and relation names — a self-contained file that
+  // prim_serve can load).
+  const std::string load_path = FlagValue(argc, argv, "checkpoint", "");
+  const std::string save_path = FlagValue(argc, argv, "save", "");
+  train::TrainResult fit;
+  if (!load_path.empty()) {
+    io::ModelCheckpoint checkpoint;
+    if (io::Result r = io::LoadModelCheckpoint(load_path, &checkpoint); !r) {
+      std::fprintf(stderr, "cannot load '%s': %s\n", load_path.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+    if (const std::string err = model->LoadStateDict(checkpoint.params);
+        !err.empty()) {
+      std::fprintf(stderr, "checkpoint '%s' does not fit model %s: %s\n",
+                   load_path.c_str(), model_name.c_str(), err.c_str());
+      return 1;
+    }
+    std::printf("restored %zu tensors from %s; skipping training\n",
+                checkpoint.params.size(), load_path.c_str());
+  } else {
+    train::Trainer trainer(*model, data.split.train, *data.full_graph,
+                           config.trainer);
+    fit = trainer.Fit(&data.validation);
+  }
+  if (!save_path.empty()) {
+    auto* prim = dynamic_cast<core::PrimModel*>(model.get());
+    std::unique_ptr<core::PrimIndex> index;
+    if (prim != nullptr)
+      index = std::make_unique<core::PrimIndex>(core::PrimIndex::Build(*prim));
+    if (io::Result r = io::SaveTrainedModel(
+            save_path, *model, model_name,
+            prim != nullptr ? &config.prim : nullptr, index.get(), city);
+        !r) {
+      std::fprintf(stderr, "cannot save '%s': %s\n", save_path.c_str(),
+                   r.error.c_str());
+      return 1;
+    }
+    std::printf("saved %s checkpoint to %s\n", model_name.c_str(),
+                save_path.c_str());
+  }
   const train::F1Result f1 = train::EvaluateModel(*model, data.test);
   std::printf(
       "\n%s: test micro-F1 %.3f macro-F1 %.3f  (per-class:",

@@ -9,8 +9,10 @@ DistanceScorer::DistanceScorer(const PrimConfig& config, int rel_dim,
                                int num_classes, Rng& rng)
     : config_(config) {
   hyperplanes_ =
-      RegisterParameter(nn::XavierUniform(config.num_bins(), config.dim, rng));
-  w_rel_proj_ = RegisterParameter(nn::XavierUniform(rel_dim, config.dim, rng));
+      RegisterParameter(nn::XavierUniform(config.num_bins(), config.dim, rng),
+                        "hyperplanes");
+  w_rel_proj_ = RegisterParameter(nn::XavierUniform(rel_dim, config.dim, rng),
+                                  "w_rel_proj");
   (void)num_classes;
 }
 

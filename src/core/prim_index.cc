@@ -34,6 +34,34 @@ PrimIndex PrimIndex::Build(PrimModel& model) {
   return index;
 }
 
+PrimIndex PrimIndex::FromParts(const PrimConfig& config, int num_nodes,
+                               int num_classes, int dim,
+                               std::vector<float> embeddings,
+                               std::vector<float> relations,
+                               std::vector<float> hyperplanes) {
+  PRIM_CHECK_MSG(
+      embeddings.size() == static_cast<size_t>(num_nodes) * dim,
+      "PrimIndex embeddings size " << embeddings.size() << " != "
+                                   << num_nodes << "x" << dim);
+  PRIM_CHECK_MSG(
+      relations.size() == static_cast<size_t>(num_classes) * dim,
+      "PrimIndex relations size " << relations.size() << " != " << num_classes
+                                  << "x" << dim);
+  PRIM_CHECK_MSG(
+      hyperplanes.size() == static_cast<size_t>(config.num_bins()) * dim,
+      "PrimIndex hyperplanes size " << hyperplanes.size() << " != "
+                                    << config.num_bins() << "x" << dim);
+  PrimIndex index;
+  index.config_ = config;
+  index.num_nodes_ = num_nodes;
+  index.num_classes_ = num_classes;
+  index.dim_ = dim;
+  index.embeddings_ = std::move(embeddings);
+  index.relations_ = std::move(relations);
+  index.hyperplanes_ = std::move(hyperplanes);
+  return index;
+}
+
 void PrimIndex::Query(int i, int j, float dist_km, bool project,
                       float* out_scores) const {
   PRIM_CHECK(0 <= i && i < num_nodes_ && 0 <= j && j < num_nodes_);

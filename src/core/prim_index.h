@@ -29,9 +29,23 @@ class PrimIndex {
   /// Argmax class for pair (i, j); the last class is the non-relation phi.
   int PredictRelation(int i, int j, float dist_km, bool project = true) const;
 
+  /// Reassembles an index from its serialized parts (io/model_io.h) —
+  /// the inverse of the embeddings()/relations()/hyperplanes() accessors.
+  /// Checks that every buffer has the size implied by the dimensions.
+  static PrimIndex FromParts(const PrimConfig& config, int num_nodes,
+                             int num_classes, int dim,
+                             std::vector<float> embeddings,
+                             std::vector<float> relations,
+                             std::vector<float> hyperplanes);
+
   int num_nodes() const { return num_nodes_; }
   int num_classes() const { return num_classes_; }
   int dim() const { return dim_; }
+  const PrimConfig& config() const { return config_; }
+  /// Raw materialised buffers (row-major), exposed for serialization.
+  const std::vector<float>& embeddings() const { return embeddings_; }
+  const std::vector<float>& relations() const { return relations_; }
+  const std::vector<float>& hyperplanes() const { return hyperplanes_; }
 
  private:
   PrimIndex() = default;

@@ -13,16 +13,17 @@ PrimModel::PrimModel(const models::ModelContext& ctx,
       taxonomy_(ctx, config.tax_dim, config.use_taxonomy_path, rng),
       spatial_(ctx, config.dim, rng),
       scorer_(config_, config.dim + config.tax_dim, num_classes(), rng) {
-  RegisterModule(&taxonomy_);
-  RegisterModule(&spatial_);
-  RegisterModule(&scorer_);
-  w_input_ =
-      RegisterParameter(nn::XavierUniform(ctx.attrs.cols(), config.dim, rng));
+  RegisterModule(&taxonomy_, "taxonomy");
+  RegisterModule(&spatial_, "spatial");
+  RegisterModule(&scorer_, "scorer");
+  w_input_ = RegisterParameter(
+      nn::XavierUniform(ctx.attrs.cols(), config.dim, rng), "w_input");
   rel_embeddings_ = RegisterParameter(
-      nn::XavierUniform(num_classes(), config.dim + config.tax_dim, rng));
+      nn::XavierUniform(num_classes(), config.dim + config.tax_dim, rng),
+      "rel_embeddings");
   for (int l = 0; l < config.layers; ++l) {
     layers_.push_back(std::make_unique<WrgnnLayer>(ctx, config_, rng));
-    RegisterModule(layers_.back().get());
+    RegisterModule(layers_.back().get(), "layers." + std::to_string(l));
   }
 }
 

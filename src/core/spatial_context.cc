@@ -10,9 +10,9 @@ namespace prim::core {
 SpatialContextExtractor::SpatialContextExtractor(
     const models::ModelContext& ctx, int dim, Rng& rng)
     : ctx_(ctx), dim_(dim) {
-  w_q_ = RegisterParameter(nn::XavierUniform(dim, dim, rng));
-  w_k_ = RegisterParameter(nn::XavierUniform(dim, dim, rng));
-  w_v_ = RegisterParameter(nn::XavierUniform(dim, dim, rng));
+  w_q_ = RegisterParameter(nn::XavierUniform(dim, dim, rng), "w_q");
+  w_k_ = RegisterParameter(nn::XavierUniform(dim, dim, rng), "w_k");
+  w_v_ = RegisterParameter(nn::XavierUniform(dim, dim, rng), "w_v");
   rbf_ = nn::Tensor::Zeros(ctx.spatial.size(), 1);
   for (int e = 0; e < ctx.spatial.size(); ++e)
     rbf_.data()[e] = ctx.spatial_rbf[e];

@@ -10,7 +10,7 @@ TaxonomyEncoder::TaxonomyEncoder(const models::ModelContext& ctx, int tax_dim,
     : ctx_(ctx), tax_dim_(tax_dim), use_path_(use_path) {
   const int rows =
       use_path ? ctx.num_taxonomy_nodes : std::max(1, ctx.num_categories);
-  table_ = RegisterParameter(nn::XavierUniform(rows, tax_dim, rng));
+  table_ = RegisterParameter(nn::XavierUniform(rows, tax_dim, rng), "table");
 }
 
 nn::Tensor TaxonomyEncoder::Forward() const {

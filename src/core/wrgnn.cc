@@ -14,22 +14,27 @@ WrgnnLayer::WrgnnLayer(const models::ModelContext& ctx,
   PRIM_CHECK_MSG(config.dim % config.heads == 0,
                  "dim must be divisible by heads");
   head_dim_ = config.dim / config.heads;
-  w_att_ = RegisterParameter(nn::XavierUniform(d_aug_, config.att_dim, rng));
-  w_dist_ =
-      RegisterParameter(nn::XavierUniform(3, config.dist_feat_dim, rng));
+  w_att_ = RegisterParameter(nn::XavierUniform(d_aug_, config.att_dim, rng),
+                             "w_att");
+  w_dist_ = RegisterParameter(nn::XavierUniform(3, config.dist_feat_dim, rng),
+                              "w_dist");
   const int att_in = 2 * config.att_dim +
                      (config.use_attention_distance ? config.dist_feat_dim : 0);
   for (int k = 0; k < config.heads; ++k) {
     w_msg_.push_back(
-        RegisterParameter(nn::XavierUniform(d_aug_, head_dim_, rng)));
+        RegisterParameter(nn::XavierUniform(d_aug_, head_dim_, rng),
+                          "w_msg." + std::to_string(k)));
     w_self_.push_back(
-        RegisterParameter(nn::XavierUniform(d_aug_, head_dim_, rng)));
+        RegisterParameter(nn::XavierUniform(d_aug_, head_dim_, rng),
+                          "w_self." + std::to_string(k)));
   }
   attn_.resize(ctx.num_relations);
   for (int r = 0; r < ctx.num_relations; ++r)
     for (int k = 0; k < config.heads; ++k)
-      attn_[r].push_back(RegisterParameter(nn::XavierUniform(att_in, 1, rng)));
-  w_rel_ = RegisterParameter(nn::XavierUniform(d_aug_, d_aug_, rng));
+      attn_[r].push_back(RegisterParameter(
+          nn::XavierUniform(att_in, 1, rng),
+          "attn." + std::to_string(r) + "." + std::to_string(k)));
+  w_rel_ = RegisterParameter(nn::XavierUniform(d_aug_, d_aug_, rng), "w_rel");
   for (int r = 0; r < ctx.num_relations; ++r)
     dist_features_.push_back(
         models::DistanceFeatures(ctx.rel_edges[r].dist_km));

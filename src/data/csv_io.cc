@@ -25,6 +25,7 @@ bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory) {
   {
     std::ofstream out(dir / "meta.csv");
     if (!out) return false;
+    out.precision(17);  // Round-trip exact doubles (spatial_threshold_km).
     out << "name," << dataset.name << "\n";
     out << "generator_seed," << dataset.generator_seed << "\n";
     out << "num_relations," << dataset.num_relations << "\n";

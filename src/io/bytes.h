@@ -1,0 +1,110 @@
+#ifndef PRIM_IO_BYTES_H_
+#define PRIM_IO_BYTES_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace prim::io {
+
+// Fixed-width little-endian scalar codec used by every checkpoint section.
+// The library only targets little-endian hosts (x86-64, AArch64); the
+// static_assert turns a port to a big-endian machine into a compile error
+// instead of silently unreadable checkpoints.
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint format assumes a little-endian host");
+
+/// Append-only byte buffer with typed writers. Strings are length-prefixed
+/// (u32 + raw bytes), vectors are count-prefixed (u64 + elements).
+class ByteWriter {
+ public:
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+  void Raw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+  template <typename T>
+  void Scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Raw(&v, sizeof(T));
+  }
+  void U8(uint8_t v) { Scalar(v); }
+  void U32(uint32_t v) { Scalar(v); }
+  void U64(uint64_t v) { Scalar(v); }
+  void I32(int32_t v) { Scalar(v); }
+  void F32(float v) { Scalar(v); }
+  void F64(double v) { Scalar(v); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void F32Vec(const std::vector<float>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(float));
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked sequential reader over a byte span. Every read returns
+/// false (without advancing past the end) when the buffer is too short, so
+/// decoders can surface "truncated section" errors instead of crashing.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), size_(n) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  bool Raw(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+  template <typename T>
+  bool Scalar(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Raw(out, sizeof(T));
+  }
+  bool U8(uint8_t* out) { return Scalar(out); }
+  bool U32(uint32_t* out) { return Scalar(out); }
+  bool U64(uint64_t* out) { return Scalar(out); }
+  bool I32(int32_t* out) { return Scalar(out); }
+  bool F32(float* out) { return Scalar(out); }
+  bool F64(double* out) { return Scalar(out); }
+  bool Str(std::string* out) {
+    uint32_t n = 0;
+    if (!U32(&n) || remaining() < n) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool F32Vec(std::vector<float>* out) {
+    uint64_t n = 0;
+    if (!U64(&n) || remaining() < n * sizeof(float)) return false;
+    out->resize(n);
+    return Raw(out->data(), n * sizeof(float));
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace prim::io
+
+#endif  // PRIM_IO_BYTES_H_

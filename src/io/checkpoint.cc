@@ -1,0 +1,133 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "io/bytes.h"
+#include "io/crc32.h"
+
+namespace prim::io {
+
+void CheckpointWriter::AddSection(const std::string& name,
+                                  std::vector<uint8_t> payload) {
+  sections_.push_back({name, std::move(payload)});
+}
+
+Result CheckpointWriter::Finish(const std::string& path) {
+  ByteWriter w;
+  w.Raw(kCheckpointMagic, sizeof(kCheckpointMagic));
+  w.U32(kCheckpointVersion);
+  w.U32(static_cast<uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    w.Str(s.name);
+    w.U64(s.payload.size());
+    w.U32(Crc32(s.payload.data(), s.payload.size()));
+    w.Raw(s.payload.data(), s.payload.size());
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return Result::Fail("cannot open '" + tmp + "' for writing");
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.bytes().size()));
+    if (!out)
+      return Result::Fail("short write to '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Result::Fail("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Result::Ok();
+}
+
+Result CheckpointReader::Open(const std::string& path,
+                              CheckpointReader* reader) {
+  *reader = CheckpointReader();
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Result::Fail("cannot open checkpoint '" + path + "'");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  reader->file_.resize(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(reader->file_.data()), size))
+    return Result::Fail("cannot read checkpoint '" + path + "'");
+
+  ByteReader r(reader->file_);
+  char magic[sizeof(kCheckpointMagic)];
+  if (!r.Raw(magic, sizeof(magic)))
+    return Result::Fail("'" + path + "' is too short to be a checkpoint (" +
+                        std::to_string(reader->file_.size()) + " bytes)");
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
+    return Result::Fail("'" + path +
+                        "' is not a PRIM checkpoint (bad magic)");
+  uint32_t version = 0, count = 0;
+  if (!r.U32(&version) || !r.U32(&count))
+    return Result::Fail("'" + path + "': truncated checkpoint header");
+  if (version != kCheckpointVersion)
+    return Result::Fail("'" + path + "': unsupported checkpoint format version " +
+                        std::to_string(version) + " (this build reads version " +
+                        std::to_string(kCheckpointVersion) + ")");
+
+  for (uint32_t i = 0; i < count; ++i) {
+    Section s;
+    uint64_t payload_len = 0;
+    if (!r.Str(&s.name) || !r.U64(&payload_len) || !r.U32(&s.crc))
+      return Result::Fail("'" + path + "': truncated header of section " +
+                          std::to_string(i) + " of " + std::to_string(count));
+    if (r.remaining() < payload_len)
+      return Result::Fail(
+          "'" + path + "': truncated checkpoint: section '" + s.name +
+          "' declares " + std::to_string(payload_len) + " bytes but only " +
+          std::to_string(r.remaining()) + " remain");
+    s.offset = reader->file_.size() - r.remaining();
+    s.size = static_cast<size_t>(payload_len);
+    r.Skip(s.size);  // Bounds already checked above.
+    reader->sections_.push_back(std::move(s));
+  }
+  if (!r.AtEnd())
+    return Result::Fail("'" + path + "': " + std::to_string(r.remaining()) +
+                        " trailing bytes after the last section");
+  return Result::Ok();
+}
+
+bool CheckpointReader::HasSection(const std::string& name) const {
+  for (const Section& s : sections_)
+    if (s.name == name) return true;
+  return false;
+}
+
+std::vector<std::string> CheckpointReader::SectionNames() const {
+  std::vector<std::string> names;
+  for (const Section& s : sections_) names.push_back(s.name);
+  return names;
+}
+
+Result CheckpointReader::Read(const std::string& name,
+                              std::vector<uint8_t>* out) const {
+  for (const Section& s : sections_) {
+    if (s.name != name) continue;
+    const uint32_t crc = Crc32(file_.data() + s.offset, s.size);
+    if (crc != s.crc)
+      return Result::Fail("CRC mismatch in section '" + name +
+                          "': stored 0x" + [](uint32_t v) {
+                            char buf[9];
+                            std::snprintf(buf, sizeof(buf), "%08x", v);
+                            return std::string(buf);
+                          }(s.crc) + ", computed 0x" + [](uint32_t v) {
+                            char buf[9];
+                            std::snprintf(buf, sizeof(buf), "%08x", v);
+                            return std::string(buf);
+                          }(crc) + " — the checkpoint is corrupted");
+    out->assign(file_.begin() + static_cast<ptrdiff_t>(s.offset),
+                file_.begin() + static_cast<ptrdiff_t>(s.offset + s.size));
+    return Result::Ok();
+  }
+  return Result::Fail("checkpoint has no section '" + name + "'");
+}
+
+}  // namespace prim::io

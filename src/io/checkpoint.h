@@ -1,0 +1,82 @@
+#ifndef PRIM_IO_CHECKPOINT_H_
+#define PRIM_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prim::io {
+
+/// Outcome of an I/O operation. Unlike the library's PRIM_CHECK invariants,
+/// checkpoint files come from outside the process (disk corruption, version
+/// skew, wrong file), so failures are reported as values with a message
+/// naming the offending section or tensor — never as a crash.
+struct Result {
+  bool ok = true;
+  std::string error;
+
+  static Result Ok() { return {}; }
+  static Result Fail(std::string message) { return {false, std::move(message)}; }
+  explicit operator bool() const { return ok; }
+};
+
+// On-disk layout (all integers little-endian; see DESIGN.md "Checkpoints &
+// serving" for the rationale):
+//
+//   file    := magic[8]="PRIMCKPT"  u32 version  u32 section_count  section*
+//   section := u32 name_len  name bytes  u64 payload_len
+//              u32 crc32(payload)  payload bytes
+//
+// Sections are named, ordered, and independently checksummed; readers look
+// them up by name so future writers can append new sections without
+// breaking old readers. A version bump is reserved for layout changes old
+// readers cannot skip over.
+inline constexpr char kCheckpointMagic[8] = {'P', 'R', 'I', 'M',
+                                             'C', 'K', 'P', 'T'};
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Accumulates named sections in memory and writes the whole checkpoint in
+/// Finish(). Checkpoints are small (model parameters + materialised index,
+/// a few MB at paper scale), so buffering keeps the writer trivially
+/// atomic: a failed Finish() leaves no half-written file behind (content is
+/// first written to "<path>.tmp", then renamed).
+class CheckpointWriter {
+ public:
+  void AddSection(const std::string& name, std::vector<uint8_t> payload);
+  Result Finish(const std::string& path);
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Parses a checkpoint into memory. Open() validates the magic, version,
+/// and section framing (so truncation is caught immediately); the
+/// per-section CRC is validated by Read(), which therefore names the
+/// corrupted section in its error.
+class CheckpointReader {
+ public:
+  static Result Open(const std::string& path, CheckpointReader* reader);
+
+  bool HasSection(const std::string& name) const;
+  std::vector<std::string> SectionNames() const;
+  /// Copies the payload of `name` into `out` after verifying its CRC.
+  Result Read(const std::string& name, std::vector<uint8_t>* out) const;
+
+ private:
+  struct Section {
+    std::string name;
+    uint32_t crc = 0;
+    size_t offset = 0;  // Into file_.
+    size_t size = 0;
+  };
+  std::vector<uint8_t> file_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace prim::io
+
+#endif  // PRIM_IO_CHECKPOINT_H_

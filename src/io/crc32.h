@@ -1,0 +1,17 @@
+#ifndef PRIM_IO_CRC32_H_
+#define PRIM_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prim::io {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `n` bytes.
+/// `seed` chains multiple buffers: Crc32(b, nb, Crc32(a, na)) equals the
+/// CRC of a||b. Used as the per-section integrity check of the checkpoint
+/// format (see checkpoint.h).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace prim::io
+
+#endif  // PRIM_IO_CRC32_H_

@@ -1,0 +1,275 @@
+#include "io/model_io.h"
+
+#include "io/bytes.h"
+
+namespace prim::io {
+namespace {
+
+// --- PrimConfig ------------------------------------------------------------
+
+void EncodePrimConfig(const core::PrimConfig& c, ByteWriter* w) {
+  w->I32(c.dim);
+  w->I32(c.tax_dim);
+  w->I32(c.layers);
+  w->I32(c.heads);
+  w->I32(c.att_dim);
+  w->I32(c.dist_feat_dim);
+  w->F32(c.leaky_alpha);
+  w->U8(static_cast<uint8_t>(c.gamma));
+  w->U8(c.use_taxonomy_path ? 1 : 0);
+  w->U8(c.use_spatial_context ? 1 : 0);
+  w->U8(c.use_distance_projection ? 1 : 0);
+  w->U8(c.use_attention_distance ? 1 : 0);
+  w->U32(static_cast<uint32_t>(c.bin_edges_km.size()));
+  for (float e : c.bin_edges_km) w->F32(e);
+}
+
+bool DecodePrimConfig(ByteReader* r, core::PrimConfig* c) {
+  uint8_t gamma = 0, tax = 0, spatial = 0, proj = 0, attdist = 0;
+  uint32_t num_edges = 0;
+  if (!r->I32(&c->dim) || !r->I32(&c->tax_dim) || !r->I32(&c->layers) ||
+      !r->I32(&c->heads) || !r->I32(&c->att_dim) ||
+      !r->I32(&c->dist_feat_dim) || !r->F32(&c->leaky_alpha) ||
+      !r->U8(&gamma) || !r->U8(&tax) || !r->U8(&spatial) || !r->U8(&proj) ||
+      !r->U8(&attdist) || !r->U32(&num_edges)) {
+    return false;
+  }
+  c->gamma = static_cast<core::GammaOp>(gamma);
+  c->use_taxonomy_path = tax != 0;
+  c->use_spatial_context = spatial != 0;
+  c->use_distance_projection = proj != 0;
+  c->use_attention_distance = attdist != 0;
+  c->bin_edges_km.resize(num_edges);
+  for (uint32_t i = 0; i < num_edges; ++i)
+    if (!r->F32(&c->bin_edges_km[i])) return false;
+  return true;
+}
+
+// --- Section payload builders ---------------------------------------------
+
+std::vector<uint8_t> EncodeMeta(const std::map<std::string, std::string>& m) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(m.size()));
+  for (const auto& [key, value] : m) {
+    w.Str(key);
+    w.Str(value);
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeParams(const std::vector<nn::StateEntry>& params) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(params.size()));
+  for (const nn::StateEntry& e : params) {
+    w.Str(e.name);
+    w.I32(e.rows);
+    w.I32(e.cols);
+    w.F32Vec(e.data);
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeIndex(const core::PrimIndex& index) {
+  ByteWriter w;
+  EncodePrimConfig(index.config(), &w);
+  w.I32(index.num_nodes());
+  w.I32(index.num_classes());
+  w.I32(index.dim());
+  w.F32Vec(index.embeddings());
+  w.F32Vec(index.relations());
+  w.F32Vec(index.hyperplanes());
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeGeo(const std::vector<geo::GeoPoint>& points) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(points.size()));
+  for (const geo::GeoPoint& p : points) {
+    w.F64(p.lon);
+    w.F64(p.lat);
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeLabels(const std::vector<std::string>& names) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(names.size()));
+  for (const std::string& n : names) w.Str(n);
+  return w.Take();
+}
+
+Result TruncatedSection(const char* section) {
+  return Result::Fail(std::string("section '") + section +
+                      "' is truncated or malformed");
+}
+
+// --- Section payload decoders ---------------------------------------------
+
+Result DecodeMeta(const std::vector<uint8_t>& bytes,
+                  std::map<std::string, std::string>* out) {
+  ByteReader r(bytes);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedSection(kSectionMeta);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key, value;
+    if (!r.Str(&key) || !r.Str(&value)) return TruncatedSection(kSectionMeta);
+    (*out)[key] = value;
+  }
+  return Result::Ok();
+}
+
+Result DecodeParams(const std::vector<uint8_t>& bytes,
+                    std::vector<nn::StateEntry>* out) {
+  ByteReader r(bytes);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedSection(kSectionParams);
+  for (uint32_t i = 0; i < count; ++i) {
+    nn::StateEntry e;
+    if (!r.Str(&e.name))
+      return Result::Fail("section 'params': cannot read the name of tensor " +
+                          std::to_string(i) + " of " + std::to_string(count));
+    if (!r.I32(&e.rows) || !r.I32(&e.cols) || !r.F32Vec(&e.data))
+      return Result::Fail("section 'params': tensor '" + e.name +
+                          "' is truncated");
+    if (e.rows < 0 || e.cols < 0 ||
+        e.data.size() !=
+            static_cast<uint64_t>(e.rows) * static_cast<uint64_t>(e.cols))
+      return Result::Fail("section 'params': tensor '" + e.name + "' declares " +
+                          std::to_string(e.rows) + "x" +
+                          std::to_string(e.cols) + " but carries " +
+                          std::to_string(e.data.size()) + " values");
+    out->push_back(std::move(e));
+  }
+  return Result::Ok();
+}
+
+Result DecodeIndex(const std::vector<uint8_t>& bytes,
+                   std::unique_ptr<core::PrimIndex>* out) {
+  ByteReader r(bytes);
+  core::PrimConfig config;
+  int32_t num_nodes = 0, num_classes = 0, dim = 0;
+  std::vector<float> embeddings, relations, hyperplanes;
+  if (!DecodePrimConfig(&r, &config) || !r.I32(&num_nodes) ||
+      !r.I32(&num_classes) || !r.I32(&dim) || !r.F32Vec(&embeddings) ||
+      !r.F32Vec(&relations) || !r.F32Vec(&hyperplanes)) {
+    return TruncatedSection(kSectionIndex);
+  }
+  if (num_nodes < 0 || num_classes < 0 || dim < 0 ||
+      embeddings.size() != static_cast<uint64_t>(num_nodes) * dim ||
+      relations.size() != static_cast<uint64_t>(num_classes) * dim ||
+      hyperplanes.size() != static_cast<uint64_t>(config.num_bins()) * dim) {
+    return Result::Fail(
+        "section 'index': buffer sizes do not match the declared dimensions");
+  }
+  *out = std::make_unique<core::PrimIndex>(core::PrimIndex::FromParts(
+      config, num_nodes, num_classes, dim, std::move(embeddings),
+      std::move(relations), std::move(hyperplanes)));
+  return Result::Ok();
+}
+
+Result DecodeGeo(const std::vector<uint8_t>& bytes,
+                 std::vector<geo::GeoPoint>* out) {
+  ByteReader r(bytes);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedSection(kSectionGeo);
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i)
+    if (!r.F64(&(*out)[i].lon) || !r.F64(&(*out)[i].lat))
+      return TruncatedSection(kSectionGeo);
+  return Result::Ok();
+}
+
+Result DecodeLabels(const std::vector<uint8_t>& bytes,
+                    std::vector<std::string>* out) {
+  ByteReader r(bytes);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedSection(kSectionLabels);
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i)
+    if (!r.Str(&(*out)[i])) return TruncatedSection(kSectionLabels);
+  return Result::Ok();
+}
+
+}  // namespace
+
+Result SaveModelCheckpoint(const std::string& path,
+                           const ModelCheckpoint& checkpoint) {
+  CheckpointWriter writer;
+  if (!checkpoint.meta.empty())
+    writer.AddSection(kSectionMeta, EncodeMeta(checkpoint.meta));
+  if (checkpoint.has_config) {
+    ByteWriter w;
+    EncodePrimConfig(checkpoint.config, &w);
+    writer.AddSection(kSectionConfig, w.Take());
+  }
+  if (!checkpoint.params.empty())
+    writer.AddSection(kSectionParams, EncodeParams(checkpoint.params));
+  if (checkpoint.index != nullptr)
+    writer.AddSection(kSectionIndex, EncodeIndex(*checkpoint.index));
+  if (!checkpoint.points.empty())
+    writer.AddSection(kSectionGeo, EncodeGeo(checkpoint.points));
+  if (!checkpoint.relation_names.empty())
+    writer.AddSection(kSectionLabels, EncodeLabels(checkpoint.relation_names));
+  return writer.Finish(path);
+}
+
+Result LoadModelCheckpoint(const std::string& path, ModelCheckpoint* out) {
+  *out = ModelCheckpoint();
+  CheckpointReader reader;
+  if (Result r = CheckpointReader::Open(path, &reader); !r) return r;
+
+  std::vector<uint8_t> bytes;
+  if (reader.HasSection(kSectionMeta)) {
+    if (Result r = reader.Read(kSectionMeta, &bytes); !r) return r;
+    if (Result r = DecodeMeta(bytes, &out->meta); !r) return r;
+  }
+  if (reader.HasSection(kSectionConfig)) {
+    if (Result r = reader.Read(kSectionConfig, &bytes); !r) return r;
+    ByteReader br(bytes);
+    if (!DecodePrimConfig(&br, &out->config))
+      return TruncatedSection(kSectionConfig);
+    out->has_config = true;
+  }
+  if (reader.HasSection(kSectionParams)) {
+    if (Result r = reader.Read(kSectionParams, &bytes); !r) return r;
+    if (Result r = DecodeParams(bytes, &out->params); !r) return r;
+  }
+  if (reader.HasSection(kSectionIndex)) {
+    if (Result r = reader.Read(kSectionIndex, &bytes); !r) return r;
+    if (Result r = DecodeIndex(bytes, &out->index); !r) return r;
+  }
+  if (reader.HasSection(kSectionGeo)) {
+    if (Result r = reader.Read(kSectionGeo, &bytes); !r) return r;
+    if (Result r = DecodeGeo(bytes, &out->points); !r) return r;
+  }
+  if (reader.HasSection(kSectionLabels)) {
+    if (Result r = reader.Read(kSectionLabels, &bytes); !r) return r;
+    if (Result r = DecodeLabels(bytes, &out->relation_names); !r) return r;
+  }
+  return Result::Ok();
+}
+
+Result SaveTrainedModel(const std::string& path, const nn::Module& model,
+                        const std::string& model_name,
+                        const core::PrimConfig* config,
+                        const core::PrimIndex* index,
+                        const data::PoiDataset& dataset) {
+  ModelCheckpoint checkpoint;
+  checkpoint.meta["model"] = model_name;
+  checkpoint.meta["dataset"] = dataset.name;
+  checkpoint.meta["num_pois"] = std::to_string(dataset.num_pois());
+  checkpoint.meta["num_relations"] = std::to_string(dataset.num_relations);
+  if (config != nullptr) {
+    checkpoint.has_config = true;
+    checkpoint.config = *config;
+  }
+  checkpoint.params = model.StateDict();
+  if (index != nullptr)
+    checkpoint.index = std::make_unique<core::PrimIndex>(*index);
+  checkpoint.points.reserve(dataset.pois.size());
+  for (const data::Poi& p : dataset.pois) checkpoint.points.push_back(p.location);
+  checkpoint.relation_names = dataset.relation_names;
+  return SaveModelCheckpoint(path, checkpoint);
+}
+
+}  // namespace prim::io

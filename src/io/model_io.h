@@ -1,0 +1,66 @@
+#ifndef PRIM_IO_MODEL_IO_H_
+#define PRIM_IO_MODEL_IO_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prim_config.h"
+#include "core/prim_index.h"
+#include "data/dataset.h"
+#include "geo/point.h"
+#include "io/checkpoint.h"
+#include "nn/module.h"
+
+namespace prim::io {
+
+// Well-known section names of a model checkpoint. A checkpoint carries any
+// subset: a trainer snapshot needs "config" + "params"; a serving snapshot
+// needs "index" + "geo" + "labels" (self-contained — no trainer, dataset,
+// or model construction required to answer queries).
+inline constexpr const char* kSectionMeta = "meta";       // key/value strings
+inline constexpr const char* kSectionConfig = "config";   // PrimConfig
+inline constexpr const char* kSectionParams = "params";   // named tensors
+inline constexpr const char* kSectionIndex = "index";     // PrimIndex
+inline constexpr const char* kSectionGeo = "geo";         // POI locations
+inline constexpr const char* kSectionLabels = "labels";   // relation names
+
+/// In-memory form of a model checkpoint: whichever sections were present
+/// (or should be written). `index` is null when the checkpoint has no
+/// "index" section; `points`, `relation_names`, and `params` are empty when
+/// their sections are absent.
+struct ModelCheckpoint {
+  std::map<std::string, std::string> meta;
+  bool has_config = false;
+  core::PrimConfig config;
+  std::vector<nn::StateEntry> params;
+  std::unique_ptr<core::PrimIndex> index;
+  std::vector<geo::GeoPoint> points;
+  std::vector<std::string> relation_names;
+};
+
+/// Writes every populated field of `checkpoint` as one section each.
+Result SaveModelCheckpoint(const std::string& path,
+                           const ModelCheckpoint& checkpoint);
+
+/// Reads every section present in the file at `path`; absent sections leave
+/// their fields default. Fails (naming the section) on framing errors, CRC
+/// mismatches, and undecodable payloads.
+Result LoadModelCheckpoint(const std::string& path, ModelCheckpoint* out);
+
+/// Convenience: snapshots a trained model (+ optionally its serving index)
+/// against its dataset into one self-contained checkpoint file. The
+/// dataset contributes POI locations and relation names so a server can be
+/// started from the file alone; `config` is the PrimConfig the model was
+/// built with (pass null for non-PRIM models, which have no config
+/// section).
+Result SaveTrainedModel(const std::string& path, const nn::Module& model,
+                        const std::string& model_name,
+                        const core::PrimConfig* config,
+                        const core::PrimIndex* index,
+                        const data::PoiDataset& dataset);
+
+}  // namespace prim::io
+
+#endif  // PRIM_IO_MODEL_IO_H_

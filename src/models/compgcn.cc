@@ -10,16 +10,17 @@ CompGcnModel::CompGcnModel(const ModelContext& ctx, const ModelConfig& config,
                            Rng& rng)
     : RelationModel(ctx),
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng) {
-  RegisterModule(&features_);
-  rel_embeddings_ =
-      RegisterParameter(nn::XavierUniform(num_classes(), config.dim, rng));
+  RegisterModule(&features_, "features");
+  rel_embeddings_ = RegisterParameter(
+      nn::XavierUniform(num_classes(), config.dim, rng), "rel_embeddings");
   for (int l = 0; l < config.layers; ++l) {
-    w_msg_.push_back(
-        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
-    w_self_.push_back(
-        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
-    w_rel_.push_back(
-        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+    const std::string p = "layers." + std::to_string(l) + ".";
+    w_msg_.push_back(RegisterParameter(
+        nn::XavierUniform(config.dim, config.dim, rng), p + "w_msg"));
+    w_self_.push_back(RegisterParameter(
+        nn::XavierUniform(config.dim, config.dim, rng), p + "w_self"));
+    w_rel_.push_back(RegisterParameter(
+        nn::XavierUniform(config.dim, config.dim, rng), p + "w_rel"));
   }
   for (int r = 0; r < ctx.num_relations; ++r)
     rel_norm_.push_back(MeanEdgeNorm(ctx.rel_edges[r], ctx.num_nodes));

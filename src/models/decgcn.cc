@@ -10,7 +10,7 @@ DecGcnModel::DecGcnModel(const ModelContext& ctx, const ModelConfig& config,
     : RelationModel(ctx),
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
       dim_(config.dim) {
-  RegisterModule(&features_);
+  RegisterModule(&features_, "features");
   towers_.resize(ctx.num_relations);
   for (int r = 0; r < ctx.num_relations; ++r) {
     rel_edges_self_.push_back(WithSelfLoops(ctx.rel_edges[r], ctx.num_nodes));
@@ -18,13 +18,16 @@ DecGcnModel::DecGcnModel(const ModelContext& ctx, const ModelConfig& config,
     for (int l = 0; l < config.layers; ++l) {
       towers_[r].push_back(
           std::make_unique<GcnLayer>(config.dim, config.dim, rng));
-      RegisterModule(towers_[r].back().get());
+      RegisterModule(towers_[r].back().get(), "towers." + std::to_string(r) +
+                                                  "." + std::to_string(l));
     }
   }
-  w_co_ = RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng));
+  w_co_ = RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng),
+                            "w_co");
   for (int c = 0; c < num_classes(); ++c)
     rel_score_.push_back(
-        RegisterParameter(nn::XavierUniform(config.dim, 1, rng)));
+        RegisterParameter(nn::XavierUniform(config.dim, 1, rng),
+                          "rel_score." + std::to_string(c)));
 }
 
 nn::Tensor DecGcnModel::EncodeNodes(bool /*training*/) {

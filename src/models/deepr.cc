@@ -12,8 +12,8 @@ DeepRModel::DeepRModel(const ModelContext& ctx, const ModelConfig& config,
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
       sectors_(config.deepr_sectors),
       scorer_(num_classes(), config.dim, rng) {
-  RegisterModule(&features_);
-  RegisterModule(&scorer_);
+  RegisterModule(&features_, "features");
+  RegisterModule(&scorer_, "scorer");
   sector_edges_.resize(ctx.num_relations,
                        std::vector<FlatEdges>(sectors_));
   sector_norm_.resize(ctx.num_relations);
@@ -34,13 +34,15 @@ DeepRModel::DeepRModel(const ModelContext& ctx, const ModelConfig& config,
           MeanEdgeNorm(sector_edges_[r][g], ctx.num_nodes));
   }
   for (int l = 0; l < config.layers; ++l) {
+    const std::string p = "layers." + std::to_string(l) + ".";
     std::vector<nn::Tensor> layer_w;
     for (int g = 0; g < sectors_; ++g)
       layer_w.push_back(
-          RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+          RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng),
+                            p + "w_sector." + std::to_string(g)));
     w_sector_.push_back(std::move(layer_w));
-    w_self_.push_back(
-        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+    w_self_.push_back(RegisterParameter(
+        nn::XavierUniform(config.dim, config.dim, rng), p + "w_self"));
   }
 }
 

@@ -6,8 +6,8 @@
 namespace prim::models {
 
 DistMultScorer::DistMultScorer(int num_classes, int dim, Rng& rng) {
-  class_embeddings_ =
-      RegisterParameter(nn::XavierUniform(num_classes, dim, rng));
+  class_embeddings_ = RegisterParameter(
+      nn::XavierUniform(num_classes, dim, rng), "class_embeddings");
 }
 
 nn::Tensor DistMultScorer::Score(const nn::Tensor& node_embeddings,

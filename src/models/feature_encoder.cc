@@ -10,13 +10,15 @@ NodeFeatureEncoder::NodeFeatureEncoder(const ModelContext& ctx, int dim,
     : ctx_(ctx), dim_(dim), use_taxonomy_path_(use_taxonomy_path) {
   if (use_taxonomy_path_) {
     taxonomy_table_ = RegisterParameter(
-        nn::XavierUniform(ctx.num_taxonomy_nodes, dim, rng));
+        nn::XavierUniform(ctx.num_taxonomy_nodes, dim, rng),
+        "taxonomy_table");
   } else {
     category_table_ = RegisterParameter(
-        nn::XavierUniform(std::max(1, ctx.num_categories), dim, rng));
+        nn::XavierUniform(std::max(1, ctx.num_categories), dim, rng),
+        "category_table");
   }
-  attr_weight_ =
-      RegisterParameter(nn::XavierUniform(ctx.attrs.cols(), dim, rng));
+  attr_weight_ = RegisterParameter(
+      nn::XavierUniform(ctx.attrs.cols(), dim, rng), "attr_weight");
 }
 
 nn::Tensor NodeFeatureEncoder::Forward() const {

@@ -8,12 +8,12 @@ GatModel::GatModel(const ModelContext& ctx, const ModelConfig& config,
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
       scorer_(num_classes(), config.dim, rng),
       edges_(WithSelfLoops(ctx.union_edges, ctx.num_nodes)) {
-  RegisterModule(&features_);
-  RegisterModule(&scorer_);
+  RegisterModule(&features_, "features");
+  RegisterModule(&scorer_, "scorer");
   for (int l = 0; l < config.layers; ++l) {
     layers_.push_back(std::make_unique<GatLayer>(
         config.dim, config.dim, config.heads, config.leaky_alpha, rng));
-    RegisterModule(layers_.back().get());
+    RegisterModule(layers_.back().get(), "layers." + std::to_string(l));
   }
 }
 

@@ -9,11 +9,11 @@ GcnModel::GcnModel(const ModelContext& ctx, const ModelConfig& config,
       scorer_(num_classes(), config.dim, rng),
       edges_(WithSelfLoops(ctx.union_edges, ctx.num_nodes)),
       norm_(GcnEdgeNorm(edges_, ctx.num_nodes)) {
-  RegisterModule(&features_);
-  RegisterModule(&scorer_);
+  RegisterModule(&features_, "features");
+  RegisterModule(&scorer_, "scorer");
   for (int l = 0; l < config.layers; ++l) {
     layers_.push_back(std::make_unique<GcnLayer>(config.dim, config.dim, rng));
-    RegisterModule(layers_.back().get());
+    RegisterModule(layers_.back().get(), "layers." + std::to_string(l));
   }
 }
 

@@ -68,9 +68,10 @@ GatLayer::GatLayer(int in_dim, int out_dim, int heads, float leaky_alpha,
                                                   << heads << " heads");
   head_dim_ = out_dim / heads;
   for (int k = 0; k < heads; ++k) {
-    w_.push_back(RegisterParameter(nn::XavierUniform(in_dim, head_dim_, rng)));
-    attn_.push_back(
-        RegisterParameter(nn::XavierUniform(2 * head_dim_, 1, rng)));
+    w_.push_back(RegisterParameter(nn::XavierUniform(in_dim, head_dim_, rng),
+                                   "w." + std::to_string(k)));
+    attn_.push_back(RegisterParameter(nn::XavierUniform(2 * head_dim_, 1, rng),
+                                      "attn." + std::to_string(k)));
   }
 }
 
@@ -94,7 +95,8 @@ nn::Tensor GatLayer::Forward(const nn::Tensor& h, const FlatEdges& edges,
 }
 
 GcnLayer::GcnLayer(int in_dim, int out_dim, Rng& rng) {
-  weight_ = RegisterParameter(nn::XavierUniform(in_dim, out_dim, rng));
+  weight_ = RegisterParameter(nn::XavierUniform(in_dim, out_dim, rng),
+                              "weight");
 }
 
 nn::Tensor GcnLayer::Forward(const nn::Tensor& h, const FlatEdges& edges,

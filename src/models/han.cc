@@ -10,8 +10,8 @@ HanModel::HanModel(const ModelContext& ctx, const ModelConfig& config,
     : RelationModel(ctx),
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
       scorer_(num_classes(), config.dim, rng) {
-  RegisterModule(&features_);
-  RegisterModule(&scorer_);
+  RegisterModule(&features_, "features");
+  RegisterModule(&scorer_, "scorer");
   towers_.resize(ctx.num_relations);
   for (int r = 0; r < ctx.num_relations; ++r) {
     rel_edges_self_.push_back(
@@ -19,12 +19,15 @@ HanModel::HanModel(const ModelContext& ctx, const ModelConfig& config,
     for (int l = 0; l < config.layers; ++l) {
       towers_[r].push_back(std::make_unique<GatLayer>(
           config.dim, config.dim, config.heads, config.leaky_alpha, rng));
-      RegisterModule(towers_[r].back().get());
+      RegisterModule(towers_[r].back().get(), "towers." + std::to_string(r) +
+                                                  "." + std::to_string(l));
     }
   }
-  sem_w_ = RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng));
-  sem_b_ = RegisterParameter(nn::Tensor::Zeros(1, config.dim, true));
-  sem_q_ = RegisterParameter(nn::XavierUniform(config.dim, 1, rng));
+  sem_w_ = RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng),
+                             "sem_w");
+  sem_b_ = RegisterParameter(nn::Tensor::Zeros(1, config.dim, true), "sem_b");
+  sem_q_ =
+      RegisterParameter(nn::XavierUniform(config.dim, 1, rng), "sem_q");
 }
 
 nn::Tensor HanModel::EncodeNodes(bool /*training*/) {

@@ -13,18 +13,24 @@ HgtModel::HgtModel(const ModelContext& ctx, const ModelConfig& config,
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
       scorer_(num_classes(), config.dim, rng),
       dim_(config.dim) {
-  RegisterModule(&features_);
-  RegisterModule(&scorer_);
+  RegisterModule(&features_, "features");
+  RegisterModule(&scorer_, "scorer");
   for (int l = 0; l < config.layers; ++l) {
     Layer layer;
-    layer.w_q = RegisterParameter(nn::XavierUniform(dim_, dim_, rng));
+    const std::string p = "layers." + std::to_string(l) + ".";
+    layer.w_q =
+        RegisterParameter(nn::XavierUniform(dim_, dim_, rng), p + "w_q");
     for (int r = 0; r < ctx.num_relations; ++r) {
-      layer.w_k.push_back(RegisterParameter(nn::XavierUniform(dim_, dim_, rng)));
-      layer.w_v.push_back(RegisterParameter(nn::XavierUniform(dim_, dim_, rng)));
+      layer.w_k.push_back(RegisterParameter(nn::XavierUniform(dim_, dim_, rng),
+                                            p + "w_k." + std::to_string(r)));
+      layer.w_v.push_back(RegisterParameter(nn::XavierUniform(dim_, dim_, rng),
+                                            p + "w_v." + std::to_string(r)));
     }
-    layer.w_out = RegisterParameter(nn::XavierUniform(dim_, dim_, rng));
+    layer.w_out =
+        RegisterParameter(nn::XavierUniform(dim_, dim_, rng), p + "w_out");
     layer.mu = RegisterParameter(
-        nn::Tensor::Full(ctx.num_relations, 1, 1.0f, /*requires_grad=*/true));
+        nn::Tensor::Full(ctx.num_relations, 1, 1.0f, /*requires_grad=*/true),
+        p + "mu");
     layers_.push_back(std::move(layer));
   }
   for (int r = 0; r < ctx.num_relations; ++r) {

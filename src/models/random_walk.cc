@@ -140,10 +140,10 @@ RandomWalkModel::RandomWalkModel(const ModelContext& ctx,
   SgnsEmbedder embedder(ctx, options, rng);
   embeddings_ = embedder.Fit();
   const int d = config.dim;
-  w1_ = RegisterParameter(nn::XavierUniform(2 * d, d, rng));
-  b1_ = RegisterParameter(nn::Tensor::Zeros(1, d, true));
-  w2_ = RegisterParameter(nn::XavierUniform(d, num_classes(), rng));
-  b2_ = RegisterParameter(nn::Tensor::Zeros(1, num_classes(), true));
+  w1_ = RegisterParameter(nn::XavierUniform(2 * d, d, rng), "w1");
+  b1_ = RegisterParameter(nn::Tensor::Zeros(1, d, true), "b1");
+  w2_ = RegisterParameter(nn::XavierUniform(d, num_classes(), rng), "w2");
+  b2_ = RegisterParameter(nn::Tensor::Zeros(1, num_classes(), true), "b2");
 }
 
 nn::Tensor RandomWalkModel::EncodeNodes(bool /*training*/) {

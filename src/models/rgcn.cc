@@ -10,16 +10,19 @@ RgcnModel::RgcnModel(const ModelContext& ctx, const ModelConfig& config,
     : RelationModel(ctx),
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
       scorer_(num_classes(), config.dim, rng) {
-  RegisterModule(&features_);
-  RegisterModule(&scorer_);
+  RegisterModule(&features_, "features");
+  RegisterModule(&scorer_, "scorer");
   for (int l = 0; l < config.layers; ++l) {
+    const std::string p = "layers." + std::to_string(l) + ".";
     std::vector<nn::Tensor> layer_weights;
     for (int r = 0; r < ctx.num_relations; ++r)
       layer_weights.push_back(
-          RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+          RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng),
+                            p + "w_rel." + std::to_string(r)));
     weights_.push_back(std::move(layer_weights));
     self_.push_back(
-        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng)));
+        RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng),
+                          p + "w_self"));
   }
   for (int r = 0; r < ctx.num_relations; ++r)
     rel_norm_.push_back(MeanEdgeNorm(ctx.rel_edges[r], ctx.num_nodes));

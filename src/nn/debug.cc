@@ -1,7 +1,10 @@
 #include "nn/debug.h"
 
+#include <cctype>
 #include <cmath>
+#include <cstring>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/check.h"
 
@@ -97,6 +100,72 @@ std::vector<GradFlowIssue> LintGradFlow(const std::vector<Tensor>& params) {
     issues.push_back(std::move(issue));
   }
   return issues;
+}
+
+namespace {
+
+// True when a hierarchical-name segment is one of the fallbacks Module
+// synthesises for unnamed registrations ("param<i>" / "module<i>").
+bool IsSynthesisedSegment(const std::string& segment) {
+  for (const char* prefix : {"param", "module"}) {
+    const size_t len = std::strlen(prefix);
+    if (segment.size() > len && segment.compare(0, len, prefix) == 0) {
+      bool digits = true;
+      for (size_t i = len; i < segment.size(); ++i)
+        digits = digits && std::isdigit(static_cast<unsigned char>(segment[i]));
+      if (digits) return true;
+    }
+  }
+  return false;
+}
+
+bool HasSynthesisedSegment(const std::string& name) {
+  size_t begin = 0;
+  while (begin <= name.size()) {
+    size_t end = name.find('.', begin);
+    if (end == std::string::npos) end = name.size();
+    if (IsSynthesisedSegment(name.substr(begin, end - begin))) return true;
+    begin = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ParamNameIssue> LintParameterNames(const Module& module) {
+  std::vector<ParamNameIssue> issues;
+  std::unordered_map<std::string, int> counts;
+  const std::vector<NamedParameter> named = module.NamedParameters();
+  for (const NamedParameter& np : named) ++counts[np.name];
+  for (const NamedParameter& np : named) {
+    ParamNameIssue issue;
+    issue.name = np.name;
+    issue.shape = ShapeOf(np.tensor.raw());
+    if (HasSynthesisedSegment(np.name)) {
+      issue.kind = ParamNameIssue::Kind::kUnnamed;
+      issues.push_back(std::move(issue));
+    } else if (counts[np.name] > 1) {
+      issue.kind = ParamNameIssue::Kind::kDuplicate;
+      issues.push_back(std::move(issue));
+    }
+  }
+  return issues;
+}
+
+std::string FormatParamNameReport(const std::vector<ParamNameIssue>& issues) {
+  if (issues.empty()) return "";
+  std::ostringstream oss;
+  oss << "parameter-name lint: " << issues.size()
+      << " parameter(s) cannot be checkpointed by name:\n";
+  for (const ParamNameIssue& issue : issues) {
+    oss << "  - " << issue.name << " (" << issue.shape << "): "
+        << (issue.kind == ParamNameIssue::Kind::kUnnamed
+                ? "registered without a name — pass a name to "
+                  "RegisterParameter/RegisterModule"
+                : "hierarchical name collides with another parameter")
+        << "\n";
+  }
+  return oss.str();
 }
 
 std::string FormatGradFlowReport(const std::vector<GradFlowIssue>& issues) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/module.h"
 #include "nn/tensor.h"
 
 /// Opt-in correctness tooling for the autograd stack, modeled on
@@ -72,6 +73,31 @@ std::vector<GradFlowIssue> LintGradFlow(const std::vector<Tensor>& params);
 /// Renders issues as a multi-line human-readable report; empty string when
 /// `issues` is empty.
 std::string FormatGradFlowReport(const std::vector<GradFlowIssue>& issues);
+
+/// One parameter-naming finding. Checkpointing (io/checkpoint.h) keys every
+/// parameter by its hierarchical name, so a parameter registered without a
+/// name — or two parameters resolving to the same name — would make a
+/// checkpoint ambiguous. The serialization path refuses such modules; this
+/// linter reports them with enough context to fix the registration.
+struct ParamNameIssue {
+  enum class Kind {
+    kUnnamed,    // RegisterParameter/RegisterModule without a name.
+    kDuplicate,  // Two parameters share one hierarchical name.
+  };
+  std::string name;   // Hierarchical name (synthesised for unnamed ones).
+  std::string shape;  // "RxC".
+  Kind kind = Kind::kUnnamed;
+};
+
+/// Inspects a module tree and reports every parameter whose hierarchical
+/// name is synthesised (contains an unnamed "param<i>" / "module<i>"
+/// segment) or collides with another parameter's name. A module is
+/// checkpoint-safe iff this returns empty.
+std::vector<ParamNameIssue> LintParameterNames(const Module& module);
+
+/// Renders issues as a multi-line human-readable report; empty string when
+/// `issues` is empty.
+std::string FormatParamNameReport(const std::vector<ParamNameIssue>& issues);
 
 }  // namespace prim::nn::debug
 

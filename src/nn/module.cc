@@ -1,5 +1,8 @@
 #include "nn/module.h"
 
+#include <cstring>
+#include <unordered_map>
+
 #include "common/check.h"
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -15,31 +18,112 @@ std::vector<Tensor> Module::Parameters() const {
   return out;
 }
 
+std::vector<NamedParameter> Module::NamedParameters() const {
+  std::vector<NamedParameter> out;
+  AppendNamed("", &out);
+  for (NamedParameter& np : out) np.tensor.impl()->debug_name = np.name;
+  return out;
+}
+
+void Module::AppendNamed(const std::string& prefix,
+                         std::vector<NamedParameter>* out) const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    std::string local = param_names_[i].empty()
+                            ? "param" + std::to_string(i)
+                            : param_names_[i];
+    out->push_back({prefix + local, params_[i]});
+  }
+  for (size_t c = 0; c < children_.size(); ++c) {
+    std::string local = child_names_[c].empty()
+                            ? "module" + std::to_string(c)
+                            : child_names_[c];
+    children_[c]->AppendNamed(prefix + local + ".", out);
+  }
+}
+
 int64_t Module::NumParameters() const {
   int64_t total = 0;
   for (const Tensor& p : Parameters()) total += p.size();
   return total;
 }
 
+std::vector<StateEntry> Module::StateDict() const {
+  std::vector<StateEntry> out;
+  for (const NamedParameter& np : NamedParameters()) {
+    StateEntry e;
+    e.name = np.name;
+    e.rows = np.tensor.rows();
+    e.cols = np.tensor.cols();
+    e.data.assign(np.tensor.data(), np.tensor.data() + np.tensor.size());
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string Module::LoadStateDict(const std::vector<StateEntry>& state) {
+  std::vector<NamedParameter> named = NamedParameters();
+  std::unordered_map<std::string, const Tensor*> by_name;
+  for (const NamedParameter& np : named) by_name[np.name] = &np.tensor;
+
+  // Validate everything before touching any parameter so a failed load
+  // leaves the module untouched.
+  std::unordered_map<std::string, const StateEntry*> seen;
+  for (const StateEntry& e : state) {
+    if (!seen.emplace(e.name, &e).second)
+      return "state dict has duplicate tensor '" + e.name + "'";
+    auto it = by_name.find(e.name);
+    if (it == by_name.end())
+      return "state dict tensor '" + e.name +
+             "' does not match any parameter of this module";
+    const Tensor& p = *it->second;
+    if (e.rows != p.rows() || e.cols != p.cols())
+      return "shape mismatch for tensor '" + e.name + "': checkpoint has " +
+             std::to_string(e.rows) + "x" + std::to_string(e.cols) +
+             ", module expects " + std::to_string(p.rows()) + "x" +
+             std::to_string(p.cols());
+    if (static_cast<int64_t>(e.data.size()) != p.size())
+      return "tensor '" + e.name + "' has " + std::to_string(e.data.size()) +
+             " values, expected " + std::to_string(p.size());
+  }
+  for (const NamedParameter& np : named) {
+    if (seen.find(np.name) == seen.end())
+      return "state dict is missing parameter '" + np.name + "' (" +
+             np.tensor.ShapeString() + ")";
+  }
+
+  for (NamedParameter& np : named) {
+    const StateEntry& e = *seen[np.name];
+    std::memcpy(np.tensor.data(), e.data.data(), e.data.size() * sizeof(float));
+  }
+  return "";
+}
+
 Tensor Module::RegisterParameter(Tensor t, std::string name) {
   PRIM_CHECK_MSG(t.defined() && t.requires_grad(),
                  "parameters must be defined and require grad");
-  if (!name.empty()) t.impl()->debug_name = std::move(name);
+  for (const std::string& existing : param_names_)
+    PRIM_CHECK_MSG(name.empty() || existing != name,
+                   "duplicate parameter name '" << name << "'");
+  if (!name.empty()) t.impl()->debug_name = name;
   params_.push_back(t);
+  param_names_.push_back(std::move(name));
   return t;
 }
 
-void Module::RegisterModule(Module* child) {
+void Module::RegisterModule(Module* child, std::string name) {
   PRIM_CHECK(child != nullptr);
+  for (const std::string& existing : child_names_)
+    PRIM_CHECK_MSG(name.empty() || existing != name,
+                   "duplicate child module name '" << name << "'");
   children_.push_back(child);
+  child_names_.push_back(std::move(name));
 }
 
 Linear::Linear(int in_features, int out_features, Rng& rng, bool bias) {
   weight_ = RegisterParameter(XavierUniform(in_features, out_features, rng),
-                              "Linear.weight");
+                              "weight");
   if (bias) {
-    bias_ = RegisterParameter(Tensor::Zeros(1, out_features, true),
-                              "Linear.bias");
+    bias_ = RegisterParameter(Tensor::Zeros(1, out_features, true), "bias");
   }
 }
 
@@ -50,8 +134,7 @@ Tensor Linear::Forward(const Tensor& x) const {
 }
 
 Embedding::Embedding(int num_embeddings, int dim, Rng& rng) {
-  table_ = RegisterParameter(XavierUniform(num_embeddings, dim, rng),
-                             "Embedding.table");
+  table_ = RegisterParameter(XavierUniform(num_embeddings, dim, rng), "table");
 }
 
 Tensor Embedding::Forward(const std::vector<int>& ids) const {

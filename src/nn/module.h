@@ -9,6 +9,24 @@
 
 namespace prim::nn {
 
+/// A parameter together with its hierarchical name ("scorer.hyperplanes",
+/// "layers.0.w_msg.1", ...). Names are built by joining the registration
+/// names along the module tree with '.'.
+struct NamedParameter {
+  std::string name;
+  Tensor tensor;
+};
+
+/// One serialized parameter: the hierarchical name, the shape, and a copy of
+/// the data. The unit of exchange between modules and checkpoints (see
+/// io/checkpoint.h for the on-disk encoding).
+struct StateEntry {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+};
+
 /// Base class for anything that owns trainable parameters. Subclasses
 /// register parameters (and nested modules) in their constructor;
 /// Parameters() then yields a stable, flattened view for the optimizer.
@@ -23,23 +41,50 @@ class Module {
   /// registration order.
   std::vector<Tensor> Parameters() const;
 
+  /// Parameters with hierarchical names. A parameter registered without a
+  /// name surfaces as "param<i>" and a child module registered without a
+  /// name as "module<i>" — both are flagged by the name linter
+  /// (nn::debug::LintParameterNames), and every module in this repository
+  /// is required to name its registrations. As a side effect each tensor's
+  /// debug_name is refreshed to the hierarchical name, so gradient-flow
+  /// lint reports and anomaly diagnostics show full paths.
+  std::vector<NamedParameter> NamedParameters() const;
+
   /// Total scalar parameter count (for reporting).
   int64_t NumParameters() const;
 
+  /// Snapshot of every parameter as (name, shape, data), in registration
+  /// order — the in-memory form of a checkpoint's "params" section.
+  std::vector<StateEntry> StateDict() const;
+
+  /// Strictly loads a StateDict() snapshot into this module's parameters:
+  /// every entry must name an existing parameter with the identical shape,
+  /// and every parameter must be covered. Returns "" on success, otherwise
+  /// a message naming the offending tensor (nothing is partially written on
+  /// failure).
+  std::string LoadStateDict(const std::vector<StateEntry>& state);
+
  protected:
-  /// Registers and returns a trainable parameter. A non-empty `name` is
-  /// stored on the tensor (TensorImpl::debug_name) and surfaces in
-  /// gradient-flow lint reports (see nn/debug.h).
+  /// Registers and returns a trainable parameter. `name` (local to this
+  /// module, e.g. "weight") is stored on the tensor (TensorImpl::debug_name)
+  /// and becomes a path segment of the hierarchical name; it must be unique
+  /// among this module's own parameters.
   Tensor RegisterParameter(Tensor t, std::string name = "");
-  /// Registers a child module whose parameters are included in Parameters().
-  void RegisterModule(Module* child);
+  /// Registers a child module whose parameters are included in Parameters();
+  /// `name` becomes the child's path segment in hierarchical names.
+  void RegisterModule(Module* child, std::string name = "");
 
  private:
+  void AppendNamed(const std::string& prefix,
+                   std::vector<NamedParameter>* out) const;
+
   std::vector<Tensor> params_;
+  std::vector<std::string> param_names_;
   std::vector<Module*> children_;
+  std::vector<std::string> child_names_;
 };
 
-/// Fully-connected layer: Y = X W (+ b).
+/// Fully-connected layer: Y = X W (+ b). Parameter names: "weight", "bias".
 class Linear : public Module {
  public:
   /// Creates a layer with Xavier-initialised weights.
@@ -56,7 +101,7 @@ class Linear : public Module {
   Tensor bias_;    // 1 x out, undefined when bias = false
 };
 
-/// Learned lookup table: Forward(ids) gathers rows.
+/// Learned lookup table: Forward(ids) gathers rows. Parameter name: "table".
 class Embedding : public Module {
  public:
   Embedding(int num_embeddings, int dim, Rng& rng);

@@ -1,0 +1,76 @@
+#ifndef PRIM_SERVE_LRU_CACHE_H_
+#define PRIM_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace prim::serve {
+
+/// Fixed-capacity least-recently-used cache with hit/miss counters.
+/// Not thread-safe; RelationshipServer guards it with its own mutex so the
+/// counters and the eviction list stay consistent under concurrent
+/// requests. A capacity of 0 disables caching (every Get is a miss).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Copies the cached value into `*out` and marks the entry most recently
+  /// used. Returns false (a miss) when the key is absent.
+  bool Get(const Key& key, Value* out) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    *out = it->second->second;
+    ++hits_;
+    return true;
+  }
+
+  /// Inserts (or refreshes) a key, evicting the least recently used entry
+  /// when at capacity.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  /// Drops every entry and zeroes the hit/miss counters.
+  void Clear() {
+    map_.clear();
+    order_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+  size_t capacity_;
+  std::list<Entry> order_;  // Front = most recently used.
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace prim::serve
+
+#endif  // PRIM_SERVE_LRU_CACHE_H_

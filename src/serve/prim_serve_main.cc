@@ -1,0 +1,69 @@
+// prim_serve: answers POI relationship queries from a serving checkpoint.
+//
+//   prim_serve --checkpoint model.ckpt [--cache 1024] [--cell-km 1.15]
+//              [--no-project]
+//
+// Speaks the line protocol from serve/protocol.h on stdin/stdout: one
+// request per line, one response line per request ("OK ..." / "ERR ...").
+// EOF or a QUIT line shuts the server down.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/relationship_server.h"
+
+namespace {
+
+const char* FlagValue(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == "--" + name) return argv[i + 1];
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i)
+    if (argv[i] == "--" + name) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* checkpoint = FlagValue(argc, argv, "checkpoint");
+  if (checkpoint == nullptr) {
+    std::fprintf(stderr,
+                 "usage: prim_serve --checkpoint <file> [--cache N] "
+                 "[--cell-km R] [--no-project]\n");
+    return 2;
+  }
+
+  prim::serve::RelationshipServer::Options options;
+  if (const char* v = FlagValue(argc, argv, "cache"))
+    options.cache_capacity = static_cast<size_t>(std::stoul(v));
+  if (const char* v = FlagValue(argc, argv, "cell-km"))
+    options.cell_km = std::stod(v);
+  if (HasFlag(argc, argv, "no-project")) options.project = false;
+
+  std::unique_ptr<prim::serve::RelationshipServer> server;
+  if (prim::io::Result r =
+          prim::serve::RelationshipServer::Load(checkpoint, options, &server);
+      !r) {
+    std::fprintf(stderr, "prim_serve: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "prim_serve: ready (%d POIs, %d relations)\n",
+               server->num_pois(), server->num_relations());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "QUIT") break;
+    const std::string response =
+        prim::serve::HandleRequestLine(*server, line);
+    if (response.empty()) continue;  // Blank input line.
+    std::cout << response << '\n' << std::flush;
+  }
+  return 0;
+}

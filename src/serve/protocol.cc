@@ -1,0 +1,78 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace prim::serve {
+namespace {
+
+std::string FormatFloat(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Err(const std::string& message) { return "ERR " + message; }
+
+bool HasTrailingTokens(std::istringstream& in) {
+  std::string extra;
+  return static_cast<bool>(in >> extra);
+}
+
+std::string HandleClassify(RelationshipServer& server,
+                           std::istringstream& in) {
+  int i = 0, j = 0;
+  if (!(in >> i >> j) || HasTrailingTokens(in))
+    return Err("usage: CLASSIFY <i> <j>");
+  RelationshipServer::Classification c;
+  if (io::Result r = server.Classify(i, j, &c); !r) return Err(r.error);
+  return "OK " + server.RelationName(c.relation) +
+         " score=" + FormatFloat(c.score, 6) +
+         " dist_km=" + FormatFloat(c.distance_km, 3);
+}
+
+std::string HandleTopK(RelationshipServer& server, std::istringstream& in) {
+  int i = 0, k = 0;
+  double radius_km = 0.0;
+  if (!(in >> i >> radius_km >> k) || HasTrailingTokens(in))
+    return Err("usage: TOPK <i> <radius_km> <k>");
+  std::vector<RelationshipServer::RelatedPoi> related;
+  if (io::Result r = server.TopKRelated(i, radius_km, k, &related); !r)
+    return Err(r.error);
+  std::string response = "OK " + std::to_string(related.size());
+  for (const RelationshipServer::RelatedPoi& p : related) {
+    response += " " + std::to_string(p.id) + "," + server.RelationName(p.relation) +
+                "," + FormatFloat(p.score, 6) + "," +
+                FormatFloat(p.distance_km, 3);
+  }
+  return response;
+}
+
+std::string HandleStats(RelationshipServer& server, std::istringstream& in) {
+  if (HasTrailingTokens(in)) return Err("usage: STATS");
+  const RelationshipServer::Stats s = server.stats();
+  return "OK classify=" + std::to_string(s.classify_requests) +
+         " topk=" + std::to_string(s.topk_requests) +
+         " cache_hits=" + std::to_string(s.cache_hits) +
+         " cache_misses=" + std::to_string(s.cache_misses) +
+         " classify_ms=" + FormatFloat(s.classify_seconds * 1e3, 3) +
+         " topk_ms=" + FormatFloat(s.topk_seconds * 1e3, 3);
+}
+
+}  // namespace
+
+std::string HandleRequestLine(RelationshipServer& server,
+                              const std::string& line) {
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb)) return "";  // Blank line.
+  if (verb == "CLASSIFY") return HandleClassify(server, in);
+  if (verb == "TOPK") return HandleTopK(server, in);
+  if (verb == "STATS") return HandleStats(server, in);
+  return Err("unknown request '" + verb +
+             "' (expected CLASSIFY, TOPK, or STATS)");
+}
+
+}  // namespace prim::serve

@@ -1,0 +1,29 @@
+#ifndef PRIM_SERVE_PROTOCOL_H_
+#define PRIM_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "serve/relationship_server.h"
+
+namespace prim::serve {
+
+// Line-delimited request protocol spoken by prim_serve on stdin/stdout.
+// One request per line, one response line per request:
+//
+//   CLASSIFY <i> <j>           -> OK <relation> score=<s> dist_km=<d>
+//   TOPK <i> <radius_km> <k>   -> OK <n> <id>,<relation>,<score>,<dist_km> ...
+//   STATS                      -> OK classify=<n> topk=<n> cache_hits=<n>
+//                                 cache_misses=<n> classify_ms=<t> topk_ms=<t>
+//
+// Malformed or failing requests answer "ERR <message>"; blank lines answer
+// "" (the caller should skip them). The phi (no-relation) class renders as
+// "none".
+
+/// Parses one request line, runs it against `server`, and formats the
+/// response line (without a trailing newline).
+std::string HandleRequestLine(RelationshipServer& server,
+                              const std::string& line);
+
+}  // namespace prim::serve
+
+#endif  // PRIM_SERVE_PROTOCOL_H_

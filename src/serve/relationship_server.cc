@@ -1,0 +1,210 @@
+#include "serve/relationship_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/parallel.h"
+#include "io/model_io.h"
+#include "nn/profiler.h"
+
+namespace prim::serve {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+RelationshipServer::RelationshipServer(std::unique_ptr<core::PrimIndex> index,
+                                       std::vector<geo::GeoPoint> points,
+                                       std::vector<std::string> relation_names,
+                                       const Options& options)
+    : index_(std::move(index)),
+      relation_names_(std::move(relation_names)),
+      grid_(points, options.cell_km),
+      options_(options),
+      topk_cache_(options.cache_capacity) {
+  // Missing labels degrade to positional names, never to empty responses.
+  for (int r = static_cast<int>(relation_names_.size());
+       r < index_->num_classes() - 1; ++r) {
+    relation_names_.push_back("rel" + std::to_string(r));
+  }
+}
+
+io::Result RelationshipServer::Load(const std::string& checkpoint_path,
+                                    const Options& options,
+                                    std::unique_ptr<RelationshipServer>* out) {
+  io::ModelCheckpoint checkpoint;
+  if (io::Result r = io::LoadModelCheckpoint(checkpoint_path, &checkpoint); !r)
+    return r;
+  if (checkpoint.index == nullptr)
+    return io::Result::Fail("'" + checkpoint_path +
+                            "' has no 'index' section — it is a trainer "
+                            "snapshot, not a serving checkpoint");
+  if (checkpoint.points.empty())
+    return io::Result::Fail("'" + checkpoint_path +
+                            "' has no 'geo' section; a serving checkpoint "
+                            "needs POI locations for radius queries");
+  if (static_cast<int>(checkpoint.points.size()) !=
+      checkpoint.index->num_nodes())
+    return io::Result::Fail(
+        "'" + checkpoint_path + "': 'geo' section has " +
+        std::to_string(checkpoint.points.size()) +
+        " points but the index was built over " +
+        std::to_string(checkpoint.index->num_nodes()) + " nodes");
+  *out = std::make_unique<RelationshipServer>(
+      std::move(checkpoint.index), std::move(checkpoint.points),
+      std::move(checkpoint.relation_names), options);
+  return io::Result::Ok();
+}
+
+const std::string& RelationshipServer::RelationName(int relation) const {
+  if (relation >= 0 && relation < static_cast<int>(relation_names_.size()))
+    return relation_names_[relation];
+  return phi_name_;
+}
+
+RelationshipServer::Classification RelationshipServer::ScorePair(
+    int i, int j, double dist_km, float* scratch) const {
+  index_->Query(i, j, static_cast<float>(dist_km), options_.project, scratch);
+  const int num_classes = index_->num_classes();
+  int best = 0;
+  for (int c = 1; c < num_classes; ++c)
+    if (scratch[c] > scratch[best]) best = c;
+  Classification result;
+  result.relation = best;
+  result.score = scratch[best];
+  result.distance_km = dist_km;
+  return result;
+}
+
+io::Result RelationshipServer::Classify(int i, int j, Classification* out) {
+  const auto start = std::chrono::steady_clock::now();
+  nn::ScopedOpTimer timer("serve/classify");
+  if (i < 0 || i >= num_pois() || j < 0 || j >= num_pois())
+    return io::Result::Fail("pair (" + std::to_string(i) + ", " +
+                            std::to_string(j) + ") is out of range [0, " +
+                            std::to_string(num_pois()) + ")");
+  std::vector<float> scratch(index_->num_classes());
+  const double dist_km = geo::HaversineKm(grid_.point(i), grid_.point(j));
+  *out = ScorePair(i, j, dist_km, scratch.data());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.classify_requests;
+  stats_.classify_seconds += Seconds(start);
+  return io::Result::Ok();
+}
+
+io::Result RelationshipServer::ClassifyBatch(
+    const std::vector<std::pair<int, int>>& pairs,
+    std::vector<Classification>* out) {
+  const auto start = std::chrono::steady_clock::now();
+  nn::ScopedOpTimer timer("serve/classify_batch");
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto [i, j] = pairs[p];
+    if (i < 0 || i >= num_pois() || j < 0 || j >= num_pois())
+      return io::Result::Fail("pair " + std::to_string(p) + " = (" +
+                              std::to_string(i) + ", " + std::to_string(j) +
+                              ") is out of range [0, " +
+                              std::to_string(num_pois()) + ")");
+  }
+  out->resize(pairs.size());
+  ParallelFor(static_cast<int64_t>(pairs.size()),
+              [&](int64_t begin, int64_t end) {
+                AuditWriteRange(out->data(), begin, end);
+                std::vector<float> scratch(index_->num_classes());
+                for (int64_t p = begin; p < end; ++p) {
+                  const auto [i, j] = pairs[static_cast<size_t>(p)];
+                  const double dist_km =
+                      geo::HaversineKm(grid_.point(i), grid_.point(j));
+                  (*out)[static_cast<size_t>(p)] =
+                      ScorePair(i, j, dist_km, scratch.data());
+                }
+              });
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.classify_requests += pairs.size();
+  stats_.classify_seconds += Seconds(start);
+  return io::Result::Ok();
+}
+
+io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
+                                           std::vector<RelatedPoi>* out) {
+  const auto start = std::chrono::steady_clock::now();
+  nn::ScopedOpTimer timer("serve/topk");
+  if (i < 0 || i >= num_pois())
+    return io::Result::Fail("POI " + std::to_string(i) +
+                            " is out of range [0, " +
+                            std::to_string(num_pois()) + ")");
+  if (radius_km <= 0.0)
+    return io::Result::Fail("radius must be positive, got " +
+                            std::to_string(radius_km));
+  if (k <= 0)
+    return io::Result::Fail("k must be positive, got " + std::to_string(k));
+
+  const TopKKey key{i, radius_km, k};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (topk_cache_.Get(key, out)) {
+      ++stats_.topk_requests;
+      stats_.topk_seconds += Seconds(start);
+      return io::Result::Ok();
+    }
+  }
+
+  const std::vector<int> candidates = grid_.NeighborsOf(i, radius_km);
+  std::vector<Classification> scored(candidates.size());
+  ParallelFor(static_cast<int64_t>(candidates.size()),
+              [&](int64_t begin, int64_t end) {
+                AuditWriteRange(scored.data(), begin, end);
+                std::vector<float> scratch(index_->num_classes());
+                for (int64_t c = begin; c < end; ++c) {
+                  const int j = candidates[static_cast<size_t>(c)];
+                  const double dist_km =
+                      geo::HaversineKm(grid_.point(i), grid_.point(j));
+                  scored[static_cast<size_t>(c)] =
+                      ScorePair(i, j, dist_km, scratch.data());
+                }
+              });
+
+  const int phi = index_->num_classes() - 1;
+  std::vector<RelatedPoi> related;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (scored[c].relation == phi) continue;
+    related.push_back({candidates[c], scored[c].relation, scored[c].score,
+                       scored[c].distance_km});
+  }
+  // Score-descending with id tiebreak, so answers are deterministic across
+  // thread counts.
+  std::sort(related.begin(), related.end(),
+            [](const RelatedPoi& a, const RelatedPoi& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (static_cast<int>(related.size()) > k) related.resize(k);
+  *out = related;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  topk_cache_.Put(key, std::move(related));
+  ++stats_.topk_requests;
+  stats_.topk_seconds += Seconds(start);
+  return io::Result::Ok();
+}
+
+RelationshipServer::Stats RelationshipServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.cache_hits = topk_cache_.hits();
+  s.cache_misses = topk_cache_.misses();
+  return s;
+}
+
+void RelationshipServer::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats();
+  topk_cache_.Clear();
+}
+
+}  // namespace prim::serve

@@ -1,0 +1,128 @@
+#ifndef PRIM_SERVE_RELATIONSHIP_SERVER_H_
+#define PRIM_SERVE_RELATIONSHIP_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/prim_index.h"
+#include "geo/grid_index.h"
+#include "geo/point.h"
+#include "io/checkpoint.h"
+#include "serve/lru_cache.h"
+
+namespace prim::serve {
+
+/// Answers POI relationship queries from a serving checkpoint: a
+/// materialised PrimIndex for scoring (§5.3), POI locations for a
+/// GridIndex so top-k queries only score candidates within the radius, and
+/// relation names for human-readable responses. The last index class is
+/// the non-relation phi; a candidate counts as "related" only when some
+/// real relation outscores phi.
+class RelationshipServer {
+ public:
+  struct Options {
+    /// Grid cell size; should match the typical query radius.
+    double cell_km = 1.15;
+    /// Top-k result cache capacity, entries. 0 disables caching.
+    size_t cache_capacity = 1024;
+    /// Apply the distance-bin hyperplane projection (Eq. 11) when scoring.
+    bool project = true;
+  };
+
+  /// Result of classifying one (i, j) pair.
+  struct Classification {
+    int relation = -1;  // Index into relation_names(); phi = num_relations.
+    float score = 0.0f;
+    double distance_km = 0.0;
+  };
+
+  /// One entry of a top-k answer, best relation score first.
+  struct RelatedPoi {
+    int id = -1;
+    int relation = -1;
+    float score = 0.0f;
+    double distance_km = 0.0;
+  };
+
+  struct Stats {
+    uint64_t classify_requests = 0;
+    uint64_t topk_requests = 0;
+    double classify_seconds = 0.0;
+    double topk_seconds = 0.0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+
+  /// Builds a server from an already-loaded serving snapshot. `points`
+  /// must have one location per index node, in node-id order.
+  RelationshipServer(std::unique_ptr<core::PrimIndex> index,
+                     std::vector<geo::GeoPoint> points,
+                     std::vector<std::string> relation_names,
+                     const Options& options);
+
+  /// Loads a checkpoint written by io::SaveTrainedModel and validates that
+  /// it is self-contained (index + geo sections present, sizes agree).
+  static io::Result Load(const std::string& checkpoint_path,
+                         const Options& options,
+                         std::unique_ptr<RelationshipServer>* out);
+
+  /// Classifies the pair (i, j). Fails on out-of-range ids.
+  io::Result Classify(int i, int j, Classification* out);
+
+  /// Classifies many pairs; scoring fans out over the worker pool with one
+  /// disjoint output slot per pair. `out` is resized to `pairs.size()`.
+  io::Result ClassifyBatch(const std::vector<std::pair<int, int>>& pairs,
+                           std::vector<Classification>* out);
+
+  /// The up-to-k POIs within `radius_km` of POI `i` that the model relates
+  /// to it (some real relation outscores phi), best score first. Answers
+  /// are cached by (i, radius_km, k).
+  io::Result TopKRelated(int i, double radius_km, int k,
+                         std::vector<RelatedPoi>* out);
+
+  int num_pois() const { return grid_.num_points(); }
+  int num_relations() const { return index_->num_classes() - 1; }
+  /// Name for a relation id out of Classification/RelatedPoi; the phi
+  /// class renders as "none".
+  const std::string& RelationName(int relation) const;
+
+  Stats stats() const;
+  void ResetStats();
+
+ private:
+  /// Scores i against j (distance dist_km): best real relation vs phi.
+  Classification ScorePair(int i, int j, double dist_km,
+                           float* scratch) const;
+
+  std::unique_ptr<core::PrimIndex> index_;
+  std::vector<std::string> relation_names_;
+  std::string phi_name_ = "none";
+  geo::GridIndex grid_;
+  Options options_;
+
+  struct TopKKey {
+    int i;
+    double radius_km;
+    int k;
+    bool operator==(const TopKKey&) const = default;
+  };
+  struct TopKKeyHash {
+    size_t operator()(const TopKKey& key) const {
+      size_t h = std::hash<int>()(key.i);
+      h = h * 1000003u ^ std::hash<double>()(key.radius_km);
+      h = h * 1000003u ^ std::hash<int>()(key.k);
+      return h;
+    }
+  };
+
+  mutable std::mutex mu_;
+  LruCache<TopKKey, std::vector<RelatedPoi>, TopKKeyHash> topk_cache_;
+  Stats stats_;
+};
+
+}  // namespace prim::serve
+
+#endif  // PRIM_SERVE_RELATIONSHIP_SERVER_H_

@@ -1,0 +1,269 @@
+// Checkpoint format tests: section round-trips, every corruption mode the
+// reader must survive gracefully (truncation, bad magic, version skew, CRC
+// damage, shape mismatch — each failing with a message naming the offending
+// section or tensor), and the end-to-end invariant that a PrimIndex loaded
+// from disk answers bitwise identically to the in-memory one it was saved
+// from.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "io/checkpoint.h"
+#include "io/crc32.h"
+#include "io/model_io.h"
+#include "nn/module.h"
+#include "tests/test_fixtures.h"
+#include "train/experiment.h"
+
+namespace prim::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in) << path;
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string MakeTwoSectionCheckpoint(const std::string& name) {
+  const std::string path = TempPath(name);
+  CheckpointWriter writer;
+  writer.AddSection("params", {1, 2, 3, 4, 5, 6, 7, 8});
+  writer.AddSection("labels", {9, 10});
+  EXPECT_TRUE(writer.Finish(path).ok);
+  return path;
+}
+
+TEST(CheckpointTest, RoundTripsSections) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_roundtrip.bin");
+  CheckpointReader reader;
+  ASSERT_TRUE(CheckpointReader::Open(path, &reader).ok);
+  EXPECT_TRUE(reader.HasSection("params"));
+  EXPECT_TRUE(reader.HasSection("labels"));
+  EXPECT_FALSE(reader.HasSection("index"));
+  EXPECT_EQ(reader.SectionNames(),
+            (std::vector<std::string>{"params", "labels"}));
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(reader.Read("params", &payload).ok);
+  EXPECT_EQ(payload, (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  ASSERT_TRUE(reader.Read("labels", &payload).ok);
+  EXPECT_EQ(payload, (std::vector<uint8_t>{9, 10}));
+}
+
+TEST(CheckpointTest, FinishIsAtomic) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_atomic.bin");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(CheckpointTest, MissingSectionNamesIt) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_missing.bin");
+  CheckpointReader reader;
+  ASSERT_TRUE(CheckpointReader::Open(path, &reader).ok);
+  std::vector<uint8_t> payload;
+  const Result r = reader.Read("index", &payload);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no section 'index'"), std::string::npos) << r.error;
+}
+
+TEST(CheckpointTest, RejectsBadMagic) {
+  const std::string path = TempPath("ckpt_bad_magic.bin");
+  WriteFile(path, {'N', 'O', 'T', 'A', 'C', 'K', 'P', 'T', 0, 0, 0, 0, 0, 0,
+                   0, 0});
+  CheckpointReader reader;
+  const Result r = CheckpointReader::Open(path, &reader);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not a PRIM checkpoint"), std::string::npos)
+      << r.error;
+}
+
+TEST(CheckpointTest, RejectsVersionSkew) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_version.bin");
+  std::vector<uint8_t> bytes = ReadFile(path);
+  bytes[8] = 99;  // Version u32 sits right after the 8-byte magic.
+  WriteFile(path, bytes);
+  CheckpointReader reader;
+  const Result r = CheckpointReader::Open(path, &reader);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unsupported checkpoint format version 99"),
+            std::string::npos)
+      << r.error;
+}
+
+TEST(CheckpointTest, TruncationNamesTheSection) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_truncated.bin");
+  std::vector<uint8_t> bytes = ReadFile(path);
+  bytes.resize(bytes.size() - 1);  // Clip the tail of section "labels".
+  WriteFile(path, bytes);
+  CheckpointReader reader;
+  const Result r = CheckpointReader::Open(path, &reader);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("truncated"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'labels'"), std::string::npos) << r.error;
+}
+
+TEST(CheckpointTest, CrcDamageNamesTheSection) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_crc.bin");
+  std::vector<uint8_t> bytes = ReadFile(path);
+  bytes.back() ^= 0xFF;  // Last payload byte belongs to section "labels".
+  WriteFile(path, bytes);
+  CheckpointReader reader;
+  ASSERT_TRUE(CheckpointReader::Open(path, &reader).ok);
+  std::vector<uint8_t> payload;
+  EXPECT_TRUE(reader.Read("params", &payload).ok);  // Undamaged section.
+  const Result r = reader.Read("labels", &payload);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("CRC mismatch in section 'labels'"),
+            std::string::npos)
+      << r.error;
+}
+
+TEST(CheckpointTest, EmptyFileFailsGracefully) {
+  const std::string path = TempPath("ckpt_empty.bin");
+  WriteFile(path, {});
+  CheckpointReader reader;
+  const Result r = CheckpointReader::Open(path, &reader);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("too short"), std::string::npos) << r.error;
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // IEEE CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+// --- StateDict / LoadStateDict -------------------------------------------
+
+class TwoLayerNet : public nn::Module {
+ public:
+  explicit TwoLayerNet(Rng& rng) : fc1_(4, 8, rng), fc2_(8, 2, rng) {
+    RegisterModule(&fc1_, "fc1");
+    RegisterModule(&fc2_, "fc2");
+  }
+  nn::Linear fc1_, fc2_;
+};
+
+TEST(StateDictTest, RoundTripsThroughModelCheckpoint) {
+  Rng rng1(1), rng2(2);
+  TwoLayerNet src(rng1), dst(rng2);
+  const std::string path = TempPath("ckpt_statedict.bin");
+  ModelCheckpoint save;
+  save.params = src.StateDict();
+  ASSERT_TRUE(SaveModelCheckpoint(path, save).ok);
+
+  ModelCheckpoint loaded;
+  ASSERT_TRUE(LoadModelCheckpoint(path, &loaded).ok);
+  ASSERT_EQ(dst.LoadStateDict(loaded.params), "");
+  const auto a = src.StateDict(), b = dst.StateDict();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].data, b[i].data) << a[i].name;
+  }
+}
+
+TEST(StateDictTest, ShapeMismatchNamesTheTensor) {
+  Rng rng(1);
+  TwoLayerNet net(rng);
+  std::vector<nn::StateEntry> state = net.StateDict();
+  state[0].rows += 1;
+  state[0].data.resize(static_cast<size_t>(state[0].rows) * state[0].cols);
+  const std::vector<float> original = net.StateDict()[0].data;
+  const std::string err = net.LoadStateDict(state);
+  EXPECT_NE(err.find(state[0].name), std::string::npos) << err;
+  // A failed load must not touch any parameter.
+  EXPECT_EQ(net.StateDict()[0].data, original);
+}
+
+TEST(StateDictTest, UnknownTensorNamesIt) {
+  Rng rng(1);
+  TwoLayerNet net(rng);
+  std::vector<nn::StateEntry> state = net.StateDict();
+  state[0].name = "fc9.weight";
+  const std::string err = net.LoadStateDict(state);
+  EXPECT_NE(err.find("fc9.weight"), std::string::npos) << err;
+}
+
+TEST(StateDictTest, MissingTensorNamesIt) {
+  Rng rng(1);
+  TwoLayerNet net(rng);
+  std::vector<nn::StateEntry> state = net.StateDict();
+  const std::string dropped = state.back().name;
+  state.pop_back();
+  const std::string err = net.LoadStateDict(state);
+  EXPECT_NE(err.find(dropped), std::string::npos) << err;
+}
+
+// --- End-to-end: PrimIndex through a serving checkpoint --------------------
+
+TEST(ModelCheckpointTest, PrimIndexRoundTripIsBitwise) {
+  data::PoiDataset city = prim::testing::TinyCity();
+  train::ExperimentConfig config = prim::testing::TinyExperimentConfig();
+  config.trainer.epochs = 10;
+  config.trainer.verbose = false;
+  train::ExperimentData data = train::PrepareExperiment(city, 0.6, config);
+  Rng rng(1);
+  core::PrimModel model(data.ctx, config.prim, rng);
+  train::Trainer trainer(model, data.split.train, *data.full_graph,
+                         config.trainer);
+  trainer.Fit(nullptr);
+  core::PrimIndex index = core::PrimIndex::Build(model);
+
+  const std::string path = TempPath("ckpt_prim_index.bin");
+  ASSERT_TRUE(
+      SaveTrainedModel(path, model, "PRIM", &config.prim, &index, city).ok);
+
+  ModelCheckpoint loaded;
+  ASSERT_TRUE(LoadModelCheckpoint(path, &loaded).ok);
+  ASSERT_NE(loaded.index, nullptr);
+
+  // The materialised buffers survive the file bit-for-bit...
+  EXPECT_EQ(loaded.index->embeddings(), index.embeddings());
+  EXPECT_EQ(loaded.index->relations(), index.relations());
+  EXPECT_EQ(loaded.index->hyperplanes(), index.hyperplanes());
+
+  // ...so every prediction and every raw score is identical.
+  std::vector<float> scores_a(index.num_classes());
+  std::vector<float> scores_b(index.num_classes());
+  for (int q = 0; q < 500; ++q) {
+    const int i = q * 131 % city.num_pois();
+    const int j = (q * 257 + 5) % city.num_pois();
+    const float km = static_cast<float>(city.DistanceKm(i, j));
+    EXPECT_EQ(loaded.index->PredictRelation(i, j, km),
+              index.PredictRelation(i, j, km));
+    index.Query(i, j, km, true, scores_a.data());
+    loaded.index->Query(i, j, km, true, scores_b.data());
+    EXPECT_EQ(scores_a, scores_b) << "pair (" << i << ", " << j << ")";
+  }
+
+  // The sidecar sections survive too.
+  EXPECT_EQ(loaded.meta.at("model"), "PRIM");
+  EXPECT_EQ(loaded.relation_names, city.relation_names);
+  ASSERT_EQ(static_cast<int>(loaded.points.size()), city.num_pois());
+  EXPECT_EQ(loaded.points[0].lon, city.pois[0].location.lon);
+  EXPECT_EQ(loaded.points[0].lat, city.pois[0].location.lat);
+  ASSERT_TRUE(loaded.has_config);
+  EXPECT_EQ(loaded.config.bin_edges_km, config.prim.bin_edges_km);
+}
+
+}  // namespace
+}  // namespace prim::io

@@ -9,6 +9,7 @@
 #include "models/feature_encoder.h"
 #include "models/relation_model.h"
 #include "models/rules.h"
+#include "nn/debug.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
 #include "tests/test_fixtures.h"
@@ -69,6 +70,19 @@ TEST_P(ModelContractTest, DeterministicConstructionAndForward) {
   ASSERT_EQ(h1.size(), h2.size());
   for (int64_t i = 0; i < h1.size(); ++i)
     EXPECT_EQ(h1.data()[i], h2.data()[i]) << GetParam() << " idx " << i;
+}
+
+// Checkpoints key parameters by hierarchical name, so every registration
+// in every model must carry a non-empty, unique name — a synthesized
+// "param<i>" / "module<i>" segment would silently break state_dict
+// portability across code reorderings.
+TEST_P(ModelContractTest, ParameterNamesAreNonEmptyAndUnique) {
+  SharedData& s = Shared();
+  Rng rng(5);
+  auto model = train::MakeModel(GetParam(), s.data.ctx, s.config, rng,
+                                &s.data.validation);
+  const auto issues = nn::debug::LintParameterNames(*model);
+  EXPECT_TRUE(issues.empty()) << nn::debug::FormatParamNameReport(issues);
 }
 
 TEST_P(ModelContractTest, TrainingReducesLoss) {

@@ -130,8 +130,8 @@ TEST(GradFlowLintTest, RegisteredModuleParametersCarryNames) {
   ASSERT_EQ(params.size(), 2u);
   auto issues = debug::LintGradFlow(params);  // No backward ran at all.
   ASSERT_EQ(issues.size(), 2u);
-  EXPECT_EQ(issues[0].name, "Linear.weight");
-  EXPECT_EQ(issues[1].name, "Linear.bias");
+  EXPECT_EQ(issues[0].name, "weight");
+  EXPECT_EQ(issues[1].name, "bias");
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+// Serving-subsystem tests: LRU cache semantics, RelationshipServer answers
+// (checked against brute-force scoring over the same index), cache hit
+// accounting, checkpoint-loaded invariance, and the line protocol.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "geo/point.h"
+#include "io/model_io.h"
+#include "serve/lru_cache.h"
+#include "serve/protocol.h"
+#include "serve/relationship_server.h"
+#include "tests/test_fixtures.h"
+#include "train/experiment.h"
+
+namespace prim::serve {
+namespace {
+
+// --- LruCache --------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  int v = 0;
+  ASSERT_TRUE(cache.Get(1, &v));  // 1 becomes most recent.
+  cache.Put(3, 30);               // Evicts 2.
+  EXPECT_FALSE(cache.Get(2, &v));
+  EXPECT_TRUE(cache.Get(1, &v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(cache.Get(3, &v));
+  EXPECT_EQ(v, 30);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, CountsHitsAndMisses) {
+  LruCache<int, int> cache(4);
+  int v = 0;
+  EXPECT_FALSE(cache.Get(7, &v));
+  cache.Put(7, 70);
+  EXPECT_TRUE(cache.Get(7, &v));
+  EXPECT_TRUE(cache.Get(7, &v));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  int v = 0;
+  EXPECT_FALSE(cache.Get(1, &v));
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // Refresh: 2 is now the LRU entry.
+  cache.Put(3, 30);
+  int v = 0;
+  EXPECT_TRUE(cache.Get(1, &v));
+  EXPECT_EQ(v, 11);
+  EXPECT_FALSE(cache.Get(2, &v));
+}
+
+// --- RelationshipServer ----------------------------------------------------
+
+struct ServerFixture {
+  data::PoiDataset city;
+  std::unique_ptr<core::PrimIndex> index;  // In-memory reference copy.
+  std::string ckpt_path;
+  std::unique_ptr<RelationshipServer> server;
+
+  ServerFixture() : city(prim::testing::TinyCity()) {
+    train::ExperimentConfig config = prim::testing::TinyExperimentConfig();
+    config.trainer.epochs = 10;
+    config.trainer.verbose = false;
+    train::ExperimentData data = train::PrepareExperiment(city, 0.6, config);
+    Rng rng(1);
+    core::PrimModel model(data.ctx, config.prim, rng);
+    train::Trainer trainer(model, data.split.train, *data.full_graph,
+                           config.trainer);
+    trainer.Fit(nullptr);
+    index =
+        std::make_unique<core::PrimIndex>(core::PrimIndex::Build(model));
+    ckpt_path = (std::filesystem::temp_directory_path() / "serve_test.ckpt")
+                    .string();
+    EXPECT_TRUE(io::SaveTrainedModel(ckpt_path, model, "PRIM", &config.prim,
+                                     index.get(), city)
+                    .ok);
+    RelationshipServer::Options options;
+    options.cache_capacity = 64;
+    EXPECT_TRUE(
+        RelationshipServer::Load(ckpt_path, options, &server).ok);
+  }
+};
+
+ServerFixture& Fixture() {
+  static ServerFixture* f = new ServerFixture();
+  return *f;
+}
+
+TEST(RelationshipServerTest, ClassifyMatchesInMemoryIndex) {
+  ServerFixture& f = Fixture();
+  std::vector<float> scores(f.index->num_classes());
+  for (int q = 0; q < 100; ++q) {
+    const int i = q * 37 % f.city.num_pois();
+    const int j = (q * 61 + 3) % f.city.num_pois();
+    RelationshipServer::Classification c;
+    ASSERT_TRUE(f.server->Classify(i, j, &c).ok);
+    const float km = static_cast<float>(f.city.DistanceKm(i, j));
+    // Checkpoint round-trip invariance: the served prediction equals the
+    // in-memory index's, and the score is the argmax class's raw score.
+    EXPECT_EQ(c.relation, f.index->PredictRelation(i, j, km));
+    f.index->Query(i, j, km, true, scores.data());
+    EXPECT_EQ(c.score, scores[c.relation]);
+  }
+}
+
+TEST(RelationshipServerTest, ClassifyBatchMatchesSingles) {
+  ServerFixture& f = Fixture();
+  std::vector<std::pair<int, int>> pairs;
+  for (int q = 0; q < 300; ++q)
+    pairs.emplace_back(q * 13 % f.city.num_pois(),
+                       (q * 29 + 1) % f.city.num_pois());
+  std::vector<RelationshipServer::Classification> batch;
+  ASSERT_TRUE(f.server->ClassifyBatch(pairs, &batch).ok);
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    RelationshipServer::Classification single;
+    ASSERT_TRUE(
+        f.server->Classify(pairs[p].first, pairs[p].second, &single).ok);
+    EXPECT_EQ(batch[p].relation, single.relation) << p;
+    EXPECT_EQ(batch[p].score, single.score) << p;
+  }
+}
+
+TEST(RelationshipServerTest, RejectsOutOfRangeIds) {
+  ServerFixture& f = Fixture();
+  RelationshipServer::Classification c;
+  const io::Result r = f.server->Classify(-1, 0, &c);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos) << r.error;
+  std::vector<RelationshipServer::RelatedPoi> related;
+  EXPECT_FALSE(
+      f.server->TopKRelated(f.city.num_pois(), 1.0, 5, &related).ok);
+  EXPECT_FALSE(f.server->TopKRelated(0, -1.0, 5, &related).ok);
+  EXPECT_FALSE(f.server->TopKRelated(0, 1.0, 0, &related).ok);
+}
+
+TEST(RelationshipServerTest, TopKMatchesBruteForce) {
+  ServerFixture& f = Fixture();
+  f.server->ResetStats();
+  const double radius_km = 2.0;
+  const int k = 8;
+  const int phi = f.index->num_classes() - 1;
+  std::vector<float> scores(f.index->num_classes());
+  for (int i = 0; i < 40; ++i) {
+    std::vector<RelationshipServer::RelatedPoi> got;
+    ASSERT_TRUE(f.server->TopKRelated(i, radius_km, k, &got).ok);
+    // Brute force over all POIs with the in-memory index.
+    std::vector<RelationshipServer::RelatedPoi> want;
+    for (int j = 0; j < f.city.num_pois(); ++j) {
+      if (j == i) continue;
+      const double km = f.city.DistanceKm(i, j);
+      if (km > radius_km) continue;
+      f.index->Query(i, j, static_cast<float>(km), true, scores.data());
+      int best = 0;
+      for (int c = 1; c < f.index->num_classes(); ++c)
+        if (scores[c] > scores[best]) best = c;
+      if (best == phi) continue;
+      want.push_back({j, best, scores[best], km});
+    }
+    std::sort(want.begin(), want.end(),
+              [](const RelationshipServer::RelatedPoi& a,
+                 const RelationshipServer::RelatedPoi& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.id < b.id;
+              });
+    if (static_cast<int>(want.size()) > k) want.resize(k);
+    ASSERT_EQ(got.size(), want.size()) << "POI " << i;
+    for (size_t e = 0; e < want.size(); ++e) {
+      EXPECT_EQ(got[e].id, want[e].id) << "POI " << i << " entry " << e;
+      EXPECT_EQ(got[e].relation, want[e].relation);
+      EXPECT_EQ(got[e].score, want[e].score);
+    }
+  }
+}
+
+TEST(RelationshipServerTest, TopKCacheHitsAreCountedAndIdentical) {
+  ServerFixture& f = Fixture();
+  f.server->ResetStats();
+  std::vector<RelationshipServer::RelatedPoi> first, second;
+  ASSERT_TRUE(f.server->TopKRelated(5, 1.5, 4, &first).ok);
+  ASSERT_TRUE(f.server->TopKRelated(5, 1.5, 4, &second).ok);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t e = 0; e < first.size(); ++e) {
+    EXPECT_EQ(first[e].id, second[e].id);
+    EXPECT_EQ(first[e].score, second[e].score);
+  }
+  const RelationshipServer::Stats stats = f.server->stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.topk_requests, 2u);
+  // A different radius is a different cache key.
+  ASSERT_TRUE(f.server->TopKRelated(5, 1.6, 4, &second).ok);
+  EXPECT_EQ(f.server->stats().cache_misses, 2u);
+}
+
+TEST(RelationshipServerTest, LoadRejectsTrainerOnlyCheckpoint) {
+  ServerFixture& f = Fixture();
+  io::ModelCheckpoint trainer_only;
+  io::ModelCheckpoint full;
+  ASSERT_TRUE(io::LoadModelCheckpoint(f.ckpt_path, &full).ok);
+  trainer_only.params = full.params;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "serve_test_noindex.ckpt")
+          .string();
+  ASSERT_TRUE(io::SaveModelCheckpoint(path, trainer_only).ok);
+  RelationshipServer::Options options;
+  std::unique_ptr<RelationshipServer> server;
+  const io::Result r = RelationshipServer::Load(path, options, &server);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("'index'"), std::string::npos) << r.error;
+}
+
+// --- Line protocol ---------------------------------------------------------
+
+TEST(ProtocolTest, ClassifyRespondsOkWithRelationName) {
+  ServerFixture& f = Fixture();
+  const std::string response = HandleRequestLine(*f.server, "CLASSIFY 0 1");
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+  EXPECT_NE(response.find("score="), std::string::npos) << response;
+  EXPECT_NE(response.find("dist_km="), std::string::npos) << response;
+}
+
+TEST(ProtocolTest, TopKRespondsWithCount) {
+  ServerFixture& f = Fixture();
+  const std::string response =
+      HandleRequestLine(*f.server, "TOPK 0 2.0 5");
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+}
+
+TEST(ProtocolTest, StatsRespondsWithCounters) {
+  ServerFixture& f = Fixture();
+  const std::string response = HandleRequestLine(*f.server, "STATS");
+  EXPECT_EQ(response.rfind("OK classify=", 0), 0u) << response;
+  EXPECT_NE(response.find("cache_hits="), std::string::npos) << response;
+}
+
+TEST(ProtocolTest, ErrorsAreErrLines) {
+  ServerFixture& f = Fixture();
+  EXPECT_EQ(HandleRequestLine(*f.server, "FROB 1 2").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(*f.server, "CLASSIFY 0").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(*f.server, "CLASSIFY 0 1 2").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(*f.server, "TOPK 0 nonsense 5").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(
+      HandleRequestLine(*f.server, "CLASSIFY 999999 0").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(HandleRequestLine(*f.server, ""), "");
+  EXPECT_EQ(HandleRequestLine(*f.server, "   "), "");
+}
+
+}  // namespace
+}  // namespace prim::serve
