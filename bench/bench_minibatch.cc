@@ -1,0 +1,335 @@
+// Mini-batch training benchmark: sweeps synthetic city sizes, neighbor
+// fanouts, and batch sizes, and reports per-configuration
+//   * s/epoch (mean over the timed epochs),
+//   * peak-RSS growth during training (VmHWM delta; the claim under test
+//     is that mini-batch memory scales with fanout x batch size, NOT with
+//     city size — each city also gets a full-batch reference row, whose
+//     memory DOES grow with the city),
+// plus a full-batch vs mini-batch test-F1 comparison on the default tiny
+// preset (the two should be within a couple of Macro-F1 points).
+// Results go to BENCH_minibatch.json and are echoed to stdout.
+//
+// Each sweep configuration runs in a fresh child process (the bench
+// re-executes itself with --sweep-child=...): VmHWM is process-global and
+// glibc retains freed arenas, so in-process measurements would otherwise
+// leak earlier configurations' high-water marks into later ones.
+//
+//   --scale=tiny|small|paper   preset for the F1 comparison (default tiny)
+//   --epochs=N                 F1-comparison epoch budget (default 60)
+//   --seed=N                   experiment seed
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/prim_model.h"
+#include "data/synthetic.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/minibatch.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace prim;
+using Clock = std::chrono::steady_clock;
+
+// --- Peak-RSS accounting (Linux /proc) -------------------------------------
+
+// Reads a "Key:   123 kB" field from /proc/self/status; 0 when absent.
+long StatusKb(const char* key) {
+  FILE* f = fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long value = 0;
+  const size_t key_len = strlen(key);
+  while (fgets(line, sizeof(line), f) != nullptr) {
+    if (strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      sscanf(line + key_len + 1, "%ld", &value);
+      break;
+    }
+  }
+  fclose(f);
+  return value;
+}
+
+// Resets VmHWM to the current RSS (Linux >= 4.0); harmless no-op elsewhere.
+void ResetPeakRss() {
+  FILE* f = fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return;
+  fputs("5", f);
+  fclose(f);
+}
+
+// Runs fn() and returns its peak-RSS growth in MB (VmHWM delta; falls back
+// to the VmRSS delta when the kernel lacks peak-reset support).
+template <typename Fn>
+double MeasurePeakRssMb(Fn&& fn) {
+  ResetPeakRss();
+  const long hwm_before = StatusKb("VmHWM");
+  const long rss_before = StatusKb("VmRSS");
+  fn();
+  const long hwm_after = StatusKb("VmHWM");
+  const long delta_kb = hwm_after > hwm_before ? hwm_after - hwm_before
+                                               : StatusKb("VmRSS") - rss_before;
+  return delta_kb / 1024.0;
+}
+
+// --- Sweep -----------------------------------------------------------------
+
+struct SweepRow {
+  int pois = 0;
+  std::string fanout;  // "full" = full-batch Trainer reference row.
+  int batch_size = 0;  // 0 for the full-batch row.
+  int batches_per_epoch = 0;
+  double s_per_epoch = 0.0;
+  double peak_rss_mb = 0.0;
+};
+
+// Child-process entry: trains one sweep configuration and prints a RESULT
+// line for the parent to parse.
+//
+// The sweep runs PRIM without the spatial-fusion layer (the paper's -S
+// ablation). Eq. 10 couples every scored node to its <=30 spatial
+// neighbours, all of which need exact L-layer embeddings, so with spatial
+// fusion on even small batches pull in a city-sized receptive field and
+// the sweep would only measure that saturation. The ablation isolates
+// what this bench is about: how sampled-subgraph memory scales with
+// (fanout, batch) versus city size.
+int RunSweepChild(int pois, int batch_size, const std::string& fanout,
+                  uint64_t seed) {
+  train::ExperimentConfig config =
+      bench::ConfigForScale(data::DatasetScale::kTiny);
+  config.trainer.epochs = 2;
+  config.trainer.verbose = false;
+  config.trainer.max_positives_per_epoch = 512;
+  config.prim.use_spatial_context = false;
+  data::SyntheticCityConfig city_config =
+      data::BeijingConfig(data::DatasetScale::kTiny);
+  city_config.num_pois = pois;
+  city_config.name = "sweep";
+  const data::PoiDataset city = data::GenerateSyntheticCity(city_config);
+  const train::ExperimentData data =
+      train::PrepareExperiment(city, 0.6, config);
+  Rng rng(seed);
+  core::PrimModel model(data.ctx, config.prim, rng);
+
+  double s_per_epoch = 0.0;
+  int batches_per_epoch = 0;
+  double peak_mb = 0.0;
+  if (fanout == "full") {
+    train::Trainer trainer(model, data.split.train, *data.full_graph,
+                           config.trainer);
+    peak_mb = MeasurePeakRssMb([&] {
+      const auto t0 = Clock::now();
+      const train::TrainResult r = trainer.Fit(nullptr);
+      const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+      s_per_epoch = r.epochs_run > 0 ? s / r.epochs_run : 0.0;
+      batches_per_epoch = 1;
+    });
+  } else {
+    train::MiniBatchConfig mb;
+    mb.train = config.trainer;
+    mb.batch_size = batch_size;
+    mb.fanout = train::ParseFanout(fanout);
+    train::MiniBatchTrainer trainer(model, data.split.train, *data.full_graph,
+                                    mb);
+    peak_mb = MeasurePeakRssMb([&] {
+      const auto t0 = Clock::now();
+      const train::TrainResult r = trainer.Fit(nullptr);
+      const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+      s_per_epoch = r.epochs_run > 0 ? s / r.epochs_run : 0.0;
+      batches_per_epoch =
+          r.epochs_run > 0 ? static_cast<int>(r.loss_curve.size()) /
+                                 r.epochs_run
+                           : 0;
+    });
+  }
+  printf("RESULT %.6f %.3f %d\n", s_per_epoch, peak_mb, batches_per_epoch);
+  return 0;
+}
+
+// Runs one sweep configuration in a fresh child process so its VmHWM is
+// untouched by earlier configurations.
+SweepRow RunSweepConfig(const char* self, int pois, int batch_size,
+                        const std::string& fanout, uint64_t seed) {
+  SweepRow row;
+  row.pois = pois;
+  row.fanout = fanout;
+  row.batch_size = fanout == "full" ? 0 : batch_size;
+  char cmd[512];
+  snprintf(cmd, sizeof(cmd), "'%s' '--sweep-child=%d:%d:%s' --seed=%llu",
+           self, pois, batch_size, fanout.c_str(),
+           static_cast<unsigned long long>(seed));
+  FILE* pipe = popen(cmd, "r");
+  if (pipe == nullptr) {
+    fprintf(stderr, "bench_minibatch: popen failed for %s\n", cmd);
+    return row;
+  }
+  char line[256];
+  bool parsed = false;
+  while (fgets(line, sizeof(line), pipe) != nullptr) {
+    if (sscanf(line, "RESULT %lf %lf %d", &row.s_per_epoch, &row.peak_rss_mb,
+               &row.batches_per_epoch) == 3)
+      parsed = true;
+  }
+  const int status = pclose(pipe);
+  if (!parsed || status != 0)
+    fprintf(stderr, "bench_minibatch: child failed (status %d): %s\n", status,
+            cmd);
+  return row;
+}
+
+// --- Full-batch vs mini-batch F1 on the default preset ----------------------
+
+struct F1Row {
+  double macro_f1 = 0.0;
+  double micro_f1 = 0.0;
+  double s_per_epoch = 0.0;
+  double peak_rss_mb = 0.0;
+  int epochs = 0;
+};
+
+void WriteJson(FILE* f, int preset_pois, const F1Row& full, const F1Row& mini,
+               const std::string& mini_fanout, int mini_batch,
+               const std::vector<SweepRow>& sweep) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_minibatch\",\n");
+  fprintf(f, "  \"f1_default_preset\": {\n");
+  fprintf(f, "    \"pois\": %d,\n", preset_pois);
+  fprintf(f,
+          "    \"full_batch\": {\"macro_f1\": %.4f, \"micro_f1\": %.4f, "
+          "\"s_per_epoch\": %.4f, \"peak_rss_mb\": %.1f, \"epochs\": %d},\n",
+          full.macro_f1, full.micro_f1, full.s_per_epoch, full.peak_rss_mb,
+          full.epochs);
+  fprintf(f,
+          "    \"minibatch\": {\"macro_f1\": %.4f, \"micro_f1\": %.4f, "
+          "\"s_per_epoch\": %.4f, \"peak_rss_mb\": %.1f, \"epochs\": %d, "
+          "\"fanout\": \"%s\", \"batch_size\": %d},\n",
+          mini.macro_f1, mini.micro_f1, mini.s_per_epoch, mini.peak_rss_mb,
+          mini.epochs, mini_fanout.c_str(), mini_batch);
+  fprintf(f, "    \"macro_f1_gap\": %.4f\n", full.macro_f1 - mini.macro_f1);
+  fprintf(f, "  },\n");
+  fprintf(f, "  \"sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    fprintf(f,
+            "    {\"pois\": %d, \"fanout\": \"%s\", \"batch_size\": %d, "
+            "\"batches_per_epoch\": %d, \"s_per_epoch\": %.4f, "
+            "\"peak_rss_mb\": %.1f}%s\n",
+            r.pois, r.fanout.c_str(), r.batch_size, r.batches_per_epoch,
+            r.s_per_epoch, r.peak_rss_mb, i + 1 < sweep.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  const uint64_t seed = flags.seed ? flags.seed : 1;
+
+  // Hidden child mode used by the sweep: --sweep-child=POIS:BATCH:FANOUT
+  // (fanout last: it contains commas; "full" selects the full-batch row).
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--sweep-child=", 14) == 0) {
+      const std::string spec = argv[i] + 14;
+      const size_t c1 = spec.find(':');
+      const size_t c2 = spec.find(':', c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) {
+        fprintf(stderr, "bench_minibatch: bad --sweep-child spec: %s\n",
+                spec.c_str());
+        return 1;
+      }
+      return RunSweepChild(std::atoi(spec.c_str()),
+                           std::atoi(spec.c_str() + c1 + 1),
+                           spec.substr(c2 + 1), seed);
+    }
+  }
+
+  // --- F1 comparison on the default preset -------------------------------
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  config.trainer.epochs = flags.epochs > 0 ? flags.epochs : 60;
+  config.trainer.verbose = false;
+  data::PoiDataset preset = data::MakeBeijing(flags.scale);
+  const train::ExperimentData data =
+      train::PrepareExperiment(preset, 0.6, config);
+
+  fprintf(stderr, "bench_minibatch: full-batch PRIM on %d POIs...\n",
+          preset.num_pois());
+  F1Row full;
+  {
+    Rng rng(seed);
+    core::PrimModel model(data.ctx, config.prim, rng);
+    train::Trainer trainer(model, data.split.train, *data.full_graph,
+                           config.trainer);
+    full.peak_rss_mb = MeasurePeakRssMb([&] {
+      const train::TrainResult r = trainer.Fit(&data.validation);
+      full.epochs = r.epochs_run;
+      full.s_per_epoch = r.epochs_run > 0 ? r.seconds / r.epochs_run : 0.0;
+    });
+    const train::F1Result f1 = train::EvaluateModel(model, data.test);
+    full.macro_f1 = f1.macro_f1;
+    full.micro_f1 = f1.micro_f1;
+  }
+
+  const std::string mini_fanout = "10,5";
+  const int mini_batch = 512;
+  fprintf(stderr, "bench_minibatch: mini-batch PRIM (fanout %s, batch %d)...\n",
+          mini_fanout.c_str(), mini_batch);
+  F1Row mini;
+  {
+    train::MiniBatchConfig mb;
+    mb.train = config.trainer;
+    mb.batch_size = mini_batch;
+    mb.fanout = train::ParseFanout(mini_fanout);
+    Rng rng(seed);
+    core::PrimModel model(data.ctx, config.prim, rng);
+    train::MiniBatchTrainer trainer(model, data.split.train,
+                                    *data.full_graph, mb);
+    mini.peak_rss_mb = MeasurePeakRssMb([&] {
+      const train::TrainResult r = trainer.Fit(&data.validation);
+      mini.epochs = r.epochs_run;
+      mini.s_per_epoch = r.epochs_run > 0 ? r.seconds / r.epochs_run : 0.0;
+    });
+    const train::F1Result f1 = train::EvaluateModel(model, data.test);
+    mini.macro_f1 = f1.macro_f1;
+    mini.micro_f1 = f1.micro_f1;
+  }
+
+  // --- City-size x fanout x batch sweep -----------------------------------
+  // Cities at 1x / 8x / 64x the tiny preset, one child process per
+  // configuration. The full-batch reference row's training memory grows
+  // with the city; the mini-batch rows should track (fanout, batch).
+  std::vector<SweepRow> sweep;
+  const int base_pois = data::BeijingConfig(data::DatasetScale::kTiny).num_pois;
+  for (int factor : {1, 8, 64}) {
+    const int pois = base_pois * factor;
+    for (const auto& [fanout, batch] :
+         {std::pair<const char*, int>{"full", 0}, {"3,2", 16}, {"5,3", 16},
+          {"5,3", 64}}) {
+      fprintf(stderr, "bench_minibatch: sweep pois=%d fanout=%s batch=%d...\n",
+              pois, fanout, batch);
+      sweep.push_back(RunSweepConfig(argv[0], pois, batch, fanout, seed));
+    }
+  }
+
+  const char* path = "BENCH_minibatch.json";
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench_minibatch: cannot open %s for writing\n", path);
+    return 1;
+  }
+  WriteJson(f, preset.num_pois(), full, mini, mini_fanout, mini_batch, sweep);
+  fclose(f);
+  fprintf(stderr,
+          "bench_minibatch: wrote %s (macro-F1 full %.4f vs mini %.4f)\n",
+          path, full.macro_f1, mini.macro_f1);
+  WriteJson(stdout, preset.num_pois(), full, mini, mini_fanout, mini_batch,
+            sweep);
+  return 0;
+}

@@ -3,6 +3,11 @@
 //
 //   ./build/examples/train_model --model=PRIM --city=BJ --scale=small \
 //       --train=0.6 --epochs=200 --lr=0.01 --dim=32
+//
+// Mini-batch mode (neighbor-sampled subgraphs instead of full-graph
+// passes; see DESIGN.md "Mini-batch training"):
+//
+//   ./build/examples/train_model --minibatch --fanout=10,5 --batch=512
 
 #include <cstdio>
 #include <cstring>
@@ -16,16 +21,30 @@
 #include "nn/ops.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
+#include "train/minibatch.h"
 
 namespace {
 
+// Accepts both "--name=value" and "--name value".
 std::string FlagValue(int argc, char** argv, const std::string& name,
                       const std::string& fallback) {
   const std::string prefix = "--" + name + "=";
-  for (int i = 1; i < argc; ++i)
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
       return argv[i] + prefix.size();
+    if (bare == argv[i] && i + 1 < argc && argv[i + 1][0] != '-')
+      return argv[i + 1];
+  }
   return fallback;
+}
+
+// True for bare "--name" as well as "--name=1"-style values.
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i)
+    if (bare == argv[i]) return true;
+  return FlagValue(argc, argv, name, "0") != "0";
 }
 
 }  // namespace
@@ -96,6 +115,15 @@ int main(int argc, char** argv) {
     }
     std::printf("restored %zu tensors from %s; skipping training\n",
                 checkpoint.params.size(), load_path.c_str());
+  } else if (HasFlag(argc, argv, "minibatch")) {
+    train::MiniBatchConfig mb;
+    mb.train = config.trainer;
+    mb.batch_size = std::stoi(FlagValue(argc, argv, "batch", "512"));
+    mb.fanout = train::ParseFanout(FlagValue(argc, argv, "fanout", "10,5"));
+    mb.pipeline = FlagValue(argc, argv, "pipeline", "1") != "0";
+    train::MiniBatchTrainer trainer(*model, data.split.train,
+                                    *data.full_graph, mb);
+    fit = trainer.Fit(&data.validation);
   } else {
     train::Trainer trainer(*model, data.split.train, *data.full_graph,
                            config.trainer);

@@ -214,7 +214,112 @@ class WorkerPool {
   int remaining_ = 0;
 };
 
+// Set by the async runner destructor during static teardown; RunAsync runs
+// tasks inline afterwards.
+std::atomic<bool> g_async_destroyed{false};
+
 }  // namespace
+
+namespace internal {
+
+// Completion state shared between the submitting thread and the runner.
+struct AsyncTaskState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  void MarkDone() {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+// Process-wide single background thread executing RunAsync closures in
+// submission order. Separate from WorkerPool so an async task can itself
+// dispatch ParallelFor regions to the pool.
+class AsyncRunner {
+ public:
+  static AsyncRunner& Get() {
+    static AsyncRunner runner;
+    return runner;
+  }
+
+  ~AsyncRunner() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+    g_async_destroyed.store(true, std::memory_order_relaxed);
+  }
+
+  bool UsableFromThisProcess() const { return owner_pid_ == ::getpid(); }
+
+  void Enqueue(std::function<void()> fn,
+               std::shared_ptr<internal::AsyncTaskState> state) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) thread_ = std::thread(&AsyncRunner::Main, this);
+    queue_.push_back({std::move(fn), std::move(state)});
+    cv_.notify_all();
+  }
+
+ private:
+  struct Item {
+    std::function<void()> fn;
+    std::shared_ptr<internal::AsyncTaskState> state;
+  };
+
+  AsyncRunner() : owner_pid_(::getpid()) {}
+
+  void Main() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      Item item = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+      lock.unlock();
+      item.fn();
+      item.state->MarkDone();
+      lock.lock();
+    }
+  }
+
+  const pid_t owner_pid_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::vector<Item> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+void AsyncTask::Wait() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+AsyncTask RunAsync(std::function<void()> fn) {
+  AsyncTask task;
+  task.state_ = std::make_shared<internal::AsyncTaskState>();
+  AsyncRunner& runner = AsyncRunner::Get();
+  if (g_async_destroyed.load(std::memory_order_relaxed) ||
+      !runner.UsableFromThisProcess()) {
+    fn();
+    task.state_->MarkDone();
+    return task;
+  }
+  runner.Enqueue(std::move(fn), task.state_);
+  return task;
+}
 
 int NumWorkerThreads() { return ResolveThreads(); }
 

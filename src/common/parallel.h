@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 namespace prim {
 
@@ -26,6 +27,44 @@ void SetNumWorkerThreads(int n);
 /// direct call when n is small or only one worker is configured, and to
 /// inline chunked execution for nested regions and forked children.
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn);
+
+// --- Single-consumer async execution --------------------------------------
+//
+// RunAsync hands one closure to a persistent background thread (distinct
+// from the ParallelFor pool, so an async task may itself call ParallelFor
+// without deadlocking it) and returns a handle to block on. Tasks run
+// strictly in submission order on that one thread, which makes RunAsync
+// suitable for pipelines whose producer must stay sequential — e.g.
+// mini-batch preparation, where the batch stream must not depend on thread
+// count. Falls back to inline execution in forked children and after
+// static teardown, exactly like ParallelFor.
+
+namespace internal {
+struct AsyncTaskState;
+}  // namespace internal
+
+/// Handle for one RunAsync submission. Default-constructed handles are
+/// empty; Wait() on them returns immediately.
+class AsyncTask {
+ public:
+  AsyncTask() = default;
+
+  /// Blocks until the task has finished (or returns immediately for an
+  /// empty handle or a task that ran inline). Safe to call repeatedly.
+  void Wait();
+
+  /// True if this handle refers to a submitted task.
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend AsyncTask RunAsync(std::function<void()> fn);
+  std::shared_ptr<internal::AsyncTaskState> state_;
+};
+
+/// Schedules fn on the process-wide background thread and returns a handle.
+/// Exceptions must not escape fn (the library aborts on internal errors via
+/// PRIM_CHECK rather than throwing).
+AsyncTask RunAsync(std::function<void()> fn);
 
 // --- Disjoint-write-range audit ------------------------------------------
 //

@@ -28,8 +28,9 @@ PrimModel::PrimModel(const models::ModelContext& ctx,
 }
 
 nn::Tensor PrimModel::EncodeNodes(bool /*training*/) {
+  const models::GraphView& view = ctx_.view();
   nn::Tensor q = taxonomy_.Forward();                      // N x tax_dim
-  nn::Tensor h = nn::Tanh(nn::MatMul(ctx_.attrs, w_input_));  // N x dim
+  nn::Tensor h = nn::Tanh(nn::MatMul(*view.attrs, w_input_));  // N x dim
   nn::Tensor rel = rel_embeddings_;
   for (const auto& layer : layers_) {
     nn::Tensor h_aug = nn::ConcatCols({h, q});  // h* = [h || q] (§4.3)

@@ -36,6 +36,9 @@ class PrimModel : public models::RelationModel {
   nn::Tensor ScorePairs(const nn::Tensor& h,
                         const models::PairBatch& batch) override;
   std::string name() const override;
+  bool uses_spatial_context() const override {
+    return config_.use_spatial_context;
+  }
 
   const PrimConfig& config() const { return config_; }
   /// Relation representations after the last EncodeNodes (for export into

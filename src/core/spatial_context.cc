@@ -13,23 +13,26 @@ SpatialContextExtractor::SpatialContextExtractor(
   w_q_ = RegisterParameter(nn::XavierUniform(dim, dim, rng), "w_q");
   w_k_ = RegisterParameter(nn::XavierUniform(dim, dim, rng), "w_k");
   w_v_ = RegisterParameter(nn::XavierUniform(dim, dim, rng), "w_v");
-  rbf_ = nn::Tensor::Zeros(ctx.spatial.size(), 1);
-  for (int e = 0; e < ctx.spatial.size(); ++e)
-    rbf_.data()[e] = ctx.spatial_rbf[e];
 }
 
 nn::Tensor SpatialContextExtractor::Forward(const nn::Tensor& h) const {
-  if (ctx_.spatial.size() == 0)
-    return nn::Tensor::Zeros(ctx_.num_nodes, dim_);
-  const models::FlatEdges& edges = ctx_.spatial;
+  const models::GraphView& view = ctx_.view();
+  const models::FlatEdges& edges = *view.spatial;
+  if (edges.size() == 0) return nn::Tensor::Zeros(view.num_nodes, dim_);
+  const nn::Tensor& rbf = rbf_.Get(view, [&] {
+    nn::Tensor t = nn::Tensor::Zeros(edges.size(), 1);
+    for (int e = 0; e < edges.size(); ++e)
+      t.data()[e] = (*view.spatial_rbf)[e];
+    return t;
+  });
   nn::Tensor q = nn::Gather(nn::MatMul(h, w_q_), edges.dst);
   nn::Tensor k = nn::Gather(nn::MatMul(h, w_k_), edges.src);
   nn::Tensor e_prime = nn::Scale(
       nn::RowSum(nn::Mul(q, k)), 1.0f / std::sqrt(static_cast<float>(dim_)));
-  nn::Tensor e = nn::Mul(e_prime, rbf_);  // Eq. 9: semantics x geography.
-  nn::Tensor beta = nn::SegmentSoftmax(e, edges.dst, ctx_.num_nodes);
+  nn::Tensor e = nn::Mul(e_prime, rbf);  // Eq. 9: semantics x geography.
+  nn::Tensor beta = nn::SegmentSoftmax(e, edges.dst, view.num_nodes);
   nn::Tensor v = nn::Gather(nn::MatMul(h, w_v_), edges.src);
-  return nn::SegmentSum(nn::Mul(v, beta), edges.dst, ctx_.num_nodes);
+  return nn::SegmentSum(nn::Mul(v, beta), edges.dst, view.num_nodes);
 }
 
 }  // namespace prim::core

@@ -25,7 +25,8 @@ class SpatialContextExtractor : public nn::Module {
   const models::ModelContext& ctx_;
   int dim_;
   nn::Tensor w_q_, w_k_, w_v_;  // dim x dim
-  nn::Tensor rbf_;              // E x 1 constant RBF kernel weights
+  // E x 1 constant RBF kernel weights of the active view's spatial edges.
+  mutable models::PerViewCache<nn::Tensor> rbf_;
 };
 
 }  // namespace prim::core

@@ -14,11 +14,12 @@ TaxonomyEncoder::TaxonomyEncoder(const models::ModelContext& ctx, int tax_dim,
 }
 
 nn::Tensor TaxonomyEncoder::Forward() const {
+  const models::GraphView& view = ctx_.view();
   if (use_path_) {
-    nn::Tensor rows = nn::Gather(table_, ctx_.path_nodes);
-    return nn::SegmentSum(rows, ctx_.path_segments, ctx_.num_nodes);
+    nn::Tensor rows = nn::Gather(table_, *view.path_nodes);
+    return nn::SegmentSum(rows, *view.path_segments, view.num_nodes);
   }
-  return nn::Gather(table_, ctx_.poi_category);
+  return nn::Gather(table_, *view.poi_category);
 }
 
 }  // namespace prim::core

@@ -35,14 +35,18 @@ WrgnnLayer::WrgnnLayer(const models::ModelContext& ctx,
           nn::XavierUniform(att_in, 1, rng),
           "attn." + std::to_string(r) + "." + std::to_string(k)));
   w_rel_ = RegisterParameter(nn::XavierUniform(d_aug_, d_aug_, rng), "w_rel");
-  for (int r = 0; r < ctx.num_relations; ++r)
-    dist_features_.push_back(
-        models::DistanceFeatures(ctx.rel_edges[r].dist_km));
 }
 
 WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
                                        const nn::Tensor& relations) const {
   PRIM_CHECK_MSG(h_aug.cols() == d_aug_, "WRGNN input dim mismatch");
+  const models::GraphView& view = ctx_.view();
+  const std::vector<nn::Tensor>& dist_features = dist_features_.Get(view, [&] {
+    std::vector<nn::Tensor> feats;
+    for (int r = 0; r < view.num_relations; ++r)
+      feats.push_back(models::DistanceFeatures((*view.rel_edges)[r].dist_km));
+    return feats;
+  });
   // Shared attention projection W_a h* (Eq. 3) computed once per layer.
   nn::Tensor att_proj = nn::MatMul(h_aug, w_att_);  // N x att_dim
 
@@ -54,13 +58,13 @@ WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
   };
   std::vector<RelCache> cache(ctx_.num_relations);
   for (int r = 0; r < ctx_.num_relations; ++r) {
-    const models::FlatEdges& edges = ctx_.rel_edges[r];
+    const models::FlatEdges& edges = (*view.rel_edges)[r];
     if (edges.size() == 0) continue;
     RelCache& c = cache[r];
     c.att_i = nn::Gather(att_proj, edges.dst);
     c.att_j = nn::Gather(att_proj, edges.src);
     if (config_.use_attention_distance)
-      c.dist_proj = nn::MatMul(dist_features_[r], w_dist_);
+      c.dist_proj = nn::MatMul(dist_features[r], w_dist_);
     const std::vector<int> rel_row(edges.size(), r);
     nn::Tensor h_src = nn::Gather(h_aug, edges.src);
     nn::Tensor h_rel = nn::Gather(relations, rel_row);
@@ -73,7 +77,7 @@ WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
   for (int k = 0; k < config_.heads; ++k) {
     nn::Tensor acc = nn::MatMul(h_aug, w_self_[k]);  // N x head_dim
     for (int r = 0; r < ctx_.num_relations; ++r) {
-      const models::FlatEdges& edges = ctx_.rel_edges[r];
+      const models::FlatEdges& edges = (*view.rel_edges)[r];
       if (edges.size() == 0) continue;
       const RelCache& c = cache[r];
       std::vector<nn::Tensor> att_parts = {c.att_i, c.att_j};
@@ -81,10 +85,10 @@ WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
       nn::Tensor e = nn::LeakyRelu(
           nn::MatMul(nn::ConcatCols(att_parts), attn_[r][k]),
           config_.leaky_alpha);
-      nn::Tensor alpha = nn::SegmentSoftmax(e, edges.dst, ctx_.num_nodes);
+      nn::Tensor alpha = nn::SegmentSoftmax(e, edges.dst, view.num_nodes);
       nn::Tensor msg = nn::MatMul(c.gamma, w_msg_[k]);  // E x head_dim
       acc = nn::Add(acc, nn::SegmentSum(nn::Mul(msg, alpha), edges.dst,
-                                        ctx_.num_nodes));
+                                        view.num_nodes));
     }
     heads.push_back(nn::Tanh(acc));
   }

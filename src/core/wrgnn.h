@@ -51,7 +51,8 @@ class WrgnnLayer : public nn::Module {
   std::vector<nn::Tensor> w_self_;          // per head: d_aug x head_dim
   std::vector<std::vector<nn::Tensor>> attn_;  // [rel][head]: concat x 1
   nn::Tensor w_rel_;                        // d_aug x d_aug
-  std::vector<nn::Tensor> dist_features_;   // per relation: E x 3 constant
+  // Per relation: E x 3 constant distance features of the active view.
+  mutable models::PerViewCache<std::vector<nn::Tensor>> dist_features_;
 };
 
 }  // namespace prim::core

@@ -22,24 +22,29 @@ CompGcnModel::CompGcnModel(const ModelContext& ctx, const ModelConfig& config,
     w_rel_.push_back(RegisterParameter(
         nn::XavierUniform(config.dim, config.dim, rng), p + "w_rel"));
   }
-  for (int r = 0; r < ctx.num_relations; ++r)
-    rel_norm_.push_back(MeanEdgeNorm(ctx.rel_edges[r], ctx.num_nodes));
 }
 
 nn::Tensor CompGcnModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const std::vector<nn::Tensor>& rel_norm = rel_norm_.Get(view, [&] {
+    std::vector<nn::Tensor> norms;
+    for (int r = 0; r < view.num_relations; ++r)
+      norms.push_back(MeanEdgeNorm((*view.rel_edges)[r], view.num_nodes));
+    return norms;
+  });
   nn::Tensor h = features_.Forward();
   nn::Tensor rel = rel_embeddings_;
   for (size_t l = 0; l < w_msg_.size(); ++l) {
     nn::Tensor out = nn::MatMul(h, w_self_[l]);
     for (int r = 0; r < ctx_.num_relations; ++r) {
-      const FlatEdges& edges = ctx_.rel_edges[r];
+      const FlatEdges& edges = (*view.rel_edges)[r];
       if (edges.size() == 0) continue;
       // phi(h_u, h_r) = h_u ⊙ h_r (relation row broadcast per edge).
       const std::vector<int> rel_ids(edges.size(), r);
       nn::Tensor composed =
           nn::Mul(nn::Gather(h, edges.src), nn::Gather(rel, rel_ids));
-      nn::Tensor msg = nn::Mul(composed, rel_norm_[r]);
-      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, ctx_.num_nodes);
+      nn::Tensor msg = nn::Mul(composed, rel_norm[r]);
+      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, view.num_nodes);
       out = nn::Add(out, nn::MatMul(agg, w_msg_[l]));
     }
     h = nn::Tanh(out);

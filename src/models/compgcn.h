@@ -30,7 +30,8 @@ class CompGcnModel : public RelationModel {
   std::vector<nn::Tensor> w_msg_;      // per layer: dim x dim
   std::vector<nn::Tensor> w_self_;     // per layer: dim x dim
   std::vector<nn::Tensor> w_rel_;      // per layer: dim x dim
-  std::vector<nn::Tensor> rel_norm_;   // per relation mean norm
+  // Per relation mean norm of the active view.
+  mutable PerViewCache<std::vector<nn::Tensor>> rel_norm_;
   nn::Tensor rel_out_;                 // relation embeddings after L layers
 };
 

@@ -13,8 +13,6 @@ DecGcnModel::DecGcnModel(const ModelContext& ctx, const ModelConfig& config,
   RegisterModule(&features_, "features");
   towers_.resize(ctx.num_relations);
   for (int r = 0; r < ctx.num_relations; ++r) {
-    rel_edges_self_.push_back(WithSelfLoops(ctx.rel_edges[r], ctx.num_nodes));
-    rel_norm_.push_back(GcnEdgeNorm(rel_edges_self_[r], ctx.num_nodes));
     for (int l = 0; l < config.layers; ++l) {
       towers_[r].push_back(
           std::make_unique<GcnLayer>(config.dim, config.dim, rng));
@@ -31,13 +29,23 @@ DecGcnModel::DecGcnModel(const ModelContext& ctx, const ModelConfig& config,
 }
 
 nn::Tensor DecGcnModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const ViewEdges& ve = view_edges_.Get(view, [&] {
+    ViewEdges e;
+    for (int r = 0; r < view.num_relations; ++r) {
+      e.rel_edges_self.push_back(
+          WithSelfLoops((*view.rel_edges)[r], view.num_nodes));
+      e.rel_norm.push_back(GcnViewNorm(e.rel_edges_self[r], view, r));
+    }
+    return e;
+  });
   nn::Tensor h0 = features_.Forward();
   std::vector<nn::Tensor> z(ctx_.num_relations);
   for (int r = 0; r < ctx_.num_relations; ++r) {
     z[r] = h0;
     for (const auto& layer : towers_[r])
-      z[r] = layer->Forward(z[r], rel_edges_self_[r], rel_norm_[r],
-                            ctx_.num_nodes);
+      z[r] = layer->Forward(z[r], ve.rel_edges_self[r], ve.rel_norm[r],
+                            view.num_nodes);
   }
   // Gated co-attention between towers.
   std::vector<nn::Tensor> fused(ctx_.num_relations);

@@ -28,10 +28,14 @@ class DecGcnModel : public RelationModel {
   std::string name() const override { return "DecGCN"; }
 
  private:
+  struct ViewEdges {
+    std::vector<FlatEdges> rel_edges_self;
+    std::vector<nn::Tensor> rel_norm;
+  };
+
   NodeFeatureEncoder features_;
   std::vector<std::vector<std::unique_ptr<GcnLayer>>> towers_;
-  std::vector<FlatEdges> rel_edges_self_;
-  std::vector<nn::Tensor> rel_norm_;
+  mutable PerViewCache<ViewEdges> view_edges_;
   nn::Tensor w_co_;                    // dim x dim co-attention bilinear
   std::vector<nn::Tensor> rel_score_;  // per class: dim x 1 DistMult diag
   int dim_;

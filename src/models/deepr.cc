@@ -14,25 +14,6 @@ DeepRModel::DeepRModel(const ModelContext& ctx, const ModelConfig& config,
       scorer_(num_classes(), config.dim, rng) {
   RegisterModule(&features_, "features");
   RegisterModule(&scorer_, "scorer");
-  sector_edges_.resize(ctx.num_relations,
-                       std::vector<FlatEdges>(sectors_));
-  sector_norm_.resize(ctx.num_relations);
-  for (int r = 0; r < ctx.num_relations; ++r) {
-    const FlatEdges& edges = ctx.rel_edges[r];
-    for (int e = 0; e < edges.size(); ++e) {
-      // The *destination* is the centre node; the sector is the bearing of
-      // the source neighbour from it.
-      const int g = geo::SectorOf(ctx.dataset->pois[edges.dst[e]].location,
-                                  ctx.dataset->pois[edges.src[e]].location,
-                                  sectors_);
-      sector_edges_[r][g].src.push_back(edges.src[e]);
-      sector_edges_[r][g].dst.push_back(edges.dst[e]);
-      sector_edges_[r][g].dist_km.push_back(edges.dist_km[e]);
-    }
-    for (int g = 0; g < sectors_; ++g)
-      sector_norm_[r].push_back(
-          MeanEdgeNorm(sector_edges_[r][g], ctx.num_nodes));
-  }
   for (int l = 0; l < config.layers; ++l) {
     const std::string p = "layers." + std::to_string(l) + ".";
     std::vector<nn::Tensor> layer_w;
@@ -47,16 +28,42 @@ DeepRModel::DeepRModel(const ModelContext& ctx, const ModelConfig& config,
 }
 
 nn::Tensor DeepRModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const ViewEdges& ve = view_edges_.Get(view, [&] {
+    ViewEdges e;
+    e.sector_edges.resize(view.num_relations,
+                          std::vector<FlatEdges>(sectors_));
+    e.sector_norm.resize(view.num_relations);
+    for (int r = 0; r < view.num_relations; ++r) {
+      const FlatEdges& edges = (*view.rel_edges)[r];
+      for (int ed = 0; ed < edges.size(); ++ed) {
+        // The *destination* is the centre node; the sector is the bearing
+        // of the source neighbour from it. Bearings need the original POI
+        // locations, hence the GlobalId lookup.
+        const int g = geo::SectorOf(
+            ctx_.dataset->pois[view.GlobalId(edges.dst[ed])].location,
+            ctx_.dataset->pois[view.GlobalId(edges.src[ed])].location,
+            sectors_);
+        e.sector_edges[r][g].src.push_back(edges.src[ed]);
+        e.sector_edges[r][g].dst.push_back(edges.dst[ed]);
+        e.sector_edges[r][g].dist_km.push_back(edges.dist_km[ed]);
+      }
+      for (int g = 0; g < sectors_; ++g)
+        e.sector_norm[r].push_back(
+            MeanEdgeNorm(e.sector_edges[r][g], view.num_nodes));
+    }
+    return e;
+  });
   nn::Tensor h = features_.Forward();
   for (size_t l = 0; l < w_sector_.size(); ++l) {
     nn::Tensor out = nn::MatMul(h, w_self_[l]);
     for (int r = 0; r < ctx_.num_relations; ++r) {
       for (int g = 0; g < sectors_; ++g) {
-        const FlatEdges& edges = sector_edges_[r][g];
+        const FlatEdges& edges = ve.sector_edges[r][g];
         if (edges.size() == 0) continue;
         nn::Tensor msg =
-            nn::Mul(nn::Gather(h, edges.src), sector_norm_[r][g]);
-        nn::Tensor agg = nn::SegmentSum(msg, edges.dst, ctx_.num_nodes);
+            nn::Mul(nn::Gather(h, edges.src), ve.sector_norm[r][g]);
+        nn::Tensor agg = nn::SegmentSum(msg, edges.dst, view.num_nodes);
         out = nn::Add(out, nn::MatMul(agg, w_sector_[l][g]));
       }
     }

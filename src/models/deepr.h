@@ -25,11 +25,15 @@ class DeepRModel : public RelationModel {
   std::string name() const override { return "DeepR"; }
 
  private:
+  // Edges of relation r falling in sector g, with mean normalisation.
+  struct ViewEdges {
+    std::vector<std::vector<FlatEdges>> sector_edges;   // [r][g]
+    std::vector<std::vector<nn::Tensor>> sector_norm;   // [r][g]
+  };
+
   NodeFeatureEncoder features_;
   int sectors_;
-  // Edges of relation r falling in sector g, with mean normalisation.
-  std::vector<std::vector<FlatEdges>> sector_edges_;   // [r][g]
-  std::vector<std::vector<nn::Tensor>> sector_norm_;   // [r][g]
+  mutable PerViewCache<ViewEdges> view_edges_;
   std::vector<std::vector<nn::Tensor>> w_sector_;      // [layer][g]
   std::vector<nn::Tensor> w_self_;                     // [layer]
   DistMultScorer scorer_;

@@ -22,16 +22,17 @@ NodeFeatureEncoder::NodeFeatureEncoder(const ModelContext& ctx, int dim,
 }
 
 nn::Tensor NodeFeatureEncoder::Forward() const {
+  const GraphView& view = ctx_.view();
   nn::Tensor category_part;
   if (use_taxonomy_path_) {
     // q_p = sum of taxonomy-node embeddings along the leaf-to-root path.
-    nn::Tensor path_rows = nn::Gather(taxonomy_table_, ctx_.path_nodes);
+    nn::Tensor path_rows = nn::Gather(taxonomy_table_, *view.path_nodes);
     category_part =
-        nn::SegmentSum(path_rows, ctx_.path_segments, ctx_.num_nodes);
+        nn::SegmentSum(path_rows, *view.path_segments, view.num_nodes);
   } else {
-    category_part = nn::Gather(category_table_, ctx_.poi_category);
+    category_part = nn::Gather(category_table_, *view.poi_category);
   }
-  nn::Tensor attr_part = nn::MatMul(ctx_.attrs, attr_weight_);
+  nn::Tensor attr_part = nn::MatMul(*view.attrs, attr_weight_);
   return nn::Add(category_part, attr_part);
 }
 

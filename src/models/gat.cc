@@ -6,8 +6,7 @@ GatModel::GatModel(const ModelContext& ctx, const ModelConfig& config,
                    Rng& rng)
     : RelationModel(ctx),
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
-      scorer_(num_classes(), config.dim, rng),
-      edges_(WithSelfLoops(ctx.union_edges, ctx.num_nodes)) {
+      scorer_(num_classes(), config.dim, rng) {
   RegisterModule(&features_, "features");
   RegisterModule(&scorer_, "scorer");
   for (int l = 0; l < config.layers; ++l) {
@@ -18,9 +17,13 @@ GatModel::GatModel(const ModelContext& ctx, const ModelConfig& config,
 }
 
 nn::Tensor GatModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const FlatEdges& edges = view_edges_.Get(view, [&] {
+    return WithSelfLoops(*view.union_edges, view.num_nodes);
+  });
   nn::Tensor h = features_.Forward();
   for (const auto& layer : layers_)
-    h = layer->Forward(h, edges_, ctx_.num_nodes);
+    h = layer->Forward(h, edges, view.num_nodes);
   return h;
 }
 

@@ -26,7 +26,7 @@ class GatModel : public RelationModel {
   NodeFeatureEncoder features_;
   std::vector<std::unique_ptr<GatLayer>> layers_;
   DistMultScorer scorer_;
-  FlatEdges edges_;
+  mutable PerViewCache<FlatEdges> view_edges_;  // union + self loops
 };
 
 }  // namespace prim::models

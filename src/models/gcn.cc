@@ -6,9 +6,7 @@ GcnModel::GcnModel(const ModelContext& ctx, const ModelConfig& config,
                    Rng& rng)
     : RelationModel(ctx),
       features_(ctx, config.dim, /*use_taxonomy_path=*/false, rng),
-      scorer_(num_classes(), config.dim, rng),
-      edges_(WithSelfLoops(ctx.union_edges, ctx.num_nodes)),
-      norm_(GcnEdgeNorm(edges_, ctx.num_nodes)) {
+      scorer_(num_classes(), config.dim, rng) {
   RegisterModule(&features_, "features");
   RegisterModule(&scorer_, "scorer");
   for (int l = 0; l < config.layers; ++l) {
@@ -18,9 +16,16 @@ GcnModel::GcnModel(const ModelContext& ctx, const ModelConfig& config,
 }
 
 nn::Tensor GcnModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const ViewEdges& ve = view_edges_.Get(view, [&] {
+    ViewEdges e;
+    e.edges = WithSelfLoops(*view.union_edges, view.num_nodes);
+    e.norm = GcnViewNorm(e.edges, view);
+    return e;
+  });
   nn::Tensor h = features_.Forward();
   for (const auto& layer : layers_)
-    h = layer->Forward(h, edges_, norm_, ctx_.num_nodes);
+    h = layer->Forward(h, ve.edges, ve.norm, view.num_nodes);
   return h;
 }
 

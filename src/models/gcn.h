@@ -24,11 +24,15 @@ class GcnModel : public RelationModel {
   std::string name() const override { return "GCN"; }
 
  private:
+  struct ViewEdges {
+    FlatEdges edges;   // union + self loops
+    nn::Tensor norm;   // GCN symmetric norm
+  };
+
   NodeFeatureEncoder features_;
   std::vector<std::unique_ptr<GcnLayer>> layers_;
   DistMultScorer scorer_;
-  FlatEdges edges_;   // union + self loops
-  nn::Tensor norm_;   // GCN symmetric norm
+  mutable PerViewCache<ViewEdges> view_edges_;
 };
 
 }  // namespace prim::models

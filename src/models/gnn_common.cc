@@ -38,6 +38,24 @@ nn::Tensor GcnEdgeNorm(const FlatEdges& edges, int num_nodes) {
   return norm;
 }
 
+nn::Tensor GcnViewNorm(const FlatEdges& edges_with_loops,
+                       const GraphView& view, int rel) {
+  std::vector<float> deg(view.num_nodes, 0.0f);
+  for (int i = 0; i < view.num_nodes; ++i) {
+    const int d =
+        rel < 0 ? view.ParentTotalDegree(i) : view.ParentDegree(i, rel);
+    deg[i] = static_cast<float>(d) + 1.0f;  // + the self-loop.
+  }
+  nn::Tensor norm = nn::Tensor::Zeros(edges_with_loops.size(), 1);
+  float* nd = norm.data();
+  for (int e = 0; e < edges_with_loops.size(); ++e) {
+    const float ds = std::max(deg[edges_with_loops.src[e]], 1.0f);
+    const float dd = std::max(deg[edges_with_loops.dst[e]], 1.0f);
+    nd[e] = 1.0f / std::sqrt(ds * dd);
+  }
+  return norm;
+}
+
 nn::Tensor MeanEdgeNorm(const FlatEdges& edges, int num_nodes) {
   std::vector<float> deg(num_nodes, 0.0f);
   for (int d : edges.dst) deg[d] += 1.0f;

@@ -21,6 +21,15 @@ nn::Tensor GcnEdgeNorm(const FlatEdges& edges, int num_nodes);
 /// Row (mean) normalisation per edge: 1 / deg(dst). (E x 1) constant.
 nn::Tensor MeanEdgeNorm(const FlatEdges& edges, int num_nodes);
 
+/// GCN symmetric norm computed from *parent-graph* degrees (+1 for the
+/// self-loop WithSelfLoops appended) instead of counting `edges` itself.
+/// On the full view this is bitwise identical to GcnEdgeNorm; on a sampled
+/// view it is the correct norm — a boundary node's sampled in-edge list is
+/// truncated, but its true degree is not. `rel` < 0 uses the total degree
+/// (union graph), otherwise the per-relation degree (DecGCN towers).
+nn::Tensor GcnViewNorm(const FlatEdges& edges_with_loops,
+                       const GraphView& view, int rel = -1);
+
 /// Per-edge geographic feature triple [d, log1p(d), exp(-d)] as an (E x 3)
 /// constant tensor — the featurisation behind W_d * d_ij in Eq. 3.
 nn::Tensor DistanceFeatures(const std::vector<float>& dist_km);

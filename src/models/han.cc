@@ -14,8 +14,6 @@ HanModel::HanModel(const ModelContext& ctx, const ModelConfig& config,
   RegisterModule(&scorer_, "scorer");
   towers_.resize(ctx.num_relations);
   for (int r = 0; r < ctx.num_relations; ++r) {
-    rel_edges_self_.push_back(
-        WithSelfLoops(ctx.rel_edges[r], ctx.num_nodes));
     for (int l = 0; l < config.layers; ++l) {
       towers_[r].push_back(std::make_unique<GatLayer>(
           config.dim, config.dim, config.heads, config.leaky_alpha, rng));
@@ -31,13 +29,22 @@ HanModel::HanModel(const ModelContext& ctx, const ModelConfig& config,
 }
 
 nn::Tensor HanModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const std::vector<FlatEdges>& rel_edges_self =
+      rel_edges_self_.Get(view, [&] {
+        std::vector<FlatEdges> with_loops;
+        for (int r = 0; r < view.num_relations; ++r)
+          with_loops.push_back(
+              WithSelfLoops((*view.rel_edges)[r], view.num_nodes));
+        return with_loops;
+      });
   nn::Tensor h0 = features_.Forward();
   std::vector<nn::Tensor> towers_out;
   std::vector<nn::Tensor> sem_scores;
   for (int r = 0; r < ctx_.num_relations; ++r) {
     nn::Tensor z = h0;
     for (const auto& layer : towers_[r])
-      z = layer->Forward(z, rel_edges_self_[r], ctx_.num_nodes);
+      z = layer->Forward(z, rel_edges_self[r], view.num_nodes);
     towers_out.push_back(z);
     // Semantic score: mean over nodes of q^T tanh(W z + b), a 1x1 scalar.
     nn::Tensor proj = nn::Tanh(nn::Add(nn::MatMul(z, sem_w_), sem_b_));

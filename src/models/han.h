@@ -29,7 +29,8 @@ class HanModel : public RelationModel {
   NodeFeatureEncoder features_;
   // towers_[r][l]: GAT stack for relation r.
   std::vector<std::vector<std::unique_ptr<GatLayer>>> towers_;
-  std::vector<FlatEdges> rel_edges_self_;  // per relation, with self loops
+  // Per relation, with self loops, for the active view.
+  mutable PerViewCache<std::vector<FlatEdges>> rel_edges_self_;
   nn::Tensor sem_w_;   // dim x dim
   nn::Tensor sem_b_;   // 1 x dim
   nn::Tensor sem_q_;   // dim x 1

@@ -33,20 +33,25 @@ HgtModel::HgtModel(const ModelContext& ctx, const ModelConfig& config,
         p + "mu");
     layers_.push_back(std::move(layer));
   }
-  for (int r = 0; r < ctx.num_relations; ++r) {
-    const FlatEdges& edges = ctx.rel_edges[r];
-    const int begin = static_cast<int>(all_src_.size());
-    all_src_.insert(all_src_.end(), edges.src.begin(), edges.src.end());
-    all_dst_.insert(all_dst_.end(), edges.dst.begin(), edges.dst.end());
-    rel_ranges_.emplace_back(begin, static_cast<int>(all_src_.size()));
-  }
 }
 
 nn::Tensor HgtModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const ViewEdges& ve = view_edges_.Get(view, [&] {
+    ViewEdges e;
+    for (int r = 0; r < view.num_relations; ++r) {
+      const FlatEdges& edges = (*view.rel_edges)[r];
+      const int begin = static_cast<int>(e.all_src.size());
+      e.all_src.insert(e.all_src.end(), edges.src.begin(), edges.src.end());
+      e.all_dst.insert(e.all_dst.end(), edges.dst.begin(), edges.dst.end());
+      e.rel_ranges.emplace_back(begin, static_cast<int>(e.all_src.size()));
+    }
+    return e;
+  });
   nn::Tensor h = features_.Forward();
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(dim_));
   for (const Layer& layer : layers_) {
-    if (all_src_.empty()) {
+    if (ve.all_src.empty()) {
       h = nn::Tanh(nn::MatMul(h, layer.w_out));
       continue;
     }
@@ -55,12 +60,12 @@ nn::Tensor HgtModel::EncodeNodes(bool /*training*/) {
     // softmax normalises over the full multi-relation neighbourhood.
     std::vector<nn::Tensor> scores, values;
     for (int r = 0; r < ctx_.num_relations; ++r) {
-      const auto [begin, end] = rel_ranges_[r];
+      const auto [begin, end] = ve.rel_ranges[r];
       if (begin == end) continue;
-      const std::vector<int> src(all_src_.begin() + begin,
-                                 all_src_.begin() + end);
-      const std::vector<int> dst(all_dst_.begin() + begin,
-                                 all_dst_.begin() + end);
+      const std::vector<int> src(ve.all_src.begin() + begin,
+                                 ve.all_src.begin() + end);
+      const std::vector<int> dst(ve.all_dst.begin() + begin,
+                                 ve.all_dst.begin() + end);
       nn::Tensor k = nn::MatMul(h, layer.w_k[r]);
       nn::Tensor v = nn::MatMul(h, layer.w_v[r]);
       nn::Tensor att = nn::Scale(
@@ -74,9 +79,10 @@ nn::Tensor HgtModel::EncodeNodes(bool /*training*/) {
     }
     nn::Tensor all_scores = nn::ConcatRows(scores);
     nn::Tensor all_values = nn::ConcatRows(values);
-    nn::Tensor alpha = nn::SegmentSoftmax(all_scores, all_dst_, ctx_.num_nodes);
+    nn::Tensor alpha =
+        nn::SegmentSoftmax(all_scores, ve.all_dst, view.num_nodes);
     nn::Tensor agg =
-        nn::SegmentSum(nn::Mul(all_values, alpha), all_dst_, ctx_.num_nodes);
+        nn::SegmentSum(nn::Mul(all_values, alpha), ve.all_dst, view.num_nodes);
     // Residual update: h' = tanh(W_out agg + h).
     h = nn::Tanh(nn::Add(nn::MatMul(agg, layer.w_out), h));
   }

@@ -32,13 +32,17 @@ class HgtModel : public RelationModel {
     nn::Tensor mu;                  // R x 1 per-relation attention prior
   };
 
+  // Concatenated cross-relation edge arrays (per-relation blocks).
+  struct ViewEdges {
+    std::vector<int> all_src, all_dst;
+    std::vector<std::pair<int, int>> rel_ranges;  // [begin, end) per relation
+  };
+
   NodeFeatureEncoder features_;
   std::vector<Layer> layers_;
   DistMultScorer scorer_;
   int dim_;
-  // Concatenated cross-relation edge arrays (per-relation blocks).
-  std::vector<int> all_src_, all_dst_;
-  std::vector<std::pair<int, int>> rel_ranges_;  // [begin, end) per relation
+  mutable PerViewCache<ViewEdges> view_edges_;
 };
 
 }  // namespace prim::models

@@ -30,6 +30,26 @@ void SortEdgesByDst(FlatEdges& edges) {
   edges = std::move(sorted);
 }
 
+const GraphView& ModelContext::view() const {
+  if (active_view_ != nullptr) return *active_view_;
+  // Refreshed on every call (pointer assignments only) so the view stays
+  // correct even after the ModelContext has been moved.
+  full_view_.id = 0;
+  full_view_.num_nodes = num_nodes;
+  full_view_.num_relations = num_relations;
+  full_view_.rel_edges = &rel_edges;
+  full_view_.union_edges = &union_edges;
+  full_view_.spatial = &spatial;
+  full_view_.spatial_rbf = &spatial_rbf;
+  full_view_.path_nodes = &path_nodes;
+  full_view_.path_segments = &path_segments;
+  full_view_.poi_category = &poi_category;
+  full_view_.attrs = &attrs;
+  full_view_.parent_graph = train_graph.get();
+  full_view_.origin = nullptr;
+  return full_view_;
+}
+
 ModelContext BuildModelContext(const data::PoiDataset& dataset,
                                const std::vector<graph::Triple>& train_edges,
                                const ModelContextOptions& options) {
@@ -76,7 +96,9 @@ ModelContext BuildModelContext(const data::PoiDataset& dataset,
     locations[i] = dataset.pois[i].location;
   geo::GridIndex index(locations,
                        std::max(0.25, ctx.spatial_threshold_km));
+  ctx.spatial_dst_start.reserve(ctx.num_nodes + 1);
   for (int i = 0; i < ctx.num_nodes; ++i) {
+    ctx.spatial_dst_start.push_back(ctx.spatial.size());
     std::vector<int> neigh = index.NeighborsOf(i, ctx.spatial_threshold_km);
     if (options.max_spatial_neighbors > 0 &&
         static_cast<int>(neigh.size()) > options.max_spatial_neighbors) {
@@ -104,12 +126,15 @@ ModelContext BuildModelContext(const data::PoiDataset& dataset,
           geo::RbfKernel(km, ctx.rbf_theta)));
     }
   }
+  ctx.spatial_dst_start.push_back(ctx.spatial.size());
 
   // Taxonomy paths and dense category ids.
   ctx.num_taxonomy_nodes = dataset.taxonomy.num_nodes();
   ctx.poi_category.resize(ctx.num_nodes);
   std::vector<int> leaf_to_dense(ctx.num_taxonomy_nodes, -1);
+  ctx.path_start.reserve(ctx.num_nodes + 1);
   for (int i = 0; i < ctx.num_nodes; ++i) {
+    ctx.path_start.push_back(static_cast<int>(ctx.path_nodes.size()));
     const int leaf = dataset.pois[i].category;
     if (leaf_to_dense[leaf] == -1) leaf_to_dense[leaf] = ctx.num_categories++;
     ctx.poi_category[i] = leaf_to_dense[leaf];
@@ -118,6 +143,7 @@ ModelContext BuildModelContext(const data::PoiDataset& dataset,
       ctx.path_segments.push_back(i);
     }
   }
+  ctx.path_start.push_back(static_cast<int>(ctx.path_nodes.size()));
 
   // Attribute matrix.
   const int attr_dim = dataset.attr_dim();

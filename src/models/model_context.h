@@ -28,6 +28,46 @@ struct FlatEdges {
 /// lists it produces; call it yourself on hand-built FlatEdges.
 void SortEdgesByDst(FlatEdges& edges);
 
+/// Read-only window onto one graph a model encodes: either the full
+/// training graph (id 0, every pointer aimed at the owning ModelContext's
+/// members) or a sampled subgraph in compacted local ids (id > 0, pointers
+/// aimed at a SubgraphViewData). Models read edges, features, and taxonomy
+/// paths exclusively through the active view, which is what lets the same
+/// forward/backward code run full-batch and mini-batch unchanged.
+struct GraphView {
+  int id = 0;  // 0 = full graph; sampled views get unique positive ids.
+  int num_nodes = 0;
+  int num_relations = 0;
+
+  const std::vector<FlatEdges>* rel_edges = nullptr;
+  const FlatEdges* union_edges = nullptr;
+  const FlatEdges* spatial = nullptr;
+  const std::vector<float>* spatial_rbf = nullptr;
+  const std::vector<int>* path_nodes = nullptr;
+  const std::vector<int>* path_segments = nullptr;
+  const std::vector<int>* poi_category = nullptr;
+  const nn::Tensor* attrs = nullptr;
+
+  /// The full training graph — the parent of a sampled view. Degree-based
+  /// normalisations must come from here: a boundary node's sampled in-edge
+  /// list is truncated, but its true degree is not.
+  const graph::HeteroGraph* parent_graph = nullptr;
+  /// local -> parent node id; null for the full view (identity).
+  const std::vector<int>* origin = nullptr;
+
+  bool sampled() const { return id != 0; }
+  int GlobalId(int local) const {
+    return origin == nullptr ? local : (*origin)[local];
+  }
+  /// Parent-graph degree of a view node under one relation / all relations.
+  int ParentDegree(int local, int rel) const {
+    return parent_graph->Degree(GlobalId(local), rel);
+  }
+  int ParentTotalDegree(int local) const {
+    return parent_graph->TotalDegree(GlobalId(local));
+  }
+};
+
 /// Everything a model needs about one dataset + training split, built once
 /// and shared (read-only) by all models in an experiment:
 ///  * per-relation directed training edges (message-passing graph),
@@ -48,11 +88,17 @@ struct ModelContext {
   std::vector<float> spatial_rbf;     // exp(-theta * d^2) per spatial edge
   double rbf_theta = 2.0;
   double spatial_threshold_km = 1.15;
+  /// CSR offsets into `spatial` by destination: the spatial in-edges of
+  /// node i occupy [spatial_dst_start[i], spatial_dst_start[i + 1]).
+  std::vector<int> spatial_dst_start;
 
   /// Flattened taxonomy paths: for poi i, the taxonomy node ids on its
   /// category's root path appear in path_nodes with path_segments == i.
   std::vector<int> path_nodes;
   std::vector<int> path_segments;
+  /// CSR offsets into path_nodes by POI: poi i's path occupies
+  /// [path_start[i], path_start[i + 1]).
+  std::vector<int> path_start;
   /// Leaf category index per POI, remapped to a dense [0, num_categories).
   std::vector<int> poi_category;
   int num_categories = 0;
@@ -64,6 +110,62 @@ struct ModelContext {
   float PairDistanceKm(int i, int j) const {
     return static_cast<float>(dataset->DistanceKm(i, j));
   }
+
+  /// The active graph view: the full graph unless a ScopedGraphView has
+  /// installed a sampled one. The full view is refreshed on every call, so
+  /// it stays valid across moves of the ModelContext itself.
+  const GraphView& view() const;
+
+ private:
+  friend class ScopedGraphView;
+  mutable GraphView full_view_;
+  mutable const GraphView* active_view_ = nullptr;
+};
+
+/// RAII override of a ModelContext's active view. Installs `view` for its
+/// lifetime; the previous view is restored on destruction. Not re-entrant
+/// across threads — exactly one trainer drives a model at a time.
+class ScopedGraphView {
+ public:
+  ScopedGraphView(const ModelContext& ctx, const GraphView& view)
+      : ctx_(ctx), previous_(ctx.active_view_) {
+    ctx_.active_view_ = &view;
+  }
+  ~ScopedGraphView() { ctx_.active_view_ = previous_; }
+  ScopedGraphView(const ScopedGraphView&) = delete;
+  ScopedGraphView& operator=(const ScopedGraphView&) = delete;
+
+ private:
+  const ModelContext& ctx_;
+  const GraphView* previous_;
+};
+
+/// Per-view memo for edge-derived constants models used to precompute in
+/// their constructors (normalisations, distance features, self-loop lists).
+/// The full view's entry (id 0) is computed once and kept for the lifetime
+/// of the model; sampled views share one slot keyed by view id — the
+/// mini-batch trainer uses each sampled view for exactly one forward +
+/// backward, so one slot is a perfect cache.
+template <typename T>
+class PerViewCache {
+ public:
+  template <typename Build>
+  const T& Get(const GraphView& view, Build&& build) {
+    if (!view.sampled()) {
+      if (!full_) full_ = std::make_unique<T>(build());
+      return *full_;
+    }
+    if (!scratch_ || scratch_id_ != view.id) {
+      scratch_ = std::make_unique<T>(build());
+      scratch_id_ = view.id;
+    }
+    return *scratch_;
+  }
+
+ private:
+  std::unique_ptr<T> full_;
+  std::unique_ptr<T> scratch_;
+  int scratch_id_ = -1;
 };
 
 struct ModelContextOptions {

@@ -57,6 +57,8 @@ class RandomWalkModel : public RelationModel {
   std::string name() const override {
     return biased_ ? "node2vec" : "Deepwalk";
   }
+  // Walk corpus is precomputed on the full graph; no sampled-view support.
+  bool supports_sampled_views() const override { return false; }
 
  private:
   bool biased_;

@@ -54,6 +54,16 @@ class RelationModel : public nn::Module {
   virtual std::string name() const = 0;
   virtual bool trainable() const { return true; }
 
+  /// True when EncodeNodes/ScorePairs honour a sampled GraphView installed
+  /// via ScopedGraphView (local node ids, view-sized outputs). Models that
+  /// bake full-graph state at construction (frozen random-walk embeddings,
+  /// rule tables) return false and can only train full-batch.
+  virtual bool supports_sampled_views() const { return true; }
+  /// True when EncodeNodes reads the spatial-neighbour edges; the
+  /// mini-batch trainer then adds the seeds' spatial in-neighbours as
+  /// sampling roots so their L-layer representations are exact.
+  virtual bool uses_spatial_context() const { return false; }
+
   const ModelContext& context() const { return ctx_; }
   int num_classes() const { return ctx_.num_relations + 1; }
 

@@ -24,19 +24,24 @@ RgcnModel::RgcnModel(const ModelContext& ctx, const ModelConfig& config,
         RegisterParameter(nn::XavierUniform(config.dim, config.dim, rng),
                           p + "w_self"));
   }
-  for (int r = 0; r < ctx.num_relations; ++r)
-    rel_norm_.push_back(MeanEdgeNorm(ctx.rel_edges[r], ctx.num_nodes));
 }
 
 nn::Tensor RgcnModel::EncodeNodes(bool /*training*/) {
+  const GraphView& view = ctx_.view();
+  const std::vector<nn::Tensor>& rel_norm = rel_norm_.Get(view, [&] {
+    std::vector<nn::Tensor> norms;
+    for (int r = 0; r < view.num_relations; ++r)
+      norms.push_back(MeanEdgeNorm((*view.rel_edges)[r], view.num_nodes));
+    return norms;
+  });
   nn::Tensor h = features_.Forward();
   for (size_t l = 0; l < weights_.size(); ++l) {
     nn::Tensor out = nn::MatMul(h, self_[l]);
     for (int r = 0; r < ctx_.num_relations; ++r) {
-      const FlatEdges& edges = ctx_.rel_edges[r];
+      const FlatEdges& edges = (*view.rel_edges)[r];
       if (edges.size() == 0) continue;
-      nn::Tensor msg = nn::Mul(nn::Gather(h, edges.src), rel_norm_[r]);
-      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, ctx_.num_nodes);
+      nn::Tensor msg = nn::Mul(nn::Gather(h, edges.src), rel_norm[r]);
+      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, view.num_nodes);
       out = nn::Add(out, nn::MatMul(agg, weights_[l][r]));
     }
     h = nn::Tanh(out);

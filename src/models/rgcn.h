@@ -29,7 +29,8 @@ class RgcnModel : public RelationModel {
   std::vector<std::vector<nn::Tensor>> weights_;
   std::vector<nn::Tensor> self_;
   DistMultScorer scorer_;
-  std::vector<nn::Tensor> rel_norm_;  // per relation: mean norm per edge
+  // Per relation: mean norm per edge of the active view.
+  mutable PerViewCache<std::vector<nn::Tensor>> rel_norm_;
 };
 
 }  // namespace prim::models

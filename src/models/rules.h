@@ -21,6 +21,7 @@ class RuleModel : public RelationModel {
   nn::Tensor ScorePairs(const nn::Tensor& h, const PairBatch& batch) override;
   std::string name() const override { return use_distance_ ? "CAT-D" : "CAT"; }
   bool trainable() const override { return false; }
+  bool supports_sampled_views() const override { return false; }
 
   int competitive_tax_threshold() const { return tax_comp_; }
   int complementary_tax_threshold() const { return tax_compl_; }

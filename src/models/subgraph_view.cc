@@ -1,0 +1,105 @@
+#include "models/subgraph_view.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace prim::models {
+
+namespace {
+// View ids distinguish sampled views in PerViewCache slots; 0 is reserved
+// for the full view.
+std::atomic<int> g_next_view_id{1};
+}  // namespace
+
+GraphView SubgraphViewData::View(const ModelContext& ctx) const {
+  GraphView view;
+  view.id = id;
+  view.num_nodes = num_nodes;
+  view.num_relations = static_cast<int>(rel_edges.size());
+  view.rel_edges = &rel_edges;
+  view.union_edges = &union_edges;
+  view.spatial = &spatial;
+  view.spatial_rbf = &spatial_rbf;
+  view.path_nodes = &path_nodes;
+  view.path_segments = &path_segments;
+  view.poi_category = &poi_category;
+  view.attrs = &attrs;
+  view.parent_graph = ctx.train_graph.get();
+  view.origin = &origin;
+  return view;
+}
+
+SubgraphViewData BuildSubgraphView(const ModelContext& ctx,
+                                   const sample::SampledSubgraph& sub) {
+  SubgraphViewData data;
+  data.id = g_next_view_id.fetch_add(1, std::memory_order_relaxed);
+  data.num_nodes = sub.num_nodes();
+  data.origin = sub.origin;
+
+  // Per-relation edges with recomputed pair distances, concatenated
+  // relation-major into the union *before* sorting — the same construction
+  // order as BuildModelContext, so per-destination edge order matches the
+  // full context's dst-sorted lists edge for edge.
+  data.rel_edges.resize(ctx.num_relations);
+  for (int r = 0; r < ctx.num_relations; ++r) {
+    const sample::SampledSubgraph::EdgeList& edges = sub.rel_edges[r];
+    FlatEdges& out = data.rel_edges[r];
+    out.src = edges.src;
+    out.dst = edges.dst;
+    out.dist_km.resize(edges.src.size());
+    for (int e = 0; e < edges.size(); ++e) {
+      out.dist_km[e] = ctx.PairDistanceKm(sub.origin[edges.src[e]],
+                                          sub.origin[edges.dst[e]]);
+    }
+    data.union_edges.src.insert(data.union_edges.src.end(), out.src.begin(),
+                                out.src.end());
+    data.union_edges.dst.insert(data.union_edges.dst.end(), out.dst.begin(),
+                                out.dst.end());
+    data.union_edges.dist_km.insert(data.union_edges.dist_km.end(),
+                                    out.dist_km.begin(), out.dist_km.end());
+  }
+  for (FlatEdges& edges : data.rel_edges) SortEdgesByDst(edges);
+  SortEdgesByDst(data.union_edges);
+
+  // Induced spatial edges: each sampled node keeps the spatial
+  // in-neighbours that are themselves in the subgraph. Built in ascending
+  // local-dst order, so the list is already dst-sorted with the parent's
+  // per-destination neighbour order.
+  for (int i = 0; i < data.num_nodes; ++i) {
+    const int p = data.origin[i];
+    for (int e = ctx.spatial_dst_start[p]; e < ctx.spatial_dst_start[p + 1];
+         ++e) {
+      const int src_local = sub.LocalOf(ctx.spatial.src[e]);
+      if (src_local < 0) continue;
+      data.spatial.src.push_back(src_local);
+      data.spatial.dst.push_back(i);
+      data.spatial.dist_km.push_back(ctx.spatial.dist_km[e]);
+      data.spatial_rbf.push_back(ctx.spatial_rbf[e]);
+    }
+  }
+
+  // Taxonomy paths and categories re-segmented to local ids.
+  data.poi_category.resize(data.num_nodes);
+  for (int i = 0; i < data.num_nodes; ++i) {
+    const int p = data.origin[i];
+    data.poi_category[i] = ctx.poi_category[p];
+    for (int e = ctx.path_start[p]; e < ctx.path_start[p + 1]; ++e) {
+      data.path_nodes.push_back(ctx.path_nodes[e]);
+      data.path_segments.push_back(i);
+    }
+  }
+
+  // Gathered attribute rows (constant, so a plain copy — no autograd).
+  const int attr_dim = ctx.attrs.cols();
+  data.attrs = nn::Tensor::Zeros(data.num_nodes, attr_dim);
+  for (int i = 0; i < data.num_nodes; ++i) {
+    std::memcpy(data.attrs.data() + static_cast<size_t>(i) * attr_dim,
+                ctx.attrs.data() + static_cast<size_t>(data.origin[i]) * attr_dim,
+                sizeof(float) * attr_dim);
+  }
+  return data;
+}
+
+}  // namespace prim::models

@@ -1,0 +1,48 @@
+#ifndef PRIM_MODELS_SUBGRAPH_VIEW_H_
+#define PRIM_MODELS_SUBGRAPH_VIEW_H_
+
+#include <vector>
+
+#include "models/model_context.h"
+#include "sample/neighbor_sampler.h"
+
+namespace prim::models {
+
+/// Owning storage behind a sampled GraphView: every context array a model
+/// reads, re-expressed in the subgraph's compacted local ids. Built once
+/// per mini-batch from a SampledSubgraph; View() assembles the non-owning
+/// GraphView models consume. Edge lists are dst-sorted with the same
+/// per-destination order as the parent context's, so aggregation kernels
+/// keep their deterministic (and, at fanout = all, bitwise full-batch
+/// equivalent) accumulation order.
+struct SubgraphViewData {
+  int id = 0;          // Unique per built view, never 0.
+  int num_nodes = 0;
+  std::vector<int> origin;  // local -> parent id, ascending.
+
+  std::vector<FlatEdges> rel_edges;
+  FlatEdges union_edges;
+  FlatEdges spatial;
+  std::vector<float> spatial_rbf;
+  std::vector<int> path_nodes;
+  std::vector<int> path_segments;
+  std::vector<int> poi_category;
+  nn::Tensor attrs;
+
+  /// Assembles the non-owning view; `ctx` supplies the parent graph for
+  /// degree-based normalisations. The returned view must not outlive
+  /// either this object or `ctx`.
+  GraphView View(const ModelContext& ctx) const;
+};
+
+/// Materialises the per-view context arrays for a sampled subgraph:
+/// per-relation + union edges with recomputed pair distances, the induced
+/// spatial edges (a sampled node keeps the spatial in-neighbours that are
+/// themselves sampled), taxonomy paths re-segmented to local ids, and the
+/// gathered attribute rows.
+SubgraphViewData BuildSubgraphView(const ModelContext& ctx,
+                                   const sample::SampledSubgraph& sub);
+
+}  // namespace prim::models
+
+#endif  // PRIM_MODELS_SUBGRAPH_VIEW_H_

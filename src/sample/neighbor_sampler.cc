@@ -1,0 +1,131 @@
+#include "sample/neighbor_sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace prim::sample {
+
+SamplerConfig SamplerConfig::Uniform(const std::vector<int>& per_layer,
+                                     int num_relations) {
+  SamplerConfig config;
+  config.fanout.reserve(per_layer.size());
+  for (int k : per_layer)
+    config.fanout.emplace_back(static_cast<size_t>(num_relations), k);
+  return config;
+}
+
+int SampledSubgraph::LocalOf(int parent) const {
+  const auto it = std::lower_bound(origin.begin(), origin.end(), parent);
+  if (it == origin.end() || *it != parent) return -1;
+  return static_cast<int>(it - origin.begin());
+}
+
+NeighborSampler::NeighborSampler(const graph::HeteroGraph& graph,
+                                 SamplerConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  PRIM_CHECK_MSG(config_.num_layers() >= 1,
+                 "NeighborSampler needs at least one layer of fanouts");
+  for (const auto& layer : config_.fanout) {
+    PRIM_CHECK_MSG(
+        static_cast<int>(layer.size()) == graph_.num_relations(),
+        "fanout row has " << layer.size() << " entries, graph has "
+                          << graph_.num_relations() << " relations");
+  }
+}
+
+SampledSubgraph NeighborSampler::Sample(const std::vector<int>& roots,
+                                        Rng& rng) const {
+  const int num_layers = config_.num_layers();
+  const int num_relations = graph_.num_relations();
+  // first_layer[parent] = BFS layer of first visit, -1 = unvisited.
+  std::vector<int> first_layer(graph_.num_nodes(), -1);
+  std::vector<int> frontier;
+  std::vector<int> visit_order;  // Parent ids in visit order.
+  for (int root : roots) {
+    PRIM_CHECK_MSG(root >= 0 && root < graph_.num_nodes(),
+                   "sampling root " << root << " out of range");
+    if (first_layer[root] != -1) continue;
+    first_layer[root] = 0;
+    frontier.push_back(root);
+    visit_order.push_back(root);
+  }
+
+  // Edges in parent ids, collected during expansion. Per destination the
+  // selected neighbors are emitted in CSR adjacency order, which is also
+  // the per-destination order of the full graph's dst-sorted edge lists —
+  // the invariant behind bitwise full-batch equivalence at fanout = all.
+  std::vector<std::vector<int>> parent_src(num_relations);
+  std::vector<std::vector<int>> parent_dst(num_relations);
+  std::vector<int> picked;  // Reused scratch: indices into a CSR row.
+  for (int layer = 0; layer < num_layers && !frontier.empty(); ++layer) {
+    std::vector<int> next;
+    for (int u : frontier) {
+      for (int r = 0; r < num_relations; ++r) {
+        const std::vector<int>& neigh = graph_.Neighbors(u, r);
+        const int deg = static_cast<int>(neigh.size());
+        if (deg == 0) continue;
+        const int k = config_.fanout[layer][r];
+        picked.clear();
+        if (k <= 0 || k >= deg) {
+          picked.resize(deg);
+          std::iota(picked.begin(), picked.end(), 0);
+        } else {
+          // Partial Fisher-Yates over index positions: k uniform draws,
+          // then ascending order so emission follows the CSR order.
+          std::vector<int> pos(deg);
+          std::iota(pos.begin(), pos.end(), 0);
+          for (int i = 0; i < k; ++i) {
+            const int j =
+                i + static_cast<int>(rng.UniformInt(deg - i));
+            std::swap(pos[i], pos[j]);
+          }
+          picked.assign(pos.begin(), pos.begin() + k);
+          std::sort(picked.begin(), picked.end());
+        }
+        for (int idx : picked) {
+          const int v = neigh[idx];
+          parent_src[r].push_back(v);
+          parent_dst[r].push_back(u);
+          if (first_layer[v] == -1) {
+            first_layer[v] = layer + 1;
+            next.push_back(v);
+            visit_order.push_back(v);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  SampledSubgraph sub;
+  sub.origin = visit_order;
+  std::sort(sub.origin.begin(), sub.origin.end());
+  sub.depth.resize(sub.origin.size());
+  for (size_t i = 0; i < sub.origin.size(); ++i)
+    sub.depth[i] = first_layer[sub.origin[i]];
+  // Dense parent -> local map reusing first_layer's storage pattern.
+  std::vector<int> local(graph_.num_nodes(), -1);
+  for (size_t i = 0; i < sub.origin.size(); ++i)
+    local[sub.origin[i]] = static_cast<int>(i);
+  for (int root : roots) {
+    if (local[root] != -1 && first_layer[root] == 0) {
+      sub.root_local.push_back(local[root]);
+      first_layer[root] = -2;  // Dedupe repeated roots.
+    }
+  }
+  sub.rel_edges.resize(num_relations);
+  for (int r = 0; r < num_relations; ++r) {
+    SampledSubgraph::EdgeList& edges = sub.rel_edges[r];
+    edges.src.reserve(parent_src[r].size());
+    edges.dst.reserve(parent_dst[r].size());
+    for (size_t e = 0; e < parent_src[r].size(); ++e) {
+      edges.src.push_back(local[parent_src[r][e]]);
+      edges.dst.push_back(local[parent_dst[r][e]]);
+    }
+  }
+  return sub;
+}
+
+}  // namespace prim::sample

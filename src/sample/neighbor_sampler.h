@@ -1,0 +1,79 @@
+#ifndef PRIM_SAMPLE_NEIGHBOR_SAMPLER_H_
+#define PRIM_SAMPLE_NEIGHBOR_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace prim::sample {
+
+/// Fanout schedule of a layer-wise neighbor sampler: fanout[l][r] caps how
+/// many relation-r in-neighbors a node first visited at BFS layer l keeps
+/// when it is expanded; <= 0 means "all neighbors" (and consumes no RNG
+/// draws, so an all-layers-all schedule replays a full-batch stream).
+struct SamplerConfig {
+  std::vector<std::vector<int>> fanout;  // [layer][relation]
+
+  int num_layers() const { return static_cast<int>(fanout.size()); }
+
+  /// Broadcasts one fanout value per layer across all relations.
+  static SamplerConfig Uniform(const std::vector<int>& per_layer,
+                               int num_relations);
+};
+
+/// A self-contained sampled subgraph: nodes are compacted to local ids
+/// [0, num_nodes()) in ascending parent-id order (so row-major reductions
+/// over local rows visit the same parent rows in the same order as the full
+/// graph — the property the bitwise full-batch equivalence relies on), with
+/// per-relation directed edge lists in local ids.
+struct SampledSubgraph {
+  /// origin[local] = parent node id; strictly ascending.
+  std::vector<int> origin;
+  /// BFS layer at which each local node was first reached (0 = root). A
+  /// node is expanded (its in-edges sampled) only when depth < num_layers.
+  std::vector<int> depth;
+  /// Local ids of the (deduplicated) sampling roots.
+  std::vector<int> root_local;
+  /// Per-relation edges in local ids; per-destination edge order follows
+  /// the parent CSR adjacency order. Messages flow src -> dst.
+  struct EdgeList {
+    std::vector<int> src;
+    std::vector<int> dst;
+    int size() const { return static_cast<int>(src.size()); }
+  };
+  std::vector<EdgeList> rel_edges;
+
+  int num_nodes() const { return static_cast<int>(origin.size()); }
+
+  /// Local id of a parent node, or -1 when it was not sampled.
+  int LocalOf(int parent) const;
+};
+
+/// Seed-driven layer-wise neighbor sampler over the per-relation CSR of a
+/// HeteroGraph (GraphSAGE-style). Starting from the roots, layer l expands
+/// every node first visited at layer l by sampling up to fanout[l][r] of
+/// its relation-r in-neighbors (uniformly, without replacement); newly
+/// reached nodes join layer l + 1. Each node is expanded at most once, with
+/// the fanout of its first-visit layer, so the union subgraph contains
+/// every edge an L-layer GNN needs to compute exact root representations
+/// when all fanouts are "all".
+class NeighborSampler {
+ public:
+  NeighborSampler(const graph::HeteroGraph& graph, SamplerConfig config);
+
+  /// Samples the subgraph reachable from `roots` (parent ids; duplicates
+  /// are ignored). Deterministic in (roots, config, rng state); fanouts
+  /// <= 0 or >= degree keep all neighbors without consuming RNG draws.
+  SampledSubgraph Sample(const std::vector<int>& roots, Rng& rng) const;
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  const graph::HeteroGraph& graph_;
+  SamplerConfig config_;
+};
+
+}  // namespace prim::sample
+
+#endif  // PRIM_SAMPLE_NEIGHBOR_SAMPLER_H_

@@ -1,0 +1,77 @@
+#include "train/batch_assembler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prim::train {
+
+BatchAssembler::BatchAssembler(const models::ModelContext& ctx,
+                               const std::vector<graph::Triple>& train_triples,
+                               const graph::HeteroGraph& full_graph,
+                               const TrainConfig& config)
+    : ctx_(ctx),
+      train_triples_(train_triples),
+      sampler_(full_graph),
+      config_(config),
+      rng_(config.seed) {
+  order_.resize(train_triples_.size());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int>(i);
+  num_pos_ = config_.max_positives_per_epoch > 0
+                 ? std::min<int>(config_.max_positives_per_epoch,
+                                 static_cast<int>(order_.size()))
+                 : static_cast<int>(order_.size());
+  num_phi_ = config_.phi_positives_per_epoch > 0
+                 ? config_.phi_positives_per_epoch
+                 : std::max(64, num_pos_ / 4);
+}
+
+void BatchAssembler::BeginEpoch() { rng_.Shuffle(order_); }
+
+TripleBatch BatchAssembler::Assemble(int begin, int end, int phi_count) {
+  PRIM_CHECK(begin >= 0 && begin <= end && end <= num_pos_);
+  const auto& dataset = *ctx_.dataset;
+  const int num_relations = ctx_.num_relations;
+  const bool softmax = config_.objective == TrainObjective::kSoftmax;
+  TripleBatch out;
+  auto add = [&](int s, int d, int cls, float y) {
+    out.pairs.Add(s, d, static_cast<float>(dataset.DistanceKm(s, d)));
+    out.classes.push_back(cls);
+    out.targets.push_back(y);
+  };
+  for (int i = begin; i < end; ++i) {
+    const graph::Triple& pos = train_triples_[order_[i]];
+    add(pos.src, pos.dst, pos.rel, 1.0f);
+    for (int k = 0; k < config_.negatives_per_positive; ++k) {
+      const graph::Triple neg = sampler_.CorruptTriple(pos, rng_);
+      // Under softmax a corrupted pair is simply a phi example (the
+      // sampler guarantees it is a true non-edge for neg.rel; pairs that
+      // carry another relation are rare enough to be training noise).
+      add(neg.src, neg.dst, softmax ? num_relations : neg.rel, 0.0f);
+    }
+    if (!softmax) {
+      for (int k = 0; k < config_.relation_corruptions_per_positive &&
+                      num_relations > 1;
+           ++k) {
+        int wrong_rel = static_cast<int>(rng_.UniformInt(num_relations - 1));
+        if (wrong_rel >= pos.rel) ++wrong_rel;
+        if (!ctx_.train_graph->HasEdge(pos.src, pos.dst, wrong_rel)) {
+          add(pos.src, pos.dst, wrong_rel, 0.0f);
+        }
+      }
+    }
+  }
+  // phi class: non-edges are positives, true edges negatives.
+  for (const auto& [a, b] : sampler_.SampleNonEdges(phi_count, rng_))
+    add(a, b, num_relations, 1.0f);
+  if (!softmax) {
+    for (int k = 0; k < phi_count && !train_triples_.empty(); ++k) {
+      const graph::Triple& t =
+          train_triples_[rng_.UniformInt(train_triples_.size())];
+      add(t.src, t.dst, num_relations, 0.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace prim::train

@@ -1,0 +1,68 @@
+#ifndef PRIM_TRAIN_BATCH_ASSEMBLER_H_
+#define PRIM_TRAIN_BATCH_ASSEMBLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/sampling.h"
+#include "models/model_context.h"
+#include "models/relation_model.h"
+#include "train/train_config.h"
+
+namespace prim::train {
+
+/// One assembled batch of labelled training examples.
+struct TripleBatch {
+  models::PairBatch pairs;
+  std::vector<int> classes;    // BCE: scored class. Softmax: target label.
+  std::vector<float> targets;  // BCE only.
+
+  int size() const { return pairs.size(); }
+};
+
+/// Assembles the Eq. 13 training examples — positives, omega
+/// endpoint-corrupted negatives, relation corruptions (BCE), and the
+/// symmetric phi examples — from one `Rng` seeded with
+/// `TrainConfig::seed`. All batch randomness (the epoch shuffle, every
+/// corruption, every non-edge) draws from that single generator in a
+/// fixed call order, so for a fixed seed the stream of batches is
+/// identical across runs and across worker-thread counts; the full-batch
+/// Trainer and the MiniBatchTrainer share this code, and one batch
+/// spanning every positive replays the full-batch stream exactly.
+class BatchAssembler {
+ public:
+  /// `full_graph` must contain ALL ground-truth edges (train+val+test) so
+  /// corrupted samples are true negatives; `ctx` supplies pair distances
+  /// and the message graph used to vet relation corruptions.
+  BatchAssembler(const models::ModelContext& ctx,
+                 const std::vector<graph::Triple>& train_triples,
+                 const graph::HeteroGraph& full_graph,
+                 const TrainConfig& config);
+
+  /// Reshuffles the epoch's positive order (one Rng::Shuffle draw block).
+  void BeginEpoch();
+
+  /// Positive triples per epoch (post max_positives_per_epoch cap).
+  int positives_per_epoch() const { return num_pos_; }
+  /// Phi-class positives per epoch.
+  int phi_per_epoch() const { return num_phi_; }
+
+  /// Assembles positives [begin, end) of the current epoch order, their
+  /// negatives, and `phi_count` phi examples. Calls must cover an epoch in
+  /// ascending disjoint ranges (the Rng stream is positional).
+  TripleBatch Assemble(int begin, int end, int phi_count);
+
+ private:
+  const models::ModelContext& ctx_;
+  const std::vector<graph::Triple>& train_triples_;
+  graph::NegativeSampler sampler_;
+  TrainConfig config_;
+  Rng rng_;
+  std::vector<int> order_;
+  int num_pos_ = 0;
+  int num_phi_ = 0;
+};
+
+}  // namespace prim::train
+
+#endif  // PRIM_TRAIN_BATCH_ASSEMBLER_H_

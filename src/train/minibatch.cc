@@ -1,0 +1,239 @@
+#include "train/minibatch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "common/check.h"
+#include "nn/debug.h"
+#include "nn/ops.h"
+#include "nn/profiler.h"
+#include "train/evaluator.h"
+
+namespace prim::train {
+
+std::vector<int> ParseFanout(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!tok.empty()) {
+      if (tok == "all") {
+        out.push_back(0);
+      } else {
+        out.push_back(std::atoi(tok.c_str()));
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  PRIM_CHECK_MSG(!out.empty(), "empty fanout list: '" << csv << "'");
+  return out;
+}
+
+MiniBatchTrainer::MiniBatchTrainer(
+    models::RelationModel& model,
+    const std::vector<graph::Triple>& train_triples,
+    const graph::HeteroGraph& full_graph, const MiniBatchConfig& config)
+    : model_(model),
+      assembler_(model.context(), train_triples, full_graph, config.train),
+      config_(config),
+      neighbor_sampler_(*model.context().train_graph,
+                        sample::SamplerConfig::Uniform(
+                            config.fanout, model.context().num_relations)),
+      // Independent stream from the assembler's so sampling draws never
+      // perturb the batch-example stream (the full-batch equivalence and
+      // the cross-run regression tests rely on that stream being a pure
+      // function of TrainConfig::seed).
+      sample_rng_(config.train.seed * 0x9E3779B97F4A7C15ULL + 1) {
+  PRIM_CHECK_MSG(model.supports_sampled_views(),
+                 model.name() << " does not support sampled graph views; "
+                                 "use the full-batch Trainer");
+  const int bs = std::max(1, config_.batch_size);
+  num_batches_ =
+      std::max(1, (assembler_.positives_per_epoch() + bs - 1) / bs);
+  auto params = model_.Parameters();
+  if (!params.empty()) {
+    optimizer_ = std::make_unique<nn::Adam>(
+        std::move(params), config_.train.lr, 0.9f, 0.999f, 1e-8f,
+        config_.train.weight_decay);
+  }
+}
+
+MiniBatchTrainer::~MiniBatchTrainer() {
+  // A pipelined producer may still be running; it touches this object.
+  next_task_.Wait();
+}
+
+void MiniBatchTrainer::SnapshotParameters() {
+  best_params_.clear();
+  for (const nn::Tensor& p : model_.Parameters())
+    best_params_.emplace_back(p.data(), p.data() + p.size());
+}
+
+void MiniBatchTrainer::RestoreParameters() {
+  if (best_params_.empty()) return;
+  auto params = model_.Parameters();
+  PRIM_CHECK(params.size() == best_params_.size());
+  for (size_t i = 0; i < params.size(); ++i)
+    std::copy(best_params_[i].begin(), best_params_[i].end(),
+              params[i].data());
+}
+
+MiniBatchTrainer::Prepared MiniBatchTrainer::Produce() {
+  const models::ModelContext& ctx = model_.context();
+  if (batch_cursor_ == 0) assembler_.BeginEpoch();
+  const int bs = std::max(1, config_.batch_size);
+  const int num_pos = assembler_.positives_per_epoch();
+  const int begin = std::min(num_pos, batch_cursor_ * bs);
+  const int end = std::min(num_pos, begin + bs);
+  // Deterministic proportional split of the epoch's phi examples.
+  const int num_phi = assembler_.phi_per_epoch();
+  const int phi_begin = static_cast<int>(
+      static_cast<int64_t>(num_phi) * batch_cursor_ / num_batches_);
+  const int phi_end = static_cast<int>(
+      static_cast<int64_t>(num_phi) * (batch_cursor_ + 1) / num_batches_);
+  batch_cursor_ = (batch_cursor_ + 1) % num_batches_;
+
+  Prepared p;
+  p.triples = assembler_.Assemble(begin, end, phi_end - phi_begin);
+
+  // Sampling roots: the batch endpoints, plus their spatial in-neighbours
+  // when the model fuses spatial context after the GNN stack (those
+  // neighbours then need exact L-layer representations themselves).
+  std::vector<int> roots;
+  roots.reserve(2 * p.triples.pairs.size());
+  roots.insert(roots.end(), p.triples.pairs.src.begin(),
+               p.triples.pairs.src.end());
+  roots.insert(roots.end(), p.triples.pairs.dst.begin(),
+               p.triples.pairs.dst.end());
+  if (model_.uses_spatial_context() &&
+      ctx.spatial_dst_start.size() ==
+          static_cast<size_t>(ctx.num_nodes) + 1) {
+    const size_t endpoints = roots.size();
+    for (size_t i = 0; i < endpoints; ++i) {
+      const int u = roots[i];
+      for (int e = ctx.spatial_dst_start[u]; e < ctx.spatial_dst_start[u + 1];
+           ++e)
+        roots.push_back(ctx.spatial.src[e]);
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+
+  const sample::SampledSubgraph sub =
+      neighbor_sampler_.Sample(roots, sample_rng_);
+  p.view = models::BuildSubgraphView(ctx, sub);
+  for (int i = 0; i < p.triples.pairs.size(); ++i) {
+    const int ls = sub.LocalOf(p.triples.pairs.src[i]);
+    const int ld = sub.LocalOf(p.triples.pairs.dst[i]);
+    PRIM_CHECK(ls >= 0 && ld >= 0);
+    p.local_pairs.Add(ls, ld, p.triples.pairs.dist_km[i]);
+  }
+  return p;
+}
+
+void MiniBatchTrainer::ScheduleNext() {
+  if (!config_.pipeline) {
+    next_ = std::make_shared<Prepared>(Produce());
+    return;
+  }
+  auto slot = std::make_shared<Prepared>();
+  next_ = slot;
+  next_task_ = RunAsync([this, slot] { *slot = Produce(); });
+}
+
+TrainResult MiniBatchTrainer::Fit(const models::PairBatch* validation) {
+  TrainResult result;
+  if (!model_.trainable() || !optimizer_) return result;
+  std::optional<nn::debug::AnomalyGuard> anomaly;
+  if (config_.train.detect_anomaly) anomaly.emplace();
+  if (config_.train.profile) nn::SetProfilerEnabled(true);
+  const auto t0 = std::chrono::steady_clock::now();
+  const models::ModelContext& ctx = model_.context();
+  const bool softmax = config_.train.objective == TrainObjective::kSoftmax;
+
+  ScheduleNext();
+  double best_val = -1.0;
+  int bad_rounds = 0;
+  bool first_step = true;
+  for (int epoch = 0; epoch < config_.train.epochs; ++epoch) {
+    float epoch_loss = 0.0f;
+    for (int b = 0; b < num_batches_; ++b) {
+      next_task_.Wait();
+      const std::shared_ptr<Prepared> cur = std::move(next_);
+      // Produce the next batch while this one trains.
+      ScheduleNext();
+
+      optimizer_->ZeroGrad();
+      nn::Tensor loss;
+      {
+        const models::GraphView gv = cur->view.View(ctx);
+        models::ScopedGraphView scope(ctx, gv);
+        nn::Tensor h = model_.EncodeNodes(/*training=*/true);
+        nn::Tensor logits = model_.ScorePairs(h, cur->local_pairs);
+        if (softmax) {
+          loss = nn::SoftmaxCrossEntropy(logits, cur->triples.classes);
+        } else {
+          nn::Tensor selected = nn::TakePerRow(logits, cur->triples.classes);
+          loss = nn::BceWithLogits(selected, cur->triples.targets);
+        }
+        loss.Backward();
+      }
+      if (config_.train.lint_grad_flow && first_step) {
+        first_step = false;
+        const auto issues = nn::debug::LintGradFlow(model_.Parameters());
+        if (!issues.empty()) {
+          std::fprintf(stderr, "[%s] %s", model_.name().c_str(),
+                       nn::debug::FormatGradFlowReport(issues).c_str());
+        }
+      }
+      optimizer_->ClipGradNorm(config_.train.grad_clip);
+      optimizer_->Step();
+      result.loss_curve.push_back(loss.item());
+      epoch_loss += loss.item();
+    }
+    ++result.epochs_run;
+
+    const bool last_epoch = epoch + 1 == config_.train.epochs;
+    if (validation != nullptr &&
+        ((epoch + 1) % config_.train.eval_every == 0 || last_epoch)) {
+      // Evaluated on the full view: ScorePairs indices in validation
+      // batches are global node ids.
+      const F1Result val = EvaluateModel(model_, *validation);
+      if (config_.train.verbose) {
+        std::printf("[%s] epoch %3d loss %.4f val micro-F1 %.4f\n",
+                    model_.name().c_str(), epoch + 1,
+                    epoch_loss / num_batches_, val.micro_f1);
+      }
+      if (val.micro_f1 > best_val) {
+        best_val = val.micro_f1;
+        bad_rounds = 0;
+        SnapshotParameters();
+      } else if (++bad_rounds >= config_.train.patience) {
+        break;
+      }
+    }
+  }
+  if (validation != nullptr) {
+    RestoreParameters();
+    result.best_val_micro_f1 = best_val;
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  if (config_.train.profile) {
+    nn::SetProfilerEnabled(false);
+    std::fprintf(stderr, "[%s] op profile over %d epochs:\n%s",
+                 model_.name().c_str(), result.epochs_run,
+                 nn::FormatProfilerReport().c_str());
+  }
+  return result;
+}
+
+}  // namespace prim::train

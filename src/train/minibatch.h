@@ -1,0 +1,92 @@
+#ifndef PRIM_TRAIN_MINIBATCH_H_
+#define PRIM_TRAIN_MINIBATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "models/relation_model.h"
+#include "models/subgraph_view.h"
+#include "nn/optimizer.h"
+#include "sample/neighbor_sampler.h"
+#include "train/batch_assembler.h"
+#include "train/train_config.h"
+
+namespace prim::train {
+
+/// Mini-batch training hyper-parameters on top of the shared TrainConfig.
+struct MiniBatchConfig {
+  TrainConfig train;
+  /// Positive triples per optimiser step. An epoch covers the same
+  /// positives as one full-batch epoch, split into ceil(pos / batch_size)
+  /// Adam steps.
+  int batch_size = 512;
+  /// Per-layer neighbor fanout, outermost (seed) layer first, broadcast
+  /// across relations; <= 0 means "all neighbors". Length should match the
+  /// model's GNN depth — shallower schedules truncate receptive fields.
+  std::vector<int> fanout = {10, 5};
+  /// Prepare batch g+1 on a background thread while batch g trains. The
+  /// producer is strictly sequential in batch order on one dedicated
+  /// thread, so the batch stream is identical with pipelining on or off
+  /// and at any worker-thread count.
+  bool pipeline = true;
+};
+
+/// Parses a comma-separated fanout list, e.g. "10,5" -> {10, 5}; the token
+/// "all" (or any value <= 0) keeps every neighbor at that layer.
+std::vector<int> ParseFanout(const std::string& csv);
+
+/// Sampled-subgraph mini-batch trainer: per batch it assembles positives +
+/// Eq. 13 negatives (via the same BatchAssembler the full-batch Trainer
+/// uses), samples the L-layer receptive field of the batch endpoints with
+/// NeighborSampler, materialises a SubgraphViewData, and runs the model's
+/// unchanged forward/backward under a ScopedGraphView, stepping Adam per
+/// batch. Memory therefore scales with fanout and batch size, not city
+/// size. Requires model.supports_sampled_views().
+class MiniBatchTrainer {
+ public:
+  MiniBatchTrainer(models::RelationModel& model,
+                   const std::vector<graph::Triple>& train_triples,
+                   const graph::HeteroGraph& full_graph,
+                   const MiniBatchConfig& config);
+  ~MiniBatchTrainer();
+
+  /// Trains; if `validation` is non-null it drives early stopping
+  /// (evaluated on the full view every eval_every epochs). The loss curve
+  /// holds one entry per batch.
+  TrainResult Fit(const models::PairBatch* validation);
+
+ private:
+  /// Everything one training step needs, built by the producer.
+  struct Prepared {
+    TripleBatch triples;
+    models::SubgraphViewData view;
+    models::PairBatch local_pairs;  // triples.pairs in view-local ids.
+  };
+
+  /// Assembles the next batch in the global (epoch-major) order and
+  /// advances the producer cursor. Runs only on the producer side — either
+  /// inline or on the RunAsync thread, never both.
+  Prepared Produce();
+  void ScheduleNext();
+  void SnapshotParameters();
+  void RestoreParameters();
+
+  models::RelationModel& model_;
+  BatchAssembler assembler_;
+  MiniBatchConfig config_;
+  sample::NeighborSampler neighbor_sampler_;
+  Rng sample_rng_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<std::vector<float>> best_params_;
+
+  int num_batches_ = 1;
+  int batch_cursor_ = 0;  // Next batch index within the producer's epoch.
+  std::shared_ptr<Prepared> next_;
+  AsyncTask next_task_;
+};
+
+}  // namespace prim::train
+
+#endif  // PRIM_TRAIN_MINIBATCH_H_

@@ -1,0 +1,71 @@
+#ifndef PRIM_TRAIN_TRAIN_CONFIG_H_
+#define PRIM_TRAIN_TRAIN_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace prim::train {
+
+/// Training objective.
+///  * kBce — the paper's Eq. 13: per-triple binary cross-entropy with
+///    endpoint-corrupted negatives (plus our relation corruptions).
+///  * kSoftmax — multiclass cross-entropy over R* = R ∪ {phi}: positives
+///    carry their relation label, corrupted pairs and sampled non-edges
+///    carry phi. Directly optimises the argmax the paper uses at
+///    inference time and calibrates relation types against each other.
+enum class TrainObjective { kBce, kSoftmax };
+
+/// Training hyper-parameters. Defaults follow §5.1.3 where applicable
+/// (Adam, omega = 5 negatives per positive); epoch and batch sizes are
+/// chosen for single-core full-batch training.
+struct TrainConfig {
+  TrainObjective objective = TrainObjective::kSoftmax;
+  int epochs = 150;
+  float lr = 0.01f;
+  int negatives_per_positive = 5;  // omega in Eq. 13
+  /// Additionally corrupts the *relation* of each positive (label 0 for a
+  /// wrong relation on a true pair). Eq. 13 only corrupts endpoints, which
+  /// leaves the argmax over relation types uncalibrated — scores of
+  /// different relations on the same pair are never contrasted. One
+  /// relation-corrupted negative per positive fixes that; see DESIGN.md.
+  int relation_corruptions_per_positive = 1;
+  /// Positive triples sampled per epoch (one optimiser step per epoch,
+  /// full-graph forward). <= 0 uses all training triples.
+  int max_positives_per_epoch = 4000;
+  /// Non-edge pairs per epoch used as positives of the phi class (the phi
+  /// representation must learn to win the argmax on unrelated pairs).
+  /// <= 0 derives it as max_positives / 4.
+  int phi_positives_per_epoch = 0;
+  float grad_clip = 5.0f;
+  /// L2 weight decay; full-batch training on small graphs memorizes
+  /// training edges without it (loss -> 0, generalisation collapses).
+  float weight_decay = 1e-4f;
+  int eval_every = 10;   // Validation cadence, in epochs.
+  int patience = 4;      // Eval rounds without improvement before stopping.
+  uint64_t seed = 7;
+  bool verbose = false;
+  /// Debug: wraps training in nn::debug::AnomalyGuard so every op checks
+  /// its forward output and backward gradients for NaN/Inf and aborts
+  /// naming the producing op. Costly — not for timed runs.
+  bool detect_anomaly = false;
+  /// Debug: after the first Backward(), reports parameters that received
+  /// no gradient (detached subgraphs) to stderr via the gradient-flow
+  /// linter (nn::debug::LintGradFlow).
+  bool lint_grad_flow = false;
+  /// Enables the per-op profiler (nn::SetProfilerEnabled) for the duration
+  /// of Fit() and prints the report to stderr when training ends. The
+  /// PRIM_PROFILE=1 environment variable enables the same collection
+  /// process-wide without the end-of-fit report.
+  bool profile = false;
+};
+
+struct TrainResult {
+  int epochs_run = 0;
+  double seconds = 0.0;
+  double best_val_micro_f1 = 0.0;
+  std::vector<float> loss_curve;
+};
+
+}  // namespace prim::train
+
+#endif  // PRIM_TRAIN_TRAIN_CONFIG_H_

@@ -17,10 +17,8 @@ Trainer::Trainer(models::RelationModel& model,
                  const graph::HeteroGraph& full_graph,
                  const TrainConfig& config)
     : model_(model),
-      train_triples_(train_triples),
-      sampler_(full_graph),
-      config_(config),
-      rng_(config.seed) {
+      assembler_(model.context(), train_triples, full_graph, config),
+      config_(config) {
   auto params = model_.Parameters();
   if (!params.empty()) {
     optimizer_ = std::make_unique<nn::Adam>(
@@ -51,79 +49,26 @@ TrainResult Trainer::Fit(const models::PairBatch* validation) {
   if (config_.detect_anomaly) anomaly.emplace();
   if (config_.profile) nn::SetProfilerEnabled(true);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto& dataset = *model_.context().dataset;
-  const int num_relations = model_.context().num_relations;
-
-  std::vector<int> order(train_triples_.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
 
   double best_val = -1.0;
   int bad_rounds = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     // --- Assemble this epoch's triple batch -----------------------------
-    rng_.Shuffle(order);
-    const int num_pos =
-        config_.max_positives_per_epoch > 0
-            ? std::min<int>(config_.max_positives_per_epoch,
-                            static_cast<int>(order.size()))
-            : static_cast<int>(order.size());
+    assembler_.BeginEpoch();
+    const TripleBatch batch = assembler_.Assemble(
+        0, assembler_.positives_per_epoch(), assembler_.phi_per_epoch());
     const bool softmax = config_.objective == TrainObjective::kSoftmax;
-    models::PairBatch batch;
-    std::vector<int> classes;   // BCE: scored class. Softmax: target label.
-    std::vector<float> targets;  // BCE only.
-    auto add = [&](int s, int d, int cls, float y) {
-      batch.Add(s, d, static_cast<float>(dataset.DistanceKm(s, d)));
-      classes.push_back(cls);
-      targets.push_back(y);
-    };
-    for (int i = 0; i < num_pos; ++i) {
-      const graph::Triple& pos = train_triples_[order[i]];
-      add(pos.src, pos.dst, pos.rel, 1.0f);
-      for (int k = 0; k < config_.negatives_per_positive; ++k) {
-        const graph::Triple neg = sampler_.CorruptTriple(pos, rng_);
-        // Under softmax a corrupted pair is simply a phi example (the
-        // sampler guarantees it is a true non-edge for neg.rel; pairs that
-        // carry another relation are rare enough to be training noise).
-        add(neg.src, neg.dst, softmax ? num_relations : neg.rel, 0.0f);
-      }
-      if (!softmax) {
-        for (int k = 0; k < config_.relation_corruptions_per_positive &&
-                        num_relations > 1;
-             ++k) {
-          int wrong_rel =
-              static_cast<int>(rng_.UniformInt(num_relations - 1));
-          if (wrong_rel >= pos.rel) ++wrong_rel;
-          if (!model_.context().train_graph->HasEdge(pos.src, pos.dst,
-                                                     wrong_rel)) {
-            add(pos.src, pos.dst, wrong_rel, 0.0f);
-          }
-        }
-      }
-    }
-    // phi class: non-edges are positives, true edges negatives.
-    const int num_phi = config_.phi_positives_per_epoch > 0
-                            ? config_.phi_positives_per_epoch
-                            : std::max(64, num_pos / 4);
-    for (const auto& [a, b] : sampler_.SampleNonEdges(num_phi, rng_))
-      add(a, b, num_relations, 1.0f);
-    if (!softmax) {
-      for (int k = 0; k < num_phi && !train_triples_.empty(); ++k) {
-        const graph::Triple& t =
-            train_triples_[rng_.UniformInt(train_triples_.size())];
-        add(t.src, t.dst, num_relations, 0.0f);
-      }
-    }
 
     // --- One full-batch step --------------------------------------------
     optimizer_->ZeroGrad();
     nn::Tensor h = model_.EncodeNodes(/*training=*/true);
-    nn::Tensor logits = model_.ScorePairs(h, batch);
+    nn::Tensor logits = model_.ScorePairs(h, batch.pairs);
     nn::Tensor loss;
     if (softmax) {
-      loss = nn::SoftmaxCrossEntropy(logits, classes);
+      loss = nn::SoftmaxCrossEntropy(logits, batch.classes);
     } else {
-      nn::Tensor selected = nn::TakePerRow(logits, classes);
-      loss = nn::BceWithLogits(selected, targets);
+      nn::Tensor selected = nn::TakePerRow(logits, batch.classes);
+      loss = nn::BceWithLogits(selected, batch.targets);
     }
     loss.Backward();
     if (config_.lint_grad_flow && epoch == 0) {

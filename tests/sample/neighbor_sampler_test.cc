@@ -1,0 +1,180 @@
+#include "sample/neighbor_sampler.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/hetero_graph.h"
+
+namespace prim::sample {
+namespace {
+
+graph::HeteroGraph SmallGraph() {
+  // 12 nodes, 2 relations. Node 11 is isolated; node 0 is a hub.
+  std::vector<graph::Triple> triples = {
+      {0, 1, 0}, {0, 2, 0}, {0, 3, 0}, {0, 4, 0}, {0, 5, 0},
+      {1, 2, 0}, {2, 3, 0}, {4, 5, 0}, {5, 6, 0}, {6, 7, 0},
+      {0, 6, 1}, {1, 7, 1}, {2, 8, 1}, {3, 9, 1}, {8, 9, 1},
+      {9, 10, 1},
+  };
+  return graph::HeteroGraph(12, 2, triples);
+}
+
+// Counts emitted in-edges of local node `u` under relation r.
+int InEdgeCount(const SampledSubgraph& sub, int r, int u) {
+  int count = 0;
+  for (int d : sub.rel_edges[r].dst)
+    if (d == u) ++count;
+  return count;
+}
+
+TEST(NeighborSamplerTest, RelabelingIsBijection) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({2, 2}, 2));
+  Rng rng(1);
+  const SampledSubgraph sub = sampler.Sample({0, 7}, rng);
+
+  // origin is strictly ascending (hence unique), and LocalOf inverts it.
+  for (int i = 1; i < sub.num_nodes(); ++i)
+    EXPECT_LT(sub.origin[i - 1], sub.origin[i]);
+  for (int i = 0; i < sub.num_nodes(); ++i)
+    EXPECT_EQ(sub.LocalOf(sub.origin[i]), i);
+  EXPECT_EQ(sub.LocalOf(11), -1);  // Isolated, never reached.
+}
+
+TEST(NeighborSamplerTest, EveryEmittedEdgeExistsInParent) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({3, 2}, 2));
+  Rng rng(7);
+  const SampledSubgraph sub = sampler.Sample({0, 9}, rng);
+  for (int r = 0; r < 2; ++r) {
+    for (int e = 0; e < sub.rel_edges[r].size(); ++e) {
+      const int src = sub.origin[sub.rel_edges[r].src[e]];
+      const int dst = sub.origin[sub.rel_edges[r].dst[e]];
+      EXPECT_TRUE(g.HasEdge(src, dst, r))
+          << "edge (" << src << " -> " << dst << ", rel " << r
+          << ") not in parent graph";
+    }
+  }
+}
+
+TEST(NeighborSamplerTest, FanoutCapsRespectedPerLayerAndRelation) {
+  graph::HeteroGraph g = SmallGraph();
+  SamplerConfig config;
+  config.fanout = {{2, 1}, {1, 2}};  // [layer][relation]
+  NeighborSampler sampler(g, config);
+  Rng rng(13);
+  const SampledSubgraph sub = sampler.Sample({0, 5}, rng);
+  const int num_layers = config.num_layers();
+  for (int u = 0; u < sub.num_nodes(); ++u) {
+    const int layer = sub.depth[u];
+    if (layer >= num_layers) {
+      // Never expanded: must have no in-edges at all.
+      for (int r = 0; r < 2; ++r) EXPECT_EQ(InEdgeCount(sub, r, u), 0);
+      continue;
+    }
+    for (int r = 0; r < 2; ++r) {
+      const int deg = g.Degree(sub.origin[u], r);
+      const int cap = config.fanout[layer][r];
+      // Expanded exactly once with its first-visit layer's fanout.
+      EXPECT_EQ(InEdgeCount(sub, r, u), cap > 0 ? std::min(deg, cap) : deg);
+    }
+  }
+}
+
+TEST(NeighborSamplerTest, EmptyNeighborhoodSeedsAreHarmless) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({2, 2}, 2));
+  Rng rng(5);
+  const SampledSubgraph sub = sampler.Sample({11}, rng);
+  ASSERT_EQ(sub.num_nodes(), 1);
+  EXPECT_EQ(sub.origin[0], 11);
+  ASSERT_EQ(sub.root_local.size(), 1u);
+  EXPECT_EQ(sub.root_local[0], 0);
+  for (int r = 0; r < 2; ++r) EXPECT_EQ(sub.rel_edges[r].size(), 0);
+}
+
+TEST(NeighborSamplerTest, DuplicateRootsAreDeduplicated) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({1}, 2));
+  Rng rng(3);
+  const SampledSubgraph sub = sampler.Sample({4, 4, 0, 4, 0}, rng);
+  EXPECT_EQ(sub.root_local.size(), 2u);
+  std::set<int> root_parents;
+  for (int local : sub.root_local) root_parents.insert(sub.origin[local]);
+  EXPECT_EQ(root_parents, (std::set<int>{0, 4}));
+}
+
+TEST(NeighborSamplerTest, AllFanoutKeepsFullReceptiveField) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({0, 0}, 2));
+  Rng rng(9);
+  const SampledSubgraph sub = sampler.Sample({0}, rng);
+  // Every expanded node keeps every in-edge.
+  for (int u = 0; u < sub.num_nodes(); ++u) {
+    if (sub.depth[u] >= 2) continue;
+    for (int r = 0; r < 2; ++r)
+      EXPECT_EQ(InEdgeCount(sub, r, u), g.Degree(sub.origin[u], r));
+  }
+}
+
+TEST(NeighborSamplerTest, AllFanoutConsumesNoRngDraws) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({0, 0}, 2));
+  Rng a(1), b(999);  // Different seeds: identical result iff no draws.
+  const SampledSubgraph sa = sampler.Sample({0, 9}, a);
+  const SampledSubgraph sb = sampler.Sample({0, 9}, b);
+  EXPECT_EQ(sa.origin, sb.origin);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(sa.rel_edges[r].src, sb.rel_edges[r].src);
+    EXPECT_EQ(sa.rel_edges[r].dst, sb.rel_edges[r].dst);
+  }
+  // And the generator state is untouched.
+  Rng c(1);
+  EXPECT_EQ(a.engine()(), c.engine()());
+}
+
+TEST(NeighborSamplerTest, DeterministicGivenSeed) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({2, 1}, 2));
+  Rng a(42), b(42);
+  const SampledSubgraph sa = sampler.Sample({0, 5, 9}, a);
+  const SampledSubgraph sb = sampler.Sample({0, 5, 9}, b);
+  EXPECT_EQ(sa.origin, sb.origin);
+  EXPECT_EQ(sa.depth, sb.depth);
+  EXPECT_EQ(sa.root_local, sb.root_local);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(sa.rel_edges[r].src, sb.rel_edges[r].src);
+    EXPECT_EQ(sa.rel_edges[r].dst, sb.rel_edges[r].dst);
+  }
+}
+
+TEST(NeighborSamplerTest, PerDestinationEdgeOrderFollowsParentCsr) {
+  graph::HeteroGraph g = SmallGraph();
+  NeighborSampler sampler(g, SamplerConfig::Uniform({2, 2}, 2));
+  Rng rng(17);
+  const SampledSubgraph sub = sampler.Sample({0, 6}, rng);
+  for (int r = 0; r < 2; ++r) {
+    // For each destination, emitted sources must appear as a subsequence
+    // of the parent adjacency list.
+    for (int u = 0; u < sub.num_nodes(); ++u) {
+      std::vector<int> emitted;
+      for (int e = 0; e < sub.rel_edges[r].size(); ++e)
+        if (sub.rel_edges[r].dst[e] == u)
+          emitted.push_back(sub.origin[sub.rel_edges[r].src[e]]);
+      const std::vector<int>& adj = g.Neighbors(sub.origin[u], r);
+      size_t pos = 0;
+      for (int v : emitted) {
+        while (pos < adj.size() && adj[pos] != v) ++pos;
+        ASSERT_LT(pos, adj.size())
+            << "emitted sources out of CSR order for dst " << sub.origin[u];
+        ++pos;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prim::sample
