@@ -1,0 +1,308 @@
+// Network-serving benchmark: trains a tiny PRIM, loads it into a
+// RelationshipServer behind the TCP frontend (src/serve/net_server.h), and
+// drives N concurrent client connections over real loopback sockets —
+// measuring what a remote caller sees: per-request round-trip latency
+// (p50/p95/p99 from merged per-client histograms), aggregate throughput,
+// and the frontend's backpressure counters (ERR busy / ERR deadline).
+// Results go to BENCH_serving_net.json and are echoed to stdout.
+//
+//   --scale=tiny|small|paper   workload size (default tiny)
+//   --epochs=N                 training epochs (default 30)
+//   --seed=N                   workload seed
+//   --clients=N                concurrent connections (default 8)
+//   --requests=N               requests per client (default 500)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/latency_histogram.h"
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "io/model_io.h"
+#include "serve/net_server.h"
+#include "serve/protocol.h"
+#include "serve/relationship_server.h"
+#include "train/experiment.h"
+
+namespace {
+
+using namespace prim;
+using Clock = std::chrono::steady_clock;
+
+/// Blocking loopback line client (send one line, read one response).
+class BenchClient {
+ public:
+  explicit BenchClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ok_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0;
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ok() const { return ok_; }
+
+  /// One request round trip; returns the response line without '\n'.
+  bool RoundTrip(const std::string& line, std::string* response) {
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    while (true) {
+      const size_t newline = pending_.find('\n');
+      if (newline != std::string::npos) {
+        *response = pending_.substr(0, newline);
+        pending_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      pending_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool ok_ = false;
+  std::string pending_;
+};
+
+struct ClientResult {
+  LatencyHistogram latency;
+  uint64_t ok_responses = 0;
+  uint64_t busy_responses = 0;
+  uint64_t deadline_responses = 0;
+  uint64_t other_errors = 0;
+  uint64_t transport_failures = 0;
+};
+
+/// One client's request loop: a CLASSIFY/TOPK mix over deterministic ids.
+void RunClient(uint16_t port, int client_id, int requests, int num_pois,
+               ClientResult* out) {
+  BenchClient client(port);
+  if (!client.ok()) {
+    out->transport_failures = static_cast<uint64_t>(requests);
+    return;
+  }
+  std::string response;
+  for (int q = 0; q < requests; ++q) {
+    const int salt = client_id * 100003 + q;
+    std::string line;
+    if (q % 4 == 0) {
+      line = "TOPK " + std::to_string(salt * 131 % num_pois) + " 2.0 10";
+    } else {
+      line = "CLASSIFY " + std::to_string(salt * 37 % num_pois) + " " +
+             std::to_string((salt * 61 + 7) % num_pois);
+    }
+    const auto t0 = Clock::now();
+    if (!client.RoundTrip(line, &response)) {
+      ++out->transport_failures;
+      return;  // Connection is gone; stop this client.
+    }
+    out->latency.Record(std::chrono::duration<double>(Clock::now() - t0).count());
+    if (response.rfind("OK", 0) == 0) {
+      ++out->ok_responses;
+    } else if (response == "ERR busy") {
+      ++out->busy_responses;
+    } else if (response == "ERR deadline") {
+      ++out->deadline_responses;
+    } else {
+      ++out->other_errors;
+    }
+  }
+}
+
+struct BenchResult {
+  int clients = 0;
+  int requests_per_client = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  LatencyHistogram latency;
+  uint64_t ok_responses = 0;
+  uint64_t busy_responses = 0;
+  uint64_t deadline_responses = 0;
+  uint64_t other_errors = 0;
+  uint64_t transport_failures = 0;
+  serve::NetServer::Stats server_stats;
+};
+
+void WriteJson(FILE* f, int num_pois, const BenchResult& r) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_serving_net\",\n");
+  fprintf(f, "  \"pois\": %d,\n", num_pois);
+  fprintf(f, "  \"clients\": %d,\n", r.clients);
+  fprintf(f, "  \"requests_per_client\": %d,\n", r.requests_per_client);
+  fprintf(f, "  \"wall_seconds\": %.3f,\n", r.wall_seconds);
+  fprintf(f, "  \"requests_per_sec\": %.0f,\n", r.requests_per_sec);
+  fprintf(f, "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+             "\"p99\": %.3f, \"mean\": %.3f},\n",
+          r.latency.PercentileMs(50), r.latency.PercentileMs(95),
+          r.latency.PercentileMs(99), r.latency.MeanMs());
+  fprintf(f, "  \"responses\": {\"ok\": %llu, \"busy\": %llu, "
+             "\"deadline\": %llu, \"other_err\": %llu, "
+             "\"transport_failures\": %llu},\n",
+          static_cast<unsigned long long>(r.ok_responses),
+          static_cast<unsigned long long>(r.busy_responses),
+          static_cast<unsigned long long>(r.deadline_responses),
+          static_cast<unsigned long long>(r.other_errors),
+          static_cast<unsigned long long>(r.transport_failures));
+  fprintf(f, "  \"server\": {\"handled\": %llu, \"busy_rejected\": %llu, "
+             "\"deadline_expired\": %llu, \"connections\": %llu}\n",
+          static_cast<unsigned long long>(r.server_stats.requests_handled),
+          static_cast<unsigned long long>(r.server_stats.busy_rejected),
+          static_cast<unsigned long long>(r.server_stats.deadline_expired),
+          static_cast<unsigned long long>(
+              r.server_stats.connections_accepted));
+  fprintf(f, "}\n");
+}
+
+int IntArg(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[i] + prefix.size(), &end, 10);
+      if (end != argv[i] + prefix.size() && *end == '\0' && v > 0)
+        return static_cast<int>(v);
+      fprintf(stderr, "bench_serving_net: --%s expects a positive integer\n",
+              name);
+      std::exit(2);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  const int num_clients = IntArg(argc, argv, "clients", 8);
+  const int requests_per_client = IntArg(argc, argv, "requests", 500);
+
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  config.trainer.epochs = flags.epochs > 0 ? flags.epochs : 30;
+  config.trainer.verbose = false;
+
+  fprintf(stderr, "bench_serving_net: training PRIM...\n");
+  data::PoiDataset dataset = data::MakeBeijing(flags.scale);
+  train::ExperimentData data = train::PrepareExperiment(dataset, 0.6, config);
+  Rng rng(flags.seed ? flags.seed : 1);
+  core::PrimModel model(data.ctx, config.prim, rng);
+  train::Trainer trainer(model, data.split.train, *data.full_graph,
+                         config.trainer);
+  trainer.Fit(nullptr);
+  core::PrimIndex index = core::PrimIndex::Build(model);
+
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "bench_serving_net.ckpt")
+          .string();
+  if (io::Result r = io::SaveTrainedModel(ckpt, model, "PRIM", &config.prim,
+                                          &index, dataset);
+      !r) {
+    fprintf(stderr, "bench_serving_net: save failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  serve::RelationshipServer::Options server_options;
+  server_options.cache_capacity = 4096;
+  std::unique_ptr<serve::RelationshipServer> server;
+  if (io::Result r =
+          serve::RelationshipServer::Load(ckpt, server_options, &server);
+      !r) {
+    fprintf(stderr, "bench_serving_net: load failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::error_code ec;
+  std::filesystem::remove(ckpt, ec);
+
+  serve::NetServerOptions net_options;
+  net_options.num_threads = 4;
+  net_options.queue_capacity = 256;
+  net_options.deadline_ms = 5000;
+  serve::NetServer net(
+      [&server](const std::string& line) {
+        return serve::HandleRequestLine(*server, line);
+      },
+      net_options);
+  if (io::Result r = net.Start(); !r) {
+    fprintf(stderr, "bench_serving_net: %s\n", r.error.c_str());
+    return 1;
+  }
+  fprintf(stderr,
+          "bench_serving_net: %d clients x %d requests against 127.0.0.1:%u\n",
+          num_clients, requests_per_client, net.port());
+
+  std::vector<ClientResult> per_client(static_cast<size_t>(num_clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_clients));
+  const auto t0 = Clock::now();
+  for (int c = 0; c < num_clients; ++c) {
+    threads.emplace_back(RunClient, net.port(), c, requests_per_client,
+                         server->num_pois(), &per_client[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  BenchResult result;
+  result.clients = num_clients;
+  result.requests_per_client = requests_per_client;
+  result.wall_seconds = wall;
+  for (const ClientResult& c : per_client) {
+    result.latency.Merge(c.latency);
+    result.ok_responses += c.ok_responses;
+    result.busy_responses += c.busy_responses;
+    result.deadline_responses += c.deadline_responses;
+    result.other_errors += c.other_errors;
+    result.transport_failures += c.transport_failures;
+  }
+  result.requests_per_sec =
+      wall > 0.0 ? static_cast<double>(result.latency.count()) / wall : 0.0;
+  result.server_stats = net.stats();
+  net.Stop();
+
+  if (result.transport_failures > 0 || result.other_errors > 0) {
+    fprintf(stderr,
+            "bench_serving_net: %llu transport failures, %llu unexpected "
+            "errors\n",
+            static_cast<unsigned long long>(result.transport_failures),
+            static_cast<unsigned long long>(result.other_errors));
+    return 1;
+  }
+
+  const char* path = "BENCH_serving_net.json";
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench_serving_net: cannot open %s for writing\n", path);
+    return 1;
+  }
+  WriteJson(f, server->num_pois(), result);
+  fclose(f);
+  fprintf(stderr,
+          "bench_serving_net: wrote %s (%.0f req/s, p99 %.2f ms)\n", path,
+          result.requests_per_sec, result.latency.PercentileMs(99));
+  WriteJson(stdout, server->num_pois(), result);
+  return 0;
+}

@@ -9,7 +9,9 @@
 //
 //   ./build/examples/train_model --minibatch --fanout=10,5 --batch=512
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -47,6 +49,37 @@ bool HasFlag(int argc, char** argv, const std::string& name) {
   return FlagValue(argc, argv, name, "0") != "0";
 }
 
+// Checked numeric flag parsers: a typo'd value ("--epochs foo") names the
+// flag and exits instead of dying on an uncaught std::invalid_argument.
+
+int IntFlag(int argc, char** argv, const std::string& name,
+            const std::string& fallback) {
+  const std::string text = FlagValue(argc, argv, name, fallback);
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "train_model: --%s expects an integer, got '%s'\n",
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
+double DoubleFlag(int argc, char** argv, const std::string& name,
+                  const std::string& fallback) {
+  const std::string text = FlagValue(argc, argv, name, fallback);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "train_model: --%s expects a number, got '%s'\n",
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,31 +87,29 @@ int main(int argc, char** argv) {
   const std::string model_name = FlagValue(argc, argv, "model", "PRIM");
   const std::string city_name = FlagValue(argc, argv, "city", "BJ");
   const auto scale = data::ParseScale(FlagValue(argc, argv, "scale", "tiny"));
-  const double train_fraction =
-      std::stod(FlagValue(argc, argv, "train", "0.6"));
+  const double train_fraction = DoubleFlag(argc, argv, "train", "0.6");
 
   train::ExperimentConfig config;
-  config.model.dim = std::stoi(FlagValue(argc, argv, "dim", "32"));
-  config.model.tax_dim = std::stoi(FlagValue(argc, argv, "taxdim", "16"));
-  config.model.layers = std::stoi(FlagValue(argc, argv, "layers", "2"));
-  config.model.heads = std::stoi(FlagValue(argc, argv, "heads", "4"));
-  config.trainer.epochs = std::stoi(FlagValue(argc, argv, "epochs", "200"));
-  config.trainer.lr = std::stof(FlagValue(argc, argv, "lr", "0.01"));
-  config.trainer.patience = std::stoi(FlagValue(argc, argv, "patience", "8"));
+  config.model.dim = IntFlag(argc, argv, "dim", "32");
+  config.model.tax_dim = IntFlag(argc, argv, "taxdim", "16");
+  config.model.layers = IntFlag(argc, argv, "layers", "2");
+  config.model.heads = IntFlag(argc, argv, "heads", "4");
+  config.trainer.epochs = IntFlag(argc, argv, "epochs", "200");
+  config.trainer.lr =
+      static_cast<float>(DoubleFlag(argc, argv, "lr", "0.01"));
+  config.trainer.patience = IntFlag(argc, argv, "patience", "8");
   config.trainer.max_positives_per_epoch =
-      std::stoi(FlagValue(argc, argv, "maxpos", "4000"));
-  config.trainer.negatives_per_positive =
-      std::stoi(FlagValue(argc, argv, "omega", "5"));
-  config.trainer.weight_decay = std::stof(FlagValue(argc, argv, "wd", "1e-4"));
+      IntFlag(argc, argv, "maxpos", "4000");
+  config.trainer.negatives_per_positive = IntFlag(argc, argv, "omega", "5");
+  config.trainer.weight_decay =
+      static_cast<float>(DoubleFlag(argc, argv, "wd", "1e-4"));
   config.trainer.objective = FlagValue(argc, argv, "objective", "softmax") == "bce"
                                  ? train::TrainObjective::kBce
                                  : train::TrainObjective::kSoftmax;
-  config.trainer.phi_positives_per_epoch =
-      std::stoi(FlagValue(argc, argv, "phi", "0"));
+  config.trainer.phi_positives_per_epoch = IntFlag(argc, argv, "phi", "0");
   config.trainer.verbose = FlagValue(argc, argv, "quiet", "0") == "0";
-  config.message_graph_fraction =
-      std::stod(FlagValue(argc, argv, "msgfrac", "0.8"));
-  config.seed = std::stoll(FlagValue(argc, argv, "seed", "1"));
+  config.message_graph_fraction = DoubleFlag(argc, argv, "msgfrac", "0.8");
+  config.seed = static_cast<uint64_t>(IntFlag(argc, argv, "seed", "1"));
   config.SyncDims();
 
   data::PoiDataset city = city_name == "SH" ? data::MakeShanghai(scale)
@@ -118,7 +149,7 @@ int main(int argc, char** argv) {
   } else if (HasFlag(argc, argv, "minibatch")) {
     train::MiniBatchConfig mb;
     mb.train = config.trainer;
-    mb.batch_size = std::stoi(FlagValue(argc, argv, "batch", "512"));
+    mb.batch_size = IntFlag(argc, argv, "batch", "512");
     mb.fanout = train::ParseFanout(FlagValue(argc, argv, "fanout", "10,5"));
     mb.pipeline = FlagValue(argc, argv, "pipeline", "1") != "0";
     train::MiniBatchTrainer trainer(*model, data.split.train,

@@ -1,0 +1,69 @@
+#include "common/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prim {
+namespace {
+
+// Index of the bucket covering `us` microseconds: floor(log2(us)), clamped
+// to the table. Bucket 0 covers [0, 2) us.
+int BucketOf(double us) {
+  if (us < 2.0) return 0;
+  const int b = static_cast<int>(std::log2(us));
+  return std::min(b, LatencyHistogram::kNumBuckets - 1);
+}
+
+// [lower, upper) edge of bucket b, microseconds.
+double LowerEdgeUs(int b) { return b == 0 ? 0.0 : std::exp2(b); }
+double UpperEdgeUs(int b) { return std::exp2(b + 1); }
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  const double us = std::max(0.0, seconds) * 1e6;
+  ++buckets_[static_cast<size_t>(BucketOf(us))];
+  ++count_;
+  total_seconds_ += std::max(0.0, seconds);
+}
+
+double LatencyHistogram::MeanMs() const {
+  return count_ == 0 ? 0.0 : total_seconds_ * 1e3 / static_cast<double>(count_);
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested sample in [1, count_].
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[static_cast<size_t>(b)] == 0) continue;
+    const uint64_t in_bucket = buckets_[static_cast<size_t>(b)];
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Interpolate linearly inside the bucket.
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double us =
+          LowerEdgeUs(b) + frac * (UpperEdgeUs(b) - LowerEdgeUs(b));
+      return us / 1e3;
+    }
+    seen += in_bucket;
+  }
+  return UpperEdgeUs(kNumBuckets - 1) / 1e3;  // Unreachable with count_ > 0.
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kNumBuckets; ++b)
+    buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+  count_ += other.count_;
+  total_seconds_ += other.total_seconds_;
+}
+
+void LatencyHistogram::Clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  total_seconds_ = 0.0;
+}
+
+}  // namespace prim

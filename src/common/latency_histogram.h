@@ -1,0 +1,55 @@
+#ifndef PRIM_COMMON_LATENCY_HISTOGRAM_H_
+#define PRIM_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace prim {
+
+/// Fixed-footprint latency histogram: power-of-two microsecond buckets
+/// (bucket b covers [2^b, 2^(b+1)) us, with everything below 1 us in bucket
+/// 0), so Record() is a couple of bit operations and the whole histogram is
+/// ~0.5 KB regardless of how many samples it absorbs. Percentiles are
+/// estimated by linear interpolation inside the bucket the requested rank
+/// falls in, which bounds the relative error by the bucket width (a factor
+/// of two) — plenty for p50/p95/p99 tail reporting in STATS responses.
+///
+/// Not internally synchronized: callers that record from multiple threads
+/// (e.g. serve::NetServer's worker pool) hold their own lock. Merge()
+/// supports the other pattern — one histogram per client thread, combined
+/// after the run (see bench_serving_net.cc).
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;  // 2^39 us ≈ 6.4 days; beyond caps.
+
+  /// Records one sample. Negative durations count as zero.
+  void Record(double seconds);
+
+  /// Total recorded samples.
+  uint64_t count() const { return count_; }
+
+  /// Sum of all recorded durations, seconds.
+  double total_seconds() const { return total_seconds_; }
+
+  /// Mean sample in milliseconds (0 when empty).
+  double MeanMs() const;
+
+  /// Estimated percentile in milliseconds; `p` in [0, 100]. Returns 0 when
+  /// empty. PercentileMs(0) is the lower edge of the first occupied bucket,
+  /// PercentileMs(100) the upper edge of the last.
+  double PercentileMs(double p) const;
+
+  /// Adds every bucket of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Clear();
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace prim
+
+#endif  // PRIM_COMMON_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,93 @@
+#include "common/shutdown.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace prim {
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+// Self-pipe; the write end is all a signal handler may touch. Created once
+// and intentionally never closed (lives for the process).
+int g_pipe_rd = -1;
+int g_pipe_wr = -1;
+std::once_flag g_pipe_once;
+
+void EnsurePipe() {
+  std::call_once(g_pipe_once, [] {
+    int fds[2];
+    PRIM_CHECK_MSG(::pipe(fds) == 0, "shutdown self-pipe creation failed");
+    // Non-blocking write end: a flood of signals must never block the
+    // handler once the (64 KB) pipe buffer fills.
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+    g_pipe_rd = fds[0];
+    g_pipe_wr = fds[1];
+  });
+}
+
+void SignalWake() {
+  const char byte = 1;
+  // EAGAIN (pipe full) is fine: a byte is already there to wake waiters.
+  [[maybe_unused]] ssize_t n = ::write(g_pipe_wr, &byte, 1);
+}
+
+extern "C" void PrimShutdownSignalHandler(int /*signum*/) {
+  g_shutdown_requested.store(true, std::memory_order_release);
+  SignalWake();
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  EnsurePipe();
+  struct sigaction action = {};
+  action.sa_handler = PrimShutdownSignalHandler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_acquire);
+}
+
+void RequestShutdown() {
+  EnsurePipe();
+  g_shutdown_requested.store(true, std::memory_order_release);
+  SignalWake();
+}
+
+void WaitForShutdown() {
+  EnsurePipe();
+  while (!ShutdownRequested()) {
+    struct pollfd pfd = {g_pipe_rd, POLLIN, 0};
+    // Poll for readability without consuming the byte, so concurrent and
+    // repeated waiters all wake. A 100 ms cap also covers the (benign)
+    // race where the flag flips between the check above and the poll.
+    ::poll(&pfd, 1, /*timeout_ms=*/100);
+  }
+}
+
+void ResetShutdownState() {
+  EnsurePipe();
+  g_shutdown_requested.store(false, std::memory_order_release);
+  char buf[64];
+  // Read end stays blocking; poll with zero timeout before each read.
+  struct pollfd pfd = {g_pipe_rd, POLLIN, 0};
+  while (::poll(&pfd, 1, 0) == 1 && (pfd.revents & POLLIN) != 0) {
+    if (::read(g_pipe_rd, buf, sizeof(buf)) <= 0) break;
+    pfd.revents = 0;
+  }
+}
+
+}  // namespace prim

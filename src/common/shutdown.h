@@ -1,0 +1,37 @@
+#ifndef PRIM_COMMON_SHUTDOWN_H_
+#define PRIM_COMMON_SHUTDOWN_H_
+
+namespace prim {
+
+// Graceful-shutdown plumbing shared by long-running frontends (prim_serve
+// --port). A SIGINT/SIGTERM handler may only touch async-signal-safe
+// state, so the handler here just sets an atomic flag and writes one byte
+// to a self-pipe; the serving thread blocks in WaitForShutdown() and runs
+// the actual drain (stop accepting, finish in-flight requests) in normal
+// code. RequestShutdown() is the programmatic equivalent, used by tests
+// and embedders.
+
+/// Installs SIGINT and SIGTERM handlers that mark shutdown as requested
+/// and wake WaitForShutdown(). Idempotent; keeps at most one handler.
+void InstallShutdownSignalHandlers();
+
+/// True once a shutdown signal arrived or RequestShutdown() was called.
+bool ShutdownRequested();
+
+/// Marks shutdown as requested and wakes WaitForShutdown(), exactly as a
+/// signal would. Safe from any thread (not from signal handlers — those
+/// are already covered by InstallShutdownSignalHandlers).
+void RequestShutdown();
+
+/// Blocks until shutdown is requested; returns immediately if it already
+/// was. Multiple threads may wait — the wake-up byte is left in the pipe
+/// so every waiter (and any later call) returns.
+void WaitForShutdown();
+
+/// Clears the requested flag and drains the wake-up pipe so the next
+/// WaitForShutdown() blocks again. For tests; not async-signal-safe.
+void ResetShutdownState();
+
+}  // namespace prim
+
+#endif  // PRIM_COMMON_SHUTDOWN_H_

@@ -1,11 +1,19 @@
 #include "data/csv_io.h"
 
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace prim::data {
 namespace {
+
+using io::Result;
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
@@ -15,16 +23,82 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return fields;
 }
 
+// Imported CSVs come from outside the process (hand-exported production
+// snapshots), so every numeric cell is parsed with an explicit
+// full-consumption check and failures carry file:line plus the field name
+// and offending text — the bare std::stoi/std::stod calls this replaces
+// aborted the whole import with an uncaught exception on one bad cell.
+
+std::string CellError(const std::string& file, int line_no,
+                      const char* field, const std::string& text,
+                      const char* expected) {
+  return file + ":" + std::to_string(line_no) + ": field '" + field +
+         "' = '" + text + "' is not " + expected;
+}
+
+Result ParseIntField(const std::string& file, int line_no, const char* field,
+                     const std::string& text, int* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' ||
+      value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max())
+    return Result::Fail(CellError(file, line_no, field, text, "an integer"));
+  *out = static_cast<int>(value);
+  return Result::Ok();
+}
+
+Result ParseU64Field(const std::string& file, int line_no, const char* field,
+                     const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' ||
+      (!text.empty() && text[0] == '-'))
+    return Result::Fail(
+        CellError(file, line_no, field, text, "an unsigned integer"));
+  *out = value;
+  return Result::Ok();
+}
+
+Result ParseDoubleField(const std::string& file, int line_no,
+                        const char* field, const std::string& text,
+                        double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0')
+    return Result::Fail(CellError(file, line_no, field, text, "a number"));
+  *out = value;
+  return Result::Ok();
+}
+
+Result ParseFloatField(const std::string& file, int line_no,
+                       const char* field, const std::string& text,
+                       float* out) {
+  char* end = nullptr;
+  errno = 0;
+  const float value = std::strtof(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0')
+    return Result::Fail(CellError(file, line_no, field, text, "a number"));
+  *out = value;
+  return Result::Ok();
+}
+
 }  // namespace
 
-bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory) {
+io::Result SaveDatasetCsv(const PoiDataset& dataset,
+                          const std::string& directory) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
-  if (ec) return false;
+  if (ec)
+    return Result::Fail("cannot create directory '" + directory +
+                        "': " + ec.message());
   const std::filesystem::path dir(directory);
   {
     std::ofstream out(dir / "meta.csv");
-    if (!out) return false;
+    if (!out) return Result::Fail("cannot write " + (dir / "meta.csv").string());
     out.precision(17);  // Round-trip exact doubles (spatial_threshold_km).
     out << "name," << dataset.name << "\n";
     out << "generator_seed," << dataset.generator_seed << "\n";
@@ -36,7 +110,8 @@ bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory) {
   }
   {
     std::ofstream out(dir / "taxonomy.csv");
-    if (!out) return false;
+    if (!out)
+      return Result::Fail("cannot write " + (dir / "taxonomy.csv").string());
     out << "id,parent,name\n";
     // Node 0 (root) is implicit in CategoryTaxonomy's constructor.
     for (int i = 1; i < dataset.taxonomy.num_nodes(); ++i)
@@ -45,7 +120,7 @@ bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory) {
   }
   {
     std::ofstream out(dir / "pois.csv");
-    if (!out) return false;
+    if (!out) return Result::Fail("cannot write " + (dir / "pois.csv").string());
     out << "id,lon,lat,category,brand,region,in_core,in_commercial,attrs\n";
     out.precision(17);  // Round-trip exact doubles.
     for (const Poi& p : dataset.pois) {
@@ -58,93 +133,178 @@ bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory) {
   }
   {
     std::ofstream out(dir / "edges.csv");
-    if (!out) return false;
+    if (!out)
+      return Result::Fail("cannot write " + (dir / "edges.csv").string());
     out << "src,dst,rel\n";
     for (const graph::Triple& t : dataset.edges)
       out << t.src << "," << t.dst << "," << t.rel << "\n";
   }
-  return true;
+  return Result::Ok();
 }
 
-bool LoadDatasetCsv(const std::string& directory, PoiDataset* dataset) {
+io::Result LoadDatasetCsv(const std::string& directory, PoiDataset* dataset) {
   const std::filesystem::path dir(directory);
   *dataset = PoiDataset();
   int attr_dim = 0;
   {
-    std::ifstream in(dir / "meta.csv");
-    if (!in) return false;
+    const std::string file = (dir / "meta.csv").string();
+    std::ifstream in(file);
+    if (!in) return Result::Fail("cannot open " + file);
     std::string line;
+    int line_no = 0;
     while (std::getline(in, line)) {
+      ++line_no;
       auto fields = SplitCsvLine(line);
       if (fields.size() < 2) continue;
       if (fields[0] == "name") {
         dataset->name = fields[1];
       } else if (fields[0] == "generator_seed") {
-        dataset->generator_seed = std::stoull(fields[1]);
+        uint64_t seed = 0;
+        if (Result r = ParseU64Field(file, line_no, "generator_seed",
+                                     fields[1], &seed);
+            !r)
+          return r;
+        dataset->generator_seed = seed;
       } else if (fields[0] == "num_relations") {
-        dataset->num_relations = std::stoi(fields[1]);
+        if (Result r = ParseIntField(file, line_no, "num_relations",
+                                     fields[1], &dataset->num_relations);
+            !r)
+          return r;
       } else if (fields[0] == "spatial_threshold_km") {
-        dataset->spatial_threshold_km = std::stod(fields[1]);
+        if (Result r =
+                ParseDoubleField(file, line_no, "spatial_threshold_km",
+                                 fields[1], &dataset->spatial_threshold_km);
+            !r)
+          return r;
       } else if (fields[0] == "attr_dim") {
-        attr_dim = std::stoi(fields[1]);
+        if (Result r =
+                ParseIntField(file, line_no, "attr_dim", fields[1], &attr_dim);
+            !r)
+          return r;
       } else if (fields[0] == "relation") {
         dataset->relation_names.push_back(fields[1]);
       }
     }
     if (static_cast<int>(dataset->relation_names.size()) !=
         dataset->num_relations) {
-      return false;
+      return Result::Fail(
+          file + ": " + std::to_string(dataset->relation_names.size()) +
+          " relation rows but num_relations=" +
+          std::to_string(dataset->num_relations));
     }
   }
   {
-    std::ifstream in(dir / "taxonomy.csv");
-    if (!in) return false;
+    const std::string file = (dir / "taxonomy.csv").string();
+    std::ifstream in(file);
+    if (!in) return Result::Fail("cannot open " + file);
     std::string line;
     std::getline(in, line);  // Header.
+    int line_no = 1;
     while (std::getline(in, line)) {
+      ++line_no;
       auto fields = SplitCsvLine(line);
-      if (fields.size() != 3) return false;
-      const int id = std::stoi(fields[0]);
-      const int parent = std::stoi(fields[1]);
-      if (dataset->taxonomy.AddNode(parent, fields[2]) != id) return false;
+      if (fields.size() != 3)
+        return Result::Fail(file + ":" + std::to_string(line_no) +
+                            ": expected 3 fields (id,parent,name), got " +
+                            std::to_string(fields.size()));
+      int id = 0, parent = 0;
+      if (Result r = ParseIntField(file, line_no, "id", fields[0], &id); !r)
+        return r;
+      if (Result r = ParseIntField(file, line_no, "parent", fields[1], &parent);
+          !r)
+        return r;
+      if (parent < 0 || parent >= dataset->taxonomy.num_nodes())
+        return Result::Fail(file + ":" + std::to_string(line_no) +
+                            ": parent " + std::to_string(parent) +
+                            " does not precede node " + std::to_string(id));
+      if (dataset->taxonomy.AddNode(parent, fields[2]) != id)
+        return Result::Fail(file + ":" + std::to_string(line_no) +
+                            ": node id " + std::to_string(id) +
+                            " out of order (ids must be dense, ascending, "
+                            "starting at 1)");
     }
   }
   {
-    std::ifstream in(dir / "pois.csv");
-    if (!in) return false;
+    const std::string file = (dir / "pois.csv").string();
+    std::ifstream in(file);
+    if (!in) return Result::Fail("cannot open " + file);
     std::string line;
     std::getline(in, line);  // Header.
+    int line_no = 1;
     while (std::getline(in, line)) {
+      ++line_no;
       auto fields = SplitCsvLine(line);
-      if (static_cast<int>(fields.size()) != 8 + attr_dim) return false;
+      if (static_cast<int>(fields.size()) != 8 + attr_dim)
+        return Result::Fail(file + ":" + std::to_string(line_no) +
+                            ": expected " + std::to_string(8 + attr_dim) +
+                            " fields (8 + attr_dim), got " +
+                            std::to_string(fields.size()));
       Poi p;
-      p.id = std::stoi(fields[0]);
-      p.location.lon = std::stod(fields[1]);
-      p.location.lat = std::stod(fields[2]);
-      p.category = std::stoi(fields[3]);
-      p.brand = std::stoi(fields[4]);
-      p.region = std::stoi(fields[5]);
+      if (Result r = ParseIntField(file, line_no, "id", fields[0], &p.id); !r)
+        return r;
+      if (Result r = ParseDoubleField(file, line_no, "lon", fields[1],
+                                      &p.location.lon);
+          !r)
+        return r;
+      if (Result r = ParseDoubleField(file, line_no, "lat", fields[2],
+                                      &p.location.lat);
+          !r)
+        return r;
+      if (Result r =
+              ParseIntField(file, line_no, "category", fields[3], &p.category);
+          !r)
+        return r;
+      if (Result r = ParseIntField(file, line_no, "brand", fields[4], &p.brand);
+          !r)
+        return r;
+      if (Result r =
+              ParseIntField(file, line_no, "region", fields[5], &p.region);
+          !r)
+        return r;
       p.in_core = fields[6] == "1";
       p.in_commercial = fields[7] == "1";
-      for (int d = 0; d < attr_dim; ++d)
-        p.attrs.push_back(std::stof(fields[8 + d]));
-      if (p.id != static_cast<int>(dataset->pois.size())) return false;
+      p.attrs.reserve(static_cast<size_t>(attr_dim));
+      for (int d = 0; d < attr_dim; ++d) {
+        float a = 0.0f;
+        if (Result r = ParseFloatField(file, line_no, "attrs", fields[8 + d],
+                                       &a);
+            !r)
+          return r;
+        p.attrs.push_back(a);
+      }
+      if (p.id != static_cast<int>(dataset->pois.size()))
+        return Result::Fail(file + ":" + std::to_string(line_no) +
+                            ": POI id " + std::to_string(p.id) +
+                            " out of order (expected " +
+                            std::to_string(dataset->pois.size()) + ")");
       dataset->pois.push_back(std::move(p));
     }
   }
   {
-    std::ifstream in(dir / "edges.csv");
-    if (!in) return false;
+    const std::string file = (dir / "edges.csv").string();
+    std::ifstream in(file);
+    if (!in) return Result::Fail("cannot open " + file);
     std::string line;
     std::getline(in, line);  // Header.
+    int line_no = 1;
     while (std::getline(in, line)) {
+      ++line_no;
       auto fields = SplitCsvLine(line);
-      if (fields.size() != 3) return false;
-      dataset->edges.push_back({std::stoi(fields[0]), std::stoi(fields[1]),
-                                std::stoi(fields[2])});
+      if (fields.size() != 3)
+        return Result::Fail(file + ":" + std::to_string(line_no) +
+                            ": expected 3 fields (src,dst,rel), got " +
+                            std::to_string(fields.size()));
+      graph::Triple t;
+      if (Result r = ParseIntField(file, line_no, "src", fields[0], &t.src); !r)
+        return r;
+      if (Result r = ParseIntField(file, line_no, "dst", fields[1], &t.dst); !r)
+        return r;
+      if (Result r = ParseIntField(file, line_no, "rel", fields[2], &t.rel); !r)
+        return r;
+      dataset->edges.push_back(t);
     }
   }
-  return true;
+  return Result::Ok();
 }
 
 }  // namespace prim::data

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "data/dataset.h"
+#include "io/result.h"
 
 namespace prim::data {
 
@@ -11,12 +12,16 @@ namespace prim::data {
 /// needed): meta.csv, taxonomy.csv, pois.csv, edges.csv. The format is the
 /// drop-in point for real data: exporting a production POI snapshot into
 /// these files makes every model and bench in this repository run on it.
-/// Returns false on I/O failure.
-bool SaveDatasetCsv(const PoiDataset& dataset, const std::string& directory);
+/// Fails as a value naming the file that could not be written.
+io::Result SaveDatasetCsv(const PoiDataset& dataset,
+                          const std::string& directory);
 
-/// Loads a dataset previously written by SaveDatasetCsv. Returns false on
-/// missing files or malformed content; `dataset` is unspecified on failure.
-bool LoadDatasetCsv(const std::string& directory, PoiDataset* dataset);
+/// Loads a dataset previously written by SaveDatasetCsv — or hand-exported,
+/// which is why every cell is parsed strictly: a malformed numeric field
+/// fails with the file, line number, and offending field (error-as-value,
+/// never an uncaught std::stoi exception). `dataset` is unspecified on
+/// failure.
+io::Result LoadDatasetCsv(const std::string& directory, PoiDataset* dataset);
 
 }  // namespace prim::data
 

@@ -75,7 +75,15 @@ std::vector<int> GridIndex::RadiusQuery(const GeoPoint& center,
   if (points_.empty()) return out;
   double cx, cy;
   projector_.ToPlane(center, &cx, &cy);
-  const int reach = static_cast<int>(std::ceil(radius_km / cell_km_));
+  // Cap the cell reach at the grid diameter before the float->int cast: a
+  // huge (or NaN) radius used to overflow the cast — undefined behavior —
+  // when covering the whole grid is the most any radius can ask for.
+  const double reach_cells = std::ceil(radius_km / cell_km_);
+  const int max_reach = std::max(grid_w_, grid_h_);
+  const int reach = (reach_cells >= static_cast<double>(max_reach) ||
+                     std::isnan(reach_cells))
+                        ? max_reach
+                        : std::max(0, static_cast<int>(reach_cells));
   const int cell_x = std::clamp(
       static_cast<int>((cx - min_x_) / cell_km_), 0, grid_w_ - 1);
   const int cell_y = std::clamp(

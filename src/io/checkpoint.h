@@ -5,20 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "io/result.h"
+
 namespace prim::io {
-
-/// Outcome of an I/O operation. Unlike the library's PRIM_CHECK invariants,
-/// checkpoint files come from outside the process (disk corruption, version
-/// skew, wrong file), so failures are reported as values with a message
-/// naming the offending section or tensor — never as a crash.
-struct Result {
-  bool ok = true;
-  std::string error;
-
-  static Result Ok() { return {}; }
-  static Result Fail(std::string message) { return {false, std::move(message)}; }
-  explicit operator bool() const { return ok; }
-};
 
 // On-disk layout (all integers little-endian; see DESIGN.md "Checkpoints &
 // serving" for the rationale):

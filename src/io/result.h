@@ -1,0 +1,25 @@
+#ifndef PRIM_IO_RESULT_H_
+#define PRIM_IO_RESULT_H_
+
+#include <string>
+#include <utility>
+
+namespace prim::io {
+
+/// Outcome of an I/O operation. Unlike the library's PRIM_CHECK invariants,
+/// inputs handled through this type come from outside the process (disk
+/// corruption, version skew, wrong file, malformed CSV cells, network
+/// clients), so failures are reported as values with a message naming the
+/// offending section, field, or request — never as a crash.
+struct Result {
+  bool ok = true;
+  std::string error;
+
+  static Result Ok() { return {}; }
+  static Result Fail(std::string message) { return {false, std::move(message)}; }
+  explicit operator bool() const { return ok; }
+};
+
+}  // namespace prim::io
+
+#endif  // PRIM_IO_RESULT_H_

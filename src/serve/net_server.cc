@@ -1,0 +1,404 @@
+#include "serve/net_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace prim::serve {
+namespace {
+
+std::string ErrnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::string FirstToken(const std::string& line) {
+  size_t begin = 0;
+  while (begin < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[begin])) != 0)
+    ++begin;
+  size_t end = begin;
+  while (end < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[end])) == 0)
+    ++end;
+  return line.substr(begin, end - begin);
+}
+
+/// Writes all of `data` (handling short writes); false once the peer is
+/// gone or the send timeout fires.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string FormatMs(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+NetServer::NetServer(LineHandler handler, const NetServerOptions& options)
+    : handler_(std::move(handler)), options_(options) {
+  PRIM_CHECK_MSG(handler_ != nullptr, "NetServer needs a line handler");
+  options_.num_threads = std::max(1, options_.num_threads);
+  options_.queue_capacity = std::max(1, options_.queue_capacity);
+  options_.max_line_bytes = std::max<size_t>(64, options_.max_line_bytes);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+io::Result NetServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_) return io::Result::Fail("NetServer already started");
+
+  in_addr host_addr{};
+  if (::inet_pton(AF_INET, options_.host.c_str(), &host_addr) != 1)
+    return io::Result::Fail("invalid listen address '" + options_.host +
+                            "' (expected IPv4 dotted quad)");
+
+  int wake[2];
+  if (::pipe(wake) != 0) return io::Result::Fail(ErrnoString("pipe"));
+  wake_pipe_rd_ = wake[0];
+  wake_pipe_wr_ = wake[1];
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return io::Result::Fail(ErrnoString("socket"));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = host_addr;
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const io::Result r = io::Result::Fail(
+        "cannot bind " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return r;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    const io::Result r = io::Result::Fail(ErrnoString("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return r;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    accepting_requests_ = true;
+    workers_exit_when_drained_ = false;
+  }
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int w = 0; w < options_.num_threads; ++w)
+    workers_.emplace_back([this] { WorkerLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return io::Result::Ok();
+}
+
+bool NetServer::running() const {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  return started_ && !stopped_;
+}
+
+void NetServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  // 1. Refuse new admissions; tell workers to exit once the queue drains.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    accepting_requests_ = false;
+    workers_exit_when_drained_ = true;
+  }
+  queue_cv_.notify_all();
+
+  // 2. Wake and join the accept loop (no new connections).
+  {
+    const char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_wr_, &byte, 1);
+  }
+  accept_thread_.join();
+
+  // 3. Half-close every open connection: SHUT_RD wakes readers blocked in
+  //    recv() while leaving the write side up, so an in-flight request's
+  //    response still reaches the client (the drain guarantee).
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::unique_ptr<Connection>& conn : conns_)
+      if (!conn->finished) ::shutdown(conn->fd, SHUT_RD);
+    conns.swap(conns_);
+  }
+  // Readers may still need conns_mu_ (to mark themselves finished) and the
+  // workers (to answer their in-flight request), so join without locks and
+  // before the worker pool goes down.
+  for (const std::unique_ptr<Connection>& conn : conns) {
+    conn->thread.join();
+    ::close(conn->fd);
+  }
+  conns.clear();
+
+  // 4. Workers exit once every admitted request has been answered.
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_rd_);
+  ::close(wake_pipe_wr_);
+  wake_pipe_rd_ = wake_pipe_wr_ = -1;
+}
+
+void NetServer::AcceptLoop() {
+  while (true) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
+                             {wake_pipe_rd_, POLLIN, 0}};
+    if (::poll(pfds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) break;  // Stop() woke us.
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // A client that stops reading must not wedge shutdown: cap blocking
+    // sends so a reader can always make progress toward its join.
+    struct timeval send_timeout = {10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      ReapFinishedConnectionsLocked();
+      conns_.push_back(std::move(conn));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+      ++stats_.connections_open;
+    }
+    raw->thread = std::thread([this, raw] { ReaderLoop(raw); });
+  }
+}
+
+void NetServer::ReapFinishedConnectionsLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->finished) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetServer::ReaderLoop(Connection* conn) {
+  std::string pending;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // Drain every complete line already buffered before blocking in recv.
+    size_t newline;
+    while (open && (newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > options_.max_line_bytes) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.lines_oversized;
+        }
+        SendAll(conn->fd, "ERR line exceeds " +
+                              std::to_string(options_.max_line_bytes) +
+                              " bytes\n");
+        open = false;
+        break;
+      }
+      if (line == "QUIT") {
+        open = false;
+        break;
+      }
+      const std::string verb = FirstToken(line);
+      if (verb.empty()) continue;  // Blank line: no response, like stdin.
+      const std::string response = Submit(line, verb);
+      if (!response.empty() && !SendAll(conn->fd, response + "\n"))
+        open = false;
+    }
+    if (!open) break;
+    if (pending.size() > options_.max_line_bytes) {
+      // Framing is gone — anything after the flood could be mid-"line".
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.lines_oversized;
+      }
+      SendAll(conn->fd, "ERR line exceeds " +
+                            std::to_string(options_.max_line_bytes) +
+                            " bytes\n");
+      break;
+    }
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF, error, or Stop()'s SHUT_RD.
+    }
+    pending.append(chunk, static_cast<size_t>(n));
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);  // FIN now; the fd closes at reap/Stop.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    --stats_.connections_open;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn->finished = true;
+}
+
+std::string NetServer::Submit(const std::string& line,
+                              const std::string& verb) {
+  auto request = std::make_shared<Request>();
+  request->line = line;
+  request->verb = verb;
+  request->admitted = Clock::now();
+  if (options_.deadline_ms > 0) {
+    request->has_deadline = true;
+    request->deadline =
+        request->admitted + std::chrono::milliseconds(options_.deadline_ms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!accepting_requests_) return "ERR shutting down";
+    if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.busy_rejected;
+      return "ERR busy";
+    }
+    queue_.push_back(request);
+  }
+  queue_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(request->mu);
+  request->cv.wait(lock, [&] { return request->done; });
+  return request->response;
+}
+
+void NetServer::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Request> request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return !queue_.empty() || workers_exit_when_drained_;
+      });
+      if (queue_.empty()) return;  // Drained and told to exit.
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    std::string response;
+    if (request->has_deadline && Clock::now() > request->deadline) {
+      response = "ERR deadline";
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.deadline_expired;
+    } else {
+      response = handler_(request->line);
+      if (request->verb == "STATS" && response.rfind("OK", 0) == 0)
+        response += " " + StatsSuffix();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests_handled;
+      }
+      RecordLatency(request->verb,
+                    std::chrono::duration<double>(Clock::now() -
+                                                  request->admitted)
+                        .count());
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(request->mu);
+      request->done = true;
+      request->response = std::move(response);
+    }
+    request->cv.notify_one();
+  }
+}
+
+void NetServer::RecordLatency(const std::string& verb, double seconds) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  auto it = latency_by_verb_.find(verb);
+  if (it == latency_by_verb_.end()) {
+    // Bound the per-verb map: clients inventing verbs (every one answered
+    // "ERR unknown request") must not grow server memory.
+    if (latency_by_verb_.size() >= 8)
+      it = latency_by_verb_.try_emplace("other").first;
+    else
+      it = latency_by_verb_.try_emplace(verb).first;
+  }
+  it->second.Record(seconds);
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  out.queue_depth = queue_.size();
+  return out;
+}
+
+std::string NetServer::StatsSuffix() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::string suffix = "net_conns=" + std::to_string(stats_.connections_open) +
+                       " net_busy=" + std::to_string(stats_.busy_rejected) +
+                       " net_deadline=" +
+                       std::to_string(stats_.deadline_expired) +
+                       " net_oversized=" +
+                       std::to_string(stats_.lines_oversized);
+  for (const auto& [verb, histogram] : latency_by_verb_) {
+    if (histogram.count() == 0) continue;
+    std::string key;
+    for (char c : verb)
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    suffix += " " + key + "_p50_ms=" + FormatMs(histogram.PercentileMs(50)) +
+              " " + key + "_p95_ms=" + FormatMs(histogram.PercentileMs(95)) +
+              " " + key + "_p99_ms=" + FormatMs(histogram.PercentileMs(99));
+  }
+  return suffix;
+}
+
+}  // namespace prim::serve

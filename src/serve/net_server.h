@@ -1,0 +1,179 @@
+#ifndef PRIM_SERVE_NET_SERVER_H_
+#define PRIM_SERVE_NET_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "io/result.h"
+
+namespace prim::serve {
+
+/// Tuning knobs for the TCP frontend. The defaults suit a small deployment;
+/// the smoke tests shrink `num_threads`/`queue_capacity` to provoke
+/// backpressure deterministically.
+struct NetServerOptions {
+  /// Listen address. Loopback by default: exposing the server beyond the
+  /// host is an explicit decision ("0.0.0.0"), not an accident.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Serving worker threads. This pool is distinct from the training
+  /// ParallelFor pool — a handler may itself fan out over ParallelFor
+  /// (e.g. TopKRelated candidate scoring) without starving the frontend.
+  int num_threads = 4;
+  /// Bounded admission queue. A request arriving while `queue_capacity`
+  /// requests are already waiting is answered "ERR busy" immediately
+  /// instead of queueing unboundedly.
+  int queue_capacity = 64;
+  /// Per-request deadline, measured from admission. A request still queued
+  /// when its deadline passes is answered "ERR deadline" without running
+  /// the handler. <= 0 disables deadlines.
+  int deadline_ms = 5000;
+  /// Requests longer than this (without a newline) poison the framing; the
+  /// connection is answered "ERR line too long" and closed.
+  size_t max_line_bytes = 64 * 1024;
+  /// listen(2) backlog.
+  int listen_backlog = 128;
+};
+
+/// TCP socket frontend around a line-oriented request handler (one request
+/// per '\n'-terminated line, one response line per request — the same
+/// protocol prim_serve speaks on stdin/stdout; see serve/protocol.h).
+///
+/// Threading model: an accept thread hands each connection to its own
+/// reader thread; readers admit requests into a bounded queue that a
+/// fixed-size worker pool drains. A reader waits for its request's
+/// response before reading the next line, so each connection has at most
+/// one request in flight (per-connection ordering and natural per-client
+/// backpressure); cross-client overload hits the bounded queue and is
+/// answered "ERR busy". Stop() (or ~NetServer) stops accepting, wakes all
+/// readers, drains every admitted request, and joins all threads — no
+/// admitted request is ever dropped without a response.
+///
+/// Observability: per-verb latency histograms (admission → response ready)
+/// and rejection counters. When a request line's verb is "STATS" and the
+/// handler answered "OK ...", the frontend appends its own fields (see
+/// StatsSuffix()) so one round trip reports both model and transport
+/// health.
+class NetServer {
+ public:
+  /// Maps one request line (newline stripped) to one response line.
+  /// Called concurrently from `num_threads` workers; must be thread-safe.
+  /// An empty return means "no response" (blank lines never reach this).
+  using LineHandler = std::function<std::string(const std::string&)>;
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_open = 0;
+    uint64_t requests_handled = 0;   // Handler ran; includes ERR from it.
+    uint64_t busy_rejected = 0;      // Answered "ERR busy" at admission.
+    uint64_t deadline_expired = 0;   // Answered "ERR deadline" unexecuted.
+    uint64_t lines_oversized = 0;    // Answered "ERR line too long".
+    uint64_t queue_depth = 0;        // Requests waiting right now.
+  };
+
+  NetServer(LineHandler handler, const NetServerOptions& options);
+  ~NetServer();  // Stop()s if still running.
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread and worker pool.
+  /// Fails as a value (address in use, privileged port, bad host).
+  io::Result Start();
+
+  /// The bound port (resolves options.port == 0). 0 before Start().
+  uint16_t port() const { return bound_port_; }
+
+  /// Graceful shutdown: stop accepting, wake connection readers, answer
+  /// every already-admitted request, then join all threads. Idempotent and
+  /// safe to call from any thread (including a shutdown-signal waiter).
+  void Stop();
+
+  bool running() const;
+
+  Stats stats() const;
+
+  /// The transport fields appended to an "OK" STATS response:
+  ///   net_conns=<open> net_busy=<n> net_deadline=<n> net_oversized=<n>
+  /// then, per verb with at least one sample,
+  ///   <verb>_p50_ms=<t> <verb>_p95_ms=<t> <verb>_p99_ms=<t>
+  /// (verbs lowercased; unknown verbs pool under "other").
+  std::string StatsSuffix() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One admitted request: the line, its admission time and deadline, and
+  /// a slot the worker fulfils while the connection reader waits.
+  struct Request {
+    std::string line;
+    std::string verb;
+    Clock::time_point admitted;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string response;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool finished = false;  // Guarded by conns_mu_; set by the reader.
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WorkerLoop();
+  /// Joins and erases connections whose readers have finished.
+  void ReapFinishedConnectionsLocked();
+  /// Admission: returns the response ("ERR busy" / handler output /
+  /// "ERR deadline"). Blocks until the request is answered.
+  std::string Submit(const std::string& line, const std::string& verb);
+  void RecordLatency(const std::string& verb, double seconds);
+
+  LineHandler handler_;
+  NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_rd_ = -1;  // Wakes the accept loop's poll() on Stop().
+  int wake_pipe_wr_ = -1;
+  uint16_t bound_port_ = 0;
+
+  mutable std::mutex lifecycle_mu_;  // Serializes Start()/Stop().
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Request>> queue_;
+  bool accepting_requests_ = false;  // False before Start() and during drain.
+  bool workers_exit_when_drained_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  std::map<std::string, LatencyHistogram> latency_by_verb_;
+};
+
+}  // namespace prim::serve
+
+#endif  // PRIM_SERVE_NET_SERVER_H_

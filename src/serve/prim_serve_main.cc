@@ -2,20 +2,45 @@
 //
 //   prim_serve --checkpoint model.ckpt [--cache 1024] [--cell-km 1.15]
 //              [--no-project]
+//              [--port P [--host A] [--serve-threads N] [--queue N]
+//               [--deadline-ms N] [--slow-ms N]]
 //
-// Speaks the line protocol from serve/protocol.h on stdin/stdout: one
-// request per line, one response line per request ("OK ..." / "ERR ...").
-// EOF or a QUIT line shuts the server down.
+// Without --port it speaks the line protocol from serve/protocol.h on
+// stdin/stdout: one request per line, one response line per request
+// ("OK ..." / "ERR ..."); EOF or a QUIT line shuts the server down.
+//
+// With --port it serves the same protocol over TCP (serve/net_server.h):
+// a serving thread pool behind a bounded admission queue ("ERR busy" under
+// overload), per-request deadlines ("ERR deadline"), per-verb latency
+// percentiles appended to STATS responses, and graceful drain on
+// SIGINT/SIGTERM. --slow-ms injects artificial handler latency — a
+// debugging/smoke-test aid for provoking backpressure on demand.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "common/shutdown.h"
+#include "serve/net_server.h"
 #include "serve/protocol.h"
 #include "serve/relationship_server.h"
 
 namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: prim_serve --checkpoint <file> [--cache N] "
+               "[--cell-km R] [--no-project]\n"
+               "                  [--port P [--host A] [--serve-threads N] "
+               "[--queue N]\n"
+               "                   [--deadline-ms N] [--slow-ms N]]\n");
+  return 2;
+}
 
 const char* FlagValue(int argc, char** argv, const std::string& name) {
   for (int i = 1; i + 1 < argc; ++i)
@@ -29,23 +54,97 @@ bool HasFlag(int argc, char** argv, const std::string& name) {
   return false;
 }
 
+// Flag values come from the command line, i.e. from outside the process:
+// parse failures print which flag got which value and exit with the usage
+// message instead of dying on an uncaught std::invalid_argument.
+
+bool ParseNonNegativeLong(const char* flag, const char* text, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value < 0) {
+    std::fprintf(stderr,
+                 "prim_serve: --%s expects a non-negative integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParsePositiveDouble(const char* flag, const char* text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || !(value > 0.0)) {
+    std::fprintf(stderr,
+                 "prim_serve: --%s expects a positive number, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+int RunStdinLoop(prim::serve::RelationshipServer& server) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "QUIT") break;
+    const std::string response = prim::serve::HandleRequestLine(server, line);
+    if (response.empty()) continue;  // Blank input line.
+    std::cout << response << '\n' << std::flush;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* checkpoint = FlagValue(argc, argv, "checkpoint");
-  if (checkpoint == nullptr) {
-    std::fprintf(stderr,
-                 "usage: prim_serve --checkpoint <file> [--cache N] "
-                 "[--cell-km R] [--no-project]\n");
-    return 2;
-  }
+  if (checkpoint == nullptr) return Usage();
 
   prim::serve::RelationshipServer::Options options;
-  if (const char* v = FlagValue(argc, argv, "cache"))
-    options.cache_capacity = static_cast<size_t>(std::stoul(v));
-  if (const char* v = FlagValue(argc, argv, "cell-km"))
-    options.cell_km = std::stod(v);
+  long cache = -1, port = -1, serve_threads = 4, queue = 64,
+       deadline_ms = 5000, slow_ms = 0;
+  if (const char* v = FlagValue(argc, argv, "cache")) {
+    if (!ParseNonNegativeLong("cache", v, &cache)) return Usage();
+    options.cache_capacity = static_cast<size_t>(cache);
+  }
+  if (const char* v = FlagValue(argc, argv, "cell-km")) {
+    if (!ParsePositiveDouble("cell-km", v, &options.cell_km)) return Usage();
+  }
   if (HasFlag(argc, argv, "no-project")) options.project = false;
+
+  const bool network = FlagValue(argc, argv, "port") != nullptr;
+  std::string host = "127.0.0.1";
+  if (const char* v = FlagValue(argc, argv, "port")) {
+    if (!ParseNonNegativeLong("port", v, &port)) return Usage();
+    if (port > 65535) {
+      std::fprintf(stderr, "prim_serve: --port %ld exceeds 65535\n", port);
+      return Usage();
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "host")) host = v;
+  if (const char* v = FlagValue(argc, argv, "serve-threads")) {
+    if (!ParseNonNegativeLong("serve-threads", v, &serve_threads) ||
+        serve_threads == 0) {
+      std::fprintf(stderr,
+                   "prim_serve: --serve-threads expects a positive integer\n");
+      return Usage();
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "queue")) {
+    if (!ParseNonNegativeLong("queue", v, &queue) || queue == 0) {
+      std::fprintf(stderr, "prim_serve: --queue expects a positive integer\n");
+      return Usage();
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "deadline-ms")) {
+    if (!ParseNonNegativeLong("deadline-ms", v, &deadline_ms)) return Usage();
+  }
+  if (const char* v = FlagValue(argc, argv, "slow-ms")) {
+    if (!ParseNonNegativeLong("slow-ms", v, &slow_ms)) return Usage();
+  }
 
   std::unique_ptr<prim::serve::RelationshipServer> server;
   if (prim::io::Result r =
@@ -57,13 +156,41 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "prim_serve: ready (%d POIs, %d relations)\n",
                server->num_pois(), server->num_relations());
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line == "QUIT") break;
-    const std::string response =
-        prim::serve::HandleRequestLine(*server, line);
-    if (response.empty()) continue;  // Blank input line.
-    std::cout << response << '\n' << std::flush;
+  if (!network) return RunStdinLoop(*server);
+
+  prim::serve::NetServerOptions net;
+  net.host = host;
+  net.port = static_cast<uint16_t>(port);
+  net.num_threads = static_cast<int>(serve_threads);
+  net.queue_capacity = static_cast<int>(queue);
+  net.deadline_ms = static_cast<int>(deadline_ms);
+  prim::serve::NetServer net_server(
+      [&server, slow_ms](const std::string& line) {
+        if (slow_ms > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
+        return prim::serve::HandleRequestLine(*server, line);
+      },
+      net);
+  if (prim::io::Result r = net_server.Start(); !r) {
+    std::fprintf(stderr, "prim_serve: %s\n", r.error.c_str());
+    return 1;
   }
+  std::fprintf(stderr,
+               "prim_serve: listening on %s:%u (%ld threads, queue %ld, "
+               "deadline %ld ms)\n",
+               host.c_str(), net_server.port(), serve_threads, queue,
+               deadline_ms);
+
+  prim::InstallShutdownSignalHandlers();
+  prim::WaitForShutdown();
+  std::fprintf(stderr, "prim_serve: shutdown requested, draining...\n");
+  net_server.Stop();
+  const prim::serve::NetServer::Stats stats = net_server.stats();
+  std::fprintf(stderr,
+               "prim_serve: drained (%llu requests, %llu busy, %llu "
+               "deadline-expired)\n",
+               static_cast<unsigned long long>(stats.requests_handled),
+               static_cast<unsigned long long>(stats.busy_rejected),
+               static_cast<unsigned long long>(stats.deadline_expired));
   return 0;
 }

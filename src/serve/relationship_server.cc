@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/parallel.h"
@@ -138,6 +139,11 @@ io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
     return io::Result::Fail("POI " + std::to_string(i) +
                             " is out of range [0, " +
                             std::to_string(num_pois()) + ")");
+  // Reject non-finite before the range check: NaN compares false against
+  // everything, so it would sail through `<= 0.0` into the grid query.
+  if (!std::isfinite(radius_km))
+    return io::Result::Fail("radius must be finite, got " +
+                            std::to_string(radius_km));
   if (radius_km <= 0.0)
     return io::Result::Fail("radius must be positive, got " +
                             std::to_string(radius_km));

@@ -1,9 +1,12 @@
 #include "train/minibatch.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 
 #include "common/check.h"
@@ -15,6 +18,7 @@
 namespace prim::train {
 
 std::vector<int> ParseFanout(const std::string& csv) {
+  PRIM_CHECK_MSG(!csv.empty(), "empty fanout list: '" << csv << "'");
   std::vector<int> out;
   size_t pos = 0;
   while (pos <= csv.size()) {
@@ -22,17 +26,32 @@ std::vector<int> ParseFanout(const std::string& csv) {
     const std::string tok =
         csv.substr(pos, comma == std::string::npos ? csv.size() - pos
                                                    : comma - pos);
-    if (!tok.empty()) {
-      if (tok == "all") {
-        out.push_back(0);
-      } else {
-        out.push_back(std::atoi(tok.c_str()));
-      }
+    if (tok == "all") {
+      out.push_back(0);
+    } else {
+      // Strict digits-only parse. atoi silently read "foo" as 0 = "all",
+      // turning a typo into full-graph aggregation — the opposite of what
+      // --fanout is for; negative tokens were a second spelling of "all".
+      // "all" and "0" are the only full-adjacency spellings.
+      const bool digits =
+          !tok.empty() &&
+          std::all_of(tok.begin(), tok.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+          });
+      PRIM_CHECK_MSG(digits, "fanout token '"
+                                 << tok << "' in '" << csv
+                                 << "' is not a non-negative integer or "
+                                    "\"all\"");
+      errno = 0;
+      const long value = std::strtol(tok.c_str(), nullptr, 10);
+      PRIM_CHECK_MSG(errno == 0 && value <= std::numeric_limits<int>::max(),
+                     "fanout token '" << tok << "' in '" << csv
+                                      << "' overflows int");
+      out.push_back(static_cast<int>(value));
     }
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  PRIM_CHECK_MSG(!out.empty(), "empty fanout list: '" << csv << "'");
   return out;
 }
 

@@ -33,8 +33,11 @@ struct MiniBatchConfig {
   bool pipeline = true;
 };
 
-/// Parses a comma-separated fanout list, e.g. "10,5" -> {10, 5}; the token
-/// "all" (or any value <= 0) keeps every neighbor at that layer.
+/// Parses a comma-separated fanout list, e.g. "10,5" -> {10, 5}. "all" and
+/// "0" are the only spellings of "keep every neighbor at that layer";
+/// non-numeric, negative, or empty tokens fail a PRIM_CHECK naming the bad
+/// token (atoi's silent "foo" -> 0 used to turn a typo into full-graph
+/// aggregation, defeating the memory bound --fanout exists to provide).
 std::vector<int> ParseFanout(const std::string& csv);
 
 /// Sampled-subgraph mini-batch trainer: per batch it assembles positives +

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <signal.h>
+
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/latency_histogram.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/shutdown.h"
 
 namespace prim {
 namespace {
@@ -97,6 +103,96 @@ TEST(RngTest, ShufflePermutes) {
 TEST(CheckDeathTest, FailedCheckAborts) {
   EXPECT_DEATH(PRIM_CHECK(1 == 2), "1 == 2");
   EXPECT_DEATH(PRIM_CHECK_MSG(false, "ctx " << 42), "ctx 42");
+}
+
+// --- LatencyHistogram ------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanMs(), 0.0);
+  EXPECT_EQ(h.PercentileMs(50), 0.0);
+  EXPECT_EQ(h.PercentileMs(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketBimodalDistribution) {
+  LatencyHistogram h;
+  // 95 fast samples at 1 ms, 5 slow ones at 100 ms: p50 must land near the
+  // fast mode, p99 near the slow one. Buckets are a factor of two wide, so
+  // assert brackets, not exact values.
+  for (int i = 0; i < 95; ++i) h.Record(0.001);
+  for (int i = 0; i < 5; ++i) h.Record(0.100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.total_seconds(), 0.595, 1e-9);
+  EXPECT_NEAR(h.MeanMs(), 5.95, 1e-6);
+  EXPECT_GE(h.PercentileMs(50), 0.5);
+  EXPECT_LE(h.PercentileMs(50), 2.1);
+  EXPECT_GE(h.PercentileMs(99), 60.0);
+  EXPECT_LE(h.PercentileMs(99), 140.0);
+  // Monotone in p.
+  EXPECT_LE(h.PercentileMs(50), h.PercentileMs(95));
+  EXPECT_LE(h.PercentileMs(95), h.PercentileMs(99));
+}
+
+TEST(LatencyHistogramTest, MergeEqualsRecordingEverythingInOne) {
+  LatencyHistogram a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.Record(0.002);
+    all.Record(0.002);
+  }
+  for (int i = 0; i < 50; ++i) {
+    b.Record(0.050);
+    all.Record(0.050);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.total_seconds(), all.total_seconds());
+  for (double p : {10.0, 50.0, 95.0, 99.0})
+    EXPECT_DOUBLE_EQ(a.PercentileMs(p), all.PercentileMs(p)) << p;
+  a.Clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.PercentileMs(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, NegativeAndHugeSamplesStayInRange) {
+  LatencyHistogram h;
+  h.Record(-1.0);       // Clamped into the lowest bucket.
+  h.Record(1e9);        // Clamped into the highest bucket.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.PercentileMs(100), h.PercentileMs(0));
+}
+
+// --- Shutdown plumbing -----------------------------------------------------
+
+TEST(ShutdownTest, RequestShutdownWakesWaiter) {
+  ResetShutdownState();
+  EXPECT_FALSE(ShutdownRequested());
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    WaitForShutdown();
+    woke.store(true);
+  });
+  RequestShutdown();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_TRUE(ShutdownRequested());
+  // The wake-up persists: later waits return immediately.
+  WaitForShutdown();
+  ResetShutdownState();
+  EXPECT_FALSE(ShutdownRequested());
+}
+
+TEST(ShutdownTest, SigtermSetsRequestedFlag) {
+  InstallShutdownSignalHandlers();
+  ResetShutdownState();
+  ::raise(SIGTERM);
+  // The handler runs synchronously on this thread for raise(), but be
+  // generous in case the platform delivers asynchronously.
+  for (int i = 0; i < 1000 && !ShutdownRequested(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ShutdownRequested());
+  WaitForShutdown();  // Must not block.
+  ResetShutdownState();
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "data/csv_io.h"
 #include "data/presets.h"
@@ -37,9 +38,9 @@ TEST(CsvIoTest, RoundTripPreservesDataset) {
   // exercises the precision fix.
   original.spatial_threshold_km = 1.1499999999999999;
   const auto dir = TempDir("csv_roundtrip");
-  ASSERT_TRUE(SaveDatasetCsv(original, dir.string()));
+  ASSERT_TRUE(SaveDatasetCsv(original, dir.string()).ok);
   PoiDataset loaded;
-  ASSERT_TRUE(LoadDatasetCsv(dir.string(), &loaded));
+  ASSERT_TRUE(LoadDatasetCsv(dir.string(), &loaded).ok);
 
   EXPECT_EQ(loaded.name, original.name);
   EXPECT_EQ(loaded.generator_seed, original.generator_seed);
@@ -60,10 +61,10 @@ TEST(CsvIoTest, ExportImportExportIsByteIdentical) {
   original.spatial_threshold_km = 1.1499999999999999;
   const auto dir1 = TempDir("csv_bytes_1");
   const auto dir2 = TempDir("csv_bytes_2");
-  ASSERT_TRUE(SaveDatasetCsv(original, dir1.string()));
+  ASSERT_TRUE(SaveDatasetCsv(original, dir1.string()).ok);
   PoiDataset loaded;
-  ASSERT_TRUE(LoadDatasetCsv(dir1.string(), &loaded));
-  ASSERT_TRUE(SaveDatasetCsv(loaded, dir2.string()));
+  ASSERT_TRUE(LoadDatasetCsv(dir1.string(), &loaded).ok);
+  ASSERT_TRUE(SaveDatasetCsv(loaded, dir2.string()).ok);
   for (const char* file :
        {"meta.csv", "taxonomy.csv", "pois.csv", "edges.csv"}) {
     EXPECT_EQ(ReadFile(dir1 / file), ReadFile(dir2 / file))
@@ -73,7 +74,96 @@ TEST(CsvIoTest, ExportImportExportIsByteIdentical) {
 
 TEST(CsvIoTest, LoadFailsOnMissingDirectory) {
   PoiDataset loaded;
-  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/prim_csv_dir", &loaded));
+  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/prim_csv_dir", &loaded).ok);
+}
+
+// --- Corrupt-input handling ------------------------------------------------
+// One test per record type: a corrupted numeric cell must produce an
+// error-as-value naming file, line, field, and the offending text — the
+// historical behavior was an uncaught std::invalid_argument from std::stoi.
+
+/// Saves TinyCity, rewrites line `line_no` (1-based) of `file` to `text`,
+/// and returns the load Result.
+io::Result LoadWithCorruptLine(const std::string& dir_name,
+                               const std::string& file, int line_no,
+                               const std::string& text) {
+  const auto dir = TempDir(dir_name);
+  EXPECT_TRUE(SaveDatasetCsv(prim::testing::TinyCity(), dir.string()).ok);
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(dir / file);
+    EXPECT_TRUE(in) << file;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  EXPECT_LT(static_cast<size_t>(line_no - 1), lines.size()) << file;
+  lines[static_cast<size_t>(line_no - 1)] = text;
+  {
+    std::ofstream out(dir / file, std::ios::trunc);
+    for (const std::string& line : lines) out << line << "\n";
+  }
+  PoiDataset loaded;
+  return LoadDatasetCsv(dir.string(), &loaded);
+}
+
+TEST(CsvIoTest, CorruptMetaSeedIsReportedWithLocation) {
+  const io::Result r = LoadWithCorruptLine("csv_bad_meta", "meta.csv", 2,
+                                           "generator_seed,banana");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("meta.csv:2"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'generator_seed'"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'banana'"), std::string::npos) << r.error;
+}
+
+TEST(CsvIoTest, NegativeSeedIsNotAnUnsignedInteger) {
+  const io::Result r = LoadWithCorruptLine("csv_neg_seed", "meta.csv", 2,
+                                           "generator_seed,-7");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unsigned"), std::string::npos) << r.error;
+}
+
+TEST(CsvIoTest, CorruptTaxonomyParentIsReportedWithLocation) {
+  const io::Result r = LoadWithCorruptLine("csv_bad_tax", "taxonomy.csv", 2,
+                                           "1,zero,food");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("taxonomy.csv:2"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'parent'"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'zero'"), std::string::npos) << r.error;
+}
+
+TEST(CsvIoTest, ForwardTaxonomyParentIsRejectedNotAsserted) {
+  // A parent id that hasn't been defined yet must come back as a load
+  // error, not trip the PRIM_CHECK inside CategoryTaxonomy::AddNode.
+  const io::Result r = LoadWithCorruptLine("csv_fwd_tax", "taxonomy.csv", 2,
+                                           "1,999,food");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("does not precede"), std::string::npos) << r.error;
+}
+
+TEST(CsvIoTest, CorruptPoiCoordinateIsReportedWithLocation) {
+  const io::Result r = LoadWithCorruptLine(
+      "csv_bad_poi", "pois.csv", 2,
+      "0,not_a_longitude,39.9,1,0,0,1,0,0,0,0,0,0,0,0,0");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("pois.csv:2"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'not_a_longitude'"), std::string::npos) << r.error;
+}
+
+TEST(CsvIoTest, PoiFieldCountMismatchIsReported) {
+  const io::Result r =
+      LoadWithCorruptLine("csv_short_poi", "pois.csv", 2, "0,116.4");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("pois.csv:2"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("expected"), std::string::npos) << r.error;
+}
+
+TEST(CsvIoTest, CorruptEdgeRelationIsReportedWithLocation) {
+  const io::Result r =
+      LoadWithCorruptLine("csv_bad_edge", "edges.csv", 2, "0,1,competitor?");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("edges.csv:2"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'rel'"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'competitor?'"), std::string::npos) << r.error;
 }
 
 }  // namespace

@@ -142,9 +142,9 @@ TEST(SyntheticTest, SharedLatentSeedAcrossCities) {
 TEST(CsvIoTest, RoundTrip) {
   PoiDataset ds = GenerateSyntheticCity(TinyConfig());
   const std::string dir = ::testing::TempDir() + "/prim_csv_roundtrip";
-  ASSERT_TRUE(SaveDatasetCsv(ds, dir));
+  ASSERT_TRUE(SaveDatasetCsv(ds, dir).ok);
   PoiDataset loaded;
-  ASSERT_TRUE(LoadDatasetCsv(dir, &loaded));
+  ASSERT_TRUE(LoadDatasetCsv(dir, &loaded).ok);
   EXPECT_EQ(loaded.name, ds.name);
   EXPECT_EQ(loaded.num_relations, ds.num_relations);
   EXPECT_EQ(loaded.relation_names, ds.relation_names);
@@ -167,7 +167,7 @@ TEST(CsvIoTest, RoundTrip) {
 
 TEST(CsvIoTest, LoadMissingDirectoryFails) {
   PoiDataset ds;
-  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/prim_dir", &ds));
+  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/prim_dir", &ds).ok);
 }
 
 }  // namespace

@@ -1,0 +1,556 @@
+// TCP frontend tests: concurrent clients against the real protocol handler
+// (responses must match single-threaded HandleRequestLine output), bounded
+// admission queue ("ERR busy", no unbounded growth), per-request deadlines
+// ("ERR deadline"), malformed/oversized input, and graceful drain on Stop()
+// and SIGTERM. The backpressure tests use an externally-released blocking
+// handler instead of sleeps so saturation is deterministic, not timing-
+// dependent. These tests double as the TSan/ASan targets for the serving
+// pool's concurrent paths.
+
+#include "serve/net_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/shutdown.h"
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "io/model_io.h"
+#include "serve/protocol.h"
+#include "serve/relationship_server.h"
+#include "tests/test_fixtures.h"
+#include "train/experiment.h"
+
+namespace prim::serve {
+namespace {
+
+// --- Test client -----------------------------------------------------------
+
+/// Minimal blocking line-protocol client against 127.0.0.1:<port>.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() { Close(); }
+
+  bool connected() const { return connected_; }
+
+  bool SendLine(const std::string& line) { return SendRaw(line + "\n"); }
+
+  bool SendRaw(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one response line; false on EOF, error, or a 10 s timeout
+  /// (so a server bug fails the test instead of hanging it).
+  bool ReadLine(std::string* out) {
+    while (true) {
+      const size_t newline = pending_.find('\n');
+      if (newline != std::string::npos) {
+        *out = pending_.substr(0, newline);
+        pending_.erase(0, newline + 1);
+        return true;
+      }
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 10000) <= 0) return false;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      pending_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True if the peer closed (EOF) within the timeout.
+  bool ReadEof() {
+    std::string line;
+    return !ReadLine(&line);
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string pending_;
+};
+
+/// Spin-waits (with a 10 s cap) until `predicate` holds.
+template <typename Pred>
+bool WaitUntil(Pred predicate) {
+  for (int i = 0; i < 10000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+// --- Controllable handler --------------------------------------------------
+
+/// Handler whose "BLOCK" verb parks the worker until Release(); every
+/// other line echoes. Lets tests hold the pool at a known occupancy.
+struct BlockingHandler {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  int executing = 0;  // Workers currently parked in BLOCK.
+
+  NetServer::LineHandler AsHandler() {
+    return [this](const std::string& line) -> std::string {
+      if (line == "BLOCK") {
+        std::unique_lock<std::mutex> lock(mu);
+        ++executing;
+        cv.notify_all();
+        cv.wait(lock, [&] { return released; });
+        return "OK blocked";
+      }
+      return "OK " + line;
+    };
+  }
+
+  bool WaitForExecuting(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::seconds(10),
+                       [&] { return executing >= n; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+// --- Echo-handler lifecycle ------------------------------------------------
+
+TEST(NetServerTest, StartAssignsEphemeralPortAndStopIsIdempotent) {
+  NetServer server([](const std::string& line) { return "OK " + line; },
+                   NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  EXPECT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // Idempotent.
+}
+
+TEST(NetServerTest, StartFailsOnBusyPort) {
+  NetServer first([](const std::string&) { return std::string("OK"); },
+                  NetServerOptions{});
+  ASSERT_TRUE(first.Start().ok);
+  NetServerOptions clash;
+  clash.port = first.port();
+  NetServer second([](const std::string&) { return std::string("OK"); },
+                   clash);
+  const io::Result r = second.Start();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("bind"), std::string::npos) << r.error;
+}
+
+TEST(NetServerTest, EchoAndPipelinedRequestsKeepOrder) {
+  NetServer server([](const std::string& line) { return "OK " + line; },
+                   NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Several requests in one write: responses must come back in order.
+  ASSERT_TRUE(client.SendRaw("a 1\na 2\ra 3\n"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK a 1");
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK a 2\ra 3");  // '\r' only strips before '\n'.
+  server.Stop();
+}
+
+TEST(NetServerTest, CrlfTerminatedLinesAreStripped) {
+  NetServer server([](const std::string& line) { return "OK [" + line + "]"; },
+                   NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  TestClient client(server.port());
+  ASSERT_TRUE(client.SendRaw("ping\r\n"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK [ping]");
+  server.Stop();
+}
+
+TEST(NetServerTest, BlankLinesGetNoResponse) {
+  NetServer server([](const std::string& line) { return "OK " + line; },
+                   NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  TestClient client(server.port());
+  ASSERT_TRUE(client.SendRaw("\n   \npaired\n"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK paired");  // The two blanks produced nothing.
+  server.Stop();
+}
+
+TEST(NetServerTest, QuitClosesOnlyThatConnection) {
+  NetServer server([](const std::string& line) { return "OK " + line; },
+                   NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  TestClient quitter(server.port());
+  ASSERT_TRUE(quitter.SendLine("QUIT"));
+  EXPECT_TRUE(quitter.ReadEof());
+  TestClient other(server.port());
+  ASSERT_TRUE(other.connected());
+  ASSERT_TRUE(other.SendLine("still here"));
+  std::string line;
+  ASSERT_TRUE(other.ReadLine(&line));
+  EXPECT_EQ(line, "OK still here");
+  server.Stop();
+}
+
+TEST(NetServerTest, OversizedLineIsRejectedAndConnectionClosed) {
+  NetServerOptions options;
+  options.max_line_bytes = 256;
+  NetServer server([](const std::string& line) { return "OK " + line; },
+                   options);
+  ASSERT_TRUE(server.Start().ok);
+  {
+    // A complete but over-long line.
+    TestClient client(server.port());
+    ASSERT_TRUE(client.SendLine(std::string(1000, 'A')));
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line, "ERR line exceeds 256 bytes");
+    EXPECT_TRUE(client.ReadEof());
+  }
+  {
+    // A newline-less flood must be cut off without buffering it all.
+    TestClient client(server.port());
+    ASSERT_TRUE(client.SendRaw(std::string(100000, 'B')));
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line, "ERR line exceeds 256 bytes");
+    EXPECT_TRUE(client.ReadEof());
+  }
+  EXPECT_EQ(server.stats().lines_oversized, 2u);
+  server.Stop();
+}
+
+// --- Backpressure and deadlines -------------------------------------------
+
+TEST(NetServerTest, SaturatedQueueAnswersErrBusy) {
+  BlockingHandler blocking;
+  NetServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  options.deadline_ms = 0;  // Deadlines off: this test is about admission.
+  NetServer server(blocking.AsHandler(), options);
+  ASSERT_TRUE(server.Start().ok);
+
+  TestClient holder(server.port());   // Occupies the only worker.
+  TestClient queued(server.port());   // Occupies the only queue slot.
+  TestClient rejected(server.port());  // Must bounce.
+
+  ASSERT_TRUE(holder.SendLine("BLOCK"));
+  ASSERT_TRUE(blocking.WaitForExecuting(1));
+  ASSERT_TRUE(queued.SendLine("queued"));
+  ASSERT_TRUE(WaitUntil([&] { return server.stats().queue_depth == 1; }));
+
+  std::string line;
+  ASSERT_TRUE(rejected.SendLine("overload"));
+  ASSERT_TRUE(rejected.ReadLine(&line));
+  EXPECT_EQ(line, "ERR busy");  // Rejected immediately, not queued.
+
+  blocking.Release();
+  ASSERT_TRUE(holder.ReadLine(&line));
+  EXPECT_EQ(line, "OK blocked");
+  ASSERT_TRUE(queued.ReadLine(&line));
+  EXPECT_EQ(line, "OK queued");  // The admitted request was never dropped.
+
+  const NetServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.busy_rejected, 1u);
+  EXPECT_EQ(stats.requests_handled, 2u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  server.Stop();
+}
+
+TEST(NetServerTest, ExpiredDeadlineAnswersErrDeadline) {
+  BlockingHandler blocking;
+  NetServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 4;
+  options.deadline_ms = 50;
+  NetServer server(blocking.AsHandler(), options);
+  ASSERT_TRUE(server.Start().ok);
+
+  TestClient holder(server.port());
+  TestClient late(server.port());
+  ASSERT_TRUE(holder.SendLine("BLOCK"));
+  ASSERT_TRUE(blocking.WaitForExecuting(1));
+  ASSERT_TRUE(late.SendLine("too slow"));
+  ASSERT_TRUE(WaitUntil([&] { return server.stats().queue_depth == 1; }));
+  // Let the queued request's deadline lapse before freeing the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  blocking.Release();
+
+  std::string line;
+  ASSERT_TRUE(holder.ReadLine(&line));
+  EXPECT_EQ(line, "OK blocked");  // Admitted pre-deadline work completes.
+  ASSERT_TRUE(late.ReadLine(&line));
+  EXPECT_EQ(line, "ERR deadline");  // Expired in queue; handler never ran.
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  server.Stop();
+}
+
+// --- Graceful shutdown -----------------------------------------------------
+
+TEST(NetServerTest, StopDrainsInFlightAndQueuedRequests) {
+  BlockingHandler blocking;
+  NetServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 4;
+  options.deadline_ms = 0;
+  NetServer server(blocking.AsHandler(), options);
+  ASSERT_TRUE(server.Start().ok);
+  const uint16_t port = server.port();
+
+  TestClient in_flight(port);
+  TestClient queued(port);
+  ASSERT_TRUE(in_flight.SendLine("BLOCK"));
+  ASSERT_TRUE(blocking.WaitForExecuting(1));
+  ASSERT_TRUE(queued.SendLine("queued work"));
+  ASSERT_TRUE(WaitUntil([&] { return server.stats().queue_depth == 1; }));
+
+  std::thread stopper([&] { server.Stop(); });
+  // Stop() must wait for the drain, not race past it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  blocking.Release();
+  stopper.join();
+
+  std::string line;
+  ASSERT_TRUE(in_flight.ReadLine(&line));
+  EXPECT_EQ(line, "OK blocked");
+  ASSERT_TRUE(queued.ReadLine(&line));
+  EXPECT_EQ(line, "OK queued work");
+  EXPECT_FALSE(server.running());
+  // The listener is gone: new connections are refused.
+  TestClient refused(port);
+  EXPECT_TRUE(!refused.connected() || refused.ReadEof());
+}
+
+TEST(NetServerTest, SigtermTriggersGracefulDrain) {
+  InstallShutdownSignalHandlers();
+  ResetShutdownState();
+  BlockingHandler blocking;
+  NetServerOptions options;
+  options.num_threads = 1;
+  options.deadline_ms = 0;
+  NetServer server(blocking.AsHandler(), options);
+  ASSERT_TRUE(server.Start().ok);
+
+  // The prim_serve --port main loop: a waiter thread turns the signal into
+  // a graceful Stop().
+  std::thread waiter([&] {
+    WaitForShutdown();
+    server.Stop();
+  });
+
+  TestClient in_flight(server.port());
+  ASSERT_TRUE(in_flight.SendLine("BLOCK"));
+  ASSERT_TRUE(blocking.WaitForExecuting(1));
+
+  ::raise(SIGTERM);
+  EXPECT_TRUE(ShutdownRequested());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  blocking.Release();
+  waiter.join();
+
+  std::string line;
+  ASSERT_TRUE(in_flight.ReadLine(&line));
+  EXPECT_EQ(line, "OK blocked");  // In-flight work survived the signal.
+  EXPECT_FALSE(server.running());
+  ResetShutdownState();
+}
+
+// --- Against the real protocol handler ------------------------------------
+
+struct NetFixture {
+  data::PoiDataset city;
+  std::string ckpt_path;
+  std::unique_ptr<RelationshipServer> server;
+
+  NetFixture() : city(prim::testing::TinyCity()) {
+    train::ExperimentConfig config = prim::testing::TinyExperimentConfig();
+    config.trainer.epochs = 8;
+    config.trainer.verbose = false;
+    train::ExperimentData data = train::PrepareExperiment(city, 0.6, config);
+    Rng rng(1);
+    core::PrimModel model(data.ctx, config.prim, rng);
+    train::Trainer trainer(model, data.split.train, *data.full_graph,
+                           config.trainer);
+    trainer.Fit(nullptr);
+    core::PrimIndex index = core::PrimIndex::Build(model);
+    ckpt_path =
+        (std::filesystem::temp_directory_path() / "net_server_test.ckpt")
+            .string();
+    EXPECT_TRUE(io::SaveTrainedModel(ckpt_path, model, "PRIM", &config.prim,
+                                     &index, city)
+                    .ok);
+    RelationshipServer::Options options;
+    options.cache_capacity = 256;
+    EXPECT_TRUE(RelationshipServer::Load(ckpt_path, options, &server).ok);
+  }
+};
+
+NetFixture& Fixture() {
+  static NetFixture* f = new NetFixture();
+  return *f;
+}
+
+TEST(NetServerProtocolTest, ConcurrentClientsMatchSingleThreadedHandler) {
+  NetFixture& f = Fixture();
+  const int num_clients = 8;
+  const int requests_per_client = 25;
+  const int n = f.server->num_pois();
+
+  // Build each client's request list and the expected responses by running
+  // the handler single-threaded first (CLASSIFY/TOPK responses are pure
+  // functions of the request, so the concurrent server must match).
+  std::vector<std::vector<std::string>> requests(num_clients);
+  std::vector<std::vector<std::string>> expected(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    for (int q = 0; q < requests_per_client; ++q) {
+      const int salt = c * 1000 + q;
+      std::string line;
+      if (q % 3 == 0) {
+        line = "TOPK " + std::to_string(salt * 31 % n) + " 1.5 5";
+      } else {
+        line = "CLASSIFY " + std::to_string(salt * 37 % n) + " " +
+               std::to_string((salt * 61 + 3) % n);
+      }
+      requests[c].push_back(line);
+      expected[c].push_back(HandleRequestLine(*f.server, line));
+    }
+  }
+
+  NetServerOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 64;
+  NetServer server(
+      [&f](const std::string& line) {
+        return HandleRequestLine(*f.server, line);
+      },
+      options);
+  ASSERT_TRUE(server.Start().ok);
+
+  std::vector<std::vector<std::string>> got(num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server.port());
+      std::string line;
+      for (const std::string& request : requests[c]) {
+        if (!client.SendLine(request)) return;
+        if (!client.ReadLine(&line)) return;
+        got[c].push_back(line);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  for (int c = 0; c < num_clients; ++c) {
+    ASSERT_EQ(got[c].size(), expected[c].size()) << "client " << c;
+    for (size_t q = 0; q < expected[c].size(); ++q)
+      EXPECT_EQ(got[c][q], expected[c][q]) << "client " << c << " req " << q;
+  }
+  const NetServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests_handled,
+            static_cast<uint64_t>(num_clients * requests_per_client));
+  EXPECT_EQ(stats.busy_rejected, 0u);
+}
+
+TEST(NetServerProtocolTest, MalformedRequestsAnswerErrNotCrash) {
+  NetFixture& f = Fixture();
+  NetServer server(
+      [&f](const std::string& line) {
+        return HandleRequestLine(*f.server, line);
+      },
+      NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  TestClient client(server.port());
+  const std::vector<std::string> bad = {
+      "FROB 1 2",       "CLASSIFY",           "CLASSIFY abc 2",
+      "CLASSIFY 0 1 2", "TOPK 0 nonsense 5",  "TOPK 0 1.0 99999999999",
+      "CLASSIFY -5 0",  "TOPK 999999 1.0 5",
+  };
+  std::string line;
+  for (const std::string& request : bad) {
+    ASSERT_TRUE(client.SendLine(request)) << request;
+    ASSERT_TRUE(client.ReadLine(&line)) << request;
+    EXPECT_EQ(line.rfind("ERR ", 0), 0u) << request << " -> " << line;
+  }
+  // The connection survived all of it.
+  ASSERT_TRUE(client.SendLine("CLASSIFY 0 1"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+  server.Stop();
+}
+
+TEST(NetServerProtocolTest, StatsResponseCarriesNetworkFields) {
+  NetFixture& f = Fixture();
+  NetServer server(
+      [&f](const std::string& line) {
+        return HandleRequestLine(*f.server, line);
+      },
+      NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  TestClient client(server.port());
+  std::string line;
+  ASSERT_TRUE(client.SendLine("CLASSIFY 0 1"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(client.SendLine("TOPK 0 1.5 3"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(client.SendLine("STATS"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK classify=", 0), 0u) << line;
+  // Transport health fields from the frontend...
+  EXPECT_NE(line.find(" net_conns=1"), std::string::npos) << line;
+  EXPECT_NE(line.find(" net_busy=0"), std::string::npos) << line;
+  EXPECT_NE(line.find(" net_deadline=0"), std::string::npos) << line;
+  // ...and per-verb latency percentiles for the verbs seen so far.
+  EXPECT_NE(line.find(" classify_p50_ms="), std::string::npos) << line;
+  EXPECT_NE(line.find(" classify_p95_ms="), std::string::npos) << line;
+  EXPECT_NE(line.find(" classify_p99_ms="), std::string::npos) << line;
+  EXPECT_NE(line.find(" topk_p50_ms="), std::string::npos) << line;
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace prim::serve

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -272,6 +273,65 @@ TEST(ProtocolTest, ErrorsAreErrLines) {
       HandleRequestLine(*f.server, "CLASSIFY 999999 0").rfind("ERR ", 0), 0u);
   EXPECT_EQ(HandleRequestLine(*f.server, ""), "");
   EXPECT_EQ(HandleRequestLine(*f.server, "   "), "");
+}
+
+TEST(ProtocolTest, RejectsUnparseableNumericArguments) {
+  ServerFixture& f = Fixture();
+  // A k too large for int must fail parsing (usage error), not wrap around.
+  EXPECT_EQ(
+      HandleRequestLine(*f.server, "TOPK 0 1.0 99999999999").rfind("ERR usage", 0),
+      0u);
+  // Non-integer ids fail the int extraction, not silently truncate.
+  EXPECT_EQ(HandleRequestLine(*f.server, "CLASSIFY 1.5 2").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(*f.server, "TOPK 1.5 1.0 5").rfind("ERR ", 0),
+            0u);
+}
+
+TEST(ProtocolTest, RejectsOutOfDomainNumericArguments) {
+  ServerFixture& f = Fixture();
+  const std::string neg_k = HandleRequestLine(*f.server, "TOPK 0 1.0 -3");
+  EXPECT_NE(neg_k.find("k must be positive"), std::string::npos) << neg_k;
+  const std::string neg_r = HandleRequestLine(*f.server, "TOPK 0 -2.5 5");
+  EXPECT_NE(neg_r.find("radius must be positive"), std::string::npos) << neg_r;
+  const std::string neg_id = HandleRequestLine(*f.server, "CLASSIFY -5 0");
+  EXPECT_NE(neg_id.find("out of range"), std::string::npos) << neg_id;
+}
+
+TEST(ProtocolTest, HugeFiniteRadiusIsAnsweredNotUndefined) {
+  ServerFixture& f = Fixture();
+  // Regression: a huge radius used to overflow the grid reach float->int
+  // cast (UB). It must now degrade to a whole-grid scan and answer OK.
+  const std::string response = HandleRequestLine(*f.server, "TOPK 0 1e308 3");
+  EXPECT_EQ(response.rfind("OK ", 0), 0u) << response;
+}
+
+TEST(RelationshipServerTest, TopKRejectsNonFiniteRadius) {
+  ServerFixture& f = Fixture();
+  std::vector<RelationshipServer::RelatedPoi> related;
+  io::Result r =
+      f.server->TopKRelated(0, std::numeric_limits<double>::quiet_NaN(), 5,
+                            &related);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("finite"), std::string::npos) << r.error;
+  r = f.server->TopKRelated(0, std::numeric_limits<double>::infinity(), 5,
+                            &related);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("finite"), std::string::npos) << r.error;
+}
+
+TEST(ProtocolTest, RejectedRequestsDoNotIncrementStats) {
+  ServerFixture& f = Fixture();
+  f.server->ResetStats();
+  EXPECT_EQ(HandleRequestLine(*f.server, "CLASSIFY -5 0").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(*f.server, "TOPK 999999 1.0 5").rfind("ERR ", 0),
+            0u);
+  EXPECT_EQ(HandleRequestLine(*f.server, "TOPK 0 -1.0 5").rfind("ERR ", 0),
+            0u);
+  const std::string stats = HandleRequestLine(*f.server, "STATS");
+  EXPECT_NE(stats.find("classify=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" topk=0"), std::string::npos) << stats;
 }
 
 }  // namespace

@@ -51,6 +51,29 @@ MiniBatchConfig FullCoverageConfig(const TrainConfig& train) {
   return mb;
 }
 
+// --- ParseFanout -----------------------------------------------------------
+
+TEST(ParseFanoutTest, AcceptsIntegersAndAllSpellings) {
+  EXPECT_EQ(ParseFanout("10,5"), (std::vector<int>{10, 5}));
+  EXPECT_EQ(ParseFanout("all,7"), (std::vector<int>{0, 7}));
+  EXPECT_EQ(ParseFanout("0"), (std::vector<int>{0}));
+  EXPECT_EQ(ParseFanout("all"), (std::vector<int>{0}));
+  EXPECT_EQ(ParseFanout("25"), (std::vector<int>{25}));
+}
+
+// atoi regression: "foo" parsed as 0 meant a typo silently requested
+// full-graph aggregation. Bad tokens must now abort, naming the token.
+TEST(ParseFanoutDeathTest, RejectsNonNumericNegativeAndEmptyTokens) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(ParseFanout("foo,2"), "fanout token 'foo'");
+  EXPECT_DEATH(ParseFanout("-3"), "fanout token '-3'");
+  EXPECT_DEATH(ParseFanout("2.5"), "fanout token '2.5'");
+  EXPECT_DEATH(ParseFanout("10,,5"), "fanout token ''");
+  EXPECT_DEATH(ParseFanout("10,5,"), "fanout token ''");
+  EXPECT_DEATH(ParseFanout(""), "empty fanout list");
+  EXPECT_DEATH(ParseFanout("99999999999"), "overflows int");
+}
+
 TEST(MiniBatchTrainerTest, FullBatchBitwiseEquivalencePrim) {
   Shared& f = Fixture();
   Rng rng_a(11);
