@@ -1,5 +1,7 @@
 #include "bench/bench_common.h"
 
+#include "common/check.h"
+
 #include <cstdlib>
 
 namespace prim::bench {
@@ -28,6 +30,28 @@ std::vector<std::string> SplitCommas(const std::string& s) {
 
 }  // namespace
 
+namespace {
+
+// Strict numeric flag parsing: a typo like --epochs=ten must abort the
+// benchmark, not silently run with atoi's 0 and publish wrong numbers.
+long long ParseIntFlag(const std::string& text, const char* flag) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  PRIM_CHECK_MSG(end != text.c_str() && *end == '\0',
+                 "--" << flag << " expects an integer, got '" << text << "'");
+  return value;
+}
+
+double ParseDoubleFlag(const std::string& text, const char* flag) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  PRIM_CHECK_MSG(end != text.c_str() && *end == '\0',
+                 "--" << flag << " expects a number, got '" << text << "'");
+  return value;
+}
+
+}  // namespace
+
 BenchFlags BenchFlags::Parse(int argc, char** argv) {
   BenchFlags flags;
   flags.scale = data::ParseScale(FlagValue(argc, argv, "scale", "tiny"));
@@ -36,9 +60,10 @@ BenchFlags BenchFlags::Parse(int argc, char** argv) {
   const std::string train = FlagValue(argc, argv, "train", "");
   if (!train.empty())
     for (const std::string& f : SplitCommas(train))
-      flags.train_fractions.push_back(std::atof(f.c_str()));
-  flags.epochs = std::atoi(FlagValue(argc, argv, "epochs", "-1").c_str());
-  flags.seed = std::atoll(FlagValue(argc, argv, "seed", "1").c_str());
+      flags.train_fractions.push_back(ParseDoubleFlag(f, "train"));
+  flags.epochs = static_cast<int>(
+      ParseIntFlag(FlagValue(argc, argv, "epochs", "-1"), "epochs"));
+  flags.seed = ParseIntFlag(FlagValue(argc, argv, "seed", "1"), "seed");
   return flags;
 }
 

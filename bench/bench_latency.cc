@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "common/check.h"
 #include "core/prim_index.h"
 #include "core/prim_model.h"
 #include "io/model_io.h"
@@ -61,9 +62,11 @@ Serving& GetServing() {
     serving->index = std::make_unique<core::PrimIndex>(
         core::PrimIndex::Build(*serving->model));
     if (!g_checkpoint_path.empty()) {
-      io::SaveTrainedModel(g_checkpoint_path, *serving->model, "PRIM",
-                           &config.prim, serving->index.get(),
-                           serving->dataset);
+      const io::Result saved =
+          io::SaveTrainedModel(g_checkpoint_path, *serving->model, "PRIM",
+                               &config.prim, serving->index.get(),
+                               serving->dataset);
+      PRIM_CHECK_MSG(saved.ok, "checkpoint cache write failed: " << saved.error);
     }
     return serving;
   }();

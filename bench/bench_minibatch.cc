@@ -245,8 +245,11 @@ int main(int argc, char** argv) {
                 spec.c_str());
         return 1;
       }
-      return RunSweepChild(std::atoi(spec.c_str()),
-                           std::atoi(spec.c_str() + c1 + 1),
+      // The spec is machine-written by the parent sweep process; strtol
+      // still beats atoi (no silent 0 on a mangled spec).
+      return RunSweepChild(static_cast<int>(std::strtol(spec.c_str(), nullptr, 10)),
+                           static_cast<int>(std::strtol(spec.c_str() + c1 + 1,
+                                                        nullptr, 10)),
                            spec.substr(c2 + 1), seed);
     }
   }

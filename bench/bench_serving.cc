@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/check.h"
 #include "core/prim_index.h"
 #include "core/prim_model.h"
 #include "io/model_io.h"
@@ -61,7 +62,8 @@ ClassifyRow TimeClassify(serve::RelationshipServer& server, int batch_size,
       pairs.emplace_back(i, j);
     }
     const auto t0 = Clock::now();
-    server.ClassifyBatch(pairs, &results);
+    const io::Result cr = server.ClassifyBatch(pairs, &results);
+    PRIM_CHECK_MSG(cr.ok, "ClassifyBatch failed: " + cr.error);
     total_ms += MsSince(t0);
   }
   row.mean_batch_ms = total_ms / batches;
@@ -89,14 +91,16 @@ TopKResult TimeTopK(serve::RelationshipServer& server, int queries,
   for (int q = 0; q < queries; ++q) {
     const int i = q * 131 % n;
     const auto t0 = Clock::now();
-    server.TopKRelated(i, radius_km, k, &related);
+    const io::Result cold = server.TopKRelated(i, radius_km, k, &related);
+    PRIM_CHECK_MSG(cold.ok, "TopKRelated (cold) failed: " + cold.error);
     cold_ms += MsSince(t0);
   }
   double cached_ms = 0.0;
   for (int q = 0; q < queries; ++q) {
     const int i = q * 131 % n;
     const auto t0 = Clock::now();
-    server.TopKRelated(i, radius_km, k, &related);
+    const io::Result warm = server.TopKRelated(i, radius_km, k, &related);
+    PRIM_CHECK_MSG(warm.ok, "TopKRelated (cached) failed: " + warm.error);
     cached_ms += MsSince(t0);
   }
   result.cold_ms = cold_ms / queries;

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -33,6 +34,21 @@ std::string FlagValue(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+// Strict integer flag: a typo like --epochs=ten must fail loudly, not
+// silently become atoi's 0.
+int IntFlag(int argc, char** argv, const std::string& name, int fallback) {
+  const std::string text =
+      FlagValue(argc, argv, name, std::to_string(fallback));
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "--%s expects an integer, got '%s'\n", name.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,7 +59,7 @@ int main(int argc, char** argv) {
               city.num_pois(), city.edges.size(), city.num_relations);
 
   train::ExperimentConfig config;
-  config.trainer.epochs = std::stoi(FlagValue(argc, argv, "epochs", "120"));
+  config.trainer.epochs = IntFlag(argc, argv, "epochs", 120);
   config.trainer.negatives_per_positive = 2;
   config.trainer.lr = 0.02f;
   config.SyncDims();

@@ -5,6 +5,7 @@
 //   ./build/examples/quickstart [--scale=tiny|small|paper] [--epochs=N]
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -27,13 +28,28 @@ std::string FlagValue(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+// Strict integer flag: a typo like --epochs=ten must fail loudly, not
+// silently become atoi's 0.
+int IntFlag(int argc, char** argv, const std::string& name, int fallback) {
+  const std::string text =
+      FlagValue(argc, argv, name, std::to_string(fallback));
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "--%s expects an integer, got '%s'\n", name.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace prim;
 
   const auto scale = data::ParseScale(FlagValue(argc, argv, "scale", "tiny"));
-  const int epochs = std::stoi(FlagValue(argc, argv, "epochs", "120"));
+  const int epochs = IntFlag(argc, argv, "epochs", 120);
 
   // 1. Data: a city with POIs, a category taxonomy, and ground-truth
   //    competitive/complementary relationships (simulating the paper's

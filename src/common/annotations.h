@@ -1,0 +1,84 @@
+#ifndef PRIM_COMMON_ANNOTATIONS_H_
+#define PRIM_COMMON_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These turn the repository's locking rules — "stats_ is written only under
+// stats_mu_", "EnsureWorkersLocked needs mu_ held" — into compile-time
+// contracts: a Clang build with -Wthread-safety (-Werror=thread-safety in
+// CI's static-analysis leg; enabled automatically by the top-level
+// CMakeLists when the compiler is Clang) rejects any access that violates
+// them, instead of hoping TSan happens to execute the racy interleaving.
+// Under GCC and other compilers every macro expands to nothing, so the
+// annotated code stays portable.
+//
+// Use the prim::Mutex / prim::MutexLock / prim::CondVar wrappers from
+// common/mutex.h rather than std::mutex directly — the analysis only sees
+// lock operations that carry these attributes, and tools/prim_lint enforces
+// that rule outside common/. Conventions are documented in DESIGN.md
+// ("Static analysis").
+
+#if defined(__clang__)
+#define PRIM_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define PRIM_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (a lock). Applied to prim::Mutex.
+#define PRIM_CAPABILITY(x) PRIM_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor. Applied to prim::MutexLock.
+#define PRIM_SCOPED_CAPABILITY PRIM_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Data member may only be read or written while holding `x`:
+///   Stats stats_ PRIM_GUARDED_BY(stats_mu_);
+#define PRIM_GUARDED_BY(x) PRIM_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define PRIM_PT_GUARDED_BY(x) PRIM_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Lock-ordering declarations; deadlock-freedom is checked where both
+/// mutexes are annotated.
+#define PRIM_ACQUIRED_BEFORE(...) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define PRIM_ACQUIRED_AFTER(...) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities to be held by the caller and
+/// does not release them. The convention for such helpers is a
+/// "...Locked" name suffix (e.g. WorkerPool::EnsureWorkersLocked).
+#define PRIM_REQUIRES(...) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities (or, with no
+/// arguments on a member of a capability class, `this`).
+#define PRIM_ACQUIRE(...) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define PRIM_RELEASE(...) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define PRIM_TRY_ACQUIRE(...) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires them
+/// itself; holding one on entry would self-deadlock a non-reentrant mutex).
+#define PRIM_EXCLUDES(...) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Asserts to the analysis (not at runtime) that the capability is held —
+/// for code reached only with the lock held via a path the analysis cannot
+/// follow, e.g. a callback invoked under the caller's lock.
+#define PRIM_ASSERT_CAPABILITY(x) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define PRIM_RETURN_CAPABILITY(x) \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the contract holds anyway.
+#define PRIM_NO_THREAD_SAFETY_ANALYSIS \
+  PRIM_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // PRIM_COMMON_ANNOTATIONS_H_

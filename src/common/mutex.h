@@ -1,0 +1,119 @@
+#ifndef PRIM_COMMON_MUTEX_H_
+#define PRIM_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace prim {
+
+class CondVar;
+
+/// std::mutex with Clang thread-safety annotations. Every mutex in the
+/// library outside common/ must be one of these (tools/prim_lint enforces
+/// it): only annotated lock operations let -Wthread-safety prove that
+/// PRIM_GUARDED_BY members are touched under their lock.
+///
+/// Usage mirrors std::mutex, but prefer MutexLock over manual Lock/Unlock
+/// pairs — the scoped form is what the analysis reasons about best.
+class PRIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PRIM_ACQUIRE() { mu_.lock(); }
+  void Unlock() PRIM_RELEASE() { mu_.unlock(); }
+  bool TryLock() PRIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis — not the runtime — that this mutex is held. For
+  /// code reached only with the lock held via a path the analysis cannot
+  /// follow (e.g. a callback invoked under the caller's lock).
+  void AssertHeld() const PRIM_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a prim::Mutex: acquires in the constructor, releases in
+/// the destructor. Unlock()/Lock() support the "drop the lock around a
+/// blocking call" pattern (WorkerPool::Run releasing mu_ while it executes
+/// its own chunk); the analysis tracks the held/released state across both.
+class PRIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PRIM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() PRIM_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before the end of the scope. The destructor then
+  /// does nothing unless Lock() re-acquires first.
+  void Unlock() PRIM_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+  /// Re-acquires after Unlock().
+  void Lock() PRIM_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with prim::Mutex. There is deliberately no
+/// predicate overload: a predicate lambda would be analyzed as a separate
+/// function with no knowledge of the held lock, so guarded reads inside it
+/// would (rightly) fail -Wthread-safety. Spell waits as explicit loops in
+/// the scope that holds the lock:
+///
+///   MutexLock lock(mu_);
+///   while (!done_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` (which the caller must hold), blocks until
+  /// notified, and re-acquires `mu` before returning. Spurious wakeups are
+  /// possible — always wait in a loop re-checking the condition.
+  void Wait(Mutex& mu) PRIM_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the wait, then release the
+    // unique_lock's ownership claim so the Mutex wrapper keeps it. The
+    // capability bookkeeping is unchanged: held on entry, held on return.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Wait() with a deadline. Returns false on timeout, true when notified
+  /// (or on a spurious wakeup) — re-check the condition either way.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      PRIM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace prim
+
+#endif  // PRIM_COMMON_MUTEX_H_

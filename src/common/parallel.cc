@@ -4,13 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace prim {
 namespace {
@@ -60,8 +59,8 @@ struct AuditRecord {
 
 // Per-region collector shared by all chunks of one audited ParallelFor.
 struct AuditRegion {
-  std::mutex mu;
-  std::vector<AuditRecord> records;
+  Mutex mu;
+  std::vector<AuditRecord> records PRIM_GUARDED_BY(mu);
 };
 
 // Set while a chunk callback runs so AuditWriteRange knows where to report
@@ -72,8 +71,10 @@ thread_local int t_chunk = -1;
 thread_local bool t_in_parallel_region = false;
 
 // Verifies that no two distinct chunks claimed overlapping element ranges
-// of the same buffer. Aborts with both ranges on violation.
+// of the same buffer. Aborts with both ranges on violation. Runs after the
+// region's chunks have all finished, so the lock is uncontended.
 void VerifyDisjointWrites(AuditRegion& region) {
+  MutexLock lock(region.mu);
   auto& recs = region.records;
   std::sort(recs.begin(), recs.end(),
             [](const AuditRecord& a, const AuditRecord& b) {
@@ -131,12 +132,17 @@ class WorkerPool {
   }
 
   ~WorkerPool() {
+    // Swap the threads out under the lock, join without it: a worker needs
+    // mu_ to observe stop_ and exit, so joining while holding it would
+    // deadlock.
+    std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
-      cv_work_.notify_all();
+      cv_work_.NotifyAll();
+      workers.swap(workers_);
     }
-    for (std::thread& w : workers_) w.join();
+    for (std::thread& w : workers) w.join();
     g_pool_destroyed.store(true, std::memory_order_relaxed);
   }
 
@@ -147,9 +153,9 @@ class WorkerPool {
   // thread executes chunk 0 and blocks until every chunk has finished.
   void Run(int chunks, int64_t chunk_size, int64_t n,
            const std::function<void(int64_t, int64_t)>& fn,
-           AuditRegion* region) {
-    std::lock_guard<std::mutex> serialize(run_mu_);
-    std::unique_lock<std::mutex> lock(mu_);
+           AuditRegion* region) PRIM_EXCLUDES(run_mu_, mu_) {
+    MutexLock serialize(run_mu_);
+    MutexLock lock(mu_);
     EnsureWorkersLocked(chunks - 1);
     job_fn_ = &fn;
     job_n_ = n;
@@ -158,29 +164,30 @@ class WorkerPool {
     job_region_ = region;
     remaining_ = chunks - 1;
     ++generation_;
-    cv_work_.notify_all();
-    lock.unlock();
+    cv_work_.NotifyAll();
+    lock.Unlock();
     RunChunk(fn, 0, std::min(n, chunk_size), region, 0);
-    lock.lock();
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    lock.Lock();
+    while (remaining_ != 0) cv_done_.Wait(mu_);
     job_fn_ = nullptr;
   }
 
  private:
   WorkerPool() : owner_pid_(::getpid()) {}
 
-  void EnsureWorkersLocked(int needed) {
+  void EnsureWorkersLocked(int needed) PRIM_REQUIRES(mu_) {
     while (static_cast<int>(workers_.size()) < needed) {
       const int id = static_cast<int>(workers_.size());
       workers_.emplace_back(&WorkerPool::WorkerMain, this, id, generation_);
     }
   }
 
-  void WorkerMain(int worker_id, uint64_t spawn_generation) {
-    std::unique_lock<std::mutex> lock(mu_);
+  void WorkerMain(int worker_id, uint64_t spawn_generation)
+      PRIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     uint64_t seen = spawn_generation;
     for (;;) {
-      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      while (!stop_ && generation_ == seen) cv_work_.Wait(mu_);
       if (stop_) return;
       seen = generation_;
       const int chunk = worker_id + 1;
@@ -189,29 +196,30 @@ class WorkerPool {
       const int64_t n = job_n_;
       const int64_t chunk_size = job_chunk_size_;
       AuditRegion* region = job_region_;
-      lock.unlock();
+      lock.Unlock();
       RunChunk(*fn, chunk * chunk_size,
                std::min(n, (chunk + 1) * chunk_size), region, chunk);
-      lock.lock();
-      if (--remaining_ == 0) cv_done_.notify_all();
+      lock.Lock();
+      if (--remaining_ == 0) cv_done_.NotifyAll();
     }
   }
 
   const pid_t owner_pid_;
-  std::mutex run_mu_;  // Serializes whole Run() invocations.
+  Mutex run_mu_;  // Serializes whole Run() invocations.
 
-  std::mutex mu_;  // Guards everything below.
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
-  uint64_t generation_ = 0;
-  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
-  int64_t job_n_ = 0;
-  int64_t job_chunk_size_ = 0;
-  int job_chunks_ = 0;
-  AuditRegion* job_region_ = nullptr;
-  int remaining_ = 0;
+  Mutex mu_ PRIM_ACQUIRED_AFTER(run_mu_);  // Guards everything below.
+  CondVar cv_work_;
+  CondVar cv_done_;
+  std::vector<std::thread> workers_ PRIM_GUARDED_BY(mu_);
+  bool stop_ PRIM_GUARDED_BY(mu_) = false;
+  uint64_t generation_ PRIM_GUARDED_BY(mu_) = 0;
+  const std::function<void(int64_t, int64_t)>* job_fn_ PRIM_GUARDED_BY(mu_) =
+      nullptr;
+  int64_t job_n_ PRIM_GUARDED_BY(mu_) = 0;
+  int64_t job_chunk_size_ PRIM_GUARDED_BY(mu_) = 0;
+  int job_chunks_ PRIM_GUARDED_BY(mu_) = 0;
+  AuditRegion* job_region_ PRIM_GUARDED_BY(mu_) = nullptr;
+  int remaining_ PRIM_GUARDED_BY(mu_) = 0;
 };
 
 // Set by the async runner destructor during static teardown; RunAsync runs
@@ -224,14 +232,14 @@ namespace internal {
 
 // Completion state shared between the submitting thread and the runner.
 struct AsyncTaskState {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
+  Mutex mu;
+  CondVar cv;
+  bool done PRIM_GUARDED_BY(mu) = false;
 
-  void MarkDone() {
-    std::lock_guard<std::mutex> lock(mu);
+  void MarkDone() PRIM_EXCLUDES(mu) {
+    MutexLock lock(mu);
     done = true;
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
@@ -250,23 +258,28 @@ class AsyncRunner {
   }
 
   ~AsyncRunner() {
+    // Same shape as ~WorkerPool: take the thread handle under the lock,
+    // join without it (Main needs mu_ to see stop_).
+    std::thread thread;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
-      cv_.notify_all();
+      cv_.NotifyAll();
+      thread.swap(thread_);
     }
-    if (thread_.joinable()) thread_.join();
+    if (thread.joinable()) thread.join();
     g_async_destroyed.store(true, std::memory_order_relaxed);
   }
 
   bool UsableFromThisProcess() const { return owner_pid_ == ::getpid(); }
 
   void Enqueue(std::function<void()> fn,
-               std::shared_ptr<internal::AsyncTaskState> state) {
-    std::lock_guard<std::mutex> lock(mu_);
+               std::shared_ptr<internal::AsyncTaskState> state)
+      PRIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (!thread_.joinable()) thread_ = std::thread(&AsyncRunner::Main, this);
     queue_.push_back({std::move(fn), std::move(state)});
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
@@ -277,34 +290,34 @@ class AsyncRunner {
 
   AsyncRunner() : owner_pid_(::getpid()) {}
 
-  void Main() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Main() PRIM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (;;) {
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_) return;
       Item item = std::move(queue_.front());
       queue_.erase(queue_.begin());
-      lock.unlock();
+      lock.Unlock();
       item.fn();
       item.state->MarkDone();
-      lock.lock();
+      lock.Lock();
     }
   }
 
   const pid_t owner_pid_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  std::vector<Item> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::thread thread_ PRIM_GUARDED_BY(mu_);
+  std::vector<Item> queue_ PRIM_GUARDED_BY(mu_);
+  bool stop_ PRIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace
 
 void AsyncTask::Wait() {
   if (state_ == nullptr) return;
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  MutexLock lock(state_->mu);
+  while (!state_->done) state_->cv.Wait(state_->mu);
 }
 
 AsyncTask RunAsync(std::function<void()> fn) {
@@ -342,7 +355,7 @@ bool ParallelAuditEnabled() {
 void AuditWriteRange(const void* base, int64_t begin, int64_t end) {
   AuditRegion* region = t_region;
   if (region == nullptr || begin >= end) return;
-  std::lock_guard<std::mutex> lock(region->mu);
+  MutexLock lock(region->mu);
   region->records.push_back({base, begin, end, t_chunk});
 }
 

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <mutex>
 
 #include "common/check.h"
@@ -15,29 +16,35 @@ namespace {
 
 std::atomic<bool> g_shutdown_requested{false};
 // Self-pipe; the write end is all a signal handler may touch. Created once
-// and intentionally never closed (lives for the process).
-int g_pipe_rd = -1;
-int g_pipe_wr = -1;
+// and intentionally never closed (lives for the process). The fds are
+// atomics, not plain ints: the signal handler and WaitForShutdown may read
+// them from threads that never ran EnsurePipe's call_once themselves, and a
+// lock-free atomic load is async-signal-safe where a mutex is not.
+std::atomic<int> g_pipe_rd{-1};
+std::atomic<int> g_pipe_wr{-1};
 std::once_flag g_pipe_once;
 
 void EnsurePipe() {
   std::call_once(g_pipe_once, [] {
     int fds[2];
-    PRIM_CHECK_MSG(::pipe(fds) == 0, "shutdown self-pipe creation failed");
+    PRIM_CHECK_MSG(::pipe(fds) == 0,
+                   "shutdown self-pipe creation failed, errno=" << errno);
     // Non-blocking write end: a flood of signals must never block the
     // handler once the (64 KB) pipe buffer fills.
     ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
     ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
     ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
-    g_pipe_rd = fds[0];
-    g_pipe_wr = fds[1];
+    g_pipe_rd.store(fds[0], std::memory_order_release);
+    g_pipe_wr.store(fds[1], std::memory_order_release);
   });
 }
 
 void SignalWake() {
+  const int fd = g_pipe_wr.load(std::memory_order_acquire);
+  if (fd < 0) return;  // Signal before any Ensure/Install call: flag wins.
   const char byte = 1;
   // EAGAIN (pipe full) is fine: a byte is already there to wake waiters.
-  [[maybe_unused]] ssize_t n = ::write(g_pipe_wr, &byte, 1);
+  [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
 }
 
 extern "C" void PrimShutdownSignalHandler(int /*signum*/) {
@@ -69,8 +76,9 @@ void RequestShutdown() {
 
 void WaitForShutdown() {
   EnsurePipe();
+  const int fd = g_pipe_rd.load(std::memory_order_acquire);
   while (!ShutdownRequested()) {
-    struct pollfd pfd = {g_pipe_rd, POLLIN, 0};
+    struct pollfd pfd = {fd, POLLIN, 0};
     // Poll for readability without consuming the byte, so concurrent and
     // repeated waiters all wake. A 100 ms cap also covers the (benign)
     // race where the flag flips between the check above and the poll.
@@ -81,11 +89,12 @@ void WaitForShutdown() {
 void ResetShutdownState() {
   EnsurePipe();
   g_shutdown_requested.store(false, std::memory_order_release);
+  const int fd = g_pipe_rd.load(std::memory_order_acquire);
   char buf[64];
   // Read end stays blocking; poll with zero timeout before each read.
-  struct pollfd pfd = {g_pipe_rd, POLLIN, 0};
+  struct pollfd pfd = {fd, POLLIN, 0};
   while (::poll(&pfd, 1, 0) == 1 && (pfd.revents & POLLIN) != 0) {
-    if (::read(g_pipe_rd, buf, sizeof(buf)) <= 0) break;
+    if (::read(fd, buf, sizeof(buf)) <= 0) break;
     pfd.revents = 0;
   }
 }

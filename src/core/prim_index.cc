@@ -68,7 +68,7 @@ void PrimIndex::Query(int i, int j, float dist_km, bool project,
   const float* hi = embeddings_.data() + static_cast<int64_t>(i) * dim_;
   const float* hj = embeddings_.data() + static_cast<int64_t>(j) * dim_;
   float buf_i[512], buf_j[512];
-  PRIM_CHECK_MSG(dim_ <= 512, "PrimIndex supports dim <= 512");
+  PRIM_CHECK_MSG(dim_ <= 512, "PrimIndex supports dim <= 512, got " << dim_);
   if (project) {
     const int bin = config_.BinOf(dist_km);
     const float* w = hyperplanes_.data() + static_cast<int64_t>(bin) * dim_;

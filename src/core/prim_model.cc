@@ -47,6 +47,7 @@ nn::Tensor PrimModel::EncodeNodes(bool /*training*/) {
 
 nn::Tensor PrimModel::ScorePairs(const nn::Tensor& h,
                                  const models::PairBatch& batch) {
+  // prim-lint: allow(check-message): the offence is call order, not a value.
   PRIM_CHECK_MSG(rel_out_.defined(),
                  "ScorePairs requires a prior EncodeNodes call");
   return scorer_.Score(h, rel_out_, batch);

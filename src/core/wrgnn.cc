@@ -12,7 +12,8 @@ WrgnnLayer::WrgnnLayer(const models::ModelContext& ctx,
     : ctx_(ctx), config_(config) {
   d_aug_ = config.dim + config.tax_dim;
   PRIM_CHECK_MSG(config.dim % config.heads == 0,
-                 "dim must be divisible by heads");
+                 "dim " << config.dim << " must be divisible by heads "
+                        << config.heads);
   head_dim_ = config.dim / config.heads;
   w_att_ = RegisterParameter(nn::XavierUniform(d_aug_, config.att_dim, rng),
                              "w_att");
@@ -39,7 +40,9 @@ WrgnnLayer::WrgnnLayer(const models::ModelContext& ctx,
 
 WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
                                        const nn::Tensor& relations) const {
-  PRIM_CHECK_MSG(h_aug.cols() == d_aug_, "WRGNN input dim mismatch");
+  PRIM_CHECK_MSG(h_aug.cols() == d_aug_,
+                 "WRGNN input dim mismatch: got " << h_aug.cols() << ", want "
+                                                  << d_aug_);
   const models::GraphView& view = ctx_.view();
   const std::vector<nn::Tensor>& dist_features = dist_features_.Get(view, [&] {
     std::vector<nn::Tensor> feats;

@@ -383,7 +383,8 @@ PoiDataset GenerateSyntheticCity(const SyntheticCityConfig& config) {
     sum_compl += c.complementary_score;
   }
   PRIM_CHECK_MSG(sum_comp > 0.0 && sum_compl > 0.0,
-                 "degenerate candidate scores");
+                 "degenerate candidate scores: sum_comp="
+                     << sum_comp << " sum_compl=" << sum_compl);
   const double comp_balance =
       config.competitive_share * (sum_comp + sum_compl) / sum_comp;
   const double compl_balance = (1.0 - config.competitive_share) *

@@ -24,7 +24,7 @@ GeoPoint Centroid(const std::vector<GeoPoint>& points) {
 
 GridIndex::GridIndex(const std::vector<GeoPoint>& points, double cell_km)
     : points_(points), projector_(Centroid(points)), cell_km_(cell_km) {
-  PRIM_CHECK_MSG(cell_km > 0.0, "cell_km must be positive");
+  PRIM_CHECK_MSG(cell_km > 0.0, "cell_km must be positive, got " << cell_km);
   const int n = static_cast<int>(points_.size());
   if (n == 0) {
     grid_w_ = grid_h_ = 1;
@@ -45,7 +45,10 @@ GridIndex::GridIndex(const std::vector<GeoPoint>& points, double cell_km)
   grid_w_ = std::max(1, static_cast<int>((max_x - min_x_) / cell_km_) + 1);
   grid_h_ = std::max(1, static_cast<int>((max_y - min_y_) / cell_km_) + 1);
   const int64_t num_cells = static_cast<int64_t>(grid_w_) * grid_h_;
-  PRIM_CHECK_MSG(num_cells < (1LL << 28), "grid too large; increase cell_km");
+  PRIM_CHECK_MSG(num_cells < (1LL << 28),
+                 "grid too large (" << grid_w_ << "x" << grid_h_ << " = "
+                                    << num_cells
+                                    << " cells); increase cell_km");
   // Counting sort of points into cells (CSR).
   std::vector<int> counts(num_cells + 1, 0);
   std::vector<int64_t> cell_of(n);

@@ -12,7 +12,8 @@ EdgeSplit SplitEdges(const std::vector<Triple>& triples,
   PRIM_CHECK(train_fraction > 0.0 && validation_fraction >= 0.0 &&
              test_fraction >= 0.0);
   PRIM_CHECK_MSG(validation_fraction + test_fraction < 1.0,
-                 "val + test must leave room for training data");
+                 "val " << validation_fraction << " + test " << test_fraction
+                        << " leaves no room for training data");
   std::vector<Triple> shuffled = triples;
   rng.Shuffle(shuffled);
   const int64_t n = static_cast<int64_t>(shuffled.size());

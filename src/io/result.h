@@ -11,7 +11,12 @@ namespace prim::io {
 /// corruption, version skew, wrong file, malformed CSV cells, network
 /// clients), so failures are reported as values with a message naming the
 /// offending section, field, or request — never as a crash.
-struct Result {
+///
+/// [[nodiscard]] at class level: every function returning a Result returns
+/// it for a reason, and silently dropping one swallows an I/O failure. The
+/// build enforces this (-Werror=unused-result), and tools/prim_lint flags
+/// discards of the known Result-returning entry points as a second net.
+struct [[nodiscard]] Result {
   bool ok = true;
   std::string error;
 

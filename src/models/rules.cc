@@ -23,9 +23,13 @@ RuleModel::RuleModel(const ModelContext& ctx, bool use_distance,
                      const PairBatch& validation)
     : RelationModel(ctx), use_distance_(use_distance) {
   PRIM_CHECK_MSG(ctx.num_relations == 2,
-                 "rule baselines are defined for the 2-relation setting");
+                 "rule baselines are defined for the 2-relation setting, got "
+                     << ctx.num_relations);
   PRIM_CHECK_MSG(!validation.labels.empty() && validation.labels[0] >= 0,
-                 "RuleModel needs labelled validation pairs");
+                 "RuleModel needs labelled validation pairs: "
+                     << validation.labels.size() << " labels, first="
+                     << (validation.labels.empty() ? -1
+                                                   : validation.labels[0]));
   // Precompute taxonomy distances once.
   std::vector<int> tax(validation.size());
   for (int i = 0; i < validation.size(); ++i)

@@ -100,7 +100,7 @@ std::string Module::LoadStateDict(const std::vector<StateEntry>& state) {
 
 Tensor Module::RegisterParameter(Tensor t, std::string name) {
   PRIM_CHECK_MSG(t.defined() && t.requires_grad(),
-                 "parameters must be defined and require grad");
+                 "parameter '" << name << "' must be defined and require grad");
   for (const std::string& existing : param_names_)
     PRIM_CHECK_MSG(name.empty() || existing != name,
                    "duplicate parameter name '" << name << "'");

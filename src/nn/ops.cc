@@ -485,6 +485,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  // prim-lint: allow(check-message): an empty part list has no value to name.
   PRIM_CHECK_MSG(!parts.empty(), "ConcatCols needs at least one part");
   const int n = parts[0].rows();
   int total_cols = 0;
@@ -535,6 +536,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  // prim-lint: allow(check-message): an empty part list has no value to name.
   PRIM_CHECK_MSG(!parts.empty(), "ConcatRows needs at least one part");
   const int m = parts[0].cols();
   int total_rows = 0;

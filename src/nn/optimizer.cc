@@ -20,8 +20,9 @@ constexpr int64_t kReduceBlock = 4096;
 }  // namespace
 
 Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
-  for (const Tensor& p : params_)
-    PRIM_CHECK_MSG(p.requires_grad(), "optimizer param lacks requires_grad");
+  for (size_t i = 0; i < params_.size(); ++i)
+    PRIM_CHECK_MSG(params_[i].requires_grad(),
+                   "optimizer param " << i << " lacks requires_grad");
 }
 
 void Optimizer::ZeroGrad() {

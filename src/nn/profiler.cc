@@ -5,8 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <unordered_map>
+
+#include "common/mutex.h"
 
 namespace prim::nn {
 namespace {
@@ -28,8 +29,8 @@ struct Row {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Row> rows;
+  Mutex mu;
+  std::unordered_map<std::string, Row> rows PRIM_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -49,13 +50,13 @@ bool ProfilerEnabled() {
 
 void ResetProfiler() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.rows.clear();
 }
 
 void RecordOpSample(const char* op, double seconds, int64_t bytes) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   Row& row = r.rows[op];
   ++row.calls;
   row.seconds += seconds;
@@ -66,7 +67,7 @@ std::vector<OpProfile> ProfilerSnapshot() {
   Registry& r = GetRegistry();
   std::vector<OpProfile> out;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     out.reserve(r.rows.size());
     for (const auto& [name, row] : r.rows) {
       out.push_back({name, row.calls, row.seconds, row.bytes});

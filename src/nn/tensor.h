@@ -113,6 +113,7 @@ class Tensor {
   /// Guards against dereferencing a default-constructed (null) Tensor: a
   /// debug-mode check turns silent UB into an actionable failure.
   TensorImpl* checked_impl() const {
+    // prim-lint: allow(check-message): the offending value is a null handle.
     PRIM_DCHECK_MSG(impl_ != nullptr,
                     "null Tensor handle (default-constructed); "
                     "check defined() before use");

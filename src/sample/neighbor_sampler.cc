@@ -25,6 +25,7 @@ int SampledSubgraph::LocalOf(int parent) const {
 NeighborSampler::NeighborSampler(const graph::HeteroGraph& graph,
                                  SamplerConfig config)
     : graph_(graph), config_(std::move(config)) {
+  // prim-lint: allow(check-message): an empty fanout list has no value to name.
   PRIM_CHECK_MSG(config_.num_layers() >= 1,
                  "NeighborSampler needs at least one layer of fanouts");
   for (const auto& layer : config_.fanout) {

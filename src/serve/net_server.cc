@@ -58,6 +58,7 @@ std::string FormatMs(double ms) {
 
 NetServer::NetServer(LineHandler handler, const NetServerOptions& options)
     : handler_(std::move(handler)), options_(options) {
+  // prim-lint: allow(check-message): a null handler has no value to print.
   PRIM_CHECK_MSG(handler_ != nullptr, "NetServer needs a line handler");
   options_.num_threads = std::max(1, options_.num_threads);
   options_.queue_capacity = std::max(1, options_.queue_capacity);
@@ -67,7 +68,7 @@ NetServer::NetServer(LineHandler handler, const NetServerOptions& options)
 NetServer::~NetServer() { Stop(); }
 
 io::Result NetServer::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   if (started_) return io::Result::Fail("NetServer already started");
 
   in_addr host_addr{};
@@ -106,10 +107,10 @@ io::Result NetServer::Start() {
   }
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  bound_port_ = ntohs(addr.sin_port);
+  bound_port_.store(ntohs(addr.sin_port), std::memory_order_release);
 
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     accepting_requests_ = true;
     workers_exit_when_drained_ = false;
   }
@@ -122,22 +123,22 @@ io::Result NetServer::Start() {
 }
 
 bool NetServer::running() const {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   return started_ && !stopped_;
 }
 
 void NetServer::Stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   if (!started_ || stopped_) return;
   stopped_ = true;
 
   // 1. Refuse new admissions; tell workers to exit once the queue drains.
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     accepting_requests_ = false;
     workers_exit_when_drained_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 
   // 2. Wake and join the accept loop (no new connections).
   {
@@ -151,14 +152,14 @@ void NetServer::Stop() {
   //    response still reaches the client (the drain guarantee).
   std::vector<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (const std::unique_ptr<Connection>& conn : conns_)
-      if (!conn->finished) ::shutdown(conn->fd, SHUT_RD);
+      if (!conn->finished.load(std::memory_order_acquire))
+        ::shutdown(conn->fd, SHUT_RD);
     conns.swap(conns_);
   }
-  // Readers may still need conns_mu_ (to mark themselves finished) and the
-  // workers (to answer their in-flight request), so join without locks and
-  // before the worker pool goes down.
+  // Readers may still need the workers (to answer their in-flight
+  // request), so join without locks and before the worker pool goes down.
   for (const std::unique_ptr<Connection>& conn : conns) {
     conn->thread.join();
     ::close(conn->fd);
@@ -203,12 +204,12 @@ void NetServer::AcceptLoop() {
     conn->fd = fd;
     Connection* raw = conn.get();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       ReapFinishedConnectionsLocked();
       conns_.push_back(std::move(conn));
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.connections_accepted;
       ++stats_.connections_open;
     }
@@ -218,7 +219,7 @@ void NetServer::AcceptLoop() {
 
 void NetServer::ReapFinishedConnectionsLocked() {
   for (auto it = conns_.begin(); it != conns_.end();) {
-    if ((*it)->finished) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
       (*it)->thread.join();
       ::close((*it)->fd);
       it = conns_.erase(it);
@@ -241,7 +242,7 @@ void NetServer::ReaderLoop(Connection* conn) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.size() > options_.max_line_bytes) {
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(stats_mu_);
           ++stats_.lines_oversized;
         }
         SendAll(conn->fd, "ERR line exceeds " +
@@ -264,7 +265,7 @@ void NetServer::ReaderLoop(Connection* conn) {
     if (pending.size() > options_.max_line_bytes) {
       // Framing is gone — anything after the flood could be mid-"line".
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.lines_oversized;
       }
       SendAll(conn->fd, "ERR line exceeds " +
@@ -281,11 +282,13 @@ void NetServer::ReaderLoop(Connection* conn) {
   }
   ::shutdown(conn->fd, SHUT_RDWR);  // FIN now; the fd closes at reap/Stop.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     --stats_.connections_open;
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  conn->finished = true;
+  // Last action of the reader thread: publish "safe to join". The reaper
+  // (accept loop or Stop()) joins before closing the fd, so the release
+  // store pairs with its acquire load.
+  conn->finished.store(true, std::memory_order_release);
 }
 
 std::string NetServer::Submit(const std::string& line,
@@ -300,18 +303,18 @@ std::string NetServer::Submit(const std::string& line,
         request->admitted + std::chrono::milliseconds(options_.deadline_ms);
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (!accepting_requests_) return "ERR shutting down";
     if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.busy_rejected;
       return "ERR busy";
     }
     queue_.push_back(request);
   }
-  queue_cv_.notify_one();
-  std::unique_lock<std::mutex> lock(request->mu);
-  request->cv.wait(lock, [&] { return request->done; });
+  queue_cv_.NotifyOne();
+  MutexLock lock(request->mu);
+  while (!request->done) request->cv.Wait(request->mu);
   return request->response;
 }
 
@@ -319,10 +322,9 @@ void NetServer::WorkerLoop() {
   while (true) {
     std::shared_ptr<Request> request;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] {
-        return !queue_.empty() || workers_exit_when_drained_;
-      });
+      MutexLock lock(queue_mu_);
+      while (queue_.empty() && !workers_exit_when_drained_)
+        queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // Drained and told to exit.
       request = std::move(queue_.front());
       queue_.pop_front();
@@ -331,14 +333,14 @@ void NetServer::WorkerLoop() {
     std::string response;
     if (request->has_deadline && Clock::now() > request->deadline) {
       response = "ERR deadline";
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.deadline_expired;
     } else {
       response = handler_(request->line);
       if (request->verb == "STATS" && response.rfind("OK", 0) == 0)
         response += " " + StatsSuffix();
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.requests_handled;
       }
       RecordLatency(request->verb,
@@ -348,16 +350,16 @@ void NetServer::WorkerLoop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(request->mu);
+      MutexLock lock(request->mu);
       request->done = true;
       request->response = std::move(response);
     }
-    request->cv.notify_one();
+    request->cv.NotifyOne();
   }
 }
 
 void NetServer::RecordLatency(const std::string& verb, double seconds) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   auto it = latency_by_verb_.find(verb);
   if (it == latency_by_verb_.end()) {
     // Bound the per-verb map: clients inventing verbs (every one answered
@@ -373,16 +375,16 @@ void NetServer::RecordLatency(const std::string& verb, double seconds) {
 NetServer::Stats NetServer::stats() const {
   Stats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     out = stats_;
   }
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   out.queue_depth = queue_.size();
   return out;
 }
 
 std::string NetServer::StatsSuffix() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   std::string suffix = "net_conns=" + std::to_string(stats_.connections_open) +
                        " net_busy=" + std::to_string(stats_.busy_rejected) +
                        " net_deadline=" +

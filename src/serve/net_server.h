@@ -1,19 +1,19 @@
 #ifndef PRIM_SERVE_NET_SERVER_H_
 #define PRIM_SERVE_NET_SERVER_H_
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/latency_histogram.h"
+#include "common/mutex.h"
 #include "io/result.h"
 
 namespace prim::serve {
@@ -60,6 +60,13 @@ struct NetServerOptions {
 /// readers, drains every admitted request, and joins all threads — no
 /// admitted request is ever dropped without a response.
 ///
+/// Locking: four mutexes with disjoint jobs — lifecycle_mu_ (Start/Stop
+/// state and thread handles), conns_mu_ (connection table), queue_mu_
+/// (admission queue + drain protocol), stats_mu_ (counters + histograms).
+/// Every guarded member is annotated for Clang thread-safety analysis (see
+/// common/annotations.h and DESIGN.md "Static analysis"), so a Clang build
+/// rejects any access outside its lock at compile time.
+///
 /// Observability: per-verb latency histograms (admission → response ready)
 /// and rejection counters. When a request line's verb is "STATS" and the
 /// handler answered "OK ...", the frontend appends its own fields (see
@@ -90,26 +97,28 @@ class NetServer {
 
   /// Binds, listens, and starts the accept thread and worker pool.
   /// Fails as a value (address in use, privileged port, bad host).
-  io::Result Start();
+  io::Result Start() PRIM_EXCLUDES(lifecycle_mu_, queue_mu_);
 
   /// The bound port (resolves options.port == 0). 0 before Start().
-  uint16_t port() const { return bound_port_; }
+  /// Released by Start() with an atomic store, so it may be read from any
+  /// thread (e.g. a test thread waiting for the server to come up).
+  uint16_t port() const { return bound_port_.load(std::memory_order_acquire); }
 
   /// Graceful shutdown: stop accepting, wake connection readers, answer
   /// every already-admitted request, then join all threads. Idempotent and
   /// safe to call from any thread (including a shutdown-signal waiter).
-  void Stop();
+  void Stop() PRIM_EXCLUDES(lifecycle_mu_, conns_mu_, queue_mu_);
 
-  bool running() const;
+  bool running() const PRIM_EXCLUDES(lifecycle_mu_);
 
-  Stats stats() const;
+  Stats stats() const PRIM_EXCLUDES(stats_mu_, queue_mu_);
 
   /// The transport fields appended to an "OK" STATS response:
   ///   net_conns=<open> net_busy=<n> net_deadline=<n> net_oversized=<n>
   /// then, per verb with at least one sample,
   ///   <verb>_p50_ms=<t> <verb>_p95_ms=<t> <verb>_p99_ms=<t>
   /// (verbs lowercased; unknown verbs pool under "other").
-  std::string StatsSuffix() const;
+  std::string StatsSuffix() const PRIM_EXCLUDES(stats_mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -123,55 +132,67 @@ class NetServer {
     Clock::time_point deadline;
     bool has_deadline = false;
 
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    std::string response;
+    Mutex mu;
+    CondVar cv;
+    bool done PRIM_GUARDED_BY(mu) = false;
+    std::string response PRIM_GUARDED_BY(mu);
   };
 
   struct Connection {
     int fd = -1;
     std::thread thread;
-    bool finished = false;  // Guarded by conns_mu_; set by the reader.
+    /// Set by the reader as its final action; the accept loop reaps (joins
+    /// and closes) finished connections. Atomic rather than GUARDED_BY:
+    /// the reader publishes it lock-free right before exiting.
+    std::atomic<bool> finished{false};
   };
 
-  void AcceptLoop();
-  void ReaderLoop(Connection* conn);
-  void WorkerLoop();
+  void AcceptLoop() PRIM_EXCLUDES(conns_mu_, stats_mu_);
+  void ReaderLoop(Connection* conn)
+      PRIM_EXCLUDES(queue_mu_, stats_mu_);
+  void WorkerLoop() PRIM_EXCLUDES(queue_mu_, stats_mu_);
   /// Joins and erases connections whose readers have finished.
-  void ReapFinishedConnectionsLocked();
+  void ReapFinishedConnectionsLocked() PRIM_REQUIRES(conns_mu_);
   /// Admission: returns the response ("ERR busy" / handler output /
   /// "ERR deadline"). Blocks until the request is answered.
-  std::string Submit(const std::string& line, const std::string& verb);
-  void RecordLatency(const std::string& verb, double seconds);
+  std::string Submit(const std::string& line, const std::string& verb)
+      PRIM_EXCLUDES(queue_mu_, stats_mu_);
+  void RecordLatency(const std::string& verb, double seconds)
+      PRIM_EXCLUDES(stats_mu_);
 
   LineHandler handler_;
   NetServerOptions options_;
 
+  // Socket plumbing. Not mutex-protected: written by Start() before the
+  // accept thread exists, read by that thread, and closed by Stop() only
+  // after joining it — the ordering comes from thread creation and join,
+  // not from a lock.
   int listen_fd_ = -1;
   int wake_pipe_rd_ = -1;  // Wakes the accept loop's poll() on Stop().
   int wake_pipe_wr_ = -1;
-  uint16_t bound_port_ = 0;
+  std::atomic<uint16_t> bound_port_{0};
 
-  mutable std::mutex lifecycle_mu_;  // Serializes Start()/Stop().
-  bool started_ = false;
-  bool stopped_ = false;
+  mutable Mutex lifecycle_mu_;  // Serializes Start()/Stop().
+  bool started_ PRIM_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ PRIM_GUARDED_BY(lifecycle_mu_) = false;
 
-  std::thread accept_thread_;
-  std::vector<std::thread> workers_;
+  std::thread accept_thread_ PRIM_GUARDED_BY(lifecycle_mu_);
+  std::vector<std::thread> workers_ PRIM_GUARDED_BY(lifecycle_mu_);
 
-  mutable std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  mutable Mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_ PRIM_GUARDED_BY(conns_mu_);
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Request>> queue_;
-  bool accepting_requests_ = false;  // False before Start() and during drain.
-  bool workers_exit_when_drained_ = false;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<std::shared_ptr<Request>> queue_ PRIM_GUARDED_BY(queue_mu_);
+  // False before Start() and during drain.
+  bool accepting_requests_ PRIM_GUARDED_BY(queue_mu_) = false;
+  bool workers_exit_when_drained_ PRIM_GUARDED_BY(queue_mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
-  std::map<std::string, LatencyHistogram> latency_by_verb_;
+  mutable Mutex stats_mu_;
+  Stats stats_ PRIM_GUARDED_BY(stats_mu_);
+  std::map<std::string, LatencyHistogram> latency_by_verb_
+      PRIM_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace prim::serve

@@ -93,7 +93,7 @@ io::Result RelationshipServer::Classify(int i, int j, Classification* out) {
   std::vector<float> scratch(index_->num_classes());
   const double dist_km = geo::HaversineKm(grid_.point(i), grid_.point(j));
   *out = ScorePair(i, j, dist_km, scratch.data());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.classify_requests;
   stats_.classify_seconds += Seconds(start);
   return io::Result::Ok();
@@ -125,7 +125,7 @@ io::Result RelationshipServer::ClassifyBatch(
                       ScorePair(i, j, dist_km, scratch.data());
                 }
               });
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.classify_requests += pairs.size();
   stats_.classify_seconds += Seconds(start);
   return io::Result::Ok();
@@ -152,7 +152,7 @@ io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
 
   const TopKKey key{i, radius_km, k};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (topk_cache_.Get(key, out)) {
       ++stats_.topk_requests;
       stats_.topk_seconds += Seconds(start);
@@ -192,7 +192,7 @@ io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
   if (static_cast<int>(related.size()) > k) related.resize(k);
   *out = related;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   topk_cache_.Put(key, std::move(related));
   ++stats_.topk_requests;
   stats_.topk_seconds += Seconds(start);
@@ -200,7 +200,7 @@ io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
 }
 
 RelationshipServer::Stats RelationshipServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s = stats_;
   s.cache_hits = topk_cache_.hits();
   s.cache_misses = topk_cache_.misses();
@@ -208,7 +208,7 @@ RelationshipServer::Stats RelationshipServer::stats() const {
 }
 
 void RelationshipServer::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = Stats();
   topk_cache_.Clear();
 }

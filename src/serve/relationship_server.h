@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "core/prim_index.h"
 #include "geo/grid_index.h"
@@ -70,18 +71,19 @@ class RelationshipServer {
                          std::unique_ptr<RelationshipServer>* out);
 
   /// Classifies the pair (i, j). Fails on out-of-range ids.
-  io::Result Classify(int i, int j, Classification* out);
+  io::Result Classify(int i, int j, Classification* out) PRIM_EXCLUDES(mu_);
 
   /// Classifies many pairs; scoring fans out over the worker pool with one
   /// disjoint output slot per pair. `out` is resized to `pairs.size()`.
   io::Result ClassifyBatch(const std::vector<std::pair<int, int>>& pairs,
-                           std::vector<Classification>* out);
+                           std::vector<Classification>* out)
+      PRIM_EXCLUDES(mu_);
 
   /// The up-to-k POIs within `radius_km` of POI `i` that the model relates
   /// to it (some real relation outscores phi), best score first. Answers
   /// are cached by (i, radius_km, k).
   io::Result TopKRelated(int i, double radius_km, int k,
-                         std::vector<RelatedPoi>* out);
+                         std::vector<RelatedPoi>* out) PRIM_EXCLUDES(mu_);
 
   int num_pois() const { return grid_.num_points(); }
   int num_relations() const { return index_->num_classes() - 1; }
@@ -89,8 +91,8 @@ class RelationshipServer {
   /// class renders as "none".
   const std::string& RelationName(int relation) const;
 
-  Stats stats() const;
-  void ResetStats();
+  Stats stats() const PRIM_EXCLUDES(mu_);
+  void ResetStats() PRIM_EXCLUDES(mu_);
 
  private:
   /// Scores i against j (distance dist_km): best real relation vs phi.
@@ -118,9 +120,13 @@ class RelationshipServer {
     }
   };
 
-  mutable std::mutex mu_;
-  LruCache<TopKKey, std::vector<RelatedPoi>, TopKKeyHash> topk_cache_;
-  Stats stats_;
+  /// Guards the result cache and the request counters; the model state
+  /// (index_, grid_, names) is immutable after construction and needs no
+  /// lock.
+  mutable Mutex mu_;
+  LruCache<TopKKey, std::vector<RelatedPoi>, TopKKeyHash> topk_cache_
+      PRIM_GUARDED_BY(mu_);
+  Stats stats_ PRIM_GUARDED_BY(mu_);
 };
 
 }  // namespace prim::serve

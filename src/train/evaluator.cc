@@ -51,7 +51,9 @@ std::vector<int> PredictClasses(models::RelationModel& model,
 F1Result EvaluateModel(models::RelationModel& model,
                        const models::PairBatch& batch) {
   PRIM_CHECK_MSG(!batch.labels.empty() && batch.labels[0] >= 0,
-                 "EvaluateModel needs labelled pairs");
+                 "EvaluateModel needs labelled pairs: "
+                     << batch.labels.size() << " labels, first="
+                     << (batch.labels.empty() ? -1 : batch.labels[0]));
   const std::vector<int> predictions = PredictClasses(model, batch);
   // Macro-F1 averages over the relationship classes only, as in the
   // paper's Tables 2-3; phi (the last class) still counts toward

@@ -36,7 +36,7 @@ std::unique_ptr<models::RelationModel> MakeModel(
   const models::ModelConfig& mc = config.model;
   if (name == "CAT" || name == "CAT-D") {
     PRIM_CHECK_MSG(validation != nullptr,
-                   "rule baselines need validation pairs");
+                   "rule baseline " << name << " needs validation pairs");
     return std::make_unique<models::RuleModel>(ctx, name == "CAT-D",
                                                *validation);
   }

@@ -8,7 +8,9 @@ F1Result MulticlassF1(const std::vector<int>& predictions,
                       const std::vector<int>& labels, int num_classes,
                       int exclude_class) {
   PRIM_CHECK_MSG(predictions.size() == labels.size(),
-                 "prediction/label size mismatch");
+                 "prediction/label size mismatch: " << predictions.size()
+                                                    << " vs "
+                                                    << labels.size());
   F1Result result;
   result.per_class_f1.assign(num_classes, 0.0);
   result.support.assign(num_classes, 0);

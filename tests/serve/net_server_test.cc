@@ -18,14 +18,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <condition_variable>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/shutdown.h"
 #include "core/prim_index.h"
 #include "core/prim_model.h"
@@ -120,18 +121,18 @@ bool WaitUntil(Pred predicate) {
 /// Handler whose "BLOCK" verb parks the worker until Release(); every
 /// other line echoes. Lets tests hold the pool at a known occupancy.
 struct BlockingHandler {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool released = false;
-  int executing = 0;  // Workers currently parked in BLOCK.
+  Mutex mu;
+  CondVar cv;
+  bool released PRIM_GUARDED_BY(mu) = false;
+  int executing PRIM_GUARDED_BY(mu) = 0;  // Workers currently parked in BLOCK.
 
   NetServer::LineHandler AsHandler() {
     return [this](const std::string& line) -> std::string {
       if (line == "BLOCK") {
-        std::unique_lock<std::mutex> lock(mu);
+        MutexLock lock(mu);
         ++executing;
-        cv.notify_all();
-        cv.wait(lock, [&] { return released; });
+        cv.NotifyAll();
+        while (!released) cv.Wait(mu);
         return "OK blocked";
       }
       return "OK " + line;
@@ -139,15 +140,19 @@ struct BlockingHandler {
   }
 
   bool WaitForExecuting(int n) {
-    std::unique_lock<std::mutex> lock(mu);
-    return cv.wait_for(lock, std::chrono::seconds(10),
-                       [&] { return executing >= n; });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    MutexLock lock(mu);
+    while (executing < n) {
+      if (!cv.WaitUntil(mu, deadline)) break;
+    }
+    return executing >= n;
   }
 
   void Release() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     released = true;
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
@@ -162,6 +167,33 @@ TEST(NetServerTest, StartAssignsEphemeralPortAndStopIsIdempotent) {
   server.Stop();
   EXPECT_FALSE(server.running());
   server.Stop();  // Idempotent.
+}
+
+// Regression test: bound_port_ is published by Start() with an atomic
+// release store and read with an acquire load, so another thread may poll
+// port() while (or after) the server starts. The pre-fix code stored it as
+// a plain uint16_t — a data race TSan flags if this regresses.
+TEST(NetServerTest, PortIsVisibleFromOtherThreads) {
+  NetServer server([](const std::string& line) { return "OK " + line; },
+                   NetServerOptions{});
+  std::atomic<bool> started{false};
+  uint16_t seen_port = 0;
+  std::string response;
+  std::thread watcher([&] {
+    while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+    // After the acquire above, Start() has returned; port() must already
+    // be the bound port, from this thread, with no extra synchronization.
+    seen_port = server.port();
+    TestClient client(seen_port);
+    if (client.connected() && client.SendLine("ping"))
+      client.ReadLine(&response);
+  });
+  ASSERT_TRUE(server.Start().ok);
+  started.store(true, std::memory_order_release);
+  watcher.join();
+  EXPECT_NE(seen_port, 0);
+  EXPECT_EQ(response, "OK ping");
+  server.Stop();
 }
 
 TEST(NetServerTest, StartFailsOnBusyPort) {

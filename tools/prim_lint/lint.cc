@@ -1,0 +1,428 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace prim::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping.
+// ---------------------------------------------------------------------------
+
+enum class State {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& content) {
+  std::string out;
+  out.reserve(content.size());
+  State state = State::kCode;
+  // For raw strings: the delimiter between ')' and '"' that ends it.
+  std::string raw_delim;
+  size_t i = 0;
+  const size_t n = content.size();
+  auto emit = [&out](char c) { out.push_back(c == '\n' ? '\n' : c); };
+  auto blank = [&out](char c) { out.push_back(c == '\n' ? '\n' : ' '); };
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank(c);
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank(c);
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim". Capture the delimiter.
+          size_t j = i + 2;
+          raw_delim.clear();
+          while (j < n && content[j] != '(') raw_delim.push_back(content[j++]);
+          emit('R');
+          emit('"');
+          for (size_t k = i + 2; k < j; ++k) emit(content[k]);
+          if (j < n) emit('(');
+          i = j + 1;
+          state = State::kRawString;
+          continue;
+        } else if (c == '"') {
+          state = State::kString;
+          emit(c);
+        } else if (c == '\'') {
+          state = State::kChar;
+          emit(c);
+        } else {
+          emit(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          emit(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          emit(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          emit(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kRawString: {
+        // Ends at )delim" — no escapes inside a raw string.
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && content.compare(i, closer.size(), closer) == 0) {
+          for (char cc : closer) emit(cc);
+          i += closer.size();
+          state = State::kCode;
+          continue;
+        }
+        blank(c);
+        break;
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  // rule -> set of lines (1-based) on which findings of that rule are
+  // allowed. An allow() comment covers its own line and the next line, so
+  // it can sit at the end of the offending line or on its own line above.
+  std::set<std::pair<std::string, int>> lines;
+  std::set<std::string> whole_file;
+
+  bool Allows(const std::string& rule, int line) const {
+    return whole_file.count(rule) > 0 || lines.count({rule, line}) > 0;
+  }
+};
+
+Suppressions ParseSuppressions(const std::string& content) {
+  static const std::regex kLine(
+      R"re(//\s*prim-lint:\s*allow\(([a-z-]+)\))re");
+  static const std::regex kFile(
+      R"re(//\s*prim-lint:\s*allow-file\(([a-z-]+)\))re");
+  Suppressions result;
+  std::istringstream stream(content);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::smatch m;
+    if (std::regex_search(line, m, kLine)) {
+      result.lines.insert({m[1].str(), line_no});
+      result.lines.insert({m[1].str(), line_no + 1});
+    }
+    if (std::regex_search(line, m, kFile)) {
+      result.whole_file.insert(m[1].str());
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Line rules.
+// ---------------------------------------------------------------------------
+
+// True for paths inside a common/ directory, which implements the Mutex
+// wrapper and is the one place allowed to touch std::mutex directly.
+bool InCommon(const std::string& path) {
+  static const std::regex kCommon(R"re((^|/)common/)re");
+  return std::regex_search(path, kCommon);
+}
+
+struct LineRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;  // %s <- first capture group, if any.
+  bool skip_in_common = false;
+};
+
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule>* rules = new std::vector<LineRule>{
+      {"naked-mutex",
+       std::regex(
+           R"re(\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable|condition_variable_any)\b)re"),
+       "std::%s outside common/: use common::Mutex / common::MutexLock / "
+       "common::CondVar (common/mutex.h) so thread-safety analysis sees the "
+       "lock",
+       /*skip_in_common=*/true},
+      {"unchecked-parse",
+       std::regex(
+           R"re(\b(?:std::)?(stoi|stol|stoll|stoul|stoull|stof|stod|stold|atoi|atol|atoll|atof)\s*\()re"),
+       "%s throws or silently parses garbage as 0: use strtol with "
+       "end-pointer checking (see data/csv_io.cc ParseIntField)",
+       /*skip_in_common=*/false},
+      {"nondeterministic-seed",
+       std::regex(
+           R"re(\b(?:std::)?(srand|rand)\s*\(|\b(?:std::)?(time)\s*\(\s*(?:nullptr|NULL|0)?\s*\)|\bstd::random_device\b)re"),
+       "nondeterministic seed source: training and sampling must derive "
+       "all randomness from the experiment seed",
+       /*skip_in_common=*/false},
+  };
+  return *rules;
+}
+
+// Known io::Result-returning entry points for the discarded-result rule.
+// The [[nodiscard]] on io::Result plus -Werror=unused-result is the primary
+// enforcement; this list lets the lint flag discards in files the compiler
+// never sees (generator-excluded sources, docs snippets, review diffs).
+// Extend it when a new Result-returning public entry point appears.
+const std::vector<std::string>& ResultReturningFunctions() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "SaveDatasetCsv",      "LoadDatasetCsv", "SaveModelCheckpoint",
+      "LoadModelCheckpoint", "SaveTrainedModel", "Finish",
+      "Open",                "Classify",       "ClassifyBatch",
+      "TopKRelated",         "Start",
+  };
+  return *names;
+}
+
+const std::regex& DiscardedResultPattern() {
+  // A statement that *starts* with a call to a known function (optionally
+  // through an object/namespace chain) discards its result: assignments,
+  // declarations, if-conditions and returns all put tokens before the call.
+  // "Starts a statement" needs the previous code line to have ended at a
+  // statement boundary (';', '{', '}', a label ':'), so a call wrapped onto
+  // its own line by the formatter — `const io::Result r =\n    Save(...);`
+  // — is not a false positive.
+  static const std::regex* pattern = [] {
+    const auto& names = ResultReturningFunctions();
+    std::string alt;
+    for (const std::string& name : names) {
+      if (!alt.empty()) alt += '|';
+      alt += name;
+    }
+    return new std::regex(R"re(^\s*(?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*()re" +
+                          alt + R"re()\s*\()re");
+  }();
+  return *pattern;
+}
+
+void ApplyLineRules(const std::string& path, const std::string& stripped,
+                    const Suppressions& suppressions,
+                    std::vector<Finding>* findings) {
+  const bool in_common = InCommon(path);
+  std::istringstream stream(stripped);
+  std::string line;
+  int line_no = 0;
+  // Last non-whitespace character of the previous non-blank code line;
+  // '\0' at file start. Decides whether a line begins a new statement.
+  char prev_end = '\0';
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const bool at_statement_start = prev_end == '\0' || prev_end == ';' ||
+                                    prev_end == '{' || prev_end == '}' ||
+                                    prev_end == ':';
+    const size_t last = line.find_last_not_of(" \t\r");
+    if (last != std::string::npos) prev_end = line[last];
+    for (const LineRule& rule : LineRules()) {
+      if (rule.skip_in_common && in_common) continue;
+      std::smatch m;
+      if (!std::regex_search(line, m, rule.pattern)) continue;
+      if (suppressions.Allows(rule.rule, line_no)) continue;
+      std::string message = rule.message;
+      const size_t pos = message.find("%s");
+      if (pos != std::string::npos) {
+        std::string capture;
+        for (size_t g = 1; g < m.size(); ++g) {
+          if (m[g].matched) {
+            capture = m[g].str();
+            break;
+          }
+        }
+        message.replace(pos, 2, capture);
+      }
+      findings->push_back({path, line_no, rule.rule, message});
+    }
+    std::smatch m;
+    if (at_statement_start &&
+        std::regex_search(line, m, DiscardedResultPattern()) &&
+        !suppressions.Allows("discarded-result", line_no)) {
+      findings->push_back(
+          {path, line_no, "discarded-result",
+           "call to " + m[1].str() +
+               " drops its io::Result; check .ok and surface .error"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// check-message: PRIM_CHECK_MSG whose message is literal-only.
+// ---------------------------------------------------------------------------
+
+// True if `text` (a stripped top-level macro argument, possibly spanning
+// lines) consists solely of string literals and whitespace. Contents are
+// already blanked, so literals look like "   " and adjacent-literal
+// concatenation is still literal-only.
+bool LiteralOnly(const std::string& text) {
+  size_t i = 0;
+  const size_t n = text.size();
+  bool saw_literal = false;
+  while (i < n) {
+    const char c = text[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '"') {
+      const size_t close = text.find('"', i + 1);
+      if (close == std::string::npos) return false;
+      saw_literal = true;
+      i = close + 1;
+    } else {
+      return false;
+    }
+  }
+  return saw_literal;
+}
+
+void ApplyCheckMessageRuleForMacro(const std::string& path,
+                                   const std::string& stripped,
+                                   const std::string& macro,
+                                   const Suppressions& suppressions,
+                                   std::vector<Finding>* findings) {
+  size_t pos = 0;
+  while ((pos = stripped.find(macro, pos)) != std::string::npos) {
+    const size_t after = pos + macro.size();
+    // Skip the macro's own #define and identifiers that merely contain it.
+    const bool word_start =
+        pos == 0 || (!isalnum(static_cast<unsigned char>(stripped[pos - 1])) &&
+                     stripped[pos - 1] != '_');
+    size_t open = after;
+    while (open < stripped.size() &&
+           isspace(static_cast<unsigned char>(stripped[open]))) {
+      ++open;
+    }
+    if (!word_start || open >= stripped.size() || stripped[open] != '(') {
+      pos = after;
+      continue;
+    }
+    const int line_no =
+        1 + static_cast<int>(std::count(stripped.begin(),
+                                        stripped.begin() +
+                                            static_cast<long>(pos),
+                                        '\n'));
+    // Balanced-paren scan; strings are blanked, so parens are structural.
+    int depth = 0;
+    size_t first_comma = std::string::npos;
+    size_t close = std::string::npos;
+    for (size_t i = open; i < stripped.size(); ++i) {
+      const char c = stripped[i];
+      if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        if (--depth == 0) {
+          close = i;
+          break;
+        }
+      } else if (c == ',' && depth == 1 && first_comma == std::string::npos) {
+        first_comma = i;
+      }
+    }
+    pos = after;
+    if (close == std::string::npos || first_comma == std::string::npos) {
+      continue;  // Unbalanced (mid-macro-definition) or single-argument.
+    }
+    const std::string message_arg =
+        stripped.substr(first_comma + 1, close - first_comma - 1);
+    if (LiteralOnly(message_arg) &&
+        !suppressions.Allows("check-message", line_no)) {
+      findings->push_back(
+          {path, line_no, "check-message",
+           macro + " message is a bare string literal; append the "
+                   "offending value so a production failure is diagnosable"});
+    }
+  }
+}
+
+void ApplyCheckMessageRule(const std::string& path, const std::string& stripped,
+                           const Suppressions& suppressions,
+                           std::vector<Finding>* findings) {
+  // PRIM_CHECK (no message argument) is exempt by construction; the debug
+  // variant carries the same obligation as the always-on one.
+  ApplyCheckMessageRuleForMacro(path, stripped, "PRIM_CHECK_MSG", suppressions,
+                                findings);
+  ApplyCheckMessageRuleForMacro(path, stripped, "PRIM_DCHECK_MSG", suppressions,
+                                findings);
+}
+
+}  // namespace
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.path + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content) {
+  const Suppressions suppressions = ParseSuppressions(content);
+  const std::string stripped = StripCommentsAndStrings(content);
+  std::vector<Finding> findings;
+  ApplyLineRules(path, stripped, suppressions, &findings);
+  ApplyCheckMessageRule(path, stripped, suppressions, &findings);
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintSource(path, buffer.str());
+}
+
+}  // namespace prim::lint

@@ -1,0 +1,74 @@
+#ifndef PRIM_TOOLS_PRIM_LINT_LINT_H_
+#define PRIM_TOOLS_PRIM_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+// prim_lint: project-invariant checker for the PRIM tree.
+//
+// These are rules the compiler cannot (or does not reliably) enforce but
+// that the codebase depends on — see DESIGN.md "Static analysis" for the
+// rationale behind each. The checker is deliberately line-oriented and
+// regex-based rather than AST-based: every rule targets a token pattern
+// that survives comment/string stripping, which keeps the tool
+// dependency-free (no libclang in the build image) and fast enough to run
+// as a ctest case on every build.
+//
+// Rules (ids as reported and as used in suppressions):
+//   naked-mutex           std::mutex / std::lock_guard / std::unique_lock /
+//                         std::condition_variable outside common/. All
+//                         locking goes through common::Mutex so Clang
+//                         thread-safety analysis sees every acquisition.
+//   discarded-result      A statement that calls a known io::Result-
+//                         returning entry point and drops the value. The
+//                         compiler's -Werror=unused-result is the primary
+//                         net; this catches files a build config skips.
+//   unchecked-parse       std::stoi / std::stod / atoi / ... — parsers
+//                         that throw or silently read garbage as 0. Use
+//                         strtol with end-pointer checking (see
+//                         data/csv_io.cc ParseIntField) instead.
+//   nondeterministic-seed rand() / srand() / time(...) / random_device —
+//                         training is bit-reproducible from the experiment
+//                         seed; wall-clock or entropy seeding breaks that.
+//   check-message         PRIM_CHECK_MSG whose message is only string
+//                         literals. A check that fires in production must
+//                         name the offending value, not just restate the
+//                         condition.
+//
+// Suppressions:
+//   // prim-lint: allow(rule): reason      same line or the line above
+//   // prim-lint: allow-file(rule): reason anywhere in the file
+// A reason after the closing paren is free text but strongly encouraged.
+
+namespace prim::lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// "path:line: [rule] message" — the format compilers use, so editors and
+/// CI log scrapers pick findings up for free.
+std::string FormatFinding(const Finding& finding);
+
+/// Replaces comments and string/char-literal contents with spaces while
+/// preserving line structure (every '\n' survives) and the quote characters
+/// themselves. Rules run on this view, so a banned token inside a comment,
+/// a log string, or a raw string literal never fires. Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+/// Lints one file's contents. `path` decides path-based exemptions (e.g.
+/// common/ may use std::mutex: it implements the wrapper) and labels the
+/// findings; it is not opened.
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content);
+
+/// Reads and lints `path`. An unreadable file is itself reported as a
+/// finding (rule "io") rather than silently skipped.
+std::vector<Finding> LintFile(const std::string& path);
+
+}  // namespace prim::lint
+
+#endif  // PRIM_TOOLS_PRIM_LINT_LINT_H_

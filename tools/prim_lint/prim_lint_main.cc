@@ -1,0 +1,107 @@
+// prim_lint CLI: lints the given files and directories (recursively; only
+// .h/.cc/.hpp/.cpp, skipping build/, testdata/ and dot-directories) and
+// exits nonzero if anything fired, so `add_test(... prim_lint src)` makes
+// repo cleanliness a tier-1 test.
+//
+//   prim_lint [--report=FILE] PATH...
+//
+// Findings go to stdout as "path:line: [rule] message"; --report mirrors
+// them to FILE (written even when clean, so CI can always upload it).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp";
+}
+
+// Directories that hold generated output or intentionally-failing lint
+// fixtures rather than project sources.
+bool IsSkippedDir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "build" || name == "testdata" ||
+         (!name.empty() && name[0] == '.');
+}
+
+void CollectFiles(const fs::path& root, std::vector<std::string>* files) {
+  if (fs::is_regular_file(root)) {
+    files->push_back(root.string());
+    return;
+  }
+  fs::recursive_directory_iterator it(root), end;
+  while (it != end) {
+    if (it->is_directory() && IsSkippedDir(it->path())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() && IsSourceFile(it->path())) {
+      files->push_back(it->path().string());
+    }
+    ++it;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(std::string("--report=").size());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "prim_lint: unknown flag %s\n", arg.c_str());
+      std::fprintf(stderr, "usage: prim_lint [--report=FILE] PATH...\n");
+      return 2;
+    } else if (!fs::exists(arg)) {
+      std::fprintf(stderr, "prim_lint: no such path: %s\n", arg.c_str());
+      return 2;
+    } else {
+      CollectFiles(arg, &files);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: prim_lint [--report=FILE] PATH...\n");
+    return 2;
+  }
+
+  std::vector<prim::lint::Finding> findings;
+  for (const std::string& file : files) {
+    for (prim::lint::Finding& finding : prim::lint::LintFile(file)) {
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  std::string report;
+  for (const prim::lint::Finding& finding : findings) {
+    report += prim::lint::FormatFinding(finding);
+    report += '\n';
+  }
+  std::fputs(report.c_str(), stdout);
+  std::printf("prim_lint: %zu file(s), %zu finding(s)\n", files.size(),
+              findings.size());
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "prim_lint: cannot write %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+    out << report;
+    out << "prim_lint: " << files.size() << " file(s), " << findings.size()
+        << " finding(s)\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

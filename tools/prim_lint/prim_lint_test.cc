@@ -1,0 +1,201 @@
+// Tests for prim_lint: the stripper, each rule against its must-pass /
+// must-fail fixture pair, suppressions, and the finding format. The
+// fixture corpus in testdata/ is the executable specification of every
+// rule — a rule change that alters what fires must update a fixture here.
+
+#include "lint.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prim::lint {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(PRIM_LINT_TESTDATA) + "/" + name;
+}
+
+std::map<std::string, int> CountByRule(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& finding : findings) ++counts[finding.rule];
+  return counts;
+}
+
+std::string Describe(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& finding : findings) out += FormatFinding(finding) + "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StripCommentsAndStrings
+// ---------------------------------------------------------------------------
+
+TEST(StripTest, LineCommentBlankedNewlinePreserved) {
+  const std::string input = "int x;  // std::mutex\nint y;";
+  const std::string stripped = StripCommentsAndStrings(input);
+  EXPECT_EQ(stripped.size(), input.size());
+  EXPECT_EQ(stripped,
+            "int x;  " + std::string(13, ' ') + "\nint y;");
+}
+
+TEST(StripTest, BlockCommentSpansLines) {
+  const std::string stripped =
+      StripCommentsAndStrings("a /* one\ntwo */ b");
+  EXPECT_EQ(stripped, "a       \n       b");
+}
+
+TEST(StripTest, StringContentsBlankedQuotesKept) {
+  EXPECT_EQ(StripCommentsAndStrings("f(\"rand()\");"), "f(\"      \");");
+}
+
+TEST(StripTest, EscapedQuoteDoesNotEndString) {
+  const std::string stripped =
+      StripCommentsAndStrings(R"(s = "a\"b"; t;)");
+  EXPECT_EQ(stripped, "s = \"    \"; t;");
+}
+
+TEST(StripTest, CharLiteralWithQuote) {
+  EXPECT_EQ(StripCommentsAndStrings("c = '\"'; d;"), "c = ' '; d;");
+}
+
+TEST(StripTest, RawStringBlanked) {
+  const std::string stripped =
+      StripCommentsAndStrings("s = R\"x(atoi(\"7\"))x\"; t;");
+  EXPECT_EQ(stripped, "s = R\"x(         )x\"; t;");
+}
+
+TEST(StripTest, CommentMarkerInsideStringIsNotAComment) {
+  EXPECT_EQ(StripCommentsAndStrings("u = \"//\"; v;"), "u = \"  \"; v;");
+}
+
+// ---------------------------------------------------------------------------
+// Rule fixtures: <rule>_fail.cc must fire, <rule>_pass.cc must be clean.
+// ---------------------------------------------------------------------------
+
+TEST(RuleTest, NakedMutexFail) {
+  const auto findings = LintFile(Fixture("naked_mutex_fail.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("naked-mutex"), 3) << Describe(findings);
+  EXPECT_EQ(findings.size(), 3u) << Describe(findings);
+}
+
+TEST(RuleTest, NakedMutexPass) {
+  const auto findings = LintFile(Fixture("naked_mutex_pass.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+TEST(RuleTest, NakedMutexExemptInCommon) {
+  const auto findings = LintFile(Fixture("common/naked_mutex_exempt.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+TEST(RuleTest, DiscardedResultFail) {
+  const auto findings = LintFile(Fixture("discarded_result_fail.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("discarded-result"), 3) << Describe(findings);
+  EXPECT_EQ(findings.size(), 3u) << Describe(findings);
+}
+
+TEST(RuleTest, DiscardedResultPass) {
+  const auto findings = LintFile(Fixture("discarded_result_pass.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+TEST(RuleTest, UncheckedParseFail) {
+  const auto findings = LintFile(Fixture("unchecked_parse_fail.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("unchecked-parse"), 3) << Describe(findings);
+  EXPECT_EQ(findings.size(), 3u) << Describe(findings);
+}
+
+TEST(RuleTest, UncheckedParsePass) {
+  const auto findings = LintFile(Fixture("unchecked_parse_pass.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+TEST(RuleTest, NondeterministicSeedFail) {
+  const auto findings = LintFile(Fixture("nondeterministic_seed_fail.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("nondeterministic-seed"), 3) << Describe(findings);
+  EXPECT_EQ(findings.size(), 3u) << Describe(findings);
+}
+
+TEST(RuleTest, NondeterministicSeedPass) {
+  const auto findings = LintFile(Fixture("nondeterministic_seed_pass.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+TEST(RuleTest, CheckMessageFail) {
+  const auto findings = LintFile(Fixture("check_message_fail.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("check-message"), 4) << Describe(findings);
+  EXPECT_EQ(findings.size(), 4u) << Describe(findings);
+}
+
+TEST(RuleTest, CheckMessagePass) {
+  const auto findings = LintFile(Fixture("check_message_pass.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, LineSuppressionsCoverSameLineAndLineBelow) {
+  const auto findings = LintFile(Fixture("suppressed_line.cc"));
+  // Only the mismatched-rule suppression leaves its finding standing.
+  ASSERT_EQ(findings.size(), 1u) << Describe(findings);
+  EXPECT_EQ(findings[0].rule, "unchecked-parse");
+}
+
+TEST(SuppressionTest, FileSuppressionIsRuleScoped) {
+  const auto findings = LintFile(Fixture("suppressed_file.cc"));
+  ASSERT_EQ(findings.size(), 1u) << Describe(findings);
+  EXPECT_EQ(findings[0].rule, "nondeterministic-seed");
+}
+
+// ---------------------------------------------------------------------------
+// Stripping end-to-end: banned tokens in comments/strings never fire.
+// ---------------------------------------------------------------------------
+
+TEST(StrippingTest, CommentsAndStringsFixtureIsClean) {
+  const auto findings = LintFile(Fixture("comments_and_strings.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Odds and ends
+// ---------------------------------------------------------------------------
+
+TEST(FormatTest, CompilerStyle) {
+  EXPECT_EQ(FormatFinding({"src/a.cc", 12, "naked-mutex", "boom"}),
+            "src/a.cc:12: [naked-mutex] boom");
+}
+
+TEST(IoTest, MissingFileIsAFinding) {
+  const auto findings = LintFile(Fixture("no_such_file.cc"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io");
+}
+
+TEST(LintSourceTest, WrappedCallAfterAssignmentIsNotADiscard) {
+  const auto findings = LintSource(
+      "src/x.cc",
+      "io::Result r =\n    writer.Finish(path);\nUse(r);\n");
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+TEST(LintSourceTest, CallAfterSemicolonIsADiscard) {
+  const auto findings =
+      LintSource("src/x.cc", "Prep();\nwriter.Finish(path);\n");
+  ASSERT_EQ(findings.size(), 1u) << Describe(findings);
+  EXPECT_EQ(findings[0].rule, "discarded-result");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+}  // namespace
+}  // namespace prim::lint

@@ -1,0 +1,28 @@
+// Fixture: PRIM_CHECK_MSG messages that restate the condition without
+// naming the offending value.
+#include "common/check.h"
+
+namespace fixture {
+
+void Single(int n) {
+  PRIM_CHECK_MSG(n > 0, "n must be positive");  // finding: check-message
+}
+
+void Concatenated(int rows, int cols) {
+  // Adjacent string literals are still literal-only.
+  PRIM_CHECK_MSG(rows == cols,  // finding: check-message
+                 "matrix must be square "
+                 "to invert");
+}
+
+void MultiLine(double radius_km) {
+  PRIM_CHECK_MSG(  // finding: check-message
+      radius_km > 0.0,
+      "radius must be positive");
+}
+
+void DebugVariant(int rows) {
+  PRIM_DCHECK_MSG(rows > 0, "rows must be positive");  // finding
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: messages that carry the offending value, plus the bare
+// PRIM_CHECK form (which has no message argument to inspect) and the
+// macro's own definition site.
+#include <string>
+
+#include "common/check.h"
+
+namespace fixture {
+
+void Named(int n) {
+  PRIM_CHECK_MSG(n > 0, "n must be positive, got " + std::to_string(n));
+}
+
+void ValueFirst(const std::string& path, bool ok) {
+  PRIM_CHECK_MSG(ok, path + ": checkpoint magic mismatch");
+}
+
+void Bare(int n) {
+  PRIM_CHECK(n > 0);
+}
+
+// A forwarding macro definition passes an identifier, not a literal.
+#define FIXTURE_REQUIRE(cond, msg) PRIM_CHECK_MSG(cond, msg)
+
+void Forwarded(int n) {
+  FIXTURE_REQUIRE(n > 0, "n out of range: " + std::to_string(n));
+}
+
+}  // namespace fixture

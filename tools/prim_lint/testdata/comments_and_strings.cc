@@ -1,0 +1,24 @@
+// Fixture: banned tokens inside comments, string literals, char literals,
+// and raw strings must never fire — the stripper runs before the rules.
+//
+// std::mutex g_commented;  (a comment, not code)
+/* block comment: std::lock_guard<std::mutex> lock(mu); srand(time(0)); */
+#include <string>
+
+namespace fixture {
+
+const char* kDoc =
+    "call std::stoi(text) and rand() at your peril; std::mutex too";
+const char* kRaw = R"doc(
+  std::condition_variable cv;
+  atoi("42"); srand(time(nullptr));
+)doc";
+const char kQuote = '"';  // A lone quote char must not derail the stripper.
+const char* kAfter = "std::lock_guard<std::mutex> in a string, post-quote";
+// Escaped quote inside a string, then a banned token that is still inside
+// the (continuing) literal:
+const char* kEscaped = "she said \"std::mutex\" and rand()";
+
+int Clean(int x) { return x + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: files under a common/ directory implement the Mutex wrapper, so
+// raw std::mutex is allowed there (and only there).
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+std::condition_variable g_cv;
+
+void Wait() {
+  std::unique_lock<std::mutex> lock(g_mu);
+  g_cv.wait(lock);
+}
+
+}  // namespace fixture

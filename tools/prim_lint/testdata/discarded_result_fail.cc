@@ -1,0 +1,17 @@
+// Fixture: statements that call Result-returning entry points and drop the
+// value.
+#include "data/csv_io.h"
+#include "io/checkpoint.h"
+
+namespace fixture {
+
+void Save(const prim::PoiDataset& dataset, prim::io::CheckpointWriter& w) {
+  prim::data::SaveDatasetCsv(dataset, "/tmp/out");  // finding
+  w.Finish("/tmp/model.ckpt");                      // finding
+}
+
+void Serve(prim::serve::RelationshipServer& server) {
+  server.Start();  // finding
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: the same calls with their Result consumed — assigned, tested,
+// or returned — must not be flagged.
+#include "data/csv_io.h"
+#include "io/checkpoint.h"
+
+namespace fixture {
+
+prim::io::Result Save(const prim::PoiDataset& dataset,
+                      prim::io::CheckpointWriter& w) {
+  const prim::io::Result saved =
+      prim::data::SaveDatasetCsv(dataset, "/tmp/out");
+  if (!saved.ok) return saved;
+  if (prim::io::Result r = w.Finish("/tmp/model.ckpt"); !r.ok) {
+    return r;
+  }
+  return prim::io::Result::Ok();
+}
+
+prim::io::Result Serve(prim::serve::RelationshipServer& server) {
+  return server.Start();
+}
+
+// Declarations and definitions mentioning the names are not calls.
+prim::io::Result Finish(const std::string& path);
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: raw standard-library locking outside common/ must be flagged.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;  // finding: naked-mutex (std::mutex)
+int g_count = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> lock(g_mu);  // finding: naked-mutex
+  ++g_count;
+}
+
+void BumpMovable() {
+  std::unique_lock<std::mutex> lock(g_mu);  // finding: naked-mutex
+  ++g_count;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: the sanctioned wrappers from common/mutex.h are fine anywhere.
+#include "common/mutex.h"
+
+namespace fixture {
+
+prim::Mutex g_mu;
+int g_count = 0;
+
+void Bump() {
+  prim::MutexLock lock(g_mu);
+  ++g_count;
+}
+
+}  // namespace fixture

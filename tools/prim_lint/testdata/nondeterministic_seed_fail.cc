@@ -1,0 +1,21 @@
+// Fixture: wall-clock and entropy seeding break bit-reproducible training.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+void SeedFromClock() {
+  srand(time(nullptr));  // finding: nondeterministic-seed
+}
+
+int Draw() {
+  return rand();  // finding: nondeterministic-seed
+}
+
+std::mt19937 MakeEngine() {
+  std::random_device device;  // finding: nondeterministic-seed
+  return std::mt19937(device());
+}
+
+}  // namespace fixture

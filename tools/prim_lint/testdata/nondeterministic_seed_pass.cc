@@ -1,0 +1,22 @@
+// Fixture: randomness derived from an explicit experiment seed, plus
+// time()-with-arguments and rand-like identifiers that must not fire.
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+std::mt19937 MakeEngine(uint64_t seed) {
+  return std::mt19937(seed);
+}
+
+// time() with a real argument (not a null/zero wall-clock read) and
+// identifiers containing "rand" are fine.
+double Elapsed(std::time_t start) {
+  std::time_t now = start;
+  return std::difftime(std::time(&now), start);
+}
+
+int brand_id = 7;
+void Strand(int) {}
+
+}  // namespace fixture

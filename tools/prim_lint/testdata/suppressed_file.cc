@@ -1,0 +1,16 @@
+// Fixture: a file-wide suppression for one rule leaves other rules active.
+// prim-lint: allow-file(unchecked-parse): this file wraps legacy C parsers.
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+namespace fixture {
+
+int First(const std::string& text) { return std::stoi(text); }
+int Second(const char* text) { return atoi(text); }
+
+void StillFlagged() {
+  srand(time(nullptr));  // finding: nondeterministic-seed
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: line suppressions silence a single finding, same line or the
+// line above, and only for the named rule.
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+
+namespace fixture {
+
+int SameLine(const std::string& text) {
+  return std::stoi(text);  // prim-lint: allow(unchecked-parse): fuzzer input.
+}
+
+void LineAbove() {
+  // prim-lint: allow(check-message): nothing useful to append here.
+  PRIM_CHECK_MSG(sizeof(void*) == 8, "64-bit platform required");
+}
+
+int WrongRule(const std::string& text) {
+  return std::stoi(text);  // prim-lint: allow(naked-mutex): finding stays.
+}
+
+}  // namespace fixture

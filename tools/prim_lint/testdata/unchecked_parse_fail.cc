@@ -1,0 +1,19 @@
+// Fixture: exception-throwing / silently-zero numeric parsers.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+int ParsePort(const std::string& text) {
+  return std::stoi(text);  // finding: unchecked-parse (throws on garbage)
+}
+
+double ParseRadius(const std::string& text) {
+  return std::stod(text);  // finding: unchecked-parse
+}
+
+int ParseLegacy(const char* text) {
+  return atoi(text);  // finding: unchecked-parse ("foo" silently becomes 0)
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned parse idiom — strtol with end-pointer checking,
+// as in data/csv_io.cc ParseIntField — and identifiers that merely contain
+// a banned name.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+bool ParsePort(const std::string& text, int* out) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+// Substrings of banned names in identifiers must not fire.
+int custoi_table[4] = {0, 1, 2, 3};
+void patof(int) {}
+
+}  // namespace fixture
