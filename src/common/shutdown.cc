@@ -15,6 +15,7 @@ namespace prim {
 namespace {
 
 std::atomic<bool> g_shutdown_requested{false};
+std::atomic<bool> g_reload_requested{false};
 // Self-pipe; the write end is all a signal handler may touch. Created once
 // and intentionally never closed (lives for the process). The fds are
 // atomics, not plain ints: the signal handler and WaitForShutdown may read
@@ -52,6 +53,13 @@ extern "C" void PrimShutdownSignalHandler(int /*signum*/) {
   SignalWake();
 }
 
+extern "C" void PrimReloadSignalHandler(int /*signum*/) {
+  // Flag before wake byte: a waiter woken by the byte must observe the
+  // flag. Both operations are async-signal-safe.
+  g_reload_requested.store(true, std::memory_order_release);
+  SignalWake();
+}
+
 }  // namespace
 
 void InstallShutdownSignalHandlers() {
@@ -86,9 +94,53 @@ void WaitForShutdown() {
   }
 }
 
+void InstallReloadSignalHandler() {
+  EnsurePipe();
+  struct sigaction action = {};
+  action.sa_handler = PrimReloadSignalHandler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGHUP, &action, nullptr);
+}
+
+bool ReloadRequested() {
+  return g_reload_requested.load(std::memory_order_acquire);
+}
+
+void RequestReload() {
+  EnsurePipe();
+  g_reload_requested.store(true, std::memory_order_release);
+  SignalWake();
+}
+
+bool ConsumeReloadRequest() {
+  return g_reload_requested.exchange(false, std::memory_order_acq_rel);
+}
+
+void WaitForShutdownOrReload() {
+  EnsurePipe();
+  const int fd = g_pipe_rd.load(std::memory_order_acquire);
+  while (!ShutdownRequested() && !ReloadRequested()) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    ::poll(&pfd, 1, /*timeout_ms=*/100);
+    // Reload wake-up bytes must not linger (they would spin every later
+    // wait); shutdown's byte must stay for WaitForShutdown's multi-waiter
+    // guarantee. Only drain while shutdown is not requested.
+    if (!ShutdownRequested() && ReloadRequested()) {
+      char buf[64];
+      struct pollfd drain = {fd, POLLIN, 0};
+      while (::poll(&drain, 1, 0) == 1 && (drain.revents & POLLIN) != 0) {
+        if (::read(fd, buf, sizeof(buf)) <= 0) break;
+        drain.revents = 0;
+      }
+    }
+  }
+}
+
 void ResetShutdownState() {
   EnsurePipe();
   g_shutdown_requested.store(false, std::memory_order_release);
+  g_reload_requested.store(false, std::memory_order_release);
   const int fd = g_pipe_rd.load(std::memory_order_acquire);
   char buf[64];
   // Read end stays blocking; poll with zero timeout before each read.

@@ -28,7 +28,31 @@ void RequestShutdown();
 /// so every waiter (and any later call) returns.
 void WaitForShutdown();
 
-/// Clears the requested flag and drains the wake-up pipe so the next
+/// Installs a SIGHUP handler that marks a reload as requested and wakes
+/// WaitForShutdownOrReload(). The conventional "re-read your config"
+/// signal, which for prim_serve means "re-read the checkpoint file and
+/// swap the model in place". Idempotent.
+void InstallReloadSignalHandler();
+
+/// True while a reload request is pending (SIGHUP arrived or
+/// RequestReload() was called and no ConsumeReloadRequest() has run yet).
+bool ReloadRequested();
+
+/// Programmatic SIGHUP equivalent, for tests and embedders.
+void RequestReload();
+
+/// Atomically claims a pending reload request: true exactly once per
+/// request, so one serving loop iteration performs one reload no matter
+/// how many signals piled up while it was busy.
+bool ConsumeReloadRequest();
+
+/// Blocks until shutdown OR a reload is requested. Callers loop: consume
+/// the reload, act on it, wait again — until ShutdownRequested(). The
+/// shutdown wake-up byte stays in the pipe (as in WaitForShutdown);
+/// reload wake-up bytes are drained so the next wait blocks.
+void WaitForShutdownOrReload();
+
+/// Clears the requested flags and drains the wake-up pipe so the next
 /// WaitForShutdown() blocks again. For tests; not async-signal-safe.
 void ResetShutdownState();
 

@@ -31,6 +31,7 @@ PrimIndex PrimIndex::Build(PrimModel& model) {
 
   nn::Tensor unit = nn::RowL2Normalize(hyperplanes);
   index.hyperplanes_.assign(unit.data(), unit.data() + unit.size());
+  index.RebindPointers();
   return index;
 }
 
@@ -59,19 +60,47 @@ PrimIndex PrimIndex::FromParts(const PrimConfig& config, int num_nodes,
   index.embeddings_ = std::move(embeddings);
   index.relations_ = std::move(relations);
   index.hyperplanes_ = std::move(hyperplanes);
+  index.RebindPointers();
+  return index;
+}
+
+PrimIndex PrimIndex::FromView(const PrimConfig& config, int num_nodes,
+                              int num_classes, int dim,
+                              const float* embeddings, const float* relations,
+                              const float* hyperplanes) {
+  PRIM_CHECK_MSG(num_nodes >= 0 && num_classes >= 0 && dim >= 0,
+                 "PrimIndex::FromView: negative dimension ("
+                     << num_nodes << ", " << num_classes << ", " << dim << ")");
+  PRIM_CHECK_MSG(
+      (embeddings != nullptr || num_nodes * dim == 0) &&
+          (relations != nullptr || num_classes * dim == 0) &&
+          (hyperplanes != nullptr || config.num_bins() * dim == 0),
+      "PrimIndex::FromView: null buffer for a non-empty tensor (emb="
+          << static_cast<const void*>(embeddings)
+          << ", rel=" << static_cast<const void*>(relations)
+          << ", hyp=" << static_cast<const void*>(hyperplanes) << ")");
+  PrimIndex index;
+  index.config_ = config;
+  index.num_nodes_ = num_nodes;
+  index.num_classes_ = num_classes;
+  index.dim_ = dim;
+  index.is_view_ = true;
+  index.embeddings_ptr_ = embeddings;
+  index.relations_ptr_ = relations;
+  index.hyperplanes_ptr_ = hyperplanes;
   return index;
 }
 
 void PrimIndex::Query(int i, int j, float dist_km, bool project,
                       float* out_scores) const {
   PRIM_CHECK(0 <= i && i < num_nodes_ && 0 <= j && j < num_nodes_);
-  const float* hi = embeddings_.data() + static_cast<int64_t>(i) * dim_;
-  const float* hj = embeddings_.data() + static_cast<int64_t>(j) * dim_;
+  const float* hi = embeddings_ptr_ + static_cast<int64_t>(i) * dim_;
+  const float* hj = embeddings_ptr_ + static_cast<int64_t>(j) * dim_;
   float buf_i[512], buf_j[512];
   PRIM_CHECK_MSG(dim_ <= 512, "PrimIndex supports dim <= 512, got " << dim_);
   if (project) {
     const int bin = config_.BinOf(dist_km);
-    const float* w = hyperplanes_.data() + static_cast<int64_t>(bin) * dim_;
+    const float* w = hyperplanes_ptr_ + static_cast<int64_t>(bin) * dim_;
     float si = 0.0f, sj = 0.0f;
     for (int d = 0; d < dim_; ++d) {
       si += hi[d] * w[d];
@@ -85,7 +114,7 @@ void PrimIndex::Query(int i, int j, float dist_km, bool project,
     hj = buf_j;
   }
   for (int c = 0; c < num_classes_; ++c) {
-    const float* rel = relations_.data() + static_cast<int64_t>(c) * dim_;
+    const float* rel = relations_ptr_ + static_cast<int64_t>(c) * dim_;
     float acc = 0.0f;
     for (int d = 0; d < dim_; ++d) acc += hi[d] * hj[d] * rel[d];
     out_scores[c] = acc;

@@ -38,11 +38,40 @@ class PrimIndex {
                              std::vector<float> relations,
                              std::vector<float> hyperplanes);
 
+  /// Zero-copy variant of FromParts: the index *references* the caller's
+  /// buffers (e.g. float runs inside an mmap'ed checkpoint section) instead
+  /// of owning copies. The caller must keep the backing memory alive and
+  /// unchanged for the index's lifetime — serve::RelationshipServer pins
+  /// the io::MappedFile in the same ModelSnapshot for exactly this reason.
+  /// Copying a view-backed index yields another view over the same memory.
+  static PrimIndex FromView(const PrimConfig& config, int num_nodes,
+                            int num_classes, int dim, const float* embeddings,
+                            const float* relations, const float* hyperplanes);
+
+  PrimIndex(const PrimIndex& other) { CopyFrom(other); }
+  PrimIndex& operator=(const PrimIndex& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  PrimIndex(PrimIndex&& other) noexcept { MoveFrom(std::move(other)); }
+  PrimIndex& operator=(PrimIndex&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
   int num_nodes() const { return num_nodes_; }
   int num_classes() const { return num_classes_; }
   int dim() const { return dim_; }
   const PrimConfig& config() const { return config_; }
-  /// Raw materialised buffers (row-major), exposed for serialization.
+  /// True when the index owns its buffers (FromParts/Build); false for a
+  /// view over external memory (FromView).
+  bool owns_data() const { return !is_view_; }
+  /// Raw materialised buffers (row-major). The pointer accessors work for
+  /// both owned and view-backed indexes; the vector accessors are empty on
+  /// a view (serialization uses the pointers).
+  const float* embeddings_data() const { return embeddings_ptr_; }
+  const float* relations_data() const { return relations_ptr_; }
+  const float* hyperplanes_data() const { return hyperplanes_ptr_; }
   const std::vector<float>& embeddings() const { return embeddings_; }
   const std::vector<float>& relations() const { return relations_; }
   const std::vector<float>& hyperplanes() const { return hyperplanes_; }
@@ -50,13 +79,55 @@ class PrimIndex {
  private:
   PrimIndex() = default;
 
+  /// Re-points the raw-buffer pointers after the vectors changed identity
+  /// (copy/move): an owning index must point at its *own* vectors, a view
+  /// keeps pointing at the external memory.
+  void RebindPointers() {
+    if (is_view_) return;
+    embeddings_ptr_ = embeddings_.data();
+    relations_ptr_ = relations_.data();
+    hyperplanes_ptr_ = hyperplanes_.data();
+  }
+  void CopyFrom(const PrimIndex& other) {
+    num_nodes_ = other.num_nodes_;
+    num_classes_ = other.num_classes_;
+    dim_ = other.dim_;
+    config_ = other.config_;
+    is_view_ = other.is_view_;
+    embeddings_ = other.embeddings_;
+    relations_ = other.relations_;
+    hyperplanes_ = other.hyperplanes_;
+    embeddings_ptr_ = other.embeddings_ptr_;
+    relations_ptr_ = other.relations_ptr_;
+    hyperplanes_ptr_ = other.hyperplanes_ptr_;
+    RebindPointers();
+  }
+  void MoveFrom(PrimIndex&& other) {
+    num_nodes_ = other.num_nodes_;
+    num_classes_ = other.num_classes_;
+    dim_ = other.dim_;
+    config_ = other.config_;
+    is_view_ = other.is_view_;
+    embeddings_ = std::move(other.embeddings_);
+    relations_ = std::move(other.relations_);
+    hyperplanes_ = std::move(other.hyperplanes_);
+    embeddings_ptr_ = other.embeddings_ptr_;
+    relations_ptr_ = other.relations_ptr_;
+    hyperplanes_ptr_ = other.hyperplanes_ptr_;
+    RebindPointers();
+  }
+
   int num_nodes_ = 0;
   int num_classes_ = 0;
   int dim_ = 0;
   PrimConfig config_;
-  std::vector<float> embeddings_;   // num_nodes x dim
+  bool is_view_ = false;
+  std::vector<float> embeddings_;   // num_nodes x dim (empty for views)
   std::vector<float> relations_;    // num_classes x dim (projected)
   std::vector<float> hyperplanes_;  // num_bins x dim (unit normals)
+  const float* embeddings_ptr_ = nullptr;
+  const float* relations_ptr_ = nullptr;
+  const float* hyperplanes_ptr_ = nullptr;
 };
 
 }  // namespace prim::core

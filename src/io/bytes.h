@@ -47,6 +47,23 @@ class ByteWriter {
     Raw(v.data(), v.size() * sizeof(float));
   }
 
+  /// Pads with zero bytes until the buffer size is a multiple of
+  /// `alignment`. When the buffer lands at an aligned file/mapping offset
+  /// (checkpoint format v2 aligns every section payload), data written
+  /// right after an AlignTo is aligned in the mapped image too — the
+  /// enabler for zero-copy float views over mmap'ed checkpoints.
+  void AlignTo(size_t alignment) {
+    while (bytes_.size() % alignment != 0) bytes_.push_back(0);
+  }
+
+  /// F32Vec with the raw float data aligned (relative to buffer start):
+  /// count first, then zero padding, then the floats.
+  void AlignedF32s(const float* data, uint64_t count, size_t alignment) {
+    U64(count);
+    AlignTo(alignment);
+    Raw(data, count * sizeof(float));
+  }
+
  private:
   std::vector<uint8_t> bytes_;
 };
@@ -97,6 +114,35 @@ class ByteReader {
     if (!U64(&n) || remaining() < n * sizeof(float)) return false;
     out->resize(n);
     return Raw(out->data(), n * sizeof(float));
+  }
+
+  /// Skips the zero padding a ByteWriter::AlignTo of the same alignment
+  /// produced (positions are relative to the buffer start on both sides).
+  bool AlignTo(size_t alignment) {
+    const size_t rem = pos_ % alignment;
+    return rem == 0 || Skip(alignment - rem);
+  }
+
+  /// Reads an AlignedF32s run by copying it out.
+  bool AlignedF32s(std::vector<float>* out, size_t alignment) {
+    uint64_t n = 0;
+    if (!U64(&n) || !AlignTo(alignment) || remaining() < n * sizeof(float))
+      return false;
+    out->resize(n);
+    return Raw(out->data(), n * sizeof(float));
+  }
+
+  /// Reads an AlignedF32s run as a view into the underlying buffer — no
+  /// copy. The returned pointer is only aligned in memory when the buffer
+  /// base itself is (an mmap'ed v2 section payload is; use the copying
+  /// overload otherwise). The view's lifetime is the buffer's.
+  bool AlignedF32View(const float** out, uint64_t* count, size_t alignment) {
+    if (!U64(count) || !AlignTo(alignment) ||
+        remaining() < *count * sizeof(float))
+      return false;
+    *out = reinterpret_cast<const float*>(data_ + pos_);
+    pos_ += static_cast<size_t>(*count) * sizeof(float);
+    return true;
   }
 
  private:

@@ -24,6 +24,9 @@ Result CheckpointWriter::Finish(const std::string& path) {
     w.Str(s.name);
     w.U64(s.payload.size());
     w.U32(Crc32(s.payload.data(), s.payload.size()));
+    // v2: payloads start at an aligned file offset so float data inside an
+    // mmap'ed section (itself AlignTo-padded) is aligned in memory.
+    w.AlignTo(kSectionAlignment);
     w.Raw(s.payload.data(), s.payload.size());
   }
 
@@ -53,15 +56,29 @@ Result CheckpointReader::Open(const std::string& path,
   if (!in) return Result::Fail("cannot open checkpoint '" + path + "'");
   const std::streamsize size = in.tellg();
   in.seekg(0);
-  reader->file_.resize(static_cast<size_t>(size));
-  if (!in.read(reinterpret_cast<char*>(reader->file_.data()), size))
+  reader->owned_.resize(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(reader->owned_.data()), size))
     return Result::Fail("cannot read checkpoint '" + path + "'");
+  reader->data_ = reader->owned_.data();
+  reader->size_ = reader->owned_.size();
+  return reader->Parse(path);
+}
 
-  ByteReader r(reader->file_);
+Result CheckpointReader::OpenMapped(const std::string& path,
+                                    CheckpointReader* reader) {
+  *reader = CheckpointReader();
+  if (Result r = MappedFile::Open(path, &reader->mapping_); !r) return r;
+  reader->data_ = reader->mapping_->data();
+  reader->size_ = reader->mapping_->size();
+  return reader->Parse(path);
+}
+
+Result CheckpointReader::Parse(const std::string& path) {
+  ByteReader r(data_, size_);
   char magic[sizeof(kCheckpointMagic)];
   if (!r.Raw(magic, sizeof(magic)))
     return Result::Fail("'" + path + "' is too short to be a checkpoint (" +
-                        std::to_string(reader->file_.size()) + " bytes)");
+                        std::to_string(size_) + " bytes)");
   if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
     return Result::Fail("'" + path +
                         "' is not a PRIM checkpoint (bad magic)");
@@ -76,7 +93,8 @@ Result CheckpointReader::Open(const std::string& path,
   for (uint32_t i = 0; i < count; ++i) {
     Section s;
     uint64_t payload_len = 0;
-    if (!r.Str(&s.name) || !r.U64(&payload_len) || !r.U32(&s.crc))
+    if (!r.Str(&s.name) || !r.U64(&payload_len) || !r.U32(&s.crc) ||
+        !r.AlignTo(kSectionAlignment))
       return Result::Fail("'" + path + "': truncated header of section " +
                           std::to_string(i) + " of " + std::to_string(count));
     if (r.remaining() < payload_len)
@@ -84,10 +102,10 @@ Result CheckpointReader::Open(const std::string& path,
           "'" + path + "': truncated checkpoint: section '" + s.name +
           "' declares " + std::to_string(payload_len) + " bytes but only " +
           std::to_string(r.remaining()) + " remain");
-    s.offset = reader->file_.size() - r.remaining();
+    s.offset = size_ - r.remaining();
     s.size = static_cast<size_t>(payload_len);
     r.Skip(s.size);  // Bounds already checked above.
-    reader->sections_.push_back(std::move(s));
+    sections_.push_back(std::move(s));
   }
   if (!r.AtEnd())
     return Result::Fail("'" + path + "': " + std::to_string(r.remaining()) +
@@ -107,11 +125,11 @@ std::vector<std::string> CheckpointReader::SectionNames() const {
   return names;
 }
 
-Result CheckpointReader::Read(const std::string& name,
-                              std::vector<uint8_t>* out) const {
+Result CheckpointReader::ReadView(const std::string& name,
+                                  SectionView* out) const {
   for (const Section& s : sections_) {
     if (s.name != name) continue;
-    const uint32_t crc = Crc32(file_.data() + s.offset, s.size);
+    const uint32_t crc = Crc32(data_ + s.offset, s.size);
     if (crc != s.crc)
       return Result::Fail("CRC mismatch in section '" + name +
                           "': stored 0x" + [](uint32_t v) {
@@ -123,11 +141,19 @@ Result CheckpointReader::Read(const std::string& name,
                             std::snprintf(buf, sizeof(buf), "%08x", v);
                             return std::string(buf);
                           }(crc) + " — the checkpoint is corrupted");
-    out->assign(file_.begin() + static_cast<ptrdiff_t>(s.offset),
-                file_.begin() + static_cast<ptrdiff_t>(s.offset + s.size));
+    out->data = data_ + s.offset;
+    out->size = s.size;
     return Result::Ok();
   }
   return Result::Fail("checkpoint has no section '" + name + "'");
+}
+
+Result CheckpointReader::Read(const std::string& name,
+                              std::vector<uint8_t>* out) const {
+  SectionView view;
+  if (Result r = ReadView(name, &view); !r) return r;
+  out->assign(view.data, view.data + view.size);
+  return Result::Ok();
 }
 
 }  // namespace prim::io

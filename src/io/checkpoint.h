@@ -2,9 +2,11 @@
 #define PRIM_IO_CHECKPOINT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "io/mmap_file.h"
 #include "io/result.h"
 
 namespace prim::io {
@@ -14,15 +16,23 @@ namespace prim::io {
 //
 //   file    := magic[8]="PRIMCKPT"  u32 version  u32 section_count  section*
 //   section := u32 name_len  name bytes  u64 payload_len
-//              u32 crc32(payload)  payload bytes
+//              u32 crc32(payload)  pad  payload bytes
 //
 // Sections are named, ordered, and independently checksummed; readers look
 // them up by name so future writers can append new sections without
 // breaking old readers. A version bump is reserved for layout changes old
 // readers cannot skip over.
+//
+// Version 2 (current): `pad` is implicit zero padding up to the next
+// kSectionAlignment-byte file offset, so every payload starts 64-byte
+// aligned. Combined with ByteWriter::AlignTo padding *inside* the index
+// and params payloads, the float tensors in an mmap'ed checkpoint are
+// aligned in memory and can be used in place — the zero-copy load path
+// behind RelationshipServer model reloads (see io/mmap_file.h).
 inline constexpr char kCheckpointMagic[8] = {'P', 'R', 'I', 'M',
                                              'C', 'K', 'P', 'T'};
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
+inline constexpr size_t kSectionAlignment = 64;
 
 /// Accumulates named sections in memory and writes the whole checkpoint in
 /// Finish(). Checkpoints are small (model parameters + materialised index,
@@ -42,27 +52,55 @@ class CheckpointWriter {
   std::vector<Section> sections_;
 };
 
-/// Parses a checkpoint into memory. Open() validates the magic, version,
+/// Parses a checkpoint's section table. Open() reads the file into memory;
+/// OpenMapped() mmaps it instead, so section payloads can be used in place
+/// (ReadView) without copying the model. Both validate the magic, version,
 /// and section framing (so truncation is caught immediately); the
-/// per-section CRC is validated by Read(), which therefore names the
-/// corrupted section in its error.
+/// per-section CRC is validated by Read()/ReadView(), which therefore name
+/// the corrupted section in their error.
 class CheckpointReader {
  public:
+  /// A CRC-verified window into the checkpoint's backing memory (the owned
+  /// byte buffer for Open(), the mapping for OpenMapped()). Valid only as
+  /// long as the reader — or, for mapped readers, the mapping() — lives.
+  struct SectionView {
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+  };
+
   static Result Open(const std::string& path, CheckpointReader* reader);
+  /// Like Open(), but backed by a read-only mmap of the file: payload
+  /// bytes are faulted in on first touch instead of read upfront. Share
+  /// mapping() with anything that outlives the reader but keeps views.
+  static Result OpenMapped(const std::string& path, CheckpointReader* reader);
 
   bool HasSection(const std::string& name) const;
   std::vector<std::string> SectionNames() const;
   /// Copies the payload of `name` into `out` after verifying its CRC.
   Result Read(const std::string& name, std::vector<uint8_t>* out) const;
+  /// Zero-copy variant: verifies the CRC, then points `out` at the payload
+  /// in the backing memory.
+  Result ReadView(const std::string& name, SectionView* out) const;
+
+  /// The mmap backing this reader; null for Open(). Hold a copy alongside
+  /// any SectionView (or structure decoded from one) that outlives the
+  /// reader.
+  const std::shared_ptr<MappedFile>& mapping() const { return mapping_; }
 
  private:
   struct Section {
     std::string name;
     uint32_t crc = 0;
-    size_t offset = 0;  // Into file_.
+    size_t offset = 0;  // Into the backing bytes.
     size_t size = 0;
   };
-  std::vector<uint8_t> file_;
+
+  Result Parse(const std::string& path);
+
+  const uint8_t* data_ = nullptr;  // Backing bytes: owned_ or mapping_.
+  size_t size_ = 0;
+  std::vector<uint8_t> owned_;
+  std::shared_ptr<MappedFile> mapping_;
   std::vector<Section> sections_;
 };
 

@@ -1,0 +1,53 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prim::io {
+
+Result MappedFile::Open(const std::string& path,
+                        std::shared_ptr<MappedFile>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    return Result::Fail("cannot open '" + path +
+                        "' for mapping: " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Result r = Result::Fail("cannot stat '" + path +
+                                  "': " + std::strerror(errno));
+    ::close(fd);
+    return r;
+  }
+  auto mapped = std::shared_ptr<MappedFile>(new MappedFile());
+  mapped->path_ = path;
+  mapped->size_ = static_cast<size_t>(st.st_size);
+  if (mapped->size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, mapped->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Result r = Result::Fail("cannot mmap '" + path + "' (" +
+                                    std::to_string(mapped->size_) +
+                                    " bytes): " + std::strerror(errno));
+      ::close(fd);
+      return r;
+    }
+    mapped->data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping holds its own reference to the file; the fd is not needed
+  // after mmap succeeds.
+  ::close(fd);
+  *out = std::move(mapped);
+  return Result::Ok();
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr)
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+}
+
+}  // namespace prim::io

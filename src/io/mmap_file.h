@@ -1,0 +1,47 @@
+#ifndef PRIM_IO_MMAP_FILE_H_
+#define PRIM_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/result.h"
+
+namespace prim::io {
+
+/// Read-only memory mapping of a whole file. Serving checkpoints are opened
+/// through this so a reload (or cold start) pays O(pages touched) instead of
+/// read()-ing and copying the entire model: the kernel faults pages in on
+/// first access and may share them across serving replicas of the same file.
+///
+/// Lifetime: anything that keeps pointers into data() (a view-backed
+/// core::PrimIndex, a CheckpointReader::SectionView) must keep the
+/// MappedFile alive — hold it via shared_ptr next to the views (see
+/// serve::RelationshipServer::ModelSnapshot).
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails as a value on open/stat/mmap errors.
+  /// An empty file maps successfully with size() == 0.
+  static Result Open(const std::string& path,
+                     std::shared_ptr<MappedFile>* out);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace prim::io
+
+#endif  // PRIM_IO_MMAP_FILE_H_

@@ -64,7 +64,9 @@ std::vector<uint8_t> EncodeParams(const std::vector<nn::StateEntry>& params) {
     w.Str(e.name);
     w.I32(e.rows);
     w.I32(e.cols);
-    w.F32Vec(e.data);
+    // Aligned so a mapped reader never copies for alignment's sake; the
+    // section payload itself starts kSectionAlignment-aligned (format v2).
+    w.AlignedF32s(e.data.data(), e.data.size(), kSectionAlignment);
   }
   return w.Take();
 }
@@ -75,9 +77,16 @@ std::vector<uint8_t> EncodeIndex(const core::PrimIndex& index) {
   w.I32(index.num_nodes());
   w.I32(index.num_classes());
   w.I32(index.dim());
-  w.F32Vec(index.embeddings());
-  w.F32Vec(index.relations());
-  w.F32Vec(index.hyperplanes());
+  const uint64_t dim = static_cast<uint64_t>(index.dim());
+  w.AlignedF32s(index.embeddings_data(),
+                static_cast<uint64_t>(index.num_nodes()) * dim,
+                kSectionAlignment);
+  w.AlignedF32s(index.relations_data(),
+                static_cast<uint64_t>(index.num_classes()) * dim,
+                kSectionAlignment);
+  w.AlignedF32s(index.hyperplanes_data(),
+                static_cast<uint64_t>(index.config().num_bins()) * dim,
+                kSectionAlignment);
   return w.Take();
 }
 
@@ -105,9 +114,9 @@ Result TruncatedSection(const char* section) {
 
 // --- Section payload decoders ---------------------------------------------
 
-Result DecodeMeta(const std::vector<uint8_t>& bytes,
+Result DecodeMeta(CheckpointReader::SectionView bytes,
                   std::map<std::string, std::string>* out) {
-  ByteReader r(bytes);
+  ByteReader r(bytes.data, bytes.size);
   uint32_t count = 0;
   if (!r.U32(&count)) return TruncatedSection(kSectionMeta);
   for (uint32_t i = 0; i < count; ++i) {
@@ -118,9 +127,9 @@ Result DecodeMeta(const std::vector<uint8_t>& bytes,
   return Result::Ok();
 }
 
-Result DecodeParams(const std::vector<uint8_t>& bytes,
+Result DecodeParams(CheckpointReader::SectionView bytes,
                     std::vector<nn::StateEntry>* out) {
-  ByteReader r(bytes);
+  ByteReader r(bytes.data, bytes.size);
   uint32_t count = 0;
   if (!r.U32(&count)) return TruncatedSection(kSectionParams);
   for (uint32_t i = 0; i < count; ++i) {
@@ -128,7 +137,8 @@ Result DecodeParams(const std::vector<uint8_t>& bytes,
     if (!r.Str(&e.name))
       return Result::Fail("section 'params': cannot read the name of tensor " +
                           std::to_string(i) + " of " + std::to_string(count));
-    if (!r.I32(&e.rows) || !r.I32(&e.cols) || !r.F32Vec(&e.data))
+    if (!r.I32(&e.rows) || !r.I32(&e.cols) ||
+        !r.AlignedF32s(&e.data, kSectionAlignment))
       return Result::Fail("section 'params': tensor '" + e.name +
                           "' is truncated");
     if (e.rows < 0 || e.cols < 0 ||
@@ -143,33 +153,52 @@ Result DecodeParams(const std::vector<uint8_t>& bytes,
   return Result::Ok();
 }
 
-Result DecodeIndex(const std::vector<uint8_t>& bytes,
+/// Decodes the "index" section. With `as_view` false the float tensors are
+/// copied into an owning PrimIndex; with true the index references them in
+/// place (the caller must pin the backing mmap — see
+/// ModelCheckpoint::mapping).
+Result DecodeIndex(CheckpointReader::SectionView bytes, bool as_view,
                    std::unique_ptr<core::PrimIndex>* out) {
-  ByteReader r(bytes);
+  ByteReader r(bytes.data, bytes.size);
   core::PrimConfig config;
   int32_t num_nodes = 0, num_classes = 0, dim = 0;
-  std::vector<float> embeddings, relations, hyperplanes;
   if (!DecodePrimConfig(&r, &config) || !r.I32(&num_nodes) ||
-      !r.I32(&num_classes) || !r.I32(&dim) || !r.F32Vec(&embeddings) ||
-      !r.F32Vec(&relations) || !r.F32Vec(&hyperplanes)) {
+      !r.I32(&num_classes) || !r.I32(&dim)) {
+    return TruncatedSection(kSectionIndex);
+  }
+  const float* embeddings = nullptr;
+  const float* relations = nullptr;
+  const float* hyperplanes = nullptr;
+  uint64_t n_emb = 0, n_rel = 0, n_hyp = 0;
+  if (!r.AlignedF32View(&embeddings, &n_emb, kSectionAlignment) ||
+      !r.AlignedF32View(&relations, &n_rel, kSectionAlignment) ||
+      !r.AlignedF32View(&hyperplanes, &n_hyp, kSectionAlignment)) {
     return TruncatedSection(kSectionIndex);
   }
   if (num_nodes < 0 || num_classes < 0 || dim < 0 ||
-      embeddings.size() != static_cast<uint64_t>(num_nodes) * dim ||
-      relations.size() != static_cast<uint64_t>(num_classes) * dim ||
-      hyperplanes.size() != static_cast<uint64_t>(config.num_bins()) * dim) {
+      n_emb != static_cast<uint64_t>(num_nodes) * dim ||
+      n_rel != static_cast<uint64_t>(num_classes) * dim ||
+      n_hyp != static_cast<uint64_t>(config.num_bins()) * dim) {
     return Result::Fail(
         "section 'index': buffer sizes do not match the declared dimensions");
   }
-  *out = std::make_unique<core::PrimIndex>(core::PrimIndex::FromParts(
-      config, num_nodes, num_classes, dim, std::move(embeddings),
-      std::move(relations), std::move(hyperplanes)));
+  if (as_view) {
+    *out = std::make_unique<core::PrimIndex>(
+        core::PrimIndex::FromView(config, num_nodes, num_classes, dim,
+                                  embeddings, relations, hyperplanes));
+  } else {
+    *out = std::make_unique<core::PrimIndex>(core::PrimIndex::FromParts(
+        config, num_nodes, num_classes, dim,
+        std::vector<float>(embeddings, embeddings + n_emb),
+        std::vector<float>(relations, relations + n_rel),
+        std::vector<float>(hyperplanes, hyperplanes + n_hyp)));
+  }
   return Result::Ok();
 }
 
-Result DecodeGeo(const std::vector<uint8_t>& bytes,
+Result DecodeGeo(CheckpointReader::SectionView bytes,
                  std::vector<geo::GeoPoint>* out) {
-  ByteReader r(bytes);
+  ByteReader r(bytes.data, bytes.size);
   uint32_t count = 0;
   if (!r.U32(&count)) return TruncatedSection(kSectionGeo);
   out->resize(count);
@@ -179,14 +208,50 @@ Result DecodeGeo(const std::vector<uint8_t>& bytes,
   return Result::Ok();
 }
 
-Result DecodeLabels(const std::vector<uint8_t>& bytes,
+Result DecodeLabels(CheckpointReader::SectionView bytes,
                     std::vector<std::string>* out) {
-  ByteReader r(bytes);
+  ByteReader r(bytes.data, bytes.size);
   uint32_t count = 0;
   if (!r.U32(&count)) return TruncatedSection(kSectionLabels);
   out->resize(count);
   for (uint32_t i = 0; i < count; ++i)
     if (!r.Str(&(*out)[i])) return TruncatedSection(kSectionLabels);
+  return Result::Ok();
+}
+
+/// Shared body of the copying and mapped loaders: decodes every present
+/// section out of an already-open reader. `index_as_view` selects the
+/// zero-copy index decode (mapped path only).
+Result LoadSections(const CheckpointReader& reader, bool index_as_view,
+                    ModelCheckpoint* out) {
+  CheckpointReader::SectionView view;
+  if (reader.HasSection(kSectionMeta)) {
+    if (Result r = reader.ReadView(kSectionMeta, &view); !r) return r;
+    if (Result r = DecodeMeta(view, &out->meta); !r) return r;
+  }
+  if (reader.HasSection(kSectionConfig)) {
+    if (Result r = reader.ReadView(kSectionConfig, &view); !r) return r;
+    ByteReader br(view.data, view.size);
+    if (!DecodePrimConfig(&br, &out->config))
+      return TruncatedSection(kSectionConfig);
+    out->has_config = true;
+  }
+  if (reader.HasSection(kSectionParams)) {
+    if (Result r = reader.ReadView(kSectionParams, &view); !r) return r;
+    if (Result r = DecodeParams(view, &out->params); !r) return r;
+  }
+  if (reader.HasSection(kSectionIndex)) {
+    if (Result r = reader.ReadView(kSectionIndex, &view); !r) return r;
+    if (Result r = DecodeIndex(view, index_as_view, &out->index); !r) return r;
+  }
+  if (reader.HasSection(kSectionGeo)) {
+    if (Result r = reader.ReadView(kSectionGeo, &view); !r) return r;
+    if (Result r = DecodeGeo(view, &out->points); !r) return r;
+  }
+  if (reader.HasSection(kSectionLabels)) {
+    if (Result r = reader.ReadView(kSectionLabels, &view); !r) return r;
+    if (Result r = DecodeLabels(view, &out->relation_names); !r) return r;
+  }
   return Result::Ok();
 }
 
@@ -217,35 +282,18 @@ Result LoadModelCheckpoint(const std::string& path, ModelCheckpoint* out) {
   *out = ModelCheckpoint();
   CheckpointReader reader;
   if (Result r = CheckpointReader::Open(path, &reader); !r) return r;
+  return LoadSections(reader, /*index_as_view=*/false, out);
+}
 
-  std::vector<uint8_t> bytes;
-  if (reader.HasSection(kSectionMeta)) {
-    if (Result r = reader.Read(kSectionMeta, &bytes); !r) return r;
-    if (Result r = DecodeMeta(bytes, &out->meta); !r) return r;
-  }
-  if (reader.HasSection(kSectionConfig)) {
-    if (Result r = reader.Read(kSectionConfig, &bytes); !r) return r;
-    ByteReader br(bytes);
-    if (!DecodePrimConfig(&br, &out->config))
-      return TruncatedSection(kSectionConfig);
-    out->has_config = true;
-  }
-  if (reader.HasSection(kSectionParams)) {
-    if (Result r = reader.Read(kSectionParams, &bytes); !r) return r;
-    if (Result r = DecodeParams(bytes, &out->params); !r) return r;
-  }
-  if (reader.HasSection(kSectionIndex)) {
-    if (Result r = reader.Read(kSectionIndex, &bytes); !r) return r;
-    if (Result r = DecodeIndex(bytes, &out->index); !r) return r;
-  }
-  if (reader.HasSection(kSectionGeo)) {
-    if (Result r = reader.Read(kSectionGeo, &bytes); !r) return r;
-    if (Result r = DecodeGeo(bytes, &out->points); !r) return r;
-  }
-  if (reader.HasSection(kSectionLabels)) {
-    if (Result r = reader.Read(kSectionLabels, &bytes); !r) return r;
-    if (Result r = DecodeLabels(bytes, &out->relation_names); !r) return r;
-  }
+Result LoadModelCheckpointMapped(const std::string& path,
+                                 ModelCheckpoint* out) {
+  *out = ModelCheckpoint();
+  CheckpointReader reader;
+  if (Result r = CheckpointReader::OpenMapped(path, &reader); !r) return r;
+  if (Result r = LoadSections(reader, /*index_as_view=*/true, out); !r)
+    return r;
+  // The index views float runs inside the mapping; pin it beside the index.
+  out->mapping = reader.mapping();
   return Result::Ok();
 }
 

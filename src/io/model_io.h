@@ -29,7 +29,9 @@ inline constexpr const char* kSectionLabels = "labels";   // relation names
 /// In-memory form of a model checkpoint: whichever sections were present
 /// (or should be written). `index` is null when the checkpoint has no
 /// "index" section; `points`, `relation_names`, and `params` are empty when
-/// their sections are absent.
+/// their sections are absent. `mapping` is set by LoadModelCheckpointMapped
+/// and keeps the mmap alive while `index` views float data inside it —
+/// anything that holds the index must hold the mapping beside it.
 struct ModelCheckpoint {
   std::map<std::string, std::string> meta;
   bool has_config = false;
@@ -38,6 +40,7 @@ struct ModelCheckpoint {
   std::unique_ptr<core::PrimIndex> index;
   std::vector<geo::GeoPoint> points;
   std::vector<std::string> relation_names;
+  std::shared_ptr<MappedFile> mapping;
 };
 
 /// Writes every populated field of `checkpoint` as one section each.
@@ -48,6 +51,14 @@ Result SaveModelCheckpoint(const std::string& path,
 /// their fields default. Fails (naming the section) on framing errors, CRC
 /// mismatches, and undecodable payloads.
 Result LoadModelCheckpoint(const std::string& path, ModelCheckpoint* out);
+
+/// Like LoadModelCheckpoint, but mmaps the file and builds `out->index` as
+/// a zero-copy view over the mapped "index" section instead of copying its
+/// float tensors (the CRC is still verified, which faults every payload
+/// page in once). The mapping is pinned in `out->mapping`; the index is
+/// only valid while that pointer (or a copy of it) is held. Small sections
+/// (meta, config, geo, labels) and "params" are decoded by copy as before.
+Result LoadModelCheckpointMapped(const std::string& path, ModelCheckpoint* out);
 
 /// Convenience: snapshots a trained model (+ optionally its serving index)
 /// against its dataset into one self-contained checkpoint file. The

@@ -8,48 +8,77 @@
 
 namespace prim::serve {
 
-/// Fixed-capacity least-recently-used cache with hit/miss counters.
-/// Not thread-safe; RelationshipServer guards it with its own mutex so the
-/// counters and the eviction list stay consistent under concurrent
-/// requests. A capacity of 0 disables caching (every Get is a miss).
+/// Fixed-capacity least-recently-used cache with hit/miss counters and a
+/// generation number for bulk invalidation. Not thread-safe;
+/// RelationshipServer guards it with its own mutex so the counters and the
+/// eviction list stay consistent under concurrent requests. A capacity of 0
+/// disables caching (every Get is a miss).
+///
+/// Generations make invalidation O(1): BumpGeneration() logically empties
+/// the cache — entries written under an older generation are erased lazily
+/// the next time Get touches them — and PutAt() lets a writer that computed
+/// its value under an old generation (e.g. a top-k answer scored against a
+/// pre-reload model snapshot) detect that the world changed and drop the
+/// insert instead of poisoning the fresh cache with a stale answer.
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class LruCache {
  public:
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
   /// Copies the cached value into `*out` and marks the entry most recently
-  /// used. Returns false (a miss) when the key is absent.
+  /// used. Returns false (a miss) when the key is absent or the entry
+  /// predates the current generation (the entry is erased).
   bool Get(const Key& key, Value* out) {
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
       return false;
     }
+    if (it->second->generation != generation_) {
+      order_.erase(it->second);
+      map_.erase(it);
+      ++misses_;
+      return false;
+    }
     order_.splice(order_.begin(), order_, it->second);
-    *out = it->second->second;
+    *out = it->second->value;
     ++hits_;
     return true;
   }
 
-  /// Inserts (or refreshes) a key, evicting the least recently used entry
-  /// when at capacity.
+  /// Inserts (or refreshes) a key under the current generation, evicting
+  /// the least recently used entry when at capacity.
   void Put(const Key& key, Value value) {
-    if (capacity_ == 0) return;
+    PutAt(key, std::move(value), generation_);
+  }
+
+  /// Put for a value computed while `generation` was current: a no-op when
+  /// the cache has since moved on (the value describes a stale world).
+  void PutAt(const Key& key, Value value, uint64_t generation) {
+    if (capacity_ == 0 || generation != generation_) return;
     auto it = map_.find(key);
     if (it != map_.end()) {
-      it->second->second = std::move(value);
+      it->second->value = std::move(value);
+      it->second->generation = generation_;
       order_.splice(order_.begin(), order_, it->second);
       return;
     }
     if (map_.size() >= capacity_) {
-      map_.erase(order_.back().first);
+      map_.erase(order_.back().key);
       order_.pop_back();
     }
-    order_.emplace_front(key, std::move(value));
+    order_.push_front(Entry{key, std::move(value), generation_});
     map_[key] = order_.begin();
   }
 
-  /// Drops every entry and zeroes the hit/miss counters.
+  /// Invalidates every current entry in O(1). Stale entries are reclaimed
+  /// lazily by Get (or displaced by eviction); size() may overcount until
+  /// then.
+  void BumpGeneration() { ++generation_; }
+  uint64_t generation() const { return generation_; }
+
+  /// Drops every entry and zeroes the hit/miss counters. The generation is
+  /// preserved (it only ever moves forward).
   void Clear() {
     map_.clear();
     order_.clear();
@@ -63,10 +92,15 @@ class LruCache {
   uint64_t misses() const { return misses_; }
 
  private:
-  using Entry = std::pair<Key, Value>;
+  struct Entry {
+    Key key;
+    Value value;
+    uint64_t generation;
+  };
   size_t capacity_;
   std::list<Entry> order_;  // Front = most recently used.
   std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
+  uint64_t generation_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

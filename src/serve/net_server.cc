@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -63,9 +64,29 @@ NetServer::NetServer(LineHandler handler, const NetServerOptions& options)
   options_.num_threads = std::max(1, options_.num_threads);
   options_.queue_capacity = std::max(1, options_.queue_capacity);
   options_.max_line_bytes = std::max<size_t>(64, options_.max_line_bytes);
+  options_.max_batch = std::max(1, options_.max_batch);
+  options_.batch_wait_us = std::max(0, options_.batch_wait_us);
+  // Seeded verbs can never be displaced by RecordLatency's anti-flood cap,
+  // so junk verbs cannot push the serving verbs' percentiles out of STATS.
+  MutexLock lock(stats_mu_);
+  for (const std::string& verb : options_.expected_verbs)
+    latency_by_verb_.try_emplace(verb);
 }
 
 NetServer::~NetServer() { Stop(); }
+
+void NetServer::SetBatchHandler(BatchKeyFn key_fn,
+                                BatchLineHandler batch_handler) {
+  MutexLock lifecycle(lifecycle_mu_);
+  // prim-lint: allow(check-message): a lifecycle flag has no value to print.
+  PRIM_CHECK_MSG(!started_,
+                 "SetBatchHandler must be called before NetServer::Start");
+  // prim-lint: allow(check-message): null callables have no value to print.
+  PRIM_CHECK_MSG(key_fn != nullptr && batch_handler != nullptr,
+                 "SetBatchHandler needs both a key function and a handler");
+  batch_key_fn_ = std::move(key_fn);
+  batch_handler_ = std::move(batch_handler);
+}
 
 io::Result NetServer::Start() {
   MutexLock lifecycle(lifecycle_mu_);
@@ -80,9 +101,20 @@ io::Result NetServer::Start() {
   if (::pipe(wake) != 0) return io::Result::Fail(ErrnoString("pipe"));
   wake_pipe_rd_ = wake[0];
   wake_pipe_wr_ = wake[1];
+  // Every failure path below must release the wake pipe: a failed Start()
+  // (e.g. a bind conflict) can be retried, and leaking two fds per attempt
+  // would exhaust the fd table under repeated retries.
+  const auto fail = [this](io::Result r) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::close(wake_pipe_rd_);
+    ::close(wake_pipe_wr_);
+    wake_pipe_rd_ = wake_pipe_wr_ = -1;
+    return r;
+  };
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return io::Result::Fail(ErrnoString("socket"));
+  if (listen_fd_ < 0) return fail(io::Result::Fail(ErrnoString("socket")));
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -92,19 +124,12 @@ io::Result NetServer::Start() {
   addr.sin_port = htons(options_.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    const io::Result r = io::Result::Fail(
+    return fail(io::Result::Fail(
         "cannot bind " + options_.host + ":" + std::to_string(options_.port) +
-        ": " + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return r;
+        ": " + std::strerror(errno)));
   }
-  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
-    const io::Result r = io::Result::Fail(ErrnoString("listen"));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return r;
-  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0)
+    return fail(io::Result::Fail(ErrnoString("listen")));
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   bound_port_.store(ntohs(addr.sin_port), std::memory_order_release);
@@ -255,9 +280,9 @@ void NetServer::ReaderLoop(Connection* conn) {
         open = false;
         break;
       }
-      const std::string verb = FirstToken(line);
+      std::string verb = FirstToken(line);
       if (verb.empty()) continue;  // Blank line: no response, like stdin.
-      const std::string response = Submit(line, verb);
+      const std::string response = Submit(std::move(line), std::move(verb));
       if (!response.empty() && !SendAll(conn->fd, response + "\n"))
         open = false;
     }
@@ -291,17 +316,19 @@ void NetServer::ReaderLoop(Connection* conn) {
   conn->finished.store(true, std::memory_order_release);
 }
 
-std::string NetServer::Submit(const std::string& line,
-                              const std::string& verb) {
+std::string NetServer::Submit(std::string line, std::string verb) {
   auto request = std::make_shared<Request>();
-  request->line = line;
-  request->verb = verb;
+  if (batch_key_fn_ && batch_handler_)
+    request->batch_key = batch_key_fn_(line);
+  request->line = std::move(line);
+  request->verb = std::move(verb);
   request->admitted = Clock::now();
   if (options_.deadline_ms > 0) {
     request->has_deadline = true;
     request->deadline =
         request->admitted + std::chrono::milliseconds(options_.deadline_ms);
   }
+  bool notify = true;
   {
     MutexLock lock(queue_mu_);
     if (!accepting_requests_) return "ERR shutting down";
@@ -310,56 +337,167 @@ std::string NetServer::Submit(const std::string& line,
       ++stats_.busy_rejected;
       return "ERR busy";
     }
+    if (!request->batch_key.empty() && options_.max_batch > 1) {
+      // A same-key request already queued means its pending wakeup (or the
+      // baton of whichever worker sweeps it) will carry this request into
+      // the same batch; notifying again would just bounce a worker off an
+      // emptied queue.
+      size_t& queued = queued_by_key_[request->batch_key];
+      notify = queued == 0;
+      ++queued;
+    }
     queue_.push_back(request);
   }
-  queue_cv_.NotifyOne();
+  if (notify) queue_cv_.NotifyOne();
   MutexLock lock(request->mu);
   while (!request->done) request->cv.Wait(request->mu);
   return request->response;
 }
 
+void NetServer::DropKeyCountLocked(const std::string& key) {
+  if (key.empty() || options_.max_batch <= 1) return;
+  const auto it = queued_by_key_.find(key);
+  if (it == queued_by_key_.end()) return;
+  if (--it->second == 0) queued_by_key_.erase(it);
+}
+
+void NetServer::CollectBatchLocked(
+    const std::string& key, size_t cap,
+    std::vector<std::shared_ptr<Request>>* batch) {
+  for (auto it = queue_.begin(); it != queue_.end() && batch->size() < cap;) {
+    if ((*it)->batch_key == key) {
+      DropKeyCountLocked(key);
+      batch->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void NetServer::WorkerLoop() {
   while (true) {
-    std::shared_ptr<Request> request;
+    std::vector<std::shared_ptr<Request>> batch;
     {
       MutexLock lock(queue_mu_);
       while (queue_.empty() && !workers_exit_when_drained_)
         queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // Drained and told to exit.
-      request = std::move(queue_.front());
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
-    }
+      DropKeyCountLocked(batch[0]->batch_key);
 
-    std::string response;
-    if (request->has_deadline && Clock::now() > request->deadline) {
-      response = "ERR deadline";
-      MutexLock lock(stats_mu_);
-      ++stats_.deadline_expired;
-    } else {
-      response = handler_(request->line);
-      if (request->verb == "STATS" && response.rfind("OK", 0) == 0)
-        response += " " + StatsSuffix();
-      {
-        MutexLock lock(stats_mu_);
-        ++stats_.requests_handled;
+      if (batch_handler_ && options_.max_batch > 1 &&
+          !batch[0]->batch_key.empty()) {
+        // Coalescing: sweep same-key requests out of the queue in this one
+        // lock acquisition, so the whole group pays a single handler call.
+        // Taking the whole group serializes it behind this worker, but the
+        // alternative — leaving a share for an idle peer — costs a condvar
+        // wake per peer, which outweighs the batched handler's per-request
+        // savings at any batch size the admission queue produces.
+        const std::string key = batch[0]->batch_key;
+        CollectBatchLocked(key, static_cast<size_t>(options_.max_batch),
+                           &batch);
+        if (options_.batch_wait_us > 0) {
+          // Optional batch-formation window: trade a bounded wait for
+          // larger batches. Off by default — at low load the sweep above
+          // finds nothing and the request executes immediately.
+          const Clock::time_point wait_deadline =
+              Clock::now() + std::chrono::microseconds(options_.batch_wait_us);
+          while (batch.size() < static_cast<size_t>(options_.max_batch) &&
+                 !workers_exit_when_drained_) {
+            // The wait releases queue_mu_, so other workers keep draining
+            // the non-matching requests we left queued; pass the baton in
+            // case this worker swallowed their wakeup.
+            if (!queue_.empty()) queue_cv_.NotifyOne();
+            if (!queue_cv_.WaitUntil(queue_mu_, wait_deadline)) break;
+            // The window exists to grow batches, so it fills to max_batch
+            // rather than the fair share.
+            CollectBatchLocked(key, static_cast<size_t>(options_.max_batch),
+                               &batch);
+          }
+        }
+        // The sweep may have consumed the only pending notification for
+        // requests it skipped over; wake another worker for them.
+        if (!queue_.empty()) queue_cv_.NotifyOne();
       }
-      RecordLatency(request->verb,
-                    std::chrono::duration<double>(Clock::now() -
-                                                  request->admitted)
-                        .count());
     }
+    ExecuteBatch(std::move(batch));
+  }
+}
 
+void NetServer::ExecuteBatch(std::vector<std::shared_ptr<Request>> batch) {
+  const auto answer = [](const std::shared_ptr<Request>& request,
+                         std::string response) {
     {
       MutexLock lock(request->mu);
       request->done = true;
       request->response = std::move(response);
     }
     request->cv.NotifyOne();
+  };
+
+  // Deadline-expired requests are answered without reaching any handler,
+  // exactly as on the non-batched path.
+  std::vector<std::shared_ptr<Request>> live;
+  live.reserve(batch.size());
+  const Clock::time_point now = Clock::now();
+  for (std::shared_ptr<Request>& request : batch) {
+    if (request->has_deadline && now > request->deadline) {
+      {
+        MutexLock lock(stats_mu_);
+        ++stats_.deadline_expired;
+      }
+      answer(request, "ERR deadline");
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<std::string> responses;
+  if (live.size() == 1) {
+    // A group of one is not a batch: keep the single-request path (and its
+    // cost profile) bit-for-bit unchanged.
+    responses.push_back(handler_(live[0]->line));
+    if (live[0]->verb == "STATS" && responses[0].rfind("OK", 0) == 0)
+      responses[0] += " " + StatsSuffix();
+  } else {
+    std::vector<std::string> lines;
+    lines.reserve(live.size());
+    // The line is dead after the handler runs (answers key off verb and
+    // admission time), so batched requests give theirs up instead of
+    // paying a copy each.
+    for (const std::shared_ptr<Request>& request : live)
+      lines.push_back(std::move(request->line));
+    responses = batch_handler_(lines);
+    PRIM_CHECK_MSG(responses.size() == lines.size(),
+                   "batch handler returned " << responses.size()
+                                             << " responses for "
+                                             << lines.size() << " lines");
+  }
+
+  const Clock::time_point done = Clock::now();
+  // Unblock every waiting reader before bookkeeping: the responses are the
+  // latency-critical path, the stats lock is not. The Request outlives its
+  // reader's return from Submit (shared_ptr), so reading verb/admitted
+  // after answering is safe.
+  for (size_t x = 0; x < live.size(); ++x)
+    answer(live[x], std::move(responses[x]));
+  MutexLock lock(stats_mu_);
+  stats_.requests_handled += live.size();
+  if (live.size() > 1) {
+    ++stats_.batches_coalesced;
+    stats_.coalesced_requests += live.size();
+  }
+  for (const std::shared_ptr<Request>& request : live) {
+    RecordLatencyLocked(
+        request->verb,
+        std::chrono::duration<double>(done - request->admitted).count());
   }
 }
 
-void NetServer::RecordLatency(const std::string& verb, double seconds) {
-  MutexLock lock(stats_mu_);
+void NetServer::RecordLatencyLocked(const std::string& verb, double seconds) {
   auto it = latency_by_verb_.find(verb);
   if (it == latency_by_verb_.end()) {
     // Bound the per-verb map: clients inventing verbs (every one answered
@@ -390,7 +528,11 @@ std::string NetServer::StatsSuffix() const {
                        " net_deadline=" +
                        std::to_string(stats_.deadline_expired) +
                        " net_oversized=" +
-                       std::to_string(stats_.lines_oversized);
+                       std::to_string(stats_.lines_oversized) +
+                       " net_batches=" +
+                       std::to_string(stats_.batches_coalesced) +
+                       " net_batched=" +
+                       std::to_string(stats_.coalesced_requests);
   for (const auto& [verb, histogram] : latency_by_verb_) {
     if (histogram.count() == 0) continue;
     std::string key;

@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -44,6 +45,21 @@ struct NetServerOptions {
   size_t max_line_bytes = 64 * 1024;
   /// listen(2) backlog.
   int listen_backlog = 128;
+  /// Most requests a worker coalesces into one batch-handler call (see
+  /// SetBatchHandler). 1 disables coalescing.
+  int max_batch = 32;
+  /// How long a worker that found a batchable request may wait for more
+  /// same-key requests to arrive before executing the batch. The default 0
+  /// is purely opportunistic — the worker only groups what is already
+  /// queued, so batching never adds latency at low load (a lone request
+  /// executes immediately, exactly as without coalescing).
+  int batch_wait_us = 0;
+  /// Verbs pre-seeded into the per-verb latency map at construction. The
+  /// map is capped to bound memory against clients inventing verbs; seeded
+  /// verbs can never be displaced by that cap, so the serving verbs' p50/
+  /// p95/p99 lines survive any amount of junk traffic.
+  std::vector<std::string> expected_verbs = {"CLASSIFY", "TOPK", "STATS",
+                                             "RELOAD"};
 };
 
 /// TCP socket frontend around a line-oriented request handler (one request
@@ -79,6 +95,19 @@ class NetServer {
   /// An empty return means "no response" (blank lines never reach this).
   using LineHandler = std::function<std::string(const std::string&)>;
 
+  /// Returns the coalescing key of a request line: requests whose keys are
+  /// equal and non-empty may be answered together by one BatchLineHandler
+  /// call; an empty key means "never batch this line". Must be pure (no
+  /// side effects) and thread-safe.
+  using BatchKeyFn = std::function<std::string(const std::string&)>;
+
+  /// Answers a group of same-key lines in one call, returning exactly one
+  /// response per line, in order. Each response must be byte-identical to
+  /// what the LineHandler would have produced for that line alone. Called
+  /// concurrently from workers; must be thread-safe.
+  using BatchLineHandler =
+      std::function<std::vector<std::string>(const std::vector<std::string>&)>;
+
   struct Stats {
     uint64_t connections_accepted = 0;
     uint64_t connections_open = 0;
@@ -87,10 +116,21 @@ class NetServer {
     uint64_t deadline_expired = 0;   // Answered "ERR deadline" unexecuted.
     uint64_t lines_oversized = 0;    // Answered "ERR line too long".
     uint64_t queue_depth = 0;        // Requests waiting right now.
+    uint64_t batches_coalesced = 0;  // Batch-handler calls with >= 2 lines.
+    uint64_t coalesced_requests = 0;  // Requests answered via those calls.
   };
 
   NetServer(LineHandler handler, const NetServerOptions& options);
   ~NetServer();  // Stop()s if still running.
+
+  /// Enables request coalescing: workers drain the admission queue in one
+  /// lock acquisition, group pending same-key requests (per `key_fn`, up
+  /// to options.max_batch), and answer the group with one `batch_handler`
+  /// call — e.g. many CLASSIFY lines becoming a single ClassifyBatch
+  /// kernel. Requests whose key is empty, and groups of one, keep going
+  /// through the plain LineHandler. Must be called before Start().
+  void SetBatchHandler(BatchKeyFn key_fn, BatchLineHandler batch_handler)
+      PRIM_EXCLUDES(lifecycle_mu_);
 
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
@@ -115,6 +155,7 @@ class NetServer {
 
   /// The transport fields appended to an "OK" STATS response:
   ///   net_conns=<open> net_busy=<n> net_deadline=<n> net_oversized=<n>
+  ///   net_batches=<n> net_batched=<n>
   /// then, per verb with at least one sample,
   ///   <verb>_p50_ms=<t> <verb>_p95_ms=<t> <verb>_p99_ms=<t>
   /// (verbs lowercased; unknown verbs pool under "other").
@@ -128,6 +169,8 @@ class NetServer {
   struct Request {
     std::string line;
     std::string verb;
+    /// Coalescing key (batch_key_fn_ output); empty = never batched.
+    std::string batch_key;
     Clock::time_point admitted;
     Clock::time_point deadline;
     bool has_deadline = false;
@@ -151,16 +194,31 @@ class NetServer {
   void ReaderLoop(Connection* conn)
       PRIM_EXCLUDES(queue_mu_, stats_mu_);
   void WorkerLoop() PRIM_EXCLUDES(queue_mu_, stats_mu_);
+  /// Moves every queued request whose batch_key equals `key` into `batch`
+  /// (front to back), stopping at `cap` total.
+  void CollectBatchLocked(const std::string& key, size_t cap,
+                          std::vector<std::shared_ptr<Request>>* batch)
+      PRIM_REQUIRES(queue_mu_);
+  /// Balances queued_by_key_ when a keyed request leaves the queue.
+  void DropKeyCountLocked(const std::string& key) PRIM_REQUIRES(queue_mu_);
+  /// Answers a popped batch: expired requests get "ERR deadline", a group
+  /// of one goes through handler_, larger groups through batch_handler_.
+  void ExecuteBatch(std::vector<std::shared_ptr<Request>> batch)
+      PRIM_EXCLUDES(queue_mu_, stats_mu_);
   /// Joins and erases connections whose readers have finished.
   void ReapFinishedConnectionsLocked() PRIM_REQUIRES(conns_mu_);
   /// Admission: returns the response ("ERR busy" / handler output /
   /// "ERR deadline"). Blocks until the request is answered.
-  std::string Submit(const std::string& line, const std::string& verb)
+  std::string Submit(std::string line, std::string verb)
       PRIM_EXCLUDES(queue_mu_, stats_mu_);
-  void RecordLatency(const std::string& verb, double seconds)
-      PRIM_EXCLUDES(stats_mu_);
+  void RecordLatencyLocked(const std::string& verb, double seconds)
+      PRIM_REQUIRES(stats_mu_);
 
   LineHandler handler_;
+  // Batching hooks. Like handler_: set before Start() (SetBatchHandler
+  // checks), then read concurrently by workers without a lock.
+  BatchKeyFn batch_key_fn_;
+  BatchLineHandler batch_handler_;
   NetServerOptions options_;
 
   // Socket plumbing. Not mutex-protected: written by Start() before the
@@ -185,6 +243,13 @@ class NetServer {
   mutable Mutex queue_mu_;
   CondVar queue_cv_;
   std::deque<std::shared_ptr<Request>> queue_ PRIM_GUARDED_BY(queue_mu_);
+  // Queued requests per batch key (keyless requests are not counted).
+  // Lets Submit skip its worker wakeup when a same-key request is already
+  // queued: the earlier request's wakeup (or a worker's sweep baton)
+  // covers the whole group, and a batch of k would otherwise cost k-1
+  // spurious worker wakeups.
+  std::unordered_map<std::string, size_t> queued_by_key_
+      PRIM_GUARDED_BY(queue_mu_);
   // False before Start() and during drain.
   bool accepting_requests_ PRIM_GUARDED_BY(queue_mu_) = false;
   bool workers_exit_when_drained_ PRIM_GUARDED_BY(queue_mu_) = false;

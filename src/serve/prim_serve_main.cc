@@ -1,9 +1,10 @@
 // prim_serve: answers POI relationship queries from a serving checkpoint.
 //
 //   prim_serve --checkpoint model.ckpt [--cache 1024] [--cell-km 1.15]
-//              [--no-project]
+//              [--no-project] [--no-mmap]
 //              [--port P [--host A] [--serve-threads N] [--queue N]
-//               [--deadline-ms N] [--slow-ms N]]
+//               [--deadline-ms N] [--slow-ms N] [--max-batch N]
+//               [--batch-wait-us N]]
 //
 // Without --port it speaks the line protocol from serve/protocol.h on
 // stdin/stdout: one request per line, one response line per request
@@ -12,8 +13,12 @@
 // With --port it serves the same protocol over TCP (serve/net_server.h):
 // a serving thread pool behind a bounded admission queue ("ERR busy" under
 // overload), per-request deadlines ("ERR deadline"), per-verb latency
-// percentiles appended to STATS responses, and graceful drain on
-// SIGINT/SIGTERM. --slow-ms injects artificial handler latency — a
+// percentiles appended to STATS responses, dynamic request coalescing
+// (queued CLASSIFY — and TOPK sharing (radius, k) — answered in single
+// batched kernel calls; tune with --max-batch / --batch-wait-us), and
+// graceful drain on SIGINT/SIGTERM. SIGHUP (or a RELOAD request line)
+// atomically re-reads the checkpoint and swaps the model without dropping
+// a single connection. --slow-ms injects artificial handler latency — a
 // debugging/smoke-test aid for provoking backpressure on demand.
 
 #include <chrono>
@@ -35,10 +40,11 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: prim_serve --checkpoint <file> [--cache N] "
-               "[--cell-km R] [--no-project]\n"
+               "[--cell-km R] [--no-project] [--no-mmap]\n"
                "                  [--port P [--host A] [--serve-threads N] "
                "[--queue N]\n"
-               "                   [--deadline-ms N] [--slow-ms N]]\n");
+               "                   [--deadline-ms N] [--slow-ms N] "
+               "[--max-batch N] [--batch-wait-us N]]\n");
   return 2;
 }
 
@@ -105,7 +111,7 @@ int main(int argc, char** argv) {
 
   prim::serve::RelationshipServer::Options options;
   long cache = -1, port = -1, serve_threads = 4, queue = 64,
-       deadline_ms = 5000, slow_ms = 0;
+       deadline_ms = 5000, slow_ms = 0, max_batch = 32, batch_wait_us = 0;
   if (const char* v = FlagValue(argc, argv, "cache")) {
     if (!ParseNonNegativeLong("cache", v, &cache)) return Usage();
     options.cache_capacity = static_cast<size_t>(cache);
@@ -114,6 +120,7 @@ int main(int argc, char** argv) {
     if (!ParsePositiveDouble("cell-km", v, &options.cell_km)) return Usage();
   }
   if (HasFlag(argc, argv, "no-project")) options.project = false;
+  if (HasFlag(argc, argv, "no-mmap")) options.mmap = false;
 
   const bool network = FlagValue(argc, argv, "port") != nullptr;
   std::string host = "127.0.0.1";
@@ -145,6 +152,17 @@ int main(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "slow-ms")) {
     if (!ParseNonNegativeLong("slow-ms", v, &slow_ms)) return Usage();
   }
+  if (const char* v = FlagValue(argc, argv, "max-batch")) {
+    if (!ParseNonNegativeLong("max-batch", v, &max_batch) || max_batch == 0) {
+      std::fprintf(stderr,
+                   "prim_serve: --max-batch expects a positive integer\n");
+      return Usage();
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "batch-wait-us")) {
+    if (!ParseNonNegativeLong("batch-wait-us", v, &batch_wait_us))
+      return Usage();
+  }
 
   std::unique_ptr<prim::serve::RelationshipServer> server;
   if (prim::io::Result r =
@@ -164,6 +182,8 @@ int main(int argc, char** argv) {
   net.num_threads = static_cast<int>(serve_threads);
   net.queue_capacity = static_cast<int>(queue);
   net.deadline_ms = static_cast<int>(deadline_ms);
+  net.max_batch = static_cast<int>(max_batch);
+  net.batch_wait_us = static_cast<int>(batch_wait_us);
   prim::serve::NetServer net_server(
       [&server, slow_ms](const std::string& line) {
         if (slow_ms > 0)
@@ -171,18 +191,43 @@ int main(int argc, char** argv) {
         return prim::serve::HandleRequestLine(*server, line);
       },
       net);
+  net_server.SetBatchHandler(
+      [](const std::string& line) {
+        return prim::serve::BatchKeyForLine(line);
+      },
+      [&server, slow_ms](const std::vector<std::string>& lines) {
+        if (slow_ms > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
+        return prim::serve::HandleRequestBatch(*server, lines);
+      });
   if (prim::io::Result r = net_server.Start(); !r) {
     std::fprintf(stderr, "prim_serve: %s\n", r.error.c_str());
     return 1;
   }
   std::fprintf(stderr,
                "prim_serve: listening on %s:%u (%ld threads, queue %ld, "
-               "deadline %ld ms)\n",
+               "deadline %ld ms, max-batch %ld)\n",
                host.c_str(), net_server.port(), serve_threads, queue,
-               deadline_ms);
+               deadline_ms, max_batch);
 
   prim::InstallShutdownSignalHandlers();
-  prim::WaitForShutdown();
+  prim::InstallReloadSignalHandler();
+  while (true) {
+    prim::WaitForShutdownOrReload();
+    if (prim::ShutdownRequested()) break;
+    if (!prim::ConsumeReloadRequest()) continue;
+    // SIGHUP: re-read the checkpoint file and swap the model in place.
+    // Traffic keeps flowing; a failed reload keeps the current model.
+    if (prim::io::Result r = server->Reload(); !r) {
+      std::fprintf(stderr, "prim_serve: reload failed: %s\n",
+                   r.error.c_str());
+    } else {
+      std::fprintf(
+          stderr, "prim_serve: reloaded '%s' (model_version %llu)\n",
+          server->checkpoint_path().c_str(),
+          static_cast<unsigned long long>(server->stats().model_version));
+    }
+  }
   std::fprintf(stderr, "prim_serve: shutdown requested, draining...\n");
   net_server.Stop();
   const prim::serve::NetServer::Stats stats = net_server.stats();

@@ -1,12 +1,91 @@
 #include "serve/protocol.h"
 
+#include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace prim::serve {
 namespace {
+
+// --- Stream-free scanners for the per-request hot paths ------------------
+//
+// BatchKeyForLine runs once per admitted request and HandleRequestBatch
+// re-parses every line of a batch; an istringstream there costs more than
+// the parse itself (stream + locale construction per call). These scanners
+// use std::from_chars on raw token bounds instead. They are strictly
+// conservative: any token from_chars treats differently from operator>>
+// (leading '+', "inf", hex floats) is rejected, and every rejected line
+// falls back to the istringstream path, so responses never diverge.
+
+const char* SkipSpaces(const char* p, const char* end) {
+  while (p < end && std::isspace(static_cast<unsigned char>(*p)) != 0) ++p;
+  return p;
+}
+
+const char* TokenEnd(const char* p, const char* end) {
+  while (p < end && std::isspace(static_cast<unsigned char>(*p)) == 0) ++p;
+  return p;
+}
+
+bool ParseIntToken(const char* begin, const char* end, int* out) {
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDoubleToken(const char* begin, const char* end, double* out) {
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  // operator>> fails on "inf"/"nan"; from_chars accepts them, so a finite
+  // check keeps the scanner conservative.
+  return ec == std::errc() && ptr == end && std::isfinite(*out);
+}
+
+/// True iff `line` is exactly `<verb> <int> <int>` for the given verb.
+bool ScanVerbIntInt(const std::string& line, const char* expected_verb,
+                    int* i, int* j) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  p = SkipSpaces(p, end);
+  const char* tok = TokenEnd(p, end);
+  if (std::string_view(p, static_cast<size_t>(tok - p)) != expected_verb)
+    return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseIntToken(p, tok, i)) return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseIntToken(p, tok, j)) return false;
+  return SkipSpaces(tok, end) == end;  // No trailing tokens.
+}
+
+/// True iff `line` is exactly `TOPK <int> <double> <int>`.
+bool ScanTopK(const std::string& line, int* i, double* radius_km, int* k) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  p = SkipSpaces(p, end);
+  const char* tok = TokenEnd(p, end);
+  if (std::string_view(p, static_cast<size_t>(tok - p)) != "TOPK")
+    return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseIntToken(p, tok, i)) return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseDoubleToken(p, tok, radius_km)) return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseIntToken(p, tok, k)) return false;
+  return SkipSpaces(tok, end) == end;
+}
+
+bool ScanClassify(const std::string& line, int* i, int* j) {
+  return ScanVerbIntInt(line, "CLASSIFY", i, j);
+}
 
 std::string FormatFloat(double v, int precision) {
   char buf[64];
@@ -33,6 +112,17 @@ std::string HandleClassify(RelationshipServer& server,
          " dist_km=" + FormatFloat(c.distance_km, 3);
 }
 
+std::string FormatTopK(RelationshipServer& server,
+                       const std::vector<RelationshipServer::RelatedPoi>& related) {
+  std::string response = "OK " + std::to_string(related.size());
+  for (const RelationshipServer::RelatedPoi& p : related) {
+    response += " " + std::to_string(p.id) + "," + server.RelationName(p.relation) +
+                "," + FormatFloat(p.score, 6) + "," +
+                FormatFloat(p.distance_km, 3);
+  }
+  return response;
+}
+
 std::string HandleTopK(RelationshipServer& server, std::istringstream& in) {
   int i = 0, k = 0;
   double radius_km = 0.0;
@@ -41,13 +131,7 @@ std::string HandleTopK(RelationshipServer& server, std::istringstream& in) {
   std::vector<RelationshipServer::RelatedPoi> related;
   if (io::Result r = server.TopKRelated(i, radius_km, k, &related); !r)
     return Err(r.error);
-  std::string response = "OK " + std::to_string(related.size());
-  for (const RelationshipServer::RelatedPoi& p : related) {
-    response += " " + std::to_string(p.id) + "," + server.RelationName(p.relation) +
-                "," + FormatFloat(p.score, 6) + "," +
-                FormatFloat(p.distance_km, 3);
-  }
-  return response;
+  return FormatTopK(server, related);
 }
 
 std::string HandleStats(RelationshipServer& server, std::istringstream& in) {
@@ -58,7 +142,22 @@ std::string HandleStats(RelationshipServer& server, std::istringstream& in) {
          " cache_hits=" + std::to_string(s.cache_hits) +
          " cache_misses=" + std::to_string(s.cache_misses) +
          " classify_ms=" + FormatFloat(s.classify_seconds * 1e3, 3) +
-         " topk_ms=" + FormatFloat(s.topk_seconds * 1e3, 3);
+         " topk_ms=" + FormatFloat(s.topk_seconds * 1e3, 3) +
+         " singleflight=" + std::to_string(s.singleflight_waits) +
+         " model_version=" + std::to_string(s.model_version) +
+         " reloads=" + std::to_string(s.reloads);
+}
+
+std::string HandleReload(RelationshipServer& server, std::istringstream& in) {
+  // The path is the rest of the line (it may be absent, never multi-token:
+  // trailing junk is a usage error like everywhere else).
+  std::string path;
+  in >> path;
+  if (HasTrailingTokens(in)) return Err("usage: RELOAD [<path>]");
+  const io::Result r = path.empty() ? server.Reload() : server.Reload(path);
+  if (!r) return Err(r.error);
+  return "OK reloaded model_version=" +
+         std::to_string(server.stats().model_version);
 }
 
 }  // namespace
@@ -71,8 +170,119 @@ std::string HandleRequestLine(RelationshipServer& server,
   if (verb == "CLASSIFY") return HandleClassify(server, in);
   if (verb == "TOPK") return HandleTopK(server, in);
   if (verb == "STATS") return HandleStats(server, in);
+  if (verb == "RELOAD") return HandleReload(server, in);
   return Err("unknown request '" + verb +
-             "' (expected CLASSIFY, TOPK, or STATS)");
+             "' (expected CLASSIFY, TOPK, STATS, or RELOAD)");
+}
+
+std::string BatchKeyForLine(const std::string& line) {
+  int i = 0, j = 0, k = 0;
+  double radius_km = 0.0;
+  if (ScanClassify(line, &i, &j)) return "CLASSIFY";
+  if (ScanTopK(line, &i, &radius_km, &k)) {
+    // %.17g round-trips doubles exactly, so two lines share a key iff
+    // their radii parse to the same value.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "TOPK %.17g %d", radius_km, k);
+    return buf;
+  }
+  return "";
+}
+
+std::vector<std::string> HandleRequestBatch(
+    RelationshipServer& server, const std::vector<std::string>& lines) {
+  std::vector<std::string> responses(lines.size());
+  if (lines.empty()) return responses;
+
+  std::istringstream first(lines[0]);
+  std::string verb;
+  first >> verb;
+
+  if (verb == "CLASSIFY") {
+    // Positions whose lines parsed and passed the range pre-check; every
+    // other line takes the per-line path so its error string is identical.
+    std::vector<size_t> positions;
+    std::vector<std::pair<int, int>> pairs;
+    const int n = server.num_pois();
+    for (size_t p = 0; p < lines.size(); ++p) {
+      int i = 0, j = 0;
+      if (!ScanClassify(lines[p], &i, &j) || i < 0 || i >= n || j < 0 ||
+          j >= n) {
+        responses[p] = HandleRequestLine(server, lines[p]);
+        continue;
+      }
+      positions.push_back(p);
+      pairs.emplace_back(i, j);
+    }
+    if (pairs.empty()) return responses;
+    std::vector<RelationshipServer::Classification> results;
+    if (io::Result r = server.ClassifyBatch(pairs, &results); !r) {
+      // A reload shrank the POI set between the pre-check and the batch
+      // call; the per-line path re-validates against the new model.
+      for (size_t p : positions)
+        responses[p] = HandleRequestLine(server, lines[p]);
+      return responses;
+    }
+    for (size_t x = 0; x < positions.size(); ++x) {
+      const RelationshipServer::Classification& c = results[x];
+      responses[positions[x]] = "OK " + server.RelationName(c.relation) +
+                                " score=" + FormatFloat(c.score, 6) +
+                                " dist_km=" + FormatFloat(c.distance_km, 3);
+    }
+    return responses;
+  }
+
+  if (verb == "TOPK") {
+    std::vector<size_t> positions;
+    std::vector<int> ids;
+    double radius_km = 0.0;
+    int k = 0;
+    bool have_params = false;
+    for (size_t p = 0; p < lines.size(); ++p) {
+      int i = 0, line_k = 0;
+      double line_radius = 0.0;
+      if (!ScanTopK(lines[p], &i, &line_radius, &line_k)) {
+        responses[p] = HandleRequestLine(server, lines[p]);
+        continue;
+      }
+      // The NetServer groups by BatchKeyForLine, so (radius, k) agree
+      // across the batch; handle a mixed group anyway by deferring
+      // stragglers to the per-line path.
+      if (have_params && (line_radius != radius_km || line_k != k)) {
+        responses[p] = HandleRequestLine(server, lines[p]);
+        continue;
+      }
+      radius_km = line_radius;
+      k = line_k;
+      have_params = true;
+      positions.push_back(p);
+      ids.push_back(i);
+    }
+    if (ids.empty()) return responses;
+    std::vector<std::vector<RelationshipServer::RelatedPoi>> outs;
+    std::vector<std::string> errors;
+    if (io::Result r =
+            server.TopKRelatedBatch(ids, radius_km, k, &outs, &errors);
+        !r) {
+      // Bad radius or k: the single-query path emits the same validation
+      // errors, in its own precedence order (id range first).
+      for (size_t p : positions)
+        responses[p] = HandleRequestLine(server, lines[p]);
+      return responses;
+    }
+    for (size_t x = 0; x < positions.size(); ++x) {
+      responses[positions[x]] = errors[x].empty()
+                                    ? FormatTopK(server, outs[x])
+                                    : Err(errors[x]);
+    }
+    return responses;
+  }
+
+  // Not a batchable verb (the NetServer should not get here): answer each
+  // line independently.
+  for (size_t p = 0; p < lines.size(); ++p)
+    responses[p] = HandleRequestLine(server, lines[p]);
+  return responses;
 }
 
 }  // namespace prim::serve

@@ -2,6 +2,7 @@
 #define PRIM_SERVE_PROTOCOL_H_
 
 #include <string>
+#include <vector>
 
 #include "serve/relationship_server.h"
 
@@ -14,6 +15,14 @@ namespace prim::serve {
 //   TOPK <i> <radius_km> <k>   -> OK <n> <id>,<relation>,<score>,<dist_km> ...
 //   STATS                      -> OK classify=<n> topk=<n> cache_hits=<n>
 //                                 cache_misses=<n> classify_ms=<t> topk_ms=<t>
+//                                 singleflight=<n> model_version=<n>
+//                                 reloads=<n>
+//   RELOAD [<path>]            -> OK reloaded model_version=<n>
+//
+// RELOAD atomically swaps the model to the checkpoint at <path> (or
+// re-reads the current checkpoint file when <path> is omitted — the same
+// thing SIGHUP does in prim_serve); in-flight requests finish against the
+// old model, connections are never dropped.
 //
 // Malformed or failing requests answer "ERR <message>"; blank lines answer
 // "" (the caller should skip them). The phi (no-relation) class renders as
@@ -23,6 +32,22 @@ namespace prim::serve {
 /// response line (without a trailing newline).
 std::string HandleRequestLine(RelationshipServer& server,
                               const std::string& line);
+
+/// Coalescing key for NetServer request batching: a non-empty string when
+/// `line` is a request that can be answered as part of a group (every
+/// CLASSIFY shares one key; TOPK requests share a key iff their parsed
+/// (radius, k) agree), empty when the line must be handled alone
+/// (STATS/RELOAD/unknown/unparsable — the per-line path owns their error
+/// strings).
+std::string BatchKeyForLine(const std::string& line);
+
+/// Answers a group of same-key lines (per BatchKeyForLine) in one
+/// RelationshipServer batch call, returning one response per line in
+/// order. Responses are byte-identical to HandleRequestLine's: any line
+/// the batch path cannot serve (parse error, out-of-range id, wholesale
+/// batch failure) falls back to the per-line handler.
+std::vector<std::string> HandleRequestBatch(
+    RelationshipServer& server, const std::vector<std::string>& lines);
 
 }  // namespace prim::serve
 

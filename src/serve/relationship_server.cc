@@ -20,27 +20,35 @@ double Seconds(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+RelationshipServer::RelationshipServer(
+    std::shared_ptr<const ModelSnapshot> snapshot, const Options& options)
+    : options_(options),
+      snapshot_(std::move(snapshot)),
+      topk_cache_(options.cache_capacity) {
+  stats_.model_version = snapshot_->version;
+}
+
 RelationshipServer::RelationshipServer(std::unique_ptr<core::PrimIndex> index,
                                        std::vector<geo::GeoPoint> points,
                                        std::vector<std::string> relation_names,
                                        const Options& options)
-    : index_(std::move(index)),
-      relation_names_(std::move(relation_names)),
-      grid_(points, options.cell_km),
-      options_(options),
-      topk_cache_(options.cache_capacity) {
-  // Missing labels degrade to positional names, never to empty responses.
-  for (int r = static_cast<int>(relation_names_.size());
-       r < index_->num_classes() - 1; ++r) {
-    relation_names_.push_back("rel" + std::to_string(r));
-  }
-}
+    : RelationshipServer(
+          std::make_shared<const ModelSnapshot>(
+              std::unique_ptr<const core::PrimIndex>(std::move(index)),
+              points, std::move(relation_names), options.cell_km,
+              /*map=*/nullptr, /*ver=*/1),
+          options) {}
 
-io::Result RelationshipServer::Load(const std::string& checkpoint_path,
-                                    const Options& options,
-                                    std::unique_ptr<RelationshipServer>* out) {
+io::Result RelationshipServer::LoadSnapshot(
+    const std::string& checkpoint_path, const Options& options,
+    uint64_t version, std::shared_ptr<const ModelSnapshot>* out) {
   io::ModelCheckpoint checkpoint;
-  if (io::Result r = io::LoadModelCheckpoint(checkpoint_path, &checkpoint); !r)
+  if (io::Result r = options.mmap
+                         ? io::LoadModelCheckpointMapped(checkpoint_path,
+                                                         &checkpoint)
+                         : io::LoadModelCheckpoint(checkpoint_path,
+                                                   &checkpoint);
+      !r)
     return r;
   if (checkpoint.index == nullptr)
     return io::Result::Fail("'" + checkpoint_path +
@@ -57,22 +65,103 @@ io::Result RelationshipServer::Load(const std::string& checkpoint_path,
         std::to_string(checkpoint.points.size()) +
         " points but the index was built over " +
         std::to_string(checkpoint.index->num_nodes()) + " nodes");
-  *out = std::make_unique<RelationshipServer>(
-      std::move(checkpoint.index), std::move(checkpoint.points),
-      std::move(checkpoint.relation_names), options);
+  *out = std::make_shared<const ModelSnapshot>(
+      std::unique_ptr<const core::PrimIndex>(std::move(checkpoint.index)),
+      checkpoint.points, std::move(checkpoint.relation_names),
+      options.cell_km, std::move(checkpoint.mapping), version);
   return io::Result::Ok();
 }
 
-const std::string& RelationshipServer::RelationName(int relation) const {
-  if (relation >= 0 && relation < static_cast<int>(relation_names_.size()))
-    return relation_names_[relation];
-  return phi_name_;
+io::Result RelationshipServer::Load(const std::string& checkpoint_path,
+                                    const Options& options,
+                                    std::unique_ptr<RelationshipServer>* out) {
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  if (io::Result r = LoadSnapshot(checkpoint_path, options, /*version=*/1,
+                                  &snapshot);
+      !r)
+    return r;
+  *out = std::unique_ptr<RelationshipServer>(
+      new RelationshipServer(std::move(snapshot), options));
+  MutexLock lock((*out)->mu_);
+  (*out)->checkpoint_path_ = checkpoint_path;
+  return io::Result::Ok();
+}
+
+io::Result RelationshipServer::Reload(const std::string& path) {
+  // One reload at a time: two interleaved load-then-swap sequences could
+  // install the older model last. The load itself runs without mu_, so
+  // requests keep flowing while the new model is read.
+  MutexLock reload_lock(reload_mu_);
+  uint64_t next_version = 0;
+  {
+    MutexLock lock(mu_);
+    next_version = snapshot_->version + 1;
+  }
+  std::shared_ptr<const ModelSnapshot> fresh;
+  if (io::Result r = LoadSnapshot(path, options_, next_version, &fresh); !r)
+    return r;
+
+  MutexLock lock(mu_);
+  snapshot_ = std::move(fresh);
+  checkpoint_path_ = path;
+  // The cache is keyed by (i, radius, k) only — every pre-swap answer is
+  // now stale. Generations invalidate them in O(1); PutAt makes pre-swap
+  // computations that finish after this point drop their insert.
+  topk_cache_.BumpGeneration();
+  // In-flight top-k leaders keep computing against their pinned (old)
+  // snapshot and will answer their current waiters — standard RCU
+  // semantics. Dropping the registry stops *new* arrivals from joining a
+  // stale computation.
+  inflight_.clear();
+  ++stats_.reloads;
+  stats_.model_version = snapshot_->version;
+  return io::Result::Ok();
+}
+
+io::Result RelationshipServer::Reload() {
+  std::string path;
+  {
+    MutexLock lock(mu_);
+    path = checkpoint_path_;
+  }
+  if (path.empty())
+    return io::Result::Fail(
+        "this server was built in memory, not from a checkpoint file — "
+        "nothing to reload");
+  return Reload(path);
+}
+
+std::string RelationshipServer::checkpoint_path() const {
+  MutexLock lock(mu_);
+  return checkpoint_path_;
+}
+
+std::shared_ptr<const RelationshipServer::ModelSnapshot>
+RelationshipServer::Pin() const {
+  MutexLock lock(mu_);
+  return snapshot_;
+}
+
+int RelationshipServer::num_pois() const { return Pin()->grid.num_points(); }
+
+int RelationshipServer::num_relations() const {
+  return Pin()->index->num_classes() - 1;
+}
+
+std::string RelationshipServer::RelationName(int relation) const {
+  const std::shared_ptr<const ModelSnapshot> snap = Pin();
+  if (relation >= 0 &&
+      relation < static_cast<int>(snap->relation_names.size()))
+    return snap->relation_names[relation];
+  return "none";
 }
 
 RelationshipServer::Classification RelationshipServer::ScorePair(
-    int i, int j, double dist_km, float* scratch) const {
-  index_->Query(i, j, static_cast<float>(dist_km), options_.project, scratch);
-  const int num_classes = index_->num_classes();
+    const ModelSnapshot& snap, int i, int j, double dist_km,
+    float* scratch) const {
+  snap.index->Query(i, j, static_cast<float>(dist_km), options_.project,
+                    scratch);
+  const int num_classes = snap.index->num_classes();
   int best = 0;
   for (int c = 1; c < num_classes; ++c)
     if (scratch[c] > scratch[best]) best = c;
@@ -86,13 +175,16 @@ RelationshipServer::Classification RelationshipServer::ScorePair(
 io::Result RelationshipServer::Classify(int i, int j, Classification* out) {
   const auto start = std::chrono::steady_clock::now();
   nn::ScopedOpTimer timer("serve/classify");
-  if (i < 0 || i >= num_pois() || j < 0 || j >= num_pois())
+  const std::shared_ptr<const ModelSnapshot> snap = Pin();
+  const int n = snap->grid.num_points();
+  if (i < 0 || i >= n || j < 0 || j >= n)
     return io::Result::Fail("pair (" + std::to_string(i) + ", " +
                             std::to_string(j) + ") is out of range [0, " +
-                            std::to_string(num_pois()) + ")");
-  std::vector<float> scratch(index_->num_classes());
-  const double dist_km = geo::HaversineKm(grid_.point(i), grid_.point(j));
-  *out = ScorePair(i, j, dist_km, scratch.data());
+                            std::to_string(n) + ")");
+  std::vector<float> scratch(snap->index->num_classes());
+  const double dist_km =
+      geo::HaversineKm(snap->grid.point(i), snap->grid.point(j));
+  *out = ScorePair(*snap, i, j, dist_km, scratch.data());
   MutexLock lock(mu_);
   ++stats_.classify_requests;
   stats_.classify_seconds += Seconds(start);
@@ -104,25 +196,27 @@ io::Result RelationshipServer::ClassifyBatch(
     std::vector<Classification>* out) {
   const auto start = std::chrono::steady_clock::now();
   nn::ScopedOpTimer timer("serve/classify_batch");
+  const std::shared_ptr<const ModelSnapshot> snap = Pin();
+  const int n = snap->grid.num_points();
   for (size_t p = 0; p < pairs.size(); ++p) {
     const auto [i, j] = pairs[p];
-    if (i < 0 || i >= num_pois() || j < 0 || j >= num_pois())
+    if (i < 0 || i >= n || j < 0 || j >= n)
       return io::Result::Fail("pair " + std::to_string(p) + " = (" +
                               std::to_string(i) + ", " + std::to_string(j) +
-                              ") is out of range [0, " +
-                              std::to_string(num_pois()) + ")");
+                              ") is out of range [0, " + std::to_string(n) +
+                              ")");
   }
   out->resize(pairs.size());
   ParallelFor(static_cast<int64_t>(pairs.size()),
               [&](int64_t begin, int64_t end) {
                 AuditWriteRange(out->data(), begin, end);
-                std::vector<float> scratch(index_->num_classes());
+                std::vector<float> scratch(snap->index->num_classes());
                 for (int64_t p = begin; p < end; ++p) {
                   const auto [i, j] = pairs[static_cast<size_t>(p)];
-                  const double dist_km =
-                      geo::HaversineKm(grid_.point(i), grid_.point(j));
+                  const double dist_km = geo::HaversineKm(
+                      snap->grid.point(i), snap->grid.point(j));
                   (*out)[static_cast<size_t>(p)] =
-                      ScorePair(i, j, dist_km, scratch.data());
+                      ScorePair(*snap, i, j, dist_km, scratch.data());
                 }
               });
   MutexLock lock(mu_);
@@ -131,51 +225,24 @@ io::Result RelationshipServer::ClassifyBatch(
   return io::Result::Ok();
 }
 
-io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
-                                           std::vector<RelatedPoi>* out) {
-  const auto start = std::chrono::steady_clock::now();
-  nn::ScopedOpTimer timer("serve/topk");
-  if (i < 0 || i >= num_pois())
-    return io::Result::Fail("POI " + std::to_string(i) +
-                            " is out of range [0, " +
-                            std::to_string(num_pois()) + ")");
-  // Reject non-finite before the range check: NaN compares false against
-  // everything, so it would sail through `<= 0.0` into the grid query.
-  if (!std::isfinite(radius_km))
-    return io::Result::Fail("radius must be finite, got " +
-                            std::to_string(radius_km));
-  if (radius_km <= 0.0)
-    return io::Result::Fail("radius must be positive, got " +
-                            std::to_string(radius_km));
-  if (k <= 0)
-    return io::Result::Fail("k must be positive, got " + std::to_string(k));
-
-  const TopKKey key{i, radius_km, k};
-  {
-    MutexLock lock(mu_);
-    if (topk_cache_.Get(key, out)) {
-      ++stats_.topk_requests;
-      stats_.topk_seconds += Seconds(start);
-      return io::Result::Ok();
-    }
-  }
-
-  const std::vector<int> candidates = grid_.NeighborsOf(i, radius_km);
+std::vector<RelationshipServer::RelatedPoi> RelationshipServer::ComputeTopK(
+    const ModelSnapshot& snap, int i, double radius_km, int k) const {
+  const std::vector<int> candidates = snap.grid.NeighborsOf(i, radius_km);
   std::vector<Classification> scored(candidates.size());
   ParallelFor(static_cast<int64_t>(candidates.size()),
               [&](int64_t begin, int64_t end) {
                 AuditWriteRange(scored.data(), begin, end);
-                std::vector<float> scratch(index_->num_classes());
+                std::vector<float> scratch(snap.index->num_classes());
                 for (int64_t c = begin; c < end; ++c) {
                   const int j = candidates[static_cast<size_t>(c)];
-                  const double dist_km =
-                      geo::HaversineKm(grid_.point(i), grid_.point(j));
+                  const double dist_km = geo::HaversineKm(snap.grid.point(i),
+                                                          snap.grid.point(j));
                   scored[static_cast<size_t>(c)] =
-                      ScorePair(i, j, dist_km, scratch.data());
+                      ScorePair(snap, i, j, dist_km, scratch.data());
                 }
               });
 
-  const int phi = index_->num_classes() - 1;
+  const int phi = snap.index->num_classes() - 1;
   std::vector<RelatedPoi> related;
   for (size_t c = 0; c < candidates.size(); ++c) {
     if (scored[c].relation == phi) continue;
@@ -190,11 +257,217 @@ io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
               return a.id < b.id;
             });
   if (static_cast<int>(related.size()) > k) related.resize(k);
+  return related;
+}
+
+io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
+                                           std::vector<RelatedPoi>* out) {
+  const auto start = std::chrono::steady_clock::now();
+  nn::ScopedOpTimer timer("serve/topk");
+  const std::shared_ptr<const ModelSnapshot> snap = Pin();
+  if (i < 0 || i >= snap->grid.num_points())
+    return io::Result::Fail("POI " + std::to_string(i) +
+                            " is out of range [0, " +
+                            std::to_string(snap->grid.num_points()) + ")");
+  // Reject non-finite before the range check: NaN compares false against
+  // everything, so it would sail through `<= 0.0` into the grid query.
+  if (!std::isfinite(radius_km))
+    return io::Result::Fail("radius must be finite, got " +
+                            std::to_string(radius_km));
+  if (radius_km <= 0.0)
+    return io::Result::Fail("radius must be positive, got " +
+                            std::to_string(radius_km));
+  if (k <= 0)
+    return io::Result::Fail("k must be positive, got " + std::to_string(k));
+
+  const TopKKey key{i, radius_km, k};
+  std::shared_ptr<InFlightTopK> flight;
+  uint64_t generation = 0;
+  {
+    MutexLock lock(mu_);
+    // Join an in-flight computation for the same key *before* probing the
+    // cache: a thundering herd then costs one cache miss (the leader's),
+    // not one per waiter — and exactly one scoring pass.
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+      ++stats_.singleflight_waits;
+      while (!flight->done) flight->cv.Wait(mu_);
+      ++stats_.topk_requests;
+      stats_.topk_seconds += Seconds(start);
+      if (!flight->ok) return io::Result::Fail(flight->error);
+      *out = flight->result;
+      return io::Result::Ok();
+    }
+    if (topk_cache_.Get(key, out)) {
+      ++stats_.topk_requests;
+      stats_.topk_seconds += Seconds(start);
+      return io::Result::Ok();
+    }
+    flight = std::make_shared<InFlightTopK>();
+    inflight_[key] = flight;
+    generation = topk_cache_.generation();
+  }
+
+  if (options_.topk_compute_hook) options_.topk_compute_hook();
+  std::vector<RelatedPoi> related = ComputeTopK(*snap, i, radius_km, k);
   *out = related;
 
   MutexLock lock(mu_);
-  topk_cache_.Put(key, std::move(related));
+  flight->done = true;
+  flight->ok = true;
+  flight->result = *out;
+  flight->cv.NotifyAll();
+  // A reload may have cleared the registry (and replaced this key) while
+  // we computed; only erase our own registration.
+  if (auto it = inflight_.find(key);
+      it != inflight_.end() && it->second == flight)
+    inflight_.erase(it);
+  // No-op if a reload bumped the generation mid-compute: this answer
+  // describes the retired model.
+  topk_cache_.PutAt(key, std::move(related), generation);
   ++stats_.topk_requests;
+  stats_.topk_seconds += Seconds(start);
+  return io::Result::Ok();
+}
+
+io::Result RelationshipServer::TopKRelatedBatch(
+    const std::vector<int>& ids, double radius_km, int k,
+    std::vector<std::vector<RelatedPoi>>* outs,
+    std::vector<std::string>* errors) {
+  const auto start = std::chrono::steady_clock::now();
+  nn::ScopedOpTimer timer("serve/topk_batch");
+  if (!std::isfinite(radius_km))
+    return io::Result::Fail("radius must be finite, got " +
+                            std::to_string(radius_km));
+  if (radius_km <= 0.0)
+    return io::Result::Fail("radius must be positive, got " +
+                            std::to_string(radius_km));
+  if (k <= 0)
+    return io::Result::Fail("k must be positive, got " + std::to_string(k));
+
+  const std::shared_ptr<const ModelSnapshot> snap = Pin();
+  const int n = snap->grid.num_points();
+  outs->assign(ids.size(), {});
+  errors->assign(ids.size(), {});
+
+  // Positions grouped by distinct center id (a coalesced batch can carry
+  // duplicate requests); one cache probe / computation per distinct id.
+  std::unordered_map<int, std::vector<size_t>> positions_by_id;
+  std::vector<int> misses;
+  std::vector<std::pair<std::shared_ptr<InFlightTopK>, std::vector<size_t>>>
+      joined;
+  std::unordered_map<int, std::shared_ptr<InFlightTopK>> owned;
+  uint64_t generation = 0;
+  uint64_t serviced = 0;
+  {
+    MutexLock lock(mu_);
+    for (size_t p = 0; p < ids.size(); ++p) {
+      const int i = ids[p];
+      if (i < 0 || i >= n) {
+        (*errors)[p] = "POI " + std::to_string(i) + " is out of range [0, " +
+                       std::to_string(n) + ")";
+        continue;
+      }
+      ++serviced;
+      positions_by_id[i].push_back(p);
+    }
+    for (auto& [i, positions] : positions_by_id) {
+      const TopKKey key{i, radius_km, k};
+      if (auto it = inflight_.find(key); it != inflight_.end()) {
+        stats_.singleflight_waits += positions.size();
+        joined.emplace_back(it->second, positions);
+        continue;
+      }
+      std::vector<RelatedPoi> cached;
+      if (topk_cache_.Get(key, &cached)) {
+        for (size_t p : positions) (*outs)[p] = cached;
+        continue;
+      }
+      auto flight = std::make_shared<InFlightTopK>();
+      inflight_[key] = flight;
+      owned[i] = flight;
+      misses.push_back(i);
+    }
+    generation = topk_cache_.generation();
+  }
+
+  if (!misses.empty()) {
+    if (options_.topk_compute_hook) options_.topk_compute_hook();
+    // One fused kernel over the concatenated candidate lists of every
+    // missing center: the batch pays one ParallelFor dispatch instead of
+    // one per center.
+    std::sort(misses.begin(), misses.end());  // Deterministic order.
+    std::vector<int> flat_centers, flat_candidates;
+    std::vector<size_t> offsets(misses.size() + 1, 0);
+    for (size_t m = 0; m < misses.size(); ++m) {
+      const std::vector<int> cand =
+          snap->grid.NeighborsOf(misses[m], radius_km);
+      flat_candidates.insert(flat_candidates.end(), cand.begin(), cand.end());
+      flat_centers.insert(flat_centers.end(), cand.size(), misses[m]);
+      offsets[m + 1] = flat_candidates.size();
+    }
+    std::vector<Classification> scored(flat_candidates.size());
+    ParallelFor(static_cast<int64_t>(flat_candidates.size()),
+                [&](int64_t begin, int64_t end) {
+                  AuditWriteRange(scored.data(), begin, end);
+                  std::vector<float> scratch(snap->index->num_classes());
+                  for (int64_t c = begin; c < end; ++c) {
+                    const int i = flat_centers[static_cast<size_t>(c)];
+                    const int j = flat_candidates[static_cast<size_t>(c)];
+                    const double dist_km = geo::HaversineKm(
+                        snap->grid.point(i), snap->grid.point(j));
+                    scored[static_cast<size_t>(c)] =
+                        ScorePair(*snap, i, j, dist_km, scratch.data());
+                  }
+                });
+
+    const int phi = snap->index->num_classes() - 1;
+    MutexLock lock(mu_);
+    for (size_t m = 0; m < misses.size(); ++m) {
+      const int i = misses[m];
+      std::vector<RelatedPoi> related;
+      for (size_t c = offsets[m]; c < offsets[m + 1]; ++c) {
+        if (scored[c].relation == phi) continue;
+        related.push_back({flat_candidates[c], scored[c].relation,
+                           scored[c].score, scored[c].distance_km});
+      }
+      std::sort(related.begin(), related.end(),
+                [](const RelatedPoi& a, const RelatedPoi& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.id < b.id;
+                });
+      if (static_cast<int>(related.size()) > k) related.resize(k);
+
+      for (size_t p : positions_by_id[i]) (*outs)[p] = related;
+      const std::shared_ptr<InFlightTopK>& flight = owned[i];
+      flight->done = true;
+      flight->ok = true;
+      flight->result = related;
+      flight->cv.NotifyAll();
+      const TopKKey key{i, radius_km, k};
+      if (auto it = inflight_.find(key);
+          it != inflight_.end() && it->second == flight)
+        inflight_.erase(it);
+      topk_cache_.PutAt(key, std::move(related), generation);
+    }
+  }
+
+  if (!joined.empty()) {
+    MutexLock lock(mu_);
+    for (auto& [flight, positions] : joined) {
+      while (!flight->done) flight->cv.Wait(mu_);
+      for (size_t p : positions) {
+        if (flight->ok)
+          (*outs)[p] = flight->result;
+        else
+          (*errors)[p] = flight->error;
+      }
+    }
+  }
+
+  MutexLock lock(mu_);
+  stats_.topk_requests += serviced;
   stats_.topk_seconds += Seconds(start);
   return io::Result::Ok();
 }
@@ -204,12 +477,15 @@ RelationshipServer::Stats RelationshipServer::stats() const {
   Stats s = stats_;
   s.cache_hits = topk_cache_.hits();
   s.cache_misses = topk_cache_.misses();
+  s.model_version = snapshot_->version;
   return s;
 }
 
 void RelationshipServer::ResetStats() {
   MutexLock lock(mu_);
+  const uint64_t version = stats_.model_version;
   stats_ = Stats();
+  stats_.model_version = version;
   topk_cache_.Clear();
 }
 

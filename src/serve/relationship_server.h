@@ -2,8 +2,11 @@
 #define PRIM_SERVE_RELATIONSHIP_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -22,6 +25,14 @@ namespace prim::serve {
 /// relation names for human-readable responses. The last index class is
 /// the non-relation phi; a candidate counts as "related" only when some
 /// real relation outscores phi.
+///
+/// The model state lives behind an RCU-style snapshot: every request pins
+/// the current std::shared_ptr<const ModelSnapshot> once, then runs
+/// entirely against that immutable snapshot. Reload() builds a replacement
+/// snapshot off to the side and swaps the pointer under the mutex, so a
+/// model swap never blocks or drops in-flight requests — they simply
+/// finish against the snapshot they pinned, and its memory (including any
+/// mmap backing) is released when the last pin drops.
 class RelationshipServer {
  public:
   struct Options {
@@ -31,6 +42,15 @@ class RelationshipServer {
     size_t cache_capacity = 1024;
     /// Apply the distance-bin hyperplane projection (Eq. 11) when scoring.
     bool project = true;
+    /// mmap checkpoints instead of reading them into memory: the index's
+    /// float tensors are used in place (zero-copy), so a reload's resident
+    /// cost is one page-cache pass instead of a full model copy.
+    bool mmap = true;
+    /// Test seam: called by a top-k cache-miss leader after it registered
+    /// as in-flight and before it scores candidates. Lets tests hold the
+    /// computation open to observe single-flight behaviour. Not called on
+    /// the hot path when unset.
+    std::function<void()> topk_compute_hook;
   };
 
   /// Result of classifying one (i, j) pair.
@@ -55,6 +75,42 @@ class RelationshipServer {
     double topk_seconds = 0.0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    /// Requests that joined another request's in-flight top-k computation
+    /// instead of recomputing it (single-flight).
+    uint64_t singleflight_waits = 0;
+    /// Monotonic snapshot id: 1 for the initially loaded model, +1 per
+    /// successful Reload().
+    uint64_t model_version = 0;
+    /// Successful Reload() calls.
+    uint64_t reloads = 0;
+  };
+
+  /// One immutable model generation. Requests pin it with a shared_ptr;
+  /// `mapping` keeps the checkpoint mmap alive while `index` views float
+  /// data inside it (null for copied / in-memory models).
+  struct ModelSnapshot {
+    ModelSnapshot(std::unique_ptr<const core::PrimIndex> idx,
+                  const std::vector<geo::GeoPoint>& points,
+                  std::vector<std::string> names, double cell_km,
+                  std::shared_ptr<io::MappedFile> map, uint64_t ver)
+        : index(std::move(idx)),
+          relation_names(std::move(names)),
+          grid(points, cell_km),
+          mapping(std::move(map)),
+          version(ver) {
+      // Missing labels degrade to positional names, never to empty
+      // responses.
+      for (int r = static_cast<int>(relation_names.size());
+           r < index->num_classes() - 1; ++r) {
+        relation_names.push_back("rel" + std::to_string(r));
+      }
+    }
+
+    std::unique_ptr<const core::PrimIndex> index;
+    std::vector<std::string> relation_names;
+    geo::GridIndex grid;
+    std::shared_ptr<io::MappedFile> mapping;
+    uint64_t version = 0;
   };
 
   /// Builds a server from an already-loaded serving snapshot. `points`
@@ -70,6 +126,21 @@ class RelationshipServer {
                          const Options& options,
                          std::unique_ptr<RelationshipServer>* out);
 
+  /// Atomically replaces the model with the checkpoint at `path` (same
+  /// validation as Load). In-flight requests finish against the snapshot
+  /// they pinned; new requests see the new model. The top-k cache is
+  /// generation-invalidated so no post-swap request is answered from
+  /// pre-swap results. Concurrent reloads are serialized; on failure the
+  /// current model stays installed and serving.
+  io::Result Reload(const std::string& path)
+      PRIM_EXCLUDES(mu_) PRIM_EXCLUDES(reload_mu_);
+  /// Reload() from the path of the last successful Load/Reload — the
+  /// SIGHUP behaviour (re-read the checkpoint file in place).
+  io::Result Reload() PRIM_EXCLUDES(mu_) PRIM_EXCLUDES(reload_mu_);
+  /// The checkpoint behind the current model; empty for servers built from
+  /// parts (no file to re-read — Reload() fails for them).
+  std::string checkpoint_path() const PRIM_EXCLUDES(mu_);
+
   /// Classifies the pair (i, j). Fails on out-of-range ids.
   io::Result Classify(int i, int j, Classification* out) PRIM_EXCLUDES(mu_);
 
@@ -81,30 +152,39 @@ class RelationshipServer {
 
   /// The up-to-k POIs within `radius_km` of POI `i` that the model relates
   /// to it (some real relation outscores phi), best score first. Answers
-  /// are cached by (i, radius_km, k).
+  /// are cached by (i, radius_km, k); concurrent misses for the same key
+  /// are computed once (single-flight).
   io::Result TopKRelated(int i, double radius_km, int k,
                          std::vector<RelatedPoi>* out) PRIM_EXCLUDES(mu_);
 
-  int num_pois() const { return grid_.num_points(); }
-  int num_relations() const { return index_->num_classes() - 1; }
+  /// Batched TopKRelated over many center POIs sharing one (radius, k):
+  /// cache misses are scored in a single fused kernel over the
+  /// concatenated candidate lists. Wholesale failure only for a bad radius
+  /// or k (same messages as TopKRelated); a per-id failure sets
+  /// (*errors)[p] (same text as the single-query path) and leaves
+  /// (*outs)[p] empty. Both vectors are resized to `ids.size()`; an empty
+  /// (*errors)[p] means (*outs)[p] is a valid answer.
+  io::Result TopKRelatedBatch(const std::vector<int>& ids, double radius_km,
+                              int k, std::vector<std::vector<RelatedPoi>>* outs,
+                              std::vector<std::string>* errors)
+      PRIM_EXCLUDES(mu_);
+
+  int num_pois() const PRIM_EXCLUDES(mu_);
+  int num_relations() const PRIM_EXCLUDES(mu_);
   /// Name for a relation id out of Classification/RelatedPoi; the phi
-  /// class renders as "none".
-  const std::string& RelationName(int relation) const;
+  /// class renders as "none". By value: the name lives in a model
+  /// snapshot that a reload may retire at any time.
+  std::string RelationName(int relation) const PRIM_EXCLUDES(mu_);
 
   Stats stats() const PRIM_EXCLUDES(mu_);
   void ResetStats() PRIM_EXCLUDES(mu_);
 
+  /// Pins the current model snapshot (for callers that need a consistent
+  /// view across several calls, e.g. resolving RelationName against the
+  /// same model that scored).
+  std::shared_ptr<const ModelSnapshot> Pin() const PRIM_EXCLUDES(mu_);
+
  private:
-  /// Scores i against j (distance dist_km): best real relation vs phi.
-  Classification ScorePair(int i, int j, double dist_km,
-                           float* scratch) const;
-
-  std::unique_ptr<core::PrimIndex> index_;
-  std::vector<std::string> relation_names_;
-  std::string phi_name_ = "none";
-  geo::GridIndex grid_;
-  Options options_;
-
   struct TopKKey {
     int i;
     double radius_km;
@@ -120,13 +200,54 @@ class RelationshipServer {
     }
   };
 
-  /// Guards the result cache and the request counters; the model state
-  /// (index_, grid_, names) is immutable after construction and needs no
-  /// lock.
+  /// Rendezvous for one in-flight top-k computation. The leader fills
+  /// result/error and flips done under mu_; followers wait on cv. Held by
+  /// shared_ptr so a reload can drop the registry without invalidating
+  /// waiters.
+  struct InFlightTopK {
+    CondVar cv;
+    bool done = false;
+    bool ok = false;
+    std::string error;
+    std::vector<RelatedPoi> result;
+  };
+
+  explicit RelationshipServer(std::shared_ptr<const ModelSnapshot> snapshot,
+                              const Options& options);
+
+  /// Loads + validates a serving checkpoint into a snapshot (version
+  /// `version`), honouring options_.mmap.
+  static io::Result LoadSnapshot(const std::string& checkpoint_path,
+                                 const Options& options, uint64_t version,
+                                 std::shared_ptr<const ModelSnapshot>* out);
+
+  /// Scores i against j (distance dist_km): best real relation vs phi.
+  Classification ScorePair(const ModelSnapshot& snap, int i, int j,
+                           double dist_km, float* scratch) const;
+
+  /// The top-k computation body (candidates → scored → filtered → sorted →
+  /// truncated) against a pinned snapshot. No locks; no caching.
+  std::vector<RelatedPoi> ComputeTopK(const ModelSnapshot& snap, int i,
+                                      double radius_km, int k) const;
+
+  Options options_;
+
+  /// Guards the snapshot pointer, the result cache, the single-flight
+  /// registry, and the request counters. Never held across model loading
+  /// or scoring.
   mutable Mutex mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_ PRIM_GUARDED_BY(mu_);
+  std::string checkpoint_path_ PRIM_GUARDED_BY(mu_);
   LruCache<TopKKey, std::vector<RelatedPoi>, TopKKeyHash> topk_cache_
       PRIM_GUARDED_BY(mu_);
+  std::unordered_map<TopKKey, std::shared_ptr<InFlightTopK>, TopKKeyHash>
+      inflight_ PRIM_GUARDED_BY(mu_);
   Stats stats_ PRIM_GUARDED_BY(mu_);
+
+  /// Serializes Reload() calls so two concurrent reloads cannot interleave
+  /// their load-then-swap sequences (last-swap-wins would otherwise
+  /// install the older model). Acquired before, never inside, mu_.
+  Mutex reload_mu_ PRIM_ACQUIRED_BEFORE(mu_);
 };
 
 }  // namespace prim::serve

@@ -146,6 +146,57 @@ TEST(CheckpointTest, EmptyFileFailsGracefully) {
   EXPECT_NE(r.error.find("too short"), std::string::npos) << r.error;
 }
 
+// --- Mapped readers --------------------------------------------------------
+
+TEST(CheckpointTest, OpenMappedRoundTripsSections) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_mmap_roundtrip.bin");
+  CheckpointReader reader;
+  ASSERT_TRUE(CheckpointReader::OpenMapped(path, &reader).ok);
+  ASSERT_NE(reader.mapping(), nullptr);
+  EXPECT_EQ(reader.SectionNames(),
+            (std::vector<std::string>{"params", "labels"}));
+  // The zero-copy view and the copying Read agree on the payload bytes.
+  CheckpointReader::SectionView view;
+  ASSERT_TRUE(reader.ReadView("params", &view).ok);
+  ASSERT_EQ(view.size, 8u);
+  EXPECT_EQ(std::vector<uint8_t>(view.data, view.data + view.size),
+            (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(reader.Read("labels", &payload).ok);
+  EXPECT_EQ(payload, (std::vector<uint8_t>{9, 10}));
+}
+
+TEST(CheckpointTest, MappedSectionPayloadsAreAligned) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_mmap_aligned.bin");
+  CheckpointReader reader;
+  ASSERT_TRUE(CheckpointReader::OpenMapped(path, &reader).ok);
+  // The v2 layout pads each payload to a kSectionAlignment file offset;
+  // mmap bases are page-aligned, so the in-memory pointers inherit it.
+  // This is what lets float tensors be used in place.
+  for (const std::string& name : reader.SectionNames()) {
+    CheckpointReader::SectionView view;
+    ASSERT_TRUE(reader.ReadView(name, &view).ok);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(view.data) % kSectionAlignment, 0u)
+        << name;
+  }
+}
+
+TEST(CheckpointTest, MappedReaderCatchesCrcDamage) {
+  const std::string path = MakeTwoSectionCheckpoint("ckpt_mmap_crc.bin");
+  std::vector<uint8_t> bytes = ReadFile(path);
+  bytes.back() ^= 0xFF;  // Last payload byte belongs to section "labels".
+  WriteFile(path, bytes);
+  CheckpointReader reader;
+  ASSERT_TRUE(CheckpointReader::OpenMapped(path, &reader).ok);
+  CheckpointReader::SectionView view;
+  EXPECT_TRUE(reader.ReadView("params", &view).ok);  // Undamaged section.
+  const Result r = reader.ReadView("labels", &view);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("CRC mismatch in section 'labels'"),
+            std::string::npos)
+      << r.error;
+}
+
 TEST(Crc32Test, MatchesKnownVector) {
   // IEEE CRC-32 of "123456789" is the classic check value.
   EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
@@ -263,6 +314,56 @@ TEST(ModelCheckpointTest, PrimIndexRoundTripIsBitwise) {
   EXPECT_EQ(loaded.points[0].lat, city.pois[0].location.lat);
   ASSERT_TRUE(loaded.has_config);
   EXPECT_EQ(loaded.config.bin_edges_km, config.prim.bin_edges_km);
+}
+
+TEST(ModelCheckpointTest, MappedLoadIsZeroCopyAndBitwiseIdentical) {
+  data::PoiDataset city = prim::testing::TinyCity();
+  train::ExperimentConfig config = prim::testing::TinyExperimentConfig();
+  config.trainer.epochs = 8;
+  config.trainer.verbose = false;
+  train::ExperimentData data = train::PrepareExperiment(city, 0.6, config);
+  Rng rng(1);
+  core::PrimModel model(data.ctx, config.prim, rng);
+  train::Trainer trainer(model, data.split.train, *data.full_graph,
+                         config.trainer);
+  trainer.Fit(nullptr);
+  core::PrimIndex index = core::PrimIndex::Build(model);
+  const std::string path = TempPath("ckpt_prim_index_mmap.bin");
+  ASSERT_TRUE(
+      SaveTrainedModel(path, model, "PRIM", &config.prim, &index, city).ok);
+
+  ModelCheckpoint copied, mapped;
+  ASSERT_TRUE(LoadModelCheckpoint(path, &copied).ok);
+  ASSERT_TRUE(LoadModelCheckpointMapped(path, &mapped).ok);
+  ASSERT_NE(copied.index, nullptr);
+  ASSERT_NE(mapped.index, nullptr);
+
+  // The copying path materialises its own buffers; the mapped path views
+  // the checkpoint's mmap and pins it via `mapping`.
+  EXPECT_TRUE(copied.index->owns_data());
+  EXPECT_EQ(copied.mapping, nullptr);
+  EXPECT_FALSE(mapped.index->owns_data());
+  ASSERT_NE(mapped.mapping, nullptr);
+
+  // Both answer bitwise identically to the in-memory index.
+  std::vector<float> scores_want(index.num_classes());
+  std::vector<float> scores_got(index.num_classes());
+  for (int q = 0; q < 300; ++q) {
+    const int i = q * 131 % city.num_pois();
+    const int j = (q * 257 + 5) % city.num_pois();
+    const float km = static_cast<float>(city.DistanceKm(i, j));
+    EXPECT_EQ(mapped.index->PredictRelation(i, j, km),
+              index.PredictRelation(i, j, km));
+    index.Query(i, j, km, true, scores_want.data());
+    mapped.index->Query(i, j, km, true, scores_got.data());
+    EXPECT_EQ(scores_want, scores_got) << "pair (" << i << ", " << j << ")";
+    copied.index->Query(i, j, km, true, scores_got.data());
+    EXPECT_EQ(scores_want, scores_got) << "pair (" << i << ", " << j << ")";
+  }
+  // The sidecar sections load identically on both paths.
+  EXPECT_EQ(mapped.meta.at("model"), "PRIM");
+  EXPECT_EQ(mapped.relation_names, copied.relation_names);
+  ASSERT_EQ(mapped.points.size(), copied.points.size());
 }
 
 }  // namespace

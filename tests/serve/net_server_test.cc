@@ -293,6 +293,53 @@ TEST(NetServerTest, OversizedLineIsRejectedAndConnectionClosed) {
   server.Stop();
 }
 
+// --- Fd hygiene ------------------------------------------------------------
+
+/// Number of open file descriptors, via /proc/self/fd. The directory
+/// iterator itself holds one fd while counting, but it does so on every
+/// call, so comparisons between two counts are exact.
+int CountOpenFds() {
+  int count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++count;
+  return count;
+}
+
+// Regression test: a failed Start() (here: a bind conflict) used to leak
+// the wake-pipe fds it had already created — two fds per retry, enough to
+// exhaust the fd table under a supervisor that retries a busy port.
+TEST(NetServerTest, FailedStartLeaksNoFds) {
+  NetServer occupant([](const std::string&) { return std::string("OK"); },
+                     NetServerOptions{});
+  ASSERT_TRUE(occupant.Start().ok);
+  const int baseline = CountOpenFds();
+
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    NetServerOptions clash;
+    clash.port = occupant.port();
+    NetServer loser([](const std::string&) { return std::string("OK"); },
+                    clash);
+    ASSERT_FALSE(loser.Start().ok);
+    EXPECT_EQ(CountOpenFds(), baseline) << "attempt " << attempt;
+  }
+
+  // After the failures, a Start() on a free port still works — and its
+  // Stop() releases everything it opened.
+  NetServer winner([](const std::string& line) { return "OK " + line; },
+                   NetServerOptions{});
+  ASSERT_TRUE(winner.Start().ok);
+  TestClient client(winner.port());
+  ASSERT_TRUE(client.SendLine("ping"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK ping");
+  client.Close();
+  winner.Stop();
+  EXPECT_TRUE(WaitUntil([&] { return CountOpenFds() == baseline; }));
+  occupant.Stop();
+}
+
 // --- Backpressure and deadlines -------------------------------------------
 
 TEST(NetServerTest, SaturatedQueueAnswersErrBusy) {
@@ -324,9 +371,10 @@ TEST(NetServerTest, SaturatedQueueAnswersErrBusy) {
   ASSERT_TRUE(queued.ReadLine(&line));
   EXPECT_EQ(line, "OK queued");  // The admitted request was never dropped.
 
+  // Workers answer before bookkeeping, so wait for the counters to land.
+  ASSERT_TRUE(WaitUntil([&] { return server.stats().requests_handled == 2; }));
   const NetServer::Stats stats = server.stats();
   EXPECT_EQ(stats.busy_rejected, 1u);
-  EXPECT_EQ(stats.requests_handled, 2u);
   EXPECT_EQ(stats.queue_depth, 0u);
   server.Stop();
 }
@@ -569,6 +617,10 @@ TEST(NetServerProtocolTest, StatsResponseCarriesNetworkFields) {
   ASSERT_TRUE(client.ReadLine(&line));
   ASSERT_TRUE(client.SendLine("TOPK 0 1.5 3"));
   ASSERT_TRUE(client.ReadLine(&line));
+  // Workers answer before bookkeeping; the latency records land in the same
+  // stats_mu_ critical section as requests_handled, so once the count is
+  // visible the percentiles below are too.
+  ASSERT_TRUE(WaitUntil([&] { return server.stats().requests_handled == 2; }));
   ASSERT_TRUE(client.SendLine("STATS"));
   ASSERT_TRUE(client.ReadLine(&line));
   EXPECT_EQ(line.rfind("OK classify=", 0), 0u) << line;
@@ -582,6 +634,193 @@ TEST(NetServerProtocolTest, StatsResponseCarriesNetworkFields) {
   EXPECT_NE(line.find(" classify_p99_ms="), std::string::npos) << line;
   EXPECT_NE(line.find(" topk_p50_ms="), std::string::npos) << line;
   server.Stop();
+}
+
+// Regression test: RecordLatency caps the per-verb map at 8 entries, and a
+// client opening with 8 junk verbs used to claim every slot — permanently
+// pooling CLASSIFY/TOPK/STATS latency under "other". The serving verbs are
+// now pre-seeded at construction, so the cap can only ever bite unknowns.
+TEST(NetServerProtocolTest, JunkVerbsCannotDisplaceServingVerbLatencies) {
+  NetFixture& f = Fixture();
+  NetServer server(
+      [&f](const std::string& line) {
+        return HandleRequestLine(*f.server, line);
+      },
+      NetServerOptions{});
+  ASSERT_TRUE(server.Start().ok);
+  TestClient client(server.port());
+  std::string line;
+  for (int v = 0; v < 8; ++v) {
+    ASSERT_TRUE(client.SendLine("JUNK" + std::to_string(v) + " 1 2"));
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line.rfind("ERR unknown request", 0), 0u) << line;
+  }
+  ASSERT_TRUE(client.SendLine("CLASSIFY 0 1"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(client.SendLine("TOPK 0 1.5 3"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  // See StatsResponseCarriesNetworkFields: wait for the bookkeeping that
+  // trails the answers before asking STATS to report it.
+  ASSERT_TRUE(
+      WaitUntil([&] { return server.stats().requests_handled == 10; }));
+  ASSERT_TRUE(client.SendLine("STATS"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  // The serving verbs' percentiles survived the 8 junk verbs.
+  EXPECT_NE(line.find(" classify_p50_ms="), std::string::npos) << line;
+  EXPECT_NE(line.find(" topk_p50_ms="), std::string::npos) << line;
+  server.Stop();
+}
+
+// --- Request coalescing ----------------------------------------------------
+
+// Deterministic batch formation: park the single worker, queue four
+// same-key requests behind it, and verify they are answered by one
+// batch-handler call (with per-request responses intact).
+TEST(NetServerTest, QueuedSameKeyRequestsCoalesceIntoOneBatch) {
+  BlockingHandler blocking;
+  NetServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 16;
+  options.deadline_ms = 0;
+  NetServer server(blocking.AsHandler(), options);
+  std::atomic<int> batch_calls{0};
+  server.SetBatchHandler(
+      [](const std::string& line) {
+        // Only "B ..." lines are batchable; BLOCK stays keyless.
+        return line.rfind("B ", 0) == 0 ? std::string("B") : std::string();
+      },
+      [&batch_calls](const std::vector<std::string>& lines) {
+        ++batch_calls;
+        std::vector<std::string> responses;
+        for (const std::string& line : lines)
+          responses.push_back("OK " + line);  // Identical to the LineHandler.
+        return responses;
+      });
+  ASSERT_TRUE(server.Start().ok);
+
+  TestClient holder(server.port());
+  ASSERT_TRUE(holder.SendLine("BLOCK"));
+  ASSERT_TRUE(blocking.WaitForExecuting(1));  // The only worker is parked.
+
+  const int group = 4;
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (int c = 0; c < group; ++c) {
+    clients.push_back(std::make_unique<TestClient>(server.port()));
+    ASSERT_TRUE(clients[c]->SendLine("B " + std::to_string(c)));
+  }
+  ASSERT_TRUE(WaitUntil([&] { return server.stats().queue_depth == group; }));
+  blocking.Release();
+
+  std::string line;
+  ASSERT_TRUE(holder.ReadLine(&line));
+  EXPECT_EQ(line, "OK blocked");
+  for (int c = 0; c < group; ++c) {
+    ASSERT_TRUE(clients[c]->ReadLine(&line)) << c;
+    EXPECT_EQ(line, "OK B " + std::to_string(c)) << c;
+  }
+  EXPECT_EQ(batch_calls.load(), 1);  // One call answered the whole group.
+  // Workers answer before bookkeeping, so wait for the counters to land.
+  ASSERT_TRUE(WaitUntil([&] {
+    return server.stats().requests_handled ==
+           static_cast<uint64_t>(group + 1);
+  }));
+  const NetServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.batches_coalesced, 1u);
+  EXPECT_EQ(stats.coalesced_requests, static_cast<uint64_t>(group));
+  server.Stop();
+}
+
+// A lone batchable request must keep taking the single-request path: batch
+// formation may never add latency (or a handler change) at low load.
+TEST(NetServerTest, LoneBatchableRequestSkipsTheBatchHandler) {
+  NetServerOptions options;
+  options.num_threads = 1;
+  NetServer server([](const std::string& line) { return "OK single " + line; },
+                   options);
+  std::atomic<int> batch_calls{0};
+  server.SetBatchHandler(
+      [](const std::string&) { return std::string("key"); },
+      [&batch_calls](const std::vector<std::string>& lines) {
+        ++batch_calls;
+        return std::vector<std::string>(lines.size(), "OK batched");
+      });
+  ASSERT_TRUE(server.Start().ok);
+  TestClient client(server.port());
+  std::string line;
+  for (int q = 0; q < 5; ++q) {
+    ASSERT_TRUE(client.SendLine("r" + std::to_string(q)));
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line, "OK single r" + std::to_string(q));
+  }
+  EXPECT_EQ(batch_calls.load(), 0);
+  EXPECT_EQ(server.stats().batches_coalesced, 0u);
+  server.Stop();
+}
+
+// End-to-end guarantee of the coalescing tentpole: with the real protocol
+// batch handler installed, concurrent clients receive responses
+// byte-identical to the single-threaded, uncoalesced handler's.
+TEST(NetServerProtocolTest, CoalescedResponsesMatchUncoalescedBitwise) {
+  NetFixture& f = Fixture();
+  const int num_clients = 8;
+  const int requests_per_client = 25;
+  const int n = f.server->num_pois();
+
+  std::vector<std::vector<std::string>> requests(num_clients);
+  std::vector<std::vector<std::string>> expected(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    for (int q = 0; q < requests_per_client; ++q) {
+      const int salt = c * 1000 + q;
+      std::string line;
+      if (q % 3 == 0) {
+        line = "TOPK " + std::to_string(salt * 31 % n) + " 1.5 5";
+      } else {
+        line = "CLASSIFY " + std::to_string(salt * 37 % n) + " " +
+               std::to_string((salt * 61 + 3) % n);
+      }
+      requests[c].push_back(line);
+      expected[c].push_back(HandleRequestLine(*f.server, line));
+    }
+  }
+
+  NetServerOptions options;
+  options.num_threads = 2;  // Few workers: queued requests get coalesced.
+  options.queue_capacity = 64;
+  NetServer server(
+      [&f](const std::string& line) {
+        return HandleRequestLine(*f.server, line);
+      },
+      options);
+  server.SetBatchHandler(
+      [](const std::string& line) { return BatchKeyForLine(line); },
+      [&f](const std::vector<std::string>& lines) {
+        return HandleRequestBatch(*f.server, lines);
+      });
+  ASSERT_TRUE(server.Start().ok);
+
+  std::vector<std::vector<std::string>> got(num_clients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server.port());
+      std::string line;
+      for (const std::string& request : requests[c]) {
+        if (!client.SendLine(request)) return;
+        if (!client.ReadLine(&line)) return;
+        got[c].push_back(line);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  for (int c = 0; c < num_clients; ++c) {
+    ASSERT_EQ(got[c].size(), expected[c].size()) << "client " << c;
+    for (size_t q = 0; q < expected[c].size(); ++q)
+      EXPECT_EQ(got[c][q], expected[c][q]) << "client " << c << " req " << q;
+  }
+  EXPECT_EQ(server.stats().requests_handled,
+            static_cast<uint64_t>(num_clients * requests_per_client));
 }
 
 }  // namespace

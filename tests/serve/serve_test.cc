@@ -1,6 +1,8 @@
-// Serving-subsystem tests: LRU cache semantics, RelationshipServer answers
-// (checked against brute-force scoring over the same index), cache hit
-// accounting, checkpoint-loaded invariance, and the line protocol.
+// Serving-subsystem tests: LRU cache semantics (including generation
+// invalidation), RelationshipServer answers (checked against brute-force
+// scoring over the same index), cache hit accounting, checkpoint-loaded
+// invariance, zero-downtime model reloads, top-k single-flight, mmap/copy
+// load parity, and the line protocol (including the batched handler).
 
 #include <gtest/gtest.h>
 
@@ -9,9 +11,11 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/prim_index.h"
 #include "core/prim_model.h"
 #include "geo/point.h"
@@ -60,6 +64,53 @@ TEST(LruCacheTest, CountsHitsAndMisses) {
 TEST(LruCacheTest, ZeroCapacityNeverStores) {
   LruCache<int, int> cache(0);
   cache.Put(1, 10);
+  int v = 0;
+  EXPECT_FALSE(cache.Get(1, &v));
+}
+
+TEST(LruCacheTest, GenerationBumpInvalidatesEveryEntry) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_EQ(cache.generation(), 0u);
+  cache.BumpGeneration();
+  EXPECT_EQ(cache.generation(), 1u);
+  int v = 0;
+  // Stale entries are misses and are erased as Get touches them.
+  EXPECT_FALSE(cache.Get(1, &v));
+  EXPECT_FALSE(cache.Get(2, &v));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Fresh inserts live under the new generation.
+  cache.Put(1, 11);
+  EXPECT_TRUE(cache.Get(1, &v));
+  EXPECT_EQ(v, 11);
+}
+
+TEST(LruCacheTest, PutAtStaleGenerationIsDropped) {
+  LruCache<int, int> cache(4);
+  const uint64_t old_generation = cache.generation();
+  cache.BumpGeneration();
+  // A writer that computed its value under the old generation (e.g. a
+  // top-k answer scored against a pre-reload model) must not poison the
+  // fresh cache.
+  cache.PutAt(1, 10, old_generation);
+  int v = 0;
+  EXPECT_FALSE(cache.Get(1, &v));
+  EXPECT_EQ(cache.size(), 0u);
+  cache.PutAt(1, 11, cache.generation());
+  EXPECT_TRUE(cache.Get(1, &v));
+  EXPECT_EQ(v, 11);
+}
+
+TEST(LruCacheTest, ClearPreservesGeneration) {
+  LruCache<int, int> cache(4);
+  cache.BumpGeneration();
+  cache.Put(1, 10);
+  cache.Clear();
+  EXPECT_EQ(cache.generation(), 1u);  // Only ever moves forward.
+  EXPECT_EQ(cache.size(), 0u);
   int v = 0;
   EXPECT_FALSE(cache.Get(1, &v));
 }
@@ -332,6 +383,366 @@ TEST(ProtocolTest, RejectedRequestsDoNotIncrementStats) {
   const std::string stats = HandleRequestLine(*f.server, "STATS");
   EXPECT_NE(stats.find("classify=0"), std::string::npos) << stats;
   EXPECT_NE(stats.find(" topk=0"), std::string::npos) << stats;
+}
+
+// --- Batched protocol handler ---------------------------------------------
+
+TEST(ProtocolTest, BatchKeyGroupsOnlyBatchableLines) {
+  // All well-formed CLASSIFY lines share one key.
+  EXPECT_EQ(BatchKeyForLine("CLASSIFY 0 1"), "CLASSIFY");
+  EXPECT_EQ(BatchKeyForLine("CLASSIFY 3 9"), "CLASSIFY");
+  // TOPK lines share a key iff (radius, k) agree; the center id does not
+  // participate.
+  EXPECT_EQ(BatchKeyForLine("TOPK 0 1.5 5"), BatchKeyForLine("TOPK 9 1.5 5"));
+  EXPECT_NE(BatchKeyForLine("TOPK 0 1.5 5"), BatchKeyForLine("TOPK 0 1.6 5"));
+  EXPECT_NE(BatchKeyForLine("TOPK 0 1.5 5"), BatchKeyForLine("TOPK 0 1.5 6"));
+  // Unparsable or non-batchable lines never batch.
+  EXPECT_EQ(BatchKeyForLine("STATS"), "");
+  EXPECT_EQ(BatchKeyForLine("RELOAD"), "");
+  EXPECT_EQ(BatchKeyForLine("CLASSIFY abc 2"), "");
+  EXPECT_EQ(BatchKeyForLine("TOPK 0 nonsense 5"), "");
+  EXPECT_EQ(BatchKeyForLine(""), "");
+}
+
+TEST(ProtocolTest, ClassifyBatchResponsesAreBitwiseIdenticalToPerLine) {
+  ServerFixture& f = Fixture();
+  const int n = f.city.num_pois();
+  std::vector<std::string> lines;
+  for (int q = 0; q < 40; ++q)
+    lines.push_back("CLASSIFY " + std::to_string(q * 37 % n) + " " +
+                    std::to_string((q * 61 + 3) % n));
+  // Lines the batch path must hand back to the per-line path, with its
+  // exact error strings: malformed, out-of-range, and duplicate requests.
+  lines.push_back("CLASSIFY abc 2");
+  lines.push_back("CLASSIFY -5 0");
+  lines.push_back("CLASSIFY 999999 0");
+  lines.push_back(lines[0]);
+  const std::vector<std::string> batched = HandleRequestBatch(*f.server, lines);
+  ASSERT_EQ(batched.size(), lines.size());
+  for (size_t p = 0; p < lines.size(); ++p)
+    EXPECT_EQ(batched[p], HandleRequestLine(*f.server, lines[p]))
+        << "line " << p << ": " << lines[p];
+}
+
+TEST(ProtocolTest, TopKBatchResponsesAreBitwiseIdenticalToPerLine) {
+  ServerFixture& f = Fixture();
+  std::vector<std::string> lines;
+  for (int i = 0; i < 12; ++i)
+    lines.push_back("TOPK " + std::to_string(i * 7 % f.city.num_pois()) +
+                    " 1.5 4");
+  lines.push_back("TOPK 999999 1.5 4");   // Per-id error inside the batch.
+  lines.push_back("TOPK 3 2.5 4");        // Mixed params: per-line fallback.
+  lines.push_back("TOPK nonsense 1.5 4");  // Unparsable: per-line fallback.
+  lines.push_back(lines[0]);               // Duplicate center.
+  const std::vector<std::string> batched = HandleRequestBatch(*f.server, lines);
+  ASSERT_EQ(batched.size(), lines.size());
+  for (size_t p = 0; p < lines.size(); ++p)
+    EXPECT_EQ(batched[p], HandleRequestLine(*f.server, lines[p]))
+        << "line " << p << ": " << lines[p];
+}
+
+TEST(ProtocolTest, TopKBatchWholesaleValidationMatchesPerLine) {
+  ServerFixture& f = Fixture();
+  // A bad radius/k fails TopKRelatedBatch wholesale; the responses must
+  // still be the per-line path's exact error strings (which put the id
+  // range check first).
+  const std::vector<std::string> lines = {"TOPK 0 -1.0 4", "TOPK 999999 -1.0 4"};
+  const std::vector<std::string> batched = HandleRequestBatch(*f.server, lines);
+  ASSERT_EQ(batched.size(), lines.size());
+  for (size_t p = 0; p < lines.size(); ++p)
+    EXPECT_EQ(batched[p], HandleRequestLine(*f.server, lines[p])) << lines[p];
+}
+
+TEST(ProtocolTest, StatsReportsModelVersionAndReloads) {
+  ServerFixture& f = Fixture();
+  const std::string stats = HandleRequestLine(*f.server, "STATS");
+  EXPECT_NE(stats.find(" model_version=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" reloads=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" singleflight="), std::string::npos) << stats;
+}
+
+TEST(ProtocolTest, UnknownVerbNamesReload) {
+  ServerFixture& f = Fixture();
+  const std::string response = HandleRequestLine(*f.server, "FROB 1 2");
+  EXPECT_NE(response.find("expected CLASSIFY, TOPK, STATS, or RELOAD"),
+            std::string::npos)
+      << response;
+}
+
+// --- Model reload ----------------------------------------------------------
+
+/// Two checkpoints of the same city trained from different seeds, so a
+/// reload observably changes the model.
+struct ReloadFixture {
+  data::PoiDataset city;
+  std::string ckpt_a, ckpt_b;
+
+  ReloadFixture() : city(prim::testing::TinyCity()) {
+    ckpt_a = Train(1, "serve_test_reload_a.ckpt");
+    ckpt_b = Train(7, "serve_test_reload_b.ckpt");
+  }
+
+  std::string Train(uint64_t seed, const char* name) {
+    train::ExperimentConfig config = prim::testing::TinyExperimentConfig();
+    config.trainer.epochs = 10;
+    config.trainer.verbose = false;
+    train::ExperimentData data = train::PrepareExperiment(city, 0.6, config);
+    Rng rng(seed);
+    core::PrimModel model(data.ctx, config.prim, rng);
+    train::Trainer trainer(model, data.split.train, *data.full_graph,
+                           config.trainer);
+    trainer.Fit(nullptr);
+    core::PrimIndex index = core::PrimIndex::Build(model);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / name).string();
+    EXPECT_TRUE(io::SaveTrainedModel(path, model, "PRIM", &config.prim,
+                                     &index, city)
+                    .ok);
+    return path;
+  }
+};
+
+ReloadFixture& Reloads() {
+  static ReloadFixture* f = new ReloadFixture();
+  return *f;
+}
+
+TEST(ReloadTest, SwapsModelBumpsVersionAndInvalidatesCache) {
+  ReloadFixture& f = Reloads();
+  RelationshipServer::Options options;
+  options.cache_capacity = 64;
+  std::unique_ptr<RelationshipServer> server, fresh_b;
+  ASSERT_TRUE(RelationshipServer::Load(f.ckpt_a, options, &server).ok);
+  ASSERT_TRUE(RelationshipServer::Load(f.ckpt_b, options, &fresh_b).ok);
+  EXPECT_EQ(server->stats().model_version, 1u);
+  EXPECT_EQ(server->checkpoint_path(), f.ckpt_a);
+
+  std::vector<RelationshipServer::RelatedPoi> before;
+  ASSERT_TRUE(server->TopKRelated(5, 1.5, 4, &before).ok);  // Now cached.
+  ASSERT_TRUE(server->Reload(f.ckpt_b).ok);
+
+  const RelationshipServer::Stats stats = server->stats();
+  EXPECT_EQ(stats.model_version, 2u);
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(server->checkpoint_path(), f.ckpt_b);
+
+  // The same query recomputes (a cache miss, not a stale generation-A hit)
+  // and answers bitwise-identically to a server freshly loaded from B.
+  std::vector<RelationshipServer::RelatedPoi> after, want;
+  ASSERT_TRUE(server->TopKRelated(5, 1.5, 4, &after).ok);
+  ASSERT_TRUE(fresh_b->TopKRelated(5, 1.5, 4, &want).ok);
+  EXPECT_EQ(server->stats().cache_misses, 2u);
+  EXPECT_EQ(server->stats().cache_hits, 0u);
+  ASSERT_EQ(after.size(), want.size());
+  for (size_t e = 0; e < want.size(); ++e) {
+    EXPECT_EQ(after[e].id, want[e].id) << e;
+    EXPECT_EQ(after[e].relation, want[e].relation) << e;
+    EXPECT_EQ(after[e].score, want[e].score) << e;
+  }
+  RelationshipServer::Classification got, ref;
+  ASSERT_TRUE(server->Classify(0, 1, &got).ok);
+  ASSERT_TRUE(fresh_b->Classify(0, 1, &ref).ok);
+  EXPECT_EQ(got.relation, ref.relation);
+  EXPECT_EQ(got.score, ref.score);
+}
+
+TEST(ReloadTest, FailedReloadKeepsCurrentModelServing) {
+  ReloadFixture& f = Reloads();
+  RelationshipServer::Options options;
+  std::unique_ptr<RelationshipServer> server;
+  ASSERT_TRUE(RelationshipServer::Load(f.ckpt_a, options, &server).ok);
+  const io::Result r = server->Reload("/nonexistent/model.ckpt");
+  EXPECT_FALSE(r.ok);
+  const RelationshipServer::Stats stats = server->stats();
+  EXPECT_EQ(stats.model_version, 1u);
+  EXPECT_EQ(stats.reloads, 0u);
+  EXPECT_EQ(server->checkpoint_path(), f.ckpt_a);
+  RelationshipServer::Classification c;
+  EXPECT_TRUE(server->Classify(0, 1, &c).ok);
+}
+
+TEST(ReloadTest, InMemoryServerHasNothingToReload) {
+  ServerFixture& f = Fixture();
+  auto index = std::make_unique<core::PrimIndex>(*f.index);
+  std::vector<geo::GeoPoint> points;
+  for (const auto& poi : f.city.pois) points.push_back(poi.location);
+  RelationshipServer server(std::move(index), points, f.city.relation_names,
+                            RelationshipServer::Options{});
+  EXPECT_EQ(server.checkpoint_path(), "");
+  const io::Result r = server.Reload();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("nothing to reload"), std::string::npos) << r.error;
+}
+
+TEST(ReloadTest, ReloadVerbAndImplicitPathWorkOverTheProtocol) {
+  ReloadFixture& f = Reloads();
+  RelationshipServer::Options options;
+  std::unique_ptr<RelationshipServer> server;
+  ASSERT_TRUE(RelationshipServer::Load(f.ckpt_a, options, &server).ok);
+  EXPECT_EQ(HandleRequestLine(*server, "RELOAD " + f.ckpt_b),
+            "OK reloaded model_version=2");
+  // Bare RELOAD re-reads the last-loaded path (the SIGHUP behaviour).
+  EXPECT_EQ(HandleRequestLine(*server, "RELOAD"),
+            "OK reloaded model_version=3");
+  EXPECT_EQ(HandleRequestLine(*server, "RELOAD a b"),
+            "ERR usage: RELOAD [<path>]");
+  EXPECT_EQ(
+      HandleRequestLine(*server, "RELOAD /nonexistent.ckpt").rfind("ERR ", 0),
+      0u);
+  EXPECT_EQ(server->stats().model_version, 3u);
+}
+
+TEST(ReloadTest, ConcurrentTrafficSurvivesReloads) {
+  ReloadFixture& f = Reloads();
+  RelationshipServer::Options options;
+  options.cache_capacity = 64;
+  std::unique_ptr<RelationshipServer> server;
+  ASSERT_TRUE(RelationshipServer::Load(f.ckpt_a, options, &server).ok);
+
+  const int num_threads = 4;
+  const int requests_per_thread = 200;
+  const int n = f.city.num_pois();
+  std::vector<int> failures(num_threads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < requests_per_thread; ++q) {
+        const int salt = t * 1000 + q;
+        if (q % 3 == 0) {
+          std::vector<RelationshipServer::RelatedPoi> related;
+          if (!server->TopKRelated(salt * 31 % n, 1.5, 4, &related).ok)
+            ++failures[t];
+        } else {
+          RelationshipServer::Classification c;
+          if (!server->Classify(salt * 37 % n, (salt * 61 + 3) % n, &c).ok)
+            ++failures[t];
+        }
+      }
+    });
+  }
+  // Swap the model back and forth while the traffic runs. Every request
+  // must finish cleanly against whichever snapshot it pinned.
+  int reloads_done = 0;
+  for (int r = 0; r < 6; ++r) {
+    if (server->Reload(r % 2 == 0 ? f.ckpt_b : f.ckpt_a).ok) ++reloads_done;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reloads_done, 6);
+  for (int t = 0; t < num_threads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  const RelationshipServer::Stats stats = server->stats();
+  EXPECT_EQ(stats.reloads, 6u);
+  EXPECT_EQ(stats.model_version, 7u);
+  EXPECT_EQ(stats.classify_requests + stats.topk_requests,
+            static_cast<uint64_t>(num_threads * requests_per_thread));
+}
+
+// --- Top-k single-flight ---------------------------------------------------
+
+TEST(SingleFlightTest, ConcurrentMissesForOneKeyComputeOnce) {
+  ServerFixture& f = Fixture();
+  // A server whose top-k computation parks on a latch, so the test can
+  // hold the cache-miss leader open while followers pile up on the key.
+  Mutex mu;
+  CondVar cv;
+  bool release = false;
+  int leaders_parked = 0;
+  RelationshipServer::Options options;
+  options.cache_capacity = 64;
+  options.topk_compute_hook = [&] {
+    MutexLock lock(mu);
+    ++leaders_parked;
+    cv.NotifyAll();
+    while (!release) cv.Wait(mu);
+  };
+  std::unique_ptr<RelationshipServer> server;
+  ASSERT_TRUE(RelationshipServer::Load(f.ckpt_path, options, &server).ok);
+
+  const int num_threads = 4;
+  std::vector<std::vector<RelationshipServer::RelatedPoi>> results(
+      num_threads);
+  // int, not vector<bool>: threads write distinct elements concurrently,
+  // and vector<bool>'s packed bits would make that a data race.
+  std::vector<int> ok(num_threads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      ok[t] = server->TopKRelated(3, 1.25, 4, &results[t]).ok ? 1 : 0;
+    });
+  }
+  // Exactly one thread becomes the leader (and parks in the hook); the
+  // other three must register as single-flight waiters, not run.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    MutexLock lock(mu);
+    while (leaders_parked < 1) ASSERT_TRUE(cv.WaitUntil(mu, deadline));
+  }
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server->stats().singleflight_waits <
+             static_cast<uint64_t>(num_threads - 1) &&
+         std::chrono::steady_clock::now() < wait_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    MutexLock lock(mu);
+    release = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 0; t < num_threads; ++t) {
+    ASSERT_TRUE(ok[t]) << t;
+    ASSERT_EQ(results[t].size(), results[0].size()) << t;
+    for (size_t e = 0; e < results[0].size(); ++e) {
+      EXPECT_EQ(results[t][e].id, results[0][e].id);
+      EXPECT_EQ(results[t][e].score, results[0][e].score);
+    }
+  }
+  const RelationshipServer::Stats stats = server->stats();
+  EXPECT_EQ(leaders_parked, 1);  // The computation ran exactly once.
+  EXPECT_EQ(stats.cache_misses, 1u);  // The herd cost one miss, not four.
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.singleflight_waits, static_cast<uint64_t>(num_threads - 1));
+  EXPECT_EQ(stats.topk_requests, static_cast<uint64_t>(num_threads));
+
+  // A later request hits the cache the leader populated.
+  std::vector<RelationshipServer::RelatedPoi> again;
+  ASSERT_TRUE(server->TopKRelated(3, 1.25, 4, &again).ok);
+  EXPECT_EQ(server->stats().cache_hits, 1u);
+}
+
+// --- mmap load parity ------------------------------------------------------
+
+TEST(MmapLoadTest, MappedAndCopiedLoadsAnswerBitwiseIdentically) {
+  ServerFixture& f = Fixture();
+  RelationshipServer::Options mapped_options, copied_options;
+  mapped_options.mmap = true;
+  copied_options.mmap = false;
+  std::unique_ptr<RelationshipServer> mapped, copied;
+  ASSERT_TRUE(
+      RelationshipServer::Load(f.ckpt_path, mapped_options, &mapped).ok);
+  ASSERT_TRUE(
+      RelationshipServer::Load(f.ckpt_path, copied_options, &copied).ok);
+  const int n = f.city.num_pois();
+  for (int q = 0; q < 100; ++q) {
+    const int i = q * 37 % n;
+    const int j = (q * 61 + 3) % n;
+    RelationshipServer::Classification a, b;
+    ASSERT_TRUE(mapped->Classify(i, j, &a).ok);
+    ASSERT_TRUE(copied->Classify(i, j, &b).ok);
+    EXPECT_EQ(a.relation, b.relation) << q;
+    EXPECT_EQ(a.score, b.score) << q;
+  }
+  std::vector<RelationshipServer::RelatedPoi> ta, tb;
+  ASSERT_TRUE(mapped->TopKRelated(5, 2.0, 8, &ta).ok);
+  ASSERT_TRUE(copied->TopKRelated(5, 2.0, 8, &tb).ok);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t e = 0; e < ta.size(); ++e) {
+    EXPECT_EQ(ta[e].id, tb[e].id);
+    EXPECT_EQ(ta[e].score, tb[e].score);
+  }
 }
 
 }  // namespace
