@@ -1,0 +1,279 @@
+// Streaming-path benchmark: trains a tiny PRIM, serves it from a real
+// checkpoint, and measures the live-mutation machinery:
+//   * mutation throughput — ADDREL/DELREL batches through ApplyMutations
+//     (each batch is one immutable snapshot swap);
+//   * compaction pause — wall time of Compact() folding a populated
+//     overlay, which is the longest write-side critical section;
+//   * query latency under churn — CLASSIFY p50/p99 from reader threads
+//     while a mutator applies a steady ADDREL/DELREL stream, against the
+//     quiescent baseline. The RCU swap means churn should cost readers a
+//     pointer chase, not a lock wait.
+// Results go to BENCH_streaming.json and are echoed to stdout for CI logs.
+//
+//   --scale=tiny|small|paper   workload size (default tiny)
+//   --epochs=N                 training epochs (default 30)
+//   --seed=N                   workload seed
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/check.h"
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "io/model_io.h"
+#include "serve/relationship_server.h"
+#include "train/experiment.h"
+
+namespace {
+
+using namespace prim;
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// A reproducible ADDREL/DELREL stream: declare a relation on a pseudo-random
+/// pair, then undeclare an earlier one, alternating — the overlay keeps a
+/// bounded footprint, like real churn.
+serve::RelationshipServer::Mutation NthMutation(uint64_t q, int num_pois,
+                                                int num_relations) {
+  serve::RelationshipServer::Mutation m;
+  const uint64_t pair_seed = (q / 2) * 2654435761u;
+  m.i = static_cast<int>(pair_seed % num_pois);
+  m.j = static_cast<int>((pair_seed * 40503u + 7) % num_pois);
+  if (m.j == m.i) m.j = (m.j + 1) % num_pois;
+  if (q % 2 == 0) {
+    m.kind = serve::RelationshipServer::Mutation::Kind::kAddRel;
+    m.rel_token = std::to_string(static_cast<int>(q % num_relations));
+  } else {
+    m.kind = serve::RelationshipServer::Mutation::Kind::kDelRel;
+  }
+  return m;
+}
+
+struct ThroughputResult {
+  int mutations = 0;
+  int batch_size = 0;
+  double mutations_per_sec = 0.0;
+  double mean_batch_ms = 0.0;
+};
+
+ThroughputResult TimeMutations(serve::RelationshipServer& server,
+                               int mutations, int batch_size) {
+  ThroughputResult result;
+  result.mutations = mutations;
+  result.batch_size = batch_size;
+  const int n = server.num_pois();
+  const int r = server.num_relations();
+  std::vector<std::string> responses;
+  const auto t0 = Clock::now();
+  for (int done = 0; done < mutations; done += batch_size) {
+    std::vector<serve::RelationshipServer::Mutation> batch;
+    for (int b = 0; b < batch_size && done + b < mutations; ++b)
+      batch.push_back(NthMutation(static_cast<uint64_t>(done + b), n, r));
+    server.ApplyMutations(batch, &responses);
+    for (const std::string& response : responses)
+      PRIM_CHECK_MSG(response.substr(0, 3) == "OK ",
+                     "mutation failed: " + response);
+  }
+  const double total_ms = MsSince(t0);
+  result.mutations_per_sec = mutations / (total_ms / 1e3);
+  result.mean_batch_ms =
+      total_ms / ((mutations + batch_size - 1) / batch_size);
+  return result;
+}
+
+struct CompactionResult {
+  int rounds = 0;
+  int overlay_mutations = 0;
+  double mean_pause_ms = 0.0;
+  double max_pause_ms = 0.0;
+};
+
+CompactionResult TimeCompaction(serve::RelationshipServer& server,
+                                int rounds, int overlay_mutations) {
+  CompactionResult result;
+  result.rounds = rounds;
+  result.overlay_mutations = overlay_mutations;
+  const int n = server.num_pois();
+  const int r = server.num_relations();
+  std::vector<std::string> responses;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<serve::RelationshipServer::Mutation> batch;
+    for (int b = 0; b < overlay_mutations; ++b)
+      batch.push_back(NthMutation(
+          static_cast<uint64_t>(round * overlay_mutations + b), n, r));
+    server.ApplyMutations(batch, &responses);
+    const auto t0 = Clock::now();
+    server.Compact();
+    const double pause = MsSince(t0);
+    result.mean_pause_ms += pause;
+    result.max_pause_ms = std::max(result.max_pause_ms, pause);
+  }
+  result.mean_pause_ms /= rounds;
+  return result;
+}
+
+struct LatencyResult {
+  int queries = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+LatencyResult Percentiles(std::vector<double> samples) {
+  LatencyResult result;
+  result.queries = static_cast<int>(samples.size());
+  if (samples.empty()) return result;
+  std::sort(samples.begin(), samples.end());
+  result.p50_ms = samples[samples.size() / 2];
+  result.p99_ms = samples[std::min(samples.size() - 1,
+                                   samples.size() * 99 / 100)];
+  result.max_ms = samples.back();
+  return result;
+}
+
+/// CLASSIFY latency from `readers` threads, optionally while one mutator
+/// thread applies NthMutation batches as fast as the write lock allows.
+LatencyResult TimeQueries(serve::RelationshipServer& server, int readers,
+                          int queries_per_reader, bool churn) {
+  std::atomic<bool> stop{false};
+  std::thread mutator;
+  if (churn) {
+    mutator = std::thread([&server, &stop] {
+      const int n = server.num_pois();
+      const int r = server.num_relations();
+      std::vector<std::string> responses;
+      uint64_t q = 1'000'000;  // Distinct pair range from the other phases.
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<serve::RelationshipServer::Mutation> batch;
+        for (int b = 0; b < 8; ++b) batch.push_back(NthMutation(q++, n, r));
+        server.ApplyMutations(batch, &responses);
+      }
+    });
+  }
+  std::vector<std::vector<double>> samples(readers);
+  std::vector<std::thread> threads;
+  for (int reader = 0; reader < readers; ++reader) {
+    threads.emplace_back([&server, &samples, reader, queries_per_reader] {
+      const int n = server.num_pois();
+      serve::RelationshipServer::Classification c;
+      samples[reader].reserve(queries_per_reader);
+      for (int q = 0; q < queries_per_reader; ++q) {
+        const uint64_t x = static_cast<uint64_t>(reader) * 7919 + q;
+        const int i = static_cast<int>(x * 2654435761u % n);
+        int j = static_cast<int>((x * 40503u + 11) % n);
+        if (j == i) j = (j + 1) % n;
+        const auto t0 = Clock::now();
+        const io::Result cr = server.Classify(i, j, &c);
+        samples[reader].push_back(MsSince(t0));
+        PRIM_CHECK_MSG(cr.ok, "Classify under churn failed: " + cr.error);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true);
+  if (mutator.joinable()) mutator.join();
+  std::vector<double> all;
+  for (const std::vector<double>& s : samples)
+    all.insert(all.end(), s.begin(), s.end());
+  return Percentiles(std::move(all));
+}
+
+void WriteJson(FILE* f, int num_pois, const ThroughputResult& throughput,
+               const CompactionResult& compaction,
+               const LatencyResult& quiet, const LatencyResult& churn) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_streaming\",\n");
+  fprintf(f, "  \"pois\": %d,\n", num_pois);
+  fprintf(f,
+          "  \"mutations\": {\"count\": %d, \"batch_size\": %d, "
+          "\"per_sec\": %.0f, \"mean_batch_ms\": %.4f},\n",
+          throughput.mutations, throughput.batch_size,
+          throughput.mutations_per_sec, throughput.mean_batch_ms);
+  fprintf(f,
+          "  \"compaction\": {\"rounds\": %d, \"overlay_mutations\": %d, "
+          "\"mean_pause_ms\": %.4f, \"max_pause_ms\": %.4f},\n",
+          compaction.rounds, compaction.overlay_mutations,
+          compaction.mean_pause_ms, compaction.max_pause_ms);
+  fprintf(f,
+          "  \"classify_quiet\": {\"queries\": %d, \"p50_ms\": %.4f, "
+          "\"p99_ms\": %.4f, \"max_ms\": %.4f},\n",
+          quiet.queries, quiet.p50_ms, quiet.p99_ms, quiet.max_ms);
+  fprintf(f,
+          "  \"classify_under_churn\": {\"queries\": %d, \"p50_ms\": %.4f, "
+          "\"p99_ms\": %.4f, \"max_ms\": %.4f}\n",
+          churn.queries, churn.p50_ms, churn.p99_ms, churn.max_ms);
+  fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  train::ExperimentConfig config = bench::ConfigForScale(flags.scale);
+  config.trainer.epochs = flags.epochs > 0 ? flags.epochs : 30;
+  config.trainer.verbose = false;
+
+  fprintf(stderr, "bench_streaming: training PRIM...\n");
+  data::PoiDataset dataset = data::MakeBeijing(flags.scale);
+  train::ExperimentData data = train::PrepareExperiment(dataset, 0.6, config);
+  Rng rng(flags.seed ? flags.seed : 1);
+  core::PrimModel model(data.ctx, config.prim, rng);
+  train::Trainer trainer(model, data.split.train, *data.full_graph,
+                         config.trainer);
+  trainer.Fit(nullptr);
+  core::PrimIndex index = core::PrimIndex::Build(model);
+
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "bench_streaming.ckpt")
+          .string();
+  if (io::Result r = io::SaveTrainedModel(ckpt, model, "PRIM", &config.prim,
+                                          &index, dataset);
+      !r) {
+    fprintf(stderr, "bench_streaming: save failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  serve::RelationshipServer::Options options;
+  options.cache_capacity = 4096;
+  options.compact_every = 0;  // Compaction is timed explicitly below.
+  std::unique_ptr<serve::RelationshipServer> server;
+  if (io::Result r = serve::RelationshipServer::Load(ckpt, options, &server);
+      !r) {
+    fprintf(stderr, "bench_streaming: load failed: %s\n", r.error.c_str());
+    return 1;
+  }
+
+  fprintf(stderr, "bench_streaming: measuring...\n");
+  const ThroughputResult throughput =
+      TimeMutations(*server, /*mutations=*/2000, /*batch_size=*/16);
+  const CompactionResult compaction =
+      TimeCompaction(*server, /*rounds=*/5, /*overlay_mutations=*/512);
+  const LatencyResult quiet =
+      TimeQueries(*server, /*readers=*/4, /*queries_per_reader=*/2000,
+                  /*churn=*/false);
+  const LatencyResult churn =
+      TimeQueries(*server, /*readers=*/4, /*queries_per_reader=*/2000,
+                  /*churn=*/true);
+  server->Compact();
+
+  const std::string out_path = "BENCH_streaming.json";
+  FILE* f = fopen(out_path.c_str(), "w");
+  PRIM_CHECK_MSG(f != nullptr, "cannot open " + out_path);
+  WriteJson(f, server->num_pois(), throughput, compaction, quiet, churn);
+  fclose(f);
+  WriteJson(stdout, server->num_pois(), throughput, compaction, quiet,
+            churn);
+  return 0;
+}

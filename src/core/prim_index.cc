@@ -94,8 +94,15 @@ PrimIndex PrimIndex::FromView(const PrimConfig& config, int num_nodes,
 void PrimIndex::Query(int i, int j, float dist_km, bool project,
                       float* out_scores) const {
   PRIM_CHECK(0 <= i && i < num_nodes_ && 0 <= j && j < num_nodes_);
-  const float* hi = embeddings_ptr_ + static_cast<int64_t>(i) * dim_;
-  const float* hj = embeddings_ptr_ + static_cast<int64_t>(j) * dim_;
+  QueryRows(embeddings_ptr_ + static_cast<int64_t>(i) * dim_,
+            embeddings_ptr_ + static_cast<int64_t>(j) * dim_, dist_km,
+            project, out_scores);
+}
+
+void PrimIndex::QueryRows(const float* e_i, const float* e_j, float dist_km,
+                          bool project, float* out_scores) const {
+  const float* hi = e_i;
+  const float* hj = e_j;
   float buf_i[512], buf_j[512];
   PRIM_CHECK_MSG(dim_ <= 512, "PrimIndex supports dim <= 512, got " << dim_);
   if (project) {

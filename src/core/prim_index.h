@@ -26,6 +26,14 @@ class PrimIndex {
   void Query(int i, int j, float dist_km, bool project,
              float* out_scores) const;
 
+  /// Query over caller-supplied embedding rows (`dim()` floats each)
+  /// instead of indexed node ids. This is how streaming overlays score
+  /// POIs that did not exist when the index was built: the overlay owns
+  /// the extra rows, the index supplies relations and hyperplanes.
+  /// Query(i, j, ...) is exactly QueryRows(row(i), row(j), ...).
+  void QueryRows(const float* e_i, const float* e_j, float dist_km,
+                 bool project, float* out_scores) const;
+
   /// Argmax class for pair (i, j); the last class is the non-relation phi.
   int PredictRelation(int i, int j, float dist_km, bool project = true) const;
 

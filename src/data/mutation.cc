@@ -1,0 +1,116 @@
+#include "data/mutation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prim::data {
+
+namespace {
+
+uint64_t MutPairKey(int a, int b) {
+  const uint64_t lo = static_cast<uint64_t>(std::min(a, b));
+  const uint64_t hi = static_cast<uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+bool SamePair(const graph::Triple& e, int a, int b) {
+  return (e.src == a && e.dst == b) || (e.src == b && e.dst == a);
+}
+
+}  // namespace
+
+io::Result ValidateMutation(const GraphMutation& m, const PoiDataset& ds,
+                            const std::vector<uint8_t>& alive) {
+  const int n = ds.num_pois();
+  auto check_poi = [&](int id) -> io::Result {
+    if (id < 0 || id >= n)
+      return io::Result::Fail("POI " + std::to_string(id) +
+                              " is out of range [0, " + std::to_string(n) +
+                              ")");
+    if (!alive[id])
+      return io::Result::Fail("POI " + std::to_string(id) + " was removed");
+    return io::Result::Ok();
+  };
+  switch (m.kind) {
+    case GraphMutation::Kind::kAddPoi:
+      if (m.poi.id != n)
+        return io::Result::Fail(
+            "AddPoi id " + std::to_string(m.poi.id) +
+            " is not the next free id " + std::to_string(n) +
+            " (ids are assigned sequentially)");
+      if (n > 0 && static_cast<int>(m.poi.attrs.size()) != ds.attr_dim())
+        return io::Result::Fail(
+            "AddPoi attrs have dim " + std::to_string(m.poi.attrs.size()) +
+            ", dataset uses " + std::to_string(ds.attr_dim()));
+      return io::Result::Ok();
+    case GraphMutation::Kind::kDelPoi:
+      return check_poi(m.poi_id);
+    case GraphMutation::Kind::kAddEdge: {
+      if (io::Result r = check_poi(m.edge.src); !r) return r;
+      if (io::Result r = check_poi(m.edge.dst); !r) return r;
+      if (m.edge.src == m.edge.dst)
+        return io::Result::Fail("cannot relate POI " +
+                                std::to_string(m.edge.src) + " to itself");
+      if (m.edge.rel < 0 || m.edge.rel >= ds.num_relations)
+        return io::Result::Fail(
+            "unknown relation " + std::to_string(m.edge.rel) + " (" +
+            std::to_string(ds.num_relations) + " relations)");
+      return io::Result::Ok();
+    }
+    case GraphMutation::Kind::kDelEdge: {
+      if (io::Result r = check_poi(m.edge.src); !r) return r;
+      return check_poi(m.edge.dst);
+    }
+  }
+  return io::Result::Fail("unknown mutation kind");
+}
+
+bool ApplyMutation(const GraphMutation& m, PoiDataset* ds,
+                   std::vector<uint8_t>* alive) {
+  PRIM_CHECK(ds != nullptr && alive != nullptr);
+  PRIM_CHECK(alive->size() == ds->pois.size());
+  PRIM_CHECK_MSG(ValidateMutation(m, *ds, *alive).ok,
+                 "invalid mutation: "
+                     << ValidateMutation(m, *ds, *alive).error);
+  switch (m.kind) {
+    case GraphMutation::Kind::kAddPoi:
+      ds->pois.push_back(m.poi);
+      alive->push_back(1);
+      return true;
+    case GraphMutation::Kind::kDelPoi: {
+      (*alive)[m.poi_id] = 0;
+      // A closed POI loses every relationship; its row stays so ids of
+      // other POIs never shift. erase_if preserves the relative order of
+      // survivors, keeping replay deterministic.
+      std::erase_if(ds->edges, [&](const graph::Triple& e) {
+        return e.src == m.poi_id || e.dst == m.poi_id;
+      });
+      return true;
+    }
+    case GraphMutation::Kind::kAddEdge: {
+      // A pair holds at most one relation: adding over an existing edge
+      // retypes it in place (list position preserved).
+      for (graph::Triple& e : ds->edges) {
+        if (!SamePair(e, m.edge.src, m.edge.dst)) continue;
+        if (e.rel == m.edge.rel) return false;  // Exact duplicate: no-op.
+        e.rel = m.edge.rel;
+        return true;
+      }
+      ds->edges.push_back(m.edge);
+      return true;
+    }
+    case GraphMutation::Kind::kDelEdge: {
+      const size_t before = ds->edges.size();
+      std::erase_if(ds->edges, [&](const graph::Triple& e) {
+        return SamePair(e, m.edge.src, m.edge.dst);
+      });
+      return ds->edges.size() != before;
+    }
+  }
+  return false;
+}
+
+uint64_t MutationPairKey(int a, int b) { return MutPairKey(a, b); }
+
+}  // namespace prim::data

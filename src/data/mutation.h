@@ -1,0 +1,83 @@
+#ifndef PRIM_DATA_MUTATION_H_
+#define PRIM_DATA_MUTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/hetero_graph.h"
+#include "io/result.h"
+
+namespace prim::data {
+
+/// One dataset-level graph mutation — the currency of the streaming
+/// subsystem. The synthetic drift model (synthetic.h) emits these and
+/// stream::MutableGraphStore consumes them; a stream of GraphMutations is
+/// the ground-truth analogue of the serving protocol's ADDPOI / ADDREL /
+/// DELREL / DELPOI verbs (which carry less payload: a served ADDPOI has no
+/// category/brand/attrs, so the serving overlay seeds features spatially
+/// instead).
+struct GraphMutation {
+  enum class Kind {
+    kAddPoi,   // `poi` joins the dataset; poi.id must be the next free id.
+    kDelPoi,   // POI `poi_id` closes: its row stays (ids are stable) but it
+               // loses all edges and is excluded from queries and training.
+    kAddEdge,  // `edge` becomes ground truth (endpoints must be alive).
+    kDelEdge,  // the (edge.src, edge.dst) pair loses its relationship;
+               // edge.rel is ignored — a pair holds at most one relation.
+  };
+
+  Kind kind = Kind::kAddEdge;
+  Poi poi;              // kAddPoi payload.
+  int poi_id = -1;      // kDelPoi payload.
+  graph::Triple edge;   // kAddEdge / kDelEdge payload.
+
+  static GraphMutation AddPoi(Poi poi) {
+    GraphMutation m;
+    m.kind = Kind::kAddPoi;
+    m.poi = std::move(poi);
+    return m;
+  }
+  static GraphMutation DelPoi(int id) {
+    GraphMutation m;
+    m.kind = Kind::kDelPoi;
+    m.poi_id = id;
+    return m;
+  }
+  static GraphMutation AddEdge(int a, int b, int rel) {
+    GraphMutation m;
+    m.kind = Kind::kAddEdge;
+    m.edge = {a, b, rel};
+    return m;
+  }
+  static GraphMutation DelEdge(int a, int b) {
+    GraphMutation m;
+    m.kind = Kind::kDelEdge;
+    m.edge = {a, b, -1};
+    return m;
+  }
+};
+
+/// Checks a mutation against a dataset + alive mask without applying it.
+/// Mutations originate outside the library (network clients, replayed
+/// logs), so failures are values naming the offending id/relation, not
+/// crashes. The error strings match the serving protocol's.
+io::Result ValidateMutation(const GraphMutation& m, const PoiDataset& ds,
+                            const std::vector<uint8_t>& alive);
+
+/// Applies one mutation to a dataset + alive mask — the reference
+/// semantics shared by the synthetic drift model and the streaming
+/// MutableGraphStore (both sides replaying the same stream therefore agree
+/// byte for byte). PRIM_CHECKs ValidateMutation (callers gate untrusted
+/// input through it first). Returns false IFF the mutation was a no-op
+/// (DelEdge on an absent pair, exact-duplicate AddEdge).
+bool ApplyMutation(const GraphMutation& m, PoiDataset* ds,
+                   std::vector<uint8_t>* alive);
+
+/// Canonical unordered-pair key ((max << 32) | min) used by mutation
+/// consumers for edge bookkeeping.
+uint64_t MutationPairKey(int a, int b);
+
+}  // namespace prim::data
+
+#endif  // PRIM_DATA_MUTATION_H_

@@ -555,4 +555,228 @@ PoiDataset GenerateScalabilityDataset(int num_pois, int relations_per_poi,
   return ds;
 }
 
+// --- Temporal drift --------------------------------------------------------
+
+namespace {
+
+// Exponents matching the base generator's edge/type sampling (see
+// GenerateSyntheticCity): edge existence follows total affinity sharpened
+// by kEdgeSharpness, the relation type follows the kTypeSharpness-powered
+// posterior over the two affinities.
+constexpr double kDriftEdgeSharpness = 2.0;
+constexpr double kDriftTypeSharpness = 2.5;
+
+// Rolling drift state. POI rows record the region context at their
+// creation time and never change afterwards (the replay invariant needs
+// byte-stable rows); the *live* context is region_commercial, which the
+// scoring helper patches in.
+struct DriftState {
+  PoiDataset ds;
+  std::vector<uint8_t> alive;
+  std::vector<uint8_t> region_commercial;
+  std::unordered_set<uint64_t> edge_keys;
+};
+
+DriftState InitDriftState(const DriftConfig& config) {
+  PRIM_CHECK_MSG(config.city.num_relations == 2,
+                 "drift redraws relation types from the binary generative "
+                 "posterior; got num_relations="
+                     << config.city.num_relations);
+  DriftState s;
+  s.ds = GenerateSyntheticCity(config.city);
+  s.alive.assign(s.ds.pois.size(), 1);
+  s.region_commercial.assign(
+      static_cast<size_t>(std::max(1, config.city.num_regions)), 0);
+  for (const Poi& p : s.ds.pois)
+    if (p.in_commercial) s.region_commercial[p.region] = 1;
+  for (const graph::Triple& e : s.ds.edges)
+    s.edge_keys.insert(PairKey(e.src, e.dst));
+  return s;
+}
+
+// GenerativePairScores under the drift state's live region context rather
+// than the POIs' recorded birth context.
+PairScores LivePairScores(const DriftState& s, uint64_t latent_seed, int a,
+                          int b) {
+  Poi pa = s.ds.pois[a];
+  Poi pb = s.ds.pois[b];
+  pa.in_commercial = s.region_commercial[pa.region] != 0;
+  pb.in_commercial = s.region_commercial[pb.region] != 0;
+  return GenerativePairScores(latent_seed, pa, pb, s.ds.taxonomy);
+}
+
+std::vector<int> AliveIds(const DriftState& s) {
+  std::vector<int> ids;
+  ids.reserve(s.ds.pois.size());
+  for (int i = 0; i < s.ds.num_pois(); ++i)
+    if (s.alive[i]) ids.push_back(i);
+  return ids;
+}
+
+// Draws one new relationship with endpoint `a` against the current alive
+// set, weighted by sharpened generative affinity under the live region
+// context. Returns false when `a` has no eligible partner in radius.
+bool DrawEdgeFor(const DriftConfig& config, DriftState& s, Rng& rng, int a,
+                 std::vector<GraphMutation>& out) {
+  std::vector<int> partners;
+  std::vector<double> weights;
+  std::vector<PairScores> scores;
+  for (int b : AliveIds(s)) {
+    if (b == a) continue;
+    if (s.edge_keys.contains(PairKey(a, b))) continue;
+    if (geo::HaversineKm(s.ds.pois[a].location, s.ds.pois[b].location) >
+        config.candidate_radius_km)
+      continue;
+    const PairScores ps = LivePairScores(s, config.city.latent_seed, a, b);
+    const double total = ps.competitive + ps.complementary;
+    if (!(total > 0.0)) continue;
+    partners.push_back(b);
+    weights.push_back(std::pow(total, kDriftEdgeSharpness));
+    scores.push_back(ps);
+  }
+  if (partners.empty()) return false;
+  const size_t pick = static_cast<size_t>(rng.Categorical(weights));
+  const int b = partners[pick];
+  const double w_comp =
+      std::pow(scores[pick].competitive, kDriftTypeSharpness);
+  const double w_compl =
+      std::pow(scores[pick].complementary, kDriftTypeSharpness);
+  const int rel = rng.Uniform() < w_comp / (w_comp + w_compl) ? 0 : 1;
+  const GraphMutation m = GraphMutation::AddEdge(a, b, rel);
+  out.push_back(m);
+  ApplyMutation(m, &s.ds, &s.alive);
+  s.edge_keys.insert(PairKey(a, b));
+  return true;
+}
+
+// Opens one POI anchored to an existing alive one: same region, jittered
+// location, taxonomy-sampled category, generator-consistent brand attrs.
+Poi MakeOpenedPoi(const DriftConfig& config, const DriftState& s, Rng& rng,
+                  int anchor_id) {
+  const Poi& anchor = s.ds.pois[anchor_id];
+  Poi p;
+  p.id = s.ds.num_pois();
+  p.region = anchor.region;
+  p.in_core = anchor.in_core;
+  p.in_commercial = s.region_commercial[p.region] != 0;
+  geo::LocalProjector projector(config.city.city_center);
+  double x = 0.0, y = 0.0;
+  projector.ToPlane(anchor.location, &x, &y);
+  p.location = projector.ToGeo(x + rng.Normal(0.0, 0.4),
+                               y + rng.Normal(0.0, 0.4));
+  const std::vector<int> leaves = s.ds.taxonomy.Leaves();
+  const int leaf_index = static_cast<int>(rng.UniformInt(leaves.size()));
+  p.category = leaves[leaf_index];
+  p.brand = leaf_index * config.city.brands_per_category +
+            static_cast<int>(
+                rng.UniformInt(config.city.brands_per_category));
+  // Brand attribute recipe matches the base generator: a deterministic
+  // per-brand vector plus per-POI noise.
+  Rng brand_rng(config.city.latent_seed * 7919 +
+                static_cast<uint64_t>(p.brand) * 131);
+  p.attrs.resize(config.city.attr_dim);
+  for (int d = 0; d < config.city.attr_dim; ++d)
+    p.attrs[d] = static_cast<float>(brand_rng.Normal(0.0, 1.0)) +
+                 static_cast<float>(rng.Normal(0.0, 0.3));
+  return p;
+}
+
+// Runs one drift step in place, returning the mutations it emitted (in
+// application order). Deterministic in (config, t, state).
+std::vector<GraphMutation> DriftStepImpl(const DriftConfig& config,
+                                         DriftState& s, int t) {
+  Rng rng(config.drift_seed * 0x9E3779B97F4A7C15ULL +
+          static_cast<uint64_t>(t) + 1);
+  std::vector<GraphMutation> out;
+
+  // 1. Region context flips. Latent — not part of the mutation stream;
+  // they act through every edge drawn below.
+  for (uint8_t& flag : s.region_commercial)
+    if (rng.Bernoulli(config.region_flip_fraction)) flag ^= 1;
+
+  // 2. Closures.
+  std::vector<int> alive_ids = AliveIds(s);
+  const int n_close = static_cast<int>(
+      std::lround(config.close_fraction * alive_ids.size()));
+  std::vector<int> closing = alive_ids;
+  rng.Shuffle(closing);
+  closing.resize(std::min<size_t>(closing.size(), n_close));
+  std::sort(closing.begin(), closing.end());
+  for (int id : closing) {
+    const GraphMutation m = GraphMutation::DelPoi(id);
+    out.push_back(m);
+    ApplyMutation(m, &s.ds, &s.alive);
+  }
+
+  // 3. Relationship churn: retire a slice of the surviving edges...
+  const int n_churn = static_cast<int>(
+      std::lround(config.edge_churn_fraction * s.ds.edges.size()));
+  std::vector<int> eidx(s.ds.edges.size());
+  for (size_t i = 0; i < eidx.size(); ++i) eidx[i] = static_cast<int>(i);
+  rng.Shuffle(eidx);
+  eidx.resize(std::min<size_t>(eidx.size(), n_churn));
+  std::sort(eidx.begin(), eidx.end());
+  std::vector<std::pair<int, int>> retired;
+  retired.reserve(eidx.size());
+  for (int i : eidx)
+    retired.emplace_back(s.ds.edges[i].src, s.ds.edges[i].dst);
+  for (const auto& [a, b] : retired) {
+    const GraphMutation m = GraphMutation::DelEdge(a, b);
+    out.push_back(m);
+    ApplyMutation(m, &s.ds, &s.alive);
+  }
+  // Closures and churn both shrank the edge list; rebuild the key set once.
+  s.edge_keys.clear();
+  for (const graph::Triple& e : s.ds.edges)
+    s.edge_keys.insert(PairKey(e.src, e.dst));
+
+  // 4. Openings (each new POI immediately draws its relationships under
+  // the flipped region context).
+  alive_ids = AliveIds(s);
+  const int n_open = static_cast<int>(
+      std::lround(config.open_fraction * alive_ids.size()));
+  for (int k = 0; k < n_open; ++k) {
+    const int anchor =
+        alive_ids[rng.UniformInt(static_cast<int64_t>(alive_ids.size()))];
+    const Poi p = MakeOpenedPoi(config, s, rng, anchor);
+    const GraphMutation m = GraphMutation::AddPoi(p);
+    out.push_back(m);
+    ApplyMutation(m, &s.ds, &s.alive);
+    for (int e = 0; e < config.edges_per_new_poi; ++e)
+      DrawEdgeFor(config, s, rng, p.id, out);
+  }
+
+  // 5. ...and replace the retired slice with edges drawn under the new
+  // regime — the migration that makes a stale model measurably wrong.
+  alive_ids = AliveIds(s);
+  if (!alive_ids.empty()) {
+    int drawn = 0;
+    for (int attempt = 0; drawn < n_churn && attempt < 4 * n_churn;
+         ++attempt) {
+      const int a =
+          alive_ids[rng.UniformInt(static_cast<int64_t>(alive_ids.size()))];
+      if (DrawEdgeFor(config, s, rng, a, out)) ++drawn;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PoiDataset DriftCity(const DriftConfig& config, int t,
+                     std::vector<uint8_t>* alive_out) {
+  PRIM_CHECK(t >= 0);
+  DriftState s = InitDriftState(config);
+  for (int step = 0; step < t; ++step) DriftStepImpl(config, s, step);
+  if (alive_out != nullptr) *alive_out = s.alive;
+  return std::move(s.ds);
+}
+
+std::vector<GraphMutation> DriftMutations(const DriftConfig& config, int t) {
+  PRIM_CHECK(t >= 0);
+  DriftState s = InitDriftState(config);
+  for (int step = 0; step < t; ++step) DriftStepImpl(config, s, step);
+  return DriftStepImpl(config, s, t);
+}
+
 }  // namespace prim::data

@@ -1,9 +1,12 @@
 #ifndef PRIM_DATA_SYNTHETIC_H_
 #define PRIM_DATA_SYNTHETIC_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
+#include "data/mutation.h"
 
 namespace prim::data {
 
@@ -86,6 +89,53 @@ PairScores GenerativePairScores(uint64_t seed, const Poi& a, const Poi& b,
 /// paper assigns 8 random relationships because ground truth is absent).
 PoiDataset GenerateScalabilityDataset(int num_pois, int relations_per_poi,
                                       int num_relations, uint64_t seed);
+
+// --- Temporal drift --------------------------------------------------------
+//
+// A seeded model of how a city changes between two snapshots in time:
+// POIs close and open, relationships churn, and — the actual distribution
+// shift — latent region contexts flip between commercial and residential,
+// which changes the competitive/complementary balance of newly drawn edges
+// (GenerativePairScores modulates both affinities by region context). A
+// model trained at time t therefore degrades at t + delta, and the gap is
+// recoverable by retraining on the drifted graph — the setting the
+// streaming subsystem's online fine-tuning targets.
+
+struct DriftConfig {
+  SyntheticCityConfig city;
+  uint64_t drift_seed = 99;
+  /// Per drift step, fractions of the current alive-POI / edge counts:
+  double close_fraction = 0.02;       // POIs that close (kDelPoi).
+  double open_fraction = 0.03;        // new POIs that open (kAddPoi).
+  /// Existing edges re-drawn each step (kDelEdge + replacement kAddEdge).
+  /// Replacements are sampled under the *flipped* region contexts, so this
+  /// is the rate at which the edge distribution migrates to the new regime.
+  double edge_churn_fraction = 0.10;
+  /// Fraction of latent regions whose commercial/residential context flips
+  /// each step.
+  double region_flip_fraction = 0.25;
+  /// Relationship edges drawn for each newly opened POI.
+  int edges_per_new_poi = 8;
+  /// Candidate partners are alive POIs within this radius of an endpoint.
+  double candidate_radius_km = 4.0;
+};
+
+/// The drifted city after `t` steps. DriftCity(config, 0) is exactly
+/// GenerateSyntheticCity(config.city). Closed POIs keep their row in
+/// `pois` (ids are stable across the whole stream) but lose every edge;
+/// `alive_out`, if non-null, receives the per-POI liveness mask.
+/// Deterministic in (config, t). Requires config.city.num_relations == 2
+/// (the drift model redraws relation types from the binary generative
+/// posterior).
+PoiDataset DriftCity(const DriftConfig& config, int t,
+                     std::vector<uint8_t>* alive_out = nullptr);
+
+/// The mutation stream transforming DriftCity(config, t) into
+/// DriftCity(config, t + 1). Replaying DriftMutations(config, 0), ...,
+/// DriftMutations(config, T - 1) onto DriftCity(config, 0) reproduces
+/// DriftCity(config, T) exactly: identical POI rows, identical edge list
+/// in identical order — the invariant the stream determinism tests pin.
+std::vector<GraphMutation> DriftMutations(const DriftConfig& config, int t);
 
 }  // namespace prim::data
 

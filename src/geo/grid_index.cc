@@ -26,6 +26,8 @@ GridIndex::GridIndex(const std::vector<GeoPoint>& points, double cell_km)
     : points_(points), projector_(Centroid(points)), cell_km_(cell_km) {
   PRIM_CHECK_MSG(cell_km > 0.0, "cell_km must be positive, got " << cell_km);
   const int n = static_cast<int>(points_.size());
+  state_.assign(points_.size(), kInCell);
+  num_active_ = n;
   if (n == 0) {
     grid_w_ = grid_h_ = 1;
     cell_offsets_.assign(2, 0);
@@ -71,6 +73,43 @@ int64_t GridIndex::CellOf(double x_km, double y_km) const {
   return static_cast<int64_t>(cy) * grid_w_ + cx;
 }
 
+bool GridIndex::Remove(int id) {
+  PRIM_CHECK_MSG(0 <= id && id < num_points(),
+                 "GridIndex::Remove: id " << id << " out of range [0, "
+                                          << num_points() << ")");
+  if (state_[id] == kRemoved) return false;
+  if (state_[id] == kRelocated) {
+    auto it = std::lower_bound(relocated_.begin(), relocated_.end(), id);
+    PRIM_CHECK(it != relocated_.end() && *it == id);
+    relocated_.erase(it);
+  }
+  state_[id] = kRemoved;
+  --num_active_;
+  return true;
+}
+
+bool GridIndex::Update(int id, const GeoPoint& location) {
+  PRIM_CHECK_MSG(0 <= id && id < num_points(),
+                 "GridIndex::Update: id " << id << " out of range [0, "
+                                          << num_points() << ")");
+  if (state_[id] == kRemoved) return false;
+  if (state_[id] == kInCell) {
+    // Still covered by its construction-time bucket? Then the move is
+    // free. A destination outside the original bounds clamps to a border
+    // cell, so "same cell" correctly captures that too.
+    double old_x, old_y, new_x, new_y;
+    projector_.ToPlane(points_[id], &old_x, &old_y);
+    projector_.ToPlane(location, &new_x, &new_y);
+    if (CellOf(new_x, new_y) != CellOf(old_x, old_y)) {
+      state_[id] = kRelocated;
+      relocated_.insert(
+          std::lower_bound(relocated_.begin(), relocated_.end(), id), id);
+    }
+  }
+  points_[id] = location;
+  return true;
+}
+
 std::vector<int> GridIndex::RadiusQuery(const GeoPoint& center,
                                         double radius_km,
                                         int exclude_id) const {
@@ -98,12 +137,18 @@ std::vector<int> GridIndex::RadiusQuery(const GeoPoint& center,
       const int64_t c = static_cast<int64_t>(gy) * grid_w_ + gx;
       for (int k = cell_offsets_[c]; k < cell_offsets_[c + 1]; ++k) {
         const int id = cell_ids_[k];
-        if (id == exclude_id) continue;
+        if (id == exclude_id || state_[id] != kInCell) continue;
         // Inclusive boundary: a point exactly at radius_km is a neighbour.
         // (Strict `<` silently dropped exact-boundary points; see header.)
         if (HaversineKm(points_[id], center) <= radius_km) out.push_back(id);
       }
     }
+  }
+  // Relocated points left their bucket; their side list is scanned with
+  // the same exact filter, so a move never changes query semantics.
+  for (int id : relocated_) {
+    if (id == exclude_id) continue;
+    if (HaversineKm(points_[id], center) <= radius_km) out.push_back(id);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -111,6 +156,8 @@ std::vector<int> GridIndex::RadiusQuery(const GeoPoint& center,
 
 std::vector<int> GridIndex::NeighborsOf(int id, double radius_km) const {
   PRIM_CHECK(0 <= id && id < num_points());
+  PRIM_CHECK_MSG(state_[id] != kRemoved,
+                 "GridIndex::NeighborsOf: point " << id << " was removed");
   return RadiusQuery(points_[id], radius_km, id);
 }
 

@@ -21,6 +21,15 @@ namespace prim::geo {
 ///
 /// Points are bucketed on a planar local projection; queries use exact
 /// haversine distance for the final filter, so results are exact.
+///
+/// The point set supports removal and relocation after construction
+/// (streaming POI churn). Ids are STABLE: Remove() hides a point from
+/// queries without renumbering the others, and Update() moves one in
+/// place. The bulk CSR is never rewritten — removed points are masked and
+/// relocated points live in a small side list scanned exactly, so query
+/// results stay identical to a freshly built index over the same live
+/// set. Compaction (rebuilding from the live points) is the caller's
+/// policy, not this class's.
 class GridIndex {
  public:
   /// Builds the index. cell_km should be on the order of the typical query
@@ -34,12 +43,32 @@ class GridIndex {
                                int exclude_id = -1) const;
 
   /// Convenience: neighbours of an indexed point (excludes itself).
+  /// `id` must be active.
   std::vector<int> NeighborsOf(int id, double radius_km) const;
 
+  /// Hides `id` from all future queries. Ids of other points are
+  /// unchanged. Returns false (and does nothing) if `id` was already
+  /// removed; removing twice is not an error, just a no-op.
+  bool Remove(int id);
+
+  /// Moves `id` to `location`. The point keeps its id and stays
+  /// queryable at the new position, even outside the original grid
+  /// bounds. Returns false (and does nothing) if `id` was removed.
+  bool Update(int id, const GeoPoint& location);
+
   int num_points() const { return static_cast<int>(points_.size()); }
+  /// Points still visible to queries (num_points() minus removals).
+  int num_active() const { return num_active_; }
+  bool is_active(int id) const { return state_[id] != kRemoved; }
+  /// Last known location; stays readable after Remove() (callers log it).
   const GeoPoint& point(int id) const { return points_[id]; }
 
  private:
+  // Where a point currently lives. kInCell: in its construction-time CSR
+  // bucket. kRemoved: masked out of every query. kRelocated: moved out of
+  // its bucket; found via relocated_ instead.
+  enum State : uint8_t { kInCell = 0, kRemoved = 1, kRelocated = 2 };
+
   int64_t CellOf(double x_km, double y_km) const;
 
   std::vector<GeoPoint> points_;
@@ -50,6 +79,11 @@ class GridIndex {
   // CSR layout: cell_offsets_[c]..cell_offsets_[c+1] indexes into cell_ids_.
   std::vector<int> cell_offsets_;
   std::vector<int> cell_ids_;
+  std::vector<uint8_t> state_;
+  /// Ids with state kRelocated, ascending. Scanned exactly by every query;
+  /// stays small because stores compact long before it grows.
+  std::vector<int> relocated_;
+  int num_active_ = 0;
 };
 
 }  // namespace prim::geo

@@ -58,8 +58,9 @@ struct NetServerOptions {
   /// map is capped to bound memory against clients inventing verbs; seeded
   /// verbs can never be displaced by that cap, so the serving verbs' p50/
   /// p95/p99 lines survive any amount of junk traffic.
-  std::vector<std::string> expected_verbs = {"CLASSIFY", "TOPK", "STATS",
-                                             "RELOAD"};
+  std::vector<std::string> expected_verbs = {
+      "CLASSIFY", "TOPK",   "STATS",  "RELOAD", "ADDPOI",
+      "ADDREL",   "DELREL", "DELPOI", "COMPACT"};
 };
 
 /// TCP socket frontend around a line-oriented request handler (one request

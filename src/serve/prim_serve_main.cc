@@ -1,7 +1,7 @@
 // prim_serve: answers POI relationship queries from a serving checkpoint.
 //
 //   prim_serve --checkpoint model.ckpt [--cache 1024] [--cell-km 1.15]
-//              [--no-project] [--no-mmap]
+//              [--no-project] [--no-mmap] [--compact-every N]
 //              [--port P [--host A] [--serve-threads N] [--queue N]
 //               [--deadline-ms N] [--slow-ms N] [--max-batch N]
 //               [--batch-wait-us N]]
@@ -20,6 +20,11 @@
 // atomically re-reads the checkpoint and swaps the model without dropping
 // a single connection. --slow-ms injects artificial handler latency — a
 // debugging/smoke-test aid for provoking backpressure on demand.
+//
+// Both modes accept the streaming mutation verbs (ADDPOI / ADDREL /
+// DELREL / DELPOI / COMPACT, see serve/protocol.h): live graph edits
+// apply as atomic snapshot swaps and fold into a fresh index every
+// --compact-every mutations (0 disables automatic compaction).
 
 #include <chrono>
 #include <cstdio>
@@ -40,7 +45,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: prim_serve --checkpoint <file> [--cache N] "
-               "[--cell-km R] [--no-project] [--no-mmap]\n"
+               "[--cell-km R] [--no-project] [--no-mmap] "
+               "[--compact-every N]\n"
                "                  [--port P [--host A] [--serve-threads N] "
                "[--queue N]\n"
                "                   [--deadline-ms N] [--slow-ms N] "
@@ -121,6 +127,12 @@ int main(int argc, char** argv) {
   }
   if (HasFlag(argc, argv, "no-project")) options.project = false;
   if (HasFlag(argc, argv, "no-mmap")) options.mmap = false;
+  if (const char* v = FlagValue(argc, argv, "compact-every")) {
+    long compact_every = 0;
+    if (!ParseNonNegativeLong("compact-every", v, &compact_every))
+      return Usage();
+    options.compact_every = static_cast<uint64_t>(compact_every);
+  }
 
   const bool network = FlagValue(argc, argv, "port") != nullptr;
   std::string host = "127.0.0.1";

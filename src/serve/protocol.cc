@@ -87,6 +87,94 @@ bool ScanClassify(const std::string& line, int* i, int* j) {
   return ScanVerbIntInt(line, "CLASSIFY", i, j);
 }
 
+/// True iff `line` is exactly `ADDPOI <double> <double>`.
+bool ScanAddPoi(const std::string& line, double* lon, double* lat) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  p = SkipSpaces(p, end);
+  const char* tok = TokenEnd(p, end);
+  if (std::string_view(p, static_cast<size_t>(tok - p)) != "ADDPOI")
+    return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseDoubleToken(p, tok, lon)) return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseDoubleToken(p, tok, lat)) return false;
+  return SkipSpaces(tok, end) == end;
+}
+
+/// True iff `line` is exactly `ADDREL <int> <int> <token>`. The relation
+/// token is opaque here (name or id); ApplyMutations resolves it against
+/// the snapshot it mutates.
+bool ScanAddRel(const std::string& line, int* i, int* j, std::string* rel) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  p = SkipSpaces(p, end);
+  const char* tok = TokenEnd(p, end);
+  if (std::string_view(p, static_cast<size_t>(tok - p)) != "ADDREL")
+    return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseIntToken(p, tok, i)) return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseIntToken(p, tok, j)) return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (p == tok) return false;
+  rel->assign(p, static_cast<size_t>(tok - p));
+  return SkipSpaces(tok, end) == end;
+}
+
+/// True iff `line` is exactly `DELPOI <int>`.
+bool ScanDelPoi(const std::string& line, int* i) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  p = SkipSpaces(p, end);
+  const char* tok = TokenEnd(p, end);
+  if (std::string_view(p, static_cast<size_t>(tok - p)) != "DELPOI")
+    return false;
+  p = SkipSpaces(tok, end);
+  tok = TokenEnd(p, end);
+  if (!ParseIntToken(p, tok, i)) return false;
+  return SkipSpaces(tok, end) == end;
+}
+
+/// Strict scan of any mutation verb line into a Mutation. Used by both the
+/// batch path and BatchKeyForLine, so the two always agree on what
+/// coalesces.
+bool ScanMutation(const std::string& line,
+                  RelationshipServer::Mutation* out) {
+  double lon = 0.0, lat = 0.0;
+  int i = 0, j = 0;
+  std::string rel;
+  if (ScanAddPoi(line, &lon, &lat)) {
+    out->kind = RelationshipServer::Mutation::Kind::kAddPoi;
+    out->location = {lon, lat};
+    return true;
+  }
+  if (ScanAddRel(line, &i, &j, &rel)) {
+    out->kind = RelationshipServer::Mutation::Kind::kAddRel;
+    out->i = i;
+    out->j = j;
+    out->rel_token = std::move(rel);
+    return true;
+  }
+  if (ScanVerbIntInt(line, "DELREL", &i, &j)) {
+    out->kind = RelationshipServer::Mutation::Kind::kDelRel;
+    out->i = i;
+    out->j = j;
+    return true;
+  }
+  if (ScanDelPoi(line, &i)) {
+    out->kind = RelationshipServer::Mutation::Kind::kDelPoi;
+    out->i = i;
+    return true;
+  }
+  return false;
+}
+
 std::string FormatFloat(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
@@ -145,7 +233,16 @@ std::string HandleStats(RelationshipServer& server, std::istringstream& in) {
          " topk_ms=" + FormatFloat(s.topk_seconds * 1e3, 3) +
          " singleflight=" + std::to_string(s.singleflight_waits) +
          " model_version=" + std::to_string(s.model_version) +
-         " reloads=" + std::to_string(s.reloads);
+         " reloads=" + std::to_string(s.reloads) +
+         " mutations=" + std::to_string(s.mutations) +
+         " addpoi=" + std::to_string(s.addpoi) +
+         " addrel=" + std::to_string(s.addrel) +
+         " delrel=" + std::to_string(s.delrel) +
+         " delpoi=" + std::to_string(s.delpoi) +
+         " mutation_errors=" + std::to_string(s.mutation_errors) +
+         " compactions=" + std::to_string(s.compactions) +
+         " overlay_pois=" + std::to_string(s.overlay_pois) +
+         " overlay_edges=" + std::to_string(s.overlay_edges);
 }
 
 std::string HandleReload(RelationshipServer& server, std::istringstream& in) {
@@ -160,6 +257,55 @@ std::string HandleReload(RelationshipServer& server, std::istringstream& in) {
          std::to_string(server.stats().model_version);
 }
 
+/// Runs one parsed mutation through the same batch entry point the
+/// coalesced path uses, so single-line and batched responses are
+/// byte-identical by construction.
+std::string ApplyOneMutation(RelationshipServer& server,
+                             RelationshipServer::Mutation mutation) {
+  std::vector<std::string> responses;
+  server.ApplyMutations({std::move(mutation)}, &responses);
+  return responses[0];
+}
+
+std::string HandleAddPoi(RelationshipServer& server, std::istringstream& in) {
+  RelationshipServer::Mutation mut;
+  mut.kind = RelationshipServer::Mutation::Kind::kAddPoi;
+  if (!(in >> mut.location.lon >> mut.location.lat) || HasTrailingTokens(in))
+    return Err("usage: ADDPOI <lon> <lat>");
+  return ApplyOneMutation(server, std::move(mut));
+}
+
+std::string HandleAddRel(RelationshipServer& server, std::istringstream& in) {
+  RelationshipServer::Mutation mut;
+  mut.kind = RelationshipServer::Mutation::Kind::kAddRel;
+  if (!(in >> mut.i >> mut.j >> mut.rel_token) || HasTrailingTokens(in))
+    return Err("usage: ADDREL <i> <j> <relation>");
+  return ApplyOneMutation(server, std::move(mut));
+}
+
+std::string HandleDelRel(RelationshipServer& server, std::istringstream& in) {
+  RelationshipServer::Mutation mut;
+  mut.kind = RelationshipServer::Mutation::Kind::kDelRel;
+  if (!(in >> mut.i >> mut.j) || HasTrailingTokens(in))
+    return Err("usage: DELREL <i> <j>");
+  return ApplyOneMutation(server, std::move(mut));
+}
+
+std::string HandleDelPoi(RelationshipServer& server, std::istringstream& in) {
+  RelationshipServer::Mutation mut;
+  mut.kind = RelationshipServer::Mutation::Kind::kDelPoi;
+  if (!(in >> mut.i) || HasTrailingTokens(in))
+    return Err("usage: DELPOI <i>");
+  return ApplyOneMutation(server, std::move(mut));
+}
+
+std::string HandleCompact(RelationshipServer& server, std::istringstream& in) {
+  if (HasTrailingTokens(in)) return Err("usage: COMPACT");
+  const bool compacted = server.Compact();
+  return "OK compacted=" + std::to_string(compacted ? 1 : 0) +
+         " overlay_pois=" + std::to_string(server.stats().overlay_pois);
+}
+
 }  // namespace
 
 std::string HandleRequestLine(RelationshipServer& server,
@@ -169,10 +315,16 @@ std::string HandleRequestLine(RelationshipServer& server,
   if (!(in >> verb)) return "";  // Blank line.
   if (verb == "CLASSIFY") return HandleClassify(server, in);
   if (verb == "TOPK") return HandleTopK(server, in);
+  if (verb == "ADDPOI") return HandleAddPoi(server, in);
+  if (verb == "ADDREL") return HandleAddRel(server, in);
+  if (verb == "DELREL") return HandleDelRel(server, in);
+  if (verb == "DELPOI") return HandleDelPoi(server, in);
+  if (verb == "COMPACT") return HandleCompact(server, in);
   if (verb == "STATS") return HandleStats(server, in);
   if (verb == "RELOAD") return HandleReload(server, in);
   return Err("unknown request '" + verb +
-             "' (expected CLASSIFY, TOPK, STATS, or RELOAD)");
+             "' (expected CLASSIFY, TOPK, ADDPOI, ADDREL, DELREL, DELPOI, "
+             "COMPACT, STATS, or RELOAD)");
 }
 
 std::string BatchKeyForLine(const std::string& line) {
@@ -186,6 +338,11 @@ std::string BatchKeyForLine(const std::string& line) {
     std::snprintf(buf, sizeof(buf), "TOPK %.17g %d", radius_km, k);
     return buf;
   }
+  // All mutation verbs share one key: a queued burst then applies as ONE
+  // atomic snapshot swap (one overlay copy, one cache invalidation)
+  // instead of one per line.
+  RelationshipServer::Mutation mutation;
+  if (ScanMutation(line, &mutation)) return "MUTATE";
   return "";
 }
 
@@ -275,6 +432,33 @@ std::vector<std::string> HandleRequestBatch(
                                     ? FormatTopK(server, outs[x])
                                     : Err(errors[x]);
     }
+    return responses;
+  }
+
+  if (verb == "ADDPOI" || verb == "ADDREL" || verb == "DELREL" ||
+      verb == "DELPOI") {
+    // The whole group applies as one atomic ApplyMutations batch, in queue
+    // order. A line the strict scanner rejects takes the per-line path;
+    // that path funnels into ApplyMutations too, so its response text is
+    // identical — and since lines of one batch come from different
+    // connections (a connection has at most one request in flight), any
+    // serialization between them is valid.
+    std::vector<size_t> positions;
+    std::vector<RelationshipServer::Mutation> mutations;
+    for (size_t p = 0; p < lines.size(); ++p) {
+      RelationshipServer::Mutation mutation;
+      if (!ScanMutation(lines[p], &mutation)) {
+        responses[p] = HandleRequestLine(server, lines[p]);
+        continue;
+      }
+      positions.push_back(p);
+      mutations.push_back(std::move(mutation));
+    }
+    if (mutations.empty()) return responses;
+    std::vector<std::string> batch_responses;
+    server.ApplyMutations(mutations, &batch_responses);
+    for (size_t x = 0; x < positions.size(); ++x)
+      responses[positions[x]] = batch_responses[x];
     return responses;
   }
 

@@ -16,13 +16,37 @@ namespace prim::serve {
 //   STATS                      -> OK classify=<n> topk=<n> cache_hits=<n>
 //                                 cache_misses=<n> classify_ms=<t> topk_ms=<t>
 //                                 singleflight=<n> model_version=<n>
-//                                 reloads=<n>
+//                                 reloads=<n> mutations=<n> addpoi=<n>
+//                                 addrel=<n> delrel=<n> delpoi=<n>
+//                                 mutation_errors=<n> compactions=<n>
+//                                 overlay_pois=<n> overlay_edges=<n>
 //   RELOAD [<path>]            -> OK reloaded model_version=<n>
+//
+// Streaming graph mutations (the live-update verb family):
+//
+//   ADDPOI <lon> <lat>         -> OK id=<new_id>
+//   ADDREL <i> <j> <rel>       -> OK declared=<relation>
+//   DELREL <i> <j>             -> OK declared=none
+//   DELPOI <i>                 -> OK removed=<i>
+//   COMPACT                    -> OK compacted=<0|1> overlay_pois=<n>
+//
+// ADDREL accepts <rel> as a relation name or numeric id. ADDREL/DELREL
+// declare an authoritative relation fact for the pair: CLASSIFY answers it
+// verbatim and TOPK ranks declared partners above inferred ones (DELREL
+// declares "unrelated", which classifies as "none" and drops the partner
+// from TOPK). DELPOI hides the POI: later requests naming it answer
+// "ERR POI <i> was removed"; ids of other POIs never shift. Each mutation
+// (or coalesced batch of them) installs one fresh immutable snapshot — a
+// concurrent CLASSIFY observes the graph either before or after the whole
+// batch, never a torn state. COMPACT forces the overlay fold that
+// otherwise happens automatically every --compact-every mutations;
+// answers are identical before and after.
 //
 // RELOAD atomically swaps the model to the checkpoint at <path> (or
 // re-reads the current checkpoint file when <path> is omitted — the same
 // thing SIGHUP does in prim_serve); in-flight requests finish against the
-// old model, connections are never dropped.
+// old model, connections are never dropped. A reload DISCARDS outstanding
+// mutations: the checkpoint is authoritative.
 //
 // Malformed or failing requests answer "ERR <message>"; blank lines answer
 // "" (the caller should skip them). The phi (no-relation) class renders as
@@ -36,9 +60,10 @@ std::string HandleRequestLine(RelationshipServer& server,
 /// Coalescing key for NetServer request batching: a non-empty string when
 /// `line` is a request that can be answered as part of a group (every
 /// CLASSIFY shares one key; TOPK requests share a key iff their parsed
-/// (radius, k) agree), empty when the line must be handled alone
-/// (STATS/RELOAD/unknown/unparsable — the per-line path owns their error
-/// strings).
+/// (radius, k) agree; every mutation verb shares the "MUTATE" key so a
+/// burst applies as one atomic snapshot swap), empty when the line must be
+/// handled alone (STATS/RELOAD/COMPACT/unknown/unparsable — the per-line
+/// path owns their error strings).
 std::string BatchKeyForLine(const std::string& line);
 
 /// Answers a group of same-key lines (per BatchKeyForLine) in one

@@ -1,10 +1,12 @@
 #include "serve/relationship_server.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <utility>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "io/model_io.h"
 #include "nn/profiler.h"
@@ -18,7 +20,62 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Canonical unordered-pair key (a <= b packed into a u64) — the same
+/// scheme HeteroGraph uses for membership sets.
+uint64_t PairKeyU64(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+std::string RangeError(int id, int n) {
+  return "POI " + std::to_string(id) + " is out of range [0, " +
+         std::to_string(n) + ")";
+}
+
+std::string RemovedError(int id) {
+  return "POI " + std::to_string(id) + " was removed";
+}
+
 }  // namespace
+
+RelationshipServer::ModelSnapshot::ModelSnapshot(
+    std::unique_ptr<const core::PrimIndex> idx,
+    const std::vector<geo::GeoPoint>& points, std::vector<std::string> names,
+    double cell_km, std::shared_ptr<io::MappedFile> map, uint64_t ver)
+    : index(std::move(idx)),
+      relation_names(std::move(names)),
+      grid(std::make_shared<const geo::GridIndex>(points, cell_km)),
+      mapping(std::move(map)),
+      version(ver) {
+  // Missing labels degrade to positional names, never to empty responses.
+  for (int r = static_cast<int>(relation_names.size());
+       r < index->num_classes() - 1; ++r) {
+    relation_names.push_back("rel" + std::to_string(r));
+  }
+}
+
+bool RelationshipServer::ModelSnapshot::IsAlive(int id) const {
+  if (id < 0 || id >= num_pois()) return false;
+  if (!dead.empty() && dead.count(id) > 0) return false;
+  if (id < grid->num_points()) return grid->is_active(id);
+  return true;
+}
+
+const geo::GeoPoint& RelationshipServer::ModelSnapshot::PointOf(
+    int id) const {
+  const int base_n = grid->num_points();
+  if (id < base_n) return grid->point(id);
+  return extra_points[static_cast<size_t>(id - base_n)];
+}
+
+const float* RelationshipServer::ModelSnapshot::EmbeddingRowOf(int id) const {
+  const int base_n = index->num_nodes();
+  const int dim = index->dim();
+  if (id < base_n)
+    return index->embeddings_data() + static_cast<int64_t>(id) * dim;
+  return extra_embeddings.data() +
+         static_cast<int64_t>(id - base_n) * dim;
+}
 
 RelationshipServer::RelationshipServer(
     std::shared_ptr<const ModelSnapshot> snapshot, const Options& options)
@@ -87,9 +144,25 @@ io::Result RelationshipServer::Load(const std::string& checkpoint_path,
   return io::Result::Ok();
 }
 
+void RelationshipServer::InstallSnapshot(
+    std::shared_ptr<const ModelSnapshot> fresh) {
+  snapshot_ = std::move(fresh);
+  // The cache is keyed by (i, radius, k) only — every pre-swap answer is
+  // now stale (a reload swaps models; a mutation changes the graph the
+  // answers describe). Generations invalidate them in O(1); PutAt makes
+  // pre-swap computations that finish after this point drop their insert.
+  topk_cache_.BumpGeneration();
+  // In-flight top-k leaders keep computing against their pinned (old)
+  // snapshot and will answer their current waiters — standard RCU
+  // semantics. Dropping the registry stops *new* arrivals from joining a
+  // stale computation.
+  inflight_.clear();
+  stats_.model_version = snapshot_->version;
+}
+
 io::Result RelationshipServer::Reload(const std::string& path) {
-  // One reload at a time: two interleaved load-then-swap sequences could
-  // install the older model last. The load itself runs without mu_, so
+  // One writer at a time: two interleaved build-then-swap sequences could
+  // install the older state last. The load itself runs without mu_, so
   // requests keep flowing while the new model is read.
   MutexLock reload_lock(reload_mu_);
   uint64_t next_version = 0;
@@ -102,19 +175,9 @@ io::Result RelationshipServer::Reload(const std::string& path) {
     return r;
 
   MutexLock lock(mu_);
-  snapshot_ = std::move(fresh);
+  InstallSnapshot(std::move(fresh));
   checkpoint_path_ = path;
-  // The cache is keyed by (i, radius, k) only — every pre-swap answer is
-  // now stale. Generations invalidate them in O(1); PutAt makes pre-swap
-  // computations that finish after this point drop their insert.
-  topk_cache_.BumpGeneration();
-  // In-flight top-k leaders keep computing against their pinned (old)
-  // snapshot and will answer their current waiters — standard RCU
-  // semantics. Dropping the registry stops *new* arrivals from joining a
-  // stale computation.
-  inflight_.clear();
   ++stats_.reloads;
-  stats_.model_version = snapshot_->version;
   return io::Result::Ok();
 }
 
@@ -131,6 +194,29 @@ io::Result RelationshipServer::Reload() {
   return Reload(path);
 }
 
+void RelationshipServer::PublishModel(
+    std::unique_ptr<core::PrimIndex> index, std::vector<geo::GeoPoint> points,
+    std::vector<std::string> relation_names, std::unordered_set<int> dead) {
+  MutexLock reload_lock(reload_mu_);
+  uint64_t next_version = 0;
+  {
+    MutexLock lock(mu_);
+    next_version = snapshot_->version + 1;
+  }
+  // Built off the read path, exactly like a reload; the overlay is
+  // dropped because the published model was trained on the mutated graph.
+  // Closed POIs keep their index rows (ids are stable) but sit in `dead`,
+  // which excludes them from candidates and answers "was removed".
+  auto fresh = std::make_shared<ModelSnapshot>(
+      std::unique_ptr<const core::PrimIndex>(std::move(index)), points,
+      std::move(relation_names), options_.cell_km, /*map=*/nullptr,
+      next_version);
+  fresh->dead = std::move(dead);
+  MutexLock lock(mu_);
+  InstallSnapshot(std::move(fresh));
+  ++stats_.reloads;
+}
+
 std::string RelationshipServer::checkpoint_path() const {
   MutexLock lock(mu_);
   return checkpoint_path_;
@@ -142,7 +228,7 @@ RelationshipServer::Pin() const {
   return snapshot_;
 }
 
-int RelationshipServer::num_pois() const { return Pin()->grid.num_points(); }
+int RelationshipServer::num_pois() const { return Pin()->num_pois(); }
 
 int RelationshipServer::num_relations() const {
   return Pin()->index->num_classes() - 1;
@@ -159,16 +245,28 @@ std::string RelationshipServer::RelationName(int relation) const {
 RelationshipServer::Classification RelationshipServer::ScorePair(
     const ModelSnapshot& snap, int i, int j, double dist_km,
     float* scratch) const {
-  snap.index->Query(i, j, static_cast<float>(dist_km), options_.project,
-                    scratch);
+  snap.index->QueryRows(snap.EmbeddingRowOf(i), snap.EmbeddingRowOf(j),
+                        static_cast<float>(dist_km), options_.project,
+                        scratch);
   const int num_classes = snap.index->num_classes();
+  Classification result;
+  result.distance_km = dist_km;
+  // A declared fact (ADDREL/DELREL) outranks inference: the operator told
+  // us the answer, the model merely scores it.
+  if (!snap.edge_overrides.empty()) {
+    auto it = snap.edge_overrides.find(PairKeyU64(i, j));
+    if (it != snap.edge_overrides.end()) {
+      result.relation = it->second;
+      result.score = scratch[it->second];
+      result.declared = true;
+      return result;
+    }
+  }
   int best = 0;
   for (int c = 1; c < num_classes; ++c)
     if (scratch[c] > scratch[best]) best = c;
-  Classification result;
   result.relation = best;
   result.score = scratch[best];
-  result.distance_km = dist_km;
   return result;
 }
 
@@ -176,14 +274,16 @@ io::Result RelationshipServer::Classify(int i, int j, Classification* out) {
   const auto start = std::chrono::steady_clock::now();
   nn::ScopedOpTimer timer("serve/classify");
   const std::shared_ptr<const ModelSnapshot> snap = Pin();
-  const int n = snap->grid.num_points();
+  const int n = snap->num_pois();
   if (i < 0 || i >= n || j < 0 || j >= n)
     return io::Result::Fail("pair (" + std::to_string(i) + ", " +
                             std::to_string(j) + ") is out of range [0, " +
                             std::to_string(n) + ")");
+  if (!snap->IsAlive(i)) return io::Result::Fail(RemovedError(i));
+  if (!snap->IsAlive(j)) return io::Result::Fail(RemovedError(j));
   std::vector<float> scratch(snap->index->num_classes());
   const double dist_km =
-      geo::HaversineKm(snap->grid.point(i), snap->grid.point(j));
+      geo::HaversineKm(snap->PointOf(i), snap->PointOf(j));
   *out = ScorePair(*snap, i, j, dist_km, scratch.data());
   MutexLock lock(mu_);
   ++stats_.classify_requests;
@@ -197,7 +297,7 @@ io::Result RelationshipServer::ClassifyBatch(
   const auto start = std::chrono::steady_clock::now();
   nn::ScopedOpTimer timer("serve/classify_batch");
   const std::shared_ptr<const ModelSnapshot> snap = Pin();
-  const int n = snap->grid.num_points();
+  const int n = snap->num_pois();
   for (size_t p = 0; p < pairs.size(); ++p) {
     const auto [i, j] = pairs[p];
     if (i < 0 || i >= n || j < 0 || j >= n)
@@ -205,6 +305,8 @@ io::Result RelationshipServer::ClassifyBatch(
                               std::to_string(i) + ", " + std::to_string(j) +
                               ") is out of range [0, " + std::to_string(n) +
                               ")");
+    if (!snap->IsAlive(i)) return io::Result::Fail(RemovedError(i));
+    if (!snap->IsAlive(j)) return io::Result::Fail(RemovedError(j));
   }
   out->resize(pairs.size());
   ParallelFor(static_cast<int64_t>(pairs.size()),
@@ -214,7 +316,7 @@ io::Result RelationshipServer::ClassifyBatch(
                 for (int64_t p = begin; p < end; ++p) {
                   const auto [i, j] = pairs[static_cast<size_t>(p)];
                   const double dist_km = geo::HaversineKm(
-                      snap->grid.point(i), snap->grid.point(j));
+                      snap->PointOf(i), snap->PointOf(j));
                   (*out)[static_cast<size_t>(p)] =
                       ScorePair(*snap, i, j, dist_km, scratch.data());
                 }
@@ -225,9 +327,66 @@ io::Result RelationshipServer::ClassifyBatch(
   return io::Result::Ok();
 }
 
+std::vector<int> RelationshipServer::CandidatesOf(const ModelSnapshot& snap,
+                                                  int i,
+                                                  double radius_km) const {
+  const geo::GeoPoint& center = snap.PointOf(i);
+  // The grid already masks its own removed ids; overlay deletions not yet
+  // folded into it are filtered here.
+  std::vector<int> out = snap.grid->RadiusQuery(center, radius_km, i);
+  if (!snap.dead.empty())
+    std::erase_if(out, [&](int id) { return snap.dead.count(id) > 0; });
+  // Overlay POIs are few (compaction folds them); an exact linear scan
+  // keeps results identical to a post-compaction grid query.
+  const int base_n = snap.grid->num_points();
+  for (size_t e = 0; e < snap.extra_points.size(); ++e) {
+    const int id = base_n + static_cast<int>(e);
+    if (id == i || !snap.IsAlive(id)) continue;
+    if (geo::HaversineKm(snap.extra_points[e], center) <= radius_km)
+      out.push_back(id);
+  }
+  return out;  // Ascending: grid ids sorted, extras appended in id order.
+}
+
+namespace {
+
+/// Shared tail of the single and fused top-k paths: drop phi (and
+/// declared-unrelated) candidates, order declared partners above inferred
+/// ones, then score-descending with id tiebreak — deterministic across
+/// thread counts — and truncate to k.
+std::vector<RelationshipServer::RelatedPoi> FilterSortTruncate(
+    int phi, const std::vector<int>& candidates,
+    const std::vector<RelationshipServer::Classification>& scored,
+    size_t begin, size_t end, int k) {
+  struct Entry {
+    RelationshipServer::RelatedPoi poi;
+    bool declared;
+  };
+  std::vector<Entry> entries;
+  for (size_t c = begin; c < end; ++c) {
+    if (scored[c].relation == phi) continue;
+    entries.push_back({{candidates[c], scored[c].relation, scored[c].score,
+                        scored[c].distance_km},
+                       scored[c].declared});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.declared != b.declared) return a.declared;
+              if (a.poi.score != b.poi.score) return a.poi.score > b.poi.score;
+              return a.poi.id < b.poi.id;
+            });
+  if (static_cast<int>(entries.size()) > k) entries.resize(k);
+  std::vector<RelationshipServer::RelatedPoi> related;
+  related.reserve(entries.size());
+  for (const Entry& e : entries) related.push_back(e.poi);
+  return related;
+}
+
+}  // namespace
+
 std::vector<RelationshipServer::RelatedPoi> RelationshipServer::ComputeTopK(
     const ModelSnapshot& snap, int i, double radius_km, int k) const {
-  const std::vector<int> candidates = snap.grid.NeighborsOf(i, radius_km);
+  const std::vector<int> candidates = CandidatesOf(snap, i, radius_km);
   std::vector<Classification> scored(candidates.size());
   ParallelFor(static_cast<int64_t>(candidates.size()),
               [&](int64_t begin, int64_t end) {
@@ -235,29 +394,14 @@ std::vector<RelationshipServer::RelatedPoi> RelationshipServer::ComputeTopK(
                 std::vector<float> scratch(snap.index->num_classes());
                 for (int64_t c = begin; c < end; ++c) {
                   const int j = candidates[static_cast<size_t>(c)];
-                  const double dist_km = geo::HaversineKm(snap.grid.point(i),
-                                                          snap.grid.point(j));
+                  const double dist_km = geo::HaversineKm(snap.PointOf(i),
+                                                          snap.PointOf(j));
                   scored[static_cast<size_t>(c)] =
                       ScorePair(snap, i, j, dist_km, scratch.data());
                 }
               });
-
-  const int phi = snap.index->num_classes() - 1;
-  std::vector<RelatedPoi> related;
-  for (size_t c = 0; c < candidates.size(); ++c) {
-    if (scored[c].relation == phi) continue;
-    related.push_back({candidates[c], scored[c].relation, scored[c].score,
-                       scored[c].distance_km});
-  }
-  // Score-descending with id tiebreak, so answers are deterministic across
-  // thread counts.
-  std::sort(related.begin(), related.end(),
-            [](const RelatedPoi& a, const RelatedPoi& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
-  if (static_cast<int>(related.size()) > k) related.resize(k);
-  return related;
+  return FilterSortTruncate(snap.index->num_classes() - 1, candidates,
+                            scored, 0, candidates.size(), k);
 }
 
 io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
@@ -265,10 +409,9 @@ io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
   const auto start = std::chrono::steady_clock::now();
   nn::ScopedOpTimer timer("serve/topk");
   const std::shared_ptr<const ModelSnapshot> snap = Pin();
-  if (i < 0 || i >= snap->grid.num_points())
-    return io::Result::Fail("POI " + std::to_string(i) +
-                            " is out of range [0, " +
-                            std::to_string(snap->grid.num_points()) + ")");
+  if (i < 0 || i >= snap->num_pois())
+    return io::Result::Fail(RangeError(i, snap->num_pois()));
+  if (!snap->IsAlive(i)) return io::Result::Fail(RemovedError(i));
   // Reject non-finite before the range check: NaN compares false against
   // everything, so it would sail through `<= 0.0` into the grid query.
   if (!std::isfinite(radius_km))
@@ -323,8 +466,8 @@ io::Result RelationshipServer::TopKRelated(int i, double radius_km, int k,
   if (auto it = inflight_.find(key);
       it != inflight_.end() && it->second == flight)
     inflight_.erase(it);
-  // No-op if a reload bumped the generation mid-compute: this answer
-  // describes the retired model.
+  // No-op if a reload or mutation bumped the generation mid-compute: this
+  // answer describes the retired state.
   topk_cache_.PutAt(key, std::move(related), generation);
   ++stats_.topk_requests;
   stats_.topk_seconds += Seconds(start);
@@ -347,7 +490,7 @@ io::Result RelationshipServer::TopKRelatedBatch(
     return io::Result::Fail("k must be positive, got " + std::to_string(k));
 
   const std::shared_ptr<const ModelSnapshot> snap = Pin();
-  const int n = snap->grid.num_points();
+  const int n = snap->num_pois();
   outs->assign(ids.size(), {});
   errors->assign(ids.size(), {});
 
@@ -365,8 +508,11 @@ io::Result RelationshipServer::TopKRelatedBatch(
     for (size_t p = 0; p < ids.size(); ++p) {
       const int i = ids[p];
       if (i < 0 || i >= n) {
-        (*errors)[p] = "POI " + std::to_string(i) + " is out of range [0, " +
-                       std::to_string(n) + ")";
+        (*errors)[p] = RangeError(i, n);
+        continue;
+      }
+      if (!snap->IsAlive(i)) {
+        (*errors)[p] = RemovedError(i);
         continue;
       }
       ++serviced;
@@ -402,7 +548,7 @@ io::Result RelationshipServer::TopKRelatedBatch(
     std::vector<size_t> offsets(misses.size() + 1, 0);
     for (size_t m = 0; m < misses.size(); ++m) {
       const std::vector<int> cand =
-          snap->grid.NeighborsOf(misses[m], radius_km);
+          CandidatesOf(*snap, misses[m], radius_km);
       flat_candidates.insert(flat_candidates.end(), cand.begin(), cand.end());
       flat_centers.insert(flat_centers.end(), cand.size(), misses[m]);
       offsets[m + 1] = flat_candidates.size();
@@ -416,7 +562,7 @@ io::Result RelationshipServer::TopKRelatedBatch(
                     const int i = flat_centers[static_cast<size_t>(c)];
                     const int j = flat_candidates[static_cast<size_t>(c)];
                     const double dist_km = geo::HaversineKm(
-                        snap->grid.point(i), snap->grid.point(j));
+                        snap->PointOf(i), snap->PointOf(j));
                     scored[static_cast<size_t>(c)] =
                         ScorePair(*snap, i, j, dist_km, scratch.data());
                   }
@@ -426,18 +572,8 @@ io::Result RelationshipServer::TopKRelatedBatch(
     MutexLock lock(mu_);
     for (size_t m = 0; m < misses.size(); ++m) {
       const int i = misses[m];
-      std::vector<RelatedPoi> related;
-      for (size_t c = offsets[m]; c < offsets[m + 1]; ++c) {
-        if (scored[c].relation == phi) continue;
-        related.push_back({flat_candidates[c], scored[c].relation,
-                           scored[c].score, scored[c].distance_km});
-      }
-      std::sort(related.begin(), related.end(),
-                [](const RelatedPoi& a, const RelatedPoi& b) {
-                  if (a.score != b.score) return a.score > b.score;
-                  return a.id < b.id;
-                });
-      if (static_cast<int>(related.size()) > k) related.resize(k);
+      std::vector<RelatedPoi> related = FilterSortTruncate(
+          phi, flat_candidates, scored, offsets[m], offsets[m + 1], k);
 
       for (size_t p : positions_by_id[i]) (*outs)[p] = related;
       const std::shared_ptr<InFlightTopK>& flight = owned[i];
@@ -472,12 +608,274 @@ io::Result RelationshipServer::TopKRelatedBatch(
   return io::Result::Ok();
 }
 
+std::shared_ptr<const RelationshipServer::ModelSnapshot>
+RelationshipServer::Compacted(const ModelSnapshot& snap) const {
+  const core::PrimIndex& old = *snap.index;
+  const int base_n = old.num_nodes();
+  const int extras = static_cast<int>(snap.extra_points.size());
+  const int total = base_n + extras;
+  const int dim = old.dim();
+
+  // Owned extended index: base rows (possibly mmap-backed) are copied out,
+  // overlay rows appended, so the compacted snapshot drops the mapping.
+  std::vector<float> embeddings;
+  embeddings.reserve(static_cast<size_t>(total) * dim);
+  embeddings.insert(embeddings.end(), old.embeddings_data(),
+                    old.embeddings_data() +
+                        static_cast<size_t>(base_n) * dim);
+  embeddings.insert(embeddings.end(), snap.extra_embeddings.begin(),
+                    snap.extra_embeddings.end());
+  std::vector<float> relations(
+      old.relations_data(),
+      old.relations_data() + static_cast<size_t>(old.num_classes()) * dim);
+  std::vector<float> hyperplanes(
+      old.hyperplanes_data(),
+      old.hyperplanes_data() +
+          static_cast<size_t>(old.config().num_bins()) * dim);
+  auto index = std::make_shared<const core::PrimIndex>(
+      core::PrimIndex::FromParts(old.config(), total, old.num_classes(), dim,
+                                 std::move(embeddings), std::move(relations),
+                                 std::move(hyperplanes)));
+
+  // Rebuilt grid over every id (dead ones keep their slot so ids stay
+  // stable, then get masked). This grid is a private copy under
+  // construction — nothing has published it yet.
+  std::vector<geo::GeoPoint> points(static_cast<size_t>(total));
+  for (int id = 0; id < base_n; ++id) points[id] = snap.grid->point(id);
+  for (int e = 0; e < extras; ++e)
+    points[static_cast<size_t>(base_n + e)] = snap.extra_points[e];
+  auto grid = std::make_shared<geo::GridIndex>(points, options_.cell_km);
+  for (int id = 0; id < base_n; ++id) {
+    if (!snap.grid->is_active(id))
+      // Fresh compaction copy, not yet reachable from any published snapshot.
+      // prim-lint: allow(mutation-under-snapshot): unpublished fresh copy.
+      grid->Remove(id);
+  }
+  for (int id : snap.dead)
+    // Fresh compaction copy, not yet reachable from any published snapshot.
+    // prim-lint: allow(mutation-under-snapshot): unpublished fresh copy.
+    grid->Remove(id);
+
+  auto fresh = std::make_shared<ModelSnapshot>(snap);
+  fresh->index = std::move(index);
+  fresh->grid = std::move(grid);
+  fresh->mapping = nullptr;
+  fresh->extra_points.clear();
+  fresh->extra_embeddings.clear();
+  fresh->dead.clear();
+  // edge_overrides survive: declared facts stay authoritative until an
+  // online fine-tune republishes a model that learned them.
+  fresh->uncompacted_mutations = 0;
+  return fresh;
+}
+
+void RelationshipServer::ApplyMutations(const std::vector<Mutation>& mutations,
+                                        std::vector<std::string>* responses) {
+  MutexLock reload_lock(reload_mu_);
+  if (responses) responses->assign(mutations.size(), "");
+  if (mutations.empty()) return;
+
+  std::shared_ptr<const ModelSnapshot> base;
+  {
+    MutexLock lock(mu_);
+    base = snapshot_;
+  }
+  // One overlay copy serves the whole batch; readers keep the old
+  // snapshot until the single swap below.
+  auto next = std::make_shared<ModelSnapshot>(*base);
+  const int num_classes = next->index->num_classes();
+  const int phi = num_classes - 1;
+  const int dim = next->index->dim();
+  const double seed_radius = options_.seed_radius_km > 0.0
+                                 ? options_.seed_radius_km
+                                 : options_.cell_km;
+
+  uint64_t ok_addpoi = 0, ok_addrel = 0, ok_delrel = 0, ok_delpoi = 0;
+  uint64_t errors = 0;
+
+  // Validates an endpoint against the *working* state, so a batch like
+  // [ADDPOI, ADDREL new_id x] works and [DELPOI i, CLASSIFY-able i] fails.
+  auto check_poi = [&](int id, std::string* err) {
+    const int n = next->num_pois();
+    if (id < 0 || id >= n) {
+      *err = RangeError(id, n);
+      return false;
+    }
+    if (!next->IsAlive(id)) {
+      *err = RemovedError(id);
+      return false;
+    }
+    return true;
+  };
+
+  for (size_t m = 0; m < mutations.size(); ++m) {
+    const Mutation& mut = mutations[m];
+    std::string response;
+    std::string err;
+    switch (mut.kind) {
+      case Mutation::Kind::kAddPoi: {
+        const double lon = mut.location.lon, lat = mut.location.lat;
+        if (!std::isfinite(lon) || !std::isfinite(lat) || lon < -180.0 ||
+            lon > 180.0 || lat < -90.0 || lat > 90.0) {
+          response = "ERR ADDPOI: invalid location (" + std::to_string(lon) +
+                     ", " + std::to_string(lat) + ")";
+          ++errors;
+          break;
+        }
+        const int id = next->num_pois();
+        // Seed the newcomer's embedding from the mean row of its alive
+        // spatial neighbours (zeros when isolated) — deterministic, and a
+        // reasonable prior until online fine-tuning republishes real
+        // embeddings.
+        std::vector<float> row(static_cast<size_t>(dim), 0.0f);
+        std::vector<int> neighbours =
+            next->grid->RadiusQuery(mut.location, seed_radius, -1);
+        if (!next->dead.empty())
+          std::erase_if(neighbours,
+                        [&](int v) { return next->dead.count(v) > 0; });
+        const int base_n = next->grid->num_points();
+        for (size_t e = 0; e < next->extra_points.size(); ++e) {
+          const int v = base_n + static_cast<int>(e);
+          if (!next->IsAlive(v)) continue;
+          if (geo::HaversineKm(next->extra_points[e], mut.location) <=
+              seed_radius)
+            neighbours.push_back(v);
+        }
+        if (!neighbours.empty()) {
+          for (int v : neighbours) {
+            const float* src = next->EmbeddingRowOf(v);
+            for (int d = 0; d < dim; ++d) row[static_cast<size_t>(d)] += src[d];
+          }
+          const float inv = 1.0f / static_cast<float>(neighbours.size());
+          for (float& x : row) x *= inv;
+        }
+        next->extra_points.push_back(mut.location);
+        next->extra_embeddings.insert(next->extra_embeddings.end(),
+                                      row.begin(), row.end());
+        ++ok_addpoi;
+        response = "OK id=" + std::to_string(id);
+        break;
+      }
+      case Mutation::Kind::kAddRel: {
+        // Resolve the relation token (numeric id or name) against this
+        // snapshot's names, atomically with the application.
+        int rel = -1;
+        const char* tok = mut.rel_token.data();
+        const auto [ptr, ec] =
+            std::from_chars(tok, tok + mut.rel_token.size(), rel);
+        const bool numeric =
+            ec == std::errc() && ptr == tok + mut.rel_token.size();
+        if (!numeric) {
+          rel = -1;
+          for (size_t r = 0; r < next->relation_names.size(); ++r) {
+            if (next->relation_names[r] == mut.rel_token) {
+              rel = static_cast<int>(r);
+              break;
+            }
+          }
+        }
+        if (rel < 0 || rel >= phi) {
+          response = "ERR unknown relation '" + mut.rel_token + "' (" +
+                     std::to_string(phi) + " relations)";
+          ++errors;
+          break;
+        }
+        if (!check_poi(mut.i, &err) || !check_poi(mut.j, &err)) {
+          response = "ERR " + err;
+          ++errors;
+          break;
+        }
+        if (mut.i == mut.j) {
+          response = "ERR cannot relate POI " + std::to_string(mut.i) +
+                     " to itself";
+          ++errors;
+          break;
+        }
+        next->edge_overrides[PairKeyU64(mut.i, mut.j)] = rel;
+        ++ok_addrel;
+        response = "OK declared=" + next->relation_names[rel];
+        break;
+      }
+      case Mutation::Kind::kDelRel: {
+        if (!check_poi(mut.i, &err) || !check_poi(mut.j, &err)) {
+          response = "ERR " + err;
+          ++errors;
+          break;
+        }
+        if (mut.i == mut.j) {
+          response = "ERR cannot relate POI " + std::to_string(mut.i) +
+                     " to itself";
+          ++errors;
+          break;
+        }
+        next->edge_overrides[PairKeyU64(mut.i, mut.j)] = phi;
+        ++ok_delrel;
+        response = "OK declared=none";
+        break;
+      }
+      case Mutation::Kind::kDelPoi: {
+        if (!check_poi(mut.i, &err)) {
+          response = "ERR " + err;
+          ++errors;
+          break;
+        }
+        next->dead.insert(mut.i);
+        ++ok_delpoi;
+        response = "OK removed=" + std::to_string(mut.i);
+        break;
+      }
+    }
+    if (responses) (*responses)[m] = response;
+  }
+
+  const uint64_t applied = ok_addpoi + ok_addrel + ok_delrel + ok_delpoi;
+  bool compacted = false;
+  std::shared_ptr<const ModelSnapshot> install = next;
+  if (applied > 0) {
+    next->uncompacted_mutations += applied;
+    if (options_.compact_every > 0 &&
+        next->uncompacted_mutations >= options_.compact_every) {
+      install = Compacted(*next);
+      compacted = true;
+    }
+  }
+
+  MutexLock lock(mu_);
+  if (applied > 0) InstallSnapshot(std::move(install));
+  stats_.mutations += applied;
+  stats_.addpoi += ok_addpoi;
+  stats_.addrel += ok_addrel;
+  stats_.delrel += ok_delrel;
+  stats_.delpoi += ok_delpoi;
+  stats_.mutation_errors += errors;
+  if (compacted) ++stats_.compactions;
+}
+
+bool RelationshipServer::Compact() {
+  MutexLock reload_lock(reload_mu_);
+  std::shared_ptr<const ModelSnapshot> base;
+  {
+    MutexLock lock(mu_);
+    base = snapshot_;
+  }
+  if (base->extra_points.empty() && base->dead.empty() &&
+      base->uncompacted_mutations == 0)
+    return false;
+  std::shared_ptr<const ModelSnapshot> fresh = Compacted(*base);
+  MutexLock lock(mu_);
+  InstallSnapshot(std::move(fresh));
+  ++stats_.compactions;
+  return true;
+}
+
 RelationshipServer::Stats RelationshipServer::stats() const {
   MutexLock lock(mu_);
   Stats s = stats_;
   s.cache_hits = topk_cache_.hits();
   s.cache_misses = topk_cache_.misses();
   s.model_version = snapshot_->version;
+  s.overlay_pois = snapshot_->extra_points.size();
+  s.overlay_edges = snapshot_->edge_overrides.size();
   return s;
 }
 

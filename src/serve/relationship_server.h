@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,20 @@ namespace prim::serve {
 /// model swap never blocks or drops in-flight requests — they simply
 /// finish against the snapshot they pinned, and its memory (including any
 /// mmap backing) is released when the last pin drops.
+///
+/// Live graph mutation rides the same mechanism. A snapshot is the heavy
+/// immutable model (index + grid, shared across generations by
+/// shared_ptr) plus a small copied-per-batch overlay: POIs added since
+/// the index was built (with embedding rows seeded from their spatial
+/// neighbours), declared relation overrides, and deleted POIs.
+/// ApplyMutations() copies the overlay, applies the batch, and swaps one
+/// new snapshot in — readers never lock, a concurrent CLASSIFY observes
+/// either the whole batch or none of it. When the overlay grows past
+/// Options::compact_every mutations, the batch that crossed the line also
+/// folds the overlay into a fresh owned index + rebuilt grid (compaction),
+/// off the read path. Declared relation overrides survive compaction:
+/// they are label-level facts the embedding model cannot represent until
+/// an online fine-tune republishes it (PublishModel).
 class RelationshipServer {
  public:
   struct Options {
@@ -46,6 +61,14 @@ class RelationshipServer {
     /// float tensors are used in place (zero-copy), so a reload's resident
     /// cost is one page-cache pass instead of a full model copy.
     bool mmap = true;
+    /// Fold the mutation overlay into a fresh index + grid after this many
+    /// applied mutations (0 = never compact automatically). Compaction
+    /// copies the full embedding table, so the threshold trades overlay
+    /// scan cost against compaction pauses.
+    uint64_t compact_every = 256;
+    /// Radius for seeding an ADDPOI embedding from the mean of its
+    /// neighbours' rows; 0 falls back to cell_km.
+    double seed_radius_km = 0.0;
     /// Test seam: called by a top-k cache-miss leader after it registered
     /// as in-flight and before it scores candidates. Lets tests hold the
     /// computation open to observe single-flight behaviour. Not called on
@@ -58,14 +81,31 @@ class RelationshipServer {
     int relation = -1;  // Index into relation_names(); phi = num_relations.
     float score = 0.0f;
     double distance_km = 0.0;
+    /// True when the relation came from a declared ADDREL/DELREL override
+    /// rather than model inference.
+    bool declared = false;
   };
 
-  /// One entry of a top-k answer, best relation score first.
+  /// One entry of a top-k answer. Declared partners rank above inferred
+  /// ones (a just-declared edge must surface even when the stale model
+  /// scores it below phi); within each group, best score first.
   struct RelatedPoi {
     int id = -1;
     int relation = -1;
     float score = 0.0f;
     double distance_km = 0.0;
+  };
+
+  /// One streaming graph mutation. ADDREL carries the relation as a raw
+  /// token (`rel_token`): it is resolved against the relation names of the
+  /// snapshot the batch applies to, atomically with the application.
+  struct Mutation {
+    enum class Kind { kAddPoi, kAddRel, kDelRel, kDelPoi };
+    Kind kind = Kind::kAddPoi;
+    geo::GeoPoint location;        // kAddPoi
+    int i = -1;                    // kAddRel/kDelRel/kDelPoi
+    int j = -1;                    // kAddRel/kDelRel
+    std::string rel_token;         // kAddRel: relation id or name
   };
 
   struct Stats {
@@ -79,38 +119,72 @@ class RelationshipServer {
     /// instead of recomputing it (single-flight).
     uint64_t singleflight_waits = 0;
     /// Monotonic snapshot id: 1 for the initially loaded model, +1 per
-    /// successful Reload().
+    /// successful Reload() or PublishModel().
     uint64_t model_version = 0;
-    /// Successful Reload() calls.
+    /// Successful Reload() / PublishModel() calls.
     uint64_t reloads = 0;
+    /// Successfully applied mutations, total and per verb. A mutation that
+    /// failed validation counts in mutation_errors only.
+    uint64_t mutations = 0;
+    uint64_t addpoi = 0;
+    uint64_t addrel = 0;
+    uint64_t delrel = 0;
+    uint64_t delpoi = 0;
+    uint64_t mutation_errors = 0;
+    /// Overlay folds (automatic threshold crossings + explicit Compact()).
+    uint64_t compactions = 0;
+    /// Current overlay size (POIs not yet folded into the index; declared
+    /// relation overrides outstanding).
+    uint64_t overlay_pois = 0;
+    uint64_t overlay_edges = 0;
   };
 
-  /// One immutable model generation. Requests pin it with a shared_ptr;
+  /// One immutable serving generation. Requests pin it with a shared_ptr;
   /// `mapping` keeps the checkpoint mmap alive while `index` views float
-  /// data inside it (null for copied / in-memory models).
+  /// data inside it (null for copied / in-memory models). `index` and
+  /// `grid` are shared across the overlay generations a mutation chain
+  /// produces; the remaining members are the per-batch overlay copy.
   struct ModelSnapshot {
     ModelSnapshot(std::unique_ptr<const core::PrimIndex> idx,
                   const std::vector<geo::GeoPoint>& points,
                   std::vector<std::string> names, double cell_km,
-                  std::shared_ptr<io::MappedFile> map, uint64_t ver)
-        : index(std::move(idx)),
-          relation_names(std::move(names)),
-          grid(points, cell_km),
-          mapping(std::move(map)),
-          version(ver) {
-      // Missing labels degrade to positional names, never to empty
-      // responses.
-      for (int r = static_cast<int>(relation_names.size());
-           r < index->num_classes() - 1; ++r) {
-        relation_names.push_back("rel" + std::to_string(r));
-      }
-    }
+                  std::shared_ptr<io::MappedFile> map, uint64_t ver);
+    ModelSnapshot(const ModelSnapshot&) = default;
 
-    std::unique_ptr<const core::PrimIndex> index;
+    std::shared_ptr<const core::PrimIndex> index;
     std::vector<std::string> relation_names;
-    geo::GridIndex grid;
+    std::shared_ptr<const geo::GridIndex> grid;
     std::shared_ptr<io::MappedFile> mapping;
     uint64_t version = 0;
+
+    // --- Mutation overlay (small; copied per ApplyMutations batch) ---
+    /// POIs added since `grid` was built; id = grid->num_points() + index
+    /// into this vector. Ids are stable across compactions.
+    std::vector<geo::GeoPoint> extra_points;
+    /// One dim-sized embedding row per extra point, seeded at ADDPOI time
+    /// from the mean row of alive neighbours within the seed radius
+    /// (zeros when isolated).
+    std::vector<float> extra_embeddings;
+    /// Declared relation facts keyed by canonical unordered pair:
+    /// ADDREL stores the relation id, DELREL stores phi
+    /// (= index->num_classes() - 1, "declared unrelated").
+    std::unordered_map<uint64_t, int> edge_overrides;
+    /// POIs deleted since `grid` was built (base ids also flip their grid
+    /// activity bit at the next compaction).
+    std::unordered_set<int> dead;
+    /// Mutations folded into this snapshot chain since the last
+    /// compaction; drives the compact_every threshold.
+    uint64_t uncompacted_mutations = 0;
+
+    /// POIs this snapshot addresses (alive or dead; ids are stable).
+    int num_pois() const {
+      return grid->num_points() + static_cast<int>(extra_points.size());
+    }
+    bool IsAlive(int id) const;
+    const geo::GeoPoint& PointOf(int id) const;
+    /// Embedding row for any alive id (base rows live in `index`, extra
+    /// rows in the overlay).
+    const float* EmbeddingRowOf(int id) const;
   };
 
   /// Builds a server from an already-loaded serving snapshot. `points`
@@ -131,7 +205,9 @@ class RelationshipServer {
   /// they pinned; new requests see the new model. The top-k cache is
   /// generation-invalidated so no post-swap request is answered from
   /// pre-swap results. Concurrent reloads are serialized; on failure the
-  /// current model stays installed and serving.
+  /// current model stays installed and serving. The mutation overlay is
+  /// DISCARDED: a reloaded checkpoint is authoritative, and mutations
+  /// applied since it was written are not in it.
   io::Result Reload(const std::string& path)
       PRIM_EXCLUDES(mu_) PRIM_EXCLUDES(reload_mu_);
   /// Reload() from the path of the last successful Load/Reload — the
@@ -141,7 +217,35 @@ class RelationshipServer {
   /// parts (no file to re-read — Reload() fails for them).
   std::string checkpoint_path() const PRIM_EXCLUDES(mu_);
 
-  /// Classifies the pair (i, j). Fails on out-of-range ids.
+  /// Publishes a freshly built model in memory — the online-training
+  /// republish path. Same swap semantics as Reload (version + 1, caches
+  /// invalidated, in-flight requests unharmed); the overlay is dropped
+  /// because the new model was trained on the mutated graph. `dead` lists
+  /// ids of closed POIs whose embedding rows are still present in the
+  /// index (id stability across the mutation stream): they answer
+  /// "was removed" and never appear as TOPK candidates.
+  void PublishModel(std::unique_ptr<core::PrimIndex> index,
+                    std::vector<geo::GeoPoint> points,
+                    std::vector<std::string> relation_names,
+                    std::unordered_set<int> dead = {})
+      PRIM_EXCLUDES(mu_) PRIM_EXCLUDES(reload_mu_);
+
+  /// Applies a batch of graph mutations as ONE atomic snapshot swap.
+  /// `responses`, if non-null, is resized to mutations.size() and gets the
+  /// per-mutation protocol response ("OK ..." / "ERR ..."); a failed
+  /// mutation is skipped without poisoning the rest of the batch.
+  /// Invalidates the top-k cache generation (a cached neighbour list must
+  /// never hide a just-declared edge). May trigger compaction.
+  void ApplyMutations(const std::vector<Mutation>& mutations,
+                      std::vector<std::string>* responses)
+      PRIM_EXCLUDES(mu_) PRIM_EXCLUDES(reload_mu_);
+
+  /// Folds the current overlay into a fresh owned index + rebuilt grid
+  /// now, regardless of the threshold. No-op on an empty overlay (returns
+  /// false). Query answers are unchanged by compaction.
+  bool Compact() PRIM_EXCLUDES(mu_) PRIM_EXCLUDES(reload_mu_);
+
+  /// Classifies the pair (i, j). Fails on out-of-range or deleted ids.
   io::Result Classify(int i, int j, Classification* out) PRIM_EXCLUDES(mu_);
 
   /// Classifies many pairs; scoring fans out over the worker pool with one
@@ -151,9 +255,9 @@ class RelationshipServer {
       PRIM_EXCLUDES(mu_);
 
   /// The up-to-k POIs within `radius_km` of POI `i` that the model relates
-  /// to it (some real relation outscores phi), best score first. Answers
-  /// are cached by (i, radius_km, k); concurrent misses for the same key
-  /// are computed once (single-flight).
+  /// to it (some real relation outscores phi), declared partners first,
+  /// then best score first. Answers are cached by (i, radius_km, k);
+  /// concurrent misses for the same key are computed once (single-flight).
   io::Result TopKRelated(int i, double radius_km, int k,
                          std::vector<RelatedPoi>* out) PRIM_EXCLUDES(mu_);
 
@@ -221,14 +325,33 @@ class RelationshipServer {
                                  const Options& options, uint64_t version,
                                  std::shared_ptr<const ModelSnapshot>* out);
 
-  /// Scores i against j (distance dist_km): best real relation vs phi.
+  /// Scores i against j (distance dist_km): best real relation vs phi,
+  /// unless the pair carries a declared override (which wins).
   Classification ScorePair(const ModelSnapshot& snap, int i, int j,
                            double dist_km, float* scratch) const;
+
+  /// Alive candidates within radius_km of POI i (base grid + overlay
+  /// extras), ascending ids, excluding i itself.
+  std::vector<int> CandidatesOf(const ModelSnapshot& snap, int i,
+                                double radius_km) const;
 
   /// The top-k computation body (candidates → scored → filtered → sorted →
   /// truncated) against a pinned snapshot. No locks; no caching.
   std::vector<RelatedPoi> ComputeTopK(const ModelSnapshot& snap, int i,
                                       double radius_km, int k) const;
+
+  /// Folds `snap`'s extra POIs into a fresh owned index + rebuilt grid.
+  /// Declared overrides and dead extra-era ids carry over; base dead ids
+  /// become inactive grid entries. Pure function of `snap` — the result
+  /// answers every query identically.
+  std::shared_ptr<const ModelSnapshot> Compacted(
+      const ModelSnapshot& snap) const;
+
+  /// Installs `fresh` as the current snapshot and invalidates the top-k
+  /// cache + single-flight registry (the generation bump of satellite
+  /// reload semantics, shared by reload, publish, and mutation).
+  void InstallSnapshot(std::shared_ptr<const ModelSnapshot> fresh)
+      PRIM_REQUIRES(mu_);
 
   Options options_;
 
@@ -244,9 +367,10 @@ class RelationshipServer {
       inflight_ PRIM_GUARDED_BY(mu_);
   Stats stats_ PRIM_GUARDED_BY(mu_);
 
-  /// Serializes Reload() calls so two concurrent reloads cannot interleave
-  /// their load-then-swap sequences (last-swap-wins would otherwise
-  /// install the older model). Acquired before, never inside, mu_.
+  /// Serializes Reload() / PublishModel() / ApplyMutations() / Compact()
+  /// calls so two writers cannot interleave their build-then-swap
+  /// sequences (last-swap-wins would otherwise install the older state).
+  /// Acquired before, never inside, mu_.
   Mutex reload_mu_ PRIM_ACQUIRED_BEFORE(mu_);
 };
 

@@ -1,0 +1,143 @@
+#ifndef PRIM_STREAM_GRAPH_STORE_H_
+#define PRIM_STREAM_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "data/dataset.h"
+#include "data/mutation.h"
+#include "geo/grid_index.h"
+#include "graph/hetero_graph.h"
+#include "io/result.h"
+
+namespace prim::stream {
+
+/// One immutable, fully compacted view of the evolving graph: the dataset
+/// (every POI row ever created — closed ones keep their slot, so ids are
+/// stable across the whole stream), the per-relation CSR over its edges,
+/// the grid index (closed POIs Removed), and the number of mutations the
+/// snapshot has folded in. Shared by readers and trainers; never written
+/// after publication.
+struct GraphSnapshot {
+  data::PoiDataset dataset;
+  std::vector<uint8_t> alive;
+  std::shared_ptr<const graph::HeteroGraph> graph;
+  std::shared_ptr<const geo::GridIndex> grid;
+  uint64_t sequence = 0;
+
+  int num_pois() const { return dataset.num_pois(); }
+  bool IsAlive(int id) const { return alive[static_cast<size_t>(id)] != 0; }
+};
+
+struct MutableGraphStoreOptions {
+  /// Grid cell size for rebuilt spatial indexes.
+  double cell_km = 1.15;
+  /// Fold the pending delta into a fresh snapshot automatically once this
+  /// many mutations accumulate; 0 compacts only on explicit Compact().
+  uint64_t compact_every = 512;
+};
+
+/// The streaming graph state-holder: an append/delete delta over the last
+/// compacted GraphSnapshot, periodically folded into a fresh snapshot.
+///
+/// Concurrency mirrors serve::RelationshipServer's RCU-style swap: readers
+/// pin the current (snapshot, pending-delta) pair under a pointer-copy
+/// mutex and never block on writers; writers serialize on compact_mu_,
+/// build the new state off to the side, and publish it with one swap.
+/// Compaction is a pure function of the accepted mutation sequence —
+/// replaying the same stream from the same base yields bitwise-identical
+/// CSR arrays at any thread count, the invariant the stream tests pin.
+class MutableGraphStore {
+ public:
+  explicit MutableGraphStore(data::PoiDataset dataset,
+                             const MutableGraphStoreOptions& options = {});
+
+  /// A pinned consistent view: the last compacted snapshot plus the
+  /// not-yet-compacted mutations on top of it, both immutable. Merged
+  /// queries scan the pending tail (bounded by compact_every) backwards —
+  /// the newest mutation touching an entity wins.
+  class ReadView {
+   public:
+    ReadView(std::shared_ptr<const GraphSnapshot> base,
+             std::shared_ptr<const std::vector<data::GraphMutation>> pending)
+        : base_(std::move(base)), pending_(std::move(pending)) {}
+
+    int num_pois() const;
+    bool IsAlive(int id) const;
+    const data::Poi& PoiOf(int id) const;
+    /// Relation connecting the pair, or -1 when unrelated.
+    int RelationOf(int a, int b) const;
+    uint64_t sequence() const;
+
+    const GraphSnapshot& base() const { return *base_; }
+    const std::vector<data::GraphMutation>& pending() const {
+      return *pending_;
+    }
+
+   private:
+    std::shared_ptr<const GraphSnapshot> base_;
+    std::shared_ptr<const std::vector<data::GraphMutation>> pending_;
+  };
+  ReadView Read() const PRIM_EXCLUDES(mu_);
+
+  /// Validates and applies one mutation (kept in the pending delta until
+  /// the next compaction). Rejections are values — the store's state is
+  /// untouched and the error names the offending id/relation.
+  io::Result Apply(const data::GraphMutation& mutation)
+      PRIM_EXCLUDES(mu_, compact_mu_);
+
+  /// Applies a batch atomically with respect to readers: a concurrent
+  /// Read() observes either none or all of its accepted mutations. Invalid
+  /// entries are skipped (first error reported, rest of the batch still
+  /// applies); `accepted`, if non-null, receives the accept count.
+  io::Result ApplyAll(const std::vector<data::GraphMutation>& mutations,
+                      size_t* accepted = nullptr)
+      PRIM_EXCLUDES(mu_, compact_mu_);
+
+  /// Folds the pending delta into a fresh immutable snapshot and publishes
+  /// it. Returns the new snapshot (or the current one when nothing was
+  /// pending). Readers holding the old view are unharmed.
+  std::shared_ptr<const GraphSnapshot> Compact()
+      PRIM_EXCLUDES(mu_, compact_mu_);
+
+  /// The last compacted snapshot (without the pending delta).
+  std::shared_ptr<const GraphSnapshot> snapshot() const PRIM_EXCLUDES(mu_);
+
+  /// Total mutations accepted since construction.
+  uint64_t sequence() const PRIM_EXCLUDES(mu_);
+
+  /// The accepted-mutation log from sequence number `since` (0 = start) —
+  /// the seed stream the online trainer consumes.
+  std::vector<data::GraphMutation> MutationsSince(uint64_t since) const
+      PRIM_EXCLUDES(mu_);
+
+ private:
+  static std::shared_ptr<const GraphSnapshot> BuildSnapshot(
+      data::PoiDataset dataset, std::vector<uint8_t> alive, uint64_t sequence,
+      double cell_km);
+
+  MutableGraphStoreOptions options_;
+
+  /// Serializes writers (Apply/ApplyAll/Compact). Acquired before, never
+  /// inside, mu_.
+  Mutex compact_mu_ PRIM_ACQUIRED_BEFORE(mu_);
+  /// Writer-side working copy: the base dataset with every accepted
+  /// mutation already applied. Compaction snapshots it instead of
+  /// replaying the delta.
+  data::PoiDataset working_ PRIM_GUARDED_BY(compact_mu_);
+  std::vector<uint8_t> working_alive_ PRIM_GUARDED_BY(compact_mu_);
+
+  /// Guards the published pointers; held only for pointer copies/swaps.
+  mutable Mutex mu_;
+  std::shared_ptr<const GraphSnapshot> snapshot_ PRIM_GUARDED_BY(mu_);
+  std::shared_ptr<const std::vector<data::GraphMutation>> pending_
+      PRIM_GUARDED_BY(mu_);
+  std::vector<data::GraphMutation> log_ PRIM_GUARDED_BY(mu_);
+};
+
+}  // namespace prim::stream
+
+#endif  // PRIM_STREAM_GRAPH_STORE_H_

@@ -1,0 +1,154 @@
+#include "stream/online_trainer.h"
+
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "core/prim_model.h"
+#include "train/trainer.h"
+
+namespace prim::stream {
+
+namespace {
+
+/// Node ids a mutation batch touches: edge endpoints, closed POIs, opened
+/// POIs. These seed the fine-tune batch — the triples whose conditional
+/// distribution the mutations moved.
+std::unordered_set<int> TouchedNodes(
+    const std::vector<data::GraphMutation>& mutations) {
+  std::unordered_set<int> touched;
+  for (const data::GraphMutation& m : mutations) {
+    switch (m.kind) {
+      case data::GraphMutation::Kind::kAddPoi:
+        touched.insert(m.poi.id);
+        break;
+      case data::GraphMutation::Kind::kDelPoi:
+        touched.insert(m.poi_id);
+        break;
+      case data::GraphMutation::Kind::kAddEdge:
+      case data::GraphMutation::Kind::kDelEdge:
+        touched.insert(m.edge.src);
+        touched.insert(m.edge.dst);
+        break;
+    }
+  }
+  return touched;
+}
+
+}  // namespace
+
+OnlineTrainer::OnlineTrainer(MutableGraphStore& store,
+                             const OnlineTrainerOptions& options)
+    : store_(store), options_(options) {
+  options_.experiment.SyncDims();
+  consumed_ = store_.sequence();
+  RebuildOnSnapshot(store_.Compact());
+}
+
+OnlineTrainer::~OnlineTrainer() = default;
+
+bool OnlineTrainer::RebuildOnSnapshot(
+    std::shared_ptr<const GraphSnapshot> snap) {
+  std::vector<nn::StateEntry> previous;
+  if (model_ != nullptr) previous = model_->StateDict();
+  snapshot_ = std::move(snap);
+  // The whole edge set is the message graph: online fine-tuning serves
+  // the live graph, so link-leakage control (message_graph_fraction) is
+  // the offline evaluation harness's concern, not ours.
+  ctx_ = models::BuildModelContext(snapshot_->dataset,
+                                   snapshot_->dataset.edges,
+                                   options_.experiment.context);
+  Rng rng(options_.experiment.seed * 7919 + 13 +
+          static_cast<uint64_t>(rounds_));
+  model_ = train::MakeModel("PRIM", ctx_, options_.experiment, rng,
+                            /*validation=*/nullptr);
+  if (previous.empty()) return false;
+  // PRIM's parameters are node-count-independent (weights, taxonomy and
+  // relation embeddings), so the previous round's state loads onto the
+  // mutated graph verbatim. A non-empty error means shapes moved — fall
+  // back to the fresh initialisation.
+  return model_->LoadStateDict(previous).empty();
+}
+
+train::TrainResult OnlineTrainer::TrainInitial() {
+  PRIM_CHECK(model_ != nullptr);
+  train::Trainer trainer(*model_, snapshot_->dataset.edges, *snapshot_->graph,
+                         options_.experiment.trainer);
+  return trainer.Fit(/*validation=*/nullptr);
+}
+
+OnlineRoundResult OnlineTrainer::Update(serve::RelationshipServer* server) {
+  const auto started = std::chrono::steady_clock::now();
+  OnlineRoundResult result;
+  const std::vector<data::GraphMutation> mutations =
+      store_.MutationsSince(consumed_);
+  if (mutations.empty()) return result;
+  result.mutations_consumed = mutations.size();
+  consumed_ += mutations.size();
+  ++rounds_;
+
+  result.warm_started = RebuildOnSnapshot(store_.Compact());
+
+  // Seed stream: every current edge incident to a mutated entity, in the
+  // dataset's deterministic order...
+  const std::unordered_set<int> touched = TouchedNodes(mutations);
+  std::vector<graph::Triple> batch_triples;
+  std::vector<graph::Triple> rest;
+  for (const graph::Triple& e : snapshot_->dataset.edges) {
+    if (touched.contains(e.src) || touched.contains(e.dst))
+      batch_triples.push_back(e);
+    else
+      rest.push_back(e);
+  }
+  result.seed_triples = batch_triples.size();
+  // ...plus an evenly spaced rehearsal sample of untouched edges so the
+  // model keeps what drift did not move.
+  const size_t replay_target =
+      std::max(static_cast<size_t>(std::max(0, options_.replay_triples)),
+               batch_triples.size());
+  if (!rest.empty() && replay_target > 0) {
+    const size_t stride = std::max<size_t>(1, rest.size() / replay_target);
+    for (size_t i = 0; i < rest.size(); i += stride)
+      batch_triples.push_back(rest[i]);
+    result.replay_triples = batch_triples.size() - result.seed_triples;
+  }
+
+  if (!batch_triples.empty()) {
+    train::MiniBatchConfig config = options_.minibatch;
+    // One fine-tune round must see each seed it was given: the per-epoch
+    // positive cap is an offline-training knob, not a streaming one.
+    config.train.max_positives_per_epoch = 0;
+    train::MiniBatchTrainer trainer(*model_, batch_triples, *snapshot_->graph,
+                                    config);
+    const train::TrainResult fit = trainer.Fit(/*validation=*/nullptr);
+    result.loss_curve = fit.loss_curve;
+  }
+
+  if (server != nullptr) Publish(*server);
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
+}
+
+core::PrimIndex OnlineTrainer::BuildIndex() const {
+  auto* prim = dynamic_cast<core::PrimModel*>(model_.get());
+  PRIM_CHECK_MSG(prim != nullptr,
+                 "OnlineTrainer serves PRIM models; got " << model_->name());
+  return core::PrimIndex::Build(*prim);
+}
+
+void OnlineTrainer::Publish(serve::RelationshipServer& server) const {
+  std::vector<geo::GeoPoint> points(snapshot_->dataset.pois.size());
+  for (size_t i = 0; i < points.size(); ++i)
+    points[i] = snapshot_->dataset.pois[i].location;
+  std::unordered_set<int> dead;
+  for (int id = 0; id < snapshot_->num_pois(); ++id)
+    if (!snapshot_->IsAlive(id)) dead.insert(id);
+  server.PublishModel(std::make_unique<core::PrimIndex>(BuildIndex()),
+                      std::move(points), snapshot_->dataset.relation_names,
+                      std::move(dead));
+}
+
+}  // namespace prim::stream

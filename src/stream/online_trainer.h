@@ -1,0 +1,98 @@
+#ifndef PRIM_STREAM_ONLINE_TRAINER_H_
+#define PRIM_STREAM_ONLINE_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/prim_index.h"
+#include "models/model_context.h"
+#include "models/relation_model.h"
+#include "serve/relationship_server.h"
+#include "stream/graph_store.h"
+#include "train/experiment.h"
+#include "train/minibatch.h"
+
+namespace prim::stream {
+
+struct OnlineTrainerOptions {
+  /// Model + full-training hyper-parameters (PRIM config, trainer epochs
+  /// for TrainInitial, context options). SyncDims() is applied.
+  train::ExperimentConfig experiment;
+  /// Fine-tune step shape for Update() rounds: minibatch.train.epochs
+  /// passes over the seed stream per round, batched/sampled as configured.
+  train::MiniBatchConfig minibatch;
+  /// Unmutated triples replayed per round alongside the mutation seeds —
+  /// rehearsal against catastrophic forgetting. The actual replay count is
+  /// max(replay_triples, #seeds), keeping the mix at worst 1:1.
+  int replay_triples = 512;
+};
+
+/// Outcome of one online fine-tuning round.
+struct OnlineRoundResult {
+  /// Mutations drained from the store log this round.
+  uint64_t mutations_consumed = 0;
+  size_t seed_triples = 0;    // Edges incident to mutated entities.
+  size_t replay_triples = 0;  // Rehearsal edges mixed in.
+  /// Per-batch training loss (deterministic for a fixed stream + seed).
+  std::vector<float> loss_curve;
+  /// False when the drifted graph changed parameter shapes and the round
+  /// fell back to fresh initialisation (PRIM's parameters are
+  /// node-count-independent, so this stays true under normal drift).
+  bool warm_started = false;
+  double seconds = 0.0;
+};
+
+/// Consumes a MutableGraphStore's mutation log as a seed stream for
+/// MiniBatchTrainer fine-tuning, off the request path: each Update() round
+/// drains new mutations, compacts the store, rebuilds the model context on
+/// the fresh snapshot, warm-starts the model from its previous weights
+/// (nn::Module state dicts are node-count-independent for PRIM), and
+/// fine-tunes on the triples the mutations touched plus a rehearsal
+/// sample. Publish() then republishes the PrimIndex through the serving
+/// path's versioned swap (RelationshipServer::PublishModel), so serving
+/// never blocks on training.
+///
+/// Not thread-safe against itself — exactly one trainer drives a model at
+/// a time (the store and server it touches are thread-safe).
+class OnlineTrainer {
+ public:
+  OnlineTrainer(MutableGraphStore& store, const OnlineTrainerOptions& options);
+  ~OnlineTrainer();
+
+  /// From-scratch training on the store's current compacted snapshot
+  /// (full-batch, experiment.trainer epochs). Call once before Update().
+  train::TrainResult TrainInitial();
+
+  /// One online round; no-op (all-zero result) when the store has no new
+  /// mutations. If `server` is non-null the refreshed index is published
+  /// to it after the round.
+  OnlineRoundResult Update(serve::RelationshipServer* server = nullptr);
+
+  /// Rebuilds the serving index from the current model and publishes it.
+  void Publish(serve::RelationshipServer& server) const;
+
+  /// Builds the serving index from the current model (PRIM only).
+  core::PrimIndex BuildIndex() const;
+
+  models::RelationModel& model() { return *model_; }
+  /// The snapshot the current model was (re)trained on.
+  const GraphSnapshot& trained_snapshot() const { return *snapshot_; }
+
+ private:
+  /// Rebuilds context + model on `snap`, warm-starting from the previous
+  /// parameters when shapes allow. Returns whether the warm start took.
+  bool RebuildOnSnapshot(std::shared_ptr<const GraphSnapshot> snap);
+
+  MutableGraphStore& store_;
+  OnlineTrainerOptions options_;
+  std::shared_ptr<const GraphSnapshot> snapshot_;
+  models::ModelContext ctx_;
+  std::unique_ptr<models::RelationModel> model_;
+  uint64_t consumed_ = 0;  // Store log position already folded in.
+  int rounds_ = 0;
+};
+
+}  // namespace prim::stream
+
+#endif  // PRIM_STREAM_ONLINE_TRAINER_H_

@@ -138,5 +138,107 @@ TEST(GridIndexTest, RadiusBoundaryIsInclusive) {
   EXPECT_EQ(index.NeighborsOf(0, d * 1.001).size(), 1u);
 }
 
+TEST(GridIndexTest, RemoveHidesPointAndIsIdempotent) {
+  Rng rng(9);
+  std::vector<GeoPoint> points(40);
+  for (auto& p : points) {
+    p.lon = 116.4 + rng.Uniform(-0.05, 0.05);
+    p.lat = 39.9 + rng.Uniform(-0.05, 0.05);
+  }
+  GridIndex index(points, 1.0);
+  ASSERT_TRUE(index.Remove(13));
+  EXPECT_FALSE(index.Remove(13));  // Duplicate removal: no-op, not an error.
+  EXPECT_FALSE(index.is_active(13));
+  EXPECT_EQ(index.num_active(), 39);
+  EXPECT_EQ(index.num_points(), 40);  // Ids never shift.
+  // Remove-then-radius-query: 13 is gone, everything else still matches a
+  // brute-force scan over the live set.
+  for (int q = 0; q < 40; ++q) {
+    if (q == 13) continue;
+    std::vector<int> got = index.NeighborsOf(q, 3.0);
+    std::vector<int> expected;
+    for (int j = 0; j < 40; ++j)
+      if (j != q && j != 13 && HaversineKm(points[q], points[j]) <= 3.0)
+        expected.push_back(j);
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+  // The last known location stays readable for logging.
+  EXPECT_DOUBLE_EQ(index.point(13).lon, points[13].lon);
+}
+
+TEST(GridIndexTest, RemovePointOnCellBoundary) {
+  // A point landing exactly on a grid-cell boundary must be removable and
+  // must stop matching queries from either side of the boundary.
+  LocalProjector proj(GeoPoint{116.4, 39.9});
+  std::vector<GeoPoint> points;
+  for (int c = 0; c < 5; ++c)
+    points.push_back(proj.ToGeo(c * 1.0, 0.0));  // Exact cell multiples.
+  GridIndex index(points, 1.0);
+  ASSERT_TRUE(index.Remove(2));
+  EXPECT_TRUE(index.RadiusQuery(points[2], 0.01).empty());
+  std::vector<int> near_left = index.RadiusQuery(points[1], 1.0);
+  EXPECT_TRUE(std::find(near_left.begin(), near_left.end(), 2) ==
+              near_left.end());
+  std::vector<int> near_right = index.RadiusQuery(points[3], 1.0);
+  EXPECT_TRUE(std::find(near_right.begin(), near_right.end(), 2) ==
+              near_right.end());
+}
+
+TEST(GridIndexTest, UpdateRelocatesAcrossCellsAndOutsideBounds) {
+  LocalProjector proj(GeoPoint{116.4, 39.9});
+  std::vector<GeoPoint> points{proj.ToGeo(0.0, 0.0), proj.ToGeo(0.2, 0.0),
+                               proj.ToGeo(5.0, 5.0)};
+  GridIndex index(points, 1.0);
+  // Move 1 far away (outside the original grid bounds entirely).
+  const GeoPoint far = proj.ToGeo(40.0, -12.0);
+  ASSERT_TRUE(index.Update(1, far));
+  EXPECT_TRUE(index.NeighborsOf(0, 1.0).empty());
+  std::vector<int> at_far = index.RadiusQuery(far, 0.01);
+  ASSERT_EQ(at_far.size(), 1u);
+  EXPECT_EQ(at_far[0], 1);
+  // Move it back: found at the new (old) location again, same id.
+  ASSERT_TRUE(index.Update(1, points[1]));
+  EXPECT_EQ(index.NeighborsOf(0, 1.0), std::vector<int>{1});
+  // Updating a removed point fails; the point stays hidden.
+  ASSERT_TRUE(index.Remove(2));
+  EXPECT_FALSE(index.Update(2, points[0]));
+  EXPECT_EQ(index.RadiusQuery(points[2], 0.01).size(), 0u);
+}
+
+TEST(GridIndexTest, RadiusQueryOrderIsDeterministicAfterChurn) {
+  // RadiusQuery promises ascending-id order regardless of removal and
+  // relocation history — the property that makes streaming snapshots
+  // byte-for-byte reproducible.
+  Rng rng(21);
+  std::vector<GeoPoint> points(60);
+  for (auto& p : points) {
+    p.lon = 116.4 + rng.Uniform(-0.03, 0.03);
+    p.lat = 39.9 + rng.Uniform(-0.03, 0.03);
+  }
+  GridIndex index(points, 0.8);
+  LocalProjector proj(points[0]);
+  for (int c = 0; c < 12; ++c) {
+    index.Remove(static_cast<int>(rng.UniformInt(60)));
+    const int id = static_cast<int>(rng.UniformInt(60));
+    if (index.is_active(id))
+      index.Update(id, proj.ToGeo(rng.Uniform(-2.0, 2.0),
+                                  rng.Uniform(-2.0, 2.0)));
+  }
+  for (int q = 0; q < 10; ++q) {
+    const GeoPoint center = proj.ToGeo(rng.Uniform(-2.0, 2.0),
+                                       rng.Uniform(-2.0, 2.0));
+    std::vector<int> got = index.RadiusQuery(center, 1.5);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    std::vector<int> expected;
+    for (int j = 0; j < 60; ++j)
+      if (index.is_active(j) &&
+          HaversineKm(center, index.point(j)) <= 1.5)
+        expected.push_back(j);
+    EXPECT_EQ(got, expected) << "churned query " << q;
+    // Same query twice: identical answer (no hidden iteration-order state).
+    EXPECT_EQ(index.RadiusQuery(center, 1.5), got);
+  }
+}
+
 }  // namespace
 }  // namespace prim::geo

@@ -1,0 +1,317 @@
+// Live-mutation protocol tests: the ADDPOI/ADDREL/DELREL/DELPOI verb
+// family, cache-generation invalidation on mutation (a TOPK answer cached
+// before an ADDREL must not survive it), compaction answer parity, STATS
+// mutation counters, batch-vs-per-line byte parity, and RELOAD discarding
+// the overlay. Each test loads its OWN server from a shared checkpoint so
+// mutations never leak between tests.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "geo/point.h"
+#include "io/model_io.h"
+#include "serve/protocol.h"
+#include "serve/relationship_server.h"
+#include "tests/test_fixtures.h"
+#include "train/experiment.h"
+
+namespace prim::serve {
+namespace {
+
+// Trains one tiny model, saves one checkpoint, and hands each test a fresh
+// RelationshipServer over it. The checkpoint itself is immutable shared
+// state; the servers are not shared.
+struct MutationFixture {
+  data::PoiDataset city;
+  std::string ckpt_path;
+
+  MutationFixture() : city(prim::testing::TinyCity()) {
+    train::ExperimentConfig config = prim::testing::TinyExperimentConfig();
+    config.trainer.epochs = 10;
+    config.trainer.verbose = false;
+    train::ExperimentData data = train::PrepareExperiment(city, 0.6, config);
+    Rng rng(1);
+    core::PrimModel model(data.ctx, config.prim, rng);
+    train::Trainer trainer(model, data.split.train, *data.full_graph,
+                           config.trainer);
+    trainer.Fit(nullptr);
+    core::PrimIndex index = core::PrimIndex::Build(model);
+    ckpt_path =
+        (std::filesystem::temp_directory_path() / "serve_mutation_test.ckpt")
+            .string();
+    EXPECT_TRUE(io::SaveTrainedModel(ckpt_path, model, "PRIM", &config.prim,
+                                     &index, city)
+                    .ok);
+  }
+};
+
+MutationFixture& Fixture() {
+  static MutationFixture* f = new MutationFixture();
+  return *f;
+}
+
+std::unique_ptr<RelationshipServer> FreshServer(uint64_t compact_every = 0) {
+  RelationshipServer::Options options;
+  options.cache_capacity = 64;
+  options.compact_every = compact_every;
+  std::unique_ptr<RelationshipServer> server;
+  EXPECT_TRUE(RelationshipServer::Load(Fixture().ckpt_path, options, &server)
+                  .ok);
+  return server;
+}
+
+// First whitespace-separated token after "OK <n>", i.e. the best TOPK hit
+// as "<id>,<relation>,<score>,<dist>". Empty when the answer has no hits.
+std::string TopHit(const std::string& topk_response) {
+  std::istringstream in(topk_response);
+  std::string ok, n, hit;
+  in >> ok >> n >> hit;
+  EXPECT_EQ(ok, "OK") << topk_response;
+  return hit;
+}
+
+TEST(MutationProtocolTest, AddPoiAssignsSequentialIdsAndServesThem) {
+  auto server = FreshServer();
+  const int n = server->num_pois();
+  const geo::GeoPoint at = Fixture().city.pois[0].location;
+  EXPECT_EQ(HandleRequestLine(*server, "ADDPOI " + std::to_string(at.lon) +
+                                           " " + std::to_string(at.lat)),
+            "OK id=" + std::to_string(n));
+  EXPECT_EQ(HandleRequestLine(*server, "ADDPOI " + std::to_string(at.lon) +
+                                           " " + std::to_string(at.lat)),
+            "OK id=" + std::to_string(n + 1));
+  EXPECT_EQ(server->num_pois(), n + 2);
+  // The new POI is immediately classifiable and visible to TOPK around it.
+  const std::string classify =
+      HandleRequestLine(*server, "CLASSIFY " + std::to_string(n) + " 0");
+  EXPECT_EQ(classify.substr(0, 3), "OK ") << classify;
+  const std::string topk = HandleRequestLine(*server, "TOPK 0 2.0 8");
+  EXPECT_EQ(topk.substr(0, 3), "OK ") << topk;
+}
+
+TEST(MutationProtocolTest, DeclaredRelationOutranksInference) {
+  auto server = FreshServer();
+  const std::string rel0 = server->RelationName(0);
+  ASSERT_EQ(HandleRequestLine(*server, "ADDREL 3 7 " + rel0),
+            "OK declared=" + rel0);
+  // CLASSIFY answers the declared fact verbatim, both directions.
+  EXPECT_EQ(HandleRequestLine(*server, "CLASSIFY 3 7").substr(0, 3 + rel0.size()),
+            "OK " + rel0);
+  EXPECT_EQ(HandleRequestLine(*server, "CLASSIFY 7 3").substr(0, 3 + rel0.size()),
+            "OK " + rel0);
+  // DELREL declares "unrelated": classifies as none.
+  ASSERT_EQ(HandleRequestLine(*server, "DELREL 3 7"), "OK declared=none");
+  EXPECT_EQ(HandleRequestLine(*server, "CLASSIFY 3 7").substr(0, 7), "OK none");
+}
+
+// Satellite regression: the TOPK LRU cache and single-flight map must be
+// invalidated by graph mutations. Prime the cache, declare a new edge, and
+// the SAME query must reflect it immediately (a stale generation would
+// happily serve the pre-mutation answer).
+TEST(MutationProtocolTest, TopKCacheIsInvalidatedByMutation) {
+  auto server = FreshServer();
+  // Pick a POI with at least two related partners at 2 km, so declaring a
+  // new top partner observably changes the answer.
+  int i = -1;
+  std::vector<RelationshipServer::RelatedPoi> related;
+  for (int c = 0; c < server->num_pois() && i < 0; ++c) {
+    ASSERT_TRUE(server->TopKRelated(c, 2.0, 16, &related).ok);
+    if (related.size() >= 2) i = c;
+  }
+  ASSERT_GE(i, 0) << "fixture city has no POI with 2 related partners";
+  const std::string query = "TOPK " + std::to_string(i) + " 2.0 4";
+  const std::string before = HandleRequestLine(*server, query);
+  ASSERT_EQ(before.substr(0, 3), "OK ") << before;
+  // Re-issue to make sure the entry is cached (hit counter moves).
+  const uint64_t hits0 = server->stats().cache_hits;
+  ASSERT_EQ(HandleRequestLine(*server, query), before);
+  ASSERT_GT(server->stats().cache_hits, hits0);
+
+  // Declare a partner inference ranked last: declared facts outrank
+  // inferred ones, so the top hit must change.
+  const int j = related.back().id;
+  const std::string rel1 = server->RelationName(1);
+  ASSERT_EQ(HandleRequestLine(*server, "ADDREL " + std::to_string(i) + " " +
+                                           std::to_string(j) + " " + rel1),
+            "OK declared=" + rel1);
+
+  const std::string after = HandleRequestLine(*server, query);
+  EXPECT_NE(after, before) << "cached TOPK served across a mutation";
+  // Declared partners outrank inferred ones: j is now the top hit.
+  EXPECT_EQ(TopHit(after).substr(0, std::to_string(j).size() + 1),
+            std::to_string(j) + ",");
+  EXPECT_NE(TopHit(after).find("," + rel1 + ","), std::string::npos)
+      << after;
+}
+
+TEST(MutationProtocolTest, DelPoiHidesIdWithoutRenumbering) {
+  auto server = FreshServer();
+  const int n = server->num_pois();
+  ASSERT_EQ(HandleRequestLine(*server, "DELPOI 9"), "OK removed=9");
+  EXPECT_EQ(server->num_pois(), n);  // Ids never shift.
+  EXPECT_EQ(HandleRequestLine(*server, "CLASSIFY 9 2"),
+            "ERR POI 9 was removed");
+  EXPECT_EQ(HandleRequestLine(*server, "TOPK 9 2.0 4"),
+            "ERR POI 9 was removed");
+  EXPECT_EQ(HandleRequestLine(*server, "DELPOI 9"), "ERR POI 9 was removed");
+  // Neighbours no longer see 9 as a TOPK candidate.
+  std::vector<RelationshipServer::RelatedPoi> related;
+  ASSERT_TRUE(server->TopKRelated(2, 5.0, 1000, &related).ok);
+  for (const auto& p : related) EXPECT_NE(p.id, 9);
+}
+
+TEST(MutationProtocolTest, CompactionPreservesEveryAnswer) {
+  auto server = FreshServer();
+  const geo::GeoPoint at = Fixture().city.pois[4].location;
+  const std::string rel0 = server->RelationName(0);
+  ASSERT_EQ(HandleRequestLine(*server,
+                              "ADDPOI " + std::to_string(at.lon + 0.001) +
+                                  " " + std::to_string(at.lat))
+                .substr(0, 6),
+            "OK id=");
+  ASSERT_EQ(HandleRequestLine(*server, "ADDREL 4 11 " + rel0),
+            "OK declared=" + rel0);
+  ASSERT_EQ(HandleRequestLine(*server, "DELREL 2 17"), "OK declared=none");
+  ASSERT_EQ(HandleRequestLine(*server, "DELPOI 23"), "OK removed=23");
+
+  std::vector<std::string> probes = {
+      "CLASSIFY 4 11",  "CLASSIFY 2 17", "CLASSIFY 23 1",
+      "CLASSIFY 1 2",   "TOPK 4 2.0 8",  "TOPK 2 1.15 4",
+      "TOPK " + std::to_string(server->num_pois() - 1) + " 2.0 8",
+  };
+  std::vector<std::string> before;
+  for (const std::string& p : probes)
+    before.push_back(HandleRequestLine(*server, p));
+
+  const std::string compacted = HandleRequestLine(*server, "COMPACT");
+  EXPECT_EQ(compacted.substr(0, 15), "OK compacted=1 ") << compacted;
+  EXPECT_EQ(server->stats().compactions, 1u);
+  EXPECT_EQ(server->stats().overlay_pois, 0u);
+
+  for (size_t p = 0; p < probes.size(); ++p)
+    EXPECT_EQ(HandleRequestLine(*server, probes[p]), before[p])
+        << "answer changed across COMPACT: " << probes[p];
+  // Idempotent: nothing left to fold.
+  EXPECT_EQ(HandleRequestLine(*server, "COMPACT").substr(0, 15),
+            "OK compacted=0 ");
+}
+
+TEST(MutationProtocolTest, AutoCompactionTriggersAtThreshold) {
+  auto server = FreshServer(/*compact_every=*/4);
+  const std::string rel0 = server->RelationName(0);
+  for (int m = 0; m < 4; ++m)
+    ASSERT_EQ(HandleRequestLine(*server, "ADDREL " + std::to_string(m) + " " +
+                                             std::to_string(m + 40) + " " +
+                                             rel0),
+              "OK declared=" + rel0);
+  EXPECT_GE(server->stats().compactions, 1u);
+  EXPECT_EQ(server->stats().overlay_pois, 0u);
+}
+
+TEST(MutationProtocolTest, StatsCountMutationsAndErrors) {
+  auto server = FreshServer();
+  const std::string rel0 = server->RelationName(0);
+  const geo::GeoPoint at = Fixture().city.pois[0].location;
+  HandleRequestLine(*server, "ADDPOI " + std::to_string(at.lon) + " " +
+                                 std::to_string(at.lat));
+  HandleRequestLine(*server, "ADDREL 1 2 " + rel0);
+  HandleRequestLine(*server, "DELREL 1 2");
+  HandleRequestLine(*server, "DELPOI 3");
+  // Failing mutations count as errors, not mutations.
+  EXPECT_EQ(HandleRequestLine(*server, "ADDREL 1 999999 " + rel0)
+                .substr(0, 3),
+            "ERR");
+  EXPECT_EQ(HandleRequestLine(*server, "ADDREL 1 1 " + rel0).substr(0, 3),
+            "ERR");
+  EXPECT_EQ(HandleRequestLine(*server, "ADDREL 1 2 not_a_relation")
+                .substr(0, 3),
+            "ERR");
+  const RelationshipServer::Stats s = server->stats();
+  EXPECT_EQ(s.addpoi, 1u);
+  EXPECT_EQ(s.addrel, 1u);
+  EXPECT_EQ(s.delrel, 1u);
+  EXPECT_EQ(s.delpoi, 1u);
+  EXPECT_EQ(s.mutations, 4u);
+  EXPECT_GE(s.mutation_errors, 2u);
+  const std::string stats = HandleRequestLine(*server, "STATS");
+  EXPECT_NE(stats.find(" mutations=4 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" addpoi=1 "), std::string::npos) << stats;
+}
+
+// The coalescing path must answer byte-for-byte what the per-line path
+// answers: a burst of mutations (with failures in the middle) applied as
+// one atomic batch, then reads over the mutated graph. Each
+// HandleRequestBatch call carries one BatchKeyForLine group, as the
+// NetServer's coalescer guarantees.
+TEST(MutationProtocolTest, BatchedMutationsMatchPerLineByteForByte) {
+  const geo::GeoPoint at = Fixture().city.pois[6].location;
+  auto servers = std::make_pair(FreshServer(), FreshServer());
+  const std::string rel0 = servers.first->RelationName(0);
+  const std::vector<std::string> mutations = {
+      "ADDREL 6 31 " + rel0,
+      "ADDPOI " + std::to_string(at.lon) + " " + std::to_string(at.lat),
+      "DELREL 6 12",
+      "ADDREL 6 6 " + rel0,  // Self-pair: must fail in place.
+      "DELPOI 31",
+      "ADDREL 5 31 " + rel0,  // Against a just-removed POI: must fail.
+  };
+  const std::vector<std::string> reads = {
+      "CLASSIFY 6 31", "CLASSIFY 6 12", "CLASSIFY 5 6",
+  };
+  for (const std::vector<std::string>& group : {mutations, reads}) {
+    const std::vector<std::string> batched =
+        HandleRequestBatch(*servers.first, group);
+    ASSERT_EQ(batched.size(), group.size());
+    for (size_t l = 0; l < group.size(); ++l)
+      EXPECT_EQ(batched[l], HandleRequestLine(*servers.second, group[l]))
+          << group[l];
+  }
+  const std::vector<std::string> topk =
+      HandleRequestBatch(*servers.first, {"TOPK 6 2.0 4", "TOPK 5 2.0 4"});
+  EXPECT_EQ(topk[0], HandleRequestLine(*servers.second, "TOPK 6 2.0 4"));
+  EXPECT_EQ(topk[1], HandleRequestLine(*servers.second, "TOPK 5 2.0 4"));
+  // Both servers saw the same mutation stream; their stats agree.
+  EXPECT_EQ(servers.first->stats().mutations,
+            servers.second->stats().mutations);
+  EXPECT_EQ(servers.first->stats().mutation_errors,
+            servers.second->stats().mutation_errors);
+}
+
+TEST(MutationProtocolTest, ReloadDiscardsOutstandingMutations) {
+  auto server = FreshServer();
+  const std::string rel0 = server->RelationName(0);
+  const std::string inferred = HandleRequestLine(*server, "CLASSIFY 8 14");
+  ASSERT_EQ(HandleRequestLine(*server, "ADDREL 8 14 " + rel0),
+            "OK declared=" + rel0);
+  ASSERT_EQ(HandleRequestLine(*server, "DELPOI 19"), "OK removed=19");
+  const std::string reloaded = HandleRequestLine(*server, "RELOAD");
+  ASSERT_EQ(reloaded.substr(0, 11), "OK reloaded") << reloaded;
+  // The checkpoint is authoritative again: the declared fact and the
+  // removal are both gone.
+  EXPECT_EQ(HandleRequestLine(*server, "CLASSIFY 8 14"), inferred);
+  EXPECT_EQ(HandleRequestLine(*server, "CLASSIFY 19 1").substr(0, 3), "OK ");
+  EXPECT_EQ(server->stats().overlay_pois, 0u);
+  EXPECT_EQ(server->stats().overlay_edges, 0u);
+}
+
+TEST(MutationProtocolTest, MalformedMutationLinesAreUsageErrors) {
+  auto server = FreshServer();
+  EXPECT_EQ(HandleRequestLine(*server, "ADDPOI 116.4").substr(0, 3), "ERR");
+  EXPECT_EQ(HandleRequestLine(*server, "ADDREL 1 2").substr(0, 3), "ERR");
+  EXPECT_EQ(HandleRequestLine(*server, "DELREL 1").substr(0, 3), "ERR");
+  EXPECT_EQ(HandleRequestLine(*server, "DELPOI").substr(0, 3), "ERR");
+  EXPECT_EQ(HandleRequestLine(*server, "DELPOI 1 2").substr(0, 3), "ERR");
+  // Parse failures never reach the mutation counters.
+  EXPECT_EQ(server->stats().mutations, 0u);
+}
+
+}  // namespace
+}  // namespace prim::serve

@@ -464,7 +464,8 @@ TEST(ProtocolTest, StatsReportsModelVersionAndReloads) {
 TEST(ProtocolTest, UnknownVerbNamesReload) {
   ServerFixture& f = Fixture();
   const std::string response = HandleRequestLine(*f.server, "FROB 1 2");
-  EXPECT_NE(response.find("expected CLASSIFY, TOPK, STATS, or RELOAD"),
+  EXPECT_NE(response.find("expected CLASSIFY, TOPK, ADDPOI, ADDREL, DELREL, "
+                          "DELPOI, COMPACT, STATS, or RELOAD"),
             std::string::npos)
       << response;
 }

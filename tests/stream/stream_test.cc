@@ -1,0 +1,283 @@
+// Streaming-subsystem tests: MutableGraphStore overlay semantics and
+// validation, the drift-replay invariant (replaying DriftMutations onto the
+// base city reproduces DriftCity exactly), and the determinism contract —
+// the same mutation stream compacted twice, or at different worker-thread
+// counts, yields bitwise-identical CSR arrays and identical online
+// fine-tuning loss curves.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "data/mutation.h"
+#include "data/synthetic.h"
+#include "stream/graph_store.h"
+#include "stream/online_trainer.h"
+#include "tests/test_fixtures.h"
+
+namespace prim::stream {
+namespace {
+
+data::SyntheticCityConfig SmallCityConfig() {
+  data::SyntheticCityConfig config;
+  config.name = "stream-test";
+  config.seed = 11;
+  config.num_pois = 150;
+  config.edges_per_poi = 6.0;
+  config.city_radius_km = 6.0;
+  config.num_regions = 16;
+  return config;
+}
+
+data::DriftConfig SmallDriftConfig() {
+  data::DriftConfig config;
+  config.city = SmallCityConfig();
+  config.drift_seed = 5;
+  config.close_fraction = 0.04;
+  config.open_fraction = 0.05;
+  config.edge_churn_fraction = 0.15;
+  config.region_flip_fraction = 0.3;
+  return config;
+}
+
+// Every accepted drift mutation, over `steps` steps, as one flat stream.
+std::vector<data::GraphMutation> DriftStream(const data::DriftConfig& config,
+                                             int steps) {
+  std::vector<data::GraphMutation> stream;
+  for (int t = 0; t < steps; ++t) {
+    std::vector<data::GraphMutation> step = DriftMutations(config, t);
+    stream.insert(stream.end(), step.begin(), step.end());
+  }
+  return stream;
+}
+
+void ExpectIdenticalCsr(const graph::HeteroGraph& a,
+                        const graph::HeteroGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_relations(), b.num_relations());
+  for (int rel = 0; rel < a.num_relations(); ++rel) {
+    EXPECT_EQ(a.EdgeSrc(rel), b.EdgeSrc(rel)) << "rel " << rel;
+    EXPECT_EQ(a.EdgeDst(rel), b.EdgeDst(rel)) << "rel " << rel;
+  }
+}
+
+// --- MutableGraphStore -----------------------------------------------------
+
+TEST(MutableGraphStoreTest, ReadViewMergesPendingOverBase) {
+  data::PoiDataset city = data::GenerateSyntheticCity(SmallCityConfig());
+  const int n = city.num_pois();
+  const graph::Triple first = city.edges.front();
+  MutableGraphStore store(city);
+
+  // Base state: everything alive, base edges visible, nothing pending.
+  EXPECT_EQ(store.Read().num_pois(), n);
+  EXPECT_EQ(store.Read().RelationOf(first.src, first.dst), first.rel);
+  EXPECT_EQ(store.Read().sequence(), 0u);
+
+  // ADDPOI: visible before any compaction, id is the next free slot.
+  data::Poi poi = city.pois[0];
+  poi.id = n;
+  ASSERT_TRUE(store.Apply(data::GraphMutation::AddPoi(poi)).ok);
+  MutableGraphStore::ReadView view = store.Read();
+  EXPECT_EQ(view.num_pois(), n + 1);
+  EXPECT_TRUE(view.IsAlive(n));
+  EXPECT_EQ(view.PoiOf(n).id, n);
+
+  // AddEdge on the new POI, then retype it: the newest mutation wins.
+  ASSERT_TRUE(store.Apply(data::GraphMutation::AddEdge(n, 3, 0)).ok);
+  EXPECT_EQ(store.Read().RelationOf(n, 3), 0);
+  EXPECT_EQ(store.Read().RelationOf(3, n), 0);  // Unordered pair.
+  ASSERT_TRUE(store.Apply(data::GraphMutation::AddEdge(n, 3, 1)).ok);
+  EXPECT_EQ(store.Read().RelationOf(n, 3), 1);
+  ASSERT_TRUE(store.Apply(data::GraphMutation::DelEdge(n, 3)).ok);
+  EXPECT_EQ(store.Read().RelationOf(n, 3), -1);
+
+  // DELPOI masks the row and severs base edges.
+  ASSERT_TRUE(store.Apply(data::GraphMutation::DelPoi(first.src)).ok);
+  view = store.Read();
+  EXPECT_FALSE(view.IsAlive(first.src));
+  EXPECT_EQ(view.RelationOf(first.src, first.dst), -1);
+  EXPECT_EQ(view.sequence(), 5u);
+
+  // The base snapshot still reflects none of this (readers pin immutable
+  // state); compaction folds it all in.
+  EXPECT_EQ(store.snapshot()->num_pois(), n);
+  std::shared_ptr<const GraphSnapshot> snap = store.Compact();
+  EXPECT_EQ(snap->num_pois(), n + 1);
+  EXPECT_FALSE(snap->IsAlive(first.src));
+  EXPECT_EQ(snap->sequence, 5u);
+  EXPECT_FALSE(snap->graph->HasAnyEdge(first.src, first.dst));
+  EXPECT_FALSE(snap->grid->is_active(first.src));
+  EXPECT_TRUE(snap->grid->is_active(n));
+  // Post-compaction reads agree with pre-compaction reads.
+  EXPECT_EQ(store.Read().RelationOf(n, 3), -1);
+  EXPECT_FALSE(store.Read().IsAlive(first.src));
+}
+
+TEST(MutableGraphStoreTest, RejectsInvalidMutationsWithoutStateChange) {
+  data::PoiDataset city = data::GenerateSyntheticCity(SmallCityConfig());
+  const int n = city.num_pois();
+  MutableGraphStore store(city);
+
+  data::Poi bad_id = city.pois[0];
+  bad_id.id = n + 5;  // AddPoi ids must be sequential.
+  EXPECT_FALSE(store.Apply(data::GraphMutation::AddPoi(bad_id)).ok);
+  EXPECT_FALSE(store.Apply(data::GraphMutation::AddEdge(0, n + 7, 0)).ok);
+  EXPECT_FALSE(store.Apply(data::GraphMutation::AddEdge(4, 4, 0)).ok);
+  EXPECT_FALSE(
+      store.Apply(data::GraphMutation::AddEdge(0, 1, city.num_relations)).ok);
+  ASSERT_TRUE(store.Apply(data::GraphMutation::DelPoi(2)).ok);
+  io::Result dead = store.Apply(data::GraphMutation::AddEdge(0, 2, 0));
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.error, "POI 2 was removed");
+  EXPECT_EQ(store.sequence(), 1u);  // Only the DelPoi was accepted.
+  EXPECT_EQ(store.MutationsSince(0).size(), 1u);
+}
+
+TEST(MutableGraphStoreTest, ApplyAllSkipsInvalidAndReportsFirstError) {
+  data::PoiDataset city = data::GenerateSyntheticCity(SmallCityConfig());
+  MutableGraphStore store(city);
+  std::vector<data::GraphMutation> batch = {
+      data::GraphMutation::AddEdge(0, 1, 0),
+      data::GraphMutation::AddEdge(7, 7, 0),  // Invalid: self pair.
+      data::GraphMutation::AddEdge(2, 3, 1),
+  };
+  size_t accepted = 0;
+  io::Result r = store.ApplyAll(batch, &accepted);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(accepted, 2u);
+  EXPECT_EQ(store.sequence(), 2u);
+  EXPECT_EQ(store.Read().RelationOf(0, 1), 0);
+  EXPECT_EQ(store.Read().RelationOf(2, 3), 1);
+}
+
+TEST(MutableGraphStoreTest, AutoCompactionAtThreshold) {
+  data::PoiDataset city = data::GenerateSyntheticCity(SmallCityConfig());
+  MutableGraphStoreOptions options;
+  options.compact_every = 3;
+  MutableGraphStore store(city, options);
+  ASSERT_TRUE(store.Apply(data::GraphMutation::AddEdge(0, 1, 0)).ok);
+  ASSERT_TRUE(store.Apply(data::GraphMutation::AddEdge(0, 2, 0)).ok);
+  EXPECT_EQ(store.snapshot()->sequence, 0u);  // Below threshold: no fold.
+  ASSERT_TRUE(store.Apply(data::GraphMutation::AddEdge(0, 3, 0)).ok);
+  EXPECT_EQ(store.snapshot()->sequence, 3u);  // Threshold crossed.
+  EXPECT_TRUE(store.Read().pending().empty());
+  EXPECT_TRUE(store.snapshot()->graph->HasEdge(0, 3, 0));
+  // The log survives compaction — the online trainer reads it later.
+  EXPECT_EQ(store.MutationsSince(0).size(), 3u);
+  EXPECT_EQ(store.MutationsSince(2).size(), 1u);
+}
+
+// --- Drift replay ----------------------------------------------------------
+
+TEST(DriftReplayTest, ReplayingTheStreamReproducesDriftCityExactly) {
+  const data::DriftConfig config = SmallDriftConfig();
+  const int kSteps = 3;
+  MutableGraphStore store(DriftCity(config, 0));
+  for (const data::GraphMutation& m : DriftStream(config, kSteps))
+    ASSERT_TRUE(store.Apply(m).ok);
+  std::shared_ptr<const GraphSnapshot> snap = store.Compact();
+
+  std::vector<uint8_t> alive;
+  const data::PoiDataset future = DriftCity(config, kSteps, &alive);
+  ASSERT_EQ(snap->num_pois(), future.num_pois());
+  EXPECT_EQ(snap->alive, alive);
+  EXPECT_EQ(snap->dataset.edges, future.edges);
+  for (int id = 0; id < future.num_pois(); ++id) {
+    EXPECT_EQ(snap->dataset.pois[id].category, future.pois[id].category);
+    EXPECT_EQ(snap->dataset.pois[id].brand, future.pois[id].brand);
+    EXPECT_EQ(snap->dataset.pois[id].attrs, future.pois[id].attrs);
+  }
+  // The drift moved the graph: some POIs opened, some closed.
+  EXPECT_GT(future.num_pois(), config.city.num_pois);
+  EXPECT_LT(static_cast<int>(std::count(alive.begin(), alive.end(), 1)),
+            future.num_pois());
+}
+
+TEST(DriftReplayTest, SameStreamCompactedTwiceIsBitwiseIdentical) {
+  const data::DriftConfig config = SmallDriftConfig();
+  const std::vector<data::GraphMutation> stream = DriftStream(config, 2);
+
+  auto run = [&](size_t batch) {
+    MutableGraphStore store(DriftCity(config, 0));
+    // Different batching / interleaved compaction schedules on each run:
+    // the result may only depend on the accepted sequence.
+    std::vector<data::GraphMutation> chunk;
+    for (const data::GraphMutation& m : stream) {
+      chunk.push_back(m);
+      if (chunk.size() == batch) {
+        EXPECT_TRUE(store.ApplyAll(chunk).ok);
+        chunk.clear();
+        if (batch == 7) store.Compact();
+      }
+    }
+    EXPECT_TRUE(store.ApplyAll(chunk).ok);
+    return store.Compact();
+  };
+  std::shared_ptr<const GraphSnapshot> a = run(1);
+  std::shared_ptr<const GraphSnapshot> b = run(7);
+  ASSERT_EQ(a->sequence, b->sequence);
+  EXPECT_EQ(a->alive, b->alive);
+  EXPECT_EQ(a->dataset.edges, b->dataset.edges);
+  ExpectIdenticalCsr(*a->graph, *b->graph);
+}
+
+// --- Determinism across worker-thread counts -------------------------------
+
+struct OnlineRun {
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  std::vector<float> initial_losses;
+  std::vector<float> online_losses;
+};
+
+OnlineRun RunOnlinePipeline(int threads) {
+  SetNumWorkerThreads(threads);
+  const data::DriftConfig config = SmallDriftConfig();
+
+  MutableGraphStore store(DriftCity(config, 0));
+  OnlineTrainerOptions options;
+  options.experiment = prim::testing::TinyExperimentConfig();
+  options.experiment.trainer.epochs = 6;
+  options.experiment.trainer.verbose = false;
+  options.minibatch.train = options.experiment.trainer;
+  options.minibatch.train.epochs = 2;
+  options.minibatch.batch_size = 128;
+  options.replay_triples = 200;
+  OnlineTrainer trainer(store, options);
+
+  OnlineRun run;
+  run.initial_losses = trainer.TrainInitial().loss_curve;
+  for (const data::GraphMutation& m : DriftStream(config, 2))
+    EXPECT_TRUE(store.Apply(m).ok);
+  OnlineRoundResult round = trainer.Update();
+  EXPECT_TRUE(round.warm_started);
+  EXPECT_GT(round.seed_triples, 0u);
+  run.online_losses = round.loss_curve;
+  run.snapshot = store.Compact();
+  SetNumWorkerThreads(0);  // Back to the environment default.
+  return run;
+}
+
+TEST(StreamDeterminismTest, ThreadCountDoesNotChangeCsrsOrLossCurves) {
+  const OnlineRun one = RunOnlinePipeline(1);
+  const OnlineRun four = RunOnlinePipeline(4);
+  // Bitwise-identical compacted CSRs…
+  ASSERT_EQ(one.snapshot->sequence, four.snapshot->sequence);
+  EXPECT_EQ(one.snapshot->alive, four.snapshot->alive);
+  ExpectIdenticalCsr(*one.snapshot->graph, *four.snapshot->graph);
+  // …and bit-identical training trajectories, initial and online.
+  ASSERT_EQ(one.initial_losses.size(), four.initial_losses.size());
+  for (size_t e = 0; e < one.initial_losses.size(); ++e)
+    EXPECT_EQ(one.initial_losses[e], four.initial_losses[e]) << "epoch " << e;
+  ASSERT_FALSE(one.online_losses.empty());
+  ASSERT_EQ(one.online_losses.size(), four.online_losses.size());
+  for (size_t b = 0; b < one.online_losses.size(); ++b)
+    EXPECT_EQ(one.online_losses[b], four.online_losses[b]) << "batch " << b;
+}
+
+}  // namespace
+}  // namespace prim::stream

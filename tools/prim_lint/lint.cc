@@ -184,11 +184,21 @@ bool InCommon(const std::string& path) {
   return std::regex_search(path, kCommon);
 }
 
+// True for paths inside the snapshot-publishing subsystems (serve/,
+// stream/), where the mutation-under-snapshot rule applies. Everywhere
+// else GridIndex::Remove/Update are ordinary mutations on private state.
+bool InSnapshotPath(const std::string& path) {
+  static const std::regex kSnapshot(R"re((^|/)(serve|stream)/)re");
+  return std::regex_search(path, kSnapshot);
+}
+
 struct LineRule {
   const char* rule;
   std::regex pattern;
   const char* message;  // %s <- first capture group, if any.
   bool skip_in_common = false;
+  // Rule fires only under serve/ or stream/ (snapshot-publishing code).
+  bool only_in_snapshot_paths = false;
 };
 
 const std::vector<LineRule>& LineRules() {
@@ -212,6 +222,14 @@ const std::vector<LineRule>& LineRules() {
        "nondeterministic seed source: training and sampling must derive "
        "all randomness from the experiment seed",
        /*skip_in_common=*/false},
+      {"mutation-under-snapshot",
+       std::regex(
+           R"re(\b\w*[gG]rid\w*\s*(?:\.|->)\s*(Remove|Update)\s*\(|\bconst_cast\s*<[^;>]*\b(ModelSnapshot|GraphSnapshot|GridIndex|HeteroGraph)\b)re"),
+       "%s mutates spatial/CSR state in snapshot-publishing code: published "
+       "snapshots are immutable — build a fresh copy and swap it in "
+       "(suppress only where the object is provably not yet published)",
+       /*skip_in_common=*/false,
+       /*only_in_snapshot_paths=*/true},
   };
   return *rules;
 }
@@ -256,6 +274,7 @@ void ApplyLineRules(const std::string& path, const std::string& stripped,
                     const Suppressions& suppressions,
                     std::vector<Finding>* findings) {
   const bool in_common = InCommon(path);
+  const bool in_snapshot_path = InSnapshotPath(path);
   std::istringstream stream(stripped);
   std::string line;
   int line_no = 0;
@@ -271,6 +290,7 @@ void ApplyLineRules(const std::string& path, const std::string& stripped,
     if (last != std::string::npos) prev_end = line[last];
     for (const LineRule& rule : LineRules()) {
       if (rule.skip_in_common && in_common) continue;
+      if (rule.only_in_snapshot_paths && !in_snapshot_path) continue;
       std::smatch m;
       if (!std::regex_search(line, m, rule.pattern)) continue;
       if (suppressions.Allows(rule.rule, line_no)) continue;

@@ -34,6 +34,13 @@
 //                         literals. A check that fires in production must
 //                         name the offending value, not just restate the
 //                         condition.
+//   mutation-under-snapshot  (serve/ and stream/ only) GridIndex
+//                         Remove/Update calls or const_casts on snapshot
+//                         types. Published snapshots are immutable — RCU
+//                         readers hold them lock-free, so any in-place
+//                         write is a data race. Compaction sites mutating
+//                         a fresh, not-yet-published copy suppress with a
+//                         reason saying exactly that.
 //
 // Suppressions:
 //   // prim-lint: allow(rule): reason      same line or the line above

@@ -129,6 +129,35 @@ TEST(RuleTest, NondeterministicSeedPass) {
   EXPECT_TRUE(findings.empty()) << Describe(findings);
 }
 
+TEST(RuleTest, MutationUnderSnapshotFail) {
+  const auto findings =
+      LintFile(Fixture("serve/mutation_under_snapshot_fail.cc"));
+  const auto counts = CountByRule(findings);
+  EXPECT_EQ(counts.at("mutation-under-snapshot"), 3) << Describe(findings);
+  EXPECT_EQ(findings.size(), 3u) << Describe(findings);
+}
+
+TEST(RuleTest, MutationUnderSnapshotPass) {
+  const auto findings =
+      LintFile(Fixture("serve/mutation_under_snapshot_pass.cc"));
+  EXPECT_TRUE(findings.empty()) << Describe(findings);
+}
+
+TEST(RuleTest, MutationUnderSnapshotOnlyFiresInServeAndStream) {
+  // The identical write is legal outside the snapshot-publishing
+  // subsystems: geo_test.cc churns its own GridIndex, stores mutate their
+  // private working copies.
+  const std::string content = "void F() { grid->Remove(3); }\n";
+  EXPECT_TRUE(LintSource("src/geo/grid_index.cc", content).empty());
+  EXPECT_TRUE(LintSource("tests/geo/geo_test.cc", content).empty());
+  const auto serve = LintSource("src/serve/x.cc", content);
+  ASSERT_EQ(serve.size(), 1u) << Describe(serve);
+  EXPECT_EQ(serve[0].rule, "mutation-under-snapshot");
+  const auto stream = LintSource("src/stream/x.cc", content);
+  ASSERT_EQ(stream.size(), 1u) << Describe(stream);
+  EXPECT_EQ(stream[0].rule, "mutation-under-snapshot");
+}
+
 TEST(RuleTest, CheckMessageFail) {
   const auto findings = LintFile(Fixture("check_message_fail.cc"));
   const auto counts = CountByRule(findings);

@@ -1,0 +1,8 @@
+// Fixture: mutation-under-snapshot must fire 3 times (this file's path is
+// under serve/, where the rule applies).
+
+void Bad(ModelSnapshot* snap) {
+  snap->grid->Remove(7);
+  grid_.Update(3, p);
+  auto* writable = const_cast<ModelSnapshot*>(published);
+}

@@ -1,0 +1,13 @@
+// Fixture: mutation-under-snapshot must stay quiet. Suppressed compaction
+// writes, lookalike identifiers, and banned tokens in comments/strings.
+
+void Good() {
+  // prim-lint: allow(mutation-under-snapshot): unpublished fresh copy.
+  grid->Remove(dead_id);
+  grid_.Update(id, p);  // prim-lint: allow(mutation-under-snapshot): same.
+  online.Update();          // Not a grid: different receiver.
+  registry.RemoveAll();     // Remove( must be a whole call token.
+  Log("grid->Remove(7) is forbidden");  // Inside a string literal.
+  // A const_cast on a non-snapshot type is outside this rule's scope.
+  auto* cfg = const_cast<Options*>(options);
+}
