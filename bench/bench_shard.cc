@@ -1,0 +1,238 @@
+// Distributed-training benchmark: sweeps §5.3-style scalability cities
+// (uniform POIs, 8 random relationships each) across worker counts K and
+// reports per configuration
+//   * s/epoch of the distributed loop (coordinator wall clock),
+//   * peak RSS of the coordinator and the largest worker (VmHWM),
+//   * the partition cut fraction and largest per-shard replica (owned +
+//     halo) — the quantities that decide whether sharding pays off at a
+//     given scale.
+// Results go to BENCH_shard.json and are echoed to stdout.
+//
+// Each (pois, K) configuration runs in a fresh child process (the bench
+// re-executes itself with --sweep-child=...) so one configuration's
+// VmHWM cannot leak into the next; workers are separate forked processes
+// and report their own peaks through DistStats.
+//
+//   --pois=A,B,C    city sizes (default 50000,100000,250000,300000 — the
+//                   paper's §5.3 range plus one size past it)
+//   --shards=A,B    worker counts (default 1,2,4)
+//   --epochs=N      epochs per configuration (default 2)
+//   --seed=N        generator + experiment seed
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/synthetic.h"
+#include "shard/dist_trainer.h"
+#include "train/experiment.h"
+
+namespace {
+
+using namespace prim;
+using Clock = std::chrono::steady_clock;
+
+// Reads a "Key:   123 kB" field from /proc/self/status; 0 when absent.
+long StatusKb(const char* key) {
+  FILE* f = fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long value = 0;
+  const size_t key_len = strlen(key);
+  while (fgets(line, sizeof(line), f) != nullptr) {
+    if (strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      sscanf(line + key_len + 1, "%ld", &value);
+      break;
+    }
+  }
+  fclose(f);
+  return value;
+}
+
+struct SweepRow {
+  int pois = 0;
+  int shards = 0;
+  int steps_per_epoch = 0;
+  double s_per_epoch = 0.0;
+  double coordinator_peak_mb = 0.0;
+  double max_worker_peak_mb = 0.0;
+  double cut_fraction = 0.0;
+  int max_local_nodes = 0;  // largest shard replica, owned + halo
+};
+
+// Child-process entry: one (pois, K) configuration, RESULT line on stdout.
+int RunSweepChild(int pois, int shards, int epochs, uint64_t seed) {
+  train::ExperimentConfig config =
+      bench::ConfigForScale(data::DatasetScale::kTiny);
+  config.trainer.epochs = epochs;
+  config.trainer.verbose = false;
+  config.trainer.max_positives_per_epoch = 2048;
+  config.seed = seed;
+  // Like bench_minibatch's sweep: run PRIM without spatial fusion (the -S
+  // ablation). Eq. 10 couples every batch to its spatial neighbours'
+  // exact L-layer embeddings, which saturates the receptive field at city
+  // size and would measure that instead of shard scaling.
+  config.prim.use_spatial_context = false;
+
+  const data::PoiDataset city =
+      data::GenerateScalabilityDataset(pois, 8, 2, seed);
+  const train::ExperimentData data =
+      train::PrepareExperiment(city, 0.6, config);
+  Rng rng(config.seed * 7919 + 13);
+  auto model = train::MakeModel("PRIM", data.ctx, config, rng, nullptr);
+
+  shard::DistConfig dc;
+  dc.num_shards = shards;
+  dc.batch.train = config.trainer;
+  dc.batch.batch_size = 512;
+  dc.batch.fanout = {10, 5};
+  dc.experiment = config;
+  shard::DistTrainer trainer(*model, city, data, dc);
+
+  const auto t0 = Clock::now();
+  const train::TrainResult fit = trainer.Fit(nullptr);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const shard::DistStats& stats = trainer.stats();
+  long worker_peak_kb = 0;
+  for (long kb : stats.worker_peak_rss_kb)
+    if (kb > worker_peak_kb) worker_peak_kb = kb;
+  int max_local = 0;
+  for (int nodes : stats.local_nodes)
+    if (nodes > max_local) max_local = nodes;
+
+  printf("RESULT %.6f %.3f %.3f %.6f %d %d\n",
+         fit.epochs_run > 0 ? seconds / fit.epochs_run : 0.0,
+         StatusKb("VmHWM") / 1024.0, worker_peak_kb / 1024.0,
+         stats.assignment.CutFraction(), max_local, stats.steps_per_epoch);
+  return 0;
+}
+
+SweepRow RunSweepConfig(const char* self, int pois, int shards, int epochs,
+                        uint64_t seed) {
+  SweepRow row;
+  row.pois = pois;
+  row.shards = shards;
+  char cmd[512];
+  snprintf(cmd, sizeof(cmd), "'%s' '--sweep-child=%d:%d' --epochs=%d --seed=%llu",
+           self, pois, shards, epochs,
+           static_cast<unsigned long long>(seed));
+  FILE* pipe = popen(cmd, "r");
+  if (pipe == nullptr) {
+    fprintf(stderr, "bench_shard: popen failed for %s\n", cmd);
+    return row;
+  }
+  char line[256];
+  bool parsed = false;
+  while (fgets(line, sizeof(line), pipe) != nullptr) {
+    if (sscanf(line, "RESULT %lf %lf %lf %lf %d %d", &row.s_per_epoch,
+               &row.coordinator_peak_mb, &row.max_worker_peak_mb,
+               &row.cut_fraction, &row.max_local_nodes,
+               &row.steps_per_epoch) == 6)
+      parsed = true;
+  }
+  const int status = pclose(pipe);
+  if (!parsed || status != 0)
+    fprintf(stderr, "bench_shard: child failed (status %d): %s\n", status,
+            cmd);
+  return row;
+}
+
+std::vector<int> ParseIntList(const std::string& text) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(static_cast<int>(std::strtol(token.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv);
+  const uint64_t seed = flags.seed ? flags.seed : 1;
+  const int epochs = flags.epochs > 0 ? flags.epochs : 2;
+
+  // Hidden child mode: --sweep-child=POIS:SHARDS.
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--sweep-child=", 14) == 0) {
+      const std::string spec = argv[i] + 14;
+      const size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        fprintf(stderr, "bench_shard: bad --sweep-child spec: %s\n",
+                spec.c_str());
+        return 1;
+      }
+      return RunSweepChild(
+          static_cast<int>(std::strtol(spec.c_str(), nullptr, 10)),
+          static_cast<int>(std::strtol(spec.c_str() + colon + 1, nullptr, 10)),
+          epochs, seed);
+    }
+  }
+
+  const std::vector<int> pois_list =
+      ParseIntList(StringFlag(argc, argv, "pois", "50000,100000,250000,300000"));
+  const std::vector<int> shard_list =
+      ParseIntList(StringFlag(argc, argv, "shards", "1,2,4"));
+
+  printf("%10s %4s %8s %10s %12s %12s %8s %10s\n", "pois", "K", "steps/ep",
+         "s/epoch", "coord MB", "worker MB", "cut %", "max local");
+  std::vector<SweepRow> rows;
+  for (int pois : pois_list)
+    for (int shards : shard_list) {
+      const SweepRow row = RunSweepConfig(argv[0], pois, shards, epochs, seed);
+      printf("%10d %4d %8d %10.3f %12.1f %12.1f %8.1f %10d\n", row.pois,
+             row.shards, row.steps_per_epoch, row.s_per_epoch,
+             row.coordinator_peak_mb, row.max_worker_peak_mb,
+             100.0 * row.cut_fraction, row.max_local_nodes);
+      fflush(stdout);
+      rows.push_back(row);
+    }
+
+  FILE* f = fopen("BENCH_shard.json", "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench_shard: cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_shard\",\n");
+  fprintf(f, "  \"epochs\": %d,\n", epochs);
+  fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(seed));
+  fprintf(f, "  \"sweep\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    fprintf(f,
+            "    {\"pois\": %d, \"shards\": %d, \"steps_per_epoch\": %d, "
+            "\"s_per_epoch\": %.4f, \"coordinator_peak_rss_mb\": %.1f, "
+            "\"max_worker_peak_rss_mb\": %.1f, \"cut_fraction\": %.4f, "
+            "\"max_local_nodes\": %d}%s\n",
+            r.pois, r.shards, r.steps_per_epoch, r.s_per_epoch,
+            r.coordinator_peak_mb, r.max_worker_peak_mb, r.cut_fraction,
+            r.max_local_nodes, i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote BENCH_shard.json (%zu configurations)\n", rows.size());
+  return 0;
+}

@@ -1,13 +1,18 @@
 // Train any single model on a synthetic city and watch its validation
 // curve — the command-line workhorse for experimenting with the library.
 //
-//   ./build/examples/train_model --model=PRIM --city=BJ --scale=small \
+//   ./build/examples/train_model --model=PRIM --city=BJ --scale=small
 //       --train=0.6 --epochs=200 --lr=0.01 --dim=32
 //
 // Mini-batch mode (neighbor-sampled subgraphs instead of full-graph
 // passes; see DESIGN.md "Mini-batch training"):
 //
 //   ./build/examples/train_model --minibatch --fanout=10,5 --batch=512
+//
+// Multi-process data-parallel mode (spatial shards, forked workers,
+// per-step gradient all-reduce; see DESIGN.md "Spatial sharding"):
+//
+//   ./build/examples/train_model --shards=2 --fanout=10,5 --batch=512
 
 #include <cerrno>
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include "data/presets.h"
 #include "io/model_io.h"
 #include "nn/ops.h"
+#include "shard/dist_trainer.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
 #include "train/minibatch.h"
@@ -146,6 +152,21 @@ int main(int argc, char** argv) {
     }
     std::printf("restored %zu tensors from %s; skipping training\n",
                 checkpoint.params.size(), load_path.c_str());
+  } else if (IntFlag(argc, argv, "shards", "0") > 0) {
+    shard::DistConfig dc;
+    dc.num_shards = IntFlag(argc, argv, "shards", "0");
+    dc.batch.train = config.trainer;
+    dc.batch.batch_size = IntFlag(argc, argv, "batch", "512");
+    dc.batch.fanout =
+        train::ParseFanout(FlagValue(argc, argv, "fanout", "10,5"));
+    dc.model_name = model_name;
+    dc.experiment = config;
+    shard::DistTrainer trainer(*model, city, data, dc);
+    fit = trainer.Fit(&data.validation);
+    std::printf("trained on %d shard worker processes (%d steps/epoch, "
+                "cut %.1f%%)\n",
+                dc.num_shards, trainer.stats().steps_per_epoch,
+                100.0 * trainer.stats().assignment.CutFraction());
   } else if (HasFlag(argc, argv, "minibatch")) {
     train::MiniBatchConfig mb;
     mb.train = config.trainer;

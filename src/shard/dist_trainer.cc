@@ -1,0 +1,471 @@
+#include "shard/dist_trainer.h"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/prim_model.h"
+#include "io/bytes.h"
+#include "shard/shard_io.h"
+#include "shard/wire.h"
+#include "train/evaluator.h"
+
+namespace prim::shard {
+namespace {
+
+int64_t ReadVmHwmKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+int64_t TotalElems(const std::vector<nn::Tensor>& params) {
+  int64_t elems = 0;
+  for (const nn::Tensor& p : params) elems += p.size();
+  return elems;
+}
+
+/// Copies a flat float run into the parameters, in registration order.
+void LoadFlatParams(std::vector<nn::Tensor>& params, const float* flat,
+                    int64_t elems) {
+  PRIM_CHECK(TotalElems(params) == elems);
+  for (nn::Tensor& p : params) {
+    std::copy(flat, flat + p.size(), p.data());
+    flat += p.size();
+  }
+}
+
+/// Worker-side StepSync: ships local gradients to the coordinator and
+/// installs the reduced ones in their place. Every exchange is a strict
+/// request/response on this worker's socket, so the star never deadlocks:
+/// the coordinator fully reads each worker's frame before writing any
+/// reply.
+class SocketSync : public train::StepSync {
+ public:
+  SocketSync(int fd, int64_t param_elems) : fd_(fd), elems_(param_elems) {}
+
+  void SyncGradients(std::vector<nn::Tensor>& params, int num_examples,
+                     float* loss) override {
+    io::ByteWriter w;
+    w.U32(static_cast<uint32_t>(num_examples));
+    w.F32(*loss);
+    for (const nn::Tensor& p : params) {
+      PRIM_CHECK_MSG(p.has_grad(), "parameter without gradient in all-reduce: "
+                                       << p.rows() << "x" << p.cols());
+      w.Raw(p.grad(), static_cast<size_t>(p.size()) * sizeof(float));
+    }
+    SendFrame(fd_, MsgTag::kGrad, w.bytes());
+
+    const std::vector<uint8_t> reply = RecvExpect(fd_, MsgTag::kReduced);
+    io::ByteReader r(reply);
+    PRIM_CHECK(r.F32(loss));
+    PRIM_CHECK(r.remaining() == static_cast<size_t>(elems_) * sizeof(float));
+    for (nn::Tensor& p : params)
+      PRIM_CHECK(r.Raw(p.grad(), static_cast<size_t>(p.size()) * sizeof(float)));
+  }
+
+  bool EpochDone(int epoch) override {
+    io::ByteWriter w;
+    w.U32(static_cast<uint32_t>(epoch));
+    SendFrame(fd_, MsgTag::kEpoch, w.bytes());
+    // The coordinator may interleave a parameter fetch (for validation)
+    // before the verdict.
+    while (true) {
+      MsgTag tag;
+      std::vector<uint8_t> payload;
+      PRIM_CHECK_MSG(RecvFrame(fd_, &tag, &payload),
+                     "coordinator closed during epoch " << epoch
+                                                        << " handshake");
+      if (tag == MsgTag::kNeedParams) {
+        SendParams();
+        continue;
+      }
+      if (tag == MsgTag::kContinue) return true;
+      PRIM_CHECK_MSG(tag == MsgTag::kStop,
+                     "unexpected tag " << static_cast<uint32_t>(tag)
+                                      << " in epoch handshake");
+      return false;
+    }
+  }
+
+  void set_model_params(std::vector<nn::Tensor> params) {
+    model_params_ = std::move(params);
+  }
+
+  void SendParams() {
+    io::ByteWriter w;
+    for (const nn::Tensor& p : model_params_)
+      w.Raw(p.data(), static_cast<size_t>(p.size()) * sizeof(float));
+    SendFrame(fd_, MsgTag::kParams, w.bytes());
+  }
+
+ private:
+  int fd_;
+  int64_t elems_;
+  std::vector<nn::Tensor> model_params_;
+};
+
+/// Entry point of a forked worker process. Never returns control flow to
+/// the coordinator's logic — the caller _exit()s right after. Workers must
+/// not spawn threads (the inherited worker pool detects the fork and runs
+/// every parallel region inline, preserving chunk identities, so results
+/// stay bitwise identical to pooled execution).
+void RunShardWorker(int fd, const ShardGraph& sg,
+                    const models::ModelContext& global_ctx,
+                    const DistConfig& config) {
+  models::ModelContext ctx =
+      BuildShardContext(sg, global_ctx, config.experiment.context);
+  Rng rng(config.experiment.seed * 7919 + 13);
+  std::unique_ptr<models::RelationModel> model = train::MakeModel(
+      config.model_name, ctx, config.experiment, rng, nullptr);
+
+  auto params = model->Parameters();
+  const int64_t elems = TotalElems(params);
+  SocketSync sync(fd, elems);
+  sync.set_model_params(params);
+
+  train::MiniBatchConfig worker_config = config.batch;
+  worker_config.sync = &sync;
+  worker_config.train.verbose = false;  // the coordinator narrates
+  const int k = config.num_shards;
+  if (worker_config.train.max_positives_per_epoch > 0)
+    worker_config.train.max_positives_per_epoch =
+        (worker_config.train.max_positives_per_epoch + k - 1) / k;
+  if (worker_config.train.phi_positives_per_epoch > 0)
+    worker_config.train.phi_positives_per_epoch =
+        (worker_config.train.phi_positives_per_epoch + k - 1) / k;
+
+  const graph::HeteroGraph local_full_graph(
+      sg.num_local(), sg.dataset.num_relations, sg.dataset.edges);
+  train::MiniBatchTrainer trainer(*model, sg.train_triples, local_full_graph,
+                                  worker_config);
+  {
+    io::ByteWriter w;
+    w.U32(static_cast<uint32_t>(sg.shard));
+    w.U32(static_cast<uint32_t>(trainer.batches_per_epoch()));
+    w.U64(static_cast<uint64_t>(elems));
+    SendFrame(fd, MsgTag::kHello, w.bytes());
+  }
+  {
+    const std::vector<uint8_t> start = RecvExpect(fd, MsgTag::kStart);
+    io::ByteReader r(start);
+    uint32_t steps = 0;
+    PRIM_CHECK(r.U32(&steps));
+    trainer.set_steps_per_epoch(static_cast<int>(steps));
+  }
+
+  (void)trainer.Fit(nullptr);
+
+  // Finalisation: the coordinator may fetch the last parameters first,
+  // then always sends kFinal with the parameters to snapshot (the best
+  // validation round) and the optional shard-checkpoint request.
+  std::string ckpt_path;
+  while (true) {
+    MsgTag tag;
+    std::vector<uint8_t> payload;
+    PRIM_CHECK_MSG(RecvFrame(fd, &tag, &payload),
+                   "coordinator closed before finalising shard " << sg.shard);
+    if (tag == MsgTag::kNeedParams) {
+      sync.SendParams();
+      continue;
+    }
+    PRIM_CHECK_MSG(tag == MsgTag::kFinal,
+                   "unexpected tag " << static_cast<uint32_t>(tag)
+                                    << " during finalisation");
+    io::ByteReader r(payload);
+    uint8_t has_params = 0;
+    PRIM_CHECK(r.U8(&has_params));
+    if (has_params != 0) {
+      std::vector<float> flat(static_cast<size_t>(elems));
+      PRIM_CHECK(r.Raw(flat.data(), flat.size() * sizeof(float)));
+      LoadFlatParams(params, flat.data(), elems);
+    }
+    std::string prefix;
+    uint8_t build_index = 0;
+    PRIM_CHECK(r.Str(&prefix) && r.U8(&build_index));
+    if (!prefix.empty()) {
+      ckpt_path = ShardCheckpointPath(prefix, sg.shard);
+      std::unique_ptr<core::PrimIndex> index;
+      if (build_index != 0) {
+        if (auto* prim = dynamic_cast<core::PrimModel*>(model.get()))
+          index = std::make_unique<core::PrimIndex>(core::PrimIndex::Build(*prim));
+      }
+      const io::Result saved = SaveShardCheckpoint(
+          ckpt_path, sg, *model, config.model_name,
+          index ? &index->config() : nullptr, index.get());
+      PRIM_CHECK_MSG(saved.ok, "shard checkpoint failed: " << saved.error);
+    }
+    break;
+  }
+  {
+    io::ByteWriter w;
+    w.U64(static_cast<uint64_t>(ReadVmHwmKb()));
+    w.Str(ckpt_path);
+    SendFrame(fd, MsgTag::kDone, w.bytes());
+  }
+}
+
+}  // namespace
+
+DistTrainer::DistTrainer(models::RelationModel& model,
+                         const data::PoiDataset& dataset,
+                         const train::ExperimentData& data,
+                         const DistConfig& config)
+    : model_(model), dataset_(dataset), data_(data), config_(config) {
+  PRIM_CHECK_MSG(config_.num_shards >= 1,
+                 "num_shards must be >= 1, got " << config_.num_shards);
+  PRIM_CHECK_MSG(model_.supports_sampled_views(),
+                 model_.name() << " does not support sampled graph views");
+  PRIM_CHECK_MSG(model_.trainable() && model_.NumParameters() > 0,
+                 model_.name() << " has nothing to train in parallel");
+  config_.partition.num_shards = config_.num_shards;
+}
+
+train::TrainResult DistTrainer::Fit(const models::PairBatch* validation) {
+  const auto t0 = std::chrono::steady_clock::now();
+  train::TrainResult result;
+  const int k = config_.num_shards;
+
+  stats_.assignment = SpatialPartitioner::Partition(
+      dataset_, *data_.ctx.train_graph, config_.partition);
+
+  ShardGraphConfig sg_config;
+  sg_config.halo_layers =
+      std::max(1, static_cast<int>(config_.batch.fanout.size()));
+  sg_config.spatial_roots = model_.uses_spatial_context();
+  std::vector<std::unique_ptr<ShardGraph>> shard_graphs;
+  for (int s = 0; s < k; ++s) {
+    shard_graphs.push_back(std::make_unique<ShardGraph>(
+        BuildShardGraph(dataset_, data_.ctx, data_.message_edges,
+                        data_.split.train, stats_.assignment, s, sg_config)));
+    PRIM_CHECK_MSG(!shard_graphs.back()->train_triples.empty(),
+                   "shard " << s << " has no training triples; lower "
+                               "num_shards or grow the dataset");
+    stats_.local_nodes.push_back(shard_graphs.back()->num_local());
+  }
+
+  // Fork the workers. Shard graphs are built pre-fork, so children inherit
+  // them through the address space and the sockets only ever carry
+  // gradients, parameters, and control frames.
+  std::vector<int> fds(k, -1);
+  std::vector<pid_t> pids(k, -1);
+  for (int s = 0; s < k; ++s) {
+    int pair[2];
+    PRIM_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) == 0,
+                   "socketpair failed: " << std::strerror(errno));
+    const pid_t pid = ::fork();
+    PRIM_CHECK_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      ::close(pair[0]);
+      for (int prev = 0; prev < s; ++prev) ::close(fds[prev]);
+      RunShardWorker(pair[1], *shard_graphs[s], data_.ctx, config_);
+      ::close(pair[1]);
+      ::_exit(0);
+    }
+    ::close(pair[1]);
+    fds[s] = pair[0];
+    pids[s] = pid;
+  }
+
+  // Handshake: collect every worker's natural batch count and parameter
+  // size, then broadcast the lockstep step count (the max — workers whose
+  // producer wraps early roll batches into their next assembler epoch).
+  auto replica_params = model_.Parameters();
+  const int64_t elems = TotalElems(replica_params);
+  int steps_per_epoch = 1;
+  for (int s = 0; s < k; ++s) {
+    const std::vector<uint8_t> hello = RecvExpect(fds[s], MsgTag::kHello);
+    io::ByteReader r(hello);
+    uint32_t shard = 0, num_batches = 0;
+    uint64_t worker_elems = 0;
+    PRIM_CHECK(r.U32(&shard) && r.U32(&num_batches) && r.U64(&worker_elems));
+    PRIM_CHECK(static_cast<int>(shard) == s);
+    PRIM_CHECK_MSG(
+        static_cast<int64_t>(worker_elems) == elems,
+        model_.name() << " parameter count differs between the replica ("
+                      << elems << ") and shard " << s << " (" << worker_elems
+                      << "); node-count-dependent parameters cannot be "
+                         "data-parallel sharded");
+    steps_per_epoch = std::max(steps_per_epoch, static_cast<int>(num_batches));
+  }
+  stats_.steps_per_epoch = steps_per_epoch;
+  for (int s = 0; s < k; ++s) {
+    io::ByteWriter w;
+    w.U32(static_cast<uint32_t>(steps_per_epoch));
+    SendFrame(fds[s], MsgTag::kStart, w.bytes());
+  }
+
+  // Training loop: per step, read every worker's gradients in rank order,
+  // reduce, broadcast. K=1 passes the single contribution through
+  // untouched — bitwise MiniBatchTrainer. K>1 accumulates in doubles in
+  // fixed rank order, so results are run-to-run deterministic.
+  const train::TrainConfig& tc = config_.batch.train;
+  std::vector<double> acc(static_cast<size_t>(elems));
+  std::vector<float> reduced(static_cast<size_t>(elems));
+  std::vector<std::vector<uint8_t>> grads(k);
+  std::vector<float> flat_params(static_cast<size_t>(elems));
+  double best_val = -1.0;
+  int bad_rounds = 0;
+  std::vector<std::vector<float>> best_params;
+  bool stop = false;
+
+  auto fetch_params_into_replica = [&](int worker) {
+    io::ByteWriter w;
+    SendFrame(fds[worker], MsgTag::kNeedParams, w.bytes());
+    const std::vector<uint8_t> payload =
+        RecvExpect(fds[worker], MsgTag::kParams);
+    PRIM_CHECK(payload.size() == static_cast<size_t>(elems) * sizeof(float));
+    std::memcpy(flat_params.data(), payload.data(), payload.size());
+    LoadFlatParams(replica_params, flat_params.data(), elems);
+  };
+
+  for (int epoch = 0; epoch < tc.epochs && !stop; ++epoch) {
+    float epoch_loss = 0.0f;
+    for (int step = 0; step < steps_per_epoch; ++step) {
+      float reduced_loss = 0.0f;
+      if (k == 1) {
+        grads[0] = RecvExpect(fds[0], MsgTag::kGrad);
+        io::ByteReader r(grads[0]);
+        uint32_t examples = 0;
+        PRIM_CHECK(r.U32(&examples) && r.F32(&reduced_loss));
+      } else {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        double loss_acc = 0.0;
+        int64_t total_examples = 0;
+        for (int s = 0; s < k; ++s) {
+          grads[s] = RecvExpect(fds[s], MsgTag::kGrad);
+          io::ByteReader r(grads[s]);
+          uint32_t examples = 0;
+          float loss = 0.0f;
+          PRIM_CHECK(r.U32(&examples) && r.F32(&loss));
+          PRIM_CHECK(r.remaining() ==
+                     static_cast<size_t>(elems) * sizeof(float));
+          const float* g = reinterpret_cast<const float*>(
+              grads[s].data() + (grads[s].size() - r.remaining()));
+          const double weight = static_cast<double>(examples);
+          for (int64_t i = 0; i < elems; ++i)
+            acc[i] += weight * static_cast<double>(g[i]);
+          loss_acc += weight * static_cast<double>(loss);
+          total_examples += examples;
+        }
+        PRIM_CHECK(total_examples > 0);
+        const double inv = 1.0 / static_cast<double>(total_examples);
+        for (int64_t i = 0; i < elems; ++i)
+          reduced[i] = static_cast<float>(acc[i] * inv);
+        reduced_loss = static_cast<float>(loss_acc * inv);
+      }
+      for (int s = 0; s < k; ++s) {
+        io::ByteWriter w;
+        w.F32(reduced_loss);
+        if (k == 1) {
+          // Skip the header (u32 examples + f32 loss), keep the floats.
+          w.Raw(grads[0].data() + 8, grads[0].size() - 8);
+        } else {
+          w.Raw(reduced.data(), reduced.size() * sizeof(float));
+        }
+        SendFrame(fds[s], MsgTag::kReduced, w.bytes());
+      }
+      result.loss_curve.push_back(reduced_loss);
+      epoch_loss += reduced_loss;
+    }
+    for (int s = 0; s < k; ++s) {
+      const std::vector<uint8_t> payload = RecvExpect(fds[s], MsgTag::kEpoch);
+      io::ByteReader r(payload);
+      uint32_t echoed = 0;
+      PRIM_CHECK(r.U32(&echoed) && static_cast<int>(echoed) == epoch);
+    }
+    ++result.epochs_run;
+
+    const bool last_epoch = epoch + 1 == tc.epochs;
+    if (validation != nullptr &&
+        ((epoch + 1) % tc.eval_every == 0 || last_epoch)) {
+      fetch_params_into_replica(0);
+      const train::F1Result val = train::EvaluateModel(model_, *validation);
+      if (tc.verbose) {
+        std::printf("[%s x%d] epoch %3d loss %.4f val micro-F1 %.4f\n",
+                    model_.name().c_str(), k, epoch + 1,
+                    epoch_loss / steps_per_epoch, val.micro_f1);
+      }
+      if (val.micro_f1 > best_val) {
+        best_val = val.micro_f1;
+        bad_rounds = 0;
+        best_params.clear();
+        for (const nn::Tensor& p : replica_params)
+          best_params.emplace_back(p.data(), p.data() + p.size());
+      } else if (++bad_rounds >= tc.patience) {
+        stop = true;
+      }
+    }
+    for (int s = 0; s < k; ++s)
+      SendFrame(fds[s], stop ? MsgTag::kStop : MsgTag::kContinue, {});
+  }
+
+  // Finalisation. With validation, the replica (and every worker) ends on
+  // the best snapshot — matching MiniBatchTrainer's RestoreParameters.
+  // Without, the final parameters are the last step's, fetched from
+  // worker 0 (replicas are identical).
+  uint8_t send_params = 0;
+  if (validation != nullptr && !best_params.empty()) {
+    size_t off = 0;
+    for (const std::vector<float>& p : best_params) {
+      std::copy(p.begin(), p.end(), flat_params.begin() + off);
+      off += p.size();
+    }
+    LoadFlatParams(replica_params, flat_params.data(), elems);
+    result.best_val_micro_f1 = best_val;
+    send_params = 1;
+  } else {
+    fetch_params_into_replica(0);
+    if (validation != nullptr) result.best_val_micro_f1 = best_val;
+  }
+  stats_.shard_paths.assign(k, "");
+  stats_.worker_peak_rss_kb.assign(k, 0);
+  for (int s = 0; s < k; ++s) {
+    io::ByteWriter w;
+    w.U8(send_params);
+    if (send_params != 0)
+      w.Raw(flat_params.data(), flat_params.size() * sizeof(float));
+    w.Str(config_.save_shard_prefix);
+    w.U8(config_.build_index ? 1 : 0);
+    SendFrame(fds[s], MsgTag::kFinal, w.bytes());
+  }
+  for (int s = 0; s < k; ++s) {
+    const std::vector<uint8_t> payload = RecvExpect(fds[s], MsgTag::kDone);
+    io::ByteReader r(payload);
+    uint64_t hwm_kb = 0;
+    std::string path;
+    PRIM_CHECK(r.U64(&hwm_kb) && r.Str(&path));
+    stats_.worker_peak_rss_kb[s] = static_cast<int64_t>(hwm_kb);
+    stats_.shard_paths[s] = path;
+    ::close(fds[s]);
+  }
+  for (int s = 0; s < k; ++s) {
+    int status = 0;
+    PRIM_CHECK(::waitpid(pids[s], &status, 0) == pids[s]);
+    PRIM_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                   "shard worker " << s << " exited abnormally");
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace prim::shard

@@ -1,0 +1,90 @@
+#ifndef PRIM_SHARD_DIST_TRAINER_H_
+#define PRIM_SHARD_DIST_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/relation_model.h"
+#include "shard/halo.h"
+#include "shard/partitioner.h"
+#include "train/experiment.h"
+#include "train/minibatch.h"
+
+namespace prim::shard {
+
+/// Configuration of one distributed training run.
+struct DistConfig {
+  int num_shards = 1;
+  PartitionConfig partition;
+  /// Per-worker mini-batch trainer config. TrainConfig::seed seeds every
+  /// worker's batch stream identically to the single-process run;
+  /// max_positives_per_epoch and phi_positives_per_epoch are divided by
+  /// num_shards (rounded up) so the global epoch covers the same number of
+  /// examples at any K. batch_size stays per-worker: the effective global
+  /// batch is K times larger, with the loss averaged (not summed) so the
+  /// learning-rate scale is unchanged.
+  train::MiniBatchConfig batch;
+  /// Model to instantiate in each worker ("PRIM", "GCN", ...). Must
+  /// support sampled views and have node-count-independent parameters.
+  std::string model_name = "PRIM";
+  /// Model dims / PRIM config / context options / experiment seed — the
+  /// same struct the coordinator's replica was built from.
+  train::ExperimentConfig experiment;
+  /// When non-empty, each worker writes "<prefix>.shard<k>" at the end of
+  /// training (see shard_io.h); empty skips shard checkpoints.
+  std::string save_shard_prefix;
+  /// Materialise per-shard owned index rows in the shard checkpoints
+  /// (PRIM only; ignored for models without a serving index).
+  bool build_index = true;
+};
+
+/// Post-run facts about the distributed execution.
+struct DistStats {
+  ShardAssignment assignment;
+  int steps_per_epoch = 0;
+  /// Local (owned + halo) node count per shard.
+  std::vector<int> local_nodes;
+  /// Peak RSS (VmHWM) per worker process, kB.
+  std::vector<int64_t> worker_peak_rss_kb;
+  /// Shard checkpoint paths, when save_shard_prefix was set.
+  std::vector<std::string> shard_paths;
+};
+
+/// Data-parallel trainer over K forked worker processes connected to the
+/// coordinator by Unix socket pairs. Each worker runs an unmodified
+/// MiniBatchTrainer over its shard's halo-extended graph; a StepSync hook
+/// all-reduces gradients through the coordinator every optimiser step
+/// (weighted by local example counts, reduced in fixed rank order in
+/// double precision — run-to-run deterministic at any K). The coordinator
+/// holds a full-graph replica (`model`) used for validation-driven early
+/// stopping; at K=1 the whole construction degenerates to a bitwise
+/// reproduction of MiniBatchTrainer::Fit, gradients passed through
+/// untouched.
+class DistTrainer {
+ public:
+  /// `model` is the coordinator's replica built over the GLOBAL context
+  /// (the same way RunModel builds it); `data` the PrepareExperiment
+  /// output for the same dataset/config.
+  DistTrainer(models::RelationModel& model, const data::PoiDataset& dataset,
+              const train::ExperimentData& data, const DistConfig& config);
+
+  /// Trains; mirrors MiniBatchTrainer::Fit's contract — `validation` may
+  /// be null (no early stopping; final parameters are the last step's).
+  /// On return the replica holds the run's final parameters.
+  train::TrainResult Fit(const models::PairBatch* validation);
+
+  const DistStats& stats() const { return stats_; }
+
+ private:
+  models::RelationModel& model_;
+  const data::PoiDataset& dataset_;
+  const train::ExperimentData& data_;
+  DistConfig config_;
+  DistStats stats_;
+};
+
+}  // namespace prim::shard
+
+#endif  // PRIM_SHARD_DIST_TRAINER_H_

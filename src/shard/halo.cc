@@ -1,0 +1,135 @@
+#include "shard/halo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace prim::shard {
+
+ShardGraph BuildShardGraph(const data::PoiDataset& dataset,
+                           const models::ModelContext& global_ctx,
+                           const std::vector<graph::Triple>& message_edges,
+                           const std::vector<graph::Triple>& train_triples,
+                           const ShardAssignment& assignment, int shard,
+                           const ShardGraphConfig& config) {
+  const int n = dataset.num_pois();
+  PRIM_CHECK(shard >= 0 && shard < assignment.num_shards);
+  PRIM_CHECK(static_cast<int>(assignment.owner.size()) == n);
+  // prim-lint: allow(check-message): a null graph has no value to print.
+  PRIM_CHECK_MSG(global_ctx.train_graph != nullptr,
+                 "global context has no message graph");
+  const graph::HeteroGraph& message_graph = *global_ctx.train_graph;
+
+  // --- Seed set (halo depth 0): owned POIs, the far endpoints of this
+  // shard's cut training triples, and (for spatial-context models) the
+  // capped spatial in-neighbours of both. Seeds are exactly the nodes
+  // MiniBatchTrainer uses as sampling roots, so giving every seed a
+  // complete L-hop in-neighbourhood makes per-shard batches match what the
+  // same batch would see on the full graph.
+  std::vector<int> depth(n, -1);
+  std::vector<int> frontier;
+  auto add_seed = [&](int poi) {
+    if (depth[poi] != 0) {
+      depth[poi] = 0;
+      frontier.push_back(poi);
+    }
+  };
+  for (int poi : assignment.owned[shard]) add_seed(poi);
+  for (const graph::Triple& t : train_triples) {
+    if (assignment.owner[t.src] != shard) continue;
+    add_seed(t.src);
+    add_seed(t.dst);
+  }
+  if (config.spatial_roots &&
+      global_ctx.spatial_dst_start.size() == static_cast<size_t>(n) + 1) {
+    // Snapshot before appending: spatial neighbours of spatial neighbours
+    // are NOT seeds (mirrors MiniBatchTrainer's one-level root expansion).
+    const std::vector<int> endpoints = frontier;
+    for (int u : endpoints)
+      for (int e = global_ctx.spatial_dst_start[u];
+           e < global_ctx.spatial_dst_start[u + 1]; ++e)
+        add_seed(global_ctx.spatial.src[e]);
+  }
+
+  // --- L-hop closure over relation edges. Expanding only nodes at depth
+  // < L is the standard halo argument: layer-L inputs of a depth-d node
+  // come from depth <= d+1, so a seed's L-layer output needs complete
+  // in-edges for depths 0..L-1 and mere presence at depth L.
+  for (int d = 1; d <= config.halo_layers; ++d) {
+    std::vector<int> next;
+    for (int u : frontier)
+      for (int rel = 0; rel < message_graph.num_relations(); ++rel)
+        for (int nb : message_graph.Neighbors(u, rel))
+          if (depth[nb] < 0) {
+            depth[nb] = d;
+            next.push_back(nb);
+          }
+    frontier = std::move(next);
+  }
+
+  ShardGraph sg;
+  sg.shard = shard;
+  sg.num_shards = assignment.num_shards;
+  sg.global_nodes = n;
+  sg.global_to_local.assign(n, -1);
+  for (int g = 0; g < n; ++g)
+    if (depth[g] >= 0) {
+      sg.global_to_local[g] = static_cast<int>(sg.origin.size());
+      sg.origin.push_back(g);
+    }
+  const int local = sg.num_local();
+  sg.is_owned.resize(local);
+  sg.halo_depth.resize(local);
+  for (int i = 0; i < local; ++i) {
+    const int g = sg.origin[i];
+    sg.is_owned[i] = assignment.owner[g] == shard ? 1 : 0;
+    sg.halo_depth[i] = depth[g];
+    sg.num_owned += sg.is_owned[i];
+  }
+
+  // --- Local dataset: re-indexed POIs, shared taxonomy, induced edges.
+  sg.dataset.name = dataset.name + "/shard" + std::to_string(shard);
+  sg.dataset.taxonomy = dataset.taxonomy;
+  sg.dataset.num_relations = dataset.num_relations;
+  sg.dataset.relation_names = dataset.relation_names;
+  sg.dataset.spatial_threshold_km = dataset.spatial_threshold_km;
+  sg.dataset.generator_seed = dataset.generator_seed;
+  sg.dataset.pois.reserve(local);
+  for (int i = 0; i < local; ++i) {
+    data::Poi poi = dataset.pois[sg.origin[i]];
+    poi.id = i;
+    sg.dataset.pois.push_back(std::move(poi));
+  }
+  auto induce = [&](const std::vector<graph::Triple>& triples,
+                    std::vector<graph::Triple>& out) {
+    for (const graph::Triple& t : triples) {
+      const int ls = sg.global_to_local[t.src];
+      const int ld = sg.global_to_local[t.dst];
+      if (ls >= 0 && ld >= 0) out.push_back({ls, ld, t.rel});
+    }
+  };
+  induce(dataset.edges, sg.dataset.edges);
+  induce(message_edges, sg.message_edges);
+  for (const graph::Triple& t : train_triples) {
+    if (assignment.owner[t.src] != shard) continue;
+    const int ls = sg.global_to_local[t.src];
+    const int ld = sg.global_to_local[t.dst];
+    PRIM_CHECK(ls >= 0 && ld >= 0);  // both are seeds by construction
+    sg.train_triples.push_back({ls, ld, t.rel});
+  }
+  return sg;
+}
+
+models::ModelContext BuildShardContext(
+    const ShardGraph& sg, const models::ModelContext& global_ctx,
+    const models::ModelContextOptions& options) {
+  models::ModelContext ctx =
+      models::BuildModelContext(sg.dataset, sg.message_edges, options);
+  PRIM_CHECK(ctx.poi_category.size() == sg.origin.size());
+  for (size_t i = 0; i < sg.origin.size(); ++i)
+    ctx.poi_category[i] = global_ctx.poi_category[sg.origin[i]];
+  ctx.num_categories = global_ctx.num_categories;
+  return ctx;
+}
+
+}  // namespace prim::shard

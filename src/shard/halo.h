@@ -1,0 +1,87 @@
+#ifndef PRIM_SHARD_HALO_H_
+#define PRIM_SHARD_HALO_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/hetero_graph.h"
+#include "models/model_context.h"
+#include "shard/partitioner.h"
+
+namespace prim::shard {
+
+/// Halo construction knobs.
+struct ShardGraphConfig {
+  /// GNN depth L the halo must cover: ghost copies extend L relation hops
+  /// beyond the shard's seed set so every seed's L-layer receptive field is
+  /// complete inside the shard.
+  int halo_layers = 2;
+  /// Also promote the seeds' spatial in-neighbours (§4.4 fusion inputs) to
+  /// seeds of the closure, mirroring MiniBatchTrainer's sampling roots —
+  /// those neighbours then get exact L-layer representations too. Keep on
+  /// for PRIM; only costs halo size for models without spatial context.
+  bool spatial_roots = true;
+};
+
+/// One shard's self-contained slice of a city: the owned POIs plus the
+/// ghost (halo) copies their training batches can reach, re-indexed to
+/// dense local ids in ascending global order. Carries everything a worker
+/// process needs to run MiniBatchTrainer unchanged — a local PoiDataset
+/// (full taxonomy, induced ground-truth edges for clean negative
+/// sampling), the induced message-passing triples, and the shard's share
+/// of the training stream. For num_shards == 1 the re-indexing is the
+/// identity and every induced list equals its global counterpart.
+struct ShardGraph {
+  int shard = 0;
+  int num_shards = 1;
+  int global_nodes = 0;
+  /// local id -> global id, strictly ascending.
+  std::vector<int> origin;
+  /// global id -> local id, -1 when the POI is not replicated here.
+  std::vector<int> global_to_local;
+  /// 1 for owned POIs, 0 for ghost copies.
+  std::vector<uint8_t> is_owned;
+  /// Relation-hop BFS depth from the seed set (0 = seed: owned POIs, cut
+  /// partners, and — with spatial_roots — their spatial in-neighbours).
+  std::vector<int> halo_depth;
+  int num_owned = 0;
+
+  /// Local dataset: re-indexed POIs, the full global taxonomy (so taxonomy
+  /// node ids and num_taxonomy_nodes match the global model), induced
+  /// ground-truth edges in local ids.
+  data::PoiDataset dataset;
+  /// Induced message-passing triples, local ids, global order preserved.
+  std::vector<graph::Triple> message_edges;
+  /// This shard's training triples (owner of the canonical src endpoint),
+  /// local ids, global stream order preserved.
+  std::vector<graph::Triple> train_triples;
+
+  int num_local() const { return static_cast<int>(origin.size()); }
+  int LocalOf(int global) const { return global_to_local[global]; }
+};
+
+/// Builds one shard's graph. `global_ctx` supplies the message adjacency
+/// (train_graph) and the capped spatial in-edges used to pick seeds;
+/// `message_edges` / `train_triples` are the global lists the induced ones
+/// are cut from (ExperimentData::message_edges and split.train).
+ShardGraph BuildShardGraph(const data::PoiDataset& dataset,
+                           const models::ModelContext& global_ctx,
+                           const std::vector<graph::Triple>& message_edges,
+                           const std::vector<graph::Triple>& train_triples,
+                           const ShardAssignment& assignment, int shard,
+                           const ShardGraphConfig& config);
+
+/// Builds the shard-local ModelContext: BuildModelContext over the shard
+/// dataset + induced message edges, then patches the dense category ids to
+/// the GLOBAL remapping. BuildModelContext assigns dense ids in
+/// first-visit order, which differs per shard — without the patch the
+/// per-shard category embedding tables would disagree in shape and row
+/// meaning, and gradient all-reduce would mix unrelated rows. The returned
+/// context references `sg.dataset`; `sg` must outlive it.
+models::ModelContext BuildShardContext(
+    const ShardGraph& sg, const models::ModelContext& global_ctx,
+    const models::ModelContextOptions& options);
+
+}  // namespace prim::shard
+
+#endif  // PRIM_SHARD_HALO_H_

@@ -1,0 +1,187 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/point.h"
+
+namespace prim::shard {
+namespace {
+
+/// POIs grouped into grid cells, with cells listed in boustrophedon
+/// (serpentine) order: row 0 left-to-right, row 1 right-to-left, ... The
+/// serpentine walk keeps consecutive cells spatially adjacent, so the
+/// balanced sweep below produces contiguous strips instead of disconnected
+/// stripes.
+struct CellGrid {
+  std::vector<std::vector<int>> cell_pois;  // serpentine order, ascending ids
+  std::vector<int> cell_of_poi;             // poi -> serpentine cell index
+};
+
+CellGrid BuildCellGrid(const data::PoiDataset& dataset, double cell_km) {
+  const int n = dataset.num_pois();
+  const geo::LocalProjector projector(dataset.pois[0].location);
+  std::vector<double> xs(n), ys(n);
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  for (int i = 0; i < n; ++i) {
+    projector.ToPlane(dataset.pois[i].location, &xs[i], &ys[i]);
+    if (i == 0 || xs[i] < min_x) min_x = xs[i];
+    if (i == 0 || ys[i] < min_y) min_y = ys[i];
+    if (i == 0 || xs[i] > max_x) max_x = xs[i];
+    if (i == 0 || ys[i] > max_y) max_y = ys[i];
+  }
+  const int grid_w = std::max(
+      1, static_cast<int>(std::floor((max_x - min_x) / cell_km)) + 1);
+  const int grid_h = std::max(
+      1, static_cast<int>(std::floor((max_y - min_y) / cell_km)) + 1);
+
+  CellGrid grid;
+  grid.cell_pois.resize(static_cast<size_t>(grid_w) * grid_h);
+  grid.cell_of_poi.resize(n);
+  for (int i = 0; i < n; ++i) {
+    int cx = std::min(grid_w - 1,
+                      static_cast<int>(std::floor((xs[i] - min_x) / cell_km)));
+    int cy = std::min(grid_h - 1,
+                      static_cast<int>(std::floor((ys[i] - min_y) / cell_km)));
+    // Serpentine index: even rows run left-to-right, odd rows reversed.
+    const int col = (cy % 2 == 0) ? cx : grid_w - 1 - cx;
+    const int cell = cy * grid_w + col;
+    grid.cell_pois[cell].push_back(i);
+    grid.cell_of_poi[i] = cell;
+  }
+  return grid;
+}
+
+/// Directed message edges from `poi` into each shard, accumulated into
+/// `counts` (sized num_shards).
+void CountEdgesByShard(const graph::HeteroGraph& graph,
+                       const std::vector<int>& owner, int poi,
+                       std::vector<int64_t>& counts) {
+  for (int rel = 0; rel < graph.num_relations(); ++rel)
+    for (int nb : graph.Neighbors(poi, rel)) counts[owner[nb]] += 1;
+}
+
+}  // namespace
+
+ShardAssignment SpatialPartitioner::Partition(
+    const data::PoiDataset& dataset, const graph::HeteroGraph& message_graph,
+    const PartitionConfig& config) {
+  const int n = dataset.num_pois();
+  const int k = config.num_shards;
+  PRIM_CHECK_MSG(k >= 1, "num_shards must be >= 1, got " << k);
+  PRIM_CHECK_MSG(n >= k, "cannot split " << n << " POIs into " << k
+                                         << " shards");
+  PRIM_CHECK_MSG(config.cell_km > 0.0,
+                 "cell_km must be positive, got " << config.cell_km);
+
+  ShardAssignment out;
+  out.num_shards = k;
+  out.owner.assign(n, 0);
+
+  if (k > 1) {
+    const CellGrid grid = BuildCellGrid(dataset, config.cell_km);
+    // Balanced sweep: walk cells in serpentine order and cut the cumulative
+    // POI sequence at multiples of n/k. A cell goes to the shard its
+    // midpoint falls in, so no shard overshoots by more than half a cell.
+    std::vector<int> cell_shard(grid.cell_pois.size(), 0);
+    int64_t cum = 0;
+    for (size_t c = 0; c < grid.cell_pois.size(); ++c) {
+      const int64_t size = static_cast<int64_t>(grid.cell_pois[c].size());
+      const int64_t mid = 2 * cum + size;  // 2 * (cum + size / 2)
+      int shard = static_cast<int>(mid * k / (2 * static_cast<int64_t>(n)));
+      cell_shard[c] = std::min(k - 1, shard);
+      cum += size;
+    }
+    for (int i = 0; i < n; ++i) out.owner[i] = cell_shard[grid.cell_of_poi[i]];
+
+    std::vector<int64_t> shard_size(k, 0);
+    for (int i = 0; i < n; ++i) shard_size[out.owner[i]] += 1;
+
+    // A degenerate grid (fewer populated cells than shards) can leave a
+    // shard empty; fall back to splitting the serpentine POI sequence at
+    // POI granularity, which is balanced for any k <= n. Refinement is
+    // skipped on this path — it moves whole cells.
+    const bool any_empty =
+        std::any_of(shard_size.begin(), shard_size.end(),
+                    [](int64_t s) { return s == 0; });
+    if (any_empty) {
+      int next = 0;
+      for (size_t c = 0; c < grid.cell_pois.size(); ++c)
+        for (int poi : grid.cell_pois[c]) {
+          out.owner[poi] =
+              std::min(k - 1, static_cast<int>(
+                                  static_cast<int64_t>(next) * k / n));
+          ++next;
+        }
+    } else if (config.refine_passes > 0) {
+      // Greedy refinement: move a whole cell to the shard most of its
+      // message edges point at, when that strictly reduces the cut and
+      // keeps both shards inside the balance tolerance. Cells are visited
+      // in serpentine order every pass; the first improving target (lowest
+      // shard id) wins — no randomness, no tie flapping.
+      const int64_t mean = n / k;
+      const int64_t lo = static_cast<int64_t>(
+          std::floor(mean * (1.0 - config.balance_tolerance)));
+      const int64_t hi = static_cast<int64_t>(
+          std::ceil(mean * (1.0 + config.balance_tolerance)));
+      std::vector<int64_t> edge_counts(k, 0);
+      for (int pass = 0; pass < config.refine_passes; ++pass) {
+        bool moved = false;
+        for (size_t c = 0; c < grid.cell_pois.size(); ++c) {
+          const std::vector<int>& pois = grid.cell_pois[c];
+          if (pois.empty()) continue;
+          const int from = out.owner[pois[0]];
+          const int64_t size = static_cast<int64_t>(pois.size());
+          if (shard_size[from] - size < std::max<int64_t>(lo, 1)) continue;
+          std::fill(edge_counts.begin(), edge_counts.end(), 0);
+          for (int poi : pois)
+            CountEdgesByShard(message_graph, out.owner, poi, edge_counts);
+          // Uncut edges if the cell stays: edge_counts[from] (internal cell
+          // edges included — the cell is inside `from`). Uncut edges after
+          // moving to t: internal + edge_counts[t], since internal edges
+          // travel with the cell. Maximising uncut edges minimises the cut.
+          int64_t internal = 0;
+          for (int poi : pois)
+            for (int rel = 0; rel < message_graph.num_relations(); ++rel)
+              for (int nb : message_graph.Neighbors(poi, rel))
+                if (grid.cell_of_poi[nb] == static_cast<int>(c)) internal += 1;
+          int best = from;
+          int64_t best_uncut = edge_counts[from];
+          for (int s = 0; s < k; ++s) {
+            if (s == from) continue;
+            if (shard_size[s] + size > hi) continue;
+            if (internal + edge_counts[s] > best_uncut) {
+              best = s;
+              best_uncut = internal + edge_counts[s];
+            }
+          }
+          if (best != from) {
+            for (int poi : pois) out.owner[poi] = best;
+            shard_size[from] -= size;
+            shard_size[best] += size;
+            moved = true;
+          }
+        }
+        if (!moved) break;
+      }
+    }
+  }
+
+  out.owned.assign(k, {});
+  for (int i = 0; i < n; ++i) out.owned[out.owner[i]].push_back(i);
+  for (int s = 0; s < k; ++s)
+    PRIM_CHECK_MSG(!out.owned[s].empty(),
+                   "shard " << s << " ended up empty; lower num_shards");
+
+  for (int rel = 0; rel < message_graph.num_relations(); ++rel) {
+    const std::vector<int>& src = message_graph.EdgeSrc(rel);
+    const std::vector<int>& dst = message_graph.EdgeDst(rel);
+    out.total_edges += static_cast<int64_t>(src.size());
+    for (size_t e = 0; e < src.size(); ++e)
+      if (out.owner[src[e]] != out.owner[dst[e]]) out.cut_edges += 1;
+  }
+  return out;
+}
+
+}  // namespace prim::shard

@@ -1,0 +1,333 @@
+#include "shard/shard_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "io/bytes.h"
+#include "io/checkpoint.h"
+#include "io/model_io.h"
+
+namespace prim::shard {
+namespace {
+
+using io::ByteReader;
+using io::ByteWriter;
+using io::Result;
+
+// Shard-file section names. Shard files reuse the v2 section container
+// (magic, CRC, alignment) but carry their own payloads: the standard
+// model_io sections describe one complete model, while a shard file
+// describes a *slice* (full params, owned-row index). The merge path is
+// the only reader, so the codecs live here as a self-contained pair.
+constexpr const char* kShardMeta = "shard_meta";
+constexpr const char* kShardOwned = "shard_owned";
+constexpr const char* kShardParams = "shard_params";
+constexpr const char* kShardIndex = "shard_index";
+constexpr const char* kShardGeo = "shard_geo";
+constexpr const char* kShardLabels = "shard_labels";
+
+void EncodePrimConfigFields(const core::PrimConfig& c, ByteWriter* w) {
+  w->I32(c.dim);
+  w->I32(c.tax_dim);
+  w->I32(c.layers);
+  w->I32(c.heads);
+  w->I32(c.att_dim);
+  w->I32(c.dist_feat_dim);
+  w->F32(c.leaky_alpha);
+  w->U8(static_cast<uint8_t>(c.gamma));
+  w->U8(c.use_taxonomy_path ? 1 : 0);
+  w->U8(c.use_spatial_context ? 1 : 0);
+  w->U8(c.use_distance_projection ? 1 : 0);
+  w->U8(c.use_attention_distance ? 1 : 0);
+  w->F32Vec(c.bin_edges_km);
+}
+
+bool DecodePrimConfigFields(ByteReader* r, core::PrimConfig* c) {
+  uint8_t gamma = 0, tax = 0, spatial = 0, dist = 0, att = 0;
+  if (!r->I32(&c->dim) || !r->I32(&c->tax_dim) || !r->I32(&c->layers) ||
+      !r->I32(&c->heads) || !r->I32(&c->att_dim) ||
+      !r->I32(&c->dist_feat_dim) || !r->F32(&c->leaky_alpha) ||
+      !r->U8(&gamma) || !r->U8(&tax) || !r->U8(&spatial) || !r->U8(&dist) ||
+      !r->U8(&att) || !r->F32Vec(&c->bin_edges_km))
+    return false;
+  c->gamma = static_cast<core::GammaOp>(gamma);
+  c->use_taxonomy_path = tax != 0;
+  c->use_spatial_context = spatial != 0;
+  c->use_distance_projection = dist != 0;
+  c->use_attention_distance = att != 0;
+  return true;
+}
+
+Result TruncatedSection(const char* name) {
+  return Result::Fail(std::string("truncated shard section '") + name + "'");
+}
+
+}  // namespace
+
+std::string ShardCheckpointPath(const std::string& prefix, int shard) {
+  return prefix + ".shard" + std::to_string(shard);
+}
+
+io::Result SaveShardCheckpoint(const std::string& path, const ShardGraph& sg,
+                               const nn::Module& model,
+                               const std::string& model_name,
+                               const core::PrimConfig* prim_config,
+                               const core::PrimIndex* index) {
+  io::CheckpointWriter writer;
+  {
+    ByteWriter w;
+    w.U32(static_cast<uint32_t>(sg.shard));
+    w.U32(static_cast<uint32_t>(sg.num_shards));
+    w.U32(static_cast<uint32_t>(sg.global_nodes));
+    w.Str(model_name);
+    writer.AddSection(kShardMeta, w.Take());
+  }
+  {
+    ByteWriter w;
+    w.U64(static_cast<uint64_t>(sg.num_owned));
+    for (int i = 0; i < sg.num_local(); ++i)
+      if (sg.is_owned[i]) w.I32(sg.origin[i]);
+    writer.AddSection(kShardOwned, w.Take());
+  }
+  {
+    const std::vector<nn::StateEntry> params = model.StateDict();
+    ByteWriter w;
+    w.U32(static_cast<uint32_t>(params.size()));
+    for (const nn::StateEntry& e : params) {
+      w.Str(e.name);
+      w.I32(e.rows);
+      w.I32(e.cols);
+      w.F32Vec(e.data);
+    }
+    writer.AddSection(kShardParams, w.Take());
+  }
+  if (index != nullptr) {
+    // prim-lint: allow(check-message): a null config has no value to print.
+    PRIM_CHECK_MSG(prim_config != nullptr,
+                   "shard index requires a PrimConfig");
+    PRIM_CHECK_MSG(index->num_nodes() == sg.num_local(),
+                   "shard index has " << index->num_nodes()
+                                      << " rows, expected the local node "
+                                         "count " << sg.num_local());
+    ByteWriter w;
+    EncodePrimConfigFields(*prim_config, &w);
+    w.U32(static_cast<uint32_t>(sg.num_owned));
+    w.U32(static_cast<uint32_t>(index->num_classes()));
+    w.U32(static_cast<uint32_t>(index->dim()));
+    const int dim = index->dim();
+    std::vector<float> owned_rows;
+    owned_rows.reserve(static_cast<size_t>(sg.num_owned) * dim);
+    const float* emb = index->embeddings_data();
+    for (int i = 0; i < sg.num_local(); ++i)
+      if (sg.is_owned[i])
+        owned_rows.insert(owned_rows.end(),
+                          emb + static_cast<size_t>(i) * dim,
+                          emb + static_cast<size_t>(i + 1) * dim);
+    w.F32Vec(owned_rows);
+    const size_t rel_count =
+        static_cast<size_t>(index->num_classes()) * dim;
+    const size_t hyp_count =
+        static_cast<size_t>(prim_config->num_bins()) * dim;
+    w.U64(rel_count);
+    w.Raw(index->relations_data(), rel_count * sizeof(float));
+    w.U64(hyp_count);
+    w.Raw(index->hyperplanes_data(), hyp_count * sizeof(float));
+    writer.AddSection(kShardIndex, w.Take());
+  }
+  {
+    ByteWriter w;
+    w.U64(static_cast<uint64_t>(sg.num_owned));
+    for (int i = 0; i < sg.num_local(); ++i)
+      if (sg.is_owned[i]) {
+        w.F64(sg.dataset.pois[i].location.lon);
+        w.F64(sg.dataset.pois[i].location.lat);
+      }
+    writer.AddSection(kShardGeo, w.Take());
+  }
+  {
+    ByteWriter w;
+    w.U32(static_cast<uint32_t>(sg.dataset.relation_names.size()));
+    for (const std::string& name : sg.dataset.relation_names) w.Str(name);
+    writer.AddSection(kShardLabels, w.Take());
+  }
+  return writer.Finish(path);
+}
+
+io::Result LoadShardCheckpoint(const std::string& path, ShardCheckpoint* out) {
+  io::CheckpointReader reader;
+  if (Result r = io::CheckpointReader::Open(path, &reader); !r) return r;
+  for (const char* required : {kShardMeta, kShardOwned, kShardParams}) {
+    if (!reader.HasSection(required))
+      return Result::Fail(path + " is not a shard checkpoint (missing '" +
+                          required + "')");
+  }
+  std::vector<uint8_t> bytes;
+  {
+    if (Result r = reader.Read(kShardMeta, &bytes); !r) return r;
+    ByteReader br(bytes);
+    uint32_t shard = 0, num_shards = 0, global_nodes = 0;
+    if (!br.U32(&shard) || !br.U32(&num_shards) || !br.U32(&global_nodes) ||
+        !br.Str(&out->model_name))
+      return TruncatedSection(kShardMeta);
+    out->shard = static_cast<int>(shard);
+    out->num_shards = static_cast<int>(num_shards);
+    out->global_nodes = static_cast<int>(global_nodes);
+  }
+  {
+    if (Result r = reader.Read(kShardOwned, &bytes); !r) return r;
+    ByteReader br(bytes);
+    uint64_t count = 0;
+    if (!br.U64(&count)) return TruncatedSection(kShardOwned);
+    out->owned_global_ids.resize(count);
+    for (uint64_t i = 0; i < count; ++i)
+      if (!br.I32(&out->owned_global_ids[i]))
+        return TruncatedSection(kShardOwned);
+  }
+  {
+    if (Result r = reader.Read(kShardParams, &bytes); !r) return r;
+    ByteReader br(bytes);
+    uint32_t count = 0;
+    if (!br.U32(&count)) return TruncatedSection(kShardParams);
+    out->params.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      nn::StateEntry& e = out->params[i];
+      if (!br.Str(&e.name) || !br.I32(&e.rows) || !br.I32(&e.cols) ||
+          !br.F32Vec(&e.data))
+        return TruncatedSection(kShardParams);
+    }
+  }
+  out->has_index = reader.HasSection(kShardIndex);
+  if (out->has_index) {
+    if (Result r = reader.Read(kShardIndex, &bytes); !r) return r;
+    ByteReader br(bytes);
+    uint32_t num_owned = 0, num_classes = 0, dim = 0;
+    if (!DecodePrimConfigFields(&br, &out->config) || !br.U32(&num_owned) ||
+        !br.U32(&num_classes) || !br.U32(&dim) ||
+        !br.F32Vec(&out->owned_embeddings) || !br.F32Vec(&out->relations) ||
+        !br.F32Vec(&out->hyperplanes))
+      return TruncatedSection(kShardIndex);
+    out->num_classes = static_cast<int>(num_classes);
+    out->dim = static_cast<int>(dim);
+    if (num_owned != out->owned_global_ids.size() ||
+        out->owned_embeddings.size() !=
+            static_cast<size_t>(num_owned) * dim)
+      return Result::Fail(path + ": shard index rows disagree with the "
+                                 "owned id table");
+  }
+  if (reader.HasSection(kShardGeo)) {
+    if (Result r = reader.Read(kShardGeo, &bytes); !r) return r;
+    ByteReader br(bytes);
+    uint64_t count = 0;
+    if (!br.U64(&count)) return TruncatedSection(kShardGeo);
+    out->owned_points.resize(count);
+    for (uint64_t i = 0; i < count; ++i)
+      if (!br.F64(&out->owned_points[i].lon) ||
+          !br.F64(&out->owned_points[i].lat))
+        return TruncatedSection(kShardGeo);
+  }
+  if (reader.HasSection(kShardLabels)) {
+    if (Result r = reader.Read(kShardLabels, &bytes); !r) return r;
+    ByteReader br(bytes);
+    uint32_t count = 0;
+    if (!br.U32(&count)) return TruncatedSection(kShardLabels);
+    out->relation_names.resize(count);
+    for (uint32_t i = 0; i < count; ++i)
+      if (!br.Str(&out->relation_names[i]))
+        return TruncatedSection(kShardLabels);
+  }
+  return Result::Ok();
+}
+
+io::Result MergeShardCheckpoints(const std::vector<std::string>& shard_paths,
+                                 const std::string& out_path) {
+  if (shard_paths.empty())
+    return Result::Fail("no shard checkpoints to merge");
+  std::vector<ShardCheckpoint> shards(shard_paths.size());
+  for (size_t i = 0; i < shard_paths.size(); ++i)
+    if (Result r = LoadShardCheckpoint(shard_paths[i], &shards[i]); !r)
+      return r;
+
+  const ShardCheckpoint& first = shards[0];
+  if (first.num_shards != static_cast<int>(shards.size()))
+    return Result::Fail("run has " + std::to_string(first.num_shards) +
+                        " shards but " + std::to_string(shards.size()) +
+                        " files were given");
+  std::vector<bool> seen(shards.size(), false);
+  std::vector<int> owner_of(first.global_nodes, -1);
+  for (const ShardCheckpoint& s : shards) {
+    if (s.num_shards != first.num_shards ||
+        s.global_nodes != first.global_nodes ||
+        s.model_name != first.model_name)
+      return Result::Fail("shard files disagree on run shape (mixed runs?)");
+    if (s.shard < 0 || s.shard >= first.num_shards || seen[s.shard])
+      return Result::Fail("duplicate or out-of-range shard id " +
+                          std::to_string(s.shard));
+    seen[s.shard] = true;
+    for (int g : s.owned_global_ids) {
+      if (g < 0 || g >= first.global_nodes || owner_of[g] != -1)
+        return Result::Fail("global id " + std::to_string(g) +
+                            " owned by two shards (or out of range)");
+      owner_of[g] = s.shard;
+    }
+    // Data-parallel replicas must agree bit for bit; a mismatch means the
+    // files come from different runs (or a broken all-reduce).
+    if (s.params.size() != first.params.size())
+      return Result::Fail("shard parameter lists disagree");
+    for (size_t p = 0; p < s.params.size(); ++p) {
+      const nn::StateEntry& a = s.params[p];
+      const nn::StateEntry& b = first.params[p];
+      if (a.name != b.name || a.data.size() != b.data.size() ||
+          (!a.data.empty() &&
+           std::memcmp(a.data.data(), b.data.data(),
+                       a.data.size() * sizeof(float)) != 0))
+        return Result::Fail("replica parameters differ at '" + a.name +
+                            "' between shards " + std::to_string(s.shard) +
+                            " and " + std::to_string(first.shard));
+    }
+    if (s.has_index != first.has_index ||
+        (s.has_index &&
+         (s.relations != first.relations ||
+          s.hyperplanes != first.hyperplanes || s.dim != first.dim ||
+          s.num_classes != first.num_classes)))
+      return Result::Fail("shard index headers disagree between shards");
+  }
+  for (int g = 0; g < first.global_nodes; ++g)
+    if (owner_of[g] == -1)
+      return Result::Fail("global id " + std::to_string(g) +
+                          " is owned by no shard; incomplete set of files");
+
+  io::ModelCheckpoint merged;
+  merged.meta["model"] = first.model_name;
+  merged.meta["num_pois"] = std::to_string(first.global_nodes);
+  merged.meta["num_relations"] =
+      std::to_string(first.relation_names.size());
+  merged.meta["sharded_from"] = std::to_string(first.num_shards);
+  merged.params = first.params;
+  merged.relation_names = first.relation_names;
+  if (!first.owned_points.empty()) {
+    merged.points.resize(first.global_nodes);
+    for (const ShardCheckpoint& s : shards)
+      for (size_t i = 0; i < s.owned_global_ids.size(); ++i)
+        merged.points[s.owned_global_ids[i]] = s.owned_points[i];
+  }
+  if (first.has_index) {
+    merged.has_config = true;
+    merged.config = first.config;
+    const int dim = first.dim;
+    std::vector<float> embeddings(
+        static_cast<size_t>(first.global_nodes) * dim, 0.0f);
+    for (const ShardCheckpoint& s : shards)
+      for (size_t i = 0; i < s.owned_global_ids.size(); ++i)
+        std::copy(s.owned_embeddings.begin() + i * dim,
+                  s.owned_embeddings.begin() + (i + 1) * dim,
+                  embeddings.begin() +
+                      static_cast<size_t>(s.owned_global_ids[i]) * dim);
+    merged.index = std::make_unique<core::PrimIndex>(core::PrimIndex::FromParts(
+        first.config, first.global_nodes, first.num_classes, dim,
+        std::move(embeddings), first.relations, first.hyperplanes));
+  }
+  return io::SaveModelCheckpoint(out_path, merged);
+}
+
+}  // namespace prim::shard

@@ -1,0 +1,66 @@
+#ifndef PRIM_SHARD_SHARD_IO_H_
+#define PRIM_SHARD_SHARD_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prim_config.h"
+#include "core/prim_index.h"
+#include "io/result.h"
+#include "nn/module.h"
+#include "shard/halo.h"
+
+namespace prim::shard {
+
+/// One shard's slice of a sharded training run, decoded from a
+/// "<prefix>.shard<k>" file. Parameters are the full replica (identical
+/// across shards under data-parallel training); the index/geo rows cover
+/// only the OWNED POIs, listed by `owned_global_ids` — every global row
+/// appears in exactly one shard file, which is what makes the merge a pure
+/// scatter.
+struct ShardCheckpoint {
+  int shard = 0;
+  int num_shards = 1;
+  int global_nodes = 0;
+  std::string model_name;
+  std::vector<int> owned_global_ids;  // ascending
+  std::vector<nn::StateEntry> params;
+  bool has_index = false;
+  core::PrimConfig config;
+  int num_classes = 0;
+  int dim = 0;
+  std::vector<float> owned_embeddings;  // |owned| x dim
+  std::vector<float> relations;         // num_classes x dim
+  std::vector<float> hyperplanes;       // num_bins x dim
+  std::vector<geo::GeoPoint> owned_points;
+  std::vector<std::string> relation_names;
+};
+
+/// Conventional per-shard file name: "<prefix>.shard<k>".
+std::string ShardCheckpointPath(const std::string& prefix, int shard);
+
+/// Writes one shard's checkpoint in the v2 section container. `index`, if
+/// non-null, must be the shard-LOCAL index (rows in local id order, halo
+/// rows included); only the owned rows are written. Pass a null
+/// `prim_config`/`index` for non-PRIM models (the file then merges into a
+/// params-only snapshot).
+io::Result SaveShardCheckpoint(const std::string& path, const ShardGraph& sg,
+                               const nn::Module& model,
+                               const std::string& model_name,
+                               const core::PrimConfig* prim_config,
+                               const core::PrimIndex* index);
+
+io::Result LoadShardCheckpoint(const std::string& path, ShardCheckpoint* out);
+
+/// Merges a complete set of per-shard checkpoints into one standard
+/// serving snapshot (the exact format SaveTrainedModel writes, loadable by
+/// prim_serve unchanged). Validates that the inputs form one run: same
+/// num_shards/global_nodes/model, every shard present exactly once, owned
+/// sets disjoint and covering all global ids, and replica parameters
+/// bitwise identical across shards.
+io::Result MergeShardCheckpoints(const std::vector<std::string>& shard_paths,
+                                 const std::string& out_path);
+
+}  // namespace prim::shard
+
+#endif  // PRIM_SHARD_SHARD_IO_H_

@@ -1,0 +1,87 @@
+#include "shard/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace prim::shard {
+namespace {
+
+void SendAll(int fd, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PRIM_CHECK_MSG(false, "shard wire send failed: " << std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns false on EOF at offset 0 when
+/// `eof_ok`; EOF mid-message is always an error (a peer died between the
+/// header and the payload).
+bool RecvAll(int fd, void* data, size_t size, bool eof_ok) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PRIM_CHECK_MSG(false, "shard wire recv failed: " << std::strerror(errno));
+    }
+    if (n == 0) {
+      PRIM_CHECK_MSG(eof_ok && got == 0,
+                     "shard wire peer closed mid-message ("
+                         << got << " of " << size << " bytes)");
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void SendFrame(int fd, MsgTag tag, const std::vector<uint8_t>& payload) {
+  const uint32_t tag_raw = static_cast<uint32_t>(tag);
+  const uint64_t size = payload.size();
+  SendAll(fd, &tag_raw, sizeof(tag_raw));
+  SendAll(fd, &size, sizeof(size));
+  if (!payload.empty()) SendAll(fd, payload.data(), payload.size());
+}
+
+bool RecvFrame(int fd, MsgTag* tag, std::vector<uint8_t>* payload) {
+  uint32_t tag_raw = 0;
+  if (!RecvAll(fd, &tag_raw, sizeof(tag_raw), /*eof_ok=*/true)) return false;
+  uint64_t size = 0;
+  RecvAll(fd, &size, sizeof(size), /*eof_ok=*/false);
+  // Largest legitimate frame is a parameter/gradient vector; a corrupt
+  // length would otherwise turn into an allocation bomb.
+  PRIM_CHECK_MSG(size <= (1ull << 33),
+                 "shard wire frame of " << size << " bytes is implausible");
+  payload->resize(size);
+  if (size > 0) RecvAll(fd, payload->data(), size, /*eof_ok=*/false);
+  *tag = static_cast<MsgTag>(tag_raw);
+  return true;
+}
+
+std::vector<uint8_t> RecvExpect(int fd, MsgTag want) {
+  MsgTag tag;
+  std::vector<uint8_t> payload;
+  const bool ok = RecvFrame(fd, &tag, &payload);
+  PRIM_CHECK_MSG(ok, "shard wire peer closed while waiting for tag "
+                         << static_cast<uint32_t>(want)
+                         << " (worker process likely crashed)");
+  PRIM_CHECK_MSG(tag == want, "shard wire expected tag "
+                                  << static_cast<uint32_t>(want) << ", got "
+                                  << static_cast<uint32_t>(tag));
+  return payload;
+}
+
+}  // namespace prim::shard

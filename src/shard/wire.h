@@ -1,0 +1,42 @@
+#ifndef PRIM_SHARD_WIRE_H_
+#define PRIM_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace prim::shard {
+
+/// Message tags of the coordinator <-> worker star protocol. The exchange
+/// is strictly synchronous — each side knows exactly which tag comes next,
+/// so a mismatch means a protocol bug and fails a PRIM_CHECK.
+enum class MsgTag : uint32_t {
+  kHello = 1,       // worker -> coord: shard id, batches/epoch, param elems
+  kStart = 2,       // coord -> worker: lockstep steps per epoch
+  kGrad = 3,        // worker -> coord: example count, loss, flat gradients
+  kReduced = 4,     // coord -> worker: reduced loss, flat gradients
+  kEpoch = 5,       // worker -> coord: epoch finished
+  kNeedParams = 6,  // coord -> worker: send your parameters
+  kParams = 7,      // worker -> coord: flat parameter values
+  kContinue = 8,    // coord -> worker: keep training
+  kStop = 9,        // coord -> worker: early stop
+  kFinal = 10,      // coord -> worker: final params + checkpoint request
+  kDone = 11,       // worker -> coord: checkpoint written, peak RSS
+};
+
+/// Sends one framed message on a stream socket: [u32 tag][u64 payload
+/// size][payload bytes]. Retries short writes and EINTR; suppresses
+/// SIGPIPE (a dead peer surfaces as a failed PRIM_CHECK on errno EPIPE,
+/// not a process kill).
+void SendFrame(int fd, MsgTag tag, const std::vector<uint8_t>& payload);
+
+/// Receives one framed message. Returns false on clean EOF before any
+/// header byte (peer closed between messages); any other short read or
+/// socket error fails a PRIM_CHECK.
+bool RecvFrame(int fd, MsgTag* tag, std::vector<uint8_t>* payload);
+
+/// RecvFrame that requires a specific tag; EOF and tag mismatches fail.
+std::vector<uint8_t> RecvExpect(int fd, MsgTag want);
+
+}  // namespace prim::shard
+
+#endif  // PRIM_SHARD_WIRE_H_

@@ -86,14 +86,14 @@ ExperimentData PrepareExperiment(const data::PoiDataset& dataset,
   Rng rng(config.seed);
   ExperimentData data;
   data.split = graph::SplitEdges(dataset.edges, train_fraction, rng);
-  std::vector<graph::Triple> message_edges = data.split.train;
+  data.message_edges = data.split.train;
   if (config.message_graph_fraction < 1.0) {
-    rng.Shuffle(message_edges);
-    message_edges.resize(static_cast<size_t>(
-        message_edges.size() * config.message_graph_fraction));
+    rng.Shuffle(data.message_edges);
+    data.message_edges.resize(static_cast<size_t>(
+        data.message_edges.size() * config.message_graph_fraction));
   }
   data.ctx =
-      models::BuildModelContext(dataset, message_edges, config.context);
+      models::BuildModelContext(dataset, data.message_edges, config.context);
   data.full_graph = std::make_unique<graph::HeteroGraph>(
       dataset.num_pois(), dataset.num_relations, dataset.edges);
   graph::NegativeSampler sampler(*data.full_graph);

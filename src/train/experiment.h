@@ -66,6 +66,12 @@ std::unique_ptr<models::RelationModel> MakeModel(
 /// labelled validation/test batches.
 struct ExperimentData {
   graph::EdgeSplit split;
+  /// The exact triples `ctx` was built over (train edges after the
+  /// message_graph_fraction shuffle/truncation). Kept so downstream
+  /// consumers that rebuild contexts over node subsets — the shard
+  /// subsystem — reproduce this context's adjacency bit-for-bit instead
+  /// of re-deriving it from the split.
+  std::vector<graph::Triple> message_edges;
   models::ModelContext ctx;
   std::unique_ptr<graph::HeteroGraph> full_graph;
   models::PairBatch validation;

@@ -169,6 +169,9 @@ void MiniBatchTrainer::ScheduleNext() {
 
 TrainResult MiniBatchTrainer::Fit(const models::PairBatch* validation) {
   TrainResult result;
+  // prim-lint: allow(check-message): two colliding pointers, no value.
+  PRIM_CHECK_MSG(config_.sync == nullptr || validation == nullptr,
+                 "StepSync owns epoch control; pass a null validation batch");
   if (!model_.trainable() || !optimizer_) return result;
   std::optional<nn::debug::AnomalyGuard> anomaly;
   if (config_.train.detect_anomaly) anomaly.emplace();
@@ -181,9 +184,11 @@ TrainResult MiniBatchTrainer::Fit(const models::PairBatch* validation) {
   double best_val = -1.0;
   int bad_rounds = 0;
   bool first_step = true;
+  const int steps_per_epoch =
+      config_.steps_per_epoch > 0 ? config_.steps_per_epoch : num_batches_;
   for (int epoch = 0; epoch < config_.train.epochs; ++epoch) {
     float epoch_loss = 0.0f;
-    for (int b = 0; b < num_batches_; ++b) {
+    for (int b = 0; b < steps_per_epoch; ++b) {
       next_task_.Wait();
       const std::shared_ptr<Prepared> cur = std::move(next_);
       // Produce the next batch while this one trains.
@@ -212,13 +217,27 @@ TrainResult MiniBatchTrainer::Fit(const models::PairBatch* validation) {
                        nn::debug::FormatGradFlowReport(issues).c_str());
         }
       }
+      float loss_value = loss.item();
+      if (config_.sync != nullptr) {
+        auto params = model_.Parameters();
+        config_.sync->SyncGradients(params, cur->triples.pairs.size(),
+                                    &loss_value);
+      }
       optimizer_->ClipGradNorm(config_.train.grad_clip);
       optimizer_->Step();
-      result.loss_curve.push_back(loss.item());
-      epoch_loss += loss.item();
+      result.loss_curve.push_back(loss_value);
+      epoch_loss += loss_value;
     }
     ++result.epochs_run;
 
+    if (config_.sync != nullptr) {
+      if (config_.train.verbose) {
+        std::printf("[%s] epoch %3d loss %.4f\n", model_.name().c_str(),
+                    epoch + 1, epoch_loss / steps_per_epoch);
+      }
+      if (!config_.sync->EpochDone(epoch)) break;
+      continue;
+    }
     const bool last_epoch = epoch + 1 == config_.train.epochs;
     if (validation != nullptr &&
         ((epoch + 1) % config_.train.eval_every == 0 || last_epoch)) {
@@ -228,7 +247,7 @@ TrainResult MiniBatchTrainer::Fit(const models::PairBatch* validation) {
       if (config_.train.verbose) {
         std::printf("[%s] epoch %3d loss %.4f val micro-F1 %.4f\n",
                     model_.name().c_str(), epoch + 1,
-                    epoch_loss / num_batches_, val.micro_f1);
+                    epoch_loss / steps_per_epoch, val.micro_f1);
       }
       if (val.micro_f1 > best_val) {
         best_val = val.micro_f1;

@@ -15,6 +15,28 @@
 
 namespace prim::train {
 
+/// Per-step coordination hook for data-parallel training (src/shard). The
+/// trainer calls SyncGradients after Backward (and gradient-flow lint) and
+/// before ClipGradNorm/Step, so an implementation can all-reduce the raw
+/// gradients in place; every replica then clips and steps the *same*
+/// averaged gradient and parameters stay bitwise identical across workers.
+/// When a sync is installed the trainer delegates end-of-epoch control
+/// (validation, early stopping, parameter snapshots) to EpochDone — a
+/// worker process has no full-graph validation set of its own.
+class StepSync {
+ public:
+  virtual ~StepSync() = default;
+  /// `params` is the model's parameter list in registration order with
+  /// gradients populated; `num_examples` is this step's local example
+  /// count (positives + negatives + phi) for weighted averaging. `loss` is
+  /// this replica's batch loss in, the globally reduced loss out (what the
+  /// loss curve records).
+  virtual void SyncGradients(std::vector<nn::Tensor>& params,
+                             int num_examples, float* loss) = 0;
+  /// Called after every epoch (0-based); return false to stop training.
+  virtual bool EpochDone(int epoch) = 0;
+};
+
 /// Mini-batch training hyper-parameters on top of the shared TrainConfig.
 struct MiniBatchConfig {
   TrainConfig train;
@@ -31,6 +53,16 @@ struct MiniBatchConfig {
   /// thread, so the batch stream is identical with pipelining on or off
   /// and at any worker-thread count.
   bool pipeline = true;
+  /// Optimiser steps per epoch; 0 means the natural ceil(pos / batch_size).
+  /// A larger override keeps producing batches past the epoch boundary
+  /// (the producer wraps into its next assembler epoch, streams intact).
+  /// DistTrainer sets this to the max across shards so every worker runs
+  /// the same number of synchronized steps per epoch.
+  int steps_per_epoch = 0;
+  /// Per-step gradient hook (data-parallel all-reduce). Not owned; must
+  /// outlive the trainer. When set, Fit must be called with a null
+  /// validation batch — epoch control belongs to the sync.
+  StepSync* sync = nullptr;
 };
 
 /// Parses a comma-separated fanout list, e.g. "10,5" -> {10, 5}. "all" and
@@ -59,6 +91,16 @@ class MiniBatchTrainer {
   /// (evaluated on the full view every eval_every epochs). The loss curve
   /// holds one entry per batch.
   TrainResult Fit(const models::PairBatch* validation);
+
+  /// Natural batches per epoch, ceil(positives / batch_size) — what one
+  /// epoch runs when steps_per_epoch is 0. DistTrainer reads this during
+  /// the worker handshake to compute the cross-shard lockstep step count.
+  int batches_per_epoch() const { return num_batches_; }
+
+  /// Installs the lockstep override after construction (the handshake that
+  /// determines it needs batches_per_epoch() first). Must be called before
+  /// Fit.
+  void set_steps_per_epoch(int steps) { config_.steps_per_epoch = steps; }
 
  private:
   /// Everything one training step needs, built by the producer.

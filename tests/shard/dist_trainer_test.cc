@@ -1,0 +1,257 @@
+// Distributed trainer contract tests: K=1 reproduces MiniBatchTrainer
+// bitwise (loss curve and final parameters), K=2 is run-to-run
+// deterministic and lands near the single-process model, and a sharded
+// run's merged checkpoint serves identical responses to a checkpoint
+// saved from the coordinator replica directly.
+
+#include "shard/dist_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prim_index.h"
+#include "core/prim_model.h"
+#include "io/model_io.h"
+#include "serve/protocol.h"
+#include "serve/relationship_server.h"
+#include "shard/shard_io.h"
+#include "tests/test_fixtures.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/minibatch.h"
+
+namespace prim::shard {
+namespace {
+
+struct Shared {
+  data::PoiDataset city;
+  train::ExperimentConfig config;
+  train::ExperimentData data;
+
+  Shared() : city(prim::testing::TinyCity()),
+             config(prim::testing::TinyExperimentConfig()) {
+    config.trainer.epochs = 8;
+    config.trainer.eval_every = 2;
+    config.trainer.patience = 3;
+    data = train::PrepareExperiment(city, 0.6, config);
+  }
+};
+
+Shared& Fixture() {
+  static Shared* s = new Shared();
+  return *s;
+}
+
+std::unique_ptr<models::RelationModel> FreshModel(Shared& f) {
+  Rng rng(f.config.seed * 7919 + 13);
+  return train::MakeModel("PRIM", f.data.ctx, f.config, rng,
+                          &f.data.validation);
+}
+
+DistConfig MakeDistConfig(Shared& f, int shards) {
+  DistConfig dc;
+  dc.num_shards = shards;
+  dc.batch.train = f.config.trainer;
+  dc.batch.batch_size = 256;
+  dc.batch.fanout = {10, 5};
+  dc.experiment = f.config;
+  return dc;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DistTrainerTest, K1BitwiseMatchesMiniBatchTrainer) {
+  Shared& f = Fixture();
+
+  auto ref_model = FreshModel(f);
+  train::MiniBatchConfig mb;
+  mb.train = f.config.trainer;
+  mb.batch_size = 256;
+  mb.fanout = {10, 5};
+  train::MiniBatchTrainer ref(*ref_model, f.data.split.train,
+                              *f.data.full_graph, mb);
+  const train::TrainResult want = ref.Fit(&f.data.validation);
+
+  auto dist_model = FreshModel(f);
+  DistTrainer trainer(*dist_model, f.city, f.data, MakeDistConfig(f, 1));
+  const train::TrainResult got = trainer.Fit(&f.data.validation);
+
+  EXPECT_EQ(got.epochs_run, want.epochs_run);
+  EXPECT_EQ(got.best_val_micro_f1, want.best_val_micro_f1);
+  ASSERT_EQ(got.loss_curve.size(), want.loss_curve.size());
+  for (size_t i = 0; i < want.loss_curve.size(); ++i)
+    ASSERT_EQ(got.loss_curve[i], want.loss_curve[i]) << "step " << i;
+
+  const auto pa = ref_model->Parameters();
+  const auto pb = dist_model->Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t p = 0; p < pa.size(); ++p) {
+    ASSERT_EQ(pa[p].size(), pb[p].size());
+    for (int i = 0; i < pa[p].size(); ++i)
+      ASSERT_EQ(pa[p].data()[i], pb[p].data()[i]) << "param " << p;
+  }
+}
+
+TEST(DistTrainerTest, K2IsRunToRunDeterministic) {
+  Shared& f = Fixture();
+
+  auto model_a = FreshModel(f);
+  DistTrainer trainer_a(*model_a, f.city, f.data, MakeDistConfig(f, 2));
+  const train::TrainResult run_a = trainer_a.Fit(&f.data.validation);
+
+  auto model_b = FreshModel(f);
+  DistTrainer trainer_b(*model_b, f.city, f.data, MakeDistConfig(f, 2));
+  const train::TrainResult run_b = trainer_b.Fit(&f.data.validation);
+
+  EXPECT_EQ(run_a.epochs_run, run_b.epochs_run);
+  ASSERT_EQ(run_a.loss_curve.size(), run_b.loss_curve.size());
+  for (size_t i = 0; i < run_a.loss_curve.size(); ++i)
+    ASSERT_EQ(run_a.loss_curve[i], run_b.loss_curve[i]) << "step " << i;
+  const auto pa = model_a->Parameters();
+  const auto pb = model_b->Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t p = 0; p < pa.size(); ++p)
+    for (int i = 0; i < pa[p].size(); ++i)
+      ASSERT_EQ(pa[p].data()[i], pb[p].data()[i]) << "param " << p;
+
+  // Both workers trained: every shard reported a peak RSS and a node count.
+  ASSERT_EQ(trainer_a.stats().worker_peak_rss_kb.size(), 2u);
+  EXPECT_GT(trainer_a.stats().worker_peak_rss_kb[0], 0);
+  EXPECT_GT(trainer_a.stats().worker_peak_rss_kb[1], 0);
+  ASSERT_EQ(trainer_a.stats().local_nodes.size(), 2u);
+}
+
+TEST(DistTrainerTest, K2LandsNearSingleProcessModel) {
+  Shared& f = Fixture();
+  // Macro-F1 on the tiny city is volatile for undertrained models, so this
+  // comparison needs converged runs: train to the fixture's full budget
+  // instead of the 8-epoch contract-test budget.
+  train::TrainConfig tc = prim::testing::TinyExperimentConfig().trainer;
+
+  auto ref_model = FreshModel(f);
+  train::MiniBatchConfig mb;
+  mb.train = tc;
+  mb.batch_size = 256;
+  mb.fanout = {10, 5};
+  train::MiniBatchTrainer ref(*ref_model, f.data.split.train,
+                              *f.data.full_graph, mb);
+  ref.Fit(&f.data.validation);
+  const train::F1Result single = train::EvaluateModel(*ref_model, f.data.test);
+
+  auto dist_model = FreshModel(f);
+  DistConfig dc = MakeDistConfig(f, 2);
+  dc.batch.train = tc;
+  DistTrainer trainer(*dist_model, f.city, f.data, dc);
+  trainer.Fit(&f.data.validation);
+  const train::F1Result dist = train::EvaluateModel(*dist_model, f.data.test);
+
+  // Short-run tolerance; the CI distributed drill asserts the tighter
+  // 0.01 bound at the full default preset.
+  EXPECT_LT(std::abs(dist.macro_f1 - single.macro_f1), 0.05);
+  EXPECT_LT(std::abs(dist.micro_f1 - single.micro_f1), 0.05);
+}
+
+TEST(DistTrainerTest, ShardCheckpointsMergeIntoIdenticalServingSnapshot) {
+  Shared& f = Fixture();
+
+  DistConfig dc = MakeDistConfig(f, 2);
+  dc.save_shard_prefix = TempPath("dist_trainer_test.ckpt");
+  auto dist_model = FreshModel(f);
+  DistTrainer trainer(*dist_model, f.city, f.data, dc);
+  trainer.Fit(&f.data.validation);
+
+  // --- Shard checkpoint round-trip: disjoint complete ownership, replica
+  // parameters bitwise identical across shards.
+  ASSERT_EQ(trainer.stats().shard_paths.size(), 2u);
+  ShardCheckpoint parts[2];
+  std::vector<int> owned_count(f.city.num_pois(), 0);
+  for (int s = 0; s < 2; ++s) {
+    const io::Result r =
+        LoadShardCheckpoint(trainer.stats().shard_paths[s], &parts[s]);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(parts[s].shard, s);
+    EXPECT_EQ(parts[s].num_shards, 2);
+    EXPECT_EQ(parts[s].global_nodes, f.city.num_pois());
+    EXPECT_EQ(parts[s].model_name, "PRIM");
+    ASSERT_TRUE(parts[s].has_index);
+    for (int poi : parts[s].owned_global_ids) ++owned_count[poi];
+  }
+  for (int poi = 0; poi < f.city.num_pois(); ++poi)
+    ASSERT_EQ(owned_count[poi], 1) << "POI " << poi;
+  ASSERT_EQ(parts[0].params.size(), parts[1].params.size());
+  for (size_t p = 0; p < parts[0].params.size(); ++p) {
+    ASSERT_EQ(parts[0].params[p].name, parts[1].params[p].name);
+    ASSERT_EQ(parts[0].params[p].data, parts[1].params[p].data);
+  }
+
+  // The coordinator replica holds the same parameters the workers saved.
+  const auto named = dist_model->StateDict();
+  ASSERT_EQ(named.size(), parts[0].params.size());
+  for (size_t p = 0; p < named.size(); ++p) {
+    ASSERT_EQ(named[p].name, parts[0].params[p].name);
+    ASSERT_EQ(named[p].data, parts[0].params[p].data) << named[p].name;
+  }
+
+  // --- Merge, then compare against a snapshot saved straight from the
+  // coordinator replica (the single-process serving path).
+  const std::string merged_path = TempPath("dist_trainer_test_merged.ckpt");
+  const io::Result merged =
+      MergeShardCheckpoints(trainer.stats().shard_paths, merged_path);
+  ASSERT_TRUE(merged.ok) << merged.error;
+
+  auto* prim = dynamic_cast<core::PrimModel*>(dist_model.get());
+  ASSERT_NE(prim, nullptr);
+  const core::PrimIndex index = core::PrimIndex::Build(*prim);
+  const std::string ref_path = TempPath("dist_trainer_test_ref.ckpt");
+  const io::Result saved = io::SaveTrainedModel(
+      ref_path, *dist_model, "PRIM", &f.config.prim, &index, f.city);
+  ASSERT_TRUE(saved.ok) << saved.error;
+
+  serve::RelationshipServer::Options options;
+  std::unique_ptr<serve::RelationshipServer> merged_server, ref_server;
+  io::Result r =
+      serve::RelationshipServer::Load(merged_path, options, &merged_server);
+  ASSERT_TRUE(r.ok) << r.error;
+  r = serve::RelationshipServer::Load(ref_path, options, &ref_server);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  // Identical CLASSIFY / TOPK responses, byte for byte.
+  const int n = f.city.num_pois();
+  for (int i = 0; i < n; i += 7) {
+    const std::string classify =
+        "CLASSIFY " + std::to_string(i) + " " + std::to_string((i + 13) % n);
+    EXPECT_EQ(serve::HandleRequestLine(*merged_server, classify),
+              serve::HandleRequestLine(*ref_server, classify))
+        << classify;
+    const std::string topk = "TOPK " + std::to_string(i) + " 1.5 5";
+    EXPECT_EQ(serve::HandleRequestLine(*merged_server, topk),
+              serve::HandleRequestLine(*ref_server, topk))
+        << topk;
+  }
+}
+
+TEST(DistTrainerTest, MergeRejectsIncompleteShardSets) {
+  Shared& f = Fixture();
+  DistConfig dc = MakeDistConfig(f, 2);
+  dc.batch.train.epochs = 1;
+  dc.save_shard_prefix = TempPath("dist_trainer_test_partial.ckpt");
+  auto model = FreshModel(f);
+  DistTrainer trainer(*model, f.city, f.data, dc);
+  trainer.Fit(nullptr);
+  ASSERT_EQ(trainer.stats().shard_paths.size(), 2u);
+
+  const io::Result r = MergeShardCheckpoints(
+      {trainer.stats().shard_paths[0]},
+      TempPath("dist_trainer_test_partial_merged.ckpt"));
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace prim::shard

@@ -1,0 +1,252 @@
+// Spatial partitioner and halo-construction invariants: total disjoint
+// ownership, balance, determinism at any thread count, and brute-force
+// parity of the halo closure with an independent L-hop reachability
+// computation on the tiny city.
+
+#include "shard/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/parallel.h"
+#include "shard/halo.h"
+#include "tests/test_fixtures.h"
+#include "train/experiment.h"
+
+namespace prim::shard {
+namespace {
+
+struct Shared {
+  data::PoiDataset city;
+  train::ExperimentConfig config;
+  train::ExperimentData data;
+
+  Shared() : city(prim::testing::TinyCity()),
+             config(prim::testing::TinyExperimentConfig()) {
+    data = train::PrepareExperiment(city, 0.6, config);
+  }
+};
+
+Shared& Fixture() {
+  static Shared* s = new Shared();
+  return *s;
+}
+
+// --- Ownership -------------------------------------------------------------
+
+TEST(SpatialPartitionerTest, OwnershipIsTotalDisjointAndBalanced) {
+  Shared& f = Fixture();
+  const int n = f.city.num_pois();
+  for (int k : {1, 2, 3, 4}) {
+    PartitionConfig pc;
+    pc.num_shards = k;
+    const ShardAssignment a =
+        SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+    ASSERT_EQ(a.num_shards, k);
+    ASSERT_EQ(static_cast<int>(a.owner.size()), n);
+    ASSERT_EQ(static_cast<int>(a.owned.size()), k);
+
+    // Every POI owned by exactly one shard; owned lists are the inverse
+    // map, ascending.
+    std::vector<int> seen(n, 0);
+    for (int s = 0; s < k; ++s) {
+      EXPECT_FALSE(a.owned[s].empty()) << "shard " << s << " of " << k;
+      EXPECT_TRUE(std::is_sorted(a.owned[s].begin(), a.owned[s].end()));
+      for (int poi : a.owned[s]) {
+        ASSERT_GE(poi, 0);
+        ASSERT_LT(poi, n);
+        EXPECT_EQ(a.owner[poi], s);
+        ++seen[poi];
+      }
+    }
+    for (int poi = 0; poi < n; ++poi)
+      EXPECT_EQ(seen[poi], 1) << "POI " << poi << " at K=" << k;
+
+    // Balance: the sweep is even up to one grid cell and refinement is
+    // tolerance-guarded; no shard should stray far from the mean.
+    for (int s = 0; s < k; ++s) {
+      const double mean = static_cast<double>(n) / k;
+      EXPECT_GT(a.owned[s].size(), 0.5 * mean) << "shard " << s;
+      EXPECT_LT(a.owned[s].size(), 1.5 * mean) << "shard " << s;
+    }
+  }
+}
+
+TEST(SpatialPartitionerTest, SingleShardIsIdentity) {
+  Shared& f = Fixture();
+  PartitionConfig pc;
+  pc.num_shards = 1;
+  const ShardAssignment a =
+      SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+  EXPECT_EQ(a.cut_edges, 0);
+  for (int poi = 0; poi < f.city.num_pois(); ++poi)
+    ASSERT_EQ(a.owner[poi], 0);
+}
+
+TEST(SpatialPartitionerTest, CutEdgeCountMatchesBruteForceRecount) {
+  Shared& f = Fixture();
+  PartitionConfig pc;
+  pc.num_shards = 3;
+  const graph::HeteroGraph& g = *f.data.ctx.train_graph;
+  const ShardAssignment a = SpatialPartitioner::Partition(f.city, g, pc);
+  int64_t total = 0, cut = 0;
+  for (int rel = 0; rel < g.num_relations(); ++rel) {
+    const auto& src = g.EdgeSrc(rel);
+    const auto& dst = g.EdgeDst(rel);
+    for (size_t e = 0; e < src.size(); ++e) {
+      ++total;
+      if (a.owner[src[e]] != a.owner[dst[e]]) ++cut;
+    }
+  }
+  EXPECT_EQ(a.total_edges, total);
+  EXPECT_EQ(a.cut_edges, cut);
+  EXPECT_GT(a.total_edges, 0);
+}
+
+TEST(SpatialPartitionerTest, DeterministicAcrossRunsAndThreadCounts) {
+  Shared& f = Fixture();
+  PartitionConfig pc;
+  pc.num_shards = 4;
+  SetNumWorkerThreads(1);
+  const ShardAssignment a =
+      SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+  SetNumWorkerThreads(4);
+  const ShardAssignment b =
+      SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+  SetNumWorkerThreads(0);  // restore default
+  const ShardAssignment c =
+      SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.owner, c.owner);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+// --- Halo closure ----------------------------------------------------------
+
+/// Independent reimplementation of the halo contract, for parity checking:
+/// seeds are the owned POIs, both endpoints of the shard's training
+/// triples, and the capped spatial in-neighbours of those; the replica set
+/// is everything within `layers` relation hops of a seed.
+std::set<int> BruteForceReplicaSet(const Shared& f, const ShardAssignment& a,
+                                   int shard, int layers) {
+  const models::ModelContext& ctx = f.data.ctx;
+  std::set<int> seeds;
+  for (int poi : a.owned[shard]) seeds.insert(poi);
+  for (const graph::Triple& t : f.data.split.train)
+    if (a.owner[t.src] == shard) {
+      seeds.insert(t.src);
+      seeds.insert(t.dst);
+    }
+  const std::set<int> endpoints = seeds;
+  for (int u : endpoints)
+    for (int e = ctx.spatial_dst_start[u]; e < ctx.spatial_dst_start[u + 1];
+         ++e)
+      seeds.insert(ctx.spatial.src[e]);
+
+  std::set<int> reach = seeds;
+  std::set<int> frontier = seeds;
+  for (int d = 0; d < layers; ++d) {
+    std::set<int> next;
+    for (int u : frontier)
+      for (int rel = 0; rel < ctx.train_graph->num_relations(); ++rel)
+        for (int nb : ctx.train_graph->Neighbors(u, rel))
+          if (reach.insert(nb).second) next.insert(nb);
+    frontier = std::move(next);
+  }
+  return reach;
+}
+
+TEST(HaloTest, ReplicaSetMatchesBruteForceReachability) {
+  Shared& f = Fixture();
+  PartitionConfig pc;
+  pc.num_shards = 3;
+  const ShardAssignment a =
+      SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+  ShardGraphConfig sc;
+  sc.halo_layers = 2;
+  for (int shard = 0; shard < pc.num_shards; ++shard) {
+    const ShardGraph sg =
+        BuildShardGraph(f.city, f.data.ctx, f.data.message_edges,
+                        f.data.split.train, a, shard, sc);
+    const std::set<int> want =
+        BruteForceReplicaSet(f, a, shard, sc.halo_layers);
+    const std::set<int> got(sg.origin.begin(), sg.origin.end());
+    // Exact: every L-hop-reachable node is replicated, nothing else is.
+    EXPECT_EQ(got, want) << "shard " << shard;
+    EXPECT_TRUE(std::is_sorted(sg.origin.begin(), sg.origin.end()));
+    ASSERT_EQ(static_cast<int>(sg.origin.size()), sg.num_local());
+
+    // Ownership flags and the inverse index agree with the assignment.
+    int owned = 0;
+    for (int i = 0; i < sg.num_local(); ++i) {
+      EXPECT_EQ(sg.is_owned[i], a.owner[sg.origin[i]] == shard ? 1 : 0);
+      EXPECT_EQ(sg.LocalOf(sg.origin[i]), i);
+      owned += sg.is_owned[i];
+    }
+    EXPECT_EQ(owned, sg.num_owned);
+    EXPECT_EQ(owned, static_cast<int>(a.owned[shard].size()));
+  }
+}
+
+TEST(HaloTest, InducedEdgesAndTrainTriplesAreConsistent) {
+  Shared& f = Fixture();
+  PartitionConfig pc;
+  pc.num_shards = 3;
+  const ShardAssignment a =
+      SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+  size_t train_total = 0;
+  for (int shard = 0; shard < pc.num_shards; ++shard) {
+    const ShardGraph sg =
+        BuildShardGraph(f.city, f.data.ctx, f.data.message_edges,
+                        f.data.split.train, a, shard, ShardGraphConfig{});
+    // Induced message edges: exactly the global triples whose endpoints
+    // are both replicated, in global order, re-indexed.
+    std::vector<graph::Triple> want;
+    for (const graph::Triple& t : f.data.message_edges) {
+      const int ls = sg.global_to_local[t.src];
+      const int ld = sg.global_to_local[t.dst];
+      if (ls >= 0 && ld >= 0) want.push_back({ls, ld, t.rel});
+    }
+    ASSERT_EQ(sg.message_edges.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(sg.message_edges[i].src, want[i].src);
+      EXPECT_EQ(sg.message_edges[i].dst, want[i].dst);
+      EXPECT_EQ(sg.message_edges[i].rel, want[i].rel);
+    }
+    // Every training triple of this shard maps back to a global triple
+    // owned here; the per-shard streams tile the global stream.
+    train_total += sg.train_triples.size();
+    for (const graph::Triple& t : sg.train_triples) {
+      ASSERT_LT(t.src, sg.num_local());
+      ASSERT_LT(t.dst, sg.num_local());
+      EXPECT_EQ(a.owner[sg.origin[t.src]], shard);
+    }
+  }
+  EXPECT_EQ(train_total, f.data.split.train.size());
+}
+
+TEST(HaloTest, ShardContextUsesGlobalCategoryIds) {
+  Shared& f = Fixture();
+  PartitionConfig pc;
+  pc.num_shards = 2;
+  const ShardAssignment a =
+      SpatialPartitioner::Partition(f.city, *f.data.ctx.train_graph, pc);
+  const ShardGraph sg =
+      BuildShardGraph(f.city, f.data.ctx, f.data.message_edges,
+                      f.data.split.train, a, 1, ShardGraphConfig{});
+  const models::ModelContext ctx =
+      BuildShardContext(sg, f.data.ctx, f.config.context);
+  EXPECT_EQ(ctx.num_categories, f.data.ctx.num_categories);
+  ASSERT_EQ(static_cast<int>(ctx.poi_category.size()), sg.num_local());
+  for (int i = 0; i < sg.num_local(); ++i)
+    EXPECT_EQ(ctx.poi_category[i], f.data.ctx.poi_category[sg.origin[i]]);
+  // The shard dataset carries the full taxonomy so taxonomy-encoder
+  // parameter shapes match the global model.
+  EXPECT_EQ(sg.dataset.taxonomy.num_nodes(), f.city.taxonomy.num_nodes());
+}
+
+}  // namespace
+}  // namespace prim::shard

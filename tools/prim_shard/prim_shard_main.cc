@@ -1,0 +1,281 @@
+// Spatial sharding workbench: partition a city, run multi-process
+// data-parallel training, and merge per-shard checkpoints into one
+// serving snapshot.
+//
+//   prim_shard partition --city BJ --scale tiny --shards 4
+//   prim_shard train --city BJ --scale tiny --shards 2 --epochs 40
+//       --save dist.ckpt --json run.json
+//   prim_shard merge --out merged.ckpt run.ckpt.shard0 run.ckpt.shard1
+//
+// `train` drives shard::DistTrainer: K forked worker processes, per-step
+// gradient all-reduce, coordinator-side validation. With --verify-k1 (only
+// meaningful at --shards 1) it additionally runs the single-process
+// MiniBatchTrainer on an identically initialised model and exits non-zero
+// unless the loss curves and final parameters match bitwise — the CI
+// drill's determinism gate.
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prim_model.h"
+#include "data/presets.h"
+#include "io/model_io.h"
+#include "shard/dist_trainer.h"
+#include "shard/shard_io.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/minibatch.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+    if (bare == argv[i] && i + 1 < argc && argv[i + 1][0] != '-')
+      return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string bare = "--" + name;
+  for (int i = 1; i < argc; ++i)
+    if (bare == argv[i]) return true;
+  return FlagValue(argc, argv, name, "0") != "0";
+}
+
+int IntFlag(int argc, char** argv, const std::string& name,
+            const std::string& fallback) {
+  const std::string text = FlagValue(argc, argv, name, fallback);
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "prim_shard: --%s expects an integer, got '%s'\n",
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
+double DoubleFlag(int argc, char** argv, const std::string& name,
+                  const std::string& fallback) {
+  const std::string text = FlagValue(argc, argv, name, fallback);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "prim_shard: --%s expects a number, got '%s'\n",
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+struct Setup {
+  prim::data::PoiDataset city;
+  prim::train::ExperimentConfig config;
+  double train_fraction = 0.6;
+};
+
+Setup MakeSetup(int argc, char** argv) {
+  using namespace prim;
+  Setup s;
+  const std::string city_name = FlagValue(argc, argv, "city", "BJ");
+  const auto scale = data::ParseScale(FlagValue(argc, argv, "scale", "tiny"));
+  s.city = city_name == "SH" ? data::MakeShanghai(scale)
+                             : data::MakeBeijing(scale);
+  s.train_fraction = DoubleFlag(argc, argv, "train", "0.6");
+  s.config.model.dim = IntFlag(argc, argv, "dim", "32");
+  s.config.model.tax_dim = IntFlag(argc, argv, "taxdim", "16");
+  s.config.model.layers = IntFlag(argc, argv, "layers", "2");
+  s.config.trainer.epochs = IntFlag(argc, argv, "epochs", "60");
+  s.config.trainer.lr = static_cast<float>(DoubleFlag(argc, argv, "lr", "0.01"));
+  s.config.trainer.patience = IntFlag(argc, argv, "patience", "8");
+  s.config.trainer.max_positives_per_epoch =
+      IntFlag(argc, argv, "maxpos", "4000");
+  s.config.trainer.verbose = !HasFlag(argc, argv, "quiet");
+  s.config.seed = static_cast<uint64_t>(IntFlag(argc, argv, "seed", "1"));
+  s.config.SyncDims();
+  return s;
+}
+
+int RunPartition(int argc, char** argv) {
+  using namespace prim;
+  Setup s = MakeSetup(argc, argv);
+  train::ExperimentData data =
+      train::PrepareExperiment(s.city, s.train_fraction, s.config);
+  shard::PartitionConfig pc;
+  pc.num_shards = IntFlag(argc, argv, "shards", "4");
+  pc.cell_km = DoubleFlag(argc, argv, "cell-km", "1.0");
+  const shard::ShardAssignment assignment = shard::SpatialPartitioner::Partition(
+      s.city, *data.ctx.train_graph, pc);
+  shard::ShardGraphConfig sgc;
+  sgc.halo_layers = s.config.model.layers;
+  std::printf("%-6s %8s %8s %10s\n", "shard", "owned", "halo", "local-edges");
+  for (int k = 0; k < assignment.num_shards; ++k) {
+    const shard::ShardGraph sg = shard::BuildShardGraph(
+        s.city, data.ctx, data.message_edges, data.split.train, assignment, k,
+        sgc);
+    std::printf("%-6d %8d %8d %10zu\n", k, sg.num_owned,
+                sg.num_local() - sg.num_owned, sg.message_edges.size());
+  }
+  std::printf("cut: %lld of %lld directed message edges (%.1f%%)\n",
+              static_cast<long long>(assignment.cut_edges),
+              static_cast<long long>(assignment.total_edges),
+              100.0 * assignment.CutFraction());
+  return 0;
+}
+
+int RunTrain(int argc, char** argv) {
+  using namespace prim;
+  Setup s = MakeSetup(argc, argv);
+  train::ExperimentData data =
+      train::PrepareExperiment(s.city, s.train_fraction, s.config);
+  const std::string model_name = FlagValue(argc, argv, "model", "PRIM");
+
+  shard::DistConfig dc;
+  dc.num_shards = IntFlag(argc, argv, "shards", "2");
+  dc.partition.cell_km = DoubleFlag(argc, argv, "cell-km", "1.0");
+  dc.batch.train = s.config.trainer;
+  dc.batch.batch_size = IntFlag(argc, argv, "batch", "512");
+  dc.batch.fanout = train::ParseFanout(FlagValue(argc, argv, "fanout", "10,5"));
+  dc.model_name = model_name;
+  dc.experiment = s.config;
+  const std::string save_path = FlagValue(argc, argv, "save", "");
+  dc.save_shard_prefix =
+      FlagValue(argc, argv, "shard-prefix", save_path.empty() ? "" : save_path);
+  if (HasFlag(argc, argv, "verify-k1") && dc.num_shards != 1) {
+    std::fprintf(stderr, "--verify-k1 requires --shards 1\n");
+    return 2;
+  }
+
+  Rng rng(s.config.seed * 7919 + 13);
+  std::unique_ptr<models::RelationModel> model =
+      train::MakeModel(model_name, data.ctx, s.config, rng, &data.validation);
+  shard::DistTrainer trainer(*model, s.city, data, dc);
+  const train::TrainResult fit = trainer.Fit(&data.validation);
+  const train::F1Result f1 = train::EvaluateModel(*model, data.test);
+  const shard::DistStats& stats = trainer.stats();
+  std::printf(
+      "%s x%d: test micro-F1 %.3f macro-F1 %.3f  (%d epochs, %.1fs, "
+      "%d steps/epoch, cut %.1f%%)\n",
+      model_name.c_str(), dc.num_shards, f1.micro_f1, f1.macro_f1,
+      fit.epochs_run, fit.seconds, stats.steps_per_epoch,
+      100.0 * stats.assignment.CutFraction());
+
+  // Bitwise K=1 verification against the unmodified single-process
+  // trainer: same experiment data, an identically seeded fresh model.
+  if (HasFlag(argc, argv, "verify-k1")) {
+    Rng ref_rng(s.config.seed * 7919 + 13);
+    std::unique_ptr<models::RelationModel> ref = train::MakeModel(
+        model_name, data.ctx, s.config, ref_rng, &data.validation);
+    train::MiniBatchConfig mb = dc.batch;
+    train::MiniBatchTrainer ref_trainer(*ref, data.split.train,
+                                        *data.full_graph, mb);
+    const train::TrainResult ref_fit = ref_trainer.Fit(&data.validation);
+    if (ref_fit.loss_curve != fit.loss_curve) {
+      std::fprintf(stderr,
+                   "verify-k1 FAILED: loss curves differ (%zu vs %zu steps)\n",
+                   ref_fit.loss_curve.size(), fit.loss_curve.size());
+      return 3;
+    }
+    auto ref_params = ref->Parameters();
+    auto dist_params = model->Parameters();
+    for (size_t i = 0; i < ref_params.size(); ++i) {
+      if (std::memcmp(ref_params[i].data(), dist_params[i].data(),
+                      static_cast<size_t>(ref_params[i].size()) *
+                          sizeof(float)) != 0) {
+        std::fprintf(stderr, "verify-k1 FAILED: parameter %zu differs\n", i);
+        return 3;
+      }
+    }
+    std::printf("verify-k1 OK: %zu loss entries and %zu parameter tensors "
+                "bitwise identical\n",
+                fit.loss_curve.size(), ref_params.size());
+  }
+
+  if (!save_path.empty()) {
+    const io::Result merged =
+        shard::MergeShardCheckpoints(stats.shard_paths, save_path);
+    if (!merged.ok) {
+      std::fprintf(stderr, "merge failed: %s\n", merged.error.c_str());
+      return 1;
+    }
+    std::printf("merged %d shard checkpoints into %s\n", dc.num_shards,
+                save_path.c_str());
+  }
+
+  const std::string json_path = FlagValue(argc, argv, "json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    int64_t max_rss = 0;
+    for (int64_t kb : stats.worker_peak_rss_kb) max_rss = std::max(max_rss, kb);
+    std::fprintf(f,
+                 "{\"model\": \"%s\", \"shards\": %d, \"micro_f1\": %.6f, "
+                 "\"macro_f1\": %.6f, \"epochs\": %d, \"seconds\": %.3f, "
+                 "\"steps_per_epoch\": %d, \"cut_fraction\": %.6f, "
+                 "\"max_worker_rss_mb\": %.1f}\n",
+                 model_name.c_str(), dc.num_shards, f1.micro_f1, f1.macro_f1,
+                 fit.epochs_run, fit.seconds, stats.steps_per_epoch,
+                 stats.assignment.CutFraction(), max_rss / 1024.0);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+int RunMerge(int argc, char** argv) {
+  const std::string out = FlagValue(argc, argv, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "prim_shard merge --out <path> <shard files...>\n");
+    return 2;
+  }
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      if (std::strncmp(argv[i], "--out", 5) == 0 &&
+          std::strchr(argv[i], '=') == nullptr)
+        ++i;  // skip "--out <value>" form
+      continue;
+    }
+    inputs.push_back(argv[i]);
+  }
+  const prim::io::Result r = prim::shard::MergeShardCheckpoints(inputs, out);
+  if (!r.ok) {
+    std::fprintf(stderr, "merge failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("merged %zu shard checkpoints into %s\n", inputs.size(),
+              out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "partition") return RunPartition(argc, argv);
+  if (cmd == "train") return RunTrain(argc, argv);
+  if (cmd == "merge") return RunMerge(argc, argv);
+  std::fprintf(stderr,
+               "usage: prim_shard <partition|train|merge> [flags]\n"
+               "  partition --city BJ --scale tiny --shards 4 [--cell-km 1.0]\n"
+               "  train     --city BJ --scale tiny --shards 2 --model PRIM\n"
+               "            [--save out.ckpt] [--verify-k1] [--json out.json]\n"
+               "  merge     --out merged.ckpt <prefix>.shard0 <prefix>.shard1 ...\n");
+  return 2;
+}
