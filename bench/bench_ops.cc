@@ -8,8 +8,9 @@
 //   * loss_curve      — the per-epoch loss values; runs at different thread
 //                       counts must be BITWISE identical (checked here and
 //                       reported as "loss_bitwise_identical")
-//   * ops             — profiler rows (calls, total ms, GB touched), sorted
-//                       by total time, "<op>/bwd" rows are backward passes
+//   * ops             — profiler rows (calls, total ms, GFLOP, GB *moved*
+//                       under the streaming traffic model), sorted by total
+//                       time, "<op>/bwd" rows are backward passes
 //
 //   --scale=tiny|small|paper   workload size (default tiny)
 //   --models=PRIM,...          model to time (first entry; default PRIM)
@@ -29,6 +30,7 @@
 #include "nn/ops.h"
 #include "nn/optimizer.h"
 #include "nn/profiler.h"
+#include "nn/simd/cpu.h"
 #include "train/experiment.h"
 
 namespace {
@@ -120,6 +122,8 @@ void WriteJson(FILE* f, const std::string& model_name, int num_pois,
     if (r.loss_curve != runs.front().loss_curve) bitwise = false;
   fprintf(f, "{\n");
   fprintf(f, "  \"bench\": \"bench_ops\",\n");
+  fprintf(f, "  \"simd\": \"%s\",\n",
+          nn::simd::LevelName(nn::simd::ActiveLevel()));
   fprintf(f, "  \"model\": \"%s\",\n", model_name.c_str());
   fprintf(f, "  \"pois\": %d,\n", num_pois);
   fprintf(f, "  \"directed_edges\": %lld,\n",
@@ -149,9 +153,11 @@ void WriteJson(FILE* f, const std::string& model_name, int num_pois,
       const nn::OpProfile& p = r.ops[o];
       fprintf(f,
               "        {\"name\": \"%s\", \"calls\": %lld, "
-              "\"total_ms\": %.3f, \"gb\": %.4f}%s\n",
+              "\"total_ms\": %.3f, \"gflop\": %.4f, "
+              "\"gb_moved\": %.4f}%s\n",
               p.name.c_str(), static_cast<long long>(p.calls),
-              p.seconds * 1e3, static_cast<double>(p.bytes) / 1e9,
+              p.seconds * 1e3, static_cast<double>(p.flops) / 1e9,
+              static_cast<double>(p.bytes) / 1e9,
               o + 1 < r.ops.size() ? "," : "");
     }
     fprintf(f, "      ]\n    }%s\n", i + 1 < runs.size() ? "," : "");

@@ -25,14 +25,17 @@ nn::Tensor SpatialContextExtractor::Forward(const nn::Tensor& h) const {
       t.data()[e] = (*view.spatial_rbf)[e];
     return t;
   });
-  nn::Tensor q = nn::Gather(nn::MatMul(h, w_q_), edges.dst);
-  nn::Tensor k = nn::Gather(nn::MatMul(h, w_k_), edges.src);
+  // Fused SDDMM: per-edge q·k without materialising the E x dim gathers.
   nn::Tensor e_prime = nn::Scale(
-      nn::RowSum(nn::Mul(q, k)), 1.0f / std::sqrt(static_cast<float>(dim_)));
+      nn::EdgeDot(nn::MatMul(h, w_q_), edges.dst, nn::MatMul(h, w_k_),
+                  edges.src),
+      1.0f / std::sqrt(static_cast<float>(dim_)));
   nn::Tensor e = nn::Mul(e_prime, rbf);  // Eq. 9: semantics x geography.
   nn::Tensor beta = nn::SegmentSoftmax(e, edges.dst, view.num_nodes);
-  nn::Tensor v = nn::Gather(nn::MatMul(h, w_v_), edges.src);
-  return nn::SegmentSum(nn::Mul(v, beta), edges.dst, view.num_nodes);
+  // Fused g-SpMM: β-weighted aggregation of v_j rows per destination.
+  return nn::EdgeGammaSegmentSum(nn::MatMul(h, w_v_), edges.src,
+                                 nn::EdgeGamma::kCopy, nn::Tensor(), {}, beta,
+                                 edges.dst, view.num_nodes);
 }
 
 }  // namespace prim::core

@@ -53,27 +53,25 @@ WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
   // Shared attention projection W_a h* (Eq. 3) computed once per layer.
   nn::Tensor att_proj = nn::MatMul(h_aug, w_att_);  // N x att_dim
 
-  // Per-relation reusable pieces.
+  // Per-relation reusable pieces. The per-edge gathers and the E x d_aug
+  // gamma matrix of the unfused formulation are gone: the fused kernels
+  // below read node/relation rows through the edge indices directly.
   struct RelCache {
-    nn::Tensor att_i, att_j;  // E x att_dim
-    nn::Tensor dist_proj;     // E x dist_feat_dim
-    nn::Tensor gamma;         // E x d_aug  (gamma(h*_j, h_r))
+    nn::Tensor dist_proj;      // E x dist_feat_dim
+    std::vector<int> rel_row;  // E copies of r (relation row per edge)
   };
   std::vector<RelCache> cache(ctx_.num_relations);
   for (int r = 0; r < ctx_.num_relations; ++r) {
     const models::FlatEdges& edges = (*view.rel_edges)[r];
     if (edges.size() == 0) continue;
     RelCache& c = cache[r];
-    c.att_i = nn::Gather(att_proj, edges.dst);
-    c.att_j = nn::Gather(att_proj, edges.src);
     if (config_.use_attention_distance)
       c.dist_proj = nn::MatMul(dist_features[r], w_dist_);
-    const std::vector<int> rel_row(edges.size(), r);
-    nn::Tensor h_src = nn::Gather(h_aug, edges.src);
-    nn::Tensor h_rel = nn::Gather(relations, rel_row);
-    c.gamma = config_.gamma == GammaOp::kMultiply ? nn::Mul(h_src, h_rel)
-                                                  : nn::Sub(h_src, h_rel);
+    c.rel_row.assign(edges.size(), r);
   }
+  const nn::EdgeGamma gamma = config_.gamma == GammaOp::kMultiply
+                                  ? nn::EdgeGamma::kMultiply
+                                  : nn::EdgeGamma::kSubtract;
 
   std::vector<nn::Tensor> heads;
   heads.reserve(config_.heads);
@@ -83,15 +81,23 @@ WrgnnLayer::Output WrgnnLayer::Forward(const nn::Tensor& h_aug,
       const models::FlatEdges& edges = (*view.rel_edges)[r];
       if (edges.size() == 0) continue;
       const RelCache& c = cache[r];
-      std::vector<nn::Tensor> att_parts = {c.att_i, c.att_j};
-      if (config_.use_attention_distance) att_parts.push_back(c.dist_proj);
-      nn::Tensor e = nn::LeakyRelu(
-          nn::MatMul(nn::ConcatCols(att_parts), attn_[r][k]),
-          config_.leaky_alpha);
+      // Fused [a_i || a_j (|| d_ij)]·attn -> LeakyRelu without
+      // materialising the E x att_in concatenation.
+      std::vector<nn::EdgePart> att_parts;
+      att_parts.push_back({att_proj, edges.dst});
+      att_parts.push_back({att_proj, edges.src});
+      if (config_.use_attention_distance) att_parts.push_back({c.dist_proj, {}});
+      nn::Tensor e = nn::EdgeConcatMatVecLeakyRelu(att_parts, attn_[r][k],
+                                                   config_.leaky_alpha);
       nn::Tensor alpha = nn::SegmentSoftmax(e, edges.dst, view.num_nodes);
-      nn::Tensor msg = nn::MatMul(c.gamma, w_msg_[k]);  // E x head_dim
-      acc = nn::Add(acc, nn::SegmentSum(nn::Mul(msg, alpha), edges.dst,
-                                        view.num_nodes));
+      // Σ_e α_e (γ_e W_msg) = (Σ_e α_e γ_e) W_msg: the fused g-SpMM
+      // aggregates α-weighted γ(h*_j, h_r) rows per destination node, and
+      // the message projection then runs over N rows instead of E.
+      nn::Tensor seg =
+          nn::EdgeGammaSegmentSum(h_aug, edges.src, gamma, relations,
+                                  c.rel_row, alpha, edges.dst,
+                                  view.num_nodes);
+      acc = nn::Add(acc, nn::MatMul(seg, w_msg_[k]));
     }
     heads.push_back(nn::Tanh(acc));
   }

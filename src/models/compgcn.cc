@@ -39,12 +39,12 @@ nn::Tensor CompGcnModel::EncodeNodes(bool /*training*/) {
     for (int r = 0; r < ctx_.num_relations; ++r) {
       const FlatEdges& edges = (*view.rel_edges)[r];
       if (edges.size() == 0) continue;
-      // phi(h_u, h_r) = h_u ⊙ h_r (relation row broadcast per edge).
+      // phi(h_u, h_r) = h_u ⊙ h_r (relation row broadcast per edge), fused
+      // with the norm weighting and destination aggregation.
       const std::vector<int> rel_ids(edges.size(), r);
-      nn::Tensor composed =
-          nn::Mul(nn::Gather(h, edges.src), nn::Gather(rel, rel_ids));
-      nn::Tensor msg = nn::Mul(composed, rel_norm[r]);
-      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, view.num_nodes);
+      nn::Tensor agg = nn::EdgeGammaSegmentSum(
+          h, edges.src, nn::EdgeGamma::kMultiply, rel, rel_ids, rel_norm[r],
+          edges.dst, view.num_nodes);
       out = nn::Add(out, nn::MatMul(agg, w_msg_[l]));
     }
     h = nn::Tanh(out);

@@ -61,9 +61,9 @@ nn::Tensor DeepRModel::EncodeNodes(bool /*training*/) {
       for (int g = 0; g < sectors_; ++g) {
         const FlatEdges& edges = ve.sector_edges[r][g];
         if (edges.size() == 0) continue;
-        nn::Tensor msg =
-            nn::Mul(nn::Gather(h, edges.src), ve.sector_norm[r][g]);
-        nn::Tensor agg = nn::SegmentSum(msg, edges.dst, view.num_nodes);
+        nn::Tensor agg = nn::EdgeGammaSegmentSum(
+            h, edges.src, nn::EdgeGamma::kCopy, nn::Tensor(), {},
+            ve.sector_norm[r][g], edges.dst, view.num_nodes);
         out = nn::Add(out, nn::MatMul(agg, w_sector_[l][g]));
       }
     }

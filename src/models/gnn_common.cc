@@ -98,15 +98,15 @@ nn::Tensor GatLayer::Forward(const nn::Tensor& h, const FlatEdges& edges,
   std::vector<nn::Tensor> heads_out;
   heads_out.reserve(heads_);
   for (int k = 0; k < heads_; ++k) {
-    nn::Tensor wh = nn::MatMul(h, w_[k]);                 // N x dh
-    nn::Tensor wh_dst = nn::Gather(wh, edges.dst);        // E x dh
-    nn::Tensor wh_src = nn::Gather(wh, edges.src);        // E x dh
-    nn::Tensor e = nn::LeakyRelu(
-        nn::MatMul(nn::ConcatCols({wh_dst, wh_src}), attn_[k]),
-        leaky_alpha_);                                    // E x 1
+    nn::Tensor wh = nn::MatMul(h, w_[k]);  // N x dh
+    // Fused [Wh_i || Wh_j]·a -> LeakyRelu and the α-weighted aggregation:
+    // no E x dh gathers or E x 2dh concatenation are materialised.
+    nn::Tensor e = nn::EdgeConcatMatVecLeakyRelu(
+        {{wh, edges.dst}, {wh, edges.src}}, attn_[k], leaky_alpha_);  // E x 1
     nn::Tensor alpha = nn::SegmentSoftmax(e, edges.dst, num_nodes);
     nn::Tensor agg =
-        nn::SegmentSum(nn::Mul(wh_src, alpha), edges.dst, num_nodes);
+        nn::EdgeGammaSegmentSum(wh, edges.src, nn::EdgeGamma::kCopy,
+                                nn::Tensor(), {}, alpha, edges.dst, num_nodes);
     heads_out.push_back(nn::Tanh(agg));
   }
   return heads_out.size() == 1 ? heads_out[0] : nn::ConcatCols(heads_out);
@@ -119,8 +119,11 @@ GcnLayer::GcnLayer(int in_dim, int out_dim, Rng& rng) {
 
 nn::Tensor GcnLayer::Forward(const nn::Tensor& h, const FlatEdges& edges,
                              const nn::Tensor& norm, int num_nodes) const {
-  nn::Tensor msg = nn::Mul(nn::Gather(h, edges.src), norm);
-  nn::Tensor agg = nn::SegmentSum(msg, edges.dst, num_nodes);
+  // Fused norm-weighted g-SpMM: Gather → Mul(norm) → SegmentSum in one
+  // edge-parallel kernel.
+  nn::Tensor agg = nn::EdgeGammaSegmentSum(h, edges.src, nn::EdgeGamma::kCopy,
+                                           nn::Tensor(), {}, norm, edges.dst,
+                                           num_nodes);
   return nn::Tanh(nn::MatMul(agg, weight_));
 }
 

@@ -68,9 +68,8 @@ nn::Tensor HgtModel::EncodeNodes(bool /*training*/) {
                                  ve.all_dst.begin() + end);
       nn::Tensor k = nn::MatMul(h, layer.w_k[r]);
       nn::Tensor v = nn::MatMul(h, layer.w_v[r]);
-      nn::Tensor att = nn::Scale(
-          nn::RowSum(nn::Mul(nn::Gather(k, src), nn::Gather(q, dst))),
-          inv_sqrt_d);
+      // Fused SDDMM: per-edge k·q without the E x dim gathers.
+      nn::Tensor att = nn::Scale(nn::EdgeDot(k, src, q, dst), inv_sqrt_d);
       // Relation prior mu_r scales the logit (HGT's meta-relation prior).
       const std::vector<int> rel_row(src.size(), r);
       att = nn::Mul(att, nn::Gather(layer.mu, rel_row));
@@ -81,8 +80,9 @@ nn::Tensor HgtModel::EncodeNodes(bool /*training*/) {
     nn::Tensor all_values = nn::ConcatRows(values);
     nn::Tensor alpha =
         nn::SegmentSoftmax(all_scores, ve.all_dst, view.num_nodes);
-    nn::Tensor agg =
-        nn::SegmentSum(nn::Mul(all_values, alpha), ve.all_dst, view.num_nodes);
+    nn::Tensor agg = nn::EdgeGammaSegmentSum(
+        all_values, {}, nn::EdgeGamma::kCopy, nn::Tensor(), {}, alpha,
+        ve.all_dst, view.num_nodes);
     // Residual update: h' = tanh(W_out agg + h).
     h = nn::Tanh(nn::Add(nn::MatMul(agg, layer.w_out), h));
   }

@@ -40,8 +40,9 @@ nn::Tensor RgcnModel::EncodeNodes(bool /*training*/) {
     for (int r = 0; r < ctx_.num_relations; ++r) {
       const FlatEdges& edges = (*view.rel_edges)[r];
       if (edges.size() == 0) continue;
-      nn::Tensor msg = nn::Mul(nn::Gather(h, edges.src), rel_norm[r]);
-      nn::Tensor agg = nn::SegmentSum(msg, edges.dst, view.num_nodes);
+      nn::Tensor agg = nn::EdgeGammaSegmentSum(
+          h, edges.src, nn::EdgeGamma::kCopy, nn::Tensor(), {}, rel_norm[r],
+          edges.dst, view.num_nodes);
       out = nn::Add(out, nn::MatMul(agg, weights_[l][r]));
     }
     h = nn::Tanh(out);

@@ -103,6 +103,58 @@ Tensor RowL2Normalize(const Tensor& a, float eps = 1e-12f);
 /// by 1/(1-p). Identity when !training or p == 0.
 Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training);
 
+// --- Fused message-passing ops ------------------------------------------
+//
+// These collapse the Gather → combine → SegmentSum (and
+// ConcatCols → MatMul → LeakyRelu) chains of the GNN layers into single
+// edge-parallel kernels: per-edge intermediate rows are never
+// materialised, and each output row accumulates its edges in CSR order,
+// so a fused op's result is bitwise identical at any worker thread count.
+// Relative to the unfused chains the fused path contracts the per-edge
+// weight multiply into an fma (one rounding instead of two), so values
+// agree within ordinary float rounding rather than bit for bit — both
+// properties are enforced by tests/nn/fused_ops_test.cc.
+
+/// Edge message composition γ for EdgeGammaSegmentSum, as in the WRGNN
+/// message function γ(h*_j, h_r) (paper Eq. 4).
+enum class EdgeGamma {
+  kCopy,      ///< γ(x, r) = x (rel ignored; plain weighted g-SpMM)
+  kMultiply,  ///< γ(x, r) = x ⊙ r
+  kSubtract,  ///< γ(x, r) = x - r
+};
+
+/// One column block of the virtual per-edge concatenation consumed by
+/// EdgeConcatMatVecLeakyRelu. `index` maps edge e to a row of `values`
+/// (empty: edge e reads row e of `values` directly).
+struct EdgePart {
+  Tensor values;
+  std::vector<int> index;
+};
+
+/// Fused g-SpMM:  out[s, :] = Σ_{e : segment[e] == s} w_e · γ(x[xi[e], :],
+/// rel[ri[e], :])  where w_e = weight[e] (or 1 when `weight` is a null
+/// Tensor). `rel`/`ri` are only read for γ ≠ kCopy and may be null/empty
+/// otherwise; `xi` empty means edge e reads row e of x. Replaces
+/// Gather(x, xi) → γ → Mul(weight) → SegmentSum without materialising the
+/// E x m edge matrix.
+Tensor EdgeGammaSegmentSum(const Tensor& x, const std::vector<int>& xi,
+                           EdgeGamma gamma, const Tensor& rel,
+                           const std::vector<int>& ri, const Tensor& weight,
+                           const std::vector<int>& segment, int num_segments);
+
+/// Fused attention-score chain:  out[e, 0] = LeakyRelu(concat_e · a, alpha)
+/// where concat_e is the virtual concatenation of the parts' rows for edge
+/// e and `a` is a (Σ cols) x 1 weight vector. Replaces
+/// ConcatCols(Gather...) → MatMul(a) → LeakyRelu without materialising the
+/// E x (Σ cols) concatenation.
+Tensor EdgeConcatMatVecLeakyRelu(const std::vector<EdgePart>& parts,
+                                 const Tensor& a, float alpha = 0.2f);
+
+/// Fused per-edge dot product (SDDMM):  out[e, 0] = x[xi[e], :] · y[yi[e], :].
+/// Replaces Gather(x, xi) → Mul(Gather(y, yi)) → RowSum.
+Tensor EdgeDot(const Tensor& x, const std::vector<int>& xi, const Tensor& y,
+               const std::vector<int>& yi);
+
 // --- Losses --------------------------------------------------------------
 
 /// Numerically-stable mean binary cross-entropy with logits:

@@ -1,0 +1,132 @@
+#ifndef PRIM_NN_OPS_COMMON_H_
+#define PRIM_NN_OPS_COMMON_H_
+
+/// Internal helpers shared by the per-kernel op translation units
+/// (ops_matmul.cc, ops_elementwise.cc, ops_shape.cc, ops_reduce.cc,
+/// ops_segment.cc, ops_fused.cc). Not part of the public API — include
+/// nn/ops.h instead.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "nn/simd/cpu.h"
+#include "nn/simd/kernels.h"
+#include "nn/tensor.h"
+
+namespace prim::nn::detail {
+
+// Creates the output node for an op, tagged with the op's name for
+// AnomalyGuard diagnostics. Records autograd history only when grad mode is
+// on and at least one parent requires gradients.
+inline Tensor MakeResult(const char* op, int rows, int cols,
+                         std::vector<Tensor> parents, bool& record_out) {
+  Tensor out = Tensor::Zeros(rows, cols);
+  out.impl()->op = op;
+  bool any_grad = false;
+  for (const Tensor& p : parents) any_grad = any_grad || p.requires_grad();
+  record_out = GradModeEnabled() && any_grad;
+  if (record_out) {
+    out.set_requires_grad(true);
+    auto& impl = *out.impl();
+    impl.parents.reserve(parents.size());
+    for (Tensor& p : parents) impl.parents.push_back(p.impl());
+  }
+  return out;
+}
+
+// Accumulation helper: ensures the target grad buffer exists.
+inline float* GradBuf(TensorImpl* t) {
+  t->EnsureGrad();
+  return t->grad.data();
+}
+
+// Runs `body(i0, i1)` over disjoint chunks of [0, total), declaring the
+// matching element range of `out` to the write audit. For elementwise
+// kernels whose chunk [i0, i1) writes exactly out[i0..i1).
+template <typename Body>
+void ParallelElems(float* out, int64_t total, Body&& body) {
+  ParallelFor(total, [&](int64_t i0, int64_t i1) {
+    AuditWriteRange(out, i0, i1);
+    body(i0, i1);
+  });
+}
+
+// Same, for row-partitioned kernels: chunk [r0, r1) writes rows r0..r1 of
+// the `cols`-wide buffer `out`.
+template <typename Body>
+void ParallelRows(float* out, int64_t rows, int64_t cols, Body&& body) {
+  ParallelFor(rows, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(out, r0 * cols, r1 * cols);
+    body(r0, r1);
+  });
+}
+
+// Stable counting sort of [0, n) by key target[i] into `order`, with CSR
+// offsets in `start` (size num_targets + 1). Within each target, original
+// indices stay ascending — so per-target accumulation visits contributions
+// in exactly the order the sequential scatter loop would, keeping parallel
+// scatter-adds bitwise identical to the sequential ones.
+inline void BuildScatterCsr(const std::vector<int>& target, int num_targets,
+                            std::vector<int>& start,
+                            std::vector<int>& order) {
+  const int n = static_cast<int>(target.size());
+  start.assign(static_cast<size_t>(num_targets) + 1, 0);
+  for (int i = 0; i < n; ++i) ++start[target[i] + 1];
+  for (int t = 0; t < num_targets; ++t) start[t + 1] += start[t];
+  order.resize(n);
+  std::vector<int> cursor(start.begin(), start.end() - 1);
+  for (int i = 0; i < n; ++i) order[cursor[target[i]]++] = i;
+}
+
+// Fixed block width shared by every deterministic parallel scalar
+// reduction (same value as the optimizer's ClipGradNorm partials).
+constexpr int64_t kReduceBlock = 4096;
+
+// Deterministic parallel scalar reduction: `block(lo, hi)` returns the
+// double partial for [lo, hi). Partials are computed per fixed
+// 4096-element block — indexed by block, not by thread — and combined
+// sequentially in ascending block order, so the result is bitwise
+// identical at any worker-thread count.
+//
+// Under PRIM_FAST_MATH (simd::FastMathEnabled()) the fixed blocks are
+// dropped: each ParallelFor chunk contributes one partial, merged in
+// whatever order the workers finish. That saves the partial buffer and one
+// pass of combine work but makes the result depend on the thread count and
+// schedule, within the tolerance documented in DESIGN.md ("SIMD & fused
+// kernels").
+template <typename BlockFn>
+double BlockedReduce(int64_t total, BlockFn&& block) {
+  if (total <= 0) return 0.0;
+  if (simd::FastMathEnabled()) {
+    std::atomic<double> acc{0.0};
+    ParallelFor(total, [&](int64_t lo, int64_t hi) {
+      const double p = block(lo, hi);
+      double cur = acc.load(std::memory_order_relaxed);
+      while (!acc.compare_exchange_weak(cur, cur + p,
+                                        std::memory_order_relaxed)) {
+      }
+    });
+    return acc.load(std::memory_order_relaxed);
+  }
+  const int64_t blocks = (total + kReduceBlock - 1) / kReduceBlock;
+  if (blocks == 1) return block(0, total);
+  std::vector<double> partial(static_cast<size_t>(blocks), 0.0);
+  double* pd = partial.data();
+  ParallelFor(blocks, [&](int64_t b0, int64_t b1) {
+    AuditWriteRange(pd, b0, b1);
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t lo = b * kReduceBlock;
+      pd[b] = block(lo, std::min(total, lo + kReduceBlock));
+    }
+  });
+  double acc = 0.0;
+  for (int64_t b = 0; b < blocks; ++b) acc += pd[b];
+  return acc;
+}
+
+}  // namespace prim::nn::detail
+
+#endif  // PRIM_NN_OPS_COMMON_H_

@@ -1,0 +1,479 @@
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/debug.h"
+#include "nn/ops.h"
+#include "nn/ops_common.h"
+#include "nn/profiler.h"
+
+namespace prim::nn {
+
+using detail::BlockedReduce;
+using detail::GradBuf;
+using detail::MakeResult;
+using detail::ParallelElems;
+using detail::ParallelRows;
+
+namespace {
+
+enum class BroadcastKind { kNone, kRow, kCol, kScalar };
+
+BroadcastKind ClassifyAddBroadcast(const char* op, const Tensor& a,
+                                   const Tensor& b) {
+  if (b.rows() == a.rows() && b.cols() == a.cols()) return BroadcastKind::kNone;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
+  PRIM_CHECK_MSG(false, op << " broadcast mismatch " << a.ShapeString()
+                           << " vs " << b.ShapeString());
+}
+
+BroadcastKind ClassifyMulBroadcast(const char* op, const Tensor& a,
+                                   const Tensor& b) {
+  if (b.rows() == a.rows() && b.cols() == a.cols()) return BroadcastKind::kNone;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  if (b.cols() == 1 && b.rows() == a.rows()) return BroadcastKind::kCol;
+  PRIM_CHECK_MSG(false, op << " broadcast mismatch " << a.ShapeString()
+                           << " vs " << b.ShapeString());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyAddBroadcast("Add", a, b);
+  const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Add", a.size(), 4 * (2 * a.size() + b.size()));
+  bool record = false;
+  Tensor out = MakeResult("Add", n, m, {a, b}, record);
+  const simd::KernelTable& kt = simd::K();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  switch (kind) {
+    case BroadcastKind::kNone:
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        kt.add(od, ad, bd, i0, i1);
+      });
+      break;
+    case BroadcastKind::kScalar:
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        kt.add_scalar(od, ad, bd[0], i0, i1);
+      });
+      break;
+    case BroadcastKind::kRow:
+      ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i)
+          kt.add(od + i * m, ad + i * m, bd, 0, m);
+      });
+      break;
+    case BroadcastKind::kCol:
+      break;  // Unreachable for Add.
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = total;
+    oi->bwd_bytes = 4 * (2 * total + b.size());
+    out.impl()->backward_fn = [ai, bi, oi, kind, n, m, total]() {
+      const simd::KernelTable& kt = simd::K();
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+          kt.acc(ga, g, i0, i1);
+        });
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        switch (kind) {
+          case BroadcastKind::kNone:
+            ParallelElems(gb, total, [&](int64_t i0, int64_t i1) {
+              kt.acc(gb, g, i0, i1);
+            });
+            break;
+          case BroadcastKind::kScalar:
+            // Deterministic fixed-block parallel reduction (thread-count
+            // independent; see ops_common.h).
+            gb[0] += static_cast<float>(BlockedReduce(
+                total,
+                [&](int64_t lo, int64_t hi) { return kt.sum(g, lo, hi); }));
+            break;
+          case BroadcastKind::kRow:
+            // Column-wise reduction over rows: gb is only m elements, so
+            // accumulate rows sequentially (ascending i — deterministic)
+            // with a vectorized row add.
+            for (int i = 0; i < n; ++i)
+              kt.acc(gb, g + static_cast<int64_t>(i) * m, 0, m);
+            break;
+          case BroadcastKind::kCol:
+            break;
+        }
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyAddBroadcast("Sub", a, b);
+  PRIM_CHECK_MSG(kind == BroadcastKind::kNone || kind == BroadcastKind::kScalar,
+                 "Sub supports equal shapes or scalar b, got "
+                     << a.ShapeString() << " vs " << b.ShapeString());
+  const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Sub", a.size(), 4 * (2 * a.size() + b.size()));
+  bool record = false;
+  Tensor out = MakeResult("Sub", n, m, {a, b}, record);
+  const simd::KernelTable& kt = simd::K();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  if (kind == BroadcastKind::kNone) {
+    ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+      kt.sub(od, ad, bd, i0, i1);
+    });
+  } else {
+    ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+      kt.add_scalar(od, ad, -bd[0], i0, i1);
+    });
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = total;
+    oi->bwd_bytes = 4 * (2 * total + b.size());
+    out.impl()->backward_fn = [ai, bi, oi, kind, total]() {
+      const simd::KernelTable& kt = simd::K();
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+          kt.acc(ga, g, i0, i1);
+        });
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        if (kind == BroadcastKind::kNone) {
+          // gb -= g, as fmaf(g, -1, gb) — bitwise the plain subtraction.
+          ParallelElems(gb, total, [&](int64_t i0, int64_t i1) {
+            kt.scale_acc(gb, g, -1.0f, i0, i1);
+          });
+        } else {
+          gb[0] -= static_cast<float>(BlockedReduce(
+              total,
+              [&](int64_t lo, int64_t hi) { return kt.sum(g, lo, hi); }));
+        }
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyMulBroadcast("Mul", a, b);
+  const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Mul", a.size(), 4 * (2 * a.size() + b.size()));
+  bool record = false;
+  Tensor out = MakeResult("Mul", n, m, {a, b}, record);
+  const simd::KernelTable& kt = simd::K();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  switch (kind) {
+    case BroadcastKind::kNone:
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        kt.mul(od, ad, bd, i0, i1);
+      });
+      break;
+    case BroadcastKind::kScalar:
+      ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+        kt.scale(od, ad, bd[0], i0, i1);
+      });
+      break;
+    case BroadcastKind::kCol:
+      ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i)
+          kt.scale(od + i * m, ad + i * m, bd[i], 0, m);
+      });
+      break;
+    case BroadcastKind::kRow:
+      break;  // Unreachable for Mul.
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 4 * total;
+    oi->bwd_bytes = 4 * (4 * total + 2 * b.size());
+    out.impl()->backward_fn = [ai, bi, oi, kind, n, m, total]() {
+      const simd::KernelTable& kt = simd::K();
+      const float* g = oi->grad.data();
+      const float* ad = ai->data.data();
+      const float* bd = bi->data.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        switch (kind) {
+          case BroadcastKind::kNone:
+            ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+              kt.mul_acc(ga, g, bd, i0, i1);
+            });
+            break;
+          case BroadcastKind::kScalar:
+            ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+              kt.scale_acc(ga, g, bd[0], i0, i1);
+            });
+            break;
+          case BroadcastKind::kCol:
+            ParallelRows(ga, n, m, [&](int64_t r0, int64_t r1) {
+              for (int64_t i = r0; i < r1; ++i)
+                kt.scale_acc(ga + i * m, g + i * m, bd[i], 0, m);
+            });
+            break;
+          case BroadcastKind::kRow:
+            break;
+        }
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        switch (kind) {
+          case BroadcastKind::kNone:
+            ParallelElems(gb, total, [&](int64_t i0, int64_t i1) {
+              kt.mul_acc(gb, g, ad, i0, i1);
+            });
+            break;
+          case BroadcastKind::kScalar:
+            // Deterministic fixed-block dot reduction: each block's float
+            // partial follows the 8-lane dot spec, partials combine
+            // sequentially in double.
+            gb[0] += static_cast<float>(
+                BlockedReduce(total, [&](int64_t lo, int64_t hi) {
+                  return static_cast<double>(
+                      kt.dot(g + lo, ad + lo, static_cast<int>(hi - lo)));
+                }));
+            break;
+          case BroadcastKind::kCol:
+            // Per-row dot products: each chunk owns disjoint gb rows, and
+            // each row's accumulation order is fixed regardless of chunking.
+            ParallelRows(gb, n, 1, [&](int64_t r0, int64_t r1) {
+              for (int64_t i = r0; i < r1; ++i)
+                gb[i] += kt.dot(g + i * m, ad + i * m, m);
+            });
+            break;
+          case BroadcastKind::kRow:
+            break;
+        }
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  ScopedOpTimer timer("Scale", a.size(), 4 * 2 * a.size());
+  bool record = false;
+  Tensor out = MakeResult("Scale", a.rows(), a.cols(), {a}, record);
+  const simd::KernelTable& kt = simd::K();
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+    kt.scale(od, ad, s, i0, i1);
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 2 * total;
+    oi->bwd_bytes = 4 * 2 * total;
+    out.impl()->backward_fn = [ai, oi, s, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        simd::K().scale_acc(ga, g, s, i0, i1);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  ScopedOpTimer timer("AddScalar", a.size(), 4 * 2 * a.size());
+  bool record = false;
+  Tensor out = MakeResult("AddScalar", a.rows(), a.cols(), {a}, record);
+  const simd::KernelTable& kt = simd::K();
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+    kt.add_scalar(od, ad, s, i0, i1);
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = total;
+    oi->bwd_bytes = 4 * 2 * total;
+    out.impl()->backward_fn = [ai, oi, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        simd::K().acc(ga, g, i0, i1);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+namespace {
+
+// Shared implementation for pointwise ops whose forward/backward call into
+// libm (exp, tanh, log): these stay scalar — vector transcendental
+// approximations cannot match libm bit for bit, and the bitwise contract
+// outranks their speedup. The gradient may depend on the input and/or the
+// output value.
+template <typename Fwd, typename BwdFromOut>
+Tensor PointwiseFromOut(const char* op, const Tensor& a, Fwd fwd,
+                        BwdFromOut bwd) {
+  ScopedOpTimer timer(op, 2 * a.size(), 4 * 2 * a.size());
+  bool record = false;
+  Tensor out = MakeResult(op, a.rows(), a.cols(), {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) od[i] = fwd(ad[i]);
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 2 * total;
+    oi->bwd_bytes = 4 * 3 * total;
+    out.impl()->backward_fn = [ai, oi, bwd, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      const float* od = oi->data.data();
+      const float* ad = ai->data.data();
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) ga[i] += g[i] * bwd(ad[i], od[i]);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+// Relu/LeakyRelu share the vectorized kernel pair; alpha = 0 is Relu.
+Tensor LeakyReluImpl(const char* op, const Tensor& a, float alpha) {
+  ScopedOpTimer timer(op, 2 * a.size(), 4 * 2 * a.size());
+  bool record = false;
+  Tensor out = MakeResult(op, a.rows(), a.cols(), {a}, record);
+  const simd::KernelTable& kt = simd::K();
+  const float* ad = a.data();
+  float* od = out.data();
+  const int64_t total = a.size();
+  ParallelElems(od, total, [&](int64_t i0, int64_t i1) {
+    kt.leaky_relu(od, ad, alpha, i0, i1);
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 2 * total;
+    oi->bwd_bytes = 4 * 3 * total;
+    out.impl()->backward_fn = [ai, oi, alpha, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      const float* ad = ai->data.data();
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        simd::K().leaky_relu_bwd(ga, g, ad, alpha, i0, i1);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& a) {
+  return PointwiseFromOut(
+      "Sigmoid", a,
+      [](float x) {
+        // Stable sigmoid.
+        if (x >= 0.0f) {
+          float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return PointwiseFromOut("Tanh", a, [](float x) { return std::tanh(x); },
+                          [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) { return LeakyReluImpl("Relu", a, 0.0f); }
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return LeakyReluImpl("LeakyRelu", a, alpha);
+}
+
+Tensor Exp(const Tensor& a) {
+  return PointwiseFromOut("Exp", a, [](float x) { return std::exp(x); },
+                          [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return PointwiseFromOut(
+      "Log", a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  PRIM_CHECK_MSG(p < 1.0f, "Dropout p must be < 1, got " << p);
+  const int64_t total = a.size();
+  ScopedOpTimer timer("Dropout", 2 * total, 4 * 2 * total);
+  bool record = false;
+  Tensor out = MakeResult("Dropout", a.rows(), a.cols(), {a}, record);
+  const float inv_keep = 1.0f / (1.0f - p);
+  std::vector<float> mask(total);
+  const float* ad = a.data();
+  float* od = out.data();
+  // Mask generation consumes the RNG stream sequentially; the multiply
+  // rides along in the same pass.
+  for (int64_t i = 0; i < total; ++i) {
+    mask[i] = rng.Bernoulli(p) ? 0.0f : inv_keep;
+    od[i] = ad[i] * mask[i];
+  }
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 2 * total;
+    oi->bwd_bytes = 4 * 3 * total;
+    out.impl()->backward_fn = [ai, oi, mask = std::move(mask), total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        simd::K().mul_acc(ga, g, mask.data(), i0, i1);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,452 @@
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/check.h"
+#include "nn/debug.h"
+#include "nn/ops.h"
+#include "nn/ops_common.h"
+#include "nn/profiler.h"
+
+namespace prim::nn {
+
+using detail::BuildScatterCsr;
+using detail::GradBuf;
+using detail::MakeResult;
+
+namespace {
+
+simd::Gamma ToKernelGamma(EdgeGamma g) {
+  switch (g) {
+    case EdgeGamma::kCopy:
+      return simd::Gamma::kCopy;
+    case EdgeGamma::kMultiply:
+      return simd::Gamma::kMultiply;
+    case EdgeGamma::kSubtract:
+      return simd::Gamma::kSubtract;
+  }
+  PRIM_CHECK_MSG(false, "EdgeGamma value " << static_cast<int>(g));
+  return simd::Gamma::kCopy;
+}
+
+// CSR over [0, n) where target t owns exactly edge t — the grouping used
+// when an index vector is empty (edge e reads/writes row e directly).
+std::vector<int> IdentityCsr(int n) {
+  std::vector<int> start(static_cast<size_t>(n) + 1);
+  std::iota(start.begin(), start.end(), 0);
+  return start;
+}
+
+void CheckIndex(const char* op, const char* what, const std::vector<int>& idx,
+                int limit) {
+  for (int i : idx)
+    PRIM_CHECK_MSG(0 <= i && i < limit,
+                   op << " " << what << " index " << i << " out of " << limit);
+}
+
+// Runs the generic γ-scatter over a CSR grouping: one audited parallel
+// region over targets, accumulation per target in CSR (ascending-edge)
+// order — the same order a sequential scatter loop would use, so results
+// are bitwise independent of the worker-thread count.
+void CsrGammaAccum(float* out, const float* x, const int* xi, const float* r,
+                   const int* ri, const float* w, float sign,
+                   const std::vector<int>& start, const int* order,
+                   int num_targets, int m, simd::Gamma gamma) {
+  const int* start_d = start.data();
+  ParallelFor(num_targets, [&](int64_t t0, int64_t t1) {
+    AuditWriteRange(out, t0 * m, t1 * m);
+    simd::K().gamma_csr_accum(out, x, xi, r, ri, w, sign, start_d, order, t0,
+                              t1, m, gamma);
+  });
+}
+
+}  // namespace
+
+Tensor EdgeGammaSegmentSum(const Tensor& x, const std::vector<int>& xi,
+                           EdgeGamma gamma, const Tensor& rel,
+                           const std::vector<int>& ri, const Tensor& weight,
+                           const std::vector<int>& segment,
+                           int num_segments) {
+  const int e_count = static_cast<int>(segment.size());
+  const int m = x.cols();
+  const bool has_rel = gamma != EdgeGamma::kCopy;
+  if (xi.empty()) {
+    PRIM_CHECK_MSG(x.rows() == e_count, "EdgeGammaSegmentSum x "
+                                            << x.ShapeString() << " vs "
+                                            << e_count << " edges");
+  } else {
+    PRIM_CHECK_MSG(static_cast<int>(xi.size()) == e_count,
+                   "EdgeGammaSegmentSum xi size " << xi.size() << " vs "
+                                                  << e_count << " edges");
+    CheckIndex("EdgeGammaSegmentSum", "x", xi, x.rows());
+  }
+  if (has_rel) {
+    PRIM_CHECK_MSG(rel.defined(), "EdgeGammaSegmentSum needs rel for this "
+                                      << "gamma mode (" << e_count
+                                      << " edges)");
+    PRIM_CHECK_MSG(rel.cols() == m, "EdgeGammaSegmentSum rel "
+                                        << rel.ShapeString() << " vs x "
+                                        << x.ShapeString());
+    if (ri.empty()) {
+      PRIM_CHECK_MSG(rel.rows() == e_count, "EdgeGammaSegmentSum rel "
+                                                << rel.ShapeString() << " vs "
+                                                << e_count << " edges");
+    } else {
+      PRIM_CHECK_MSG(static_cast<int>(ri.size()) == e_count,
+                     "EdgeGammaSegmentSum ri size " << ri.size() << " vs "
+                                                    << e_count << " edges");
+      CheckIndex("EdgeGammaSegmentSum", "rel", ri, rel.rows());
+    }
+  }
+  if (weight.defined()) {
+    PRIM_CHECK_MSG(weight.rows() == e_count && weight.cols() == 1,
+                   "EdgeGammaSegmentSum weight " << weight.ShapeString()
+                                                 << " vs " << e_count
+                                                 << " edges");
+  }
+  CheckIndex("EdgeGammaSegmentSum", "segment", segment, num_segments);
+
+  const int64_t em = static_cast<int64_t>(e_count) * m;
+  const int64_t flops =
+      em * ((has_rel ? 2 : 1) + (weight.defined() ? 1 : 0));
+  ScopedOpTimer timer("FusedGammaSegSum", flops,
+                      4 * (em * (has_rel ? 2 : 1) +
+                           static_cast<int64_t>(num_segments) * m));
+  std::vector<Tensor> parents = {x};
+  if (rel.defined()) parents.push_back(rel);
+  if (weight.defined()) parents.push_back(weight);
+  bool record = false;
+  Tensor out = MakeResult("FusedGammaSegSum", num_segments, m,
+                          std::move(parents), record);
+
+  const int* xi_d = xi.empty() ? nullptr : xi.data();
+  const int* ri_d = ri.empty() ? nullptr : ri.data();
+  const float* rel_d = has_rel ? rel.data() : nullptr;
+  const float* w_d = weight.defined() ? weight.data() : nullptr;
+  const simd::Gamma kg = ToKernelGamma(gamma);
+
+  // Group edges by destination segment, with the same sorted fast path as
+  // SegmentSum (model edge lists are dst-sorted).
+  const bool sorted = std::is_sorted(segment.begin(), segment.end());
+  std::vector<int> start, order;
+  if (sorted) {
+    start.assign(static_cast<size_t>(num_segments) + 1, 0);
+    for (int s : segment) ++start[s + 1];
+    for (int s = 0; s < num_segments; ++s) start[s + 1] += start[s];
+  } else {
+    BuildScatterCsr(segment, num_segments, start, order);
+  }
+  CsrGammaAccum(out.data(), x.data(), xi_d, rel_d, ri_d, w_d, 1.0f, start,
+                sorted ? nullptr : order.data(), num_segments, m, kg);
+
+  if (record) {
+    TensorImpl* x_impl = x.raw();
+    TensorImpl* rel_impl = has_rel ? rel.raw() : nullptr;
+    TensorImpl* w_impl = weight.defined() ? weight.raw() : nullptr;
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 2 * flops;
+    oi->bwd_bytes = 4 * 3 * em;
+    auto xi_c = xi;
+    auto ri_c = ri;
+    auto seg_c = segment;
+    const int x_rows = x.rows();
+    const int rel_rows = has_rel ? rel.rows() : 0;
+    out.impl()->backward_fn = [x_impl, rel_impl, w_impl, oi,
+                               xi_c = std::move(xi_c), ri_c = std::move(ri_c),
+                               seg_c = std::move(seg_c), x_rows, rel_rows,
+                               e_count, m, kg]() {
+      const float* g = oi->grad.data();
+      const float* xd = x_impl->data.data();
+      const float* rel_d = rel_impl ? rel_impl->data.data() : nullptr;
+      const float* w_d = w_impl ? w_impl->data.data() : nullptr;
+      const int* xi_d = xi_c.empty() ? nullptr : xi_c.data();
+      const int* ri_d = ri_c.empty() ? nullptr : ri_c.data();
+      const int* seg_d = seg_c.data();
+      if (x_impl->requires_grad) {
+        float* gx = GradBuf(x_impl);
+        std::vector<int> start, order;
+        const int* order_d = nullptr;
+        if (xi_c.empty()) {
+          start = IdentityCsr(e_count);
+        } else {
+          BuildScatterCsr(xi_c, x_rows, start, order);
+          order_d = order.data();
+        }
+        // dX[j] += Σ_{e: xi[e]=j} w_e · (∂γ/∂x ⊙ g[seg[e]]):
+        //   kCopy/kSubtract → w_e · g[seg[e]]  (γ = kCopy over g)
+        //   kMultiply       → w_e · rel[ri[e]] ⊙ g[seg[e]]
+        if (kg == simd::Gamma::kMultiply) {
+          CsrGammaAccum(gx, rel_d, ri_d, g, seg_d, w_d, 1.0f, start, order_d,
+                        x_rows, m, simd::Gamma::kMultiply);
+        } else {
+          CsrGammaAccum(gx, g, seg_d, nullptr, nullptr, w_d, 1.0f, start,
+                        order_d, x_rows, m, simd::Gamma::kCopy);
+        }
+      }
+      if (rel_impl && rel_impl->requires_grad) {
+        float* grel = GradBuf(rel_impl);
+        std::vector<int> start, order;
+        const int* order_d = nullptr;
+        if (ri_c.empty()) {
+          start = IdentityCsr(e_count);
+        } else {
+          BuildScatterCsr(ri_c, rel_rows, start, order);
+          order_d = order.data();
+        }
+        // dRel[r] += Σ_{e: ri[e]=r} w_e · (∂γ/∂rel ⊙ g[seg[e]]):
+        //   kMultiply → w_e · x[xi[e]] ⊙ g[seg[e]]
+        //   kSubtract → −w_e · g[seg[e]]          (sign = −1, exact)
+        if (kg == simd::Gamma::kMultiply) {
+          CsrGammaAccum(grel, xd, xi_d, g, seg_d, w_d, 1.0f, start, order_d,
+                        rel_rows, m, simd::Gamma::kMultiply);
+        } else {
+          CsrGammaAccum(grel, g, seg_d, nullptr, nullptr, w_d, -1.0f, start,
+                        order_d, rel_rows, m, simd::Gamma::kCopy);
+        }
+      }
+      if (w_impl && w_impl->requires_grad) {
+        float* gw = GradBuf(w_impl);
+        // dw[e] = γ(x[xi[e]], rel[ri[e]]) · g[seg[e]] — edge-parallel, then
+        // accumulated into the grad buffer chunk by chunk.
+        std::vector<float> tmp(e_count);
+        float* tmp_d = tmp.data();
+        ParallelFor(e_count, [&](int64_t e0, int64_t e1) {
+          AuditWriteRange(gw, e0, e1);
+          const simd::KernelTable& kt = simd::K();
+          kt.gamma_dot_edges(tmp_d, xd, xi_d, rel_d, ri_d, g, seg_d, e0, e1,
+                             m, kg);
+          kt.acc(gw, tmp_d, e0, e1);
+        });
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor EdgeConcatMatVecLeakyRelu(const std::vector<EdgePart>& parts,
+                                 const Tensor& a, float alpha) {
+  // prim-lint: allow(check-message): an empty part list has no value to name.
+  PRIM_CHECK_MSG(!parts.empty(), "EdgeConcatMatVecLeakyRelu needs parts");
+  // The backward pass recovers the activation slope from the sign of the
+  // *output*, which matches the pre-activation's sign only for slopes in
+  // [0, 1).
+  PRIM_CHECK_MSG(0.0f <= alpha && alpha < 1.0f,
+                 "EdgeConcatMatVecLeakyRelu alpha " << alpha
+                                                    << " outside [0, 1)");
+  int e_count = -1;
+  int total_cols = 0;
+  for (const EdgePart& p : parts) {
+    const int pe = p.index.empty() ? p.values.rows()
+                                   : static_cast<int>(p.index.size());
+    if (e_count < 0) e_count = pe;
+    PRIM_CHECK_MSG(pe == e_count, "EdgeConcatMatVecLeakyRelu part edge count "
+                                      << pe << " vs " << e_count);
+    if (!p.index.empty())
+      CheckIndex("EdgeConcatMatVecLeakyRelu", "part", p.index,
+                 p.values.rows());
+    total_cols += p.values.cols();
+  }
+  PRIM_CHECK_MSG(a.rows() == total_cols && a.cols() == 1,
+                 "EdgeConcatMatVecLeakyRelu weights " << a.ShapeString()
+                                                      << " vs concat width "
+                                                      << total_cols);
+
+  const int64_t flops = 2 * static_cast<int64_t>(e_count) * total_cols;
+  ScopedOpTimer timer("FusedAttnScore", flops,
+                      4 * static_cast<int64_t>(e_count) * total_cols);
+  std::vector<Tensor> tensor_parents;
+  tensor_parents.reserve(parts.size() + 1);
+  for (const EdgePart& p : parts) tensor_parents.push_back(p.values);
+  tensor_parents.push_back(a);
+  bool record = false;
+  Tensor out = MakeResult("FusedAttnScore", e_count, 1,
+                          std::move(tensor_parents), record);
+
+  std::vector<simd::ConcatPart> kparts;
+  kparts.reserve(parts.size());
+  for (const EdgePart& p : parts)
+    kparts.push_back({p.values.data(), p.values.cols(),
+                      p.index.empty() ? nullptr : p.index.data()});
+  float* od = out.data();
+  const float* ad = a.data();
+  const int num_parts = static_cast<int>(parts.size());
+  ParallelFor(e_count, [&](int64_t e0, int64_t e1) {
+    AuditWriteRange(od, e0, e1);
+    simd::K().concat_matvec_lrelu(od, kparts.data(), num_parts, ad, alpha,
+                                  e0, e1);
+  });
+
+  if (record) {
+    struct PartRef {
+      TensorImpl* values;
+      std::vector<int> index;
+      int cols;
+    };
+    std::vector<PartRef> refs;
+    refs.reserve(parts.size());
+    for (const EdgePart& p : parts)
+      refs.push_back({p.values.raw(), p.index, p.values.cols()});
+    TensorImpl* a_impl = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 2 * flops;
+    oi->bwd_bytes = 4 * 2 * static_cast<int64_t>(e_count) * total_cols;
+    out.impl()->backward_fn = [refs = std::move(refs), a_impl, oi, e_count,
+                               total_cols, alpha]() {
+      const simd::KernelTable& kt = simd::K();
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      // Scored slope per edge: s[e] = g[e] · (out[e] > 0 ? 1 : alpha).
+      std::vector<float> s(e_count, 0.0f);
+      float* s_d = s.data();
+      detail::ParallelElems(s_d, e_count, [&](int64_t e0, int64_t e1) {
+        kt.leaky_relu_bwd(s_d, g, y, alpha, e0, e1);
+      });
+      const float* a_d = a_impl->data.data();
+      if (a_impl->requires_grad) {
+        // da[j] += Σ_e s[e] · concat_e[j], via fixed 4096-edge block
+        // partials combined in ascending block order (thread-count
+        // independent, same pattern as BlockedReduce).
+        std::vector<simd::ConcatPart> kparts;
+        kparts.reserve(refs.size());
+        for (const auto& r : refs)
+          kparts.push_back({r.values->data.data(), r.cols,
+                            r.index.empty() ? nullptr : r.index.data()});
+        const int num_parts = static_cast<int>(kparts.size());
+        const int64_t blocks =
+            (e_count + detail::kReduceBlock - 1) / detail::kReduceBlock;
+        std::vector<float> partial(
+            static_cast<size_t>(blocks) * total_cols, 0.0f);
+        float* pa = partial.data();
+        ParallelFor(blocks, [&](int64_t b0, int64_t b1) {
+          AuditWriteRange(pa, b0 * total_cols, b1 * total_cols);
+          for (int64_t b = b0; b < b1; ++b) {
+            const int64_t lo = b * detail::kReduceBlock;
+            const int64_t hi = std::min<int64_t>(
+                e_count, lo + detail::kReduceBlock);
+            kt.concat_matvec_da_block(pa + b * total_cols, kparts.data(),
+                                      num_parts, s_d, lo, hi);
+          }
+        });
+        float* ga = GradBuf(a_impl);
+        for (int64_t b = 0; b < blocks; ++b)
+          kt.acc(ga, pa + b * total_cols, 0, total_cols);
+      }
+      // dpart_p(e)[j] += s[e] · a[offset_p + j]. Parts run sequentially:
+      // several parts may alias one base tensor (e.g. the same projection
+      // gathered by src and by dst), so each part gets its own audited
+      // region and rows accumulate within a part in CSR (ascending-edge)
+      // order.
+      int offset = 0;
+      for (const auto& r : refs) {
+        if (r.values->requires_grad) {
+          float* gp = GradBuf(r.values);
+          const float* a_slice = a_d + offset;
+          const int cols = r.cols;
+          if (r.index.empty()) {
+            ParallelFor(e_count, [&](int64_t e0, int64_t e1) {
+              AuditWriteRange(gp, e0 * cols, e1 * cols);
+              kt.axpy_rows(gp, a_slice, s_d, e0, e1, cols);
+            });
+          } else {
+            const int rows = r.values->rows;
+            std::vector<int> start, order;
+            BuildScatterCsr(r.index, rows, start, order);
+            const int* start_d = start.data();
+            const int* order_d = order.data();
+            ParallelFor(rows, [&](int64_t t0, int64_t t1) {
+              AuditWriteRange(gp, t0 * cols, t1 * cols);
+              kt.scatter_axpy_rows(gp, a_slice, s_d, start_d, order_d, t0,
+                                   t1, cols);
+            });
+          }
+        }
+        offset += r.cols;
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor EdgeDot(const Tensor& x, const std::vector<int>& xi, const Tensor& y,
+               const std::vector<int>& yi) {
+  const int m = x.cols();
+  PRIM_CHECK_MSG(y.cols() == m, "EdgeDot shapes " << x.ShapeString() << " · "
+                                                  << y.ShapeString());
+  const int e_count = xi.empty() ? x.rows() : static_cast<int>(xi.size());
+  if (xi.empty()) {
+    PRIM_CHECK_MSG(x.rows() == e_count, "EdgeDot x " << x.ShapeString()
+                                                     << " vs " << e_count
+                                                     << " edges");
+  } else {
+    CheckIndex("EdgeDot", "x", xi, x.rows());
+  }
+  if (yi.empty()) {
+    PRIM_CHECK_MSG(y.rows() == e_count, "EdgeDot y " << y.ShapeString()
+                                                     << " vs " << e_count
+                                                     << " edges");
+  } else {
+    PRIM_CHECK_MSG(static_cast<int>(yi.size()) == e_count,
+                   "EdgeDot yi size " << yi.size() << " vs " << e_count
+                                      << " edges");
+    CheckIndex("EdgeDot", "y", yi, y.rows());
+  }
+
+  const int64_t flops = 2 * static_cast<int64_t>(e_count) * m;
+  ScopedOpTimer timer("FusedEdgeDot", flops,
+                      4 * 2 * static_cast<int64_t>(e_count) * m);
+  bool record = false;
+  Tensor out = MakeResult("FusedEdgeDot", e_count, 1, {x, y}, record);
+  const int* xi_d = xi.empty() ? nullptr : xi.data();
+  const int* yi_d = yi.empty() ? nullptr : yi.data();
+  float* od = out.data();
+  ParallelFor(e_count, [&](int64_t e0, int64_t e1) {
+    AuditWriteRange(od, e0, e1);
+    simd::K().gamma_dot_edges(od, x.data(), xi_d, nullptr, nullptr, y.data(),
+                              yi_d, e0, e1, m, simd::Gamma::kCopy);
+  });
+
+  if (record) {
+    TensorImpl* x_impl = x.raw();
+    TensorImpl* y_impl = y.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 2 * flops;
+    oi->bwd_bytes = 4 * 3 * static_cast<int64_t>(e_count) * m;
+    auto xi_c = xi;
+    auto yi_c = yi;
+    const int x_rows = x.rows();
+    const int y_rows = y.rows();
+    out.impl()->backward_fn = [x_impl, y_impl, oi, xi_c = std::move(xi_c),
+                               yi_c = std::move(yi_c), x_rows, y_rows,
+                               e_count, m]() {
+      const float* g = oi->grad.data();
+      const int* xi_d = xi_c.empty() ? nullptr : xi_c.data();
+      const int* yi_d = yi_c.empty() ? nullptr : yi_c.data();
+      // dX[j] += Σ_{e: xi[e]=j} g[e] · y[yi[e]]  (and symmetrically for
+      // dY): the forward weight-gradient roles swap into a γ-scatter with
+      // the upstream grad as the edge weight.
+      auto scatter = [&](TensorImpl* dst, const std::vector<int>& di,
+                         int dst_rows, TensorImpl* src, const int* si) {
+        if (!dst->requires_grad) return;
+        float* gd = GradBuf(dst);
+        std::vector<int> start, order;
+        const int* order_d = nullptr;
+        if (di.empty()) {
+          start = IdentityCsr(e_count);
+        } else {
+          BuildScatterCsr(di, dst_rows, start, order);
+          order_d = order.data();
+        }
+        CsrGammaAccum(gd, src->data.data(), si, nullptr, nullptr, g, 1.0f,
+                      start, order_d, dst_rows, m, simd::Gamma::kCopy);
+      };
+      scatter(x_impl, xi_c, x_rows, y_impl, yi_d);
+      scatter(y_impl, yi_c, y_rows, x_impl, xi_d);
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+}  // namespace prim::nn

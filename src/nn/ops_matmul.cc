@@ -1,0 +1,117 @@
+#include "common/check.h"
+#include "nn/debug.h"
+#include "nn/ops.h"
+#include "nn/ops_common.h"
+#include "nn/profiler.h"
+
+namespace prim::nn {
+
+using detail::GradBuf;
+using detail::MakeResult;
+
+namespace {
+
+// Streaming-model traffic estimate for C = A·B (see the row_block note in
+// simd/kernels.h): A and C are touched once, B is re-streamed once per
+// row_block rows of A. Footprint would be 4·(nk + km + nm) — reported
+// traffic is deliberately larger because that is what the memory system
+// actually moves.
+int64_t MatMulTrafficBytes(int64_t n, int64_t k, int64_t m,
+                           int64_t row_block) {
+  const int64_t b_streams = (n + row_block - 1) / row_block;
+  return 4 * (n * k + n * m + k * m * b_streams);
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PRIM_CHECK_MSG(a.cols() == b.rows(), "MatMul shapes " << a.ShapeString()
+                                                        << " * "
+                                                        << b.ShapeString());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  const simd::KernelTable& kt = simd::K();
+  const int64_t flops = 2 * static_cast<int64_t>(n) * k * m;
+  ScopedOpTimer timer("MatMul", flops,
+                      MatMulTrafficBytes(n, k, m, kt.row_block));
+  bool record = false;
+  Tensor out = MakeResult("MatMul", n, m, {a, b}, record);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  // No sparsity short-circuit on zero entries of A: 0 * Inf must produce
+  // NaN so AnomalyGuard sees poisoned activations (the SIMD kernels are
+  // branch-free anyway).
+  ParallelFor(n, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(od, r0 * m, r1 * m);
+    kt.matmul_rows(ad, bd, od, r0, r1, k, m);
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* bi = b.raw();
+    TensorImpl* oi = out.raw();
+    const bool need_da = ai->requires_grad;
+    const bool need_db = bi->requires_grad;
+    oi->bwd_flops = (need_da ? flops : 0) + (need_db ? flops : 0);
+    // dA streams B fully per output row; dB streams dC fully per k-row.
+    oi->bwd_bytes =
+        (need_da ? MatMulTrafficBytes(n, m, k, 1) : 0) +
+        (need_db ? 4 * (static_cast<int64_t>(k) * m +
+                        static_cast<int64_t>(n) * k +
+                        static_cast<int64_t>(k) * n * m)
+                 : 0);
+    out.impl()->backward_fn = [ai, bi, oi, n, k, m]() {
+      const simd::KernelTable& kt = simd::K();
+      const float* g = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ga = GradBuf(ai);
+        const float* bd = bi->data.data();
+        // dA = dC * B^T, rows of dA are disjoint across threads.
+        ParallelFor(n, [&](int64_t r0, int64_t r1) {
+          AuditWriteRange(ga, r0 * k, r1 * k);
+          kt.matmul_da_rows(g, bd, ga, r0, r1, k, m);
+        });
+      }
+      if (bi->requires_grad) {
+        float* gb = GradBuf(bi);
+        const float* ad = ai->data.data();
+        // dB = A^T * dC; partition over rows of dB (i.e. k) for disjoint
+        // writes.
+        ParallelFor(k, [&](int64_t k0, int64_t k1) {
+          AuditWriteRange(gb, k0 * m, k1 * m);
+          kt.matmul_db_rows(ad, g, gb, k0, k1, n, k, m);
+        });
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("Transpose", 0, 4 * 2 * a.size());
+  bool record = false;
+  Tensor out = MakeResult("Transpose", m, n, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      od[static_cast<int64_t>(j) * n + i] = ad[static_cast<int64_t>(i) * m + j];
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_bytes = 4 * 2 * a.size();
+    out.impl()->backward_fn = [ai, oi, n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < m; ++j)
+          ga[static_cast<int64_t>(i) * m + j] += g[static_cast<int64_t>(j) * n + i];
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,321 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/debug.h"
+#include "nn/ops.h"
+#include "nn/ops_common.h"
+#include "nn/profiler.h"
+
+namespace prim::nn {
+
+using detail::BlockedReduce;
+using detail::GradBuf;
+using detail::MakeResult;
+using detail::ParallelElems;
+using detail::ParallelRows;
+
+Tensor SumAll(const Tensor& a) {
+  ScopedOpTimer timer("SumAll", a.size(), 4 * a.size());
+  bool record = false;
+  Tensor out = MakeResult("SumAll", 1, 1, {a}, record);
+  const float* ad = a.data();
+  const int64_t total = a.size();
+  // Deterministic fixed-block parallel reduction (see ops_common.h): the
+  // hot loss path used to run this serially on one thread.
+  out.data()[0] = static_cast<float>(BlockedReduce(
+      total,
+      [&](int64_t lo, int64_t hi) { return simd::K().sum(ad, lo, hi); }));
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = total;
+    oi->bwd_bytes = 4 * 2 * total;
+    out.impl()->backward_fn = [ai, oi, total]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float g = oi->grad[0];
+      ParallelElems(ga, total, [&](int64_t i0, int64_t i1) {
+        simd::K().add_scalar(ga, ga, g, i0, i1);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  PRIM_CHECK_MSG(a.size() > 0, "MeanAll of empty tensor " << a.ShapeString());
+  return Scale(SumAll(a), 1.0f / static_cast<float>(a.size()));
+}
+
+Tensor RowSum(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("RowSum", a.size(), 4 * a.size());
+  bool record = false;
+  Tensor out = MakeResult("RowSum", n, 1, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  ParallelRows(od, n, 1, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float acc = 0.0f;
+      const float* row = ad + i * m;
+      for (int j = 0; j < m; ++j) acc += row[j];
+      od[i] = acc;
+    }
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = a.size();
+    oi->bwd_bytes = 4 * 2 * a.size();
+    out.impl()->backward_fn = [ai, oi, n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      ParallelRows(ga, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = ga + i * m;
+          simd::K().add_scalar(row, row, g[i], 0, m);
+        }
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor RowMean(const Tensor& a) {
+  PRIM_CHECK_MSG(a.cols() > 0, "RowMean of " << a.ShapeString());
+  return Scale(RowSum(a), 1.0f / static_cast<float>(a.cols()));
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  PRIM_CHECK_MSG(m > 0, "RowSoftmax of " << a.ShapeString());
+  ScopedOpTimer timer("RowSoftmax", 4 * a.size(), 4 * 2 * a.size());
+  bool record = false;
+  Tensor out = MakeResult("RowSoftmax", n, m, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = ad + i * m;
+      float* orow = od + i * m;
+      float mx = row[0];
+      for (int j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (int j = 0; j < m; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        z += orow[j];
+      }
+      for (int j = 0; j < m; ++j) orow[j] = static_cast<float>(orow[j] / z);
+    }
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 4 * a.size();
+    oi->bwd_bytes = 4 * 3 * a.size();
+    out.impl()->backward_fn = [ai, oi, n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      ParallelRows(ga, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* grow = g + i * m;
+          const float* yrow = y + i * m;
+          float* garow = ga + i * m;
+          double dot = 0.0;
+          for (int j = 0; j < m; ++j)
+            dot += static_cast<double>(grow[j]) * yrow[j];
+          for (int j = 0; j < m; ++j)
+            garow[j] += yrow[j] * (grow[j] - static_cast<float>(dot));
+        }
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  const int n = a.rows(), m = a.cols();
+  ScopedOpTimer timer("RowL2Normalize", 3 * a.size(), 4 * 2 * a.size());
+  bool record = false;
+  Tensor out = MakeResult("RowL2Normalize", n, m, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  std::vector<float> norms(n);
+  float* nd = norms.data();
+  ParallelRows(od, n, m, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(nd, r0, r1);
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = ad + i * m;
+      double s = 0.0;
+      for (int j = 0; j < m; ++j) s += static_cast<double>(row[j]) * row[j];
+      nd[i] = std::max(static_cast<float>(std::sqrt(s)), eps);
+      float* orow = od + i * m;
+      for (int j = 0; j < m; ++j) orow[j] = row[j] / nd[i];
+    }
+  });
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    oi->bwd_flops = 5 * a.size();
+    oi->bwd_bytes = 4 * 3 * a.size();
+    out.impl()->backward_fn = [ai, oi, norms = std::move(norms), n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      // dx = (g - y (y·g)) / ||x||
+      ParallelRows(ga, n, m, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* grow = g + i * m;
+          const float* yrow = y + i * m;
+          float* garow = ga + i * m;
+          double dot = 0.0;
+          for (int j = 0; j < m; ++j)
+            dot += static_cast<double>(grow[j]) * yrow[j];
+          for (int j = 0; j < m; ++j)
+            garow[j] +=
+                (grow[j] - yrow[j] * static_cast<float>(dot)) / norms[i];
+        }
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
+  const int n = logits.rows();
+  PRIM_CHECK_MSG(logits.cols() == 1, "BceWithLogits expects n x 1 logits, got "
+                                         << logits.ShapeString());
+  PRIM_CHECK_MSG(static_cast<int>(labels.size()) == n,
+                 "BceWithLogits labels size " << labels.size() << " vs logits "
+                                              << logits.ShapeString());
+  ScopedOpTimer timer("BceWithLogits", 6 * static_cast<int64_t>(n),
+                      4 * 2 * static_cast<int64_t>(n));
+  bool record = false;
+  Tensor out = MakeResult("BceWithLogits", 1, 1, {logits}, record);
+  const float* sd = logits.data();
+  const float* yd = labels.data();
+  // Fixed-block deterministic parallel loss reduction: per-element math is
+  // scalar libm (identical at every dispatch level), the block partials
+  // combine in a fixed order (see ops_common.h).
+  const double acc = BlockedReduce(n, [&](int64_t lo, int64_t hi) {
+    double p = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      const float s = sd[i];
+      p += std::max(s, 0.0f) - s * yd[i] +
+           std::log1p(std::exp(-std::abs(s)));
+    }
+    return p;
+  });
+  out.data()[0] = static_cast<float>(acc / n);
+  if (record) {
+    TensorImpl* li = logits.raw();
+    TensorImpl* oi = out.raw();
+    auto y = labels;
+    oi->bwd_flops = 6 * static_cast<int64_t>(n);
+    oi->bwd_bytes = 4 * 3 * static_cast<int64_t>(n);
+    out.impl()->backward_fn = [li, oi, y = std::move(y), n]() {
+      if (!li->requires_grad) return;
+      float* gl = GradBuf(li);
+      const float g = oi->grad[0] / static_cast<float>(n);
+      const float* s = li->data.data();
+      ParallelElems(gl, n, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          // d/ds BCE = sigmoid(s) - y, computed stably.
+          float sig;
+          if (s[i] >= 0.0f) {
+            float z = std::exp(-s[i]);
+            sig = 1.0f / (1.0f + z);
+          } else {
+            float z = std::exp(s[i]);
+            sig = z / (1.0f + z);
+          }
+          gl[i] += g * (sig - y[i]);
+        }
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels) {
+  const int n = logits.rows(), c = logits.cols();
+  PRIM_CHECK_MSG(static_cast<int>(labels.size()) == n,
+                 "SoftmaxCrossEntropy labels size " << labels.size()
+                                                    << " vs logits "
+                                                    << logits.ShapeString());
+  for (int l : labels)
+    PRIM_CHECK_MSG(0 <= l && l < c,
+                   "SoftmaxCrossEntropy label " << l << " out of " << c);
+  ScopedOpTimer timer("SoftmaxCrossEntropy",
+                      5 * static_cast<int64_t>(n) * c,
+                      4 * 2 * static_cast<int64_t>(n) * c);
+  bool record = false;
+  Tensor out = MakeResult("SoftmaxCrossEntropy", 1, 1, {logits}, record);
+  const float* ld = logits.data();
+  // Cache softmax probabilities for the backward pass. The row-wise softmax
+  // is parallel (disjoint prob rows); the scalar loss reduction uses the
+  // fixed-block deterministic parallel pattern, so the loss bits are
+  // identical at any thread count.
+  std::vector<float> probs(static_cast<size_t>(n) * c);
+  float* pd = probs.data();
+  ParallelRows(pd, n, c, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = ld + i * c;
+      float* prow = pd + i * c;
+      float mx = row[0];
+      for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (int j = 0; j < c; ++j) {
+        prow[j] = std::exp(row[j] - mx);
+        z += prow[j];
+      }
+      for (int j = 0; j < c; ++j) prow[j] = static_cast<float>(prow[j] / z);
+    }
+  });
+  const int* lab_d = labels.data();
+  const double acc = BlockedReduce(n, [&](int64_t lo, int64_t hi) {
+    double p = 0.0;
+    for (int64_t i = lo; i < hi; ++i)
+      p -= std::log(std::max(pd[i * c + lab_d[i]], 1e-12f));
+    return p;
+  });
+  out.data()[0] = static_cast<float>(acc / n);
+  if (record) {
+    TensorImpl* li = logits.raw();
+    TensorImpl* oi = out.raw();
+    auto lab = labels;
+    oi->bwd_flops = 2 * static_cast<int64_t>(n) * c;
+    oi->bwd_bytes = 4 * 3 * static_cast<int64_t>(n) * c;
+    out.impl()->backward_fn = [li, oi, lab = std::move(lab),
+                               probs = std::move(probs), n, c]() {
+      if (!li->requires_grad) return;
+      float* gl = GradBuf(li);
+      const float g = oi->grad[0] / static_cast<float>(n);
+      ParallelRows(gl, n, c, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* prow = probs.data() + i * c;
+          float* grow = gl + i * c;
+          for (int j = 0; j < c; ++j) {
+            float delta = (j == lab[i]) ? 1.0f : 0.0f;
+            grow[j] += g * (prow[j] - delta);
+          }
+        }
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,230 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "nn/debug.h"
+#include "nn/ops.h"
+#include "nn/ops_common.h"
+#include "nn/profiler.h"
+
+namespace prim::nn {
+
+using detail::BuildScatterCsr;
+using detail::GradBuf;
+using detail::MakeResult;
+
+Tensor Gather(const Tensor& x, const std::vector<int>& index) {
+  const int n = static_cast<int>(index.size());
+  const int m = x.cols();
+  for (int idx : index)
+    PRIM_CHECK_MSG(0 <= idx && idx < x.rows(), "Gather index " << idx
+                                                               << " out of "
+                                                               << x.rows());
+  ScopedOpTimer timer("Gather", 0, 4 * 2 * static_cast<int64_t>(n) * m);
+  bool record = false;
+  Tensor out = MakeResult("Gather", n, m, {x}, record);
+  const float* xd = x.data();
+  float* od = out.data();
+  ParallelFor(n, [&](int64_t r0, int64_t r1) {
+    AuditWriteRange(od, r0 * m, r1 * m);
+    for (int64_t i = r0; i < r1; ++i)
+      std::memcpy(od + i * m, xd + static_cast<int64_t>(index[i]) * m,
+                  sizeof(float) * m);
+  });
+  if (record) {
+    TensorImpl* xi = x.raw();
+    TensorImpl* oi = out.raw();
+    const int rows = x.rows();
+    auto idx = index;  // Copy for the closure.
+    oi->bwd_flops = static_cast<int64_t>(n) * m;
+    oi->bwd_bytes = 4 * 3 * static_cast<int64_t>(n) * m;
+    out.impl()->backward_fn = [xi, oi, idx = std::move(idx), n, m, rows]() {
+      if (!xi->requires_grad) return;
+      const simd::KernelTable& kt = simd::K();
+      float* gx = GradBuf(xi);
+      const float* g = oi->grad.data();
+      // Scatter-add with repeated target rows: group the gathered rows by
+      // target via a stable counting-sort CSR so each chunk owns a disjoint
+      // range of gx rows — no races, and each row accumulates in the same
+      // ascending order as the sequential loop (bitwise identical). With a
+      // single worker (and no audit forcing chunks) the CSR buys nothing,
+      // so skip its construction and scatter directly.
+      if (NumWorkerThreads() == 1 && !ParallelAuditEnabled()) {
+        for (int i = 0; i < n; ++i)
+          kt.acc(gx + static_cast<int64_t>(idx[i]) * m,
+                 g + static_cast<int64_t>(i) * m, 0, m);
+        return;
+      }
+      std::vector<int> start, order;
+      BuildScatterCsr(idx, rows, start, order);
+      ParallelFor(rows, [&](int64_t r0, int64_t r1) {
+        AuditWriteRange(gx, r0 * m, r1 * m);
+        kt.gamma_csr_accum(gx, g, nullptr, nullptr, nullptr, nullptr, 1.0f,
+                           start.data(), order.data(), r0, r1, m,
+                           simd::Gamma::kCopy);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor SegmentSum(const Tensor& x, const std::vector<int>& segment,
+                  int num_segments) {
+  const int n = x.rows(), m = x.cols();
+  PRIM_CHECK_MSG(static_cast<int>(segment.size()) == n,
+                 "SegmentSum segment size " << segment.size() << " vs rows "
+                                            << n);
+  for (int s : segment)
+    PRIM_CHECK_MSG(0 <= s && s < num_segments,
+                   "SegmentSum segment id " << s << " out of " << num_segments);
+  ScopedOpTimer timer("SegmentSum", static_cast<int64_t>(n) * m,
+                      4 * (static_cast<int64_t>(n) * m +
+                           static_cast<int64_t>(num_segments) * m));
+  bool record = false;
+  Tensor out = MakeResult("SegmentSum", num_segments, m, {x}, record);
+  const float* xd = x.data();
+  float* od = out.data();
+  // Scatter-add grouped by destination segment so each chunk owns a
+  // disjoint range of output rows. When the caller pre-sorted rows by
+  // segment (model edges are stored dst-sorted for exactly this reason) the
+  // CSR is the identity and reads stay fully sequential in memory; either
+  // way each segment accumulates its rows in ascending input order, bitwise
+  // identical to the sequential scatter loop.
+  const bool sorted = std::is_sorted(segment.begin(), segment.end());
+  std::vector<int> start, order;
+  if (sorted) {
+    start.assign(static_cast<size_t>(num_segments) + 1, 0);
+    for (int s : segment) ++start[s + 1];
+    for (int s = 0; s < num_segments; ++s) start[s + 1] += start[s];
+  } else {
+    BuildScatterCsr(segment, num_segments, start, order);
+  }
+  const int* order_d = sorted ? nullptr : order.data();
+  ParallelFor(num_segments, [&](int64_t s0, int64_t s1) {
+    AuditWriteRange(od, s0 * m, s1 * m);
+    simd::K().gamma_csr_accum(od, xd, nullptr, nullptr, nullptr, nullptr,
+                              1.0f, start.data(), order_d, s0, s1, m,
+                              simd::Gamma::kCopy);
+  });
+  if (record) {
+    TensorImpl* xi = x.raw();
+    TensorImpl* oi = out.raw();
+    auto seg = segment;
+    oi->bwd_flops = static_cast<int64_t>(n) * m;
+    oi->bwd_bytes = 4 * 3 * static_cast<int64_t>(n) * m;
+    out.impl()->backward_fn = [xi, oi, seg = std::move(seg), n, m]() {
+      if (!xi->requires_grad) return;
+      const simd::KernelTable& kt = simd::K();
+      float* gx = GradBuf(xi);
+      const float* g = oi->grad.data();
+      ParallelFor(n, [&](int64_t r0, int64_t r1) {
+        AuditWriteRange(gx, r0 * m, r1 * m);
+        for (int64_t i = r0; i < r1; ++i)
+          kt.acc(gx + i * m, g + static_cast<int64_t>(seg[i]) * m, 0, m);
+      });
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment,
+                      int num_segments) {
+  const int n = scores.rows();
+  PRIM_CHECK_MSG(scores.cols() == 1, "SegmentSoftmax expects a column vector, got "
+                                         << scores.ShapeString());
+  PRIM_CHECK_MSG(static_cast<int>(segment.size()) == n,
+                 "SegmentSoftmax segment size " << segment.size()
+                                                << " vs rows " << n);
+  for (int s : segment)
+    PRIM_CHECK_MSG(0 <= s && s < num_segments,
+                   "SegmentSoftmax segment id " << s << " out of "
+                                                << num_segments);
+  ScopedOpTimer timer("SegmentSoftmax", 4 * static_cast<int64_t>(n),
+                      4 * 2 * static_cast<int64_t>(n));
+  bool record = false;
+  Tensor out = MakeResult("SegmentSoftmax", n, 1, {scores}, record);
+  const float* sd = scores.data();
+  float* od = out.data();
+  // With segment ids sorted (the model's dst-sorted edge layout) each
+  // segment is one contiguous range, so segments can be processed in
+  // parallel with disjoint writes; the per-segment max/exp-sum/normalize
+  // order matches the sequential pass exactly. Unsorted input keeps the
+  // sequential scatter path.
+  const bool sorted = std::is_sorted(segment.begin(), segment.end());
+  std::vector<int> start;
+  if (sorted) {
+    start.assign(static_cast<size_t>(num_segments) + 1, 0);
+    for (int s : segment) ++start[s + 1];
+    for (int s = 0; s < num_segments; ++s) start[s + 1] += start[s];
+    ParallelFor(num_segments, [&](int64_t s0, int64_t s1) {
+      AuditWriteRange(od, start[s0], start[s1]);
+      for (int64_t s = s0; s < s1; ++s) {
+        const int lo = start[s], hi = start[s + 1];
+        if (lo == hi) continue;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int i = lo; i < hi; ++i) mx = std::max(mx, sd[i]);
+        double z = 0.0;
+        for (int i = lo; i < hi; ++i) {
+          od[i] = std::exp(sd[i] - mx);
+          z += od[i];
+        }
+        for (int i = lo; i < hi; ++i) od[i] = static_cast<float>(od[i] / z);
+      }
+    });
+  } else {
+    std::vector<float> seg_max(num_segments,
+                               -std::numeric_limits<float>::infinity());
+    for (int i = 0; i < n; ++i)
+      seg_max[segment[i]] = std::max(seg_max[segment[i]], sd[i]);
+    std::vector<double> seg_sum(num_segments, 0.0);
+    for (int i = 0; i < n; ++i) {
+      od[i] = std::exp(sd[i] - seg_max[segment[i]]);
+      seg_sum[segment[i]] += od[i];
+    }
+    for (int i = 0; i < n; ++i)
+      od[i] = static_cast<float>(od[i] / seg_sum[segment[i]]);
+  }
+  if (record) {
+    TensorImpl* si = scores.raw();
+    TensorImpl* oi = out.raw();
+    auto seg = segment;
+    oi->bwd_flops = 4 * static_cast<int64_t>(n);
+    oi->bwd_bytes = 4 * 3 * static_cast<int64_t>(n);
+    out.impl()->backward_fn = [si, oi, seg = std::move(seg),
+                               start = std::move(start), sorted, n,
+                               num_segments]() {
+      if (!si->requires_grad) return;
+      float* gs = GradBuf(si);
+      const float* g = oi->grad.data();
+      const float* y = oi->data.data();
+      // ds_i = y_i * (g_i - sum_{j in seg} g_j y_j)
+      if (sorted) {
+        ParallelFor(num_segments, [&](int64_t s0, int64_t s1) {
+          AuditWriteRange(gs, start[s0], start[s1]);
+          for (int64_t s = s0; s < s1; ++s) {
+            const int lo = start[s], hi = start[s + 1];
+            double dot = 0.0;
+            for (int i = lo; i < hi; ++i)
+              dot += static_cast<double>(g[i]) * y[i];
+            for (int i = lo; i < hi; ++i)
+              gs[i] += y[i] * (g[i] - static_cast<float>(dot));
+          }
+        });
+      } else {
+        std::vector<double> seg_dot(num_segments, 0.0);
+        for (int i = 0; i < n; ++i)
+          seg_dot[seg[i]] += static_cast<double>(g[i]) * y[i];
+        for (int i = 0; i < n; ++i)
+          gs[i] += y[i] * (g[i] - static_cast<float>(seg_dot[seg[i]]));
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+}  // namespace prim::nn

@@ -1,0 +1,179 @@
+#include <cstring>
+
+#include "common/check.h"
+#include "nn/debug.h"
+#include "nn/ops.h"
+#include "nn/ops_common.h"
+#include "nn/profiler.h"
+
+namespace prim::nn {
+
+using detail::GradBuf;
+using detail::MakeResult;
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  // prim-lint: allow(check-message): an empty part list has no value to name.
+  PRIM_CHECK_MSG(!parts.empty(), "ConcatCols needs at least one part");
+  const int n = parts[0].rows();
+  int total_cols = 0;
+  for (const Tensor& p : parts) {
+    PRIM_CHECK_MSG(p.rows() == n, "ConcatCols row mismatch: part "
+                                      << p.ShapeString() << " vs first part "
+                                      << parts[0].ShapeString());
+    total_cols += p.cols();
+  }
+  ScopedOpTimer timer("ConcatCols", 0,
+                      4 * 2 * static_cast<int64_t>(n) * total_cols);
+  bool record = false;
+  Tensor out = MakeResult("ConcatCols", n, total_cols, parts, record);
+  float* od = out.data();
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    const int pc = p.cols();
+    const float* pd = p.data();
+    ParallelFor(n, [&](int64_t r0, int64_t r1) {
+      // Rows r0..r1 of this part's column block; ranges of different parts
+      // overlap at row granularity, so declare the whole row span.
+      AuditWriteRange(od, r0 * total_cols, r1 * total_cols);
+      for (int64_t i = r0; i < r1; ++i)
+        std::memcpy(od + i * total_cols + offset, pd + i * pc,
+                    sizeof(float) * pc);
+    });
+    offset += pc;
+  }
+  if (record) {
+    std::vector<TensorImpl*> raw;
+    raw.reserve(parts.size());
+    for (const Tensor& p : parts) raw.push_back(p.raw());
+    TensorImpl* oi = out.raw();
+    oi->bwd_bytes = 4 * 2 * static_cast<int64_t>(n) * total_cols;
+    out.impl()->backward_fn = [raw, oi, n, total_cols]() {
+      const simd::KernelTable& kt = simd::K();
+      const float* g = oi->grad.data();
+      int offset = 0;
+      for (TensorImpl* p : raw) {
+        const int pc = p->cols;
+        if (p->requires_grad) {
+          float* gp = GradBuf(p);
+          ParallelFor(n, [&](int64_t r0, int64_t r1) {
+            AuditWriteRange(gp, r0 * pc, r1 * pc);
+            for (int64_t i = r0; i < r1; ++i)
+              kt.acc(gp + i * pc, g + i * total_cols + offset, 0, pc);
+          });
+        }
+        offset += pc;
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  // prim-lint: allow(check-message): an empty part list has no value to name.
+  PRIM_CHECK_MSG(!parts.empty(), "ConcatRows needs at least one part");
+  const int m = parts[0].cols();
+  int total_rows = 0;
+  for (const Tensor& p : parts) {
+    PRIM_CHECK_MSG(p.cols() == m, "ConcatRows col mismatch: part "
+                                      << p.ShapeString() << " vs first part "
+                                      << parts[0].ShapeString());
+    total_rows += p.rows();
+  }
+  ScopedOpTimer timer("ConcatRows", 0,
+                      4 * 2 * static_cast<int64_t>(total_rows) * m);
+  bool record = false;
+  Tensor out = MakeResult("ConcatRows", total_rows, m, parts, record);
+  float* od = out.data();
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::memcpy(od + offset * m, p.data(),
+                sizeof(float) * static_cast<size_t>(p.size()));
+    offset += p.rows();
+  }
+  if (record) {
+    std::vector<TensorImpl*> raw;
+    raw.reserve(parts.size());
+    for (const Tensor& p : parts) raw.push_back(p.raw());
+    TensorImpl* oi = out.raw();
+    oi->bwd_bytes = 4 * 2 * static_cast<int64_t>(total_rows) * m;
+    out.impl()->backward_fn = [raw, oi, m]() {
+      const simd::KernelTable& kt = simd::K();
+      const float* g = oi->grad.data();
+      int64_t offset = 0;
+      for (TensorImpl* p : raw) {
+        if (p->requires_grad) {
+          float* gp = GradBuf(p);
+          const int64_t total = p->size();
+          const float* src = g + offset * m;
+          detail::ParallelElems(gp, total, [&](int64_t i0, int64_t i1) {
+            kt.acc(gp, src, i0, i1);
+          });
+        }
+        offset += p->rows;
+      }
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor TakePerRow(const Tensor& a, const std::vector<int>& col) {
+  const int n = a.rows(), m = a.cols();
+  PRIM_CHECK_MSG(static_cast<int>(col.size()) == n,
+                 "TakePerRow needs one column index per row: " << col.size()
+                                                               << " vs "
+                                                               << a.ShapeString());
+  for (int c : col)
+    PRIM_CHECK_MSG(0 <= c && c < m,
+                   "TakePerRow col " << c << " out of " << a.ShapeString());
+  bool record = false;
+  Tensor out = MakeResult("TakePerRow", n, 1, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i) od[i] = ad[static_cast<int64_t>(i) * m + col[i]];
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    auto c = col;
+    out.impl()->backward_fn = [ai, oi, c = std::move(c), n, m]() {
+      if (!ai->requires_grad) return;
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i) ga[static_cast<int64_t>(i) * m + c[i]] += g[i];
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int begin, int end) {
+  PRIM_CHECK_MSG(0 <= begin && begin < end && end <= a.cols(),
+                 "SliceCols [" << begin << "," << end << ") of "
+                               << a.ShapeString());
+  const int n = a.rows(), m = a.cols(), w = end - begin;
+  bool record = false;
+  Tensor out = MakeResult("SliceCols", n, w, {a}, record);
+  const float* ad = a.data();
+  float* od = out.data();
+  for (int i = 0; i < n; ++i)
+    std::memcpy(od + static_cast<int64_t>(i) * w,
+                ad + static_cast<int64_t>(i) * m + begin, sizeof(float) * w);
+  if (record) {
+    TensorImpl* ai = a.raw();
+    TensorImpl* oi = out.raw();
+    out.impl()->backward_fn = [ai, oi, begin, n, m, w]() {
+      if (!ai->requires_grad) return;
+      const simd::KernelTable& kt = simd::K();
+      float* ga = GradBuf(ai);
+      const float* g = oi->grad.data();
+      for (int i = 0; i < n; ++i)
+        kt.acc(ga + static_cast<int64_t>(i) * m + begin,
+               g + static_cast<int64_t>(i) * w, 0, w);
+    };
+  }
+  debug::CheckForwardFinite(out);
+  return out;
+}
+
+}  // namespace prim::nn

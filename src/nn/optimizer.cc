@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "nn/profiler.h"
+#include "nn/simd/kernels.h"
 
 namespace prim::nn {
 namespace {
@@ -31,6 +32,7 @@ void Optimizer::ZeroGrad() {
 
 float Optimizer::ClipGradNorm(float max_norm) {
   ScopedOpTimer timer("ClipGradNorm");
+  const simd::KernelTable& kt = simd::K();
   double sq = 0.0;
   for (Tensor& p : params_) {
     if (!p.has_grad()) continue;
@@ -43,11 +45,7 @@ float Optimizer::ClipGradNorm(float max_norm) {
       AuditWriteRange(pd, b0, b1);
       for (int64_t b = b0; b < b1; ++b) {
         const int64_t lo = b * kReduceBlock;
-        const int64_t hi = std::min(total, lo + kReduceBlock);
-        double acc = 0.0;
-        for (int64_t i = lo; i < hi; ++i)
-          acc += static_cast<double>(g[i]) * g[i];
-        pd[b] = acc;
+        pd[b] = kt.sq_sum(g, lo, std::min(total, lo + kReduceBlock));
       }
     });
     for (int64_t b = 0; b < blocks; ++b) sq += pd[b];
@@ -66,10 +64,9 @@ float Optimizer::ClipGradNorm(float max_norm) {
     for (Tensor& p : params_) {
       if (!p.has_grad()) continue;
       float* g = p.grad();
-      const int64_t total = p.size();
-      ParallelFor(total, [&](int64_t i0, int64_t i1) {
+      ParallelFor(p.size(), [&](int64_t i0, int64_t i1) {
         AuditWriteRange(g, i0, i1);
-        for (int64_t i = i0; i < i1; ++i) g[i] *= scale;
+        kt.scale(g, g, scale, i0, i1);
       });
     }
   }
@@ -81,17 +78,14 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float weight_decay)
 
 void Sgd::Step() {
   ScopedOpTimer timer("Sgd::Step");
+  const simd::KernelTable& kt = simd::K();
   for (Tensor& p : params_) {
     if (!p.has_grad()) continue;
     float* d = p.data();
     const float* g = p.grad();
-    const int64_t total = p.size();
-    ParallelFor(total, [&](int64_t i0, int64_t i1) {
+    ParallelFor(p.size(), [&](int64_t i0, int64_t i1) {
       AuditWriteRange(d, i0, i1);
-      for (int64_t i = i0; i < i1; ++i) {
-        float grad = g[i] + weight_decay_ * d[i];
-        d[i] -= lr_ * grad;
-      }
+      kt.sgd_chunk(d, g, lr_, weight_decay_, i0, i1);
     });
   }
 }
@@ -114,6 +108,7 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
 
 void Adam::Step() {
   ScopedOpTimer timer("Adam::Step");
+  const simd::KernelTable& kt = simd::K();
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -124,19 +119,12 @@ void Adam::Step() {
     const float* g = p.grad();
     float* m = m_[pi].data();
     float* v = v_[pi].data();
-    const int64_t total = p.size();
-    ParallelFor(total, [&](int64_t i0, int64_t i1) {
+    ParallelFor(p.size(), [&](int64_t i0, int64_t i1) {
       AuditWriteRange(d, i0, i1);
       AuditWriteRange(m, i0, i1);
       AuditWriteRange(v, i0, i1);
-      for (int64_t i = i0; i < i1; ++i) {
-        float grad = g[i] + weight_decay_ * d[i];
-        m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
-        v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
-        const float mhat = m[i] / bc1;
-        const float vhat = v[i] / bc2;
-        d[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-      }
+      kt.adam_chunk(d, g, m, v, lr_, beta1_, beta2_, bc1, bc2, eps_,
+                    weight_decay_, i0, i1);
     });
   }
 }

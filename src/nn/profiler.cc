@@ -25,6 +25,7 @@ std::atomic<bool> g_enabled{false};
 struct Row {
   int64_t calls = 0;
   double seconds = 0.0;
+  int64_t flops = 0;
   int64_t bytes = 0;
 };
 
@@ -54,12 +55,14 @@ void ResetProfiler() {
   r.rows.clear();
 }
 
-void RecordOpSample(const char* op, double seconds, int64_t bytes) {
+void RecordOpSample(const char* op, double seconds, int64_t flops,
+                    int64_t bytes) {
   Registry& r = GetRegistry();
   MutexLock lock(r.mu);
   Row& row = r.rows[op];
   ++row.calls;
   row.seconds += seconds;
+  row.flops += flops;
   row.bytes += bytes;
 }
 
@@ -70,7 +73,7 @@ std::vector<OpProfile> ProfilerSnapshot() {
     MutexLock lock(r.mu);
     out.reserve(r.rows.size());
     for (const auto& [name, row] : r.rows) {
-      out.push_back({name, row.calls, row.seconds, row.bytes});
+      out.push_back({name, row.calls, row.seconds, row.flops, row.bytes});
     }
   }
   std::sort(out.begin(), out.end(), [](const OpProfile& a, const OpProfile& b) {
@@ -85,14 +88,16 @@ std::string FormatProfilerReport() {
   for (const OpProfile& p : rows) total += p.seconds;
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-28s %10s %12s %9s %10s\n", "op",
-                "calls", "total_ms", "%time", "GB");
+  std::snprintf(line, sizeof(line), "%-28s %10s %12s %9s %10s %10s\n", "op",
+                "calls", "total_ms", "%time", "GFLOP", "GB_moved");
   out += line;
   for (const OpProfile& p : rows) {
-    std::snprintf(line, sizeof(line), "%-28s %10lld %12.3f %8.1f%% %10.3f\n",
+    std::snprintf(line, sizeof(line),
+                  "%-28s %10lld %12.3f %8.1f%% %10.3f %10.3f\n",
                   p.name.c_str(), static_cast<long long>(p.calls),
                   p.seconds * 1e3,
                   total > 0.0 ? 100.0 * p.seconds / total : 0.0,
+                  static_cast<double>(p.flops) / 1e9,
                   static_cast<double>(p.bytes) / 1e9);
     out += line;
   }

@@ -12,10 +12,15 @@ namespace prim::nn {
 //
 // When enabled (SetProfilerEnabled(true), TrainConfig::profile, or the
 // PRIM_PROFILE=1 environment variable), every op records its wall time,
-// call count, and an estimate of bytes touched into a process-wide
-// registry keyed by op name; backward passes are recorded under
-// "<op>/bwd". When disabled — the default — the per-op cost is a single
-// relaxed atomic load.
+// call count, floating-point work (flops), and an estimate of bytes
+// *moved* into a process-wide registry keyed by op name; backward passes
+// are recorded under "<op>/bwd". When disabled — the default — the per-op
+// cost is a single relaxed atomic load.
+//
+// flops and bytes are separate columns on purpose: bytes is a streaming
+// *traffic* model (operands are counted once per re-stream, e.g. MatMul's
+// B panel once per row block), not the operand footprint, so the two
+// columns give arithmetic intensity directly.
 //
 // The profiler measures the op bodies themselves, so numbers include any
 // ParallelFor dispatch overhead: exactly the cost a kernel PR wants to see.
@@ -25,7 +30,8 @@ struct OpProfile {
   std::string name;
   int64_t calls = 0;
   double seconds = 0.0;
-  int64_t bytes = 0;  // Sum of per-call bytes-touched estimates.
+  int64_t flops = 0;  // Sum of per-call floating-point-op counts.
+  int64_t bytes = 0;  // Sum of per-call bytes-moved (traffic) estimates.
 };
 
 /// Enables or disables profiling process-wide. Cheap to toggle; counters
@@ -45,27 +51,29 @@ std::vector<OpProfile> ProfilerSnapshot();
 std::string FormatProfilerReport();
 
 /// Adds one sample to the row for `op`. Usually called via ScopedOpTimer.
-void RecordOpSample(const char* op, double seconds, int64_t bytes);
+void RecordOpSample(const char* op, double seconds, int64_t flops,
+                    int64_t bytes);
 
 /// RAII timer: times its scope and records one sample for `op` on
 /// destruction. No-op (beyond one atomic load) when profiling is off.
 class ScopedOpTimer {
  public:
-  explicit ScopedOpTimer(const char* op, int64_t bytes = 0)
-      : op_(ProfilerEnabled() ? op : nullptr), bytes_(bytes) {
+  explicit ScopedOpTimer(const char* op, int64_t flops = 0, int64_t bytes = 0)
+      : op_(ProfilerEnabled() ? op : nullptr), flops_(flops), bytes_(bytes) {
     if (op_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedOpTimer() {
     if (op_ == nullptr) return;
     const auto end = std::chrono::steady_clock::now();
     RecordOpSample(op_, std::chrono::duration<double>(end - start_).count(),
-                   bytes_);
+                   flops_, bytes_);
   }
   ScopedOpTimer(const ScopedOpTimer&) = delete;
   ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
 
  private:
   const char* op_;
+  int64_t flops_;
   int64_t bytes_;
   std::chrono::steady_clock::time_point start_;
 };

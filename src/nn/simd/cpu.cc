@@ -1,0 +1,106 @@
+#include "nn/simd/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace prim::nn::simd {
+namespace {
+
+// Level encodings for the atomic override slot.
+constexpr int kUnset = -1;
+
+Level DetectFromCpu() {
+#if defined(PRIM_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  // Both AVX2 and FMA must be present: the micro-kernels mix the two ISA
+  // extensions freely (vfmadd on ymm registers).
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level EnvLevel(Level detected) {
+  const char* s = std::getenv("PRIM_SIMD");
+  if (s == nullptr || *s == '\0' || std::strcmp(s, "auto") == 0)
+    return detected;
+  if (std::strcmp(s, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(s, "avx2") == 0) {
+    PRIM_CHECK_MSG(detected == Level::kAvx2,
+                   "PRIM_SIMD=avx2 but this build/CPU supports only "
+                       << LevelName(detected));
+    return Level::kAvx2;
+  }
+  PRIM_CHECK_MSG(false, "PRIM_SIMD='" << s
+                                      << "' (want scalar, avx2, or auto)");
+}
+
+std::atomic<int>& OverrideSlot() {
+  static std::atomic<int> slot{kUnset};
+  return slot;
+}
+
+bool EnvFastMath() {
+  const char* s = std::getenv("PRIM_FAST_MATH");
+  return s != nullptr && *s != '\0' && std::strcmp(s, "0") != 0;
+}
+
+std::atomic<int>& FastMathSlot() {
+  static std::atomic<int> slot{kUnset};
+  return slot;
+}
+
+}  // namespace
+
+Level DetectedLevel() {
+  static const Level cached = DetectFromCpu();
+  return cached;
+}
+
+Level ActiveLevel() {
+  const int forced = OverrideSlot().load(std::memory_order_acquire);
+  if (forced != kUnset) return static_cast<Level>(forced);
+  static const Level resolved = EnvLevel(DetectedLevel());
+  return resolved;
+}
+
+void SetLevel(Level level) {
+  PRIM_CHECK_MSG(level == Level::kScalar || level == DetectedLevel(),
+                 "SetLevel(" << LevelName(level)
+                             << ") but this build/CPU supports only "
+                             << LevelName(DetectedLevel()));
+  OverrideSlot().store(static_cast<int>(level), std::memory_order_release);
+}
+
+void ResetLevel() {
+  OverrideSlot().store(kUnset, std::memory_order_release);
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool FastMathEnabled() {
+  const int forced = FastMathSlot().load(std::memory_order_acquire);
+  if (forced != kUnset) return forced != 0;
+  static const bool env = EnvFastMath();
+  return env;
+}
+
+void SetFastMath(bool enabled) {
+  FastMathSlot().store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+void ResetFastMath() {
+  FastMathSlot().store(kUnset, std::memory_order_release);
+}
+
+}  // namespace prim::nn::simd

@@ -1,0 +1,64 @@
+#ifndef PRIM_NN_SIMD_CPU_H_
+#define PRIM_NN_SIMD_CPU_H_
+
+/// Runtime CPU-feature detection and kernel-dispatch control for the SIMD
+/// micro-kernel layer (see nn/simd/kernels.h and DESIGN.md "SIMD & fused
+/// kernels").
+///
+/// The op layer never calls intrinsics directly; it fetches the active
+/// KernelTable via simd::K() (kernels.h), which resolves to the widest
+/// instruction set both the build and the running CPU support. Resolution
+/// order:
+///   1. SetLevel() override (tests forcing the scalar fallback),
+///   2. the PRIM_SIMD environment variable ("scalar", "avx2", "auto"),
+///   3. cpuid detection (AVX2 + FMA), capped by what was compiled in
+///      (PRIM_HAVE_AVX2; the no-AVX2 CI leg builds without it).
+///
+/// Every kernel has a scalar implementation that is bitwise-identical to
+/// the SIMD one by construction — same fused-multiply-adds, same lane-
+/// strided partial sums, same combining tree — so switching levels (or
+/// machines) never changes a single result bit. PRIM_FAST_MATH=1 opts into
+/// reassociating reductions instead; see FastMathEnabled().
+
+namespace prim::nn::simd {
+
+enum class Level {
+  kScalar = 0,  // Bitwise-specified reference path; always available.
+  kAvx2 = 1,    // AVX2 + FMA micro-kernels (x86-64 only).
+};
+
+/// Widest level supported by both this build and the running CPU.
+Level DetectedLevel();
+
+/// The level K() dispatches to right now.
+Level ActiveLevel();
+
+/// Forces dispatch to `level` (tests, benchmarks). Requesting a level wider
+/// than DetectedLevel() fails a PRIM_CHECK rather than silently executing
+/// illegal instructions. Thread-safe.
+void SetLevel(Level level);
+
+/// Restores the default resolution (env var, then detection).
+void ResetLevel();
+
+/// Human-readable level name ("scalar", "avx2").
+const char* LevelName(Level level);
+
+/// True when reassociating (fast-math) reductions are enabled, either via
+/// SetFastMath(true) or the PRIM_FAST_MATH=1 environment variable. In
+/// fast-math mode, scalar reductions (SumAll, loss sums, ClipGradNorm's
+/// squared norm) accumulate one partial per ParallelFor chunk instead of
+/// per fixed 4096-element block: results then depend on the worker-thread
+/// count, within a documented 1e-5 relative tolerance (DESIGN.md). The
+/// default mode is bitwise identical at every thread count.
+bool FastMathEnabled();
+
+/// Toggles fast-math reductions process-wide (tests). Thread-safe.
+void SetFastMath(bool enabled);
+
+/// Restores the PRIM_FAST_MATH environment default.
+void ResetFastMath();
+
+}  // namespace prim::nn::simd
+
+#endif  // PRIM_NN_SIMD_CPU_H_

@@ -1,0 +1,13 @@
+#include "nn/simd/cpu.h"
+#include "nn/simd/kernels.h"
+
+namespace prim::nn::simd {
+
+const KernelTable& K() {
+#ifdef PRIM_HAVE_AVX2
+  if (ActiveLevel() == Level::kAvx2) return Avx2Kernels();
+#endif
+  return ScalarKernels();
+}
+
+}  // namespace prim::nn::simd

@@ -1,0 +1,197 @@
+#ifndef PRIM_NN_SIMD_KERNELS_H_
+#define PRIM_NN_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+#include "nn/simd/cpu.h"
+
+/// SIMD micro-kernel layer: one table of function pointers per instruction
+/// set (scalar, AVX2+FMA), resolved at runtime by K(). The op layer in
+/// nn/ops_*.cc calls table entries from inside ParallelFor chunks; entries
+/// are deliberately coarse (whole row ranges, whole CSR segment ranges) so
+/// dispatch overhead is amortised over thousands of elements.
+///
+/// # The bitwise contract
+///
+/// Every entry's floating-point result is specified exactly, and the
+/// scalar implementation is that specification — the AVX2 path must
+/// reproduce it bit for bit (enforced by tests/nn/simd_parity_test.cc):
+///
+///  * Multiply-accumulate is fmaf(a, b, acc): one rounding per step, both
+///    paths. Plain adds/multiplies are single IEEE ops in both paths.
+///  * Dot products over m elements use EIGHT float lanes: lane p owns
+///    elements j with j % 8 == p of each full 8-block taken in ascending
+///    order; the tail (m % 8 elements) lands in lanes 0..tail-1; lanes
+///    combine with the fixed tree
+///        t0=l0+l4  t1=l1+l5  t2=l2+l6  t3=l3+l7
+///        u0=t0+t2  u1=t1+t3  result=u0+u1
+///    (CombineLanes8 below — shared by both implementations).
+///  * Double-precision reductions over float inputs (sums, squared norms)
+///    use FOUR double lanes the same way, with the tree
+///        t0=l0+l2  t1=l1+l3  result=t0+t1      (CombineLanes4).
+///  * Per-output-element accumulation order never depends on blocking or
+///    tiling: MatMul accumulates k ascending into each c[i][j], the
+///    scatter/segment kernels accumulate edges in CSR order. Parallel
+///    callers partition output rows, so results are also independent of
+///    the worker-thread count.
+///
+/// sqrt and division are IEEE correctly-rounded in both scalar and vector
+/// forms, so Adam may use them freely. Transcendentals (exp, tanh, log)
+/// are NOT in this table: libm scalar calls cannot be matched bitwise by
+/// vector approximations, so ops built on them stay scalar.
+namespace prim::nn::simd {
+
+/// γ composition of a gathered node row with a relation row, as in the
+/// WRGNN message function γ(h*_j, h_r) (paper Eq. 4).
+enum class Gamma : int {
+  kCopy = 0,      // γ(x, r) = x          (r ignored; plain g-SpMM)
+  kMultiply = 1,  // γ(x, r) = x ⊙ r
+  kSubtract = 2,  // γ(x, r) = x - r
+};
+
+/// One column block of a virtual [parts...] concatenation feeding a
+/// matrix-vector product. `index` maps an edge id to a row of `data`
+/// (nullptr: edge e reads row e directly).
+struct ConcatPart {
+  const float* data = nullptr;
+  int cols = 0;
+  const int* index = nullptr;
+};
+
+/// Fixed combining tree for 8 float lanes (see the bitwise contract).
+inline float CombineLanes8(const float* l) {
+  const float t0 = l[0] + l[4], t1 = l[1] + l[5];
+  const float t2 = l[2] + l[6], t3 = l[3] + l[7];
+  const float u0 = t0 + t2, u1 = t1 + t3;
+  return u0 + u1;
+}
+
+/// Fixed combining tree for 4 double lanes.
+inline double CombineLanes4(const double* l) {
+  const double t0 = l[0] + l[2], t1 = l[1] + l[3];
+  return t0 + t1;
+}
+
+struct KernelTable {
+  const char* name;
+
+  /// Rows of C the MatMul kernel processes together (its B-panel reuse
+  /// factor): B is streamed from memory once per `row_block` rows of A, so
+  /// traffic estimates are  4·(n·k + n·m + k·m·ceil(n/row_block)) bytes.
+  int row_block;
+
+  // --- Blocked MatMul, row-major. C is n x m, A n x k, B k x m. ---
+  // c[i][j] += Σ_kk fmaf(a[i][k..], b[..][j]) for kk ascending; rows
+  // [r0, r1).
+  void (*matmul_rows)(const float* a, const float* b, float* c, int64_t r0,
+                      int64_t r1, int k, int m);
+  // dA = dC·Bᵀ: ga[i][kk] += Dot(g[i,:], b[kk,:], m) (8-lane dot spec);
+  // rows [r0, r1) of ga.
+  void (*matmul_da_rows)(const float* g, const float* b, float* ga,
+                         int64_t r0, int64_t r1, int k, int m);
+  // dB = Aᵀ·dC: gb[kk][j] += Σ_i fmaf(a[i][kk], g[i][j]) for i ascending;
+  // rows [k0, k1) of gb.
+  void (*matmul_db_rows)(const float* a, const float* g, float* gb,
+                         int64_t k0, int64_t k1, int n, int k, int m);
+
+  // --- Pointwise over the flat index range [i0, i1). ---
+  void (*add)(float* o, const float* a, const float* b, int64_t i0,
+              int64_t i1);  // o = a + b
+  void (*sub)(float* o, const float* a, const float* b, int64_t i0,
+              int64_t i1);  // o = a - b
+  void (*mul)(float* o, const float* a, const float* b, int64_t i0,
+              int64_t i1);  // o = a ⊙ b
+  void (*acc)(float* o, const float* g, int64_t i0, int64_t i1);  // o += g
+  void (*mul_acc)(float* o, const float* a, const float* b, int64_t i0,
+                  int64_t i1);  // o += a ⊙ b (fmaf)
+  void (*scale)(float* o, const float* a, float s, int64_t i0,
+                int64_t i1);  // o = a * s
+  void (*scale_acc)(float* o, const float* a, float s, int64_t i0,
+                    int64_t i1);  // o += a * s (fmaf)
+  void (*add_scalar)(float* o, const float* a, float s, int64_t i0,
+                     int64_t i1);  // o = a + s
+  // o = a > 0 ? a : alpha * a  (alpha = 0 gives ReLU).
+  void (*leaky_relu)(float* o, const float* a, float alpha, int64_t i0,
+                     int64_t i1);
+  // ga += g * (a > 0 ? 1 : alpha).
+  void (*leaky_relu_bwd)(float* ga, const float* g, const float* a,
+                         float alpha, int64_t i0, int64_t i1);
+
+  // --- Small-vector primitives (8-lane dot spec). ---
+  float (*dot)(const float* u, const float* v, int m);
+  void (*axpy)(float* y, float s, const float* x, int m);  // y += s*x (fmaf)
+
+  // --- Optimizer steps over [i0, i1). Element spec (matching both
+  // paths exactly; sqrt and / are correctly rounded):
+  //   grad = fmaf(wd, d, g)
+  //   m' = fmaf(b1, m, (1-b1)*grad)
+  //   v' = fmaf(b2, v, ((1-b2)*grad)*grad)
+  //   d' = d - lr*(m'/bc1) / (sqrt(v'/bc2) + eps)
+  void (*adam_chunk)(float* d, const float* g, float* m, float* v, float lr,
+                     float b1, float b2, float bc1, float bc2, float eps,
+                     float wd, int64_t i0, int64_t i1);
+  //   d' = d - lr * fmaf(wd, d, g)
+  void (*sgd_chunk)(float* d, const float* g, float lr, float wd, int64_t i0,
+                    int64_t i1);
+  // Σ (double)g[i]·g[i] over [lo, hi), 4-double-lane spec.
+  double (*sq_sum)(const float* g, int64_t lo, int64_t hi);
+  // Σ (double)a[i] over [lo, hi), 4-double-lane spec.
+  double (*sum)(const float* a, int64_t lo, int64_t hi);
+
+  // --- Fused message-passing kernels. ---
+  // Generic weighted γ-scatter over a CSR grouping of edges: for each
+  // target t in [t0, t1), for CSR position p in [start[t], start[t+1]):
+  //     e = order ? order[p] : p
+  //     out[t,:] += (sign·w[e]) * γ(x[xi[e],:], r[ri[e],:])
+  // (w null: weight sign; xi/ri null: identity, edge e reads row e).
+  // Element update: fmaf(sign·w[e], γ_j, out[t][j]); sign is ±1, so the
+  // scaled weight is exact. Serves the fused forward (targets = segments)
+  // and, by permuting arguments, every row-gradient of
+  // EdgeGammaSegmentSum — e.g. dX groups by source node with γ applied to
+  // (r, upstream-grad), and the kSubtract dR pass uses sign = -1.
+  void (*gamma_csr_accum)(float* out, const float* x, const int* xi,
+                          const float* r, const int* ri, const float* w,
+                          float sign, const int* start, const int* order,
+                          int64_t t0, int64_t t1, int m, Gamma gamma);
+  // dw[e] = Dot(γ(x[xi[e],:], r[ri[e],:]), g[gi[e],:]) for e in [e0, e1)
+  // (8-lane dot spec applied to the fused product).
+  void (*gamma_dot_edges)(float* dw, const float* x, const int* xi,
+                          const float* r, const int* ri, const float* g,
+                          const int* gi, int64_t e0, int64_t e1, int m,
+                          Gamma gamma);
+  // out[e] = lrelu(Σ_p Dot(part_p row for e, a + offset_p, cols_p), alpha)
+  // for e in [e0, e1); parts are summed left to right with plain adds.
+  void (*concat_matvec_lrelu)(float* out, const ConcatPart* parts,
+                              int num_parts, const float* a, float alpha,
+                              int64_t e0, int64_t e1);
+  // Weight gradient partial for the kernel above, one fixed edge block:
+  // pa[offset_p + j] += fmaf(s[e], part_p(e)[j]) for e ascending in
+  // [e0, e1). `pa` is the caller's per-block partial (length Σ cols_p).
+  void (*concat_matvec_da_block)(float* pa, const ConcatPart* parts,
+                                 int num_parts, const float* s, int64_t e0,
+                                 int64_t e1);
+  // CSR scatter of the part gradient: for t in [t0, t1), p in CSR range:
+  // dst[t,:] += s[order[p]] * a_slice[:] (fmaf), `cols` wide.
+  void (*scatter_axpy_rows)(float* dst, const float* a_slice, const float* s,
+                            const int* start, const int* order, int64_t t0,
+                            int64_t t1, int cols);
+  // dst[e,:] += s[e] * a_slice[:] (fmaf) for e in [e0, e1).
+  void (*axpy_rows)(float* dst, const float* a_slice, const float* s,
+                    int64_t e0, int64_t e1, int cols);
+};
+
+/// The scalar reference table (always available).
+const KernelTable& ScalarKernels();
+
+#ifdef PRIM_HAVE_AVX2
+/// The AVX2+FMA table (only when compiled in; call only if the CPU
+/// supports it).
+const KernelTable& Avx2Kernels();
+#endif
+
+/// The table for ActiveLevel(). One relaxed atomic load on the hot path.
+const KernelTable& K();
+
+}  // namespace prim::nn::simd
+
+#endif  // PRIM_NN_SIMD_KERNELS_H_

@@ -1,0 +1,571 @@
+// AVX2 + FMA implementation of the KernelTable. Compiled with
+// -mavx2 -mfma -ffp-contract=off (see src/nn/CMakeLists.txt): contraction
+// is disabled so plain C expressions in this TU stay single IEEE ops and
+// only the explicit _mm256_fmadd_* calls fuse — otherwise GCC could
+// contract a mul+add the scalar spec performs as two roundings.
+//
+// Every kernel must match kernels_scalar.cc bit for bit (the contract in
+// kernels.h); tests/nn/simd_parity_test.cc enforces it. The lane layout is
+// the natural vector one — lane p of a ymm register holds element j with
+// j % 8 == p — and the horizontal reductions below are exactly the
+// CombineLanes8/CombineLanes4 trees.
+
+#ifdef PRIM_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "nn/simd/kernels.h"
+
+namespace prim::nn::simd {
+namespace {
+
+// kMaskTable + 8 - r is a load mask with lanes 0..r-1 active (r in 0..8).
+alignas(32) constexpr int32_t kMaskTable[16] = {-1, -1, -1, -1, -1, -1, -1,
+                                                -1, 0,  0,  0,  0,  0,  0,
+                                                0,  0};
+
+inline __m256i TailMask(int r) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + 8 - r));
+}
+
+// Horizontal sum matching CombineLanes8: (l0+l4, l1+l5, l2+l6, l3+l7) ->
+// (t0+t2, t1+t3) -> u0+u1.
+inline float HSum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 t = _mm_add_ps(lo, hi);
+  const __m128 u = _mm_add_ps(t, _mm_movehl_ps(t, t));
+  const __m128 r = _mm_add_ss(u, _mm_shuffle_ps(u, u, 1));
+  return _mm_cvtss_f32(r);
+}
+
+// Horizontal sum matching CombineLanes4: (l0+l2, l1+l3) -> t0+t1.
+inline double HSum4(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d t = _mm_add_pd(lo, hi);
+  const __m128d r = _mm_add_sd(t, _mm_unpackhi_pd(t, t));
+  return _mm_cvtsd_f64(r);
+}
+
+// Masked lanes load 0.0 and contribute fma(0, 0, lane) = lane, so tails
+// fold into lanes 0..r-1 exactly as the scalar spec requires.
+inline float Dot8(const float* u, const float* v, int m) {
+  __m256 acc = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= m; j += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(u + j), _mm256_loadu_ps(v + j),
+                          acc);
+  }
+  if (j < m) {
+    const __m256i mk = TailMask(m - j);
+    acc = _mm256_fmadd_ps(_mm256_maskload_ps(u + j, mk),
+                          _mm256_maskload_ps(v + j, mk), acc);
+  }
+  return HSum8(acc);
+}
+
+// One RB x 8 register tile of C: each c[i][j] accumulates k ascending from
+// its previously stored value, so blocking never changes per-element
+// order.
+template <int RB>
+inline void MatMulTile(const float* a, const float* b, float* c, int64_t i,
+                       int k, int m, int j, int jw) {
+  const __m256i mk = jw == 8 ? _mm256_set1_epi32(-1) : TailMask(jw);
+  __m256 acc[RB];
+  for (int r = 0; r < RB; ++r) {
+    acc[r] = jw == 8 ? _mm256_loadu_ps(c + (i + r) * m + j)
+                     : _mm256_maskload_ps(c + (i + r) * m + j, mk);
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 bv =
+        jw == 8 ? _mm256_loadu_ps(b + static_cast<int64_t>(kk) * m + j)
+                : _mm256_maskload_ps(b + static_cast<int64_t>(kk) * m + j,
+                                     mk);
+    for (int r = 0; r < RB; ++r) {
+      acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(a[(i + r) * k + kk]), bv,
+                               acc[r]);
+    }
+  }
+  for (int r = 0; r < RB; ++r) {
+    if (jw == 8) {
+      _mm256_storeu_ps(c + (i + r) * m + j, acc[r]);
+    } else {
+      _mm256_maskstore_ps(c + (i + r) * m + j, mk, acc[r]);
+    }
+  }
+}
+
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int k, int m) {
+  int64_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    int j = 0;
+    for (; j + 8 <= m; j += 8) MatMulTile<4>(a, b, c, i, k, m, j, 8);
+    if (j < m) MatMulTile<4>(a, b, c, i, k, m, j, m - j);
+  }
+  for (; i < r1; ++i) {
+    int j = 0;
+    for (; j + 8 <= m; j += 8) MatMulTile<1>(a, b, c, i, k, m, j, 8);
+    if (j < m) MatMulTile<1>(a, b, c, i, k, m, j, m - j);
+  }
+}
+
+void MatMulDaRows(const float* g, const float* b, float* ga, int64_t r0,
+                  int64_t r1, int k, int m) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* grow = g + i * m;
+    float* garow = ga + i * k;
+    for (int kk = 0; kk < k; ++kk) {
+      garow[kk] += Dot8(grow, b + static_cast<int64_t>(kk) * m, m);
+    }
+  }
+}
+
+void MatMulDbRows(const float* a, const float* g, float* gb, int64_t k0,
+                  int64_t k1, int n, int k, int m) {
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    float* gbrow = gb + kk * m;
+    // Up to 4 j-blocks (32 columns) per sweep over i, so each strided
+    // broadcast of a[i][kk] feeds several fmadds.
+    int j = 0;
+    for (; j + 32 <= m; j += 32) {
+      __m256 acc0 = _mm256_loadu_ps(gbrow + j);
+      __m256 acc1 = _mm256_loadu_ps(gbrow + j + 8);
+      __m256 acc2 = _mm256_loadu_ps(gbrow + j + 16);
+      __m256 acc3 = _mm256_loadu_ps(gbrow + j + 24);
+      for (int i = 0; i < n; ++i) {
+        const __m256 av =
+            _mm256_set1_ps(a[static_cast<int64_t>(i) * k + kk]);
+        const float* grow = g + static_cast<int64_t>(i) * m + j;
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(grow), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(grow + 8), acc1);
+        acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(grow + 16), acc2);
+        acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(grow + 24), acc3);
+      }
+      _mm256_storeu_ps(gbrow + j, acc0);
+      _mm256_storeu_ps(gbrow + j + 8, acc1);
+      _mm256_storeu_ps(gbrow + j + 16, acc2);
+      _mm256_storeu_ps(gbrow + j + 24, acc3);
+    }
+    for (; j < m; j += 8) {
+      const int jw = m - j < 8 ? m - j : 8;
+      const __m256i mk = TailMask(jw);
+      __m256 acc = jw == 8 ? _mm256_loadu_ps(gbrow + j)
+                           : _mm256_maskload_ps(gbrow + j, mk);
+      for (int i = 0; i < n; ++i) {
+        const __m256 av =
+            _mm256_set1_ps(a[static_cast<int64_t>(i) * k + kk]);
+        const float* grow = g + static_cast<int64_t>(i) * m + j;
+        acc = _mm256_fmadd_ps(
+            av,
+            jw == 8 ? _mm256_loadu_ps(grow) : _mm256_maskload_ps(grow, mk),
+            acc);
+      }
+      if (jw == 8) {
+        _mm256_storeu_ps(gbrow + j, acc);
+      } else {
+        _mm256_maskstore_ps(gbrow + j, mk, acc);
+      }
+    }
+  }
+}
+
+// Shared shape of every pointwise kernel: full 8-blocks then a masked
+// tail, one vector op per block.
+template <typename Body>
+inline void Pointwise(int64_t i0, int64_t i1, Body&& body) {
+  int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) body(i, _mm256_set1_epi32(-1), 8);
+  if (i < i1) body(i, TailMask(static_cast<int>(i1 - i)), 0);
+}
+
+inline __m256 MLoad(const float* p, __m256i mk, int full) {
+  return full ? _mm256_loadu_ps(p) : _mm256_maskload_ps(p, mk);
+}
+
+inline void MStore(float* p, __m256i mk, int full, __m256 v) {
+  if (full) {
+    _mm256_storeu_ps(p, v);
+  } else {
+    _mm256_maskstore_ps(p, mk, v);
+  }
+}
+
+void Add(float* o, const float* a, const float* b, int64_t i0, int64_t i1) {
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full,
+           _mm256_add_ps(MLoad(a + i, mk, full), MLoad(b + i, mk, full)));
+  });
+}
+
+void Sub(float* o, const float* a, const float* b, int64_t i0, int64_t i1) {
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full,
+           _mm256_sub_ps(MLoad(a + i, mk, full), MLoad(b + i, mk, full)));
+  });
+}
+
+void Mul(float* o, const float* a, const float* b, int64_t i0, int64_t i1) {
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full,
+           _mm256_mul_ps(MLoad(a + i, mk, full), MLoad(b + i, mk, full)));
+  });
+}
+
+void Acc(float* o, const float* g, int64_t i0, int64_t i1) {
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full,
+           _mm256_add_ps(MLoad(o + i, mk, full), MLoad(g + i, mk, full)));
+  });
+}
+
+void MulAcc(float* o, const float* a, const float* b, int64_t i0,
+            int64_t i1) {
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full,
+           _mm256_fmadd_ps(MLoad(a + i, mk, full), MLoad(b + i, mk, full),
+                           MLoad(o + i, mk, full)));
+  });
+}
+
+void Scale(float* o, const float* a, float s, int64_t i0, int64_t i1) {
+  const __m256 sv = _mm256_set1_ps(s);
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full, _mm256_mul_ps(MLoad(a + i, mk, full), sv));
+  });
+}
+
+void ScaleAcc(float* o, const float* a, float s, int64_t i0, int64_t i1) {
+  const __m256 sv = _mm256_set1_ps(s);
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full,
+           _mm256_fmadd_ps(MLoad(a + i, mk, full), sv,
+                           MLoad(o + i, mk, full)));
+  });
+}
+
+void AddScalar(float* o, const float* a, float s, int64_t i0, int64_t i1) {
+  const __m256 sv = _mm256_set1_ps(s);
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    MStore(o + i, mk, full, _mm256_add_ps(MLoad(a + i, mk, full), sv));
+  });
+}
+
+void LeakyRelu(float* o, const float* a, float alpha, int64_t i0,
+               int64_t i1) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  const __m256 zero = _mm256_setzero_ps();
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    const __m256 v = MLoad(a + i, mk, full);
+    const __m256 pos = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+    MStore(o + i, mk, full, _mm256_blendv_ps(_mm256_mul_ps(av, v), v, pos));
+  });
+}
+
+void LeakyReluBwd(float* ga, const float* g, const float* a, float alpha,
+                  int64_t i0, int64_t i1) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  const __m256 one = _mm256_set1_ps(1.f);
+  const __m256 zero = _mm256_setzero_ps();
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    const __m256 pos = _mm256_cmp_ps(MLoad(a + i, mk, full), zero,
+                                     _CMP_GT_OQ);
+    const __m256 f = _mm256_blendv_ps(av, one, pos);
+    MStore(ga + i, mk, full,
+           _mm256_fmadd_ps(MLoad(g + i, mk, full), f,
+                           MLoad(ga + i, mk, full)));
+  });
+}
+
+void Axpy(float* y, float s, const float* x, int m) {
+  const __m256 sv = _mm256_set1_ps(s);
+  Pointwise(0, m, [&](int64_t j, __m256i mk, int full) {
+    MStore(y + j, mk, full,
+           _mm256_fmadd_ps(sv, MLoad(x + j, mk, full),
+                           MLoad(y + j, mk, full)));
+  });
+}
+
+void AdamChunk(float* d, const float* g, float* m, float* v, float lr,
+               float b1, float b2, float bc1, float bc2, float eps, float wd,
+               int64_t i0, int64_t i1) {
+  const __m256 wdv = _mm256_set1_ps(wd);
+  const __m256 b1v = _mm256_set1_ps(b1);
+  const __m256 b2v = _mm256_set1_ps(b2);
+  const __m256 ob1 = _mm256_set1_ps(1.f - b1);
+  const __m256 ob2 = _mm256_set1_ps(1.f - b2);
+  const __m256 bc1v = _mm256_set1_ps(bc1);
+  const __m256 bc2v = _mm256_set1_ps(bc2);
+  const __m256 epsv = _mm256_set1_ps(eps);
+  const __m256 lrv = _mm256_set1_ps(lr);
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    const __m256 dv = MLoad(d + i, mk, full);
+    const __m256 grad = _mm256_fmadd_ps(wdv, dv, MLoad(g + i, mk, full));
+    const __m256 mi =
+        _mm256_fmadd_ps(b1v, MLoad(m + i, mk, full),
+                        _mm256_mul_ps(ob1, grad));
+    const __m256 vi = _mm256_fmadd_ps(
+        b2v, MLoad(v + i, mk, full),
+        _mm256_mul_ps(_mm256_mul_ps(ob2, grad), grad));
+    MStore(m + i, mk, full, mi);
+    MStore(v + i, mk, full, vi);
+    // d -= lr*(m/bc1) / (sqrt(v/bc2) + eps): sqrt and div are correctly
+    // rounded, so this matches the scalar expression exactly.
+    const __m256 num = _mm256_mul_ps(lrv, _mm256_div_ps(mi, bc1v));
+    const __m256 den =
+        _mm256_add_ps(_mm256_sqrt_ps(_mm256_div_ps(vi, bc2v)), epsv);
+    MStore(d + i, mk, full, _mm256_sub_ps(dv, _mm256_div_ps(num, den)));
+  });
+}
+
+void SgdChunk(float* d, const float* g, float lr, float wd, int64_t i0,
+              int64_t i1) {
+  const __m256 wdv = _mm256_set1_ps(wd);
+  const __m256 lrv = _mm256_set1_ps(lr);
+  Pointwise(i0, i1, [&](int64_t i, __m256i mk, int full) {
+    const __m256 dv = MLoad(d + i, mk, full);
+    const __m256 grad = _mm256_fmadd_ps(wdv, dv, MLoad(g + i, mk, full));
+    MStore(d + i, mk, full,
+           _mm256_sub_ps(dv, _mm256_mul_ps(lrv, grad)));
+  });
+}
+
+// (float)x * (float)x is exact in double, so fmadd_pd here is the same
+// single rounding as the scalar's mul-then-add. Tails run scalar on the
+// spilled lane array — identical to the spec by construction.
+double SqSum(const float* g, int64_t lo, int64_t hi) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(g + i));
+    acc = _mm256_fmadd_pd(x, x, acc);
+  }
+  if (i < hi) {
+    alignas(32) double l[4];
+    _mm256_store_pd(l, acc);
+    for (int p = 0; i + p < hi; ++p) {
+      const double x = static_cast<double>(g[i + p]);
+      l[p] += x * x;
+    }
+    return CombineLanes4(l);
+  }
+  return HSum4(acc);
+}
+
+double Sum(const float* a, int64_t lo, int64_t hi) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm_loadu_ps(a + i)));
+  }
+  if (i < hi) {
+    alignas(32) double l[4];
+    _mm256_store_pd(l, acc);
+    for (int p = 0; i + p < hi; ++p) l[p] += static_cast<double>(a[i + p]);
+    return CombineLanes4(l);
+  }
+  return HSum4(acc);
+}
+
+template <Gamma G>
+inline __m256 GammaVec(const float* xrow, const float* rrow, int64_t j,
+                       __m256i mk, int full) {
+  const __m256 xv = MLoad(xrow + j, mk, full);
+  if constexpr (G == Gamma::kCopy) {
+    return xv;
+  } else if constexpr (G == Gamma::kMultiply) {
+    return _mm256_mul_ps(xv, MLoad(rrow + j, mk, full));
+  } else {
+    return _mm256_sub_ps(xv, MLoad(rrow + j, mk, full));
+  }
+}
+
+template <Gamma G>
+void GammaCsrAccumImpl(float* out, const float* x, const int* xi,
+                       const float* r, const int* ri, const float* w,
+                       float sign, const int* start, const int* order,
+                       int64_t t0, int64_t t1, int m) {
+  for (int64_t t = t0; t < t1; ++t) {
+    float* orow = out + t * m;
+    for (int p = start[t]; p < start[t + 1]; ++p) {
+      const int e = order != nullptr ? order[p] : p;
+      const __m256 we = _mm256_set1_ps(sign * (w != nullptr ? w[e] : 1.f));
+      const float* xrow =
+          x + static_cast<int64_t>(xi != nullptr ? xi[e] : e) * m;
+      const float* rrow =
+          G == Gamma::kCopy
+              ? nullptr
+              : r + static_cast<int64_t>(ri != nullptr ? ri[e] : e) * m;
+      Pointwise(0, m, [&](int64_t j, __m256i mk, int full) {
+        const __m256 gj = GammaVec<G>(xrow, rrow, j, mk, full);
+        MStore(orow + j, mk, full,
+               _mm256_fmadd_ps(we, gj, MLoad(orow + j, mk, full)));
+      });
+    }
+  }
+}
+
+void GammaCsrAccum(float* out, const float* x, const int* xi, const float* r,
+                   const int* ri, const float* w, float sign,
+                   const int* start, const int* order, int64_t t0, int64_t t1,
+                   int m, Gamma gamma) {
+  switch (gamma) {
+    case Gamma::kCopy:
+      GammaCsrAccumImpl<Gamma::kCopy>(out, x, xi, r, ri, w, sign, start,
+                                      order, t0, t1, m);
+      return;
+    case Gamma::kMultiply:
+      GammaCsrAccumImpl<Gamma::kMultiply>(out, x, xi, r, ri, w, sign, start,
+                                          order, t0, t1, m);
+      return;
+    case Gamma::kSubtract:
+      GammaCsrAccumImpl<Gamma::kSubtract>(out, x, xi, r, ri, w, sign, start,
+                                          order, t0, t1, m);
+      return;
+  }
+}
+
+template <Gamma G>
+void GammaDotEdgesImpl(float* dw, const float* x, const int* xi,
+                       const float* r, const int* ri, const float* g,
+                       const int* gi, int64_t e0, int64_t e1, int m) {
+  for (int64_t e = e0; e < e1; ++e) {
+    const float* xrow =
+        x + static_cast<int64_t>(xi != nullptr ? xi[e] : e) * m;
+    const float* rrow =
+        G == Gamma::kCopy
+            ? nullptr
+            : r + static_cast<int64_t>(ri != nullptr ? ri[e] : e) * m;
+    const float* grow =
+        g + static_cast<int64_t>(gi != nullptr ? gi[e] : e) * m;
+    __m256 acc = _mm256_setzero_ps();
+    Pointwise(0, m, [&](int64_t j, __m256i mk, int full) {
+      acc = _mm256_fmadd_ps(GammaVec<G>(xrow, rrow, j, mk, full),
+                            MLoad(grow + j, mk, full), acc);
+    });
+    dw[e] = HSum8(acc);
+  }
+}
+
+void GammaDotEdges(float* dw, const float* x, const int* xi, const float* r,
+                   const int* ri, const float* g, const int* gi, int64_t e0,
+                   int64_t e1, int m, Gamma gamma) {
+  switch (gamma) {
+    case Gamma::kCopy:
+      GammaDotEdgesImpl<Gamma::kCopy>(dw, x, xi, r, ri, g, gi, e0, e1, m);
+      return;
+    case Gamma::kMultiply:
+      GammaDotEdgesImpl<Gamma::kMultiply>(dw, x, xi, r, ri, g, gi, e0, e1,
+                                          m);
+      return;
+    case Gamma::kSubtract:
+      GammaDotEdgesImpl<Gamma::kSubtract>(dw, x, xi, r, ri, g, gi, e0, e1,
+                                          m);
+      return;
+  }
+}
+
+void ConcatMatVecLrelu(float* out, const ConcatPart* parts, int num_parts,
+                       const float* a, float alpha, int64_t e0, int64_t e1) {
+  for (int64_t e = e0; e < e1; ++e) {
+    float acc = 0.f;
+    int off = 0;
+    for (int p = 0; p < num_parts; ++p) {
+      const ConcatPart& part = parts[p];
+      const int64_t row = part.index != nullptr ? part.index[e] : e;
+      acc += Dot8(part.data + row * part.cols, a + off, part.cols);
+      off += part.cols;
+    }
+    out[e] = acc > 0.f ? acc : alpha * acc;
+  }
+}
+
+void ConcatMatVecDaBlock(float* pa, const ConcatPart* parts, int num_parts,
+                         const float* s, int64_t e0, int64_t e1) {
+  for (int64_t e = e0; e < e1; ++e) {
+    const __m256 se = _mm256_set1_ps(s[e]);
+    int off = 0;
+    for (int p = 0; p < num_parts; ++p) {
+      const ConcatPart& part = parts[p];
+      const int64_t row = part.index != nullptr ? part.index[e] : e;
+      const float* prow = part.data + row * part.cols;
+      Pointwise(0, part.cols, [&](int64_t j, __m256i mk, int full) {
+        MStore(pa + off + j, mk, full,
+               _mm256_fmadd_ps(se, MLoad(prow + j, mk, full),
+                               MLoad(pa + off + j, mk, full)));
+      });
+      off += part.cols;
+    }
+  }
+}
+
+void ScatterAxpyRows(float* dst, const float* a_slice, const float* s,
+                     const int* start, const int* order, int64_t t0,
+                     int64_t t1, int cols) {
+  for (int64_t t = t0; t < t1; ++t) {
+    float* drow = dst + t * cols;
+    for (int p = start[t]; p < start[t + 1]; ++p) {
+      const __m256 se = _mm256_set1_ps(s[order[p]]);
+      Pointwise(0, cols, [&](int64_t j, __m256i mk, int full) {
+        MStore(drow + j, mk, full,
+               _mm256_fmadd_ps(se, MLoad(a_slice + j, mk, full),
+                               MLoad(drow + j, mk, full)));
+      });
+    }
+  }
+}
+
+void AxpyRows(float* dst, const float* a_slice, const float* s, int64_t e0,
+              int64_t e1, int cols) {
+  for (int64_t e = e0; e < e1; ++e) {
+    float* drow = dst + e * cols;
+    const __m256 se = _mm256_set1_ps(s[e]);
+    Pointwise(0, cols, [&](int64_t j, __m256i mk, int full) {
+      MStore(drow + j, mk, full,
+             _mm256_fmadd_ps(se, MLoad(a_slice + j, mk, full),
+                             MLoad(drow + j, mk, full)));
+    });
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    /*name=*/"avx2",
+    /*row_block=*/4,
+    MatMulRows,
+    MatMulDaRows,
+    MatMulDbRows,
+    Add,
+    Sub,
+    Mul,
+    Acc,
+    MulAcc,
+    Scale,
+    ScaleAcc,
+    AddScalar,
+    LeakyRelu,
+    LeakyReluBwd,
+    Dot8,
+    Axpy,
+    AdamChunk,
+    SgdChunk,
+    SqSum,
+    Sum,
+    GammaCsrAccum,
+    GammaDotEdges,
+    ConcatMatVecLrelu,
+    ConcatMatVecDaBlock,
+    ScatterAxpyRows,
+    AxpyRows,
+};
+
+}  // namespace
+
+const KernelTable& Avx2Kernels() { return kAvx2Table; }
+
+}  // namespace prim::nn::simd
+
+#endif  // PRIM_HAVE_AVX2

@@ -1,0 +1,362 @@
+// Scalar reference implementation of the KernelTable. This file IS the
+// bitwise specification: the AVX2 table (kernels_avx2.cc) must reproduce
+// every result bit for bit, so the loops here are written lane-strided —
+// explicit 8-float / 4-double lane arrays with the shared combining trees —
+// rather than in the most natural scalar style. See kernels.h for the
+// contract.
+//
+// Built without any -m flags so it runs on a bare x86-64 (or any other)
+// baseline; the no-AVX2 CI leg exercises exactly this path.
+
+#include <cmath>
+#include <cstdint>
+
+#include "nn/simd/kernels.h"
+
+namespace prim::nn::simd {
+namespace {
+
+// 8-lane strided dot product of two contiguous rows (the dot spec).
+float Dot8(const float* u, const float* v, int m) {
+  float l[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+  int j = 0;
+  for (; j + 8 <= m; j += 8) {
+    for (int p = 0; p < 8; ++p) l[p] = std::fmaf(u[j + p], v[j + p], l[p]);
+  }
+  for (int p = 0; j + p < m; ++p) {
+    l[p] = std::fmaf(u[j + p], v[j + p], l[p]);
+  }
+  return CombineLanes8(l);
+}
+
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int k, int m) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = b + static_cast<int64_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] = std::fmaf(av, brow[j], crow[j]);
+    }
+  }
+}
+
+void MatMulDaRows(const float* g, const float* b, float* ga, int64_t r0,
+                  int64_t r1, int k, int m) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* grow = g + i * m;
+    float* garow = ga + i * k;
+    for (int kk = 0; kk < k; ++kk) {
+      garow[kk] += Dot8(grow, b + static_cast<int64_t>(kk) * m, m);
+    }
+  }
+}
+
+void MatMulDbRows(const float* a, const float* g, float* gb, int64_t k0,
+                  int64_t k1, int n, int k, int m) {
+  for (int64_t kk = k0; kk < k1; ++kk) {
+    float* gbrow = gb + kk * m;
+    for (int i = 0; i < n; ++i) {
+      const float av = a[static_cast<int64_t>(i) * k + kk];
+      const float* grow = g + static_cast<int64_t>(i) * m;
+      for (int j = 0; j < m; ++j) gbrow[j] = std::fmaf(av, grow[j], gbrow[j]);
+    }
+  }
+}
+
+void Add(float* o, const float* a, const float* b, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] = a[i] + b[i];
+}
+
+void Sub(float* o, const float* a, const float* b, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] = a[i] - b[i];
+}
+
+void Mul(float* o, const float* a, const float* b, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] = a[i] * b[i];
+}
+
+void Acc(float* o, const float* g, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] += g[i];
+}
+
+void MulAcc(float* o, const float* a, const float* b, int64_t i0,
+            int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] = std::fmaf(a[i], b[i], o[i]);
+}
+
+void Scale(float* o, const float* a, float s, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] = a[i] * s;
+}
+
+void ScaleAcc(float* o, const float* a, float s, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] = std::fmaf(a[i], s, o[i]);
+}
+
+void AddScalar(float* o, const float* a, float s, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) o[i] = a[i] + s;
+}
+
+void LeakyRelu(float* o, const float* a, float alpha, int64_t i0,
+               int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float v = a[i];
+    o[i] = v > 0.f ? v : alpha * v;
+  }
+}
+
+void LeakyReluBwd(float* ga, const float* g, const float* a, float alpha,
+                  int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float f = a[i] > 0.f ? 1.f : alpha;
+    ga[i] = std::fmaf(g[i], f, ga[i]);
+  }
+}
+
+void Axpy(float* y, float s, const float* x, int m) {
+  for (int j = 0; j < m; ++j) y[j] = std::fmaf(s, x[j], y[j]);
+}
+
+void AdamChunk(float* d, const float* g, float* m, float* v, float lr,
+               float b1, float b2, float bc1, float bc2, float eps, float wd,
+               int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float grad = std::fmaf(wd, d[i], g[i]);
+    const float mi = std::fmaf(b1, m[i], (1.f - b1) * grad);
+    const float vi = std::fmaf(b2, v[i], ((1.f - b2) * grad) * grad);
+    m[i] = mi;
+    v[i] = vi;
+    d[i] -= lr * (mi / bc1) / (std::sqrt(vi / bc2) + eps);
+  }
+}
+
+void SgdChunk(float* d, const float* g, float lr, float wd, int64_t i0,
+              int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) d[i] -= lr * std::fmaf(wd, d[i], g[i]);
+}
+
+// 4-lane strided double reduction (the sum spec). Squared products of
+// floats are exact in double (24-bit x 24-bit < 53 bits), so mul+add here
+// matches the AVX2 fmadd_pd bit for bit.
+double SqSum(const float* g, int64_t lo, int64_t hi) {
+  double l[4] = {0.0, 0.0, 0.0, 0.0};
+  int64_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    for (int p = 0; p < 4; ++p) {
+      const double x = static_cast<double>(g[i + p]);
+      l[p] += x * x;
+    }
+  }
+  for (int p = 0; i + p < hi; ++p) {
+    const double x = static_cast<double>(g[i + p]);
+    l[p] += x * x;
+  }
+  return CombineLanes4(l);
+}
+
+double Sum(const float* a, int64_t lo, int64_t hi) {
+  double l[4] = {0.0, 0.0, 0.0, 0.0};
+  int64_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    for (int p = 0; p < 4; ++p) l[p] += static_cast<double>(a[i + p]);
+  }
+  for (int p = 0; i + p < hi; ++p) l[p] += static_cast<double>(a[i + p]);
+  return CombineLanes4(l);
+}
+
+template <Gamma G>
+void GammaCsrAccumImpl(float* out, const float* x, const int* xi,
+                       const float* r, const int* ri, const float* w,
+                       float sign, const int* start, const int* order,
+                       int64_t t0, int64_t t1, int m) {
+  for (int64_t t = t0; t < t1; ++t) {
+    float* orow = out + t * m;
+    for (int p = start[t]; p < start[t + 1]; ++p) {
+      const int e = order != nullptr ? order[p] : p;
+      const float we = sign * (w != nullptr ? w[e] : 1.f);
+      const float* xrow =
+          x + static_cast<int64_t>(xi != nullptr ? xi[e] : e) * m;
+      const float* rrow =
+          G == Gamma::kCopy
+              ? nullptr
+              : r + static_cast<int64_t>(ri != nullptr ? ri[e] : e) * m;
+      for (int j = 0; j < m; ++j) {
+        float gj;
+        if constexpr (G == Gamma::kCopy) {
+          gj = xrow[j];
+        } else if constexpr (G == Gamma::kMultiply) {
+          gj = xrow[j] * rrow[j];
+        } else {
+          gj = xrow[j] - rrow[j];
+        }
+        orow[j] = std::fmaf(we, gj, orow[j]);
+      }
+    }
+  }
+}
+
+void GammaCsrAccum(float* out, const float* x, const int* xi, const float* r,
+                   const int* ri, const float* w, float sign,
+                   const int* start, const int* order, int64_t t0, int64_t t1,
+                   int m, Gamma gamma) {
+  switch (gamma) {
+    case Gamma::kCopy:
+      GammaCsrAccumImpl<Gamma::kCopy>(out, x, xi, r, ri, w, sign, start,
+                                      order, t0, t1, m);
+      return;
+    case Gamma::kMultiply:
+      GammaCsrAccumImpl<Gamma::kMultiply>(out, x, xi, r, ri, w, sign, start,
+                                          order, t0, t1, m);
+      return;
+    case Gamma::kSubtract:
+      GammaCsrAccumImpl<Gamma::kSubtract>(out, x, xi, r, ri, w, sign, start,
+                                          order, t0, t1, m);
+      return;
+  }
+}
+
+template <Gamma G>
+void GammaDotEdgesImpl(float* dw, const float* x, const int* xi,
+                       const float* r, const int* ri, const float* g,
+                       const int* gi, int64_t e0, int64_t e1, int m) {
+  for (int64_t e = e0; e < e1; ++e) {
+    const float* xrow =
+        x + static_cast<int64_t>(xi != nullptr ? xi[e] : e) * m;
+    const float* rrow =
+        G == Gamma::kCopy
+            ? nullptr
+            : r + static_cast<int64_t>(ri != nullptr ? ri[e] : e) * m;
+    const float* grow =
+        g + static_cast<int64_t>(gi != nullptr ? gi[e] : e) * m;
+    float l[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    int j = 0;
+    auto lane = [&](int jj, int p) {
+      float gj;
+      if constexpr (G == Gamma::kCopy) {
+        gj = xrow[jj];
+      } else if constexpr (G == Gamma::kMultiply) {
+        gj = xrow[jj] * rrow[jj];
+      } else {
+        gj = xrow[jj] - rrow[jj];
+      }
+      l[p] = std::fmaf(gj, grow[jj], l[p]);
+    };
+    for (; j + 8 <= m; j += 8) {
+      for (int p = 0; p < 8; ++p) lane(j + p, p);
+    }
+    for (int p = 0; j + p < m; ++p) lane(j + p, p);
+    dw[e] = CombineLanes8(l);
+  }
+}
+
+void GammaDotEdges(float* dw, const float* x, const int* xi, const float* r,
+                   const int* ri, const float* g, const int* gi, int64_t e0,
+                   int64_t e1, int m, Gamma gamma) {
+  switch (gamma) {
+    case Gamma::kCopy:
+      GammaDotEdgesImpl<Gamma::kCopy>(dw, x, xi, r, ri, g, gi, e0, e1, m);
+      return;
+    case Gamma::kMultiply:
+      GammaDotEdgesImpl<Gamma::kMultiply>(dw, x, xi, r, ri, g, gi, e0, e1,
+                                          m);
+      return;
+    case Gamma::kSubtract:
+      GammaDotEdgesImpl<Gamma::kSubtract>(dw, x, xi, r, ri, g, gi, e0, e1,
+                                          m);
+      return;
+  }
+}
+
+void ConcatMatVecLrelu(float* out, const ConcatPart* parts, int num_parts,
+                       const float* a, float alpha, int64_t e0, int64_t e1) {
+  for (int64_t e = e0; e < e1; ++e) {
+    float acc = 0.f;
+    int off = 0;
+    for (int p = 0; p < num_parts; ++p) {
+      const ConcatPart& part = parts[p];
+      const int64_t row = part.index != nullptr ? part.index[e] : e;
+      acc += Dot8(part.data + row * part.cols, a + off, part.cols);
+      off += part.cols;
+    }
+    out[e] = acc > 0.f ? acc : alpha * acc;
+  }
+}
+
+void ConcatMatVecDaBlock(float* pa, const ConcatPart* parts, int num_parts,
+                         const float* s, int64_t e0, int64_t e1) {
+  for (int64_t e = e0; e < e1; ++e) {
+    const float se = s[e];
+    int off = 0;
+    for (int p = 0; p < num_parts; ++p) {
+      const ConcatPart& part = parts[p];
+      const int64_t row = part.index != nullptr ? part.index[e] : e;
+      const float* prow = part.data + row * part.cols;
+      for (int j = 0; j < part.cols; ++j) {
+        pa[off + j] = std::fmaf(se, prow[j], pa[off + j]);
+      }
+      off += part.cols;
+    }
+  }
+}
+
+void ScatterAxpyRows(float* dst, const float* a_slice, const float* s,
+                     const int* start, const int* order, int64_t t0,
+                     int64_t t1, int cols) {
+  for (int64_t t = t0; t < t1; ++t) {
+    float* drow = dst + t * cols;
+    for (int p = start[t]; p < start[t + 1]; ++p) {
+      const float se = s[order[p]];
+      for (int j = 0; j < cols; ++j) {
+        drow[j] = std::fmaf(se, a_slice[j], drow[j]);
+      }
+    }
+  }
+}
+
+void AxpyRows(float* dst, const float* a_slice, const float* s, int64_t e0,
+              int64_t e1, int cols) {
+  for (int64_t e = e0; e < e1; ++e) {
+    float* drow = dst + e * cols;
+    const float se = s[e];
+    for (int j = 0; j < cols; ++j) {
+      drow[j] = std::fmaf(se, a_slice[j], drow[j]);
+    }
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    /*name=*/"scalar",
+    /*row_block=*/1,
+    MatMulRows,
+    MatMulDaRows,
+    MatMulDbRows,
+    Add,
+    Sub,
+    Mul,
+    Acc,
+    MulAcc,
+    Scale,
+    ScaleAcc,
+    AddScalar,
+    LeakyRelu,
+    LeakyReluBwd,
+    Dot8,
+    Axpy,
+    AdamChunk,
+    SgdChunk,
+    SqSum,
+    Sum,
+    GammaCsrAccum,
+    GammaDotEdges,
+    ConcatMatVecLrelu,
+    ConcatMatVecDaBlock,
+    ScatterAxpyRows,
+    AxpyRows,
+};
+
+}  // namespace
+
+const KernelTable& ScalarKernels() { return kScalarTable; }
+
+}  // namespace prim::nn::simd

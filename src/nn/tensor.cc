@@ -135,7 +135,9 @@ void Tensor::Backward() {
             std::string(node->op != nullptr ? node->op : "?") + "/bwd";
         RecordOpSample(key.c_str(),
                        std::chrono::duration<double>(end - start).count(),
-                       4 * node->size());
+                       node->bwd_flops,
+                       node->bwd_bytes != 0 ? node->bwd_bytes
+                                            : 4 * node->size());
       } else {
         node->backward_fn();
       }

@@ -32,6 +32,11 @@ struct TensorImpl {
   /// TensorImpl pointers only (parents are kept alive via `parents`),
   /// so no shared_ptr cycles are formed.
   std::function<void()> backward_fn;
+  /// Profiler estimates for backward_fn (flops and bytes *moved*), set by
+  /// the op that created this node. Backward closures don't
+  /// self-instrument; Tensor::Backward records these under "<op>/bwd".
+  int64_t bwd_flops = 0;
+  int64_t bwd_bytes = 0;
 
   int64_t size() const { return static_cast<int64_t>(rows) * cols; }
   void EnsureGrad();

@@ -1,0 +1,267 @@
+// The fused message-passing ops (nn/ops_fused.cc) against their unfused
+// reference chains: forward values agree within float rounding, gradients
+// agree with the chains' autograd, and the fused results are bitwise
+// identical across worker-thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace prim::nn {
+namespace {
+
+std::vector<float> RandVec(int n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  return v;
+}
+
+::testing::AssertionResult AllNear(const std::vector<float>& a,
+                                   const std::vector<float>& b,
+                                   float tol = 1e-4f) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs "
+                                         << b.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float scale = std::max(1.0f, std::abs(a[i]));
+    if (std::abs(a[i] - b[i]) > tol * scale)
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i];
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult BitsEqual(const std::vector<float>& a,
+                                     const std::vector<float>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs "
+                                         << b.size();
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0)
+    return ::testing::AssertionFailure() << "payloads differ";
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<float> GradOf(const Tensor& t) {
+  return std::vector<float>(t.raw()->grad.begin(), t.raw()->grad.end());
+}
+
+// One small graph reused across the tests: 6 nodes, 11 edges (unsorted
+// destinations so the scatter path is exercised, including an empty
+// segment — node 4 receives nothing).
+const std::vector<int> kSrc = {0, 3, 1, 5, 2, 4, 0, 1, 3, 5, 2};
+const std::vector<int> kDst = {1, 0, 2, 1, 5, 3, 2, 1, 5, 0, 2};
+const int kNodes = 6;
+const int kEdges = 11;
+
+// Unfused reference for EdgeGammaSegmentSum, built from the pre-existing
+// op chain it replaces.
+Tensor UnfusedGammaSegSum(const Tensor& x, const std::vector<int>& xi,
+                          EdgeGamma gamma, const Tensor& rel,
+                          const std::vector<int>& ri, const Tensor& weight,
+                          const std::vector<int>& segment,
+                          int num_segments) {
+  Tensor msg = xi.empty() ? x : Gather(x, xi);
+  if (gamma == EdgeGamma::kMultiply)
+    msg = Mul(msg, ri.empty() ? rel : Gather(rel, ri));
+  else if (gamma == EdgeGamma::kSubtract)
+    msg = Sub(msg, ri.empty() ? rel : Gather(rel, ri));
+  if (weight.defined()) msg = Mul(msg, weight);
+  return SegmentSum(msg, segment, num_segments);
+}
+
+TEST(FusedOpsTest, GammaSegmentSumMatchesUnfusedChain) {
+  const int m = 5;
+  for (EdgeGamma gamma :
+       {EdgeGamma::kCopy, EdgeGamma::kMultiply, EdgeGamma::kSubtract}) {
+    for (bool weighted : {false, true}) {
+      Rng rng(41);
+      const std::vector<float> xv = RandVec(kNodes * m, rng);
+      const std::vector<float> rv = RandVec(3 * m, rng);
+      const std::vector<float> wv = RandVec(kEdges, rng);
+      const std::vector<int> ri = {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1};
+      const bool has_rel = gamma != EdgeGamma::kCopy;
+
+      auto build = [&](bool fused) {
+        Tensor x = Tensor::FromData(kNodes, m, xv, /*requires_grad=*/true);
+        Tensor rel = has_rel ? Tensor::FromData(3, m, rv,
+                                                /*requires_grad=*/true)
+                             : Tensor();
+        Tensor w = weighted ? Tensor::FromData(kEdges, 1, wv,
+                                               /*requires_grad=*/true)
+                            : Tensor();
+        Tensor out =
+            fused ? EdgeGammaSegmentSum(x, kSrc, gamma, rel,
+                                        has_rel ? ri : std::vector<int>{}, w,
+                                        kDst, kNodes)
+                  : UnfusedGammaSegSum(x, kSrc, gamma, rel,
+                                       has_rel ? ri : std::vector<int>{}, w,
+                                       kDst, kNodes);
+        SumAll(Mul(out, out)).Backward();
+        std::vector<float> all(out.data(), out.data() + out.size());
+        const std::vector<float> gx = GradOf(x);
+        all.insert(all.end(), gx.begin(), gx.end());
+        if (has_rel) {
+          const std::vector<float> gr = GradOf(rel);
+          all.insert(all.end(), gr.begin(), gr.end());
+        }
+        if (weighted) {
+          const std::vector<float> gw = GradOf(w);
+          all.insert(all.end(), gw.begin(), gw.end());
+        }
+        return all;
+      };
+      EXPECT_TRUE(AllNear(build(false), build(true)))
+          << "gamma=" << static_cast<int>(gamma)
+          << " weighted=" << weighted;
+    }
+  }
+}
+
+TEST(FusedOpsTest, GammaSegmentSumIdentityIndexAndEmptySegments) {
+  // Empty xi: edge e reads row e. Segment 4 has no edges and must stay 0.
+  const int m = 3;
+  Rng rng(42);
+  const std::vector<float> xv = RandVec(kEdges * m, rng);
+  Tensor x = Tensor::FromData(kEdges, m, xv, /*requires_grad=*/true);
+  Tensor out = EdgeGammaSegmentSum(x, {}, EdgeGamma::kCopy, Tensor(), {},
+                                   Tensor(), kDst, kNodes);
+  ASSERT_EQ(out.rows(), kNodes);
+  for (int j = 0; j < m; ++j) EXPECT_EQ(out.at(4, j), 0.0f);
+
+  Tensor xe = Tensor::FromData(kEdges, m, xv, /*requires_grad=*/true);
+  Tensor ref = SegmentSum(xe, kDst, kNodes);
+  SumAll(Mul(out, out)).Backward();
+  SumAll(Mul(ref, ref)).Backward();
+  EXPECT_TRUE(AllNear(
+      std::vector<float>(ref.data(), ref.data() + ref.size()),
+      std::vector<float>(out.data(), out.data() + out.size())));
+  EXPECT_TRUE(AllNear(GradOf(xe), GradOf(x)));
+}
+
+TEST(FusedOpsTest, ConcatMatVecLeakyReluMatchesUnfusedChain) {
+  const int m = 4, extra = 3;
+  Rng rng(43);
+  const std::vector<float> hv = RandVec(kNodes * m, rng);
+  const std::vector<float> dv = RandVec(kEdges * extra, rng);
+  const std::vector<float> av = RandVec(2 * m + extra, rng);
+  const float alpha = 0.2f;
+
+  auto build = [&](bool fused) {
+    Tensor h = Tensor::FromData(kNodes, m, hv, /*requires_grad=*/true);
+    Tensor d = Tensor::FromData(kEdges, extra, dv, /*requires_grad=*/true);
+    Tensor a =
+        Tensor::FromData(2 * m + extra, 1, av, /*requires_grad=*/true);
+    Tensor e;
+    if (fused) {
+      e = EdgeConcatMatVecLeakyRelu({{h, kDst}, {h, kSrc}, {d, {}}}, a,
+                                    alpha);
+    } else {
+      Tensor cat = ConcatCols({Gather(h, kDst), Gather(h, kSrc), d});
+      e = LeakyRelu(MatMul(cat, a), alpha);
+    }
+    SumAll(Mul(e, e)).Backward();
+    std::vector<float> all(e.data(), e.data() + e.size());
+    for (const Tensor& t : {h, d, a}) {
+      const std::vector<float> g = GradOf(t);
+      all.insert(all.end(), g.begin(), g.end());
+    }
+    return all;
+  };
+  EXPECT_TRUE(AllNear(build(false), build(true)));
+}
+
+TEST(FusedOpsTest, EdgeDotMatchesUnfusedChain) {
+  const int m = 6;
+  Rng rng(44);
+  const std::vector<float> xv = RandVec(kNodes * m, rng);
+  const std::vector<float> yv = RandVec(kNodes * m, rng);
+
+  auto build = [&](bool fused) {
+    Tensor x = Tensor::FromData(kNodes, m, xv, /*requires_grad=*/true);
+    Tensor y = Tensor::FromData(kNodes, m, yv, /*requires_grad=*/true);
+    Tensor e = fused ? EdgeDot(x, kSrc, y, kDst)
+                     : RowSum(Mul(Gather(x, kSrc), Gather(y, kDst)));
+    SumAll(Mul(e, e)).Backward();
+    std::vector<float> all(e.data(), e.data() + e.size());
+    const std::vector<float> gx = GradOf(x);
+    const std::vector<float> gy = GradOf(y);
+    all.insert(all.end(), gx.begin(), gx.end());
+    all.insert(all.end(), gy.begin(), gy.end());
+    return all;
+  };
+  EXPECT_TRUE(AllNear(build(false), build(true)));
+}
+
+// The fused kernels accumulate each output row's edges in CSR order
+// regardless of how ParallelFor chunks the targets — forward values and
+// every gradient must be bitwise identical at 1, 2, and 4 threads.
+TEST(FusedOpsTest, FusedOpsBitwiseAcrossThreadCounts) {
+  const int m = 7;
+  Rng rng(45);
+  const std::vector<float> hv = RandVec(kNodes * m, rng);
+  const std::vector<float> rv = RandVec(2 * m, rng);
+  const std::vector<float> wv = RandVec(kEdges, rng);
+  const std::vector<float> av = RandVec(2 * m, rng);
+  const std::vector<int> ri = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0};
+
+  auto run = [&](int threads) {
+    SetNumWorkerThreads(threads);
+    Tensor h = Tensor::FromData(kNodes, m, hv, /*requires_grad=*/true);
+    Tensor rel = Tensor::FromData(2, m, rv, /*requires_grad=*/true);
+    Tensor w = Tensor::FromData(kEdges, 1, wv, /*requires_grad=*/true);
+    Tensor a = Tensor::FromData(2 * m, 1, av, /*requires_grad=*/true);
+    Tensor score = EdgeConcatMatVecLeakyRelu({{h, kDst}, {h, kSrc}}, a);
+    Tensor alpha = SegmentSoftmax(score, kDst, kNodes);
+    Tensor agg = EdgeGammaSegmentSum(h, kSrc, EdgeGamma::kMultiply, rel, ri,
+                                     Mul(alpha, w), kDst, kNodes);
+    Tensor dots = EdgeDot(agg, kSrc, h, kDst);
+    SumAll(Mul(dots, dots)).Backward();
+    std::vector<float> all(agg.data(), agg.data() + agg.size());
+    for (const Tensor& t : {h, rel, w, a}) {
+      const std::vector<float> g = GradOf(t);
+      all.insert(all.end(), g.begin(), g.end());
+    }
+    SetNumWorkerThreads(0);
+    return all;
+  };
+  const std::vector<float> t1 = run(1);
+  EXPECT_TRUE(BitsEqual(t1, run(2)));
+  EXPECT_TRUE(BitsEqual(t1, run(4)));
+}
+
+// Audited run: every fused-op parallel region must declare disjoint write
+// ranges (the audit PRIM_CHECK-aborts on overlap, so passing is the
+// assertion).
+TEST(FusedOpsTest, FusedOpsPassParallelWriteAudit) {
+  SetNumWorkerThreads(4);
+  {
+    ParallelAuditScope audit;
+    const int m = 5;
+    Rng rng(46);
+    Tensor h = Tensor::FromData(kNodes, m, RandVec(kNodes * m, rng),
+                                /*requires_grad=*/true);
+    Tensor rel = Tensor::FromData(2, m, RandVec(2 * m, rng),
+                                  /*requires_grad=*/true);
+    Tensor a = Tensor::FromData(2 * m, 1, RandVec(2 * m, rng),
+                                /*requires_grad=*/true);
+    const std::vector<int> ri = {1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+    Tensor score = EdgeConcatMatVecLeakyRelu({{h, kDst}, {h, kSrc}}, a);
+    Tensor agg = EdgeGammaSegmentSum(h, kSrc, EdgeGamma::kSubtract, rel, ri,
+                                     SegmentSoftmax(score, kDst, kNodes),
+                                     kDst, kNodes);
+    Tensor dots = EdgeDot(agg, kSrc, h, kDst);
+    SumAll(Mul(dots, dots)).Backward();
+    EXPECT_TRUE(std::isfinite(h.raw()->grad[0]));
+  }
+  SetNumWorkerThreads(0);
+}
+
+}  // namespace
+}  // namespace prim::nn

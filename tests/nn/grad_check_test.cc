@@ -210,6 +210,67 @@ std::vector<GradCase> AllCases() {
                        return SoftmaxCrossEntropy(a, {0, 2, 1, 2});
                      };
                    }});
+  cases.push_back({"fused_gamma_segsum_multiply",
+                   [](Rng& rng, auto* params, auto* fwd) {
+                     Tensor x = SignedParam(4, 3, rng);
+                     Tensor rel = SignedParam(2, 3, rng);
+                     Tensor w = SignedParam(5, 1, rng);
+                     *params = {x, rel, w};
+                     *fwd = [x, rel, w] {
+                       Tensor s = EdgeGammaSegmentSum(
+                           x, {0, 1, 2, 3, 1}, EdgeGamma::kMultiply, rel,
+                           {0, 1, 0, 1, 0}, w, {1, 0, 1, 2, 2}, 3);
+                       return SumAll(Mul(s, s));
+                     };
+                   }});
+  cases.push_back({"fused_gamma_segsum_subtract",
+                   [](Rng& rng, auto* params, auto* fwd) {
+                     Tensor x = SignedParam(4, 3, rng);
+                     Tensor rel = SignedParam(2, 3, rng);
+                     Tensor w = SignedParam(5, 1, rng);
+                     *params = {x, rel, w};
+                     *fwd = [x, rel, w] {
+                       Tensor s = EdgeGammaSegmentSum(
+                           x, {3, 2, 1, 0, 2}, EdgeGamma::kSubtract, rel,
+                           {1, 0, 1, 0, 1}, w, {0, 0, 1, 2, 2}, 3);
+                       return SumAll(Mul(s, s));
+                     };
+                   }});
+  cases.push_back({"fused_gamma_segsum_copy_unweighted",
+                   [](Rng& rng, auto* params, auto* fwd) {
+                     // Identity xi (edge e reads row e), no rel, no weight.
+                     Tensor x = SignedParam(5, 3, rng);
+                     *params = {x};
+                     *fwd = [x] {
+                       Tensor s = EdgeGammaSegmentSum(
+                           x, {}, EdgeGamma::kCopy, Tensor(), {}, Tensor(),
+                           {0, 2, 0, 1, 2}, 3);
+                       return SumAll(Mul(s, s));
+                     };
+                   }});
+  cases.push_back({"fused_attn_score", [](Rng& rng, auto* params, auto* fwd) {
+                     Tensor h = SignedParam(4, 3, rng);
+                     Tensor d = SignedParam(5, 2, rng);  // identity part
+                     Tensor a = SignedParam(8, 1, rng);
+                     *params = {h, d, a};
+                     *fwd = [h, d, a] {
+                       const std::vector<int> src{0, 1, 2, 3, 1};
+                       const std::vector<int> dst{1, 0, 1, 2, 2};
+                       Tensor e = EdgeConcatMatVecLeakyRelu(
+                           {{h, dst}, {h, src}, {d, {}}}, a, 0.2f);
+                       return SumAll(Mul(e, e));
+                     };
+                   }});
+  cases.push_back({"fused_edge_dot", [](Rng& rng, auto* params, auto* fwd) {
+                     Tensor x = SignedParam(4, 3, rng);
+                     Tensor y = SignedParam(3, 3, rng);
+                     *params = {x, y};
+                     *fwd = [x, y] {
+                       Tensor e = EdgeDot(x, {0, 1, 2, 3, 1}, y,
+                                          {2, 0, 1, 2, 2});
+                       return SumAll(Mul(e, e));
+                     };
+                   }});
   cases.push_back({"composite_attention_block",
                    [](Rng& rng, auto* params, auto* fwd) {
                      // A miniature GNN layer: gather/attend/aggregate,

@@ -1,0 +1,470 @@
+// Bitwise parity of the AVX2+FMA kernel table against the scalar
+// reference (the scalar table IS the numeric specification — see
+// nn/simd/kernels.h), plus regressions for the numeric contract itself:
+// NaN propagation through MatMul, thread-count-independent reductions,
+// and the PRIM_FAST_MATH tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/simd/cpu.h"
+#include "nn/simd/kernels.h"
+#include "nn/tensor.h"
+
+namespace prim::nn {
+namespace {
+
+std::vector<float> RandVec(int n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  return v;
+}
+
+std::vector<int> RandIdx(int n, int limit, Rng& rng) {
+  std::vector<int> v(n);
+  for (int& x : v) x = static_cast<int>(rng.UniformInt(limit));
+  return v;
+}
+
+::testing::AssertionResult BitsEqual(const std::vector<float>& a,
+                                     const std::vector<float>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs "
+                                         << b.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0)
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << a[i] << " vs " << b[i];
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// CSR grouping of edges by target, matching detail::BuildScatterCsr.
+void MakeCsr(const std::vector<int>& target, int num_targets,
+             std::vector<int>& start, std::vector<int>& order) {
+  const int n = static_cast<int>(target.size());
+  start.assign(static_cast<size_t>(num_targets) + 1, 0);
+  for (int t : target) ++start[t + 1];
+  for (int t = 0; t < num_targets; ++t) start[t + 1] += start[t];
+  order.resize(n);
+  std::vector<int> cursor(start.begin(), start.end() - 1);
+  for (int i = 0; i < n; ++i) order[cursor[target[i]]++] = i;
+}
+
+// Kernel-table parity sweeps only make sense when the AVX2 table was both
+// compiled in and is runnable on this machine.
+#ifdef PRIM_HAVE_AVX2
+bool Avx2Available() {
+  return simd::DetectedLevel() >= simd::Level::kAvx2;
+}
+#define SKIP_WITHOUT_AVX2()                                        \
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2+FMA; only " \
+                                     << "the scalar table is testable"
+#else
+#define SKIP_WITHOUT_AVX2() \
+  GTEST_SKIP() << "built without PRIM_SIMD_AVX2; only the scalar table exists"
+#endif
+
+#ifdef PRIM_HAVE_AVX2
+const simd::KernelTable& Avx2() { return simd::Avx2Kernels(); }
+#else
+// Never called (every use sits behind SKIP_WITHOUT_AVX2), but keeps the
+// test body compiling in no-AVX2 builds.
+const simd::KernelTable& Avx2() { return simd::ScalarKernels(); }
+#endif
+
+// Shapes chosen to hit the remainder lanes (m % 8 != 0), exact multiples,
+// and degenerate single-row / single-column cases.
+struct MatShape {
+  int n, k, m;
+};
+const MatShape kMatShapes[] = {{1, 1, 1},  {1, 13, 1}, {3, 8, 8},
+                               {5, 7, 9},  {1, 4, 13}, {6, 16, 24},
+                               {4, 9, 1},  {2, 1, 17}};
+
+TEST(SimdParityTest, MatMulForward) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(7);
+  for (const MatShape& s : kMatShapes) {
+    const std::vector<float> a = RandVec(s.n * s.k, rng);
+    const std::vector<float> b = RandVec(s.k * s.m, rng);
+    std::vector<float> c_ref(s.n * s.m, 0.0f), c_vec(s.n * s.m, 0.0f);
+    simd::ScalarKernels().matmul_rows(a.data(), b.data(), c_ref.data(), 0,
+                                      s.n, s.k, s.m);
+    Avx2().matmul_rows(a.data(), b.data(), c_vec.data(), 0, s.n, s.k, s.m);
+    EXPECT_TRUE(BitsEqual(c_ref, c_vec))
+        << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(SimdParityTest, MatMulGradA) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(8);
+  for (const MatShape& s : kMatShapes) {
+    const std::vector<float> g = RandVec(s.n * s.m, rng);
+    const std::vector<float> b = RandVec(s.k * s.m, rng);
+    std::vector<float> ga_ref = RandVec(s.n * s.k, rng);  // accumulates
+    std::vector<float> ga_vec = ga_ref;
+    simd::ScalarKernels().matmul_da_rows(g.data(), b.data(), ga_ref.data(),
+                                         0, s.n, s.k, s.m);
+    Avx2().matmul_da_rows(g.data(), b.data(), ga_vec.data(), 0, s.n, s.k,
+                          s.m);
+    EXPECT_TRUE(BitsEqual(ga_ref, ga_vec))
+        << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(SimdParityTest, MatMulGradB) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(9);
+  for (const MatShape& s : kMatShapes) {
+    const std::vector<float> a = RandVec(s.n * s.k, rng);
+    const std::vector<float> g = RandVec(s.n * s.m, rng);
+    std::vector<float> gb_ref = RandVec(s.k * s.m, rng);
+    std::vector<float> gb_vec = gb_ref;
+    simd::ScalarKernels().matmul_db_rows(a.data(), g.data(), gb_ref.data(),
+                                         0, s.k, s.n, s.k, s.m);
+    Avx2().matmul_db_rows(a.data(), g.data(), gb_vec.data(), 0, s.k, s.n,
+                          s.k, s.m);
+    EXPECT_TRUE(BitsEqual(gb_ref, gb_vec))
+        << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+// Flat sizes straddling the 8-lane width: sub-vector, exact, remainder,
+// and one multi-KB run.
+const int kFlatSizes[] = {1, 7, 8, 9, 31, 256, 1000};
+
+TEST(SimdParityTest, PointwiseOps) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(10);
+  const simd::KernelTable& sc = simd::ScalarKernels();
+  const simd::KernelTable& vx = Avx2();
+  for (int n : kFlatSizes) {
+    const std::vector<float> a = RandVec(n, rng);
+    const std::vector<float> b = RandVec(n, rng);
+    const float s = static_cast<float>(rng.Normal(0.0, 1.0));
+    auto run2 = [&](auto&& fn) {
+      std::vector<float> r(n, 0.5f), v(n, 0.5f);
+      fn(sc, r);
+      fn(vx, v);
+      EXPECT_TRUE(BitsEqual(r, v)) << "n=" << n;
+    };
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.add(o.data(), a.data(), b.data(), 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.sub(o.data(), a.data(), b.data(), 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.mul(o.data(), a.data(), b.data(), 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.acc(o.data(), a.data(), 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.mul_acc(o.data(), a.data(), b.data(), 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.scale(o.data(), a.data(), s, 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.scale_acc(o.data(), a.data(), s, 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.add_scalar(o.data(), a.data(), s, 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.leaky_relu(o.data(), a.data(), 0.2f, 0, n);
+    });
+    run2([&](const simd::KernelTable& k, std::vector<float>& o) {
+      k.leaky_relu_bwd(o.data(), a.data(), b.data(), 0.2f, 0, n);
+    });
+  }
+}
+
+TEST(SimdParityTest, DotAndAxpy) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(11);
+  for (int m : kFlatSizes) {
+    const std::vector<float> u = RandVec(m, rng);
+    const std::vector<float> v = RandVec(m, rng);
+    const float du = simd::ScalarKernels().dot(u.data(), v.data(), m);
+    const float dv = Avx2().dot(u.data(), v.data(), m);
+    EXPECT_EQ(std::memcmp(&du, &dv, sizeof(float)), 0) << "m=" << m;
+    std::vector<float> y_ref = RandVec(m, rng);
+    std::vector<float> y_vec = y_ref;
+    simd::ScalarKernels().axpy(y_ref.data(), 0.37f, u.data(), m);
+    Avx2().axpy(y_vec.data(), 0.37f, u.data(), m);
+    EXPECT_TRUE(BitsEqual(y_ref, y_vec)) << "m=" << m;
+  }
+}
+
+TEST(SimdParityTest, OptimizerChunks) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(12);
+  for (int n : kFlatSizes) {
+    const std::vector<float> g = RandVec(n, rng);
+    std::vector<float> d_ref = RandVec(n, rng), d_vec = d_ref;
+    std::vector<float> m_ref = RandVec(n, rng), m_vec = m_ref;
+    std::vector<float> v_ref(n, 0.01f), v_vec(n, 0.01f);
+    simd::ScalarKernels().adam_chunk(d_ref.data(), g.data(), m_ref.data(),
+                                     v_ref.data(), 1e-3f, 0.9f, 0.999f,
+                                     0.19f, 0.0199f, 1e-8f, 1e-4f, 0, n);
+    Avx2().adam_chunk(d_vec.data(), g.data(), m_vec.data(), v_vec.data(),
+                      1e-3f, 0.9f, 0.999f, 0.19f, 0.0199f, 1e-8f, 1e-4f, 0,
+                      n);
+    EXPECT_TRUE(BitsEqual(d_ref, d_vec)) << "adam d, n=" << n;
+    EXPECT_TRUE(BitsEqual(m_ref, m_vec)) << "adam m, n=" << n;
+    EXPECT_TRUE(BitsEqual(v_ref, v_vec)) << "adam v, n=" << n;
+
+    std::vector<float> s_ref = RandVec(n, rng), s_vec = s_ref;
+    simd::ScalarKernels().sgd_chunk(s_ref.data(), g.data(), 1e-2f, 1e-4f, 0,
+                                    n);
+    Avx2().sgd_chunk(s_vec.data(), g.data(), 1e-2f, 1e-4f, 0, n);
+    EXPECT_TRUE(BitsEqual(s_ref, s_vec)) << "sgd, n=" << n;
+  }
+}
+
+TEST(SimdParityTest, DoubleReductions) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(13);
+  for (int n : kFlatSizes) {
+    const std::vector<float> a = RandVec(n, rng);
+    const double s_ref = simd::ScalarKernels().sum(a.data(), 0, n);
+    const double s_vec = Avx2().sum(a.data(), 0, n);
+    EXPECT_EQ(std::memcmp(&s_ref, &s_vec, sizeof(double)), 0) << "n=" << n;
+    const double q_ref = simd::ScalarKernels().sq_sum(a.data(), 0, n);
+    const double q_vec = Avx2().sq_sum(a.data(), 0, n);
+    EXPECT_EQ(std::memcmp(&q_ref, &q_vec, sizeof(double)), 0) << "n=" << n;
+  }
+}
+
+TEST(SimdParityTest, GammaCsrAccum) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(14);
+  const int e_count = 23, x_rows = 6, r_rows = 4, targets = 5;
+  for (int m : {1, 8, 9, 13}) {
+    const std::vector<float> x = RandVec(x_rows * m, rng);
+    const std::vector<float> r = RandVec(r_rows * m, rng);
+    const std::vector<float> w = RandVec(e_count, rng);
+    const std::vector<int> xi = RandIdx(e_count, x_rows, rng);
+    const std::vector<int> ri = RandIdx(e_count, r_rows, rng);
+    const std::vector<int> seg = RandIdx(e_count, targets, rng);
+    std::vector<int> start, order;
+    MakeCsr(seg, targets, start, order);
+    for (simd::Gamma gamma : {simd::Gamma::kCopy, simd::Gamma::kMultiply,
+                              simd::Gamma::kSubtract}) {
+      for (float sign : {1.0f, -1.0f}) {
+        for (bool weighted : {true, false}) {
+          std::vector<float> o_ref(targets * m, 0.0f), o_vec = o_ref;
+          const float* wd = weighted ? w.data() : nullptr;
+          simd::ScalarKernels().gamma_csr_accum(
+              o_ref.data(), x.data(), xi.data(), r.data(), ri.data(), wd,
+              sign, start.data(), order.data(), 0, targets, m, gamma);
+          Avx2().gamma_csr_accum(o_vec.data(), x.data(), xi.data(),
+                                 r.data(), ri.data(), wd, sign, start.data(),
+                                 order.data(), 0, targets, m, gamma);
+          EXPECT_TRUE(BitsEqual(o_ref, o_vec))
+              << "m=" << m << " gamma=" << static_cast<int>(gamma)
+              << " sign=" << sign << " weighted=" << weighted;
+        }
+      }
+    }
+    // Identity indexing (xi/ri null) with a sorted CSR (order null).
+    std::vector<int> sorted_start(targets + 1, 0);
+    for (int t = 0; t <= targets; ++t)
+      sorted_start[t] = t * (e_count / targets);
+    sorted_start[targets] = e_count;
+    const std::vector<float> xe = RandVec(e_count * m, rng);
+    std::vector<float> o_ref(targets * m, 0.0f), o_vec = o_ref;
+    simd::ScalarKernels().gamma_csr_accum(
+        o_ref.data(), xe.data(), nullptr, nullptr, nullptr, nullptr, 1.0f,
+        sorted_start.data(), nullptr, 0, targets, m, simd::Gamma::kCopy);
+    Avx2().gamma_csr_accum(o_vec.data(), xe.data(), nullptr, nullptr,
+                           nullptr, nullptr, 1.0f, sorted_start.data(),
+                           nullptr, 0, targets, m, simd::Gamma::kCopy);
+    EXPECT_TRUE(BitsEqual(o_ref, o_vec)) << "identity, m=" << m;
+  }
+}
+
+TEST(SimdParityTest, GammaDotEdges) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(15);
+  const int e_count = 17, x_rows = 5, r_rows = 3, g_rows = 4;
+  for (int m : {1, 8, 9, 13}) {
+    const std::vector<float> x = RandVec(x_rows * m, rng);
+    const std::vector<float> r = RandVec(r_rows * m, rng);
+    const std::vector<float> g = RandVec(g_rows * m, rng);
+    const std::vector<int> xi = RandIdx(e_count, x_rows, rng);
+    const std::vector<int> ri = RandIdx(e_count, r_rows, rng);
+    const std::vector<int> gi = RandIdx(e_count, g_rows, rng);
+    for (simd::Gamma gamma : {simd::Gamma::kCopy, simd::Gamma::kMultiply,
+                              simd::Gamma::kSubtract}) {
+      std::vector<float> o_ref(e_count, 0.0f), o_vec(e_count, 0.0f);
+      simd::ScalarKernels().gamma_dot_edges(o_ref.data(), x.data(),
+                                            xi.data(), r.data(), ri.data(),
+                                            g.data(), gi.data(), 0, e_count,
+                                            m, gamma);
+      Avx2().gamma_dot_edges(o_vec.data(), x.data(), xi.data(), r.data(),
+                             ri.data(), g.data(), gi.data(), 0, e_count, m,
+                             gamma);
+      EXPECT_TRUE(BitsEqual(o_ref, o_vec))
+          << "m=" << m << " gamma=" << static_cast<int>(gamma);
+    }
+  }
+}
+
+TEST(SimdParityTest, ConcatMatVecKernels) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(16);
+  const int e_count = 19, rows_a = 7, rows_b = 4;
+  for (int c0 : {1, 5, 8}) {
+    const int c1 = 9, c2 = 3;  // total never a lane multiple
+    const int total = c0 + c1 + c2;
+    const std::vector<float> pa = RandVec(rows_a * c0, rng);
+    const std::vector<float> pb = RandVec(rows_b * c1, rng);
+    const std::vector<float> pc = RandVec(e_count * c2, rng);
+    const std::vector<int> ia = RandIdx(e_count, rows_a, rng);
+    const std::vector<int> ib = RandIdx(e_count, rows_b, rng);
+    const std::vector<float> a = RandVec(total, rng);
+    const simd::ConcatPart parts[3] = {{pa.data(), c0, ia.data()},
+                                       {pb.data(), c1, ib.data()},
+                                       {pc.data(), c2, nullptr}};
+    std::vector<float> o_ref(e_count, 0.0f), o_vec(e_count, 0.0f);
+    simd::ScalarKernels().concat_matvec_lrelu(o_ref.data(), parts, 3,
+                                              a.data(), 0.2f, 0, e_count);
+    Avx2().concat_matvec_lrelu(o_vec.data(), parts, 3, a.data(), 0.2f, 0,
+                               e_count);
+    EXPECT_TRUE(BitsEqual(o_ref, o_vec)) << "lrelu c0=" << c0;
+
+    const std::vector<float> s = RandVec(e_count, rng);
+    std::vector<float> da_ref(total, 0.0f), da_vec(total, 0.0f);
+    simd::ScalarKernels().concat_matvec_da_block(da_ref.data(), parts, 3,
+                                                 s.data(), 0, e_count);
+    Avx2().concat_matvec_da_block(da_vec.data(), parts, 3, s.data(), 0,
+                                  e_count);
+    EXPECT_TRUE(BitsEqual(da_ref, da_vec)) << "da c0=" << c0;
+
+    // scatter_axpy_rows / axpy_rows over the first part's grouping.
+    std::vector<int> start, order;
+    MakeCsr(ia, rows_a, start, order);
+    std::vector<float> g_ref(rows_a * c0, 0.0f), g_vec = g_ref;
+    simd::ScalarKernels().scatter_axpy_rows(g_ref.data(), a.data(),
+                                            s.data(), start.data(),
+                                            order.data(), 0, rows_a, c0);
+    Avx2().scatter_axpy_rows(g_vec.data(), a.data(), s.data(), start.data(),
+                             order.data(), 0, rows_a, c0);
+    EXPECT_TRUE(BitsEqual(g_ref, g_vec)) << "scatter_axpy c0=" << c0;
+
+    std::vector<float> r_ref(e_count * c2, 0.0f), r_vec = r_ref;
+    simd::ScalarKernels().axpy_rows(r_ref.data(), a.data() + c0 + c1,
+                                    s.data(), 0, e_count, c2);
+    Avx2().axpy_rows(r_vec.data(), a.data() + c0 + c1, s.data(), 0, e_count,
+                     c2);
+    EXPECT_TRUE(BitsEqual(r_ref, r_vec)) << "axpy_rows c0=" << c0;
+  }
+}
+
+// Whole-op parity: a forward+backward chain through dispatched ops must be
+// bitwise identical under the scalar and the vector table.
+TEST(SimdParityTest, OpLevelScalarVsVector) {
+  SKIP_WITHOUT_AVX2();
+  auto run = [](simd::Level level) {
+    simd::SetLevel(level);
+    Rng rng(21);
+    Tensor a = Tensor::FromData(5, 7, RandVec(35, rng),
+                                /*requires_grad=*/true);
+    Tensor b = Tensor::FromData(7, 9, RandVec(63, rng),
+                                /*requires_grad=*/true);
+    Tensor loss = SumAll(Mul(LeakyRelu(MatMul(a, b)), MatMul(a, b)));
+    loss.Backward();
+    std::vector<float> out;
+    out.push_back(loss.data()[0]);
+    out.insert(out.end(), a.raw()->grad.begin(), a.raw()->grad.end());
+    out.insert(out.end(), b.raw()->grad.begin(), b.raw()->grad.end());
+    simd::ResetLevel();
+    return out;
+  };
+  const std::vector<float> scalar_run = run(simd::Level::kScalar);
+  const std::vector<float> vector_run = run(simd::Level::kAvx2);
+  EXPECT_TRUE(BitsEqual(scalar_run, vector_run));
+}
+
+// --- Numeric-contract regressions (level-independent) ---------------------
+
+// The old MatMul had `if (av == 0.0f) continue;` as a sparsity shortcut,
+// which silently dropped 0·Inf and 0·NaN terms — masking non-finite
+// activations instead of propagating them. IEEE says 0·Inf = NaN.
+TEST(SimdParityTest, MatMulPropagatesNanFromZeroTimesInf) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a = Tensor::FromData(1, 2, {0.0f, 1.0f});
+  Tensor b = Tensor::FromData(2, 1, {inf, 2.0f});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c.data()[0]));
+
+  Tensor a2 = Tensor::FromData(1, 2, {0.0f, 0.0f});
+  Tensor b2 = Tensor::FromData(2, 3, {1.0f, inf, std::nanf(""),  //
+                                      2.0f, 3.0f, 4.0f});
+  Tensor c2 = MatMul(a2, b2);
+  EXPECT_EQ(c2.data()[0], 0.0f);
+  EXPECT_TRUE(std::isnan(c2.data()[1]));
+  EXPECT_TRUE(std::isnan(c2.data()[2]));
+}
+
+// Scalar reductions accumulate per fixed 4096-element block, combined in
+// ascending order — bitwise identical at any worker-thread count.
+TEST(SimdParityTest, ReductionsBitwiseAcrossThreadCounts) {
+  Rng rng(31);
+  const int n = 123, c = 41;  // n*c > 4096: several reduce blocks
+  const std::vector<float> vals = RandVec(n * c, rng);
+  std::vector<float> labels01(n * c);
+  for (size_t i = 0; i < labels01.size(); ++i)
+    labels01[i] = (i % 3 == 0) ? 1.0f : 0.0f;
+  std::vector<int> classes(n);
+  for (int i = 0; i < n; ++i) classes[i] = i % c;
+
+  auto run = [&](int threads) {
+    SetNumWorkerThreads(threads);
+    Tensor t = Tensor::FromData(n, c, vals);
+    Tensor logits = Tensor::FromData(n * c, 1, vals);
+    std::vector<float> out = {SumAll(t).data()[0], MeanAll(t).data()[0],
+                              BceWithLogits(logits, labels01).data()[0],
+                              SoftmaxCrossEntropy(t, classes).data()[0]};
+    SetNumWorkerThreads(0);
+    return out;
+  };
+  const std::vector<float> t1 = run(1);
+  EXPECT_TRUE(BitsEqual(t1, run(2)));
+  EXPECT_TRUE(BitsEqual(t1, run(4)));
+}
+
+// PRIM_FAST_MATH drops the fixed-block partials for per-chunk merging:
+// thread-count-dependent, but within the documented 1e-5 relative
+// tolerance of the bitwise-mode result.
+TEST(SimdParityTest, FastMathStaysWithinDocumentedTolerance) {
+  Rng rng(32);
+  const int n = 200, c = 33;
+  const std::vector<float> vals = RandVec(n * c, rng);
+  Tensor t = Tensor::FromData(n, c, vals);
+  const double exact = SumAll(t).data()[0];
+
+  simd::SetFastMath(true);
+  SetNumWorkerThreads(4);
+  const double fast = SumAll(t).data()[0];
+  SetNumWorkerThreads(0);
+  simd::ResetFastMath();
+
+  const double denom = std::max(1.0, std::abs(exact));
+  EXPECT_LE(std::abs(fast - exact) / denom, 1e-5);
+}
+
+}  // namespace
+}  // namespace prim::nn
